@@ -1,0 +1,100 @@
+// Reproduces Table 9: time for the Arthas analyzer to statically analyze
+// each target system, instrument it, and slice a fault instruction.
+//
+// Paper's result (on 2.6K-94K SLOC C systems with LLVM): static analysis
+// 53-469 s, instrumentation 6-18 s, slicing under one second. Our IR models
+// are proportionally smaller, so absolute numbers are microseconds; the
+// reproduction targets are the orderings: static analysis dominates, and
+// slicing is orders of magnitude cheaper than analysis (which is what makes
+// the client-server reactor split of Section 5 effective).
+
+#include <cstdio>
+#include <memory>
+
+#include "common/clock.h"
+#include "harness/table.h"
+#include "reactor/reactor.h"
+#include "systems/cceh.h"
+#include "systems/memcached_mini.h"
+#include "systems/pelikan_mini.h"
+#include "systems/pmemkv_mini.h"
+#include "systems/redis_mini.h"
+
+namespace arthas {
+namespace {
+
+struct Row {
+  std::string name;
+  double analysis_us;
+  double pdg_us;
+  double instrument_us;
+  double slicing_us;
+};
+
+Row Measure(PmSystemBase& system, Guid fault_guid) {
+  // "Instrumentation": constructing the IR model + registering GUIDs is the
+  // analog of rewriting the binary with trace calls. Measure a rebuild via
+  // a fresh system of the same type? The model was built in the
+  // constructor; instead approximate with the GUID metadata serialization
+  // round-trip, which is the artifact instrumentation produces.
+  Row row;
+  row.name = system.name();
+  Reactor reactor(system.ir_model(), system.guid_registry());
+  row.analysis_us = reactor.timings().static_analysis_ns / 1000.0;
+  row.pdg_us = reactor.timings().pdg_ns / 1000.0;
+
+  const int64_t t0 = MonotonicNanos();
+  const std::string metadata = system.guid_registry().Serialize();
+  auto parsed = GuidRegistry::Parse(metadata);
+  const int64_t t1 = MonotonicNanos();
+  row.instrument_us = (t1 - t0) / 1000.0;
+
+  // Slice the per-system fault instruction (as the reactor does on the
+  // mitigation path).
+  FaultInfo fault;
+  fault.fault_guid = fault_guid;
+  Tracer empty_tracer;
+  auto pool = PmemPool::Create("scratch", 64 * 1024);
+  CheckpointLog log(**pool);
+  ReactorConfig config;
+  const int64_t t2 = MonotonicNanos();
+  (void)reactor.ComputeReversionPlan(fault, empty_tracer, log, config);
+  const int64_t t3 = MonotonicNanos();
+  row.slicing_us = (t3 - t2) / 1000.0;
+  return row;
+}
+
+}  // namespace
+}  // namespace arthas
+
+int main() {
+  using namespace arthas;
+  MemcachedMini memcached;
+  RedisMini redis;
+  PelikanMini pelikan;
+  PmemkvMini pmemkv;
+  Cceh cceh;
+
+  TextTable table({"System", "Static analysis (us)", "PDG (us)",
+                   "Instrumentation (us)", "Slicing (us)"});
+  auto add = [&](Row row) {
+    char a[32], p[32], i[32], s[32];
+    std::snprintf(a, sizeof(a), "%.1f", row.analysis_us);
+    std::snprintf(p, sizeof(p), "%.1f", row.pdg_us);
+    std::snprintf(i, sizeof(i), "%.1f", row.instrument_us);
+    std::snprintf(s, sizeof(s), "%.1f", row.slicing_us);
+    table.AddRow({row.name, a, p, i, s});
+  };
+  add(Measure(memcached, kGuidMcAssocFind));
+  add(Measure(redis, kGuidRdAssert));
+  add(Measure(pelikan, kGuidPlItemAccess));
+  add(Measure(pmemkv, kGuidKvLookupMiss));
+  add(Measure(cceh, kGuidCcInsertLoop));
+
+  std::printf("Table 9: Analyzer cost per target system\n%s\n",
+              table.Render().c_str());
+  std::printf("Paper shape: static analysis dominates; slicing is far "
+              "cheaper, so the precomputing reactor server answers "
+              "mitigation requests quickly.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Reproduces Table 4: whether a successfully recovered system is in a
+// semantically consistent state, per solution and per Arthas reversion
+// strategy (purge vs rollback).
+//
+// The consistency evaluation follows Section 6.2: pool checks
+// (pmempool-check analogue), a 20-minute mixed stability workload, and
+// domain/value checks. Paper's result: Arthas in rollback mode is
+// consistent everywhere it recovers; purge mode has two exceptions — f7
+// (reverts the refcount but not the co-located lazy-free poison, so the
+// shared value is wrong on GET) and f4 (the wrapped slab size survives and
+// occasionally aborts in do_slabs_free, 8/10 runs pass).
+
+#include <cstdio>
+
+#include "harness/experiment.h"
+#include "harness/table.h"
+
+namespace arthas {
+namespace {
+
+std::string ConsistencyCell(FaultId fault, Solution solution,
+                            ReversionMode mode, int trials) {
+  int recovered = 0;
+  int consistent = 0;
+  for (int t = 0; t < trials; t++) {
+    ExperimentConfig config;
+    config.fault = fault;
+    config.solution = solution;
+    config.seed = 42 + t;
+    config.reactor.mode = mode;
+    config.evaluate_consistency = true;
+    FaultExperiment experiment(config);
+    ExperimentResult r = experiment.Run();
+    recovered += r.recovered ? 1 : 0;
+    consistent += (r.recovered && r.consistent) ? 1 : 0;
+  }
+  if (recovered == 0) {
+    return "n/a";
+  }
+  if (consistent == recovered && trials == 1) {
+    return "yes";
+  }
+  if (trials == 1) {
+    return consistent != 0 ? "yes" : "no";
+  }
+  return std::to_string(consistent) + "/" + std::to_string(trials);
+}
+
+}  // namespace
+}  // namespace arthas
+
+int main() {
+  using namespace arthas;
+  std::printf("Table 4: Is the recovered system semantically consistent?\n");
+  TextTable table({"Fault", "pmCRIU", "Arthas (purge)", "Arthas (rollback)"});
+  for (const FaultDescriptor& d : AllFaults()) {
+    std::fprintf(stderr, "running %s...\n", d.label);
+    // f4 purge is probabilistic (the stability workload only sometimes
+    // deletes the item with the wrapped size): use 10 trials there.
+    const int purge_trials = d.id == FaultId::kF4AppendIntOverflow ? 10 : 1;
+    table.AddRow({d.label,
+                  ConsistencyCell(d.id, Solution::kPmCriu,
+                                  ReversionMode::kPurge, 1),
+                  ConsistencyCell(d.id, Solution::kArthas,
+                                  ReversionMode::kPurge, purge_trials),
+                  ConsistencyCell(d.id, Solution::kArthas,
+                                  ReversionMode::kRollback, 1)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("Paper: rollback mode consistent everywhere; purge mode fails "
+              "f7 and passes f4 in 8/10 runs.\n");
+  return 0;
+}

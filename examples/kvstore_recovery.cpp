@@ -1,0 +1,54 @@
+// End-to-end hard-fault recovery on a real target system: the Memcached
+// refcount-overflow bug (f1, the paper's artifact-appendix demo).
+//
+// Walks the full production workflow:
+//   1. run memcached_mini under a client workload with checkpointing and
+//      tracing enabled,
+//   2. trigger the bug (refcount wrap -> reaper frees a linked item ->
+//      address reuse creates a hash-chain cycle),
+//   3. detect the hang, confirm it is hard (recurs across restart),
+//   4. let the Arthas reactor slice the fault instruction and revert the
+//      dependent persistent updates,
+//   5. verify the store serves requests again with minimal data loss.
+//
+// Build & run:  ./example_kvstore_recovery
+
+#include <cstdio>
+
+#include "harness/experiment.h"
+
+using namespace arthas;
+
+int main() {
+  std::printf("=== Arthas demo: Memcached refcount overflow (f1) ===\n\n");
+
+  ExperimentConfig config;
+  config.fault = FaultId::kF1RefcountOverflow;
+  config.solution = Solution::kArthas;
+  config.evaluate_consistency = true;
+  FaultExperiment experiment(config);
+  ExperimentResult result = experiment.Run();
+
+  std::printf("bug triggered:          %s\n", result.triggered ? "yes" : "no");
+  std::printf("hard failure confirmed: %s\n", result.detected ? "yes" : "no");
+  std::printf("recovery finished:      %s\n", result.recovered ? "yes" : "no");
+  std::printf("reversion attempts:     %d\n", result.attempts);
+  std::printf("total reverted items:   %lu of %lu checkpointed updates "
+              "(%.3f%%)\n",
+              result.checkpoint_updates_discarded,
+              result.checkpoint_updates_total,
+              result.discarded_fraction * 100);
+  std::printf("items before/after:     %lu / %lu\n", result.items_before,
+              result.items_after);
+  std::printf("consistent afterwards:  %s\n",
+              result.consistent ? "yes" : "no");
+  std::printf("detail:                 %s\n", result.detail.c_str());
+
+  if (!result.recovered) {
+    std::printf("\nRecovery FAILED\n");
+    return 1;
+  }
+  std::printf("\nRecovery finished: the chain cycle was reverted and the "
+              "store serves requests again.\n");
+  return 0;
+}

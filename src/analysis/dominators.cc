@@ -1,0 +1,171 @@
+#include "analysis/dominators.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace arthas {
+
+namespace {
+// Reverse post-order of the *reverse* CFG starting from exit blocks.
+void ReversePostOrder(const IrFunction& function,
+                      std::vector<const IrBasicBlock*>* order) {
+  std::map<const IrBasicBlock*, bool> visited;
+  // Iterative DFS from each ret block over predecessor edges.
+  std::vector<std::pair<const IrBasicBlock*, size_t>> stack;
+  std::vector<const IrBasicBlock*> post;
+  for (const auto& b : function.blocks()) {
+    IrInstruction* term = b->terminator();
+    if (term != nullptr && term->opcode() == IrOpcode::kRet &&
+        !visited[b.get()]) {
+      stack.push_back({b.get(), 0});
+      visited[b.get()] = true;
+      while (!stack.empty()) {
+        auto& [block, idx] = stack.back();
+        const auto& preds = block->predecessors();
+        if (idx < preds.size()) {
+          const IrBasicBlock* pred = preds[idx++];
+          if (!visited[pred]) {
+            visited[pred] = true;
+            stack.push_back({pred, 0});
+          }
+        } else {
+          post.push_back(block);
+          stack.pop_back();
+        }
+      }
+    }
+  }
+  order->assign(post.rbegin(), post.rend());
+}
+}  // namespace
+
+PostDominators::PostDominators(const IrFunction& function) {
+  ReversePostOrder(function, &blocks_);
+  for (size_t i = 0; i < blocks_.size(); i++) {
+    index_[blocks_[i]] = static_cast<int>(i);
+  }
+  ipdom_.assign(blocks_.size(), kUnreachable);
+
+  // Cooper-Harvey-Kennedy iterative algorithm on the reverse CFG. The
+  // virtual exit post-dominates everything; ret blocks have ipdom = exit.
+  // Walk both fingers up the (partially built) tree until they meet. The
+  // virtual exit is the root; RPO indexing guarantees ipdom links point to
+  // strictly smaller indices, so walking the larger finger converges.
+  auto intersect = [&](int a, int b) {
+    while (a != b) {
+      if (a == kVirtualExit || b == kVirtualExit) {
+        return kVirtualExit;
+      }
+      if (a > b) {
+        a = ipdom_[a];
+      } else {
+        b = ipdom_[b];
+      }
+      if (a == kUnreachable || b == kUnreachable) {
+        return kVirtualExit;
+      }
+    }
+    return a;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < blocks_.size(); i++) {
+      const IrBasicBlock* b = blocks_[i];
+      // "Predecessors" in the reverse CFG are CFG successors; ret blocks
+      // additionally have the virtual exit.
+      int new_ipdom = kUnreachable;
+      IrInstruction* term = b->terminator();
+      if (term != nullptr && term->opcode() == IrOpcode::kRet) {
+        new_ipdom = kVirtualExit;
+      }
+      for (const IrBasicBlock* succ : b->successors()) {
+        auto it = index_.find(succ);
+        if (it == index_.end()) {
+          continue;  // successor cannot reach exit
+        }
+        const int si = it->second;
+        if (static_cast<size_t>(si) == i) {
+          continue;  // a self-loop contributes nothing to post-dominance
+        }
+        if (ipdom_[si] == kUnreachable) {
+          continue;  // not yet processed
+        }
+        if (new_ipdom == kUnreachable) {
+          new_ipdom = si;
+        } else {
+          new_ipdom = intersect(new_ipdom, si);
+        }
+      }
+      if (new_ipdom != kUnreachable && ipdom_[i] != new_ipdom) {
+        ipdom_[i] = new_ipdom;
+        changed = true;
+      }
+    }
+  }
+}
+
+int PostDominators::IndexOf(const IrBasicBlock* b) const {
+  auto it = index_.find(b);
+  return it == index_.end() ? kUnreachable : it->second;
+}
+
+bool PostDominators::PostDominates(const IrBasicBlock* a,
+                                   const IrBasicBlock* b) const {
+  const int ai = IndexOf(a);
+  int bi = IndexOf(b);
+  if (ai == kUnreachable || bi == kUnreachable) {
+    return false;
+  }
+  while (bi != kVirtualExit) {
+    if (bi == ai) {
+      return true;
+    }
+    bi = ipdom_[bi];
+    if (bi == kUnreachable) {
+      return false;
+    }
+  }
+  return false;
+}
+
+const IrBasicBlock* PostDominators::ImmediatePostDominator(
+    const IrBasicBlock* b) const {
+  const int bi = IndexOf(b);
+  if (bi == kUnreachable || ipdom_[bi] < 0) {
+    return nullptr;
+  }
+  return blocks_[ipdom_[bi]];
+}
+
+ControlDependenceMap ComputeControlDependence(const IrFunction& function) {
+  ControlDependenceMap deps;
+  PostDominators pdom(function);
+  // For every CFG edge A -> S where S does not post-dominate A, every block
+  // on the post-dominator-tree path from S up to (but excluding) ipdom(A)
+  // is control dependent on A.
+  for (const auto& a : function.blocks()) {
+    for (const IrBasicBlock* s : a->successors()) {
+      // Skip edges whose target post-dominates the source — except
+      // self-edges: a block is control dependent on itself through its own
+      // back edge (Ferrante et al. use *strict* post-dominance of A).
+      if (s != a.get() && pdom.PostDominates(s, a.get())) {
+        continue;
+      }
+      const IrBasicBlock* stop = pdom.ImmediatePostDominator(a.get());
+      const IrBasicBlock* runner = s;
+      size_t guard = function.blocks().size() + 1;
+      while (runner != nullptr && runner != stop && guard-- > 0) {
+        auto& vec = deps[runner];
+        if (std::find(vec.begin(), vec.end(), a.get()) == vec.end()) {
+          vec.push_back(a.get());
+        }
+        runner = pdom.ImmediatePostDominator(runner);
+      }
+    }
+  }
+  return deps;
+}
+
+}  // namespace arthas

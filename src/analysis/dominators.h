@@ -1,0 +1,53 @@
+// Post-dominator tree and control-dependence computation (per function).
+//
+// Control dependence follows Ferrante, Ottenstein & Warren ("The program
+// dependence graph and its use in optimization", TOPLAS '87, the paper's
+// reference [32]): block B is control dependent on block A iff there is an
+// edge A -> S such that B post-dominates S but B does not strictly
+// post-dominate A.
+
+#ifndef ARTHAS_ANALYSIS_DOMINATORS_H_
+#define ARTHAS_ANALYSIS_DOMINATORS_H_
+
+#include <map>
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace arthas {
+
+// Post-dominance relation for one function, computed on the reverse CFG
+// augmented with a virtual exit node that every kRet block reaches.
+class PostDominators {
+ public:
+  explicit PostDominators(const IrFunction& function);
+
+  // True if `a` post-dominates `b` (reflexive).
+  bool PostDominates(const IrBasicBlock* a, const IrBasicBlock* b) const;
+
+  // Immediate post-dominator; nullptr for blocks whose ipdom is the virtual
+  // exit.
+  const IrBasicBlock* ImmediatePostDominator(const IrBasicBlock* b) const;
+
+ private:
+  int IndexOf(const IrBasicBlock* b) const;
+
+  std::vector<const IrBasicBlock*> blocks_;
+  std::map<const IrBasicBlock*, int> index_;
+  // ipdom_[i] is the block index of the immediate post-dominator, or
+  // kVirtualExit.
+  std::vector<int> ipdom_;
+  static constexpr int kVirtualExit = -1;
+  static constexpr int kUnreachable = -2;
+};
+
+// Map from a block to the set of blocks whose terminator it is control
+// dependent on.
+using ControlDependenceMap =
+    std::map<const IrBasicBlock*, std::vector<const IrBasicBlock*>>;
+
+ControlDependenceMap ComputeControlDependence(const IrFunction& function);
+
+}  // namespace arthas
+
+#endif  // ARTHAS_ANALYSIS_DOMINATORS_H_

@@ -1,0 +1,129 @@
+#include "analysis/pdg.h"
+
+#include <sstream>
+
+#include "analysis/dominators.h"
+#include "common/clock.h"
+
+namespace arthas {
+
+Pdg::Pdg(const IrModule& module, const PointerAnalysis& pa) {
+  const int64_t start = MonotonicNanos();
+
+  const std::vector<IrInstruction*> all = module.AllInstructions();
+
+  // Data dependence: operand def-use.
+  for (const IrInstruction* inst : all) {
+    for (const IrValue* op : inst->operands()) {
+      if (op->kind() == IrValue::Kind::kInstruction ||
+          op->kind() == IrValue::Kind::kArgument ||
+          op->kind() == IrValue::Kind::kGlobal) {
+        AddEdge(op, inst, PdgEdgeKind::kData);
+      }
+    }
+  }
+
+  // Memory dependence: store -> load through may-aliasing pointers. This is
+  // inter-procedural because the pointer analysis is whole-module.
+  std::vector<const IrInstruction*> stores;
+  std::vector<const IrInstruction*> loads;
+  for (const IrInstruction* inst : all) {
+    if (inst->opcode() == IrOpcode::kStore) {
+      stores.push_back(inst);
+    } else if (inst->opcode() == IrOpcode::kLoad) {
+      loads.push_back(inst);
+    }
+  }
+  for (const IrInstruction* s : stores) {
+    for (const IrInstruction* l : loads) {
+      if (pa.MayAlias(s->operands()[1], l->operands()[0])) {
+        AddEdge(s, l, PdgEdgeKind::kMemory);
+      }
+    }
+  }
+
+  // Control dependence: terminator of the controlling block -> every
+  // instruction of the dependent block.
+  for (const auto& f : module.functions()) {
+    if (f->blocks().empty()) {
+      continue;
+    }
+    const ControlDependenceMap deps = ComputeControlDependence(*f);
+    for (const auto& [block, controllers] : deps) {
+      for (const IrBasicBlock* controller : controllers) {
+        const IrInstruction* term = controller->terminator();
+        if (term == nullptr) {
+          continue;
+        }
+        for (const auto& inst : block->instructions()) {
+          AddEdge(term, inst.get(), PdgEdgeKind::kControl);
+        }
+      }
+    }
+  }
+
+  // Call binding: actual -> formal, return -> call result.
+  for (const IrInstruction* inst : all) {
+    if (inst->opcode() != IrOpcode::kCall) {
+      continue;
+    }
+    std::vector<const IrFunction*> targets;
+    int actual_base = 0;
+    if (inst->callee() != nullptr) {
+      targets.push_back(inst->callee());
+    } else if (!inst->operands().empty()) {
+      targets = pa.ResolveIndirect(inst->operands()[0]);
+      actual_base = 1;
+    }
+    for (const IrFunction* callee : targets) {
+      const auto& ops = inst->operands();
+      for (size_t i = 0;
+           i + actual_base < ops.size() && i < callee->args().size(); i++) {
+        const IrValue* actual = ops[i + actual_base];
+        if (actual->kind() != IrValue::Kind::kConstant) {
+          AddEdge(actual, callee->args()[i].get(), PdgEdgeKind::kCall);
+        }
+        // The formal depends on the call site executing at all.
+        AddEdge(inst, callee->args()[i].get(), PdgEdgeKind::kCall);
+      }
+      for (const IrInstruction* ret : callee->ReturnSites()) {
+        if (!ret->operands().empty()) {
+          AddEdge(ret->operands()[0], inst, PdgEdgeKind::kCall);
+        }
+      }
+    }
+  }
+
+  stats_.nodes = succ_.size();
+  stats_.build_ns = MonotonicNanos() - start;
+}
+
+void Pdg::AddEdge(const IrValue* from, const IrValue* to, PdgEdgeKind kind) {
+  // Deduplicate (linear scan is fine: fan-out is small in practice).
+  for (const Edge& e : succ_[from]) {
+    if (e.to == to && e.kind == kind) {
+      return;
+    }
+  }
+  succ_[from].push_back({to, kind});
+  pred_[to].push_back({from, kind});
+  stats_.edges++;
+}
+
+const std::vector<Pdg::Edge>& Pdg::Successors(const IrValue* node) const {
+  auto it = succ_.find(node);
+  return it == succ_.end() ? empty_ : it->second;
+}
+
+const std::vector<Pdg::Edge>& Pdg::Predecessors(const IrValue* node) const {
+  auto it = pred_.find(node);
+  return it == pred_.end() ? empty_ : it->second;
+}
+
+std::string Pdg::DebugString() const {
+  std::ostringstream out;
+  out << "PDG: " << stats_.nodes << " nodes, " << stats_.edges << " edges\n";
+  return out.str();
+}
+
+}  // namespace arthas

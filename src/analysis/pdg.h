@@ -1,0 +1,64 @@
+// Inter-procedural Program Dependence Graph (paper Section 4.1, step 2).
+//
+// Nodes are IR instructions plus function arguments. Edge kinds:
+//   * data       — SSA def-use (an instruction uses another's result),
+//   * memory     — a store may feed a load (pointer operands may alias),
+//   * control    — instruction executes only if a branch goes a certain way,
+//   * call       — actual argument flows to formal parameter; return value
+//                  flows back to the call site (direct and indirect calls).
+//
+// The PDG is the static metadata the Arthas reactor consumes; as in the
+// paper it is computed once per program version and reused.
+
+#ifndef ARTHAS_ANALYSIS_PDG_H_
+#define ARTHAS_ANALYSIS_PDG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/pointer_analysis.h"
+#include "ir/ir.h"
+
+namespace arthas {
+
+enum class PdgEdgeKind { kData, kMemory, kControl, kCall };
+
+struct PdgStats {
+  size_t nodes = 0;
+  size_t edges = 0;
+  int64_t build_ns = 0;
+};
+
+class Pdg {
+ public:
+  // Builds the PDG. `pa` must already have Run() on the same module.
+  Pdg(const IrModule& module, const PointerAnalysis& pa);
+
+  struct Edge {
+    const IrValue* to;
+    PdgEdgeKind kind;
+  };
+
+  // Outgoing dependence edges (from definition/controller to dependent).
+  const std::vector<Edge>& Successors(const IrValue* node) const;
+  // Incoming edges (what `node` depends on).
+  const std::vector<Edge>& Predecessors(const IrValue* node) const;
+
+  const PdgStats& stats() const { return stats_; }
+
+  std::string DebugString() const;
+
+ private:
+  void AddEdge(const IrValue* from, const IrValue* to, PdgEdgeKind kind);
+
+  std::map<const IrValue*, std::vector<Edge>> succ_;
+  std::map<const IrValue*, std::vector<Edge>> pred_;
+  std::vector<Edge> empty_;
+  PdgStats stats_;
+};
+
+}  // namespace arthas
+
+#endif  // ARTHAS_ANALYSIS_PDG_H_

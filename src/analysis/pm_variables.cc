@@ -1,0 +1,86 @@
+#include "analysis/pm_variables.h"
+
+#include <deque>
+
+namespace arthas {
+
+PmVariableInfo::PmVariableInfo(const IrModule& module,
+                               const PointerAnalysis& pa) {
+  // Seed: results of PM API calls, plus anything whose points-to set
+  // contains a PM allocation site (covers pointers passed across functions
+  // and stored/reloaded through memory).
+  std::deque<const IrValue*> worklist;
+  auto add = [&](const IrValue* v) {
+    if (pm_values_.insert(v).second) {
+      worklist.push_back(v);
+    }
+  };
+
+  for (const IrInstruction* inst : module.AllInstructions()) {
+    if (inst->opcode() == IrOpcode::kPmAlloc ||
+        inst->opcode() == IrOpcode::kPmMapFile) {
+      add(inst);
+    }
+  }
+  for (const IrInstruction* inst : module.AllInstructions()) {
+    if (pa.PointsToPm(inst)) {
+      add(inst);
+    }
+  }
+  for (const auto& f : module.functions()) {
+    for (const auto& arg : f->args()) {
+      if (pa.PointsToPm(arg.get())) {
+        add(arg.get());
+      }
+    }
+  }
+
+  // Def-use closure: any value computed from a PM value is PM-derived
+  // (e.g. fptr = ptr + 10 after pmem_map_file).
+  while (!worklist.empty()) {
+    const IrValue* v = worklist.front();
+    worklist.pop_front();
+    for (const IrInstruction* user : v->users()) {
+      switch (user->opcode()) {
+        case IrOpcode::kFieldAddr:
+        case IrOpcode::kIndexAddr:
+        case IrOpcode::kBinOp:
+        case IrOpcode::kPhi:
+          add(user);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  // Collect instructions creating or accessing PM values.
+  for (const IrInstruction* inst : module.AllInstructions()) {
+    bool touches_pm = pm_values_.count(inst) != 0;
+    for (const IrValue* op : inst->operands()) {
+      touches_pm = touches_pm || pm_values_.count(op) != 0;
+    }
+    if (!touches_pm) {
+      continue;
+    }
+    pm_instructions_.push_back(inst);
+    pm_instruction_set_.insert(inst);
+    switch (inst->opcode()) {
+      case IrOpcode::kStore:
+        // A PM write only if the *pointer* operand is a PM value.
+        if (pm_values_.count(inst->operands()[1]) != 0) {
+          pm_writes_.push_back(inst);
+        }
+        break;
+      case IrOpcode::kPmAlloc:
+      case IrOpcode::kPmPersist:
+      case IrOpcode::kPmFree:
+        pm_writes_.push_back(inst);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+}  // namespace arthas

@@ -1,0 +1,54 @@
+// Identification of persistent-memory variables and instructions.
+//
+// Implements paper Section 4.1 ("Locating PM Variables and Instructions"):
+// starting from the results of PM library API calls (pm.alloc for
+// pmemobj_zalloc/pmemobj_direct, pm.map_file for pmem_map_file), compute the
+// transitive closure of all values derived from them via def-use chains and
+// the pointer analysis, and collect the instructions that create or access
+// those values.
+
+#ifndef ARTHAS_ANALYSIS_PM_VARIABLES_H_
+#define ARTHAS_ANALYSIS_PM_VARIABLES_H_
+
+#include <set>
+#include <vector>
+
+#include "analysis/pointer_analysis.h"
+#include "ir/ir.h"
+
+namespace arthas {
+
+class PmVariableInfo {
+ public:
+  // `pa` must already have Run().
+  PmVariableInfo(const IrModule& module, const PointerAnalysis& pa);
+
+  // Values that may denote (point into) persistent memory.
+  bool IsPmValue(const IrValue* v) const { return pm_values_.count(v) != 0; }
+
+  // Instructions that create or access PM variables (the instrumentation
+  // set: each of these gets a GUID + trace call in the paper).
+  const std::vector<const IrInstruction*>& PmInstructions() const {
+    return pm_instructions_;
+  }
+
+  // The subset of PM instructions that write persistent state: stores
+  // through PM pointers, pm.persist, pm.free, pm.alloc.
+  const std::vector<const IrInstruction*>& PmWriteInstructions() const {
+    return pm_writes_;
+  }
+
+  bool IsPmInstruction(const IrInstruction* inst) const {
+    return pm_instruction_set_.count(inst) != 0;
+  }
+
+ private:
+  std::set<const IrValue*> pm_values_;
+  std::vector<const IrInstruction*> pm_instructions_;
+  std::set<const IrInstruction*> pm_instruction_set_;
+  std::vector<const IrInstruction*> pm_writes_;
+};
+
+}  // namespace arthas
+
+#endif  // ARTHAS_ANALYSIS_PM_VARIABLES_H_

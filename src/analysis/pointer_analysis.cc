@@ -1,0 +1,211 @@
+#include "analysis/pointer_analysis.h"
+
+#include <algorithm>
+
+#include "common/clock.h"
+
+namespace arthas {
+
+PointerAnalysis::PointerAnalysis(const IrModule& module) : module_(module) {}
+
+bool PointerAnalysis::Union(PtsSet& dst, const PtsSet& src) {
+  const size_t before = dst.size();
+  dst.insert(src.begin(), src.end());
+  return dst.size() != before;
+}
+
+void PointerAnalysis::Run() {
+  const int64_t start = MonotonicNanos();
+  // Base constraints: allocation sites, globals, and function addresses.
+  for (const auto& g : module_.globals()) {
+    PtsOf(g.get()).insert({g.get(), 0});
+  }
+  for (const auto& f : module_.functions()) {
+    PtsOf(f.get()).insert({f.get(), 0});
+  }
+  for (const IrInstruction* inst : module_.AllInstructions()) {
+    switch (inst->opcode()) {
+      case IrOpcode::kAlloca:
+      case IrOpcode::kPmAlloc:
+      case IrOpcode::kPmMapFile:
+        PtsOf(inst).insert({inst, 0});
+        stats_.constraints++;
+        break;
+      default:
+        break;
+    }
+  }
+  // Fixpoint over the complex rules.
+  bool changed = true;
+  while (changed) {
+    changed = ApplyAllConstraints();
+    stats_.solve_iterations++;
+  }
+  stats_.elapsed_ns = MonotonicNanos() - start;
+}
+
+bool PointerAnalysis::ApplyAllConstraints() {
+  bool changed = false;
+  for (const IrInstruction* inst : module_.AllInstructions()) {
+    changed |= ApplyInstruction(inst);
+  }
+  return changed;
+}
+
+bool PointerAnalysis::BindCall(const IrInstruction* call,
+                               const IrFunction* callee, int actual_base) {
+  bool changed = false;
+  // Bind actuals to formals.
+  const auto& operands = call->operands();
+  for (size_t i = 0; i + actual_base < operands.size() &&
+                     i < callee->args().size();
+       i++) {
+    const IrValue* actual = operands[i + actual_base];
+    changed |= Union(PtsOf(callee->args()[i].get()), PtsOf(actual));
+  }
+  // Bind returned values to the call result.
+  for (const IrInstruction* ret : callee->ReturnSites()) {
+    if (!ret->operands().empty()) {
+      changed |= Union(PtsOf(call), PtsOf(ret->operands()[0]));
+    }
+  }
+  return changed;
+}
+
+bool PointerAnalysis::ApplyInstruction(const IrInstruction* inst) {
+  bool changed = false;
+  const auto& ops = inst->operands();
+  switch (inst->opcode()) {
+    case IrOpcode::kLoad: {
+      // p = *q: contents of every object q may point to flow into p. A
+      // field-exact load also reads the wildcard slot (something may have
+      // stored through a byte cursor); a wildcard load reads every field.
+      for (const AbstractObject& o : PtsOf(ops[0])) {
+        changed |= Union(PtsOf(inst), ContentsOf(o));
+        if (o.field == AbstractObject::kAnyField) {
+          for (auto& [obj, contents] : contents_) {
+            if (obj.site == o.site) {
+              changed |= Union(PtsOf(inst), contents);
+            }
+          }
+        } else {
+          changed |= Union(PtsOf(inst),
+                           ContentsOf({o.site, AbstractObject::kAnyField}));
+        }
+      }
+      break;
+    }
+    case IrOpcode::kStore: {
+      // *q = v.
+      for (const AbstractObject& o : PtsOf(ops[1])) {
+        changed |= Union(ContentsOf(o), PtsOf(ops[0]));
+      }
+      break;
+    }
+    case IrOpcode::kFieldAddr: {
+      // p = &q->f: re-derive with the field index, preserving the site.
+      PtsSet derived;
+      for (const AbstractObject& o : PtsOf(ops[0])) {
+        derived.insert({o.site, inst->field_index()});
+      }
+      changed |= Union(PtsOf(inst), derived);
+      break;
+    }
+    case IrOpcode::kIndexAddr: {
+      // A byte-offset / array-element cursor: field-unknown, so it may
+      // alias any field of the base's sites.
+      PtsSet derived;
+      for (const AbstractObject& o : PtsOf(ops[0])) {
+        derived.insert({o.site, AbstractObject::kAnyField});
+      }
+      changed |= Union(PtsOf(inst), derived);
+      break;
+    }
+    case IrOpcode::kPhi:
+    case IrOpcode::kBinOp: {
+      // Pointer arithmetic and SSA merges propagate all inputs.
+      for (const IrValue* op : ops) {
+        changed |= Union(PtsOf(inst), PtsOf(op));
+      }
+      break;
+    }
+    case IrOpcode::kCall: {
+      if (inst->callee() != nullptr) {
+        changed |= BindCall(inst, inst->callee(), 0);
+      } else if (!ops.empty()) {
+        // Indirect: resolve targets from the function pointer.
+        for (const AbstractObject& o : PtsOf(ops[0])) {
+          if (o.site != nullptr &&
+              o.site->kind() == IrValue::Kind::kFunction) {
+            changed |= BindCall(
+                inst, static_cast<const IrFunction*>(o.site), 1);
+          }
+        }
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  return changed;
+}
+
+const std::set<AbstractObject>& PointerAnalysis::PointsTo(
+    const IrValue* v) const {
+  auto it = pts_.find(v);
+  return it == pts_.end() ? empty_ : it->second;
+}
+
+bool PointerAnalysis::MayAlias(const IrValue* v1, const IrValue* v2) const {
+  if (v1 == v2) {
+    return true;
+  }
+  const auto& s1 = PointsTo(v1);
+  const auto& s2 = PointsTo(v2);
+  if (s1.empty() || s2.empty()) {
+    return false;
+  }
+  for (const AbstractObject& a : s1) {
+    for (const AbstractObject& b : s2) {
+      if (a.site != b.site) {
+        continue;
+      }
+      if (a.field == b.field || a.field == AbstractObject::kAnyField ||
+          b.field == AbstractObject::kAnyField) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<const IrFunction*> PointerAnalysis::ResolveIndirect(
+    const IrValue* fn_ptr) const {
+  std::vector<const IrFunction*> targets;
+  for (const AbstractObject& o : PointsTo(fn_ptr)) {
+    if (o.site != nullptr && o.site->kind() == IrValue::Kind::kFunction) {
+      targets.push_back(static_cast<const IrFunction*>(o.site));
+    }
+  }
+  return targets;
+}
+
+bool PointerAnalysis::IsPmSite(const IrValue* site) {
+  if (site == nullptr || site->kind() != IrValue::Kind::kInstruction) {
+    return false;
+  }
+  const auto* inst = static_cast<const IrInstruction*>(site);
+  return inst->opcode() == IrOpcode::kPmAlloc ||
+         inst->opcode() == IrOpcode::kPmMapFile;
+}
+
+bool PointerAnalysis::PointsToPm(const IrValue* v) const {
+  for (const AbstractObject& o : PointsTo(v)) {
+    if (IsPmSite(o.site)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace arthas

@@ -1,0 +1,94 @@
+// Inclusion-based (Andersen-style) pointer analysis over the mini-IR.
+//
+// The paper's analyzer uses field-sensitive, context-sensitive alias
+// analysis (Wilson & Lam, reference [64]) to follow persistent pointers
+// across functions. We implement the inclusion-based core with field
+// sensitivity at struct-field granularity: an abstract object is an
+// (allocation site, field index) pair, so distinct fields of the same
+// persistent struct do not alias. The analysis is flow- and
+// context-insensitive, inter-procedural, and resolves indirect calls from
+// the points-to sets of function pointers (which also feeds the call graph
+// used by the PDG).
+
+#ifndef ARTHAS_ANALYSIS_POINTER_ANALYSIS_H_
+#define ARTHAS_ANALYSIS_POINTER_ANALYSIS_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace arthas {
+
+// An abstract memory object: an allocation site (alloca, pm.alloc,
+// pm.map_file, global storage, or a function body) plus a field index.
+// kAnyField marks byte-offset-derived pointers (kIndexAddr), which must
+// conservatively alias every field of the site — this is what lets the
+// analysis see that an overrunning memcpy through a length-computed cursor
+// can clobber a neighboring header (the f4/f10 bug shape).
+struct AbstractObject {
+  const IrValue* site = nullptr;
+  int field = 0;
+
+  static constexpr int kAnyField = -1;
+
+  auto operator<=>(const AbstractObject&) const = default;
+};
+
+struct PointerAnalysisStats {
+  int64_t solve_iterations = 0;
+  int64_t constraints = 0;
+  int64_t elapsed_ns = 0;
+};
+
+class PointerAnalysis {
+ public:
+  explicit PointerAnalysis(const IrModule& module);
+
+  // Solves the constraint system to a fixpoint.
+  void Run();
+
+  // Points-to set of an IR value.
+  const std::set<AbstractObject>& PointsTo(const IrValue* v) const;
+
+  // May v1 and v2 refer to the same memory? (Identical values always may.)
+  bool MayAlias(const IrValue* v1, const IrValue* v2) const;
+
+  // Functions an indirect call through `fn_ptr` may target.
+  std::vector<const IrFunction*> ResolveIndirect(const IrValue* fn_ptr) const;
+
+  // True if `site` is a PM allocation site (pm.alloc / pm.map_file).
+  static bool IsPmSite(const IrValue* site);
+
+  // Does the value possibly point into persistent memory?
+  bool PointsToPm(const IrValue* v) const;
+
+  const PointerAnalysisStats& stats() const { return stats_; }
+
+ private:
+  using PtsSet = std::set<AbstractObject>;
+
+  PtsSet& PtsOf(const IrValue* v) { return pts_[v]; }
+  PtsSet& ContentsOf(const AbstractObject& o) { return contents_[o]; }
+  // Merges src into dst; returns true if dst grew.
+  static bool Union(PtsSet& dst, const PtsSet& src);
+
+  // One pass over all instructions applying transfer rules; returns true if
+  // any set changed.
+  bool ApplyAllConstraints();
+  bool ApplyInstruction(const IrInstruction* inst);
+  bool BindCall(const IrInstruction* call, const IrFunction* callee,
+                int actual_base);
+
+  const IrModule& module_;
+  std::map<const IrValue*, PtsSet> pts_;
+  std::map<AbstractObject, PtsSet> contents_;
+  PointerAnalysisStats stats_;
+  PtsSet empty_;
+};
+
+}  // namespace arthas
+
+#endif  // ARTHAS_ANALYSIS_POINTER_ANALYSIS_H_

@@ -1,0 +1,55 @@
+#include "analysis/slicer.h"
+
+#include <deque>
+
+#include "common/clock.h"
+
+namespace arthas {
+
+SliceResult Slicer::Walk(const IrInstruction* criterion, bool backward,
+                         bool persistent_only) const {
+  const int64_t start = MonotonicNanos();
+  SliceResult result;
+  std::set<const IrValue*> visited;
+  std::deque<const IrValue*> queue;
+  queue.push_back(criterion);
+  visited.insert(criterion);
+  while (!queue.empty()) {
+    const IrValue* node = queue.front();
+    queue.pop_front();
+    if (node->kind() == IrValue::Kind::kInstruction) {
+      const auto* inst = static_cast<const IrInstruction*>(node);
+      if (!persistent_only || inst == criterion ||
+          pm_info_.IsPmInstruction(inst)) {
+        result.instructions.push_back(inst);
+      }
+    }
+    const auto& edges =
+        backward ? pdg_.Predecessors(node) : pdg_.Successors(node);
+    for (const Pdg::Edge& e : edges) {
+      if (visited.insert(e.to).second) {
+        queue.push_back(e.to);
+      }
+    }
+  }
+  result.elapsed_ns = MonotonicNanos() - start;
+  return result;
+}
+
+SliceResult Slicer::Backward(const IrInstruction* criterion) const {
+  return Walk(criterion, /*backward=*/true, /*persistent_only=*/false);
+}
+
+SliceResult Slicer::Forward(const IrInstruction* criterion) const {
+  return Walk(criterion, /*backward=*/false, /*persistent_only=*/false);
+}
+
+SliceResult Slicer::BackwardPersistent(const IrInstruction* criterion) const {
+  return Walk(criterion, /*backward=*/true, /*persistent_only=*/true);
+}
+
+SliceResult Slicer::ForwardPersistent(const IrInstruction* criterion) const {
+  return Walk(criterion, /*backward=*/false, /*persistent_only=*/true);
+}
+
+}  // namespace arthas

@@ -1,0 +1,56 @@
+// Program slicing over the PDG (Weiser, ICSE '81 — paper reference [63]).
+//
+// A backward slice of instruction A contains every instruction that may
+// affect the values observed at A; the Arthas reactor slices the fault
+// instruction and keeps the nodes with persistent-variable operands (paper
+// Section 4.5). The forward slice is used by purge mode's consistency pass
+// (Section 4.4): after reverting a state, purge also reverts states the
+// reverted one influences.
+
+#ifndef ARTHAS_ANALYSIS_SLICER_H_
+#define ARTHAS_ANALYSIS_SLICER_H_
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "analysis/pdg.h"
+#include "analysis/pm_variables.h"
+#include "ir/ir.h"
+
+namespace arthas {
+
+struct SliceResult {
+  // All instructions in the slice, in BFS order from the criterion (the
+  // criterion itself is first). BFS order approximates "closest dependency
+  // first", which the reactor's policy functions rely on.
+  std::vector<const IrInstruction*> instructions;
+  int64_t elapsed_ns = 0;
+};
+
+class Slicer {
+ public:
+  Slicer(const Pdg& pdg, const PmVariableInfo& pm_info)
+      : pdg_(pdg), pm_info_(pm_info) {}
+
+  // Backward slice of `criterion`.
+  SliceResult Backward(const IrInstruction* criterion) const;
+  // Forward slice of `criterion`.
+  SliceResult Forward(const IrInstruction* criterion) const;
+
+  // Backward slice filtered to instructions with persistent operands
+  // (the set the reactor joins with the dynamic trace).
+  SliceResult BackwardPersistent(const IrInstruction* criterion) const;
+  SliceResult ForwardPersistent(const IrInstruction* criterion) const;
+
+ private:
+  SliceResult Walk(const IrInstruction* criterion, bool backward,
+                   bool persistent_only) const;
+
+  const Pdg& pdg_;
+  const PmVariableInfo& pm_info_;
+};
+
+}  // namespace arthas
+
+#endif  // ARTHAS_ANALYSIS_SLICER_H_

@@ -1,0 +1,40 @@
+#include "baselines/arckpt.h"
+
+#include "common/logging.h"
+
+namespace arthas {
+
+ArCkptOutcome ArCkpt::Mitigate(CheckpointLog& log,
+                               const ReexecuteFn& reexecute,
+                               VirtualClock& clock) {
+  ArCkptOutcome outcome;
+  const VirtualTime start = clock.Now();
+  for (;;) {
+    if (outcome.reexecutions >= config_.max_attempts ||
+        clock.Now() - start > config_.mitigation_timeout) {
+      outcome.timed_out = true;
+      break;
+    }
+    const SeqNum newest = log.NewestRetainedSeq();
+    if (newest == kNoSeq) {
+      break;  // nothing left to revert
+    }
+    if (!log.RevertSeq(newest).ok()) {
+      break;
+    }
+    ARTHAS_LOG(Debug) << "ArCkpt reverted seq " << newest << " at address "
+                      << (log.LocateSeq(newest) ? 0 : -1);
+    outcome.reverted_updates++;
+    clock.Advance(config_.reexecution_delay);
+    outcome.reexecutions++;
+    const RunObservation obs = reexecute();
+    if (!obs.fault.has_value()) {
+      outcome.recovered = true;
+      break;
+    }
+  }
+  outcome.elapsed = clock.Now() - start;
+  return outcome;
+}
+
+}  // namespace arthas

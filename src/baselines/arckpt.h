@@ -1,0 +1,49 @@
+// ArCkpt baseline (paper Section 6.1).
+//
+// ArCkpt keeps only the checkpoint-related functionality of Arthas and
+// disables the analyzer: it has the fine-grained versioned log, but no PDG
+// and no slices, so it reverts checkpoint entries strictly in reverse time
+// order, one entry at a time, re-executing after each reversion. The paper
+// frames it as a facet of Arthas rather than an independent system: it
+// isolates how much of Arthas's effectiveness comes from dependency
+// analysis versus fine-grained checkpointing alone.
+
+#ifndef ARTHAS_BASELINES_ARCKPT_H_
+#define ARTHAS_BASELINES_ARCKPT_H_
+
+#include "baselines/pmcriu.h"
+#include "checkpoint/checkpoint_log.h"
+#include "common/clock.h"
+
+namespace arthas {
+
+struct ArCkptConfig {
+  VirtualTime reexecution_delay = 4 * kSecond;
+  VirtualTime mitigation_timeout = 10 * kMinute;
+  int max_attempts = 200;
+};
+
+struct ArCkptOutcome {
+  bool recovered = false;
+  bool timed_out = false;
+  int reexecutions = 0;
+  uint64_t reverted_updates = 0;
+  VirtualTime elapsed = 0;
+};
+
+class ArCkpt {
+ public:
+  explicit ArCkpt(ArCkptConfig config = {}) : config_(config) {}
+
+  // Reverts the newest retained checkpoint entry, re-executes, and repeats
+  // until the failure stops, versions run out, or the budget is exhausted.
+  ArCkptOutcome Mitigate(CheckpointLog& log, const ReexecuteFn& reexecute,
+                         VirtualClock& clock);
+
+ private:
+  ArCkptConfig config_;
+};
+
+}  // namespace arthas
+
+#endif  // ARTHAS_BASELINES_ARCKPT_H_

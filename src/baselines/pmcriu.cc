@@ -1,0 +1,53 @@
+#include "baselines/pmcriu.h"
+
+namespace arthas {
+
+void PmCriu::SnapshotNow(VirtualTime now, uint64_t item_count) {
+  snapshots_.push_back({now, device_.SnapshotDurable(), item_count,
+                        device_.stats().persists});
+  if (snapshots_.size() > config_.max_snapshots) {
+    snapshots_.erase(snapshots_.begin());
+  }
+  last_snapshot_time_ = now;
+  any_snapshot_ = true;
+}
+
+void PmCriu::MaybeSnapshot(VirtualTime now, uint64_t item_count) {
+  if (!any_snapshot_) {
+    // CRIU's first dump happens after the first full interval.
+    if (now >= config_.snapshot_interval) {
+      SnapshotNow(now, item_count);
+    }
+    return;
+  }
+  if (now - last_snapshot_time_ >= config_.snapshot_interval) {
+    SnapshotNow(now, item_count);
+  }
+}
+
+PmCriuOutcome PmCriu::Mitigate(const ReexecuteFn& reexecute,
+                               VirtualClock& clock) {
+  PmCriuOutcome outcome;
+  const VirtualTime start = clock.Now();
+  for (auto it = snapshots_.rbegin(); it != snapshots_.rend(); ++it) {
+    if (clock.Now() - start > config_.mitigation_timeout) {
+      break;
+    }
+    if (!device_.RestoreDurable(it->image).ok()) {
+      continue;
+    }
+    outcome.restores++;
+    clock.Advance(config_.restore_delay);
+    const RunObservation obs = reexecute();
+    if (!obs.fault.has_value()) {
+      outcome.recovered = true;
+      outcome.restored_item_count = it->item_count;
+      outcome.restored_persist_count = it->persist_count;
+      break;
+    }
+  }
+  outcome.elapsed = clock.Now() - start;
+  return outcome;
+}
+
+}  // namespace arthas

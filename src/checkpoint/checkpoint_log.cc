@@ -1,0 +1,388 @@
+#include "checkpoint/checkpoint_log.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace arthas {
+
+CheckpointLog::CheckpointLog(PmemPool& pool, CheckpointConfig config)
+    : pool_(&pool), device_(&pool.device()), config_(config) {
+  device_->AddObserver(this);
+  pool_->AddObserver(this);
+}
+
+CheckpointLog::~CheckpointLog() { Detach(); }
+
+void CheckpointLog::Detach() {
+  if (pool_ != nullptr) {
+    device_->RemoveObserver(this);
+    pool_->RemoveObserver(this);
+    pool_ = nullptr;
+  }
+}
+
+CheckpointEntry& CheckpointLog::GetOrCreate(PmOffset address, size_t size) {
+  auto it = entries_.find(address);
+  if (it == entries_.end()) {
+    CheckpointEntry entry;
+    entry.address = address;
+    // Seed the pre-history with what is durable right now (the observer
+    // fires before the media copy, so this is the pre-update durable data).
+    entry.original.assign(device_->Durable(address),
+                          device_->Durable(address) + size);
+    it = entries_.emplace(address, std::move(entry)).first;
+  }
+  return it->second;
+}
+
+void CheckpointLog::OnPersist(PmOffset offset, size_t size, const void* data) {
+  CheckpointEntry& entry = GetOrCreate(offset, size);
+  // A larger persist at a known address (e.g. an object growing, or an
+  // overrunning copy) extends the entry's extent: capture the still-durable
+  // bytes beyond the previous extent so reversion can restore them.
+  if (size > entry.original.size()) {
+    const size_t old_extent = entry.original.size();
+    entry.original.insert(entry.original.end(),
+                          device_->Durable(offset + old_extent),
+                          device_->Durable(offset) + size);
+  }
+  CheckpointVersion version;
+  version.seq_num = next_seq_++;
+  version.tx_id = open_tx_;
+  version.data.assign(static_cast<const uint8_t*>(data),
+                      static_cast<const uint8_t*>(data) + size);
+  // The observer fires before the media copy: the durable image still holds
+  // this version's undo bytes.
+  version.pre.assign(device_->Durable(offset), device_->Durable(offset) + size);
+  if (static_cast<int>(entry.versions.size()) >= config_.max_versions) {
+    // Ring is full: fold the evicted oldest version into the pre-history
+    // (overlay, so a smaller version does not shrink the extent).
+    const auto& evicted = entry.versions.front().data;
+    if (evicted.size() > entry.original.size()) {
+      entry.original.resize(evicted.size());
+    }
+    std::copy(evicted.begin(), evicted.end(), entry.original.begin());
+    entry.versions.erase(entry.versions.begin());
+  }
+  if (open_tx_ != 0) {
+    seq_to_tx_[version.seq_num] = open_tx_;
+    tx_to_seqs_[open_tx_].push_back(version.seq_num);
+  }
+  seq_index_[version.seq_num] = offset;
+  stats_.records++;
+  stats_.bytes_copied += size;
+  entry.versions.push_back(std::move(version));
+  max_extent_ = std::max(max_extent_, entry.original.size());
+}
+
+void CheckpointLog::OnAlloc(PmOffset offset, size_t size) {
+  allocations_[offset] = AllocationRecord{offset, size, next_seq_, false};
+}
+
+void CheckpointLog::OnFree(PmOffset offset, size_t /*size*/) {
+  auto it = allocations_.find(offset);
+  if (it != allocations_.end()) {
+    it->second.freed = true;
+  }
+}
+
+void CheckpointLog::OnRealloc(PmOffset old_offset, size_t /*old_size*/,
+                              PmOffset new_offset, size_t new_size) {
+  // Lifetime tracking: the old object is gone, the new one is live.
+  auto it = allocations_.find(old_offset);
+  if (it != allocations_.end()) {
+    it->second.freed = true;
+  }
+  allocations_[new_offset] =
+      AllocationRecord{new_offset, new_size, next_seq_, false};
+  // Entry linkage (paper Section 4.2 / Figure 5 old_entry field): connect
+  // the checkpoint histories across the move.
+  CheckpointEntry& fresh = GetOrCreate(new_offset, new_size);
+  fresh.old_entry = old_offset;
+  auto old_it = entries_.find(old_offset);
+  if (old_it != entries_.end()) {
+    old_it->second.new_entry = new_offset;
+  }
+}
+
+void CheckpointLog::OnTxBegin(uint64_t tx_id) { open_tx_ = tx_id; }
+
+void CheckpointLog::OnTxCommit(uint64_t /*tx_id*/) { open_tx_ = 0; }
+
+const CheckpointEntry* CheckpointLog::Find(PmOffset address) const {
+  auto it = entries_.find(address);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::vector<const CheckpointEntry*> CheckpointLog::Overlapping(
+    PmOffset offset, size_t size) const {
+  // Entries are keyed by address; only those within the largest recorded
+  // extent below the range end can overlap, so scan a bounded window
+  // backwards from the range end.
+  std::vector<const CheckpointEntry*> out;
+  auto it = entries_.lower_bound(offset + size);
+  while (it != entries_.begin()) {
+    --it;
+    const auto& [address, entry] = *it;
+    if (address + max_extent_ <= offset) {
+      break;
+    }
+    const size_t extent = std::max(entry.original.size(),
+                                   entry.versions.empty()
+                                       ? size_t{0}
+                                       : entry.versions.back().data.size());
+    if (address < offset + size && offset < address + extent) {
+      out.push_back(&entry);
+    }
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::optional<std::pair<PmOffset, int>> CheckpointLog::LocateSeq(
+    SeqNum seq) const {
+  auto idx = seq_index_.find(seq);
+  if (idx == seq_index_.end()) {
+    return std::nullopt;
+  }
+  auto it = entries_.find(idx->second);
+  if (it == entries_.end()) {
+    return std::nullopt;
+  }
+  const CheckpointEntry& entry = it->second;
+  for (size_t i = 0; i < entry.versions.size(); i++) {
+    if (entry.versions[i].seq_num == seq) {
+      return std::make_pair(entry.address, static_cast<int>(i));
+    }
+  }
+  return std::nullopt;  // version was discarded by an earlier reversion
+}
+
+std::vector<SeqNum> CheckpointLog::SeqsInSameTx(SeqNum seq) const {
+  auto it = seq_to_tx_.find(seq);
+  if (it == seq_to_tx_.end()) {
+    return {seq};
+  }
+  return tx_to_seqs_.at(it->second);
+}
+
+// Restores payload bytes, stepping around the allocator metadata the
+// current heap layout places inside the range (see
+// PmemPool::MetadataRangesIn).
+void CheckpointLog::RestoreBytes(PmOffset address, const uint8_t* data,
+                                 size_t size) {
+  if (pool_ == nullptr) {
+    device_->RawRestore(address, data, size);
+    return;
+  }
+  size_t cursor = 0;
+  for (const auto& [moff, msize] : pool_->MetadataRangesIn(address, size)) {
+    const size_t rel = moff - address;
+    if (rel > cursor) {
+      device_->RawRestore(address + cursor, data + cursor, rel - cursor);
+    }
+    cursor = std::min(size, rel + msize);
+  }
+  if (cursor < size) {
+    device_->RawRestore(address + cursor, data + cursor, size - cursor);
+  }
+}
+
+SeqNum CheckpointLog::AllocationEpoch(PmOffset address) const {
+  auto it = allocations_.upper_bound(address);
+  if (it == allocations_.begin()) {
+    return kNoSeq;
+  }
+  --it;
+  const AllocationRecord& record = it->second;
+  if (record.freed || address >= record.offset + record.size) {
+    return kNoSeq;
+  }
+  return record.alloc_seq;
+}
+
+// Reconstructs the bytes of the entry's full extent as they were after the
+// first `upto` versions were applied (upto == 0 means the pre-history).
+// Versions may have different sizes, so later/larger ones overlay the base.
+// The base respects allocation epochs: if any retained version predates the
+// current allocation at this address, the bytes before the object's first
+// in-epoch update are its Zalloc birth state (zeros), not the previous
+// occupant's remains.
+std::vector<uint8_t> CheckpointLog::ReconstructState(
+    const CheckpointEntry& entry, size_t upto) const {
+  const SeqNum epoch = AllocationEpoch(entry.address);
+  size_t first_valid = 0;
+  if (epoch != kNoSeq) {
+    while (first_valid < entry.versions.size() &&
+           entry.versions[first_valid].seq_num < epoch) {
+      first_valid++;
+    }
+  }
+  std::vector<uint8_t> state = entry.original;
+  if (first_valid > 0) {
+    // Zero the birth state of the *current* object only; bytes of the
+    // extent beyond its allocation (e.g. a neighbor clobbered by an
+    // overrun, captured when the extent grew) keep their pre-history.
+    size_t zero_end = state.size();
+    auto it = allocations_.upper_bound(entry.address);
+    if (it != allocations_.begin()) {
+      --it;
+      const AllocationRecord& record = it->second;
+      if (!record.freed && entry.address < record.offset + record.size) {
+        zero_end = std::min<size_t>(
+            zero_end, record.offset + record.size - entry.address);
+      }
+    }
+    std::fill(state.begin(),
+              state.begin() + static_cast<ptrdiff_t>(zero_end), 0);
+  }
+  for (size_t v = first_valid; v < upto && v < entry.versions.size(); v++) {
+    const auto& data = entry.versions[v].data;
+    if (data.size() > state.size()) {
+      state.resize(data.size());
+    }
+    std::copy(data.begin(), data.end(), state.begin());
+  }
+  return state;
+}
+
+Result<bool> CheckpointLog::RevertSeq(SeqNum seq) {
+  auto loc = LocateSeq(seq);
+  if (!loc.has_value()) {
+    return NotFound("sequence number " + std::to_string(seq) +
+                    " not in checkpoint log (version evicted or never "
+                    "recorded)");
+  }
+  auto& entry = entries_.at(loc->first);
+  const int idx = loc->second;
+  // Divergence rule: if the bytes currently at the address no longer match
+  // what this version checkpointed, the state was corrupted *after* the
+  // persist (e.g. a hardware bit flip written back by an unrelated flush).
+  // Reverting then means restoring this checkpointed good version, not
+  // stepping behind it (paper: "revert problematic PM states to good
+  // versions").
+  const CheckpointVersion& checked = entry.versions[idx];
+  const bool is_newest = idx == static_cast<int>(entry.versions.size()) - 1;
+  // Divergence comparison masks out allocator metadata under the current
+  // heap layout: blocks carved inside the range after the persist are
+  // legitimate churn, not corruption.
+  auto diverged_from = [&](const std::vector<uint8_t>& data) {
+    size_t cursor = 0;
+    auto differs = [&](size_t lo, size_t hi) {
+      return std::memcmp(device_->Live(entry.address + lo), data.data() + lo,
+                         hi - lo) != 0;
+    };
+    if (pool_ != nullptr) {
+      for (const auto& [moff, msize] :
+           pool_->MetadataRangesIn(entry.address, data.size())) {
+        const size_t rel = moff - entry.address;
+        if (rel > cursor && differs(cursor, rel)) {
+          return true;
+        }
+        cursor = std::min(data.size(), rel + msize);
+      }
+    }
+    return cursor < data.size() && differs(cursor, data.size());
+  };
+  if (is_newest && diverged_from(checked.data)) {
+    RestoreBytes(entry.address, checked.data.data(), checked.data.size());
+    const auto discarded =
+        entry.versions.size() - static_cast<size_t>(idx) - 1;
+    stats_.reverted_updates += discarded + 1;
+    entry.versions.erase(entry.versions.begin() + idx + 1,
+                         entry.versions.end());
+    return true;  // divergence restore
+  }
+  // Restore the pre-state of exactly the byte range this version persisted
+  // (the entry's per-version sizes — paper Figure 5). Writing the entry's
+  // whole extent would undo co-located updates the program persisted
+  // separately, which purge mode must not do. The version's captured undo
+  // bytes are authoritative within its range; the reconstructed chain
+  // covers any extent beyond it.
+  std::vector<uint8_t> state =
+      ReconstructState(entry, static_cast<size_t>(idx));
+  if (checked.pre.size() > state.size()) {
+    state.resize(checked.pre.size());
+  }
+  std::copy(checked.pre.begin(), checked.pre.end(), state.begin());
+  const size_t span = std::max(checked.data.size(), checked.pre.size());
+  RestoreBytes(entry.address, state.data(), std::min(span, state.size()));
+  const auto discarded = entry.versions.size() - static_cast<size_t>(idx);
+  stats_.reverted_updates += discarded;
+  entry.versions.erase(entry.versions.begin() + idx, entry.versions.end());
+  return false;
+}
+
+Result<uint64_t> CheckpointLog::RollbackToSeq(SeqNum seq) {
+  uint64_t discarded = 0;
+  for (auto& [address, entry] : entries_) {
+    int first_newer = -1;
+    for (size_t i = 0; i < entry.versions.size(); i++) {
+      if (entry.versions[i].seq_num >= seq) {
+        first_newer = static_cast<int>(i);
+        break;
+      }
+    }
+    if (first_newer < 0) {
+      continue;
+    }
+    std::vector<uint8_t> restore =
+        ReconstructState(entry, static_cast<size_t>(first_newer));
+    const auto& pre = entry.versions[first_newer].pre;
+    if (pre.size() > restore.size()) {
+      restore.resize(pre.size());
+    }
+    std::copy(pre.begin(), pre.end(), restore.begin());
+    RestoreBytes(entry.address, restore.data(), restore.size());
+    discarded += entry.versions.size() - static_cast<size_t>(first_newer);
+    entry.versions.erase(entry.versions.begin() + first_newer,
+                         entry.versions.end());
+  }
+  stats_.reverted_updates += discarded;
+  return discarded;
+}
+
+SeqNum CheckpointLog::NewestSeqAt(PmOffset address) const {
+  auto it = entries_.find(address);
+  if (it == entries_.end() || it->second.versions.empty()) {
+    return kNoSeq;
+  }
+  return it->second.versions.back().seq_num;
+}
+
+SeqNum CheckpointLog::NewestRetainedSeq() const {
+  SeqNum newest = kNoSeq;
+  for (const auto& [address, entry] : entries_) {
+    if (!entry.versions.empty()) {
+      newest = std::max(newest, entry.versions.back().seq_num);
+    }
+  }
+  return newest;
+}
+
+Status CheckpointLog::RevertLatestAt(PmOffset address) {
+  const SeqNum seq = NewestSeqAt(address);
+  if (seq == kNoSeq) {
+    return NotFound("no retained versions at address " +
+                    std::to_string(address));
+  }
+  return RevertSeq(seq).status();
+}
+
+std::vector<AllocationRecord> CheckpointLog::UnfreedAllocations() const {
+  std::vector<AllocationRecord> out;
+  for (const auto& [offset, record] : allocations_) {
+    if (!record.freed) {
+      out.push_back(record);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const AllocationRecord& a, const AllocationRecord& b) {
+              return a.alloc_seq < b.alloc_seq;
+            });
+  return out;
+}
+
+}  // namespace arthas

@@ -1,0 +1,207 @@
+// PM-aware fine-grained checkpointing with versioning (paper Section 4.2).
+//
+// Unlike CRIU/Flashback-style coarse snapshots, the Arthas checkpoint log
+// versions PM state *per program variable/address*, eagerly at each
+// persistence point. The log entry mirrors the paper's Figure 5: the PM
+// address, a ring of up to MAX_VERSIONS data versions with per-version sizes
+// and logical sequence numbers, and old_entry/new_entry links created by
+// reallocation.
+//
+// Both the granularity and timing follow the target program: the log
+// subscribes to the pool's durability events, so an entry is created exactly
+// for the byte range the program chose to persist, exactly when the persist
+// (or transaction commit) succeeds. Updates that never reach a durability
+// point are never checkpointed — they would not survive a crash anyway.
+//
+// In the paper the log lives in a dedicated PM region. Here it lives in the
+// Arthas runtime (outside the simulated pool), which models the same thing:
+// it survives target-system crashes because the reactor's process is not the
+// target's process.
+
+#ifndef ARTHAS_CHECKPOINT_CHECKPOINT_LOG_H_
+#define ARTHAS_CHECKPOINT_CHECKPOINT_LOG_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "pmem/pool.h"
+
+namespace arthas {
+
+// A logical timestamp ordering all checkpointed PM updates.
+using SeqNum = uint64_t;
+constexpr SeqNum kNoSeq = 0;
+
+struct CheckpointConfig {
+  // Maximum retained versions per entry (paper default: 3).
+  int max_versions = 3;
+};
+
+// One retained version of a PM address range.
+struct CheckpointVersion {
+  SeqNum seq_num = kNoSeq;
+  uint64_t tx_id = 0;  // 0 when the update was outside any transaction
+  std::vector<uint8_t> data;
+  // Durable bytes of the same range captured immediately before this
+  // persist: the authoritative undo data for this version. Covers writes
+  // that bypassed checkpointing (allocator metadata carved inside a
+  // previously-persisted range, address reuse after free, external
+  // corruption), which the version chain alone cannot reconstruct.
+  std::vector<uint8_t> pre;
+};
+
+// Per-address log entry (paper Figure 5).
+struct CheckpointEntry {
+  PmOffset address = kNullPmOffset;
+  // Bytes that were durable at this address before the first retained
+  // version (version "-1"); reverting the oldest version restores these.
+  std::vector<uint8_t> original;
+  // Oldest-first ring of retained versions (newest at the back).
+  std::vector<CheckpointVersion> versions;
+  // Realloc linkage.
+  PmOffset old_entry = kNullPmOffset;
+  PmOffset new_entry = kNullPmOffset;
+};
+
+struct CheckpointStats {
+  uint64_t records = 0;           // persists checkpointed
+  uint64_t bytes_copied = 0;
+  uint64_t reverted_updates = 0;  // versions undone by reversion calls
+};
+
+// Tracks object lifetimes for the leak-mitigation workflow (Section 4.7).
+struct AllocationRecord {
+  PmOffset offset = kNullPmOffset;
+  size_t size = 0;
+  SeqNum alloc_seq = kNoSeq;
+  bool freed = false;
+};
+
+class CheckpointLog : public DurabilityObserver, public PoolObserver {
+ public:
+  // Attaches to the pool's device and pool observers. Detaches in the
+  // destructor.
+  CheckpointLog(PmemPool& pool, CheckpointConfig config = {});
+  ~CheckpointLog() override;
+
+  CheckpointLog(const CheckpointLog&) = delete;
+  CheckpointLog& operator=(const CheckpointLog&) = delete;
+
+  // --- Observer hooks (called by the pmem layer) ---------------------------
+  void OnPersist(PmOffset offset, size_t size, const void* data) override;
+  void OnAlloc(PmOffset offset, size_t size) override;
+  void OnFree(PmOffset offset, size_t size) override;
+  void OnRealloc(PmOffset old_offset, size_t old_size, PmOffset new_offset,
+                 size_t new_size) override;
+  void OnTxBegin(uint64_t tx_id) override;
+  void OnTxCommit(uint64_t tx_id) override;
+
+  // --- Queries (used by the reactor) ---------------------------------------
+
+  const std::map<PmOffset, CheckpointEntry>& entries() const {
+    return entries_;
+  }
+
+  // Entry at exactly `address`, or nullptr.
+  const CheckpointEntry* Find(PmOffset address) const;
+
+  // Entries whose recorded range overlaps [offset, offset+size).
+  std::vector<const CheckpointEntry*> Overlapping(PmOffset offset,
+                                                  size_t size) const;
+
+  // The (entry address, version index) holding sequence number `seq`.
+  std::optional<std::pair<PmOffset, int>> LocateSeq(SeqNum seq) const;
+
+  // Sequence numbers recorded within the same transaction as `seq`
+  // (including `seq` itself); just {seq} if it was not transactional.
+  std::vector<SeqNum> SeqsInSameTx(SeqNum seq) const;
+
+  // Largest sequence number issued so far.
+  SeqNum LatestSeq() const { return next_seq_ - 1; }
+
+  // --- Reversion primitives (used by the reactor) ---------------------------
+
+  // Undoes the update with sequence number `seq`: restores the previous
+  // version's bytes (or the original bytes) at the entry's address, in both
+  // the live and durable images. Newer retained versions of the same entry
+  // are discarded (they were built on the reverted value).
+  //
+  // Returns true when the *divergence rule* fired instead: the bytes at the
+  // address no longer matched what this (newest) version persisted — the
+  // state was corrupted outside program order (e.g. a written-back bit
+  // flip) — and reverting restored the checkpointed good version itself.
+  Result<bool> RevertSeq(SeqNum seq);
+
+  // Time-ordered rollback: undoes *every* update with sequence number
+  // >= `seq` (ArCkpt/rollback-mode building block). Returns the number of
+  // updates discarded.
+  Result<uint64_t> RollbackToSeq(SeqNum seq);
+
+  // Sequence number of the newest retained version at `address`, or kNoSeq.
+  SeqNum NewestSeqAt(PmOffset address) const;
+
+  // Newest retained sequence number across all entries, or kNoSeq.
+  SeqNum NewestRetainedSeq() const;
+
+  // Reverts the newest retained version at `address` (the reactor's
+  // "try an older version v-2 ..." step, paper Section 4.5).
+  Status RevertLatestAt(PmOffset address);
+
+  // --- Leak mitigation support ----------------------------------------------
+
+  // All allocations never freed, oldest first.
+  std::vector<AllocationRecord> UnfreedAllocations() const;
+
+  // Sequence number at which the allocation currently covering `address`
+  // was made (kNoSeq when unknown). Versions recorded before this epoch
+  // belong to a *previous object* that lived at the same address; reverting
+  // must not resurrect its bytes into the current object.
+  SeqNum AllocationEpoch(PmOffset address) const;
+
+  const CheckpointStats& stats() const { return stats_; }
+
+  // Detach from the pool without destroying recorded state (used when the
+  // overhead benchmarks want a vanilla run after an instrumented one).
+  void Detach();
+
+  // --- Log persistence ------------------------------------------------------
+  //
+  // In the paper the checkpoint log itself lives in a persistent region, so
+  // a reactor restart does not lose the versioned history. These serialize
+  // the log (entries, versions with undo bytes, tx groups, allocation
+  // records) to a byte buffer and restore it into a freshly attached log.
+  std::vector<uint8_t> Serialize() const;
+  Status Restore(const std::vector<uint8_t>& image);
+
+ private:
+  CheckpointEntry& GetOrCreate(PmOffset address, size_t size);
+  // State of the entry's extent after its first `upto` retained versions,
+  // respecting the address's allocation epoch.
+  std::vector<uint8_t> ReconstructState(const CheckpointEntry& entry,
+                                        size_t upto) const;
+  // Restore that steps around current allocator metadata in the range.
+  void RestoreBytes(PmOffset address, const uint8_t* data, size_t size);
+
+  PmemPool* pool_;  // null after Detach()
+  PmemDevice* device_;
+  CheckpointConfig config_;
+  std::map<PmOffset, CheckpointEntry> entries_;
+  // seq -> entry address (lookup accelerator; validated against the entry's
+  // retained versions at query time since reverts discard versions).
+  std::map<SeqNum, PmOffset> seq_index_;
+  std::map<SeqNum, uint64_t> seq_to_tx_;
+  std::map<uint64_t, std::vector<SeqNum>> tx_to_seqs_;
+  std::map<PmOffset, AllocationRecord> allocations_;
+  SeqNum next_seq_ = 1;
+  uint64_t open_tx_ = 0;
+  // Largest extent any entry ever reached (bounds the Overlapping scan).
+  size_t max_extent_ = 0;
+  CheckpointStats stats_;
+};
+
+}  // namespace arthas
+
+#endif  // ARTHAS_CHECKPOINT_CHECKPOINT_LOG_H_

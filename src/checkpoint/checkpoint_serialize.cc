@@ -1,0 +1,186 @@
+// Serialization of the checkpoint log (see checkpoint_log.h). A simple
+// length-prefixed binary format with a magic/version header; everything the
+// reactor needs to plan reversions after a reactor-process restart is
+// included: entries with their version rings (data + undo bytes + sequence
+// and transaction ids), the realloc links, transaction groups, allocation
+// records, and the sequence counter.
+
+#include <cstring>
+
+#include "checkpoint/checkpoint_log.h"
+
+namespace arthas {
+
+namespace {
+constexpr uint64_t kLogMagic = 0x41525448'434b5031ULL;  // "ARTHCKP1"
+
+class Writer {
+ public:
+  void U64(uint64_t v) {
+    const size_t at = bytes.size();
+    bytes.resize(at + 8);
+    std::memcpy(bytes.data() + at, &v, 8);
+  }
+  void Blob(const std::vector<uint8_t>& data) {
+    U64(data.size());
+    bytes.insert(bytes.end(), data.begin(), data.end());
+  }
+  std::vector<uint8_t> bytes;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<uint8_t>& bytes) : bytes_(bytes) {}
+
+  bool U64(uint64_t* v) {
+    if (at_ + 8 > bytes_.size()) {
+      return false;
+    }
+    std::memcpy(v, bytes_.data() + at_, 8);
+    at_ += 8;
+    return true;
+  }
+  bool Blob(std::vector<uint8_t>* data) {
+    uint64_t size = 0;
+    if (!U64(&size) || at_ + size > bytes_.size()) {
+      return false;
+    }
+    data->assign(bytes_.begin() + static_cast<ptrdiff_t>(at_),
+                 bytes_.begin() + static_cast<ptrdiff_t>(at_ + size));
+    at_ += size;
+    return true;
+  }
+  bool Done() const { return at_ == bytes_.size(); }
+
+ private:
+  const std::vector<uint8_t>& bytes_;
+  size_t at_ = 0;
+};
+}  // namespace
+
+std::vector<uint8_t> CheckpointLog::Serialize() const {
+  Writer w;
+  w.U64(kLogMagic);
+  w.U64(next_seq_);
+  w.U64(static_cast<uint64_t>(config_.max_versions));
+
+  w.U64(entries_.size());
+  for (const auto& [address, entry] : entries_) {
+    w.U64(address);
+    w.Blob(entry.original);
+    w.U64(entry.old_entry);
+    w.U64(entry.new_entry);
+    w.U64(entry.versions.size());
+    for (const CheckpointVersion& v : entry.versions) {
+      w.U64(v.seq_num);
+      w.U64(v.tx_id);
+      w.Blob(v.data);
+      w.Blob(v.pre);
+    }
+  }
+
+  w.U64(allocations_.size());
+  for (const auto& [offset, record] : allocations_) {
+    w.U64(record.offset);
+    w.U64(record.size);
+    w.U64(record.alloc_seq);
+    w.U64(record.freed ? 1 : 0);
+  }
+
+  w.U64(seq_to_tx_.size());
+  for (const auto& [seq, tx] : seq_to_tx_) {
+    w.U64(seq);
+    w.U64(tx);
+  }
+  return std::move(w.bytes);
+}
+
+Status CheckpointLog::Restore(const std::vector<uint8_t>& image) {
+  Reader r(image);
+  uint64_t magic = 0;
+  uint64_t next_seq = 0;
+  uint64_t max_versions = 0;
+  if (!r.U64(&magic) || magic != kLogMagic) {
+    return Corruption("bad checkpoint-log image magic");
+  }
+  if (!r.U64(&next_seq) || !r.U64(&max_versions)) {
+    return Corruption("truncated checkpoint-log header");
+  }
+
+  std::map<PmOffset, CheckpointEntry> entries;
+  uint64_t entry_count = 0;
+  if (!r.U64(&entry_count)) {
+    return Corruption("truncated entry count");
+  }
+  size_t max_extent = 0;
+  std::map<SeqNum, PmOffset> seq_index;
+  for (uint64_t i = 0; i < entry_count; i++) {
+    CheckpointEntry entry;
+    uint64_t version_count = 0;
+    if (!r.U64(&entry.address) || !r.Blob(&entry.original) ||
+        !r.U64(&entry.old_entry) || !r.U64(&entry.new_entry) ||
+        !r.U64(&version_count)) {
+      return Corruption("truncated entry");
+    }
+    for (uint64_t v = 0; v < version_count; v++) {
+      CheckpointVersion version;
+      if (!r.U64(&version.seq_num) || !r.U64(&version.tx_id) ||
+          !r.Blob(&version.data) || !r.Blob(&version.pre)) {
+        return Corruption("truncated version");
+      }
+      seq_index[version.seq_num] = entry.address;
+      entry.versions.push_back(std::move(version));
+    }
+    max_extent = std::max(max_extent, entry.original.size());
+    entries.emplace(entry.address, std::move(entry));
+  }
+
+  std::map<PmOffset, AllocationRecord> allocations;
+  uint64_t alloc_count = 0;
+  if (!r.U64(&alloc_count)) {
+    return Corruption("truncated allocation count");
+  }
+  for (uint64_t i = 0; i < alloc_count; i++) {
+    AllocationRecord record;
+    uint64_t size = 0;
+    uint64_t freed = 0;
+    if (!r.U64(&record.offset) || !r.U64(&size) || !r.U64(&record.alloc_seq) ||
+        !r.U64(&freed)) {
+      return Corruption("truncated allocation record");
+    }
+    record.size = size;
+    record.freed = freed != 0;
+    allocations.emplace(record.offset, record);
+  }
+
+  std::map<SeqNum, uint64_t> seq_to_tx;
+  std::map<uint64_t, std::vector<SeqNum>> tx_to_seqs;
+  uint64_t tx_count = 0;
+  if (!r.U64(&tx_count)) {
+    return Corruption("truncated tx map");
+  }
+  for (uint64_t i = 0; i < tx_count; i++) {
+    uint64_t seq = 0;
+    uint64_t tx = 0;
+    if (!r.U64(&seq) || !r.U64(&tx)) {
+      return Corruption("truncated tx entry");
+    }
+    seq_to_tx[seq] = tx;
+    tx_to_seqs[tx].push_back(seq);
+  }
+  if (!r.Done()) {
+    return Corruption("trailing bytes in checkpoint-log image");
+  }
+
+  entries_ = std::move(entries);
+  allocations_ = std::move(allocations);
+  seq_to_tx_ = std::move(seq_to_tx);
+  tx_to_seqs_ = std::move(tx_to_seqs);
+  seq_index_ = std::move(seq_index);
+  next_seq_ = next_seq;
+  config_.max_versions = static_cast<int>(max_versions);
+  max_extent_ = max_extent;
+  return OkStatus();
+}
+
+}  // namespace arthas

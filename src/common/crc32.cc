@@ -1,0 +1,32 @@
+#include "common/crc32.h"
+
+namespace arthas {
+
+namespace {
+// Table-driven CRC32C, generated at static-init time.
+struct Crc32cTable {
+  uint32_t table[256];
+  Crc32cTable() {
+    constexpr uint32_t kPoly = 0x82f63b78u;  // reflected Castagnoli
+    for (uint32_t i = 0; i < 256; i++) {
+      uint32_t crc = i;
+      for (int j = 0; j < 8; j++) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      table[i] = crc;
+    }
+  }
+};
+const Crc32cTable g_table;
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t size, uint32_t seed) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < size; i++) {
+    crc = (crc >> 8) ^ g_table.table[(crc ^ p[i]) & 0xff];
+  }
+  return ~crc;
+}
+
+}  // namespace arthas

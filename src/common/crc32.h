@@ -1,0 +1,21 @@
+// CRC32C (Castagnoli) checksums.
+//
+// Used by the pmem pool header/metadata self-checks (the pmempool-check
+// analogue) and by the checksum-based detection ablation in Section 6.6 of
+// the paper.
+
+#ifndef ARTHAS_COMMON_CRC32_H_
+#define ARTHAS_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace arthas {
+
+// Computes CRC32C over `size` bytes starting at `data`, continuing from
+// `seed` (pass 0 for a fresh checksum).
+uint32_t Crc32c(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace arthas
+
+#endif  // ARTHAS_COMMON_CRC32_H_

@@ -1,0 +1,46 @@
+// Minimal leveled logging. Defaults to WARNING so tests and benches stay
+// quiet; the harness raises the level when the user passes --verbose.
+
+#ifndef ARTHAS_COMMON_LOGGING_H_
+#define ARTHAS_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace arthas {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Process-wide minimum level; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits one formatted line to stderr. Prefer the ARTHAS_LOG macro.
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& message);
+
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogStream() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+#define ARTHAS_LOG(level) \
+  ::arthas::LogStream(::arthas::LogLevel::k##level, __FILE__, __LINE__)
+
+}  // namespace arthas
+
+#endif  // ARTHAS_COMMON_LOGGING_H_

@@ -1,0 +1,39 @@
+// Deterministic pseudo-random number generation.
+//
+// Experiments must be reproducible run to run, so every randomized component
+// (workload generators, probabilistic fault triggers, hardware bit-flip
+// injection) takes an explicit Rng seeded by the harness. The generator is
+// xoshiro256** seeded via splitmix64.
+
+#ifndef ARTHAS_COMMON_RNG_H_
+#define ARTHAS_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace arthas {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  uint64_t NextU64();
+
+  // Uniform in [0, bound); bound must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // True with probability p.
+  bool NextBool(double p);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace arthas
+
+#endif  // ARTHAS_COMMON_RNG_H_

@@ -1,0 +1,150 @@
+// Error-handling primitives for the Arthas library.
+//
+// The library does not use exceptions (Google C++ style); fallible operations
+// return a Status, or a Result<T> when they also produce a value.
+
+#ifndef ARTHAS_COMMON_STATUS_H_
+#define ARTHAS_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace arthas {
+
+// Coarse error taxonomy. Codes are stable so callers may switch on them.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfSpace,       // persistent pool exhausted
+  kCorruption,       // detected bad persistent state
+  kFailedPrecondition,
+  kAborted,          // e.g. a transaction abort
+  kTimeout,
+  kInternal,
+  kUnimplemented,
+};
+
+// Returns a human-readable name, e.g. "OUT_OF_SPACE".
+const char* StatusCodeName(StatusCode code);
+
+// A cheap value type carrying a StatusCode and an optional message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "CODE_NAME: message".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+inline Status InvalidArgument(std::string m) {
+  return Status(StatusCode::kInvalidArgument, std::move(m));
+}
+inline Status NotFound(std::string m) {
+  return Status(StatusCode::kNotFound, std::move(m));
+}
+inline Status AlreadyExists(std::string m) {
+  return Status(StatusCode::kAlreadyExists, std::move(m));
+}
+inline Status OutOfSpace(std::string m) {
+  return Status(StatusCode::kOutOfSpace, std::move(m));
+}
+inline Status Corruption(std::string m) {
+  return Status(StatusCode::kCorruption, std::move(m));
+}
+inline Status FailedPrecondition(std::string m) {
+  return Status(StatusCode::kFailedPrecondition, std::move(m));
+}
+inline Status Aborted(std::string m) {
+  return Status(StatusCode::kAborted, std::move(m));
+}
+inline Status Timeout(std::string m) {
+  return Status(StatusCode::kTimeout, std::move(m));
+}
+inline Status Internal(std::string m) {
+  return Status(StatusCode::kInternal, std::move(m));
+}
+inline Status Unimplemented(std::string m) {
+  return Status(StatusCode::kUnimplemented, std::move(m));
+}
+
+// A Status plus a value; holds the value only when the status is OK.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return SomeError();` both
+  // work at call sites, mirroring absl::StatusOr ergonomics.
+  Result(T value) : status_(OkStatus()), value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "OK Result must carry a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  // Rvalue overloads so `auto v = *SomeFactory();` moves out of the
+  // temporary Result (required for move-only payloads like unique_ptr).
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  T value_or(T fallback) const { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagates a non-OK Status from an expression to the caller.
+#define ARTHAS_RETURN_IF_ERROR(expr)              \
+  do {                                            \
+    ::arthas::Status _st = (expr);                \
+    if (!_st.ok()) {                              \
+      return _st;                                 \
+    }                                             \
+  } while (0)
+
+// Evaluates a Result<T> expression; on error returns the status, otherwise
+// moves the value into `lhs`.
+#define ARTHAS_ASSIGN_OR_RETURN(lhs, expr)        \
+  auto _res_##__LINE__ = (expr);                  \
+  if (!_res_##__LINE__.ok()) {                    \
+    return _res_##__LINE__.status();              \
+  }                                               \
+  lhs = std::move(*_res_##__LINE__)
+
+}  // namespace arthas
+
+#endif  // ARTHAS_COMMON_STATUS_H_

@@ -1,0 +1,85 @@
+#include "detector/detector.h"
+
+#include <algorithm>
+
+namespace arthas {
+
+Detector::Assessment Detector::Observe(
+    const std::optional<FaultInfo>& fault) {
+  if (!fault.has_value() || fault->kind == FailureKind::kNone) {
+    return Assessment::kNoFailure;
+  }
+  if (recorded_.has_value() && SimilarFingerprint(*recorded_, *fault)) {
+    return Assessment::kSuspectedHardFailure;
+  }
+  recorded_ = *fault;
+  return Assessment::kFirstFailure;
+}
+
+std::optional<FaultInfo> Detector::CheckPmUsage(const PmemPool& pool,
+                                                Guid usage_guid) const {
+  const double used = static_cast<double>(pool.stats().used_bytes);
+  const double capacity = static_cast<double>(pool.Capacity());
+  if (capacity <= 0 || used / capacity < config_.leak_usage_fraction) {
+    return std::nullopt;
+  }
+  FaultInfo fault;
+  fault.kind = FailureKind::kLeak;
+  fault.fault_guid = usage_guid;
+  fault.exit_code = 0;
+  fault.message = "PM usage monitor: pool " +
+                  std::to_string(static_cast<int>(100 * used / capacity)) +
+                  "% full";
+  fault.pm_used_bytes = pool.stats().used_bytes;
+  return fault;
+}
+
+std::optional<FaultInfo> Detector::RunUserCheck(
+    const std::function<Status()>& check, Guid guid) const {
+  const Status status = check();
+  if (status.ok()) {
+    return std::nullopt;
+  }
+  FaultInfo fault;
+  fault.kind = FailureKind::kWrongResult;
+  fault.fault_guid = guid;
+  fault.message = "user-defined check failed: " + status.ToString();
+  return fault;
+}
+
+bool Detector::SimilarFingerprint(const FaultInfo& a,
+                                  const FaultInfo& b) const {
+  // Resource-exhaustion symptoms form one family: a leak may surface as the
+  // usage monitor tripping on one run and as a failed allocation on the
+  // next.
+  auto family = [](FailureKind kind) {
+    return kind == FailureKind::kOutOfSpace ? FailureKind::kLeak : kind;
+  };
+  if (family(a.kind) != family(b.kind)) {
+    return false;
+  }
+  if (a.fault_guid != kNoGuid && b.fault_guid != kNoGuid) {
+    // Matching fault instructions are decisive: the same hard fault often
+    // manifests on different stacks (request path vs recovery path).
+    return a.fault_guid == b.fault_guid;
+  }
+  if (a.exit_code != b.exit_code) {
+    return false;
+  }
+  if (a.stack.empty() || b.stack.empty()) {
+    return true;  // nothing more to compare
+  }
+  // Loosely the same stack: enough frames in common, order-insensitive.
+  size_t common = 0;
+  for (const std::string& frame : a.stack) {
+    if (std::find(b.stack.begin(), b.stack.end(), frame) != b.stack.end()) {
+      common++;
+    }
+  }
+  const double frac =
+      static_cast<double>(common) /
+      static_cast<double>(std::max(a.stack.size(), b.stack.size()));
+  return frac >= config_.stack_similarity;
+}
+
+}  // namespace arthas

@@ -1,0 +1,72 @@
+// Hard-failure detection (paper Section 4.3).
+//
+// The detector monitors the target system for crashes, assertion failures,
+// hangs, leaks, and wrong results, and uses heuristics to judge whether a
+// failure is a *potential hard failure*: it compares the symptom with a
+// previously recorded failure (same exit code, same fault instruction,
+// loosely the same stack trace). The heuristics are allowed to be imperfect
+// — the reactor prunes false alarms when the reversion plan comes out empty
+// (Section 4.5).
+//
+// It also hosts the PM-usage leak monitor and user-defined checks.
+
+#ifndef ARTHAS_DETECTOR_DETECTOR_H_
+#define ARTHAS_DETECTOR_DETECTOR_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "systems/pm_system.h"
+
+namespace arthas {
+
+struct DetectorConfig {
+  // Fraction of stack frames that must match for two traces to be "loosely
+  // the same".
+  double stack_similarity = 0.5;
+  // Leak monitor: flag when PM usage exceeds this fraction of the pool.
+  double leak_usage_fraction = 0.9;
+};
+
+class Detector {
+ public:
+  explicit Detector(DetectorConfig config = {}) : config_(config) {}
+
+  enum class Assessment {
+    kNoFailure,
+    kFirstFailure,           // record it; a restart may clear it (soft)
+    kSuspectedHardFailure,   // same symptom recurred across a restart
+  };
+
+  // Feed the outcome of a run (or of a post-restart probe).
+  Assessment Observe(const std::optional<FaultInfo>& fault);
+
+  // Leak monitor: returns a synthesized fault when PM usage looks like a
+  // leak (paper: "stopped by a PM usage monitor").
+  std::optional<FaultInfo> CheckPmUsage(const PmemPool& pool,
+                                        Guid usage_guid) const;
+
+  // User-defined check: runs `check` and synthesizes a wrong-result fault
+  // tagged with `guid` when it fails (e.g. "inserted key-value items
+  // exist").
+  std::optional<FaultInfo> RunUserCheck(const std::function<Status()>& check,
+                                        Guid guid) const;
+
+  // "Loosely the same" failure fingerprint comparison.
+  bool SimilarFingerprint(const FaultInfo& a, const FaultInfo& b) const;
+
+  const std::optional<FaultInfo>& recorded_failure() const {
+    return recorded_;
+  }
+  void Reset() { recorded_.reset(); }
+
+ private:
+  DetectorConfig config_;
+  std::optional<FaultInfo> recorded_;
+};
+
+}  // namespace arthas
+
+#endif  // ARTHAS_DETECTOR_DETECTOR_H_

@@ -1,0 +1,116 @@
+#include "faults/fault_ids.h"
+
+#include <cassert>
+
+namespace arthas {
+
+const char* RootCauseName(RootCause cause) {
+  switch (cause) {
+    case RootCause::kLogicError:
+      return "logic error";
+    case RootCause::kIntegerOverflow:
+      return "integer overflow";
+    case RootCause::kRaceCondition:
+      return "race condition";
+    case RootCause::kBufferOverflow:
+      return "buffer overflow";
+    case RootCause::kHardwareFault:
+      return "h/w fault";
+    case RootCause::kMemoryLeak:
+      return "memory leak";
+  }
+  return "?";
+}
+
+const char* ConsequenceName(Consequence consequence) {
+  switch (consequence) {
+    case Consequence::kRepeatedCrash:
+      return "repeated crash";
+    case Consequence::kWrongResult:
+      return "wrong result";
+    case Consequence::kCorruption:
+      return "corruption";
+    case Consequence::kOutOfSpace:
+      return "out of space";
+    case Consequence::kRepeatedHang:
+      return "repeated hang";
+    case Consequence::kPersistentLeak:
+      return "persistent leak";
+    case Consequence::kDataLoss:
+      return "data loss";
+  }
+  return "?";
+}
+
+const char* PropagationTypeName(PropagationType type) {
+  switch (type) {
+    case PropagationType::kTypeI:
+      return "Type I";
+    case PropagationType::kTypeII:
+      return "Type II";
+    case PropagationType::kTypeIII:
+      return "Type III";
+  }
+  return "?";
+}
+
+const std::vector<FaultDescriptor>& AllFaults() {
+  static const std::vector<FaultDescriptor> kFaults = {
+      {FaultId::kF1RefcountOverflow, "f1", "memcached_mini",
+       "Refcount overflow", Consequence::kRepeatedHang,
+       RootCause::kIntegerOverflow, PropagationType::kTypeII, true, true,
+       false},
+      {FaultId::kF2FlushAllLogic, "f2", "memcached_mini",
+       "flush_all logic bug", Consequence::kDataLoss, RootCause::kLogicError,
+       PropagationType::kTypeII, true, false, false},
+      {FaultId::kF3HashtableLockRace, "f3", "memcached_mini",
+       "Hashtable lock data race", Consequence::kDataLoss,
+       RootCause::kRaceCondition, PropagationType::kTypeII, false, false,
+       false},
+      {FaultId::kF4AppendIntOverflow, "f4", "memcached_mini",
+       "Integer overflow in append", Consequence::kRepeatedCrash,
+       RootCause::kIntegerOverflow, PropagationType::kTypeII, true, true,
+       false},
+      {FaultId::kF5RehashFlagBitflip, "f5", "memcached_mini",
+       "Rehashing flag bit flip", Consequence::kDataLoss,
+       RootCause::kHardwareFault, PropagationType::kTypeII, true, false,
+       true},
+      {FaultId::kF6ListpackOverflow, "f6", "redis_mini",
+       "Listpack buffer overflow", Consequence::kRepeatedCrash,
+       RootCause::kBufferOverflow, PropagationType::kTypeI, true, true,
+       false},
+      {FaultId::kF7RefcountLogicBug, "f7", "redis_mini",
+       "Logic bug in refcount", Consequence::kCorruption,
+       RootCause::kLogicError, PropagationType::kTypeII, true, false, false},
+      {FaultId::kF8SlowlogLeak, "f8", "redis_mini", "slowlogEntry leak",
+       Consequence::kPersistentLeak, RootCause::kMemoryLeak,
+       PropagationType::kTypeIII, false, false, false},
+      {FaultId::kF9DirectoryDoubling, "f9", "cceh", "directory doubling bug",
+       Consequence::kRepeatedHang, RootCause::kLogicError,
+       PropagationType::kTypeII, true, false, false},
+      {FaultId::kF10ValueLenOverflow, "f10", "pelikan_mini",
+       "Value length overflow", Consequence::kRepeatedCrash,
+       RootCause::kIntegerOverflow, PropagationType::kTypeI, true, true,
+       false},
+      {FaultId::kF11NullStats, "f11", "pelikan_mini", "Null stats response",
+       Consequence::kRepeatedCrash, RootCause::kLogicError,
+       PropagationType::kTypeI, true, false, false},
+      {FaultId::kF12AsyncLazyFree, "f12", "pmemkv_mini",
+       "Asynchronous lazy free", Consequence::kPersistentLeak,
+       RootCause::kMemoryLeak, PropagationType::kTypeIII, true, false,
+       false},
+  };
+  return kFaults;
+}
+
+const FaultDescriptor& DescriptorFor(FaultId id) {
+  for (const FaultDescriptor& d : AllFaults()) {
+    if (d.id == id) {
+      return d;
+    }
+  }
+  assert(false && "unknown fault id");
+  return AllFaults()[0];
+}
+
+}  // namespace arthas

@@ -1,0 +1,83 @@
+// The 12 reproduced hard faults (paper Table 2) and their metadata.
+//
+// Each fault is implemented inside the corresponding mini system in
+// src/systems and armed through PmSystemBase::ArmFault; the trigger
+// condition (a special request, workload, or command) is applied by the
+// harness, usually half-way through the run, matching the paper's
+// methodology (Section 6.1).
+
+#ifndef ARTHAS_FAULTS_FAULT_IDS_H_
+#define ARTHAS_FAULTS_FAULT_IDS_H_
+
+#include <string>
+#include <vector>
+
+namespace arthas {
+
+enum class FaultId {
+  kNone = 0,
+  kF1RefcountOverflow,      // Memcached: deadlock (infinite chain walk)
+  kF2FlushAllLogic,         // Memcached: data loss
+  kF3HashtableLockRace,     // Memcached: data loss
+  kF4AppendIntOverflow,     // Memcached: segfault
+  kF5RehashFlagBitflip,     // Memcached: data loss (hardware fault)
+  kF6ListpackOverflow,      // Redis: segfault
+  kF7RefcountLogicBug,      // Redis: server panic
+  kF8SlowlogLeak,           // Redis: persistent leak
+  kF9DirectoryDoubling,     // CCEH: infinite loop
+  kF10ValueLenOverflow,     // Pelikan: segfault
+  kF11NullStats,            // Pelikan: segfault
+  kF12AsyncLazyFree,        // PMEMKV: persistent leak
+};
+
+// Root causes (paper Section 2.4) and fault propagation types (Section 2.6),
+// reused by the empirical-study dataset.
+enum class RootCause {
+  kLogicError,
+  kIntegerOverflow,
+  kRaceCondition,
+  kBufferOverflow,
+  kHardwareFault,
+  kMemoryLeak,
+};
+
+enum class Consequence {
+  kRepeatedCrash,
+  kWrongResult,
+  kCorruption,
+  kOutOfSpace,
+  kRepeatedHang,
+  kPersistentLeak,
+  kDataLoss,
+};
+
+enum class PropagationType { kTypeI, kTypeII, kTypeIII };
+
+struct FaultDescriptor {
+  FaultId id = FaultId::kNone;
+  const char* label = "";        // "f1" .. "f12"
+  const char* system = "";       // target system name
+  const char* fault = "";        // Table 2 "Fault" column
+  Consequence consequence = Consequence::kRepeatedCrash;
+  RootCause root_cause = RootCause::kLogicError;
+  PropagationType propagation = PropagationType::kTypeII;
+  // Whether the trigger can be externally controlled (10 of 12 cases) or
+  // happens naturally during the run (f3, f8).
+  bool externally_triggered = true;
+  // Detectable by common invariant checks (Table 7)?
+  bool invariant_detectable = false;
+  // Catchable by checksums (Section 6.6: only f5)?
+  bool checksum_detectable = false;
+};
+
+const char* RootCauseName(RootCause cause);
+const char* ConsequenceName(Consequence consequence);
+const char* PropagationTypeName(PropagationType type);
+
+// Descriptors for f1..f12 in order.
+const std::vector<FaultDescriptor>& AllFaults();
+const FaultDescriptor& DescriptorFor(FaultId id);
+
+}  // namespace arthas
+
+#endif  // ARTHAS_FAULTS_FAULT_IDS_H_

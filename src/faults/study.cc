@@ -1,0 +1,126 @@
+#include "faults/study.h"
+
+namespace arthas {
+
+namespace {
+using RC = RootCause;
+using CQ = Consequence;
+using PT = PropagationType;
+}  // namespace
+
+// The 28 studied cases. Counts per system match Table 1 (CCEH 1, Dash 1,
+// PMEMKV 2, LevelHash 2, RECIPE 2, Memcached 9, Redis 11); the root-cause
+// mix matches Figure 2 (13 logic, 5 race, 3 integer overflow, 3 buffer
+// overflow, 3 leak, 1 hardware); the consequence mix matches Figure 3
+// (9 repeated crash, 6 wrong result, 4 persistent leak, 3 repeated hang,
+// 2 corruption, 2 out of space, 2 data loss); propagation matches Section
+// 2.6 (5 Type I, 19 Type II, 4 Type III).
+const std::vector<StudiedBug>& StudyDataset() {
+  static const std::vector<StudiedBug> kBugs = {
+      // --- New PM systems (8) -------------------------------------------------
+      {"CCEH", false, "directory doubling leaves stale global depth",
+       RC::kLogicError, CQ::kRepeatedHang, PT::kTypeII},
+      {"Dash", false, "displacement metadata corrupt after split race",
+       RC::kRaceCondition, CQ::kWrongResult, PT::kTypeII},
+      {"PMEMKV", false, "async lazy free drops queue on crash",
+       RC::kMemoryLeak, CQ::kPersistentLeak, PT::kTypeIII},
+      {"PMEMKV", false, "cmap bucket pointer published before init",
+       RC::kRaceCondition, CQ::kRepeatedCrash, PT::kTypeII},
+      {"LevelHash", false, "bottom-level slot index logic error",
+       RC::kLogicError, CQ::kWrongResult, PT::kTypeII},
+      {"LevelHash", false, "resize interchange loses persisted items",
+       RC::kLogicError, CQ::kDataLoss, PT::kTypeII},
+      {"RECIPE", false, "P-ART node type tag written with wrong value",
+       RC::kLogicError, CQ::kRepeatedCrash, PT::kTypeI},
+      {"RECIPE", false, "P-CLHT version counter stuck after migration",
+       RC::kLogicError, CQ::kRepeatedHang, PT::kTypeII},
+
+      // --- Persistent Memcached (9) ------------------------------------------
+      {"Memcached", true, "refcount incremented without overflow check",
+       RC::kIntegerOverflow, CQ::kRepeatedHang, PT::kTypeII},
+      {"Memcached", true, "flush_all with future time expires live items",
+       RC::kLogicError, CQ::kDataLoss, PT::kTypeII},
+      {"Memcached", true, "hashtable update race drops chained item",
+       RC::kRaceCondition, CQ::kWrongResult, PT::kTypeII},
+      {"Memcached", true, "append length overflow smashes neighbor item",
+       RC::kIntegerOverflow, CQ::kRepeatedCrash, PT::kTypeII},
+      {"Memcached", true, "rehash-in-progress flag flipped by CPU fault",
+       RC::kHardwareFault, CQ::kWrongResult, PT::kTypeII},
+      {"Memcached", true, "slab rebalancer moves page while referenced",
+       RC::kRaceCondition, CQ::kRepeatedCrash, PT::kTypeII},
+      {"Memcached", true, "item nbytes trusted from client on restore",
+       RC::kBufferOverflow, CQ::kRepeatedCrash, PT::kTypeI},
+      {"Memcached", true, "LRU crawler leaks tombstone items",
+       RC::kMemoryLeak, CQ::kOutOfSpace, PT::kTypeIII},
+      {"Memcached", true, "CAS id persisted before item payload",
+       RC::kLogicError, CQ::kWrongResult, PT::kTypeII},
+
+      // --- Persistent Redis (11) ----------------------------------------------
+      {"Redis", true, "listpack encoding error corrupts size header",
+       RC::kBufferOverflow, CQ::kRepeatedCrash, PT::kTypeI},
+      {"Redis", true, "shared object refcount double decrement",
+       RC::kLogicError, CQ::kCorruption, PT::kTypeII},
+      {"Redis", true, "slowlog entries unlinked but never freed",
+       RC::kMemoryLeak, CQ::kPersistentLeak, PT::kTypeIII},
+      {"Redis", true, "ziplist cascade update writes past buffer",
+       RC::kBufferOverflow, CQ::kRepeatedCrash, PT::kTypeI},
+      {"Redis", true, "expire dict entry points at reclaimed object",
+       RC::kLogicError, CQ::kRepeatedCrash, PT::kTypeII},
+      {"Redis", true, "rdb child and parent race on shared dict",
+       RC::kRaceCondition, CQ::kCorruption, PT::kTypeII},
+      {"Redis", true, "sds length header wrong after in-place trim",
+       RC::kLogicError, CQ::kWrongResult, PT::kTypeII},
+      {"Redis", true, "intset upgrade persists partial encoding",
+       RC::kLogicError, CQ::kRepeatedCrash, PT::kTypeI},
+      {"Redis", true, "quicklist merge forgets freeing the merged node",
+       RC::kLogicError, CQ::kPersistentLeak, PT::kTypeII},
+      {"Redis", true, "cluster slot counter overflow strands entries",
+       RC::kIntegerOverflow, CQ::kOutOfSpace, PT::kTypeIII},
+      {"Redis", true, "aof rewrite buffer freed while persisted",
+       RC::kLogicError, CQ::kPersistentLeak, PT::kTypeII},
+  };
+  return kBugs;
+}
+
+std::vector<std::pair<std::string, int>> StudyCountsBySystem() {
+  // Preserve the paper's column order.
+  const char* order[] = {"CCEH",   "Dash",      "PMEMKV", "LevelHash",
+                         "RECIPE", "Memcached", "Redis"};
+  std::vector<std::pair<std::string, int>> counts;
+  for (const char* system : order) {
+    int n = 0;
+    for (const StudiedBug& bug : StudyDataset()) {
+      if (std::string(bug.system) == system) {
+        n++;
+      }
+    }
+    counts.push_back({system, n});
+  }
+  return counts;
+}
+
+std::map<RootCause, int> StudyRootCauseHistogram() {
+  std::map<RootCause, int> histogram;
+  for (const StudiedBug& bug : StudyDataset()) {
+    histogram[bug.root_cause]++;
+  }
+  return histogram;
+}
+
+std::map<Consequence, int> StudyConsequenceHistogram() {
+  std::map<Consequence, int> histogram;
+  for (const StudiedBug& bug : StudyDataset()) {
+    histogram[bug.consequence]++;
+  }
+  return histogram;
+}
+
+std::map<PropagationType, int> StudyPropagationHistogram() {
+  std::map<PropagationType, int> histogram;
+  for (const StudiedBug& bug : StudyDataset()) {
+    histogram[bug.propagation]++;
+  }
+  return histogram;
+}
+
+}  // namespace arthas

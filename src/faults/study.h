@@ -1,0 +1,52 @@
+// The empirical-study dataset (paper Section 2).
+//
+// The paper studies 28 real-world bugs: 8 found in five new PM systems
+// (CCEH, Dash, PMEMKV, LevelHash, RECIPE) and 20 historical bugs from
+// Memcached (9) and Redis (11) reproduced in their persistent ports
+// (Table 1). Each studied bug carries a root cause (Figure 2), the
+// consequence observed in the PM version (Figure 3), and the fault
+// propagation pattern of Section 2.6 (Type I direct, Type II propagated,
+// Type III non-value).
+//
+// This module encodes the study as data so the distributions in Figures 2
+// and 3 and the counts in Table 1 are *computed* from the dataset rather
+// than hard-coded into the bench output.
+
+#ifndef ARTHAS_FAULTS_STUDY_H_
+#define ARTHAS_FAULTS_STUDY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "faults/fault_ids.h"
+
+namespace arthas {
+
+struct StudiedBug {
+  const char* system;        // Table 1 column
+  bool ported;               // false: new PM system, true: ported system
+  const char* description;
+  RootCause root_cause;
+  Consequence consequence;
+  PropagationType propagation;
+};
+
+// All 28 studied bugs.
+const std::vector<StudiedBug>& StudyDataset();
+
+// Table 1: bug count per system, in the paper's column order.
+std::vector<std::pair<std::string, int>> StudyCountsBySystem();
+
+// Figure 2: root-cause histogram (counts).
+std::map<RootCause, int> StudyRootCauseHistogram();
+
+// Figure 3: consequence histogram (counts).
+std::map<Consequence, int> StudyConsequenceHistogram();
+
+// Section 2.6: propagation-type histogram (counts).
+std::map<PropagationType, int> StudyPropagationHistogram();
+
+}  // namespace arthas
+
+#endif  // ARTHAS_FAULTS_STUDY_H_

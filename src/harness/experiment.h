@@ -1,0 +1,134 @@
+// Fault-experiment harness (paper Section 6.1 methodology).
+//
+// For each case the target system runs for five (virtual) minutes of
+// workload. Ten of the twelve bugs have externally controllable triggers,
+// applied half-way through the run; f3 and f8 manifest on their own. When
+// the failure is detected — and confirmed hard by recurring across a
+// restart — mitigation starts with the chosen solution (Arthas, pmCRIU, or
+// ArCkpt), under a 10-minute mitigation timeout. The harness records
+// recoverability, rollback attempts, mitigation time, discarded data, and
+// runs the semantic-consistency evaluation of Section 6.2.
+
+#ifndef ARTHAS_HARNESS_EXPERIMENT_H_
+#define ARTHAS_HARNESS_EXPERIMENT_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/arckpt.h"
+#include "baselines/pmcriu.h"
+#include "checkpoint/checkpoint_log.h"
+#include "common/clock.h"
+#include "common/rng.h"
+#include "detector/detector.h"
+#include "faults/fault_ids.h"
+#include "reactor/reactor.h"
+#include "systems/system_base.h"
+
+namespace arthas {
+
+enum class Solution { kArthas, kPmCriu, kArCkpt };
+const char* SolutionName(Solution solution);
+
+struct ExperimentConfig {
+  FaultId fault = FaultId::kF1RefcountOverflow;
+  Solution solution = Solution::kArthas;
+  ReactorConfig reactor;
+  PmCriuConfig pmcriu;
+  ArCkptConfig arckpt;
+  uint64_t seed = 42;
+  VirtualTime run_duration = 5 * kMinute;
+  VirtualTime op_interval = 50 * kMillisecond;  // 20 ops/s of workload
+  // Run the post-recovery consistency evaluation (pool checks, stability
+  // workload, value verification).
+  bool evaluate_consistency = false;
+};
+
+struct ExperimentResult {
+  FaultId fault = FaultId::kNone;
+  Solution solution = Solution::kArthas;
+  bool triggered = false;
+  bool detected = false;
+  bool recovered = false;
+  bool timed_out = false;
+  bool empty_plan = false;
+  // Rollback / restore attempts (Table 5).
+  int attempts = 0;
+  // Time from mitigation start to a passing re-execution (Figure 8).
+  VirtualTime mitigation_time = 0;
+  // Data-loss accounting (Figure 9).
+  uint64_t items_before = 0;
+  uint64_t items_after = 0;
+  uint64_t checkpoint_updates_total = 0;
+  uint64_t checkpoint_updates_discarded = 0;
+  double discarded_fraction = 0.0;
+  uint64_t leaked_objects_freed = 0;
+  // Consistency evaluation (Table 4); meaningful when requested & recovered.
+  bool consistent = false;
+  std::string detail;
+};
+
+class FaultExperiment {
+ public:
+  explicit FaultExperiment(ExperimentConfig config);
+  ~FaultExperiment();
+
+  ExperimentResult Run();
+
+  // Access to the reactor's static-analysis timings (Table 9) after Run().
+  const Reactor* reactor() const { return reactor_.get(); }
+
+ private:
+  // Per-fault wiring (system construction, workload step, trigger, probes).
+  void BuildScript();
+  void WorkloadStep();
+  void ApplyTrigger();
+  // Issues the fault-specific probing requests against the live system;
+  // any fault is latched in the system.
+  void BugCheck();
+  // Restart + recovery + bug check: what the re-execution script observes.
+  RunObservation Reexecute();
+  // Section 6.2 consistency evaluation.
+  bool EvaluateConsistency();
+
+  uint64_t CurrentSeconds() const;
+
+  ExperimentConfig config_;
+  Rng rng_;
+  VirtualClock clock_;
+  Detector detector_;
+  std::unique_ptr<PmSystemBase> system_;
+  std::unique_ptr<CheckpointLog> checkpoint_;
+  std::unique_ptr<PmCriu> pmcriu_;
+  std::unique_ptr<Reactor> reactor_;
+
+  // Script state.
+  std::function<void()> workload_op_;
+  std::function<void()> trigger_;
+  std::function<void()> bug_check_;
+  std::function<Status()> value_check_;
+  VirtualTime trigger_at_ = 0;
+  bool triggered_ = false;
+  // How often (in ops) the failing request recurs after the trigger.
+  // Faults whose victim is touched by the very next request (f4, f10)
+  // manifest immediately; others surface when some client eventually
+  // issues the affected request.
+  uint64_t bug_check_every_ops_ = 1200;
+  uint64_t op_index_ = 0;
+  std::map<std::string, std::string> expected_;  // probe keys -> values
+  std::vector<std::string> probe_keys_;
+  bool leak_fault_ = false;
+  Guid leak_guid_ = kNoGuid;
+};
+
+// Convenience: run one (fault, solution) cell with default settings.
+ExperimentResult RunCell(FaultId fault, Solution solution, uint64_t seed = 42,
+                         ReversionMode mode = ReversionMode::kPurge,
+                         bool evaluate_consistency = false);
+
+}  // namespace arthas
+
+#endif  // ARTHAS_HARNESS_EXPERIMENT_H_

@@ -1,0 +1,347 @@
+#include "ir/ir.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <unordered_set>
+
+namespace arthas {
+
+const char* IrOpcodeName(IrOpcode op) {
+  switch (op) {
+    case IrOpcode::kConst:
+      return "const";
+    case IrOpcode::kArgument:
+      return "arg";
+    case IrOpcode::kAlloca:
+      return "alloca";
+    case IrOpcode::kLoad:
+      return "load";
+    case IrOpcode::kStore:
+      return "store";
+    case IrOpcode::kFieldAddr:
+      return "fieldaddr";
+    case IrOpcode::kIndexAddr:
+      return "indexaddr";
+    case IrOpcode::kBinOp:
+      return "binop";
+    case IrOpcode::kCmp:
+      return "cmp";
+    case IrOpcode::kBr:
+      return "br";
+    case IrOpcode::kCondBr:
+      return "condbr";
+    case IrOpcode::kRet:
+      return "ret";
+    case IrOpcode::kCall:
+      return "call";
+    case IrOpcode::kPhi:
+      return "phi";
+    case IrOpcode::kPmAlloc:
+      return "pm.alloc";
+    case IrOpcode::kPmMapFile:
+      return "pm.map_file";
+    case IrOpcode::kPmPersist:
+      return "pm.persist";
+    case IrOpcode::kPmTxBegin:
+      return "pm.tx_begin";
+    case IrOpcode::kPmTxCommit:
+      return "pm.tx_commit";
+    case IrOpcode::kPmFree:
+      return "pm.free";
+  }
+  return "?";
+}
+
+std::string IrInstruction::ToString() const {
+  std::ostringstream out;
+  if (!name().empty()) {
+    out << "%" << name() << " = ";
+  }
+  out << IrOpcodeName(opcode_);
+  if (callee_ != nullptr) {
+    out << " @" << callee_->name();
+  }
+  for (const IrValue* op : operands_) {
+    out << " %" << op->name();
+  }
+  for (const IrBasicBlock* b : block_targets_) {
+    out << " ^" << b->name();
+  }
+  if (field_index_ >= 0) {
+    out << " #" << field_index_;
+  }
+  if (guid_ != kNoGuid) {
+    out << " !guid=" << guid_;
+  }
+  return out.str();
+}
+
+IrInstruction* IrBasicBlock::Append(std::unique_ptr<IrInstruction> inst) {
+  inst->set_block(this);
+  instructions_.push_back(std::move(inst));
+  IrInstruction* raw = instructions_.back().get();
+  for (IrBasicBlock* succ : raw->block_targets()) {
+    succ->AddPredecessor(this);
+  }
+  return raw;
+}
+
+std::vector<IrBasicBlock*> IrBasicBlock::successors() const {
+  IrInstruction* term = terminator();
+  if (term == nullptr) {
+    return {};
+  }
+  return term->block_targets();
+}
+
+IrFunction::IrFunction(std::string name, int num_params)
+    : IrValue(Kind::kFunction, std::move(name)) {
+  for (int i = 0; i < num_params; i++) {
+    args_.push_back(std::make_unique<IrArgument>(
+        this->name() + ".arg" + std::to_string(i), this, i));
+  }
+}
+
+IrBasicBlock* IrFunction::CreateBlock(std::string name) {
+  blocks_.push_back(std::make_unique<IrBasicBlock>(std::move(name), this));
+  return blocks_.back().get();
+}
+
+std::vector<IrInstruction*> IrFunction::ReturnSites() const {
+  std::vector<IrInstruction*> rets;
+  for (const auto& block : blocks_) {
+    for (const auto& inst : block->instructions()) {
+      if (inst->opcode() == IrOpcode::kRet) {
+        rets.push_back(inst.get());
+      }
+    }
+  }
+  return rets;
+}
+
+IrFunction* IrModule::CreateFunction(const std::string& name, int num_params) {
+  functions_.push_back(std::make_unique<IrFunction>(name, num_params));
+  return functions_.back().get();
+}
+
+IrFunction* IrModule::GetFunction(const std::string& name) const {
+  for (const auto& f : functions_) {
+    if (f->name() == name) {
+      return f.get();
+    }
+  }
+  return nullptr;
+}
+
+IrGlobal* IrModule::CreateGlobal(const std::string& name) {
+  globals_.push_back(std::make_unique<IrGlobal>(name));
+  return globals_.back().get();
+}
+
+IrConstant* IrModule::GetConstant(int64_t value) {
+  for (const auto& c : constants_) {
+    if (c->value() == value) {
+      return c.get();
+    }
+  }
+  constants_.push_back(std::make_unique<IrConstant>(value));
+  return constants_.back().get();
+}
+
+std::vector<IrInstruction*> IrModule::AllInstructions() const {
+  std::vector<IrInstruction*> all;
+  for (const auto& f : functions_) {
+    for (const auto& b : f->blocks()) {
+      for (const auto& inst : b->instructions()) {
+        all.push_back(inst.get());
+      }
+    }
+  }
+  return all;
+}
+
+IrInstruction* IrModule::FindByGuid(Guid guid) const {
+  if (guid == kNoGuid) {
+    return nullptr;
+  }
+  for (IrInstruction* inst : AllInstructions()) {
+    if (inst->guid() == guid) {
+      return inst;
+    }
+  }
+  return nullptr;
+}
+
+Status IrModule::Verify() const {
+  std::unordered_set<Guid> seen_guids;
+  for (const auto& f : functions_) {
+    if (f->blocks().empty()) {
+      continue;  // declaration-only function
+    }
+    for (const auto& b : f->blocks()) {
+      if (b->terminator() == nullptr) {
+        return Internal("block " + b->name() + " in " + f->name() +
+                        " has no terminator");
+      }
+      for (const auto& inst : b->instructions()) {
+        for (const IrValue* op : inst->operands()) {
+          if (op == nullptr) {
+            return Internal("null operand in " + inst->ToString());
+          }
+        }
+        if (inst->IsTerminator() && inst.get() != b->terminator()) {
+          return Internal("terminator mid-block in " + b->name());
+        }
+        for (IrBasicBlock* target : inst->block_targets()) {
+          if (target->parent() != f.get()) {
+            return Internal("branch across functions from " + b->name());
+          }
+        }
+        if (inst->guid() != kNoGuid) {
+          if (!seen_guids.insert(inst->guid()).second) {
+            return Internal("duplicate guid " + std::to_string(inst->guid()));
+          }
+        }
+      }
+    }
+  }
+  return OkStatus();
+}
+
+std::string IrModule::Print() const {
+  std::ostringstream out;
+  out << "module " << name_ << "\n";
+  for (const auto& g : globals_) {
+    out << "global @" << g->name() << "\n";
+  }
+  for (const auto& f : functions_) {
+    out << "fn @" << f->name() << "(";
+    for (size_t i = 0; i < f->args().size(); i++) {
+      out << (i != 0 ? ", " : "") << "%" << f->args()[i]->name();
+    }
+    out << ")\n";
+    for (const auto& b : f->blocks()) {
+      out << "  ^" << b->name() << ":\n";
+      for (const auto& inst : b->instructions()) {
+        out << "    " << inst->ToString() << "\n";
+      }
+    }
+  }
+  return out.str();
+}
+
+// --- IrBuilder ---------------------------------------------------------------
+
+IrInstruction* IrBuilder::Emit(IrOpcode op, std::vector<IrValue*> operands,
+                               const std::string& name) {
+  std::string final_name = name;
+  const bool produces_value =
+      op != IrOpcode::kStore && op != IrOpcode::kBr && op != IrOpcode::kCondBr &&
+      op != IrOpcode::kRet && op != IrOpcode::kPmPersist &&
+      op != IrOpcode::kPmTxBegin && op != IrOpcode::kPmTxCommit &&
+      op != IrOpcode::kPmFree;
+  if (final_name.empty() && produces_value) {
+    final_name = "v" + std::to_string(next_id_++);
+  }
+  auto inst = std::make_unique<IrInstruction>(op, final_name);
+  for (IrValue* v : operands) {
+    inst->AddOperand(v);
+  }
+  return block_->Append(std::move(inst));
+}
+
+IrInstruction* IrBuilder::Alloca(const std::string& name) {
+  return Emit(IrOpcode::kAlloca, {}, name);
+}
+IrInstruction* IrBuilder::Load(IrValue* ptr, const std::string& name) {
+  return Emit(IrOpcode::kLoad, {ptr}, name);
+}
+IrInstruction* IrBuilder::Store(IrValue* value, IrValue* ptr, Guid guid) {
+  IrInstruction* inst = Emit(IrOpcode::kStore, {value, ptr}, "");
+  inst->set_guid(guid);
+  return inst;
+}
+IrInstruction* IrBuilder::FieldAddr(IrValue* base, int field,
+                                    const std::string& name) {
+  IrInstruction* inst = Emit(IrOpcode::kFieldAddr, {base}, name);
+  inst->set_field_index(field);
+  return inst;
+}
+IrInstruction* IrBuilder::IndexAddr(IrValue* base, IrValue* index,
+                                    const std::string& name) {
+  return Emit(IrOpcode::kIndexAddr, {base, index}, name);
+}
+IrInstruction* IrBuilder::BinOp(IrValue* a, IrValue* b,
+                                const std::string& name) {
+  return Emit(IrOpcode::kBinOp, {a, b}, name);
+}
+IrInstruction* IrBuilder::Cmp(IrValue* a, IrValue* b,
+                              const std::string& name) {
+  return Emit(IrOpcode::kCmp, {a, b}, name);
+}
+IrInstruction* IrBuilder::Br(IrBasicBlock* target) {
+  auto inst = std::make_unique<IrInstruction>(IrOpcode::kBr, "");
+  inst->AddBlockTarget(target);
+  return block_->Append(std::move(inst));
+}
+IrInstruction* IrBuilder::CondBr(IrValue* cond, IrBasicBlock* then_block,
+                                 IrBasicBlock* else_block) {
+  auto inst = std::make_unique<IrInstruction>(IrOpcode::kCondBr, "");
+  inst->AddOperand(cond);
+  inst->AddBlockTarget(then_block);
+  inst->AddBlockTarget(else_block);
+  return block_->Append(std::move(inst));
+}
+IrInstruction* IrBuilder::Ret(IrValue* value) {
+  return value == nullptr ? Emit(IrOpcode::kRet, {}, "")
+                          : Emit(IrOpcode::kRet, {value}, "");
+}
+IrInstruction* IrBuilder::Call(IrFunction* callee, std::vector<IrValue*> args,
+                               const std::string& name, Guid guid) {
+  IrInstruction* inst = Emit(IrOpcode::kCall, std::move(args), name);
+  inst->set_callee(callee);
+  inst->set_guid(guid);
+  return inst;
+}
+IrInstruction* IrBuilder::CallIndirect(IrValue* fn_ptr,
+                                       std::vector<IrValue*> args,
+                                       const std::string& name) {
+  std::vector<IrValue*> operands;
+  operands.push_back(fn_ptr);
+  operands.insert(operands.end(), args.begin(), args.end());
+  return Emit(IrOpcode::kCall, std::move(operands), name);
+}
+IrInstruction* IrBuilder::Phi(std::vector<IrValue*> inputs,
+                              const std::string& name) {
+  return Emit(IrOpcode::kPhi, std::move(inputs), name);
+}
+IrInstruction* IrBuilder::PmAlloc(IrValue* size, const std::string& name,
+                                  Guid guid) {
+  IrInstruction* inst = Emit(IrOpcode::kPmAlloc, {size}, name);
+  inst->set_guid(guid);
+  return inst;
+}
+IrInstruction* IrBuilder::PmMapFile(const std::string& name, Guid guid) {
+  IrInstruction* inst = Emit(IrOpcode::kPmMapFile, {}, name);
+  inst->set_guid(guid);
+  return inst;
+}
+IrInstruction* IrBuilder::PmPersist(IrValue* ptr, IrValue* size, Guid guid) {
+  IrInstruction* inst = Emit(IrOpcode::kPmPersist, {ptr, size}, "");
+  inst->set_guid(guid);
+  return inst;
+}
+IrInstruction* IrBuilder::PmTxBegin() {
+  return Emit(IrOpcode::kPmTxBegin, {}, "");
+}
+IrInstruction* IrBuilder::PmTxCommit() {
+  return Emit(IrOpcode::kPmTxCommit, {}, "");
+}
+IrInstruction* IrBuilder::PmFree(IrValue* ptr, Guid guid) {
+  IrInstruction* inst = Emit(IrOpcode::kPmFree, {ptr}, "");
+  inst->set_guid(guid);
+  return inst;
+}
+
+}  // namespace arthas

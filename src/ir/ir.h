@@ -1,0 +1,318 @@
+// Miniature intermediate representation (IR) for PM programs.
+//
+// The paper's analyzer runs on LLVM IR and builds a Program Dependence Graph
+// with the dg library. This environment has no LLVM, so the repository ships
+// its own IR with the properties the analyses need: SSA-style values with
+// def-use chains, a control-flow graph of basic blocks, loads/stores through
+// pointers, field addressing, calls (direct and through function pointers),
+// and PM intrinsics mirroring the PMDK / native-persistence API surface that
+// the analyzer recognizes (paper Section 4.1).
+//
+// Each target PM system in src/systems provides an *IR model*: a module,
+// built with IrBuilder, describing its PM-mutating code paths. Instructions
+// that correspond to runtime PM-store call sites carry the same GUIDs the
+// runtime tracer emits, which is exactly the <GUID, source location,
+// instruction> metadata file of the paper.
+
+#ifndef ARTHAS_IR_IR_H_
+#define ARTHAS_IR_IR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace arthas {
+
+class IrInstruction;
+class IrBasicBlock;
+class IrFunction;
+class IrModule;
+
+// Static instruction identifier shared between an IR model and the runtime
+// trace. 0 means "no GUID" (the instruction has no runtime counterpart).
+using Guid = uint64_t;
+constexpr Guid kNoGuid = 0;
+
+enum class IrOpcode {
+  // Values with no operands.
+  kConst,      // integer constant
+  kArgument,   // formal parameter (lives in IrFunction, not a block)
+  kAlloca,     // volatile (DRAM) allocation site
+
+  // Memory.
+  kLoad,       // result = *op0
+  kStore,      // *op1 = op0
+  kFieldAddr,  // result = &op0->field(field_index)
+  kIndexAddr,  // result = &op0[op1]   (array element, field-collapsed)
+
+  // Arithmetic / logic (operator identity does not matter to the analyses).
+  kBinOp,      // result = op0 <op> op1
+  kCmp,        // result = op0 <cmp> op1
+
+  // Control flow.
+  kBr,         // unconditional branch; target block in block_targets[0]
+  kCondBr,     // conditional: op0 is the condition; two block targets
+  kRet,        // optional op0 is the return value
+  kCall,       // direct (callee()) or indirect (op0 is the function pointer)
+  kPhi,        // SSA merge of its operands
+
+  // Persistent memory intrinsics (the API calls the analyzer recognizes).
+  kPmAlloc,    // result is a pointer into PM (pmemobj_zalloc + direct)
+  kPmMapFile,  // result is a pointer into PM (pmem_map_file)
+  kPmPersist,  // persist(op0 /*ptr*/, op1 /*size*/): a durability point
+  kPmTxBegin,
+  kPmTxCommit,
+  kPmFree,     // free(op0)
+};
+
+const char* IrOpcodeName(IrOpcode op);
+
+// Base for everything that can be an operand.
+class IrValue {
+ public:
+  enum class Kind { kInstruction, kArgument, kConstant, kFunction, kGlobal };
+
+  IrValue(Kind kind, std::string name) : kind_(kind), name_(std::move(name)) {}
+  virtual ~IrValue() = default;
+
+  Kind kind() const { return kind_; }
+  const std::string& name() const { return name_; }
+
+  // Instructions that use this value as an operand (def-use chain).
+  const std::vector<IrInstruction*>& users() const { return users_; }
+  void AddUser(IrInstruction* user) { users_.push_back(user); }
+
+ private:
+  Kind kind_;
+  std::string name_;
+  std::vector<IrInstruction*> users_;
+};
+
+class IrConstant : public IrValue {
+ public:
+  explicit IrConstant(int64_t value)
+      : IrValue(Kind::kConstant, std::to_string(value)), value_(value) {}
+  int64_t value() const { return value_; }
+
+ private:
+  int64_t value_;
+};
+
+class IrArgument : public IrValue {
+ public:
+  IrArgument(std::string name, IrFunction* parent, int index)
+      : IrValue(Kind::kArgument, std::move(name)),
+        parent_(parent),
+        index_(index) {}
+  IrFunction* parent() const { return parent_; }
+  int index() const { return index_; }
+
+ private:
+  IrFunction* parent_;
+  int index_;
+};
+
+// A module-level variable; acts as a pointer to its own storage object
+// (like an LLVM global).
+class IrGlobal : public IrValue {
+ public:
+  explicit IrGlobal(std::string name)
+      : IrValue(Kind::kGlobal, std::move(name)) {}
+};
+
+class IrInstruction : public IrValue {
+ public:
+  IrInstruction(IrOpcode opcode, std::string name)
+      : IrValue(Kind::kInstruction, std::move(name)), opcode_(opcode) {}
+
+  IrOpcode opcode() const { return opcode_; }
+  IrBasicBlock* block() const { return block_; }
+  void set_block(IrBasicBlock* b) { block_ = b; }
+
+  const std::vector<IrValue*>& operands() const { return operands_; }
+  void AddOperand(IrValue* v) {
+    operands_.push_back(v);
+    v->AddUser(this);
+  }
+
+  // For kBr/kCondBr.
+  const std::vector<IrBasicBlock*>& block_targets() const {
+    return block_targets_;
+  }
+  void AddBlockTarget(IrBasicBlock* b) { block_targets_.push_back(b); }
+
+  // For direct kCall.
+  IrFunction* callee() const { return callee_; }
+  void set_callee(IrFunction* f) { callee_ = f; }
+
+  int field_index() const { return field_index_; }
+  void set_field_index(int idx) { field_index_ = idx; }
+
+  Guid guid() const { return guid_; }
+  void set_guid(Guid g) { guid_ = g; }
+
+  bool IsTerminator() const {
+    return opcode_ == IrOpcode::kBr || opcode_ == IrOpcode::kCondBr ||
+           opcode_ == IrOpcode::kRet;
+  }
+
+  // A one-line rendering, e.g. "%v3 = load %v1".
+  std::string ToString() const;
+
+ private:
+  IrOpcode opcode_;
+  IrBasicBlock* block_ = nullptr;
+  std::vector<IrValue*> operands_;
+  std::vector<IrBasicBlock*> block_targets_;
+  IrFunction* callee_ = nullptr;
+  int field_index_ = -1;
+  Guid guid_ = kNoGuid;
+};
+
+class IrBasicBlock {
+ public:
+  IrBasicBlock(std::string name, IrFunction* parent)
+      : name_(std::move(name)), parent_(parent) {}
+
+  const std::string& name() const { return name_; }
+  IrFunction* parent() const { return parent_; }
+
+  const std::vector<std::unique_ptr<IrInstruction>>& instructions() const {
+    return instructions_;
+  }
+  IrInstruction* Append(std::unique_ptr<IrInstruction> inst);
+
+  IrInstruction* terminator() const {
+    return instructions_.empty() || !instructions_.back()->IsTerminator()
+               ? nullptr
+               : instructions_.back().get();
+  }
+
+  std::vector<IrBasicBlock*> successors() const;
+  const std::vector<IrBasicBlock*>& predecessors() const { return preds_; }
+  void AddPredecessor(IrBasicBlock* b) { preds_.push_back(b); }
+
+ private:
+  std::string name_;
+  IrFunction* parent_;
+  std::vector<std::unique_ptr<IrInstruction>> instructions_;
+  std::vector<IrBasicBlock*> preds_;
+};
+
+class IrFunction : public IrValue {
+ public:
+  IrFunction(std::string name, int num_params);
+
+  const std::vector<std::unique_ptr<IrArgument>>& args() const {
+    return args_;
+  }
+  IrArgument* arg(int i) { return args_[i].get(); }
+
+  const std::vector<std::unique_ptr<IrBasicBlock>>& blocks() const {
+    return blocks_;
+  }
+  IrBasicBlock* entry() const {
+    return blocks_.empty() ? nullptr : blocks_.front().get();
+  }
+  IrBasicBlock* CreateBlock(std::string name);
+
+  // All return instructions in the function.
+  std::vector<IrInstruction*> ReturnSites() const;
+
+ private:
+  std::vector<std::unique_ptr<IrArgument>> args_;
+  std::vector<std::unique_ptr<IrBasicBlock>> blocks_;
+};
+
+class IrModule {
+ public:
+  explicit IrModule(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  IrFunction* CreateFunction(const std::string& name, int num_params);
+  IrFunction* GetFunction(const std::string& name) const;
+  const std::vector<std::unique_ptr<IrFunction>>& functions() const {
+    return functions_;
+  }
+
+  IrGlobal* CreateGlobal(const std::string& name);
+  const std::vector<std::unique_ptr<IrGlobal>>& globals() const {
+    return globals_;
+  }
+
+  IrConstant* GetConstant(int64_t value);
+
+  // Every instruction in the module, in deterministic order.
+  std::vector<IrInstruction*> AllInstructions() const;
+
+  // Finds the instruction carrying `guid`, or nullptr.
+  IrInstruction* FindByGuid(Guid guid) const;
+
+  // Structural checks: every block ends in a terminator, operands are
+  // non-null, branch targets belong to the same function, etc.
+  Status Verify() const;
+
+  // Human-readable dump of the whole module.
+  std::string Print() const;
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<IrFunction>> functions_;
+  std::vector<std::unique_ptr<IrGlobal>> globals_;
+  std::vector<std::unique_ptr<IrConstant>> constants_;
+};
+
+// Convenience construction API, one method per opcode.
+class IrBuilder {
+ public:
+  explicit IrBuilder(IrModule& module) : module_(module) {}
+
+  void SetInsertPoint(IrBasicBlock* block) { block_ = block; }
+  IrBasicBlock* insert_block() const { return block_; }
+
+  IrConstant* Const(int64_t v) { return module_.GetConstant(v); }
+
+  IrInstruction* Alloca(const std::string& name);
+  IrInstruction* Load(IrValue* ptr, const std::string& name = "");
+  IrInstruction* Store(IrValue* value, IrValue* ptr, Guid guid = kNoGuid);
+  IrInstruction* FieldAddr(IrValue* base, int field,
+                           const std::string& name = "");
+  IrInstruction* IndexAddr(IrValue* base, IrValue* index,
+                           const std::string& name = "");
+  IrInstruction* BinOp(IrValue* a, IrValue* b, const std::string& name = "");
+  IrInstruction* Cmp(IrValue* a, IrValue* b, const std::string& name = "");
+  IrInstruction* Br(IrBasicBlock* target);
+  IrInstruction* CondBr(IrValue* cond, IrBasicBlock* then_block,
+                        IrBasicBlock* else_block);
+  IrInstruction* Ret(IrValue* value = nullptr);
+  IrInstruction* Call(IrFunction* callee, std::vector<IrValue*> args,
+                      const std::string& name = "", Guid guid = kNoGuid);
+  IrInstruction* CallIndirect(IrValue* fn_ptr, std::vector<IrValue*> args,
+                              const std::string& name = "");
+  IrInstruction* Phi(std::vector<IrValue*> inputs,
+                     const std::string& name = "");
+
+  IrInstruction* PmAlloc(IrValue* size, const std::string& name = "",
+                         Guid guid = kNoGuid);
+  IrInstruction* PmMapFile(const std::string& name = "", Guid guid = kNoGuid);
+  IrInstruction* PmPersist(IrValue* ptr, IrValue* size, Guid guid = kNoGuid);
+  IrInstruction* PmTxBegin();
+  IrInstruction* PmTxCommit();
+  IrInstruction* PmFree(IrValue* ptr, Guid guid = kNoGuid);
+
+ private:
+  IrInstruction* Emit(IrOpcode op, std::vector<IrValue*> operands,
+                      const std::string& name);
+
+  IrModule& module_;
+  IrBasicBlock* block_ = nullptr;
+  int next_id_ = 0;
+};
+
+}  // namespace arthas
+
+#endif  // ARTHAS_IR_IR_H_

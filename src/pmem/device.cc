@@ -1,0 +1,140 @@
+#include "pmem/device.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace arthas {
+
+PmemDevice::PmemDevice(size_t size) : live_(size, 0), durable_(size, 0) {}
+
+PmOffset PmemDevice::OffsetOf(const void* p) const {
+  const auto* byte = static_cast<const uint8_t*>(p);
+  if (byte < live_.data() || byte >= live_.data() + live_.size()) {
+    return kNullPmOffset;
+  }
+  return static_cast<PmOffset>(byte - live_.data());
+}
+
+void PmemDevice::MakeDurable(PmOffset offset, size_t size) {
+  assert(offset + size <= live_.size());
+  // Round out to cache-line granularity, as clwb does.
+  const PmOffset line_start = offset & ~(kCacheLineSize - 1);
+  PmOffset line_end = (offset + size + kCacheLineSize - 1) &
+                      ~(static_cast<PmOffset>(kCacheLineSize) - 1);
+  line_end = std::min<PmOffset>(line_end, live_.size());
+  std::memcpy(durable_.data() + line_start, live_.data() + line_start,
+              line_end - line_start);
+  stats_.flushed_lines += (line_end - line_start) / kCacheLineSize;
+  stats_.persisted_bytes += size;
+}
+
+void PmemDevice::Persist(PmOffset offset, size_t size) {
+  if (size == 0) {
+    return;
+  }
+  // Observers run at the durability point but before the media copy, so a
+  // checkpointing observer can still read the previous durable contents
+  // (needed to seed the oldest version of a fresh checkpoint entry).
+  for (DurabilityObserver* obs : observers_) {
+    obs->OnPersist(offset, size, live_.data() + offset);
+  }
+  MakeDurable(offset, size);
+  stats_.persists++;
+}
+
+void PmemDevice::PersistQuiet(PmOffset offset, size_t size) {
+  if (size == 0) {
+    return;
+  }
+  MakeDurable(offset, size);
+  stats_.persists++;
+}
+
+void PmemDevice::FlushLines(PmOffset offset, size_t size) {
+  if (size == 0) {
+    return;
+  }
+  pending_.push_back({offset, size});
+}
+
+void PmemDevice::Drain() {
+  stats_.drains++;
+  for (const PendingRange& range : pending_) {
+    for (DurabilityObserver* obs : observers_) {
+      obs->OnPersist(range.offset, range.size, live_.data() + range.offset);
+    }
+    MakeDurable(range.offset, range.size);
+    stats_.persists++;
+  }
+  pending_.clear();
+}
+
+void PmemDevice::Crash() {
+  pending_.clear();
+  std::memcpy(live_.data(), durable_.data(), live_.size());
+  stats_.crashes++;
+}
+
+void PmemDevice::RawRestore(PmOffset offset, const void* data, size_t size) {
+  assert(offset + size <= live_.size());
+  std::memcpy(live_.data() + offset, data, size);
+  std::memcpy(durable_.data() + offset, data, size);
+}
+
+Status PmemDevice::RestoreDurable(const std::vector<uint8_t>& image) {
+  if (image.size() != durable_.size()) {
+    return InvalidArgument("snapshot image size mismatch");
+  }
+  durable_ = image;
+  std::memcpy(live_.data(), durable_.data(), live_.size());
+  pending_.clear();
+  return OkStatus();
+}
+
+Status PmemDevice::SaveToFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Internal("cannot open " + path + " for writing");
+  }
+  const size_t written = std::fwrite(durable_.data(), 1, durable_.size(), f);
+  std::fclose(f);
+  if (written != durable_.size()) {
+    return Internal("short write to " + path);
+  }
+  return OkStatus();
+}
+
+Status PmemDevice::LoadFromFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return NotFound("cannot open " + path);
+  }
+  const size_t read = std::fread(durable_.data(), 1, durable_.size(), f);
+  std::fclose(f);
+  if (read != durable_.size()) {
+    return Corruption("short read from " + path);
+  }
+  std::memcpy(live_.data(), durable_.data(), live_.size());
+  return OkStatus();
+}
+
+void PmemDevice::AddObserver(DurabilityObserver* observer) {
+  observers_.push_back(observer);
+}
+
+void PmemDevice::RemoveObserver(DurabilityObserver* observer) {
+  observers_.erase(std::remove(observers_.begin(), observers_.end(), observer),
+                   observers_.end());
+}
+
+bool PmemDevice::IsDurable(PmOffset offset, size_t size) const {
+  assert(offset + size <= live_.size());
+  return std::memcmp(live_.data() + offset, durable_.data() + offset, size) ==
+         0;
+}
+
+}  // namespace arthas

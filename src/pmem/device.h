@@ -1,0 +1,144 @@
+// Simulated byte-addressable persistent memory device.
+//
+// The paper's testbed uses Intel Optane DC PMEM DIMMs. What every Arthas
+// experiment actually relies on is PM *semantics*, not media latency:
+//
+//   * stores become visible to the CPU immediately (they sit in the cache),
+//   * they become durable only after an explicit flush (clwb) followed by a
+//     fence (sfence), or a convenience persist of a range,
+//   * on a crash or restart, only flushed-and-fenced bytes survive.
+//
+// PmemDevice models exactly that boundary with two images: `live` is the
+// CPU-visible view that programs read and write through real pointers, and
+// `durable` is the media image that persists survive into. Crash() discards
+// everything that never reached the durable image, which is how the harness
+// implements process restarts and machine crashes.
+//
+// DurabilityObserver is the hook surface the Arthas checkpoint library
+// attaches to: it fires once per persisted range, at the durability point,
+// which is what lets checkpointing respect the program's own persistence
+// granularity and timing (paper Section 4.2).
+
+#ifndef ARTHAS_PMEM_DEVICE_H_
+#define ARTHAS_PMEM_DEVICE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace arthas {
+
+// Byte offset within a device. Offset 0 is valid; kNullPmOffset marks "no
+// object" in persistent pointers.
+using PmOffset = uint64_t;
+constexpr PmOffset kNullPmOffset = ~0ULL;
+
+constexpr size_t kCacheLineSize = 64;
+
+// Receives durability events from a PmemDevice. All offsets are
+// device-relative; `data` points into the live image and is valid only for
+// the duration of the call.
+class DurabilityObserver {
+ public:
+  virtual ~DurabilityObserver() = default;
+
+  // A range has just become durable (flush + fence completed).
+  virtual void OnPersist(PmOffset offset, size_t size, const void* data) = 0;
+};
+
+// Counters exposed for the overhead benchmarks.
+struct PmemDeviceStats {
+  uint64_t persists = 0;
+  uint64_t flushed_lines = 0;
+  uint64_t drains = 0;
+  uint64_t persisted_bytes = 0;
+  uint64_t crashes = 0;
+};
+
+class PmemDevice {
+ public:
+  // Creates a device of `size` bytes, both images zero-filled.
+  explicit PmemDevice(size_t size);
+
+  PmemDevice(const PmemDevice&) = delete;
+  PmemDevice& operator=(const PmemDevice&) = delete;
+
+  size_t size() const { return live_.size(); }
+
+  // Direct pointers into the live (CPU-visible) image. Programs read and
+  // write through these exactly as they would through pmem_map_file memory.
+  uint8_t* Live(PmOffset offset) { return live_.data() + offset; }
+  const uint8_t* Live(PmOffset offset) const { return live_.data() + offset; }
+
+  // Read-only view of the media image, used by pool checkers and snapshots.
+  const uint8_t* Durable(PmOffset offset) const {
+    return durable_.data() + offset;
+  }
+
+  // Translates a pointer into the live image back to its device offset.
+  // Returns kNullPmOffset if `p` does not point into this device.
+  PmOffset OffsetOf(const void* p) const;
+
+  // clwb/sfence-style durability: rounds the range out to cache lines,
+  // copies live -> durable, and notifies observers. Equivalent to
+  // pmem_persist(addr, size).
+  void Persist(PmOffset offset, size_t size);
+
+  // Durability without observer notification. Used for pool-internal
+  // metadata (allocator headers, undo log) so the checkpoint log sees only
+  // application PM updates.
+  void PersistQuiet(PmOffset offset, size_t size);
+
+  // Two-step variant: FlushLines stages lines, Drain makes all staged lines
+  // durable (and fires observer callbacks). Models clwb ... sfence code.
+  void FlushLines(PmOffset offset, size_t size);
+  void Drain();
+
+  // Discards all non-durable state: the live image is rebuilt from the
+  // durable image. This is what a process restart or power failure does.
+  void Crash();
+
+  // Raw mutation of both images at once, bypassing durability events.
+  // Used only by recovery tooling (the reactor's reversion step and the
+  // pmCRIU baseline's image restore); never by target systems.
+  void RawRestore(PmOffset offset, const void* data, size_t size);
+
+  // Whole-image snapshots for the pmCRIU baseline. A snapshot captures the
+  // durable image (what CRIU would dump from the PM pool file).
+  std::vector<uint8_t> SnapshotDurable() const { return durable_; }
+  Status RestoreDurable(const std::vector<uint8_t>& image);
+
+  // Save/load the durable image to a file, for cross-process style use.
+  Status SaveToFile(const std::string& path) const;
+  Status LoadFromFile(const std::string& path);
+
+  void AddObserver(DurabilityObserver* observer);
+  void RemoveObserver(DurabilityObserver* observer);
+
+  const PmemDeviceStats& stats() const { return stats_; }
+
+  // True if every byte of [offset, offset+size) is identical in the live and
+  // durable images, i.e. the range is fully persisted.
+  bool IsDurable(PmOffset offset, size_t size) const;
+
+ private:
+  struct PendingRange {
+    PmOffset offset;
+    size_t size;
+  };
+
+  void MakeDurable(PmOffset offset, size_t size);
+
+  std::vector<uint8_t> live_;
+  std::vector<uint8_t> durable_;
+  std::vector<PendingRange> pending_;  // flushed but not yet drained
+  std::vector<DurabilityObserver*> observers_;
+  PmemDeviceStats stats_;
+};
+
+}  // namespace arthas
+
+#endif  // ARTHAS_PMEM_DEVICE_H_

@@ -1,0 +1,39 @@
+// Low-level persistence primitives (libpmem-mini).
+//
+// Some PM systems (the paper calls this "native persistence", e.g. CCEH) do
+// not use the object API; they write through raw pointers and issue cache
+// line write-backs plus store fences themselves. These free functions are
+// the clwb/sfence/pmem_persist analogues over a PmemDevice, taking live
+// pointers so call sites read like the original code.
+
+#ifndef ARTHAS_PMEM_LIBPMEM_H_
+#define ARTHAS_PMEM_LIBPMEM_H_
+
+#include <cassert>
+
+#include "pmem/device.h"
+
+namespace arthas {
+
+// pmem_persist(addr, len): flush + fence in one step, with durability
+// observers notified (a persistence point).
+inline void PmemPersist(PmemDevice& device, const void* addr, size_t len) {
+  const PmOffset off = device.OffsetOf(addr);
+  assert(off != kNullPmOffset && "pointer not in persistent memory");
+  device.Persist(off, len);
+}
+
+// clwb: stage the cache lines covering [addr, addr+len) for write-back.
+// Not durable until the next Sfence.
+inline void Clwb(PmemDevice& device, const void* addr, size_t len) {
+  const PmOffset off = device.OffsetOf(addr);
+  assert(off != kNullPmOffset && "pointer not in persistent memory");
+  device.FlushLines(off, len);
+}
+
+// sfence: make all staged lines durable (fires durability observers).
+inline void Sfence(PmemDevice& device) { device.Drain(); }
+
+}  // namespace arthas
+
+#endif  // ARTHAS_PMEM_LIBPMEM_H_

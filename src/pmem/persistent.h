@@ -1,0 +1,118 @@
+// Typed persistent object helpers over PmemPool — the ergonomic layer of
+// libpmemobj (pmem::obj::persistent_ptr / p<> in PMDK's C++ bindings).
+//
+// PersistentPtr<T> is a typed, crash-stable handle (an Oid remembered with
+// its type); PersistentVar<T> wraps a field with assign-and-persist
+// semantics so call sites read like ordinary code while every committed
+// store is a proper durability point (and therefore checkpointed by an
+// attached Arthas CheckpointLog).
+
+#ifndef ARTHAS_PMEM_PERSISTENT_H_
+#define ARTHAS_PMEM_PERSISTENT_H_
+
+#include <type_traits>
+#include <utility>
+
+#include "pmem/pool.h"
+
+namespace arthas {
+
+// A typed persistent pointer. Trivially copyable; the pointee lives in the
+// pool and survives crashes, the handle itself is a value you may keep in
+// DRAM or embed (as an Oid) inside other persistent objects.
+template <typename T>
+class PersistentPtr {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "persistent objects must be trivially copyable");
+
+ public:
+  PersistentPtr() = default;
+  explicit PersistentPtr(Oid oid) : oid_(oid) {}
+
+  // Allocates a zero-initialized T in the pool.
+  static Result<PersistentPtr<T>> Make(PmemPool& pool) {
+    ARTHAS_ASSIGN_OR_RETURN(Oid oid, pool.Zalloc(sizeof(T)));
+    return PersistentPtr<T>(oid);
+  }
+
+  bool is_null() const { return oid_.is_null(); }
+  Oid oid() const { return oid_; }
+
+  T* get(PmemPool& pool) const { return pool.Direct<T>(oid_); }
+
+  // Persists the whole object (a durability point).
+  void Persist(PmemPool& pool) const { pool.Persist(oid_, 0, sizeof(T)); }
+
+  // Persists one member, given its pointer-to-member.
+  template <typename M>
+  void PersistMember(PmemPool& pool, M T::* member) const {
+    T* obj = get(pool);
+    const auto offset = reinterpret_cast<const char*>(&(obj->*member)) -
+                        reinterpret_cast<const char*>(obj);
+    pool.Persist(oid_, static_cast<size_t>(offset), sizeof(M));
+  }
+
+  Status Free(PmemPool& pool) {
+    Status status = pool.Free(oid_);
+    if (status.ok()) {
+      oid_ = Oid::Null();
+    }
+    return status;
+  }
+
+  bool operator==(const PersistentPtr& other) const {
+    return oid_ == other.oid_;
+  }
+
+ private:
+  Oid oid_;
+};
+
+// A persistent variable bound to a pool: assignment writes and persists in
+// one step. Useful for roots and standalone counters/flags.
+template <typename T>
+class PersistentVar {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  // Binds to (allocating on first use) the pool's root object.
+  static Result<PersistentVar<T>> Root(PmemPool& pool) {
+    ARTHAS_ASSIGN_OR_RETURN(Oid oid, pool.Root(sizeof(T)));
+    return PersistentVar<T>(pool, oid);
+  }
+
+  static Result<PersistentVar<T>> Make(PmemPool& pool) {
+    ARTHAS_ASSIGN_OR_RETURN(Oid oid, pool.Zalloc(sizeof(T)));
+    return PersistentVar<T>(pool, oid);
+  }
+
+  PersistentVar(PmemPool& pool, Oid oid) : pool_(&pool), oid_(oid) {}
+
+  const T& value() const { return *pool_->Direct<T>(oid_); }
+  operator const T&() const { return value(); }
+
+  // Assign-and-persist: the store reaches durability (and the checkpoint
+  // log) before the call returns.
+  PersistentVar& operator=(const T& v) {
+    *pool_->Direct<T>(oid_) = v;
+    pool_->Persist(oid_, 0, sizeof(T));
+    return *this;
+  }
+
+  // In-place update under a lambda, persisted once at the end.
+  template <typename Fn>
+  void Update(Fn&& fn) {
+    fn(*pool_->Direct<T>(oid_));
+    pool_->Persist(oid_, 0, sizeof(T));
+  }
+
+  Oid oid() const { return oid_; }
+
+ private:
+  PmemPool* pool_;
+  Oid oid_;
+};
+
+}  // namespace arthas
+
+#endif  // ARTHAS_PMEM_PERSISTENT_H_

@@ -1,0 +1,627 @@
+#include "pmem/pool.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "common/crc32.h"
+#include "common/logging.h"
+
+namespace arthas {
+
+// The allocator is a buddy allocator whose state lives in a dedicated
+// metadata region, *outside* the object heap — mirroring PMDK, whose chunk
+// metadata is out-of-band. Two properties of the evaluation depend on this:
+//
+//  * restoring checkpointed payload bytes can never corrupt heap metadata
+//    (the reactor reverts ranges that may span objects), and
+//  * a buffer overrun from one object clobbers its neighbor's *payload*,
+//    not an allocator header — which is exactly the failure shape of the
+//    studied bugs (f4, f10).
+//
+// The buddy tree is a per-node state array (free / split / used). Node
+// indices are heap-shaped: node 1 is the whole heap, children 2i / 2i+1.
+// Allocation descends leftmost-first, which also gives the deterministic
+// address reuse after free that the f1/f10 reproductions rely on.
+
+namespace {
+constexpr uint64_t kPoolMagic = 0x41525448'41535032ULL;  // "ARTHASP2"
+constexpr uint8_t kNodeFree = 0;
+constexpr uint8_t kNodeSplit = 1;
+constexpr uint8_t kNodeUsed = 2;
+constexpr size_t kMinOrder = 5;  // 32-byte minimum block
+
+size_t AlignUp(size_t n, size_t align) { return (n + align - 1) & ~(align - 1); }
+
+int OrderForSize(size_t heap_order, size_t size) {
+  size_t order = kMinOrder;
+  while ((1ULL << order) < size) {
+    order++;
+  }
+  return order > heap_order ? -1 : static_cast<int>(order);
+}
+}  // namespace
+
+// Lives at device offset 0. All fields are persisted quietly (metadata).
+struct PmemPool::PoolHeader {
+  uint64_t magic;
+  char layout[40];
+  uint64_t pool_size;
+  uint64_t root_off;   // payload offset of root object, kNullPmOffset if none
+  uint64_t root_size;
+  uint64_t undo_off;       // start of undo-log region
+  uint64_t undo_capacity;  // bytes in undo-log region
+  uint64_t tree_off;       // start of the buddy state array
+  uint64_t tree_nodes;     // number of nodes in the array
+  uint64_t heap_base;      // start of the object heap (power-of-two sized)
+  uint64_t heap_order;     // log2(heap size)
+  uint64_t used_bytes;
+  uint64_t live_objects;
+  uint64_t tx_active;
+  uint64_t tx_log_count;
+  uint64_t tx_log_bytes;
+  uint32_t crc;
+  uint32_t pad;
+};
+
+// Kept only as an opaque tag for the legacy BlockAt helpers (unused by the
+// buddy design); declared to satisfy the header's friend declarations.
+struct PmemPool::BlockHeader {
+  uint64_t unused;
+};
+
+namespace {
+// Undo-log entry layout inside the undo region: header then `size` old bytes.
+struct UndoEntryHeader {
+  uint64_t offset;
+  uint64_t size;
+};
+}  // namespace
+
+PmemPool::PmemPool(std::unique_ptr<PmemDevice> device, std::string layout)
+    : device_(std::move(device)), layout_(std::move(layout)) {}
+
+PmemPool::~PmemPool() = default;
+
+PmemPool::PoolHeader* PmemPool::header() {
+  return reinterpret_cast<PoolHeader*>(device_->Live(0));
+}
+const PmemPool::PoolHeader* PmemPool::header() const {
+  return reinterpret_cast<const PoolHeader*>(device_->Live(0));
+}
+
+PmemPool::BlockHeader* PmemPool::BlockAt(PmOffset) { return nullptr; }
+const PmemPool::BlockHeader* PmemPool::BlockAt(PmOffset) const {
+  return nullptr;
+}
+
+void PmemPool::PersistHeader() {
+  PoolHeader* h = header();
+  h->crc = 0;
+  h->crc = Crc32c(h, sizeof(PoolHeader));
+  device_->PersistQuiet(0, sizeof(PoolHeader));
+}
+
+void PmemPool::PersistBlockHeader(PmOffset) {}
+
+// --- Buddy-tree helpers -------------------------------------------------------
+
+uint8_t* PmemPool::TreeState() { return device_->Live(header()->tree_off); }
+const uint8_t* PmemPool::TreeState() const {
+  return device_->Live(header()->tree_off);
+}
+
+void PmemPool::PersistNode(uint64_t node) {
+  device_->PersistQuiet(header()->tree_off + node, 1);
+}
+
+uint64_t PmemPool::NodeOffset(uint64_t node, size_t node_order) const {
+  const PoolHeader* h = header();
+  const uint64_t index_in_level = node - (1ULL << (h->heap_order - node_order));
+  return h->heap_base + index_in_level * (1ULL << node_order);
+}
+
+Result<std::unique_ptr<PmemPool>> PmemPool::Create(std::string layout,
+                                                   size_t size) {
+  if (layout.size() >= sizeof(PoolHeader::layout)) {
+    return Status(StatusCode::kInvalidArgument, "layout name too long");
+  }
+  if (size < 64 * 1024) {
+    return Status(StatusCode::kInvalidArgument, "pool too small (< 64 KiB)");
+  }
+  auto pool = std::unique_ptr<PmemPool>(
+      new PmemPool(std::make_unique<PmemDevice>(size), std::move(layout)));
+  ARTHAS_RETURN_IF_ERROR(pool->Format(size));
+  return pool;
+}
+
+Result<std::unique_ptr<PmemPool>> PmemPool::Open(
+    std::unique_ptr<PmemDevice> device, const std::string& layout) {
+  auto pool =
+      std::unique_ptr<PmemPool>(new PmemPool(std::move(device), layout));
+  const PoolHeader* h = pool->header();
+  if (h->magic != kPoolMagic) {
+    return Status(StatusCode::kCorruption, "bad pool magic");
+  }
+  if (layout != h->layout) {
+    return Status(StatusCode::kInvalidArgument, "layout mismatch");
+  }
+  ARTHAS_RETURN_IF_ERROR(pool->Recover());
+  return pool;
+}
+
+Status PmemPool::Format(size_t size) {
+  const size_t undo_capacity =
+      std::clamp<size_t>(size / 8, 16 * 1024, 1 * 1024 * 1024);
+  const PmOffset undo_off = AlignUp(sizeof(PoolHeader), kCacheLineSize);
+
+  // Pick the largest power-of-two heap such that header + undo + state tree
+  // + heap fit in the device.
+  size_t heap_order = kMinOrder;
+  PmOffset tree_off = 0;
+  PmOffset heap_base = 0;
+  uint64_t tree_nodes = 0;
+  for (size_t order = kMinOrder; order < 48; order++) {
+    const uint64_t nodes = 2ULL << (order - kMinOrder);  // 2 * leaves
+    const PmOffset t_off = AlignUp(undo_off + undo_capacity, kCacheLineSize);
+    const PmOffset h_base = AlignUp(t_off + nodes, kCacheLineSize);
+    if (h_base + (1ULL << order) > size) {
+      break;
+    }
+    heap_order = order;
+    tree_off = t_off;
+    heap_base = h_base;
+    tree_nodes = nodes;
+  }
+  if (heap_base == 0) {
+    return InvalidArgument("pool too small for heap");
+  }
+
+  PoolHeader* h = header();
+  std::memset(h, 0, sizeof(PoolHeader));
+  h->magic = kPoolMagic;
+  std::strncpy(h->layout, layout_.c_str(), sizeof(h->layout) - 1);
+  h->pool_size = size;
+  h->root_off = kNullPmOffset;
+  h->root_size = 0;
+  h->undo_off = undo_off;
+  h->undo_capacity = undo_capacity;
+  h->tree_off = tree_off;
+  h->tree_nodes = tree_nodes;
+  h->heap_base = heap_base;
+  h->heap_order = heap_order;
+  std::memset(device_->Live(tree_off), kNodeFree, tree_nodes);
+  device_->PersistQuiet(tree_off, tree_nodes);
+  PersistHeader();
+  return OkStatus();
+}
+
+Status PmemPool::Recover() {
+  PoolHeader* h = header();
+  stats_.used_bytes = h->used_bytes;
+  stats_.live_objects = h->live_objects;
+  if (h->tx_active != 0) {
+    // Crash happened inside a transaction: apply the undo log.
+    ARTHAS_LOG(Info) << "pool recovery: rolling back in-flight transaction ("
+                     << h->tx_log_count << " ranges)";
+    PmOffset cursor = h->undo_off;
+    std::vector<PmOffset> entry_offsets;
+    for (uint64_t i = 0; i < h->tx_log_count; i++) {
+      UndoEntryHeader eh;
+      std::memcpy(&eh, device_->Live(cursor), sizeof(eh));
+      entry_offsets.push_back(cursor);
+      cursor += sizeof(UndoEntryHeader) + AlignUp(eh.size, 8);
+    }
+    for (auto it = entry_offsets.rbegin(); it != entry_offsets.rend(); ++it) {
+      UndoEntryHeader eh;
+      std::memcpy(&eh, device_->Live(*it), sizeof(eh));
+      std::memcpy(device_->Live(eh.offset),
+                  device_->Live(*it + sizeof(UndoEntryHeader)), eh.size);
+      device_->PersistQuiet(eh.offset, eh.size);
+    }
+    h->tx_active = 0;
+    h->tx_log_count = 0;
+    h->tx_log_bytes = 0;
+    PersistHeader();
+  }
+  in_tx_ = false;
+  return OkStatus();
+}
+
+Status PmemPool::CrashAndRecover() {
+  device_->Crash();
+  return Recover();
+}
+
+// Descends leftmost-first looking for a free node of `target` order.
+// Returns the node index or 0.
+uint64_t PmemPool::FindFreeNode(uint64_t node, size_t node_order,
+                                size_t target) {
+  uint8_t* state = TreeState();
+  if (state[node] == kNodeUsed) {
+    return 0;
+  }
+  if (node_order == target) {
+    return state[node] == kNodeFree ? node : 0;
+  }
+  if (state[node] == kNodeFree) {
+    // Split lazily: children become free halves.
+    state[node] = kNodeSplit;
+    state[2 * node] = kNodeFree;
+    state[2 * node + 1] = kNodeFree;
+    PersistNode(node);
+    PersistNode(2 * node);
+    PersistNode(2 * node + 1);
+  }
+  const uint64_t left = FindFreeNode(2 * node, node_order - 1, target);
+  if (left != 0) {
+    return left;
+  }
+  return FindFreeNode(2 * node + 1, node_order - 1, target);
+}
+
+Result<Oid> PmemPool::AllocInternal(size_t size, bool zero) {
+  if (size == 0) {
+    return Status(StatusCode::kInvalidArgument, "zero-size allocation");
+  }
+  PoolHeader* h = header();
+  const int order = OrderForSize(h->heap_order, size);
+  if (order < 0) {
+    return Status(StatusCode::kOutOfSpace, "allocation exceeds heap size");
+  }
+  const uint64_t node =
+      FindFreeNode(1, h->heap_order, static_cast<size_t>(order));
+  if (node == 0) {
+    return Status(StatusCode::kOutOfSpace, "persistent pool exhausted");
+  }
+  uint8_t* state = TreeState();
+  state[node] = kNodeUsed;
+  PersistNode(node);
+  const uint64_t block = 1ULL << order;
+  h->used_bytes += block;
+  h->live_objects++;
+  PersistHeader();
+  stats_.allocs++;
+  stats_.used_bytes = h->used_bytes;
+  stats_.live_objects = h->live_objects;
+
+  const PmOffset payload = NodeOffset(node, static_cast<size_t>(order));
+  if (zero) {
+    std::memset(device_->Live(payload), 0, block);
+    device_->PersistQuiet(payload, block);
+  }
+  for (PoolObserver* obs : observers_) {
+    obs->OnAlloc(payload, block);
+  }
+  return Oid{payload};
+}
+
+Result<Oid> PmemPool::Alloc(size_t size) { return AllocInternal(size, false); }
+Result<Oid> PmemPool::Zalloc(size_t size) { return AllocInternal(size, true); }
+
+// Locates the used node whose block starts exactly at `offset`.
+// Returns {node, order} or {0, 0}.
+std::pair<uint64_t, size_t> PmemPool::FindUsedNode(PmOffset offset) const {
+  const PoolHeader* h = header();
+  if (offset < h->heap_base ||
+      offset >= h->heap_base + (1ULL << h->heap_order)) {
+    return {0, 0};
+  }
+  const uint8_t* state = TreeState();
+  uint64_t node = 1;
+  size_t order = h->heap_order;
+  while (state[node] == kNodeSplit) {
+    order--;
+    const uint64_t mid = NodeOffset(2 * node + 1, order);
+    node = offset < mid ? 2 * node : 2 * node + 1;
+  }
+  if (state[node] != kNodeUsed || NodeOffset(node, order) != offset) {
+    return {0, 0};
+  }
+  return {node, order};
+}
+
+Status PmemPool::Free(Oid oid) {
+  if (oid.is_null()) {
+    return InvalidArgument("free of null oid");
+  }
+  auto [node, order] = FindUsedNode(oid.off);
+  if (node == 0) {
+    return FailedPrecondition("free of a non-allocated address");
+  }
+  PoolHeader* h = header();
+  uint8_t* state = TreeState();
+  state[node] = kNodeFree;
+  PersistNode(node);
+  // Merge with the buddy while possible.
+  uint64_t cur = node;
+  while (cur > 1) {
+    const uint64_t buddy = cur ^ 1ULL;
+    if (state[buddy] != kNodeFree) {
+      break;
+    }
+    const uint64_t parent = cur / 2;
+    state[parent] = kNodeFree;
+    PersistNode(parent);
+    cur = parent;
+  }
+  const uint64_t block = 1ULL << order;
+  h->used_bytes -= block;
+  h->live_objects--;
+  PersistHeader();
+  stats_.frees++;
+  stats_.used_bytes = h->used_bytes;
+  stats_.live_objects = h->live_objects;
+  for (PoolObserver* obs : observers_) {
+    obs->OnFree(oid.off, block);
+  }
+  return OkStatus();
+}
+
+Result<Oid> PmemPool::Realloc(Oid oid, size_t new_size) {
+  if (oid.is_null()) {
+    return Alloc(new_size);
+  }
+  ARTHAS_ASSIGN_OR_RETURN(const size_t old_size, UsableSize(oid));
+  if (new_size <= old_size) {
+    return oid;  // fits in place
+  }
+  // Suppress the alloc/free observer events; realloc is reported as one
+  // OnRealloc so the checkpoint log can link old and new entries.
+  std::vector<PoolObserver*> saved;
+  saved.swap(observers_);
+  auto new_oid = AllocInternal(new_size, false);
+  if (!new_oid.ok()) {
+    observers_.swap(saved);
+    return new_oid.status();
+  }
+  std::memcpy(device_->Live(new_oid->off), device_->Live(oid.off),
+              std::min(old_size, new_size));
+  device_->PersistQuiet(new_oid->off, std::min(old_size, new_size));
+  Status freed = Free(oid);
+  observers_.swap(saved);
+  if (!freed.ok()) {
+    return freed;
+  }
+  stats_.reallocs++;
+  for (PoolObserver* obs : observers_) {
+    obs->OnRealloc(oid.off, old_size, new_oid->off, new_size);
+  }
+  return *new_oid;
+}
+
+Result<size_t> PmemPool::UsableSize(Oid oid) const {
+  if (oid.is_null()) {
+    return Status(StatusCode::kInvalidArgument, "null oid");
+  }
+  auto [node, order] = FindUsedNode(oid.off);
+  if (node == 0) {
+    return Status(StatusCode::kCorruption, "usable_size: not an allocation");
+  }
+  return static_cast<size_t>(1ULL << order);
+}
+
+Oid PmemPool::OidOf(const void* p) const {
+  const PmOffset off = device_->OffsetOf(p);
+  return off == kNullPmOffset ? Oid::Null() : Oid{off};
+}
+
+Result<Oid> PmemPool::Root(size_t size) {
+  PoolHeader* h = header();
+  if (h->root_off != kNullPmOffset) {
+    if (h->root_size < size) {
+      return Status(StatusCode::kInvalidArgument,
+                    "root exists with smaller size");
+    }
+    return Oid{h->root_off};
+  }
+  ARTHAS_ASSIGN_OR_RETURN(Oid root, Zalloc(size));
+  h->root_off = root.off;
+  h->root_size = size;
+  PersistHeader();
+  return root;
+}
+
+bool PmemPool::HasRoot() const { return header()->root_off != kNullPmOffset; }
+
+void PmemPool::Persist(Oid oid, size_t offset, size_t size) {
+  assert(!oid.is_null());
+  device_->Persist(oid.off + offset, size);
+}
+
+Status PmemPool::TxBegin() {
+  if (in_tx_) {
+    return FailedPrecondition("nested transactions are not supported");
+  }
+  PoolHeader* h = header();
+  h->tx_active = 1;
+  h->tx_log_count = 0;
+  h->tx_log_bytes = 0;
+  PersistHeader();
+  in_tx_ = true;
+  const uint64_t tx_id = next_tx_id_++;
+  current_tx_id_ = tx_id;
+  for (PoolObserver* obs : observers_) {
+    obs->OnTxBegin(tx_id);
+  }
+  return OkStatus();
+}
+
+Status PmemPool::TxAddRange(PmOffset offset, size_t size) {
+  if (!in_tx_) {
+    return FailedPrecondition("tx_add_range outside transaction");
+  }
+  PoolHeader* h = header();
+  const size_t need = sizeof(UndoEntryHeader) + AlignUp(size, 8);
+  if (h->tx_log_bytes + need > h->undo_capacity) {
+    return OutOfSpace("undo log full");
+  }
+  const PmOffset entry_off = h->undo_off + h->tx_log_bytes;
+  UndoEntryHeader eh{offset, size};
+  std::memcpy(device_->Live(entry_off), &eh, sizeof(eh));
+  std::memcpy(device_->Live(entry_off + sizeof(eh)), device_->Live(offset),
+              size);
+  device_->PersistQuiet(entry_off, sizeof(eh) + size);
+  h->tx_log_bytes += need;
+  h->tx_log_count++;
+  PersistHeader();
+  return OkStatus();
+}
+
+Status PmemPool::TxAddRange(Oid oid, size_t offset, size_t size) {
+  if (oid.is_null()) {
+    return InvalidArgument("tx_add_range on null oid");
+  }
+  return TxAddRange(oid.off + offset, size);
+}
+
+Status PmemPool::TxCommit() {
+  if (!in_tx_) {
+    return FailedPrecondition("commit outside transaction");
+  }
+  PoolHeader* h = header();
+  // Make every range registered in this transaction durable, firing the
+  // durability observers (which is where the Arthas checkpoint library
+  // copies the committed data, per paper Section 4.2).
+  PmOffset cursor = h->undo_off;
+  for (uint64_t i = 0; i < h->tx_log_count; i++) {
+    UndoEntryHeader eh;
+    std::memcpy(&eh, device_->Live(cursor), sizeof(eh));
+    device_->Persist(eh.offset, eh.size);
+    cursor += sizeof(UndoEntryHeader) + AlignUp(eh.size, 8);
+  }
+  h->tx_active = 0;
+  h->tx_log_count = 0;
+  h->tx_log_bytes = 0;
+  PersistHeader();
+  in_tx_ = false;
+  for (PoolObserver* obs : observers_) {
+    obs->OnTxCommit(current_tx_id_);
+  }
+  return OkStatus();
+}
+
+Status PmemPool::TxAbort() {
+  if (!in_tx_) {
+    return FailedPrecondition("abort outside transaction");
+  }
+  PoolHeader* h = header();
+  std::vector<PmOffset> entry_offsets;
+  PmOffset cursor = h->undo_off;
+  for (uint64_t i = 0; i < h->tx_log_count; i++) {
+    UndoEntryHeader eh;
+    std::memcpy(&eh, device_->Live(cursor), sizeof(eh));
+    entry_offsets.push_back(cursor);
+    cursor += sizeof(UndoEntryHeader) + AlignUp(eh.size, 8);
+  }
+  for (auto it = entry_offsets.rbegin(); it != entry_offsets.rend(); ++it) {
+    UndoEntryHeader eh;
+    std::memcpy(&eh, device_->Live(*it), sizeof(eh));
+    std::memcpy(device_->Live(eh.offset),
+                device_->Live(*it + sizeof(UndoEntryHeader)), eh.size);
+    device_->PersistQuiet(eh.offset, eh.size);
+  }
+  h->tx_active = 0;
+  h->tx_log_count = 0;
+  h->tx_log_bytes = 0;
+  PersistHeader();
+  in_tx_ = false;
+  return OkStatus();
+}
+
+bool PmemPool::InTx() const { return in_tx_; }
+
+void PmemPool::WalkTree(
+    uint64_t node, size_t node_order,
+    const std::function<void(PmOffset, size_t, bool)>& fn) const {
+  const uint8_t* state = TreeState();
+  if (state[node] == kNodeSplit) {
+    WalkTree(2 * node, node_order - 1, fn);
+    WalkTree(2 * node + 1, node_order - 1, fn);
+    return;
+  }
+  fn(NodeOffset(node, node_order), 1ULL << node_order,
+     state[node] == kNodeUsed);
+}
+
+void PmemPool::ForEachBlock(
+    const std::function<void(PmOffset, size_t, bool)>& fn) const {
+  WalkTree(1, header()->heap_order, fn);
+}
+
+Status PmemPool::CheckIntegrity() const {
+  const PoolHeader* h = header();
+  if (h->magic != kPoolMagic) {
+    return Corruption("pool header magic mismatch");
+  }
+  PoolHeader copy;
+  std::memcpy(&copy, h, sizeof(copy));
+  const uint32_t stored = copy.crc;
+  copy.crc = 0;
+  if (Crc32c(&copy, sizeof(copy)) != stored) {
+    return Corruption("pool header checksum mismatch");
+  }
+  // Validate the buddy state array and the usage accounting.
+  const uint8_t* state = TreeState();
+  uint64_t used = 0;
+  uint64_t live = 0;
+  // Iterative DFS over split nodes.
+  std::vector<std::pair<uint64_t, size_t>> stack = {{1, h->heap_order}};
+  while (!stack.empty()) {
+    auto [node, order] = stack.back();
+    stack.pop_back();
+    if (state[node] > kNodeUsed) {
+      return Corruption("invalid buddy node state");
+    }
+    if (state[node] == kNodeSplit) {
+      if (order == kMinOrder) {
+        return Corruption("split below minimum order");
+      }
+      stack.push_back({2 * node, order - 1});
+      stack.push_back({2 * node + 1, order - 1});
+      continue;
+    }
+    if (state[node] == kNodeUsed) {
+      used += 1ULL << order;
+      live++;
+    }
+  }
+  if (used != h->used_bytes || live != h->live_objects) {
+    return Corruption("heap accounting mismatch");
+  }
+  return OkStatus();
+}
+
+std::vector<std::pair<PmOffset, size_t>> PmemPool::MetadataRangesIn(
+    PmOffset offset, size_t size) const {
+  // All allocator metadata lives below heap_base (pool header, undo log,
+  // buddy state array); the object heap contains only payloads.
+  std::vector<std::pair<PmOffset, size_t>> ranges;
+  const PoolHeader* h = header();
+  if (offset < h->heap_base) {
+    const PmOffset end = std::min<PmOffset>(offset + size, h->heap_base);
+    ranges.push_back({offset, end - offset});
+  }
+  return ranges;
+}
+
+size_t PmemPool::Capacity() const { return 1ULL << header()->heap_order; }
+
+size_t PmemPool::FreeBytes() const {
+  const PoolHeader* h = header();
+  const uint64_t heap = 1ULL << h->heap_order;
+  return h->used_bytes >= heap ? 0 : heap - h->used_bytes;
+}
+
+void PmemPool::CoalesceFreeBlocks() {}  // buddy merging happens on free
+
+void PmemPool::AddObserver(PoolObserver* observer) {
+  observers_.push_back(observer);
+}
+
+void PmemPool::RemoveObserver(PoolObserver* observer) {
+  observers_.erase(std::remove(observers_.begin(), observers_.end(), observer),
+                   observers_.end());
+}
+
+}  // namespace arthas

@@ -1,0 +1,220 @@
+// Persistent memory pool: a pmemobj-mini.
+//
+// PmemPool layers a persistent object API on a PmemDevice, mirroring the
+// subset of PMDK's libpmemobj that the paper's target systems use:
+//
+//   * a named layout and a root object (pmemobj_create / pmemobj_root),
+//   * Oid-based allocation: Zalloc / Alloc / Free / Realloc and Direct()
+//     translation to a live pointer (pmemobj_zalloc / pmemobj_direct),
+//   * explicit persistence of object ranges (pmemobj_persist),
+//   * undo-log transactions (see pmem/tx.h).
+//
+// Allocator metadata (block headers, free list, pool header) is itself kept
+// in PM and persisted with *internal* (non-observed) persists so that the
+// Arthas checkpoint log records application PM updates, not heap bookkeeping
+// — matching the paper's modified PMDK, which intercepts object updates.
+//
+// PoolObserver is the second half of the Arthas hook surface (the first is
+// DurabilityObserver on the device): allocation, free, and realloc events
+// feed the checkpoint log's old_entry/new_entry linkage and the persistent
+// memory leak mitigation of paper Section 4.7.
+
+#ifndef ARTHAS_PMEM_POOL_H_
+#define ARTHAS_PMEM_POOL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "pmem/device.h"
+
+namespace arthas {
+
+// Persistent object handle: an offset into the pool's device. Stable across
+// restarts (unlike live pointers).
+struct Oid {
+  PmOffset off = kNullPmOffset;
+
+  bool is_null() const { return off == kNullPmOffset; }
+  static Oid Null() { return Oid{}; }
+
+  bool operator==(const Oid& other) const { return off == other.off; }
+};
+
+// Observes pool-level events (allocation lifecycle and transactions).
+class PoolObserver {
+ public:
+  virtual ~PoolObserver() = default;
+  virtual void OnAlloc(PmOffset offset, size_t size) = 0;
+  virtual void OnFree(PmOffset offset, size_t size) = 0;
+  virtual void OnRealloc(PmOffset old_offset, size_t old_size,
+                         PmOffset new_offset, size_t new_size) = 0;
+  virtual void OnTxBegin(uint64_t tx_id) = 0;
+  virtual void OnTxCommit(uint64_t tx_id) = 0;
+};
+
+struct PoolStats {
+  uint64_t allocs = 0;
+  uint64_t frees = 0;
+  uint64_t reallocs = 0;
+  uint64_t used_bytes = 0;   // payload bytes currently allocated
+  uint64_t live_objects = 0;
+};
+
+class PmemTx;
+
+class PmemPool {
+ public:
+  // Creates a fresh pool of `size` bytes with the given layout name, or
+  // opens an existing image (after a crash/restart) validating the layout.
+  static Result<std::unique_ptr<PmemPool>> Create(std::string layout,
+                                                  size_t size);
+  static Result<std::unique_ptr<PmemPool>> Open(std::unique_ptr<PmemDevice> device,
+                                                const std::string& layout);
+
+  ~PmemPool();
+  PmemPool(const PmemPool&) = delete;
+  PmemPool& operator=(const PmemPool&) = delete;
+
+  PmemDevice& device() { return *device_; }
+  const PmemDevice& device() const { return *device_; }
+
+  // Simulates a process restart / power failure and re-runs pool recovery
+  // (which rolls back any in-flight transaction). Volatile program state is
+  // the caller's to discard; this resets the PM view.
+  Status CrashAndRecover();
+
+  // --- Object allocation -------------------------------------------------
+
+  // Allocates `size` bytes; Zalloc additionally zeroes (and persists) them.
+  Result<Oid> Alloc(size_t size);
+  Result<Oid> Zalloc(size_t size);
+  Status Free(Oid oid);
+  // Grows or shrinks an object, copying min(old,new) payload bytes.
+  Result<Oid> Realloc(Oid oid, size_t new_size);
+
+  // Payload size of an allocated object.
+  Result<size_t> UsableSize(Oid oid) const;
+
+  // Live-pointer translation (pmemobj_direct). Returns nullptr for null oid.
+  template <typename T = void>
+  T* Direct(Oid oid) {
+    if (oid.is_null()) {
+      return nullptr;
+    }
+    return reinterpret_cast<T*>(device_->Live(oid.off));
+  }
+  template <typename T = void>
+  const T* Direct(Oid oid) const {
+    if (oid.is_null()) {
+      return nullptr;
+    }
+    return reinterpret_cast<const T*>(device_->Live(oid.off));
+  }
+
+  // Reverse translation: live pointer -> oid (must point into the pool).
+  Oid OidOf(const void* p) const;
+
+  // --- Root object --------------------------------------------------------
+
+  // Returns the root object, allocating (zeroed) on first call.
+  Result<Oid> Root(size_t size);
+  bool HasRoot() const;
+
+  // --- Persistence --------------------------------------------------------
+
+  // Makes [Direct(oid)+offset, +size) durable and notifies durability
+  // observers; the application-facing persistence point.
+  void Persist(Oid oid, size_t offset, size_t size);
+  void PersistRange(PmOffset offset, size_t size) {
+    device_->Persist(offset, size);
+  }
+  // Persist an entire struct the oid points at.
+  template <typename T>
+  void PersistObject(Oid oid) {
+    Persist(oid, 0, sizeof(T));
+  }
+
+  // --- Transactions (see pmem/tx.h for the guard object) ------------------
+
+  Status TxBegin();
+  Status TxAddRange(PmOffset offset, size_t size);
+  Status TxAddRange(Oid oid, size_t offset, size_t size);
+  Status TxCommit();
+  Status TxAbort();
+  bool InTx() const;
+
+  // --- Introspection -------------------------------------------------------
+
+  // Walks every heap block. `used` is true for allocated blocks; offset/size
+  // describe the payload.
+  void ForEachBlock(
+      const std::function<void(PmOffset offset, size_t size, bool used)>& fn)
+      const;
+
+  // Verifies pool metadata integrity (header checksum, block headers, free
+  // list). The pmempool-check analogue used by the consistency evaluation.
+  Status CheckIntegrity() const;
+
+  // Byte ranges within [offset, offset+size) that are allocator metadata
+  // (block headers) under the *current* heap layout. External reversion
+  // tooling restores payload bytes around these so it never corrupts the
+  // heap structure (PMDK keeps its metadata out-of-band; our boundary tags
+  // are inline, so the checkpoint restore must skip them).
+  std::vector<std::pair<PmOffset, size_t>> MetadataRangesIn(PmOffset offset,
+                                                            size_t size) const;
+
+  const PoolStats& stats() const { return stats_; }
+  size_t Capacity() const;
+  // Bytes still allocatable (upper bound; ignores fragmentation).
+  size_t FreeBytes() const;
+
+  void AddObserver(PoolObserver* observer);
+  void RemoveObserver(PoolObserver* observer);
+
+  const std::string& layout() const { return layout_; }
+
+ private:
+  friend class PmemTx;
+
+  PmemPool(std::unique_ptr<PmemDevice> device, std::string layout);
+
+  Status Format(size_t size);
+  Status Recover();
+  struct PoolHeader;
+  struct BlockHeader;
+  PoolHeader* header();
+  const PoolHeader* header() const;
+  BlockHeader* BlockAt(PmOffset offset);
+  const BlockHeader* BlockAt(PmOffset offset) const;
+  void PersistHeader();
+  void PersistBlockHeader(PmOffset offset);
+  void CoalesceFreeBlocks();
+  Result<Oid> AllocInternal(size_t size, bool zero);
+
+  // Buddy-allocator internals (state array in the out-of-band metadata
+  // region; see the design comment in pool.cc).
+  uint8_t* TreeState();
+  const uint8_t* TreeState() const;
+  void PersistNode(uint64_t node);
+  uint64_t NodeOffset(uint64_t node, size_t node_order) const;
+  uint64_t FindFreeNode(uint64_t node, size_t node_order, size_t target);
+  std::pair<uint64_t, size_t> FindUsedNode(PmOffset offset) const;
+  void WalkTree(uint64_t node, size_t node_order,
+                const std::function<void(PmOffset, size_t, bool)>& fn) const;
+
+  std::unique_ptr<PmemDevice> device_;
+  std::string layout_;
+  std::vector<PoolObserver*> observers_;
+  PoolStats stats_;
+  bool in_tx_ = false;
+  uint64_t next_tx_id_ = 1;
+  uint64_t current_tx_id_ = 0;
+};
+
+}  // namespace arthas
+
+#endif  // ARTHAS_PMEM_POOL_H_

@@ -1,0 +1,63 @@
+// RAII transaction guard for PmemPool.
+//
+// Mirrors the TX_BEGIN/TX_END usage pattern of libpmemobj: a PmemTx opened
+// on a pool begins an undo-log transaction; Commit() makes all added ranges
+// durable; destruction without Commit() aborts (restores the old contents).
+
+#ifndef ARTHAS_PMEM_TX_H_
+#define ARTHAS_PMEM_TX_H_
+
+#include "common/status.h"
+#include "pmem/pool.h"
+
+namespace arthas {
+
+class PmemTx {
+ public:
+  // Begins a transaction. Check `status()` before use: begin fails if a
+  // transaction is already open on the pool.
+  explicit PmemTx(PmemPool& pool) : pool_(pool), status_(pool.TxBegin()) {}
+
+  ~PmemTx() {
+    if (status_.ok() && !finished_) {
+      (void)pool_.TxAbort();
+    }
+  }
+
+  PmemTx(const PmemTx&) = delete;
+  PmemTx& operator=(const PmemTx&) = delete;
+
+  const Status& status() const { return status_; }
+
+  // Snapshots [oid+offset, +size) into the undo log before modification.
+  Status AddRange(Oid oid, size_t offset, size_t size) {
+    return pool_.TxAddRange(oid, offset, size);
+  }
+  Status AddRange(PmOffset offset, size_t size) {
+    return pool_.TxAddRange(offset, size);
+  }
+  // Snapshot an entire object.
+  template <typename T>
+  Status Add(Oid oid) {
+    return pool_.TxAddRange(oid, 0, sizeof(T));
+  }
+
+  Status Commit() {
+    finished_ = true;
+    return pool_.TxCommit();
+  }
+
+  Status Abort() {
+    finished_ = true;
+    return pool_.TxAbort();
+  }
+
+ private:
+  PmemPool& pool_;
+  Status status_;
+  bool finished_ = false;
+};
+
+}  // namespace arthas
+
+#endif  // ARTHAS_PMEM_TX_H_

@@ -1,0 +1,327 @@
+#include "reactor/reactor.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+
+namespace arthas {
+
+Reactor::Reactor(const IrModule& model, const GuidRegistry& registry)
+    : model_(model), registry_(registry) {
+  const int64_t t0 = MonotonicNanos();
+  pa_ = std::make_unique<PointerAnalysis>(model_);
+  pa_->Run();
+  pm_info_ = std::make_unique<PmVariableInfo>(model_, *pa_);
+  const int64_t t1 = MonotonicNanos();
+  pdg_ = std::make_unique<Pdg>(model_, *pa_);
+  const int64_t t2 = MonotonicNanos();
+  slicer_ = std::make_unique<Slicer>(*pdg_, *pm_info_);
+  timings_.static_analysis_ns = t1 - t0;
+  timings_.pdg_ns = t2 - t1;
+}
+
+std::vector<SeqNum> Reactor::ComputeReversionPlan(const FaultInfo& fault,
+                                                  Tracer& tracer,
+                                                  const CheckpointLog& log,
+                                                  const ReactorConfig& config) {
+  const IrInstruction* fault_inst = model_.FindByGuid(fault.fault_guid);
+  if (fault_inst == nullptr) {
+    return {};
+  }
+  const SliceResult slice = slicer_->BackwardPersistent(fault_inst);
+  timings_.last_slicing_ns = slice.elapsed_ns;
+
+  std::set<SeqNum> candidate_set;
+  size_t distance = 0;
+  for (const IrInstruction* node : slice.instructions) {
+    if (distance++ > config.max_slice_distance) {
+      break;  // policy function: cap slice distance from the fault
+    }
+    if (node->guid() == kNoGuid) {
+      continue;
+    }
+    for (const PmOffset address : tracer.AddressesForGuid(node->guid())) {
+      for (const CheckpointEntry* entry : log.Overlapping(address, 1)) {
+        for (const CheckpointVersion& version : entry->versions) {
+          candidate_set.insert(version.seq_num);
+        }
+        // Follow reallocation links (Figure 5's old_entry field, detailed
+        // in the technical report): a resized persistent block's earlier
+        // history lives at its previous addresses.
+        const CheckpointEntry* older = entry;
+        for (int hops = 0;
+             older->old_entry != kNullPmOffset && hops < 16; hops++) {
+          older = log.Find(older->old_entry);
+          if (older == nullptr) {
+            break;
+          }
+          for (const CheckpointVersion& version : older->versions) {
+            candidate_set.insert(version.seq_num);
+          }
+        }
+      }
+    }
+  }
+  // Default policy function: sorted, de-duplicated, newest first so the
+  // reversion walks backwards through time along the dependency chain.
+  // Candidates recorded at the faulting PM address (when the failure
+  // reported one, as a segfault's siginfo does) are tried first — they are
+  // the most likely direct cause.
+  std::vector<SeqNum> at_fault;
+  std::vector<SeqNum> rest;
+  std::set<SeqNum> at_fault_set;
+  if (config.prioritize_fault_address &&
+      fault.fault_address != kNullPmOffset) {
+    for (const CheckpointEntry* entry :
+         log.Overlapping(fault.fault_address, 1)) {
+      for (const CheckpointVersion& version : entry->versions) {
+        if (candidate_set.count(version.seq_num) != 0) {
+          at_fault_set.insert(version.seq_num);
+        }
+      }
+    }
+  }
+  for (auto it = candidate_set.rbegin(); it != candidate_set.rend(); ++it) {
+    if (at_fault_set.count(*it) != 0) {
+      at_fault.push_back(*it);
+    } else {
+      rest.push_back(*it);
+    }
+  }
+  std::vector<SeqNum> plan = std::move(at_fault);
+  plan.insert(plan.end(), rest.begin(), rest.end());
+  return plan;
+}
+
+uint64_t Reactor::RevertCandidate(SeqNum seq, Tracer& tracer,
+                                  CheckpointLog& log,
+                                  const ReactorConfig& config) {
+  uint64_t reverted = 0;
+  // Transaction-level consistency (Section 4.6): revert the whole commit
+  // unit the sequence number belongs to.
+  std::vector<SeqNum> group = log.SeqsInSameTx(seq);
+  std::sort(group.rbegin(), group.rend());
+  std::vector<std::pair<PmOffset, Guid>> reverted_sites;
+  for (const SeqNum s : group) {
+    auto located = log.LocateSeq(s);
+    if (!located.has_value()) {
+      continue;  // already reverted via a newer version of the same entry
+    }
+    const PmOffset address = located->first;
+    if (log.RevertSeq(s).ok()) {
+      reverted++;
+      for (const Guid g : tracer.GuidsForRange(address, 1)) {
+        reverted_sites.push_back({address, g});
+      }
+    }
+  }
+  if (config.mode == ReversionMode::kPurge && config.purge_forward_pass) {
+    // Purge consistency pass (Section 4.4): updates that *depend on* the
+    // reverted state are reverted too, so dependent pairs stay consistent.
+    // The static forward slice aliases to many dynamic sequence numbers;
+    // only those close after the reverted update (the same request's
+    // persists) are actually forward-dependent on the reverted value, so
+    // the pass is bounded to that window.
+    constexpr SeqNum kForwardWindow = 32;
+    std::set<SeqNum> forward;
+    for (const auto& [address, guid] : reverted_sites) {
+      const IrInstruction* inst = model_.FindByGuid(guid);
+      if (inst == nullptr) {
+        continue;
+      }
+      const SliceResult fwd = slicer_->ForwardPersistent(inst);
+      for (const IrInstruction* node : fwd.instructions) {
+        if (node == inst || node->guid() == kNoGuid) {
+          continue;
+        }
+        for (const PmOffset addr : tracer.AddressesForGuid(node->guid())) {
+          for (const CheckpointEntry* entry : log.Overlapping(addr, 1)) {
+            for (const CheckpointVersion& v : entry->versions) {
+              if (v.seq_num > seq && v.seq_num <= seq + kForwardWindow) {
+                forward.insert(v.seq_num);
+              }
+            }
+          }
+        }
+      }
+    }
+    // Newest first.
+    for (auto it = forward.rbegin(); it != forward.rend(); ++it) {
+      if (log.LocateSeq(*it).has_value() && log.RevertSeq(*it).ok()) {
+        reverted++;
+      }
+    }
+  }
+  return reverted;
+}
+
+MitigationOutcome Reactor::MitigateLeak(const FaultInfo& fault,
+                                        CheckpointLog& log,
+                                        PmSystemTarget& target,
+                                        const ReexecuteFn& reexecute,
+                                        VirtualClock& clock,
+                                        const ReactorConfig& config) {
+  MitigationOutcome outcome;
+  const VirtualTime start = clock.Now();
+  // Persistent leak workflow (Section 4.7): restart so the recovery
+  // function runs and its PM accesses are captured, then free every object
+  // that was never freed in the checkpoint log *and* was not retrieved
+  // during recovery.
+  (void)target.Restart();
+  std::set<PmOffset> recovery_accessed(target.RecoveryAccessedObjects().begin(),
+                                       target.RecoveryAccessedObjects().end());
+  for (const AllocationRecord& record : log.UnfreedAllocations()) {
+    if (recovery_accessed.count(record.offset) != 0) {
+      continue;  // reachable state, not a leak
+    }
+    if (target.pool().Free(Oid{record.offset}).ok()) {
+      log.OnFree(record.offset, record.size);
+      outcome.freed_leak_objects++;
+    }
+  }
+  clock.Advance(config.reexecution_delay);
+  const RunObservation obs = reexecute();
+  outcome.reexecutions = 1;
+  outcome.recovered = !obs.fault.has_value();
+  outcome.elapsed = clock.Now() - start;
+  outcome.detail = "leak mitigation (" + std::string(FailureKindName(fault.kind)) +
+                   "): freed " + std::to_string(outcome.freed_leak_objects) +
+                   " unreachable persistent objects";
+  return outcome;
+}
+
+MitigationOutcome Reactor::Mitigate(const FaultInfo& fault, Tracer& tracer,
+                                    CheckpointLog& log, PmSystemTarget& target,
+                                    const ReexecuteFn& reexecute,
+                                    VirtualClock& clock,
+                                    const ReactorConfig& config) {
+  if (fault.kind == FailureKind::kLeak ||
+      fault.kind == FailureKind::kOutOfSpace) {
+    return MitigateLeak(fault, log, target, reexecute, clock, config);
+  }
+
+  MitigationOutcome outcome;
+  const VirtualTime start = clock.Now();
+  std::vector<SeqNum> plan = ComputeReversionPlan(fault, tracer, log, config);
+  if (plan.empty()) {
+    // Detector false alarm or non-PM failure: abort to a simple restart
+    // (Section 4.5).
+    outcome.empty_plan = true;
+    clock.Advance(config.reexecution_delay);
+    const RunObservation obs = reexecute();
+    outcome.reexecutions = 1;
+    outcome.recovered = !obs.fault.has_value();
+    outcome.elapsed = clock.Now() - start;
+    outcome.detail = "empty reversion plan; resorted to restart";
+    return outcome;
+  }
+
+  // Addresses touched by the plan, for the older-version retry rounds.
+  std::vector<PmOffset> plan_addresses;
+  for (const SeqNum s : plan) {
+    auto loc = log.LocateSeq(s);
+    if (loc.has_value() &&
+        std::find(plan_addresses.begin(), plan_addresses.end(), loc->first) ==
+            plan_addresses.end()) {
+      plan_addresses.push_back(loc->first);
+    }
+  }
+
+  auto try_reexecution = [&](int reverted_since_check) -> bool {
+    if (reverted_since_check == 0) {
+      return false;
+    }
+    clock.Advance(config.reexecution_delay);
+    outcome.reexecutions++;
+    const RunObservation obs = reexecute();
+    return !obs.fault.has_value();
+  };
+
+  auto out_of_budget = [&]() {
+    if (clock.Now() - start > config.mitigation_timeout) {
+      outcome.timed_out = true;
+      return true;
+    }
+    return outcome.reexecutions >= config.max_attempts;
+  };
+
+  int pending = 0;  // reversions not yet validated by a re-execution
+  // Round 1 walks the candidate list; rounds 2..max_versions walk older
+  // versions of the same addresses (Section 4.5).
+  for (int round = 1; round <= config.max_versions; round++) {
+    std::vector<SeqNum> round_plan;
+    if (round == 1) {
+      round_plan = plan;
+    } else {
+      for (const PmOffset address : plan_addresses) {
+        const SeqNum s = log.NewestSeqAt(address);
+        if (s != kNoSeq) {
+          round_plan.push_back(s);
+        }
+      }
+      std::sort(round_plan.rbegin(), round_plan.rend());
+    }
+    size_t i = 0;
+    while (i < round_plan.size()) {
+      int batch_size = 1;
+      if (config.batch) {
+        batch_size = config.batch_limit;
+      } else if (config.exponential_probing) {
+        // Tech-report reduction: grow the per-step reversion count
+        // exponentially while re-executions keep failing.
+        batch_size = 1 << std::min(outcome.reexecutions, 12);
+      }
+      for (int b = 0; b < batch_size && i < round_plan.size(); b++, i++) {
+        if (config.mode == ReversionMode::kRollback) {
+          // Undo the chosen candidate itself (divergence-aware), then
+          // conservatively revert every other update at or after it in
+          // time order (paper Fig. 7b / Section 6.5). When the divergence
+          // rule fired, the state was corrupted *outside* program order —
+          // no later update was built on the bad value — so the restore of
+          // the checkpointed good version is the whole reversion.
+          bool diverged = false;
+          if (log.LocateSeq(round_plan[i]).has_value()) {
+            auto reverted = log.RevertSeq(round_plan[i]);
+            if (reverted.ok()) {
+              outcome.reverted_updates++;
+              pending++;
+              diverged = *reverted;
+            }
+          }
+          if (!diverged) {
+            auto discarded = log.RollbackToSeq(round_plan[i]);
+            if (discarded.ok()) {
+              outcome.reverted_updates += *discarded;
+              pending += static_cast<int>(*discarded);
+            }
+          }
+        } else {
+          const uint64_t n =
+              RevertCandidate(round_plan[i], tracer, log, config);
+          outcome.reverted_updates += n;
+          pending += static_cast<int>(n);
+        }
+      }
+      if (try_reexecution(pending)) {
+        outcome.recovered = true;
+        outcome.elapsed = clock.Now() - start;
+        outcome.detail = "recovered after " +
+                         std::to_string(outcome.reverted_updates) +
+                         " reverted updates in round " + std::to_string(round);
+        return outcome;
+      }
+      pending = 0;
+      if (out_of_budget()) {
+        outcome.elapsed = clock.Now() - start;
+        outcome.detail = "mitigation budget exhausted";
+        return outcome;
+      }
+    }
+  }
+  outcome.elapsed = clock.Now() - start;
+  outcome.detail = "candidate list and version retries exhausted";
+  return outcome;
+}
+
+}  // namespace arthas

@@ -1,0 +1,80 @@
+#include "reactor/reactor_server.h"
+
+#include <sstream>
+
+namespace arthas {
+
+std::string MitigationRequest::Serialize() const {
+  std::ostringstream out;
+  out << static_cast<int>(fault.kind) << ' ' << fault.fault_guid << ' '
+      << fault.fault_address << ' ' << fault.exit_code;
+  return out.str();
+}
+
+Result<MitigationRequest> MitigationRequest::Parse(const std::string& text) {
+  std::istringstream in(text);
+  int kind = 0;
+  MitigationRequest request;
+  if (!(in >> kind >> request.fault.fault_guid >> request.fault.fault_address
+           >> request.fault.exit_code)) {
+    return Status(StatusCode::kInvalidArgument,
+                  "malformed mitigation request");
+  }
+  request.fault.kind = static_cast<FailureKind>(kind);
+  return request;
+}
+
+std::string PlanResponse::Serialize() const {
+  std::ostringstream out;
+  out << (empty_plan ? 1 : 0) << ' ' << slicing_ns;
+  for (const SeqNum seq : candidates) {
+    out << ' ' << seq;
+  }
+  return out.str();
+}
+
+Result<PlanResponse> PlanResponse::Parse(const std::string& text) {
+  std::istringstream in(text);
+  int empty = 0;
+  PlanResponse response;
+  if (!(in >> empty >> response.slicing_ns)) {
+    return Status(StatusCode::kInvalidArgument, "malformed plan response");
+  }
+  response.empty_plan = empty != 0;
+  SeqNum seq;
+  while (in >> seq) {
+    response.candidates.push_back(seq);
+  }
+  return response;
+}
+
+ReactorServer::ReactorServer(const IrModule& model,
+                             const GuidRegistry& registry)
+    : reactor_(std::make_unique<Reactor>(model, registry)) {}
+
+Status ReactorServer::IngestTrace(const std::string& trace_lines) {
+  return trace_copy_.ParseAppend(trace_lines);
+}
+
+PlanResponse ReactorServer::ComputePlan(const MitigationRequest& request,
+                                        const CheckpointLog& log) {
+  PlanResponse response;
+  response.candidates = reactor_->ComputeReversionPlan(
+      request.fault, trace_copy_, log, request.config);
+  response.empty_plan = response.candidates.empty();
+  response.slicing_ns = reactor_->timings().last_slicing_ns;
+  requests_served_++;
+  return response;
+}
+
+MitigationOutcome ReactorServer::Execute(const MitigationRequest& request,
+                                         CheckpointLog& log,
+                                         PmSystemTarget& target,
+                                         const ReexecuteFn& reexecute,
+                                         VirtualClock& clock) {
+  requests_served_++;
+  return reactor_->Mitigate(request.fault, trace_copy_, log, target,
+                            reexecute, clock, request.config);
+}
+
+}  // namespace arthas

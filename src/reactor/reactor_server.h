@@ -1,0 +1,81 @@
+// Client-server reactor deployment (paper Section 5).
+//
+// Computing the PDG and the pointer analysis takes long for large programs,
+// and the PM trace grows continuously; doing either on the mitigation
+// critical path would delay recovery. The paper therefore runs the reactor
+// as a server: it starts as soon as the target's code is available,
+// computes the PDG in the background, re-uses it until the code changes,
+// and incrementally parses the trace file; the detector contacts it over
+// RPC when a hard failure is suspected, and the server answers with a
+// reversion plan quickly (only slicing is on the critical path — Table 9).
+//
+// This facade reproduces that split in-process: requests and responses are
+// plain serializable structs (the RPC boundary), the server owns the
+// precomputed Reactor and an incrementally-ingested trace copy, and
+// repeated requests against the same code version reuse all static state.
+
+#ifndef ARTHAS_REACTOR_REACTOR_SERVER_H_
+#define ARTHAS_REACTOR_REACTOR_SERVER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "reactor/reactor.h"
+
+namespace arthas {
+
+// What the detector sends over the wire.
+struct MitigationRequest {
+  FaultInfo fault;
+  ReactorConfig config;
+
+  // Wire format: "kind guid address exit_code" (the stack and message are
+  // diagnostic-only and elided).
+  std::string Serialize() const;
+  static Result<MitigationRequest> Parse(const std::string& text);
+};
+
+// What the server answers with before execution: the reversion plan, for
+// operator inspection (the paper presents the plan for confirmation).
+struct PlanResponse {
+  std::vector<SeqNum> candidates;
+  bool empty_plan = false;
+  int64_t slicing_ns = 0;
+
+  std::string Serialize() const;
+  static Result<PlanResponse> Parse(const std::string& text);
+};
+
+class ReactorServer {
+ public:
+  // "Server start": runs static analysis + PDG construction for the
+  // target's code. Reused across mitigations until the code changes.
+  ReactorServer(const IrModule& model, const GuidRegistry& registry);
+
+  // Incremental trace ingestion (the paper's background trace parser):
+  // appends new serialized trace lines to the server-side copy.
+  Status IngestTrace(const std::string& trace_lines);
+
+  // Plan computation (the fast path: slicing + trace join only).
+  PlanResponse ComputePlan(const MitigationRequest& request,
+                           const CheckpointLog& log);
+
+  // Full mitigation on behalf of a confirmed request.
+  MitigationOutcome Execute(const MitigationRequest& request,
+                            CheckpointLog& log, PmSystemTarget& target,
+                            const ReexecuteFn& reexecute, VirtualClock& clock);
+
+  const ReactorTimings& timings() const { return reactor_->timings(); }
+  // Number of mitigation plans served from the same precomputed PDG.
+  int requests_served() const { return requests_served_; }
+
+ private:
+  std::unique_ptr<Reactor> reactor_;
+  Tracer trace_copy_;
+  int requests_served_ = 0;
+};
+
+}  // namespace arthas
+
+#endif  // ARTHAS_REACTOR_REACTOR_SERVER_H_

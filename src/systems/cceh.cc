@@ -1,0 +1,551 @@
+#include "systems/cceh.h"
+
+#include <cassert>
+#include <cstring>
+#include <set>
+
+#include "common/logging.h"
+#include "pmem/libpmem.h"
+
+namespace arthas {
+
+namespace {
+uint64_t MixHash(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+}  // namespace
+
+// The global depth deliberately sits in its own cache line (as in real
+// CCEH): persists of `dir`/`count` must not make the depth durable as a
+// line-rounding side effect, or the f9 missing-clwb bug could never
+// manifest. Buddy allocations of this size are 64-byte aligned, so offset
+// 64 opens a fresh line.
+struct Cceh::CcehRoot {
+  PmOffset dir;           // offset 0
+  uint64_t count;         // offset 8
+  uint64_t reserved0[6];  // offsets 16..56 (rest of the first line)
+  uint64_t global_depth;  // offset 64: own cache line
+  uint64_t reserved1[7];  // offsets 72..120
+};
+
+struct Cceh::Segment {
+  uint64_t local_depth;
+  uint64_t used;
+  struct Pair {
+    uint64_t key;  // 0 = empty slot
+    uint64_t value;
+  } pairs[kSlotsPerSegment];
+};
+
+Cceh::Cceh(Options options)
+    : PmSystemBase("cceh", options.pool_size), options_(options) {
+  auto root_res = pool_->Root(sizeof(CcehRoot));
+  assert(root_res.ok());
+  root_oid_ = *root_res;
+  CcehRoot* r = root();
+  if (r->dir == 0) {
+    const uint64_t entries = 1ULL << options_.initial_global_depth;
+    auto dir = pool_->Zalloc(entries * sizeof(PmOffset));
+    assert(dir.ok());
+    auto* d = pool_->Direct<PmOffset>(*dir);
+    for (uint64_t i = 0; i < entries; i++) {
+      auto seg = pool_->Zalloc(sizeof(Segment));
+      assert(seg.ok());
+      SegmentAt(seg->off)->local_depth = options_.initial_global_depth;
+      TracedPersist(*seg, 0, sizeof(Segment), kGuidCcSegInit);
+      d[i] = seg->off;
+    }
+    TracedPersistRange(dir->off, entries * sizeof(PmOffset), kGuidCcDirStore);
+    r->dir = dir->off;
+    r->global_depth = options_.initial_global_depth;
+    TracedPersist(root_oid_, 0, sizeof(CcehRoot), kGuidCcRootDirStore);
+  }
+  BuildIrModel();
+}
+
+Cceh::CcehRoot* Cceh::root() { return pool_->Direct<CcehRoot>(root_oid_); }
+
+Cceh::Segment* Cceh::SegmentAt(PmOffset off) {
+  return reinterpret_cast<Segment*>(pool_->device().Live(off));
+}
+
+PmOffset* Cceh::Directory() {
+  return pool_->Direct<PmOffset>(Oid{root()->dir});
+}
+
+uint64_t Cceh::DirIndex(uint64_t hash, uint64_t depth) const {
+  return depth == 0 ? 0 : hash >> (64 - depth);
+}
+
+Cceh::Segment* Cceh::SegmentForIndex(uint64_t idx) {
+  // A depth/directory generation mismatch can send the index past the
+  // directory array — a wild read that would segfault the real system.
+  CcehRoot* r = root();
+  auto usable = pool_->UsableSize(Oid{r->dir});
+  if (!usable.ok() || (idx + 1) * sizeof(PmOffset) > *usable) {
+    RaiseFault(FailureKind::kCrash, kGuidCcInsertLoop,
+               root_oid_.off + offsetof(CcehRoot, dir),
+               "directory index out of range (depth/directory mismatch)",
+               {"CCEH::Insert", "Directory"});
+    return nullptr;
+  }
+  const PmOffset seg_off = Directory()[idx];
+  if (seg_off == 0 || seg_off + sizeof(Segment) > pool_->device().size()) {
+    RaiseFault(FailureKind::kCrash, kGuidCcInsertLoop,
+               root_oid_.off + offsetof(CcehRoot, dir),
+               "directory entry points outside the pool",
+               {"CCEH::Insert", "Directory"});
+    return nullptr;
+  }
+  return SegmentAt(seg_off);
+}
+
+uint64_t Cceh::global_depth() { return root()->global_depth; }
+
+Status Cceh::Insert(uint64_t key, uint64_t value) {
+  if (key == 0) {
+    return InvalidArgument("key 0 is the empty-slot marker");
+  }
+  const uint64_t hash = MixHash(key);
+  for (int retries = 0; retries <= options_.retry_budget; retries++) {
+    CcehRoot* r = root();
+    const uint64_t idx = DirIndex(hash, r->global_depth);
+    Segment* seg = SegmentForIndex(idx);
+    if (seg == nullptr) {
+      return Internal(fault_->message);
+    }
+    const PmOffset seg_off = pool_->device().OffsetOf(seg);
+    tracer_.Record(kGuidCcInsertLoop, seg_off);
+    // Probe for the key or an empty slot.
+    for (int i = 0; i < kSlotsPerSegment; i++) {
+      const int slot = (hash + i) % kSlotsPerSegment;
+      auto& pair = seg->pairs[slot];
+      if (pair.key == key || pair.key == 0) {
+        const bool fresh = pair.key == 0;
+        pair.key = key;
+        pair.value = value;
+        TracedPersistRange(
+            seg_off + offsetof(Segment, pairs) + slot * sizeof(Segment::Pair),
+            sizeof(Segment::Pair), kGuidCcInsertStore);
+        if (fresh) {
+          seg->used++;
+          r->count++;
+          TracedPersist(root_oid_, offsetof(CcehRoot, count),
+                        sizeof(uint64_t), kGuidCcCountStore);
+        }
+        return OkStatus();
+      }
+    }
+    // Segment full: split or double.
+    if (seg->local_depth < r->global_depth) {
+      ARTHAS_RETURN_IF_ERROR(Split(seg_off, hash));
+    } else if (seg->local_depth == r->global_depth) {
+      ARTHAS_RETURN_IF_ERROR(DoubleDirectory());
+    }
+    // local_depth > global_depth is the inconsistent f9 state: neither
+    // branch applies, the loop keeps re-probing the same full segment.
+  }
+  RaiseFault(FailureKind::kHang, kGuidCcInsertLoop,
+             root_oid_.off + offsetof(CcehRoot, dir),
+             "insert stuck in split-retry loop (directory/depth mismatch)",
+             {"CCEH::Insert", "Segment::Insert4split"});
+  return Internal(fault_->message);
+}
+
+Status Cceh::Split(PmOffset seg_off, uint64_t hash) {
+  CcehRoot* r = root();
+  Segment* seg = SegmentAt(seg_off);
+  const uint64_t new_depth = seg->local_depth + 1;
+  auto fresh = pool_->Zalloc(sizeof(Segment));
+  if (!fresh.ok()) {
+    return fresh.status();
+  }
+  Segment* buddy = SegmentAt(fresh->off);
+  buddy->local_depth = new_depth;
+  // Redistribute: pairs whose discriminating bit is 1 move to the buddy.
+  for (int i = 0; i < kSlotsPerSegment; i++) {
+    auto& pair = seg->pairs[i];
+    if (pair.key == 0) {
+      continue;
+    }
+    const uint64_t h = MixHash(pair.key);
+    if ((h >> (64 - new_depth)) & 1ULL) {
+      for (int j = 0; j < kSlotsPerSegment; j++) {
+        const int slot = (h + j) % kSlotsPerSegment;
+        if (buddy->pairs[slot].key == 0) {
+          buddy->pairs[slot] = pair;
+          buddy->used++;
+          break;
+        }
+      }
+      pair.key = 0;
+      pair.value = 0;
+      seg->used--;
+      TracedPersistRange(
+          seg_off + offsetof(Segment, pairs) + i * sizeof(Segment::Pair),
+          sizeof(Segment::Pair), kGuidCcPairStore);
+    }
+  }
+  TracedPersist(*fresh, 0, sizeof(Segment), kGuidCcSegInit);
+  seg->local_depth = new_depth;
+  TracedPersist(Oid{seg_off}, offsetof(Segment, local_depth),
+                sizeof(uint64_t), kGuidCcDepthLStore);
+  // Patch every directory entry that maps to the buddy's half.
+  PmOffset* dir = Directory();
+  const uint64_t entries = 1ULL << r->global_depth;
+  for (uint64_t i = 0; i < entries; i++) {
+    if (dir[i] != seg_off) {
+      continue;
+    }
+    if ((i >> (r->global_depth - new_depth)) & 1ULL) {
+      dir[i] = fresh->off;
+      TracedPersistRange(r->dir + i * sizeof(PmOffset), sizeof(PmOffset),
+                         kGuidCcDirStore);
+    }
+  }
+  (void)hash;
+  return OkStatus();
+}
+
+Status Cceh::DoubleDirectory() {
+  CcehRoot* r = root();
+  const uint64_t old_entries = 1ULL << r->global_depth;
+  auto bigger = pool_->Zalloc(old_entries * 2 * sizeof(PmOffset));
+  if (!bigger.ok()) {
+    return bigger.status();
+  }
+  auto* nd = pool_->Direct<PmOffset>(*bigger);
+  const PmOffset* od = Directory();
+  for (uint64_t i = 0; i < old_entries; i++) {
+    nd[2 * i] = od[i];
+    nd[2 * i + 1] = od[i];
+  }
+  TracedPersistRange(bigger->off, old_entries * 2 * sizeof(PmOffset),
+                     kGuidCcDirStore);
+  r->dir = bigger->off;
+  TracedPersist(root_oid_, offsetof(CcehRoot, dir), sizeof(PmOffset),
+                kGuidCcRootDirStore);
+  r->global_depth++;
+  if (!(FaultArmed(FaultId::kF9DirectoryDoubling) && crash_window_)) {
+    TracedPersist(root_oid_, offsetof(CcehRoot, global_depth),
+                  sizeof(uint64_t), kGuidCcDepthGStore);
+  }
+  // f9: the clwb for the global depth is delayed; when the crash lands in
+  // the window, the CPU-visible value is correct so everything works until
+  // the crash, but the durable image keeps the stale depth (paper 2.3: "if
+  // an untimely crash occurs before the global depth is updated, insertions
+  // get stuck in an infinite loop").
+  return OkStatus();
+}
+
+Result<uint64_t> Cceh::Lookup(uint64_t key) {
+  const uint64_t hash = MixHash(key);
+  CcehRoot* r = root();
+  Segment* seg = SegmentForIndex(DirIndex(hash, r->global_depth));
+  if (seg == nullptr) {
+    return Internal(fault_->message);
+  }
+  for (int i = 0; i < kSlotsPerSegment; i++) {
+    const int slot = (hash + i) % kSlotsPerSegment;
+    if (seg->pairs[slot].key == key) {
+      return seg->pairs[slot].value;
+    }
+  }
+  return Status(StatusCode::kNotFound, "key absent");
+}
+
+Response Cceh::Handle(const Request& request) {
+  Response response;
+  if (HasFault()) {
+    response.status = Internal("server unavailable");
+    return response;
+  }
+  const uint64_t key = Fnv(request.key);
+  switch (request.op) {
+    case Request::Op::kPut: {
+      response.status = Insert(key, Fnv(request.value));
+      return response;
+    }
+    case Request::Op::kGet: {
+      auto value = Lookup(key);
+      response.found = value.ok();
+      if (!response.found && request.must_exist) {
+        RaiseFault(FailureKind::kWrongResult, kGuidCcInsertLoop,
+                   root_oid_.off + offsetof(CcehRoot, dir),
+                   "inserted key missing", {"CCEH::Get"});
+        response.status = Internal(fault_->message);
+        return response;
+      }
+      if (response.found) {
+        response.value = std::to_string(*value);
+      }
+      response.status = OkStatus();
+      return response;
+    }
+    default:
+      response.status = Unimplemented("op not supported by cceh");
+      return response;
+  }
+}
+
+uint64_t Cceh::Fnv(const std::string& s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h = (h ^ static_cast<uint8_t>(c)) * 1099511628211ULL;
+  }
+  return h == 0 ? 1 : h;
+}
+
+Result<std::string> Cceh::FindKeyForInconsistentSegment(bool require_full) {
+  CcehRoot* r = root();
+  auto dir_usable = pool_->UsableSize(Oid{r->dir});
+  for (int i = 0; i < 5000; i++) {
+    const std::string key = "stuck" + std::to_string(i);
+    const uint64_t k = Fnv(key);
+    const uint64_t hash = MixHash(k);
+    const uint64_t idx = DirIndex(hash, r->global_depth);
+    if (!dir_usable.ok() || (idx + 1) * sizeof(PmOffset) > *dir_usable) {
+      continue;  // Insert would crash here; the plain probe covers it
+    }
+    const PmOffset seg_off = Directory()[idx];
+    if (seg_off == 0 || seg_off + sizeof(Segment) > pool_->device().size()) {
+      continue;
+    }
+    Segment* seg = SegmentAt(seg_off);
+    if (seg->local_depth <= r->global_depth) {
+      continue;
+    }
+    bool full = true;
+    bool present = false;
+    for (int s = 0; s < kSlotsPerSegment; s++) {
+      const int slot = (hash + s) % kSlotsPerSegment;
+      if (seg->pairs[slot].key == k) {
+        present = true;
+      }
+      if (seg->pairs[slot].key == 0) {
+        full = false;
+      }
+    }
+    if (require_full ? (full && !present) : (!full && !present)) {
+      return key;
+    }
+  }
+  return Status(StatusCode::kNotFound, "no inconsistent segment reachable");
+}
+
+uint64_t Cceh::ItemCount() { return root()->count; }
+
+Status Cceh::CheckConsistency() {
+  ARTHAS_RETURN_IF_ERROR(pool_->CheckIntegrity());
+  CcehRoot* r = root();
+  const uint64_t entries = 1ULL << r->global_depth;
+  uint64_t total = 0;
+  std::set<PmOffset> seen;
+  const PmOffset* dir = Directory();
+  for (uint64_t i = 0; i < entries; i++) {
+    Segment* seg = SegmentAt(dir[i]);
+    if (seg->local_depth > r->global_depth) {
+      return Corruption("segment local depth exceeds global depth");
+    }
+    if (seen.insert(dir[i]).second) {
+      uint64_t used = 0;
+      for (const auto& pair : seg->pairs) {
+        if (pair.key != 0) {
+          used++;
+        }
+      }
+      if (used != seg->used) {
+        return Corruption("segment used-count mismatch");
+      }
+      total += used;
+    }
+  }
+  if (total != r->count) {
+    return Corruption("directory item count mismatch");
+  }
+  return OkStatus();
+}
+
+Status Cceh::Recover() {
+  CcehRoot* r = root();
+  RecoveryTouch(r->dir);
+  const uint64_t entries = 1ULL << r->global_depth;
+  auto dir_usable = pool_->UsableSize(Oid{r->dir});
+  if (!dir_usable.ok() || entries * sizeof(PmOffset) > *dir_usable) {
+    RaiseFault(FailureKind::kCrash, kGuidCcInsertLoop,
+               root_oid_.off + offsetof(CcehRoot, dir),
+               "recovery: directory smaller than 2^global_depth",
+               {"CCEH::Recovery"});
+    return OkStatus();
+  }
+  // Recovery scans every segment once; the item count and per-segment used
+  // counters are derived metadata recomputed from the pairs (as real CCEH's
+  // recovery pass does).
+  const PmOffset* dir = Directory();
+  uint64_t total = 0;
+  std::set<PmOffset> seen;
+  for (uint64_t i = 0; i < entries; i++) {
+    RecoveryTouch(dir[i]);
+    if (dir[i] == 0 || dir[i] + sizeof(Segment) > pool_->device().size() ||
+        !seen.insert(dir[i]).second) {
+      continue;
+    }
+    Segment* seg = SegmentAt(dir[i]);
+    uint64_t used = 0;
+    for (const auto& pair : seg->pairs) {
+      if (pair.key != 0) {
+        used++;
+      }
+    }
+    seg->used = used;
+    pool_->device().PersistQuiet(dir[i] + offsetof(Segment, used),
+                                 sizeof(uint64_t));
+    total += used;
+  }
+  r->count = total;
+  pool_->device().PersistQuiet(root_oid_.off + offsetof(CcehRoot, count),
+                               sizeof(uint64_t));
+  return OkStatus();
+}
+
+// --- IR model ----------------------------------------------------------------
+//
+// Root fields: 0 dir, 1 global_depth, 2 count. Segment fields: 0
+// local_depth, 1 used, 2 pairs.
+void Cceh::BuildIrModel() {
+  model_ = std::make_unique<IrModule>("cceh");
+  IrModule& m = *model_;
+  IrBuilder b(m);
+  IrGlobal* g_root = m.CreateGlobal("g_root");
+
+  IrFunction* alloc_seg = m.CreateFunction("alloc_seg", 0);
+  {
+    b.SetInsertPoint(alloc_seg->CreateBlock("entry"));
+    IrInstruction* s = b.PmAlloc(b.Const(256), "seg");
+    IrInstruction* st = b.Store(b.Const(1), b.FieldAddr(s, 0, "ld_addr"));
+    st->set_guid(kGuidCcSegInit);
+    b.Ret(s);
+  }
+
+  IrFunction* alloc_dir = m.CreateFunction("alloc_dir", 0);
+  {
+    b.SetInsertPoint(alloc_dir->CreateBlock("entry"));
+    IrInstruction* d = b.PmAlloc(b.Const(256), "dir");
+    b.Ret(d);
+  }
+
+  IrFunction* init = m.CreateFunction("init", 0);
+  {
+    b.SetInsertPoint(init->CreateBlock("entry"));
+    IrInstruction* r = b.PmMapFile("root");
+    b.Store(r, g_root);
+    IrInstruction* d = b.Call(alloc_dir, {}, "d");
+    IrInstruction* s = b.Call(alloc_seg, {}, "s");
+    IrInstruction* slot = b.IndexAddr(d, b.Const(0), "slot");
+    b.Store(s, slot);
+    b.Store(d, b.FieldAddr(r, 0, "dir_addr"));
+    b.Ret();
+  }
+
+  // fn split(seg): redistribute + patch directory.
+  IrFunction* split = m.CreateFunction("split", 1);
+  {
+    b.SetInsertPoint(split->CreateBlock("entry"));
+    IrArgument* seg = split->arg(0);
+    IrInstruction* buddy = b.Call(alloc_seg, {}, "buddy");
+    IrInstruction* pair_addr = b.FieldAddr(seg, 2, "pairs_addr");
+    IrInstruction* pair = b.Load(pair_addr, "pair");
+    IrInstruction* bslot = b.FieldAddr(buddy, 2, "bpairs_addr");
+    b.Store(pair, bslot, kGuidCcPairStore);
+    IrInstruction* ld_addr = b.FieldAddr(seg, 0, "ld_addr");
+    IrInstruction* ld = b.Load(ld_addr, "ld");
+    b.Store(b.BinOp(ld, b.Const(1), "ld1"), ld_addr, kGuidCcDepthLStore);
+    IrInstruction* r = b.Load(g_root, "r");
+    IrInstruction* dir = b.Load(b.FieldAddr(r, 0, "dir_addr"), "dir");
+    IrInstruction* dslot = b.IndexAddr(dir, ld, "dslot");
+    b.Store(buddy, dslot, kGuidCcDirStore);
+    b.Ret();
+  }
+
+  // fn double_dir(): the f9 metadata group.
+  IrFunction* double_dir = m.CreateFunction("double_dir", 0);
+  {
+    b.SetInsertPoint(double_dir->CreateBlock("entry"));
+    IrInstruction* r = b.Load(g_root, "r");
+    IrInstruction* nd = b.Call(alloc_dir, {}, "nd");
+    IrInstruction* dir_addr = b.FieldAddr(r, 0, "dir_addr");
+    IrInstruction* od = b.Load(dir_addr, "od");
+    IrInstruction* oslot = b.IndexAddr(od, b.Const(0), "oslot");
+    IrInstruction* seg = b.Load(oslot, "seg");
+    IrInstruction* nslot = b.IndexAddr(nd, b.Const(0), "nslot");
+    b.Store(seg, nslot);
+    b.Store(nd, dir_addr, kGuidCcRootDirStore);
+    IrInstruction* gd_addr = b.FieldAddr(r, 1, "gd_addr");
+    IrInstruction* gd = b.Load(gd_addr, "gd");
+    b.Store(b.BinOp(gd, b.Const(1), "gd1"), gd_addr, kGuidCcDepthGStore);
+    b.Ret();
+  }
+
+  // fn insert(k, v): the retry loop hosting the fault site.
+  IrFunction* insert = m.CreateFunction("insert", 2);
+  {
+    IrBasicBlock* entry = insert->CreateBlock("entry");
+    IrBasicBlock* loop = insert->CreateBlock("loop");
+    IrBasicBlock* store_bb = insert->CreateBlock("store");
+    IrBasicBlock* full_bb = insert->CreateBlock("full");
+    IrBasicBlock* split_bb = insert->CreateBlock("do_split");
+    IrBasicBlock* double_bb = insert->CreateBlock("do_double");
+    IrBasicBlock* done = insert->CreateBlock("done");
+    b.SetInsertPoint(entry);
+    IrArgument* k = insert->arg(0);
+    IrArgument* v = insert->arg(1);
+    IrInstruction* r = b.Load(g_root, "r");
+    b.Br(loop);
+    b.SetInsertPoint(loop);
+    IrInstruction* gd = b.Load(b.FieldAddr(r, 1, "gd_addr"), "gd");
+    IrInstruction* dir = b.Load(b.FieldAddr(r, 0, "dir_addr"), "dir");
+    IrInstruction* idx = b.BinOp(k, gd, "idx");
+    IrInstruction* dslot = b.IndexAddr(dir, idx, "dslot");
+    IrInstruction* seg = b.Load(dslot, "seg");
+    seg->set_guid(kGuidCcInsertLoop);
+    IrInstruction* slot_addr = b.FieldAddr(seg, 2, "slot_addr");
+    IrInstruction* cur = b.Load(slot_addr, "cur");
+    IrInstruction* empty = b.Cmp(cur, b.Const(0), "empty");
+    b.CondBr(empty, store_bb, full_bb);
+    b.SetInsertPoint(store_bb);
+    b.Store(v, slot_addr, kGuidCcInsertStore);
+    IrInstruction* cnt_addr = b.FieldAddr(r, 2, "cnt_addr");
+    IrInstruction* cnt = b.Load(cnt_addr, "cnt");
+    b.Store(b.BinOp(cnt, b.Const(1), "cnt1"), cnt_addr, kGuidCcCountStore);
+    b.Br(done);
+    b.SetInsertPoint(full_bb);
+    IrInstruction* ld = b.Load(b.FieldAddr(seg, 0, "ld_addr"), "ld");
+    IrInstruction* lt = b.Cmp(ld, gd, "lt");
+    b.CondBr(lt, split_bb, double_bb);
+    b.SetInsertPoint(split_bb);
+    b.Call(split, {seg});
+    b.Br(loop);
+    b.SetInsertPoint(double_bb);
+    b.Call(double_dir, {});
+    b.Br(loop);
+    b.SetInsertPoint(done);
+    b.Ret();
+  }
+
+  assert(model_->Verify().ok());
+  for (const IrInstruction* inst : model_->AllInstructions()) {
+    if (inst->guid() != kNoGuid) {
+      (void)registry_.Register(inst->guid(), name_,
+                               inst->block()->parent()->name() + ":" +
+                                   inst->block()->name(),
+                               inst->ToString());
+    }
+  }
+}
+
+}  // namespace arthas

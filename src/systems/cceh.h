@@ -1,0 +1,108 @@
+// CCEH: write-optimized dynamic (extendible) hashing for PM (Nam et al.,
+// FAST '19), re-implemented at laptop scale. This is a "native persistence"
+// system in the paper's taxonomy: it issues clwb/sfence-style persists
+// itself rather than going through a transaction library.
+//
+// Structure: a directory of segment pointers with a global depth G; each
+// segment has a local depth L and a fixed number of key/value slots.
+// Inserting into a full segment splits it (L+1, redistribute, patch
+// directory entries); when L == G the directory doubles (G+1).
+//
+// Armed fault (f9, reported by the RECIPE authors): directory doubling
+// updates several pieces of metadata; if a crash lands after the new
+// directory is durable but before the global depth is (the armed bug skips
+// the depth's clwb), recovery sees a directory one generation ahead of its
+// depth and insertions spin forever in the split-retry loop (paper 2.3).
+
+#ifndef ARTHAS_SYSTEMS_CCEH_H_
+#define ARTHAS_SYSTEMS_CCEH_H_
+
+#include <cstdint>
+
+#include "systems/system_base.h"
+
+namespace arthas {
+
+// GUIDs 3100-3199.
+constexpr Guid kGuidCcPairStore = 3101;   // slot key/value store
+constexpr Guid kGuidCcSegInit = 3102;     // fresh segment init
+constexpr Guid kGuidCcDirStore = 3103;    // directory entry/range store
+constexpr Guid kGuidCcRootDirStore = 3104;  // root.dir pointer store
+constexpr Guid kGuidCcDepthLStore = 3105;   // segment local-depth store
+constexpr Guid kGuidCcDepthGStore = 3106;   // root.global_depth store
+constexpr Guid kGuidCcInsertLoop = 3107;    // insert retry probe (fault site)
+constexpr Guid kGuidCcCountStore = 3108;    // root.count store
+constexpr Guid kGuidCcInsertStore = 3109;   // slot store on the insert path
+
+struct CcehOptions {
+  size_t pool_size = 1 * 1024 * 1024;
+  uint64_t initial_global_depth = 2;
+  int retry_budget = 8;  // split-retry attempts before declaring a hang
+};
+
+class Cceh : public PmSystemBase {
+ public:
+  using Options = CcehOptions;
+
+  explicit Cceh(Options options = {});
+
+  Response Handle(const Request& request) override;
+  uint64_t ItemCount() override;
+  Status CheckConsistency() override;
+
+  // Integer-keyed native API (CCEH stores 8-byte keys and values).
+  Status Insert(uint64_t key, uint64_t value);
+  Result<uint64_t> Lookup(uint64_t key);
+
+  uint64_t global_depth();
+
+  // f9 is an *untimely crash*: the missing clwb only matters for the
+  // doubling that the crash interrupts. The harness opens this window right
+  // before forcing a doubling and crashes right after; doublings outside
+  // the window persist the depth normally even with the fault armed.
+  void OpenCrashWindow() { crash_window_ = true; }
+  void CloseCrashWindow() { crash_window_ = false; }
+
+  // FNV-1a of a string key (0 is remapped: it marks empty slots).
+  static uint64_t Fnv(const std::string& s);
+
+  // Searches for a key whose directory entry points at a segment whose
+  // local depth exceeds the global depth (the f9 inconsistency). With
+  // `require_full` the segment must also have no free slot for the key, so
+  // inserting it enters the split-retry loop and hangs. NotFound when no
+  // such segment is reachable. Used by the re-execution bug check: the
+  // production workload hits such keys sooner or later; the harness
+  // fast-forwards.
+  Result<std::string> FindKeyForInconsistentSegment(bool require_full);
+  Result<std::string> FindStuckInsertKey() {
+    return FindKeyForInconsistentSegment(/*require_full=*/true);
+  }
+
+ protected:
+  Status Recover() override;
+
+ private:
+  struct CcehRoot;
+  struct Segment;
+  static constexpr int kSlotsPerSegment = 8;
+
+  CcehRoot* root();
+  Segment* SegmentAt(PmOffset off);
+  // Bounds-checked directory lookup; raises a crash fault (and returns
+  // nullptr) when the index or entry is wild.
+  Segment* SegmentForIndex(uint64_t idx);
+  PmOffset* Directory();
+  uint64_t DirIndex(uint64_t hash, uint64_t depth) const;
+
+  Status Split(PmOffset seg_off, uint64_t hash);
+  Status DoubleDirectory();
+
+  Options options_;
+  Oid root_oid_;
+  bool crash_window_ = false;
+  void BuildIrModel();
+};
+
+}  // namespace arthas
+
+#endif  // ARTHAS_SYSTEMS_CCEH_H_

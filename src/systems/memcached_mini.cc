@@ -1,0 +1,887 @@
+#include "systems/memcached_mini.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace arthas {
+
+namespace {
+constexpr PmOffset kMcNull = 0;  // end-of-chain / absent (offset 0 is the
+                                 // pool header, never an item payload)
+
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h = (h ^ static_cast<uint8_t>(c)) * 1099511628211ULL;
+  }
+  return h;
+}
+}  // namespace
+
+// Persistent root. Field placement matters for f5: `expanding` and
+// `item_count` share the first cache line, so persisting the count also
+// writes back a bit-flipped flag (clwb granularity), which is how the
+// transient hardware fault becomes durable.
+struct MemcachedMini::McRoot {
+  PmOffset hashtable;      // offset of the bucket array payload
+  uint64_t nbuckets;
+  uint64_t flush_before;   // items created before this are expired
+  uint64_t expanding;      // rehash-in-progress flag (f5 target)
+  uint64_t item_count;
+  PmOffset old_hashtable;  // valid while expanding
+  uint64_t old_nbuckets;
+};
+
+// Persistent item. The PM port persists the entire structure, refcount
+// included (paper Section 2.2 / 2.3).
+struct MemcachedMini::McItem {
+  PmOffset h_next;    // 0 = end of chain
+  uint8_t refcount;
+  uint8_t linked;
+  uint8_t keylen;
+  uint8_t vallen;
+  uint32_t pad;
+  int64_t created;
+  char data[];        // key bytes then value bytes
+};
+
+MemcachedMini::MemcachedMini(Options options)
+    : PmSystemBase("memcached_mini", options.pool_size), options_(options) {
+  auto root_res = pool_->Root(sizeof(McRoot));
+  assert(root_res.ok());
+  root_oid_ = *root_res;
+  McRoot* r = root();
+  if (r->hashtable == kMcNull) {
+    auto table = pool_->Zalloc(options_.hashtable_buckets * sizeof(PmOffset));
+    assert(table.ok());
+    r->hashtable = table->off;
+    r->nbuckets = options_.hashtable_buckets;
+    pool_->PersistObject<McRoot>(root_oid_);
+  }
+  BuildIrModel();
+}
+
+MemcachedMini::McRoot* MemcachedMini::root() {
+  return pool_->Direct<McRoot>(root_oid_);
+}
+
+uint64_t MemcachedMini::BucketIndex(const std::string& key) const {
+  const auto* r =
+      const_cast<MemcachedMini*>(this)->pool_->Direct<McRoot>(root_oid_);
+  return Fnv1a(key) % r->nbuckets;
+}
+
+PmOffset* MemcachedMini::BucketSlot(uint64_t index) {
+  McRoot* r = root();
+  auto* table = pool_->Direct<PmOffset>(Oid{r->hashtable});
+  return table + index;
+}
+
+MemcachedMini::McItem* MemcachedMini::ItemAt(PmOffset off) {
+  if (off == kMcNull || off + sizeof(McItem) > pool_->device().size()) {
+    return nullptr;
+  }
+  return reinterpret_cast<McItem*>(pool_->device().Live(off));
+}
+
+std::string MemcachedMini::ItemKey(const McItem* item) const {
+  return std::string(item->data, item->keylen);
+}
+
+PmOffset MemcachedMini::AssocFind(const std::string& key, Guid fault_site) {
+  McRoot* r = root();
+  PmOffset head;
+  if (r->expanding != 0) {
+    // Mid-rehash lookups consult the old table first (f5 makes this path
+    // taken with a bogus old table: every lookup misses).
+    if (r->old_hashtable == kMcNull) {
+      return kMcNull;
+    }
+    const auto* old_table = pool_->Direct<PmOffset>(Oid{r->old_hashtable});
+    head = old_table[Fnv1a(key) % r->old_nbuckets];
+  } else {
+    head = *BucketSlot(BucketIndex(key));
+  }
+  uint64_t budget = options_.chain_walk_budget;
+  PmOffset cur = head;
+  while (cur != kMcNull) {
+    McItem* item = ItemAt(cur);
+    if (item == nullptr) {
+      RaiseFault(FailureKind::kCrash, kGuidMcItemAccess, cur,
+                 "invalid item offset in hash chain",
+                 {"do_item_get", "assoc_find", "process_get_command"});
+      return kMcNull;
+    }
+    if (budget-- == 0) {
+      RaiseFault(FailureKind::kHang, fault_site, cur /* h_next field */,
+                 "hash chain walk exceeded budget (chain cycle)",
+                 {"assoc_find", "process_get_command", "event_handler"});
+      return kMcNull;
+    }
+    if (item->keylen == key.size() &&
+        std::memcmp(item->data, key.data(), key.size()) == 0) {
+      return cur;
+    }
+    cur = item->h_next;  // the f1 cycle makes this walk forever
+  }
+  return kMcNull;
+}
+
+Response MemcachedMini::Handle(const Request& request) {
+  Response response;
+  if (HasFault()) {
+    // The "process" is dead/hung; a real client would see no reply.
+    response.status = Internal("server unavailable (" +
+                               std::string(FailureKindName(fault_->kind)) +
+                               ")");
+    return response;
+  }
+  switch (request.op) {
+    case Request::Op::kPut:
+      return Put(request);
+    case Request::Op::kGet:
+      return Get(request);
+    case Request::Op::kDelete:
+      return Delete(request);
+    case Request::Op::kAppend:
+      return Append(request);
+    case Request::Op::kHold:
+      return Hold(request);
+    case Request::Op::kRelease:
+      return ReleaseRef(request);
+    case Request::Op::kFlushAll:
+      return FlushAll(request);
+    default:
+      response.status = Unimplemented("op not supported by memcached_mini");
+      return response;
+  }
+}
+
+Response MemcachedMini::Put(const Request& request) {
+  Response response;
+  if (request.key.size() > 200 || request.value.size() > 255) {
+    response.status = InvalidArgument("key/value too large");
+    return response;
+  }
+  McRoot* r = root();
+  const PmOffset existing = AssocFind(request.key, kGuidMcAssocFind);
+  if (HasFault()) {
+    response.status = Internal(fault_->message);
+    return response;
+  }
+  if (existing != kMcNull) {
+    // Update in place when the new value fits, else delete + reinsert.
+    McItem* item = ItemAt(existing);
+    if (request.value.size() <= item->vallen) {
+      std::memcpy(item->data + item->keylen, request.value.data(),
+                  request.value.size());
+      item->vallen = static_cast<uint8_t>(request.value.size());
+      TracedPersist(Oid{existing}, 0,
+                    sizeof(McItem) + item->keylen + item->vallen,
+                    kGuidMcItemInit);
+      response.status = OkStatus();
+      return response;
+    }
+    Request del = request;
+    del.op = Request::Op::kDelete;
+    Delete(del);
+  }
+
+  const size_t total =
+      sizeof(McItem) + request.key.size() + request.value.size();
+  auto oid = pool_->Zalloc(total);
+  if (!oid.ok()) {
+    RaiseFault(FailureKind::kOutOfSpace, kGuidMcItemInit, kNullPmOffset,
+               "item allocation failed: " + oid.status().ToString(),
+               {"item_alloc", "process_update_command"});
+    response.status = oid.status();
+    return response;
+  }
+  McItem* item = pool_->Direct<McItem>(*oid);
+  item->refcount = 1;
+  item->linked = 1;
+  item->keylen = static_cast<uint8_t>(request.key.size());
+  item->vallen = static_cast<uint8_t>(request.value.size());
+  item->created = now_;
+  std::memcpy(item->data, request.key.data(), request.key.size());
+  std::memcpy(item->data + request.key.size(), request.value.data(),
+              request.value.size());
+  TracedPersist(*oid, 0, total, kGuidMcItemInit);
+
+  // Link into the chain. f3: a racy insert captured the chain head before a
+  // concurrent insert updated it; using the stale head drops that insert's
+  // item from the chain (lost update).
+  const uint64_t index = BucketIndex(request.key);
+  PmOffset* slot = BucketSlot(index);
+  PmOffset head = *slot;
+  if (race_window_ && stale_head_ != kMcNull && stale_bucket_ == index &&
+      FaultArmed(FaultId::kF3HashtableLockRace)) {
+    head = stale_head_;
+    race_window_ = false;
+    stale_head_ = kMcNull;
+  } else if (race_window_ && stale_head_ == kMcNull) {
+    // First insert in the window: remember the head it saw.
+    stale_head_ = head == kMcNull ? kMcNull : head;
+    stale_bucket_ = index;
+    if (head == kMcNull) {
+      // An empty chain cannot exhibit the lost update; keep waiting.
+      stale_head_ = kMcNull;
+    }
+  }
+
+  item->h_next = head;
+  TracedPersist(*oid, offsetof(McItem, h_next), sizeof(PmOffset),
+                kGuidMcHNextStore);
+  *slot = oid->off;
+  const PmOffset slot_addr =
+      r->hashtable + index * sizeof(PmOffset);
+  TracedPersistRange(slot_addr, sizeof(PmOffset), kGuidMcBucketStore);
+
+  r->item_count++;
+  TracedPersist(root_oid_, offsetof(McRoot, item_count), sizeof(uint64_t),
+                kGuidMcCountStore);
+
+  // Grow the table when chains get long.
+  if (r->item_count > r->nbuckets * 2 && r->expanding == 0) {
+    MaybeExpand();
+  }
+  response.status = OkStatus();
+  return response;
+}
+
+void MemcachedMini::MaybeExpand() {
+  McRoot* r = root();
+  auto bigger = pool_->Zalloc(r->nbuckets * 2 * sizeof(PmOffset));
+  if (!bigger.ok()) {
+    return;  // soft: stay at the current size
+  }
+  r->expanding = 1;
+  TracedPersist(root_oid_, offsetof(McRoot, expanding), sizeof(uint64_t),
+                kGuidMcExpandStore);
+  r->old_hashtable = r->hashtable;
+  r->old_nbuckets = r->nbuckets;
+  TracedPersist(root_oid_, offsetof(McRoot, old_hashtable),
+                2 * sizeof(uint64_t), kGuidMcOldTableStore);
+
+  const uint64_t new_buckets = r->nbuckets * 2;
+  auto* new_table = pool_->Direct<PmOffset>(*bigger);
+  const auto* old_table = pool_->Direct<PmOffset>(Oid{r->hashtable});
+  for (uint64_t i = 0; i < r->nbuckets; i++) {
+    PmOffset cur = old_table[i];
+    while (cur != kMcNull) {
+      McItem* item = ItemAt(cur);
+      const PmOffset next = item->h_next;
+      const uint64_t idx = Fnv1a(ItemKey(item)) % new_buckets;
+      item->h_next = new_table[idx];
+      TracedPersist(Oid{cur}, offsetof(McItem, h_next), sizeof(PmOffset),
+                    kGuidMcHNextStore);
+      new_table[idx] = cur;
+      cur = next;
+    }
+  }
+  TracedPersistRange(bigger->off, new_buckets * sizeof(PmOffset),
+                     kGuidMcBucketStore);
+  const PmOffset old_table_off = r->hashtable;
+  r->hashtable = bigger->off;
+  r->nbuckets = new_buckets;
+  TracedPersist(root_oid_, offsetof(McRoot, hashtable), 2 * sizeof(uint64_t),
+                kGuidMcTableStore);
+  r->expanding = 0;
+  TracedPersist(root_oid_, offsetof(McRoot, expanding), sizeof(uint64_t),
+                kGuidMcExpandEndStore);
+  r->old_hashtable = kMcNull;
+  r->old_nbuckets = 0;
+  TracedPersist(root_oid_, offsetof(McRoot, old_hashtable),
+                2 * sizeof(uint64_t), kGuidMcOldTableStore);
+  (void)pool_->Free(Oid{old_table_off});
+}
+
+Response MemcachedMini::Get(const Request& request) {
+  Response response;
+  const PmOffset off = AssocFind(request.key, kGuidMcAssocFind);
+  if (HasFault()) {
+    response.status = Internal(fault_->message);
+    return response;
+  }
+  McRoot* r = root();
+  if (off != kMcNull) {
+    McItem* item = ItemAt(off);
+    // flush_all expiry filter. f2's logic bug makes the cutoff apply
+    // immediately even when the operator scheduled it for the future.
+    const uint64_t cutoff = r->flush_before;
+    const bool cutoff_active =
+        FaultArmed(FaultId::kF2FlushAllLogic)
+            ? cutoff != 0  // bug: ignores whether the time has come
+            : cutoff != 0 && static_cast<uint64_t>(now_) >= cutoff;
+    if (cutoff_active && static_cast<uint64_t>(item->created) <= cutoff) {
+      if (request.must_exist) {
+        RaiseFault(FailureKind::kWrongResult, kGuidMcExpiryCheck,
+                   root_oid_.off + offsetof(McRoot, flush_before),
+                   "live item filtered by flush_all cutoff",
+                   {"do_item_get", "item_is_flushed"});
+        response.status = Internal(fault_->message);
+        return response;
+      }
+      response.found = false;
+      response.status = OkStatus();
+      return response;
+    }
+    response.found = true;
+    response.value.assign(item->data + item->keylen, item->vallen);
+    response.status = OkStatus();
+    return response;
+  }
+  if (request.must_exist) {
+    // Diagnose the wrongful miss for the detector: distinguish a bogus
+    // rehash flag (f5) from a broken chain (f3).
+    if (r->expanding != 0 && r->old_hashtable == kMcNull) {
+      RaiseFault(FailureKind::kWrongResult, kGuidMcLookupMiss,
+                 root_oid_.off + offsetof(McRoot, expanding),
+                 "lookup consulted rehash path with no old table",
+                 {"assoc_find", "do_item_get"});
+    } else {
+      RaiseFault(FailureKind::kWrongResult, kGuidMcLookupMiss,
+                 r->hashtable + BucketIndex(request.key) * sizeof(PmOffset),
+                 "linked item missing from hash chain",
+                 {"assoc_find", "do_item_get"});
+    }
+    response.status = Internal(fault_->message);
+    return response;
+  }
+  response.found = false;
+  response.status = OkStatus();
+  return response;
+}
+
+Response MemcachedMini::Delete(const Request& request) {
+  Response response;
+  McRoot* r = root();
+  const uint64_t index = BucketIndex(request.key);
+  PmOffset* slot = BucketSlot(index);
+  PmOffset prev = kMcNull;
+  PmOffset cur = *slot;
+  uint64_t budget = options_.chain_walk_budget;
+  while (cur != kMcNull) {
+    McItem* item = ItemAt(cur);
+    if (item == nullptr || budget-- == 0) {
+      RaiseFault(item == nullptr ? FailureKind::kCrash : FailureKind::kHang,
+                 kGuidMcAssocFind, cur, "chain corrupt during delete",
+                 {"assoc_delete", "process_delete_command"});
+      response.status = Internal(fault_->message);
+      return response;
+    }
+    if (item->keylen == request.key.size() &&
+        std::memcmp(item->data, request.key.data(), request.key.size()) == 0) {
+      // slabs_free sanity: the size class derived from the header must match
+      // the block this item actually lives in (f4's wrapped length trips
+      // this, matching the paper's do_slabs_free aborts).
+      auto usable = pool_->UsableSize(Oid{cur});
+      const size_t ntotal = sizeof(McItem) + item->keylen + item->vallen;
+      if (usable.ok() && *usable + 1 < ntotal) {
+        RaiseFault(FailureKind::kAssertion, kGuidMcItemAccess, cur,
+                   "do_slabs_free: item size exceeds its slab block",
+                   {"do_slabs_free", "item_free", "process_delete_command"});
+        response.status = Internal(fault_->message);
+        return response;
+      }
+      if (prev == kMcNull) {
+        *slot = item->h_next;
+        TracedPersistRange(r->hashtable + index * sizeof(PmOffset),
+                           sizeof(PmOffset), kGuidMcBucketStore);
+      } else {
+        McItem* prev_item = ItemAt(prev);
+        prev_item->h_next = item->h_next;
+        TracedPersist(Oid{prev}, offsetof(McItem, h_next), sizeof(PmOffset),
+                      kGuidMcHNextStore);
+      }
+      tracer_.Record(kGuidMcFreelistStore, cur);
+      (void)pool_->Free(Oid{cur});
+      r->item_count--;
+      TracedPersist(root_oid_, offsetof(McRoot, item_count), sizeof(uint64_t),
+                    kGuidMcCountStore);
+      response.status = OkStatus();
+      response.found = true;
+      return response;
+    }
+    prev = cur;
+    cur = item->h_next;
+  }
+  response.status = OkStatus();
+  response.found = false;
+  return response;
+}
+
+Response MemcachedMini::Append(const Request& request) {
+  Response response;
+  const PmOffset off = AssocFind(request.key, kGuidMcAssocFind);
+  if (HasFault()) {
+    response.status = Internal(fault_->message);
+    return response;
+  }
+  if (off == kMcNull) {
+    response.status = NotFound("append target missing");
+    return response;
+  }
+  McItem* item = ItemAt(off);
+  const size_t real_total = item->vallen + request.value.size();
+  if (!FaultArmed(FaultId::kF4AppendIntOverflow) && real_total > 255) {
+    response.status = InvalidArgument("appended value too large");
+    return response;
+  }
+  // f4: the new length is computed in the 8-bit header field; the copy below
+  // uses the real length and overruns the block into its physical neighbor.
+  const uint8_t stored_len = static_cast<uint8_t>(real_total);
+  std::memcpy(item->data + item->keylen + item->vallen, request.value.data(),
+              request.value.size());
+  TracedPersist(Oid{off}, 0, sizeof(McItem) + item->keylen + real_total,
+                kGuidMcDataStore);
+  item->vallen = stored_len;
+  TracedPersist(Oid{off}, offsetof(McItem, vallen), sizeof(uint8_t),
+                kGuidMcValLenStore);
+  response.status = OkStatus();
+  return response;
+}
+
+Response MemcachedMini::Hold(const Request& request) {
+  Response response;
+  const PmOffset off = AssocFind(request.key, kGuidMcAssocFind);
+  if (HasFault()) {
+    response.status = Internal(fault_->message);
+    return response;
+  }
+  if (off == kMcNull) {
+    response.status = NotFound("no such item");
+    return response;
+  }
+  McItem* item = ItemAt(off);
+  if (FaultArmed(FaultId::kF1RefcountOverflow)) {
+    item->refcount++;  // bug: no overflow check; 255 wraps to 0
+  } else {
+    if (item->refcount == 255) {
+      response.status = FailedPrecondition("refcount saturated");
+      return response;
+    }
+    item->refcount++;
+  }
+  TracedPersist(Oid{off}, offsetof(McItem, refcount), sizeof(uint8_t),
+                kGuidMcRefcountStore);
+  // Memcached frees any item whose refcount reads zero, assuming it was
+  // already unlinked. The overflowed item is still linked (paper 2.3).
+  if (item->refcount == 0) {
+    tracer_.Record(kGuidMcReaperFree, off);
+    (void)pool_->Free(Oid{off});
+  }
+  response.status = OkStatus();
+  return response;
+}
+
+Response MemcachedMini::ReleaseRef(const Request& request) {
+  Response response;
+  const PmOffset off = AssocFind(request.key, kGuidMcAssocFind);
+  if (HasFault()) {
+    response.status = Internal(fault_->message);
+    return response;
+  }
+  if (off == kMcNull) {
+    response.status = NotFound("no such item");
+    return response;
+  }
+  McItem* item = ItemAt(off);
+  if (item->refcount <= 1) {
+    response.status = FailedPrecondition("item not held");
+    return response;
+  }
+  item->refcount--;
+  TracedPersist(Oid{off}, offsetof(McItem, refcount), sizeof(uint8_t),
+                kGuidMcRefcountStore);
+  response.status = OkStatus();
+  return response;
+}
+
+Response MemcachedMini::FlushAll(const Request& request) {
+  Response response;
+  McRoot* r = root();
+  r->flush_before = static_cast<uint64_t>(now_ + request.int_arg);
+  TracedPersist(root_oid_, offsetof(McRoot, flush_before), sizeof(uint64_t),
+                kGuidMcFlushStore);
+  response.status = OkStatus();
+  return response;
+}
+
+void MemcachedMini::InjectRehashFlagBitFlip() {
+  // A transient CPU fault flips the flag in the cache. The dirty line is
+  // eventually written back by an unrelated flush (modelled by the quiet
+  // persist: no checkpoint sees it) — the soft fault becomes durable, the
+  // soft-to-hard transformation in its purest form.
+  root()->expanding |= 1;
+  pool_->device().PersistQuiet(root_oid_.off + offsetof(McRoot, expanding),
+                               sizeof(uint64_t));
+}
+
+uint64_t MemcachedMini::ItemCount() { return root()->item_count; }
+
+Status MemcachedMini::CheckConsistency() {
+  ARTHAS_RETURN_IF_ERROR(pool_->CheckIntegrity());
+  McRoot* r = root();
+  if (r->expanding != 0 && r->old_hashtable == kMcNull) {
+    return Corruption("rehash flag set with no old table");
+  }
+  uint64_t reachable = 0;
+  for (uint64_t i = 0; i < r->nbuckets; i++) {
+    PmOffset cur = *BucketSlot(i);
+    uint64_t budget = options_.chain_walk_budget;
+    while (cur != kMcNull) {
+      McItem* item = ItemAt(cur);
+      if (item == nullptr) {
+        return Corruption("chain points outside the pool");
+      }
+      if (budget-- == 0) {
+        return Corruption("hash chain cycle");
+      }
+      auto usable = pool_->UsableSize(Oid{cur});
+      if (!usable.ok()) {
+        return Corruption("chain points at a non-allocated block");
+      }
+      if (sizeof(McItem) + item->keylen + item->vallen > *usable + 1) {
+        return Corruption("item larger than its block");
+      }
+      reachable++;
+      cur = item->h_next;
+    }
+  }
+  if (reachable != r->item_count) {
+    return Corruption("item_count " + std::to_string(r->item_count) +
+                      " != reachable " + std::to_string(reachable));
+  }
+  return OkStatus();
+}
+
+Status MemcachedMini::Recover() {
+  // The recovery function retrieves the hashtable and touches every linked
+  // item (bracketed by pmem_recover_begin/end in the paper's workflow).
+  McRoot* r = root();
+  RecoveryTouch(r->hashtable);
+  uint64_t reachable = 0;
+  for (uint64_t i = 0; i < r->nbuckets; i++) {
+    PmOffset cur = *BucketSlot(i);
+    uint64_t budget = options_.chain_walk_budget;
+    while (cur != kMcNull) {
+      McItem* item = ItemAt(cur);
+      if (item == nullptr) {
+        RaiseFault(FailureKind::kCrash, kGuidMcItemAccess, cur,
+                   "recovery hit invalid item offset",
+                   {"assoc_init", "recover"});
+        return OkStatus();
+      }
+      if (budget-- == 0) {
+        RaiseFault(FailureKind::kHang, kGuidMcAssocFind, cur,
+                   "recovery chain walk exceeded budget",
+                   {"assoc_init", "recover"});
+        return OkStatus();
+      }
+      RecoveryTouch(cur);
+      reachable++;
+      cur = item->h_next;
+    }
+  }
+  // The item count is derived metadata: recovery recomputes it from the
+  // reachable items (the paper's "reconstruct volatile states from
+  // persistent states" guidance).
+  r->item_count = reachable;
+  pool_->device().PersistQuiet(root_oid_.off + offsetof(McRoot, item_count),
+                               sizeof(uint64_t));
+  return OkStatus();
+}
+
+// --- IR model ----------------------------------------------------------------
+//
+// The analyzer's view of memcached_mini's PM-mutating code. Instructions
+// that correspond to runtime persistence call sites carry the same GUIDs the
+// tracer emits. Root fields: 0 hashtable, 1 nbuckets, 2 flush_before,
+// 3 expanding, 4 item_count, 5 old_hashtable, 6 old_nbuckets, 7 freelist.
+// Item fields: 0 h_next, 1 refcount, 2 linked, 3 keylen, 4 vallen,
+// 5 created, 6 data.
+void MemcachedMini::BuildIrModel() {
+  model_ = std::make_unique<IrModule>("memcached_mini");
+  IrModule& m = *model_;
+  IrBuilder b(m);
+  IrGlobal* g_root = m.CreateGlobal("g_root");
+
+  // fn alloc_table(): single allocation site shared by the initial table and
+  // expansion, so old- and new-table pointers alias.
+  IrFunction* alloc_table = m.CreateFunction("alloc_table", 0);
+  {
+    b.SetInsertPoint(alloc_table->CreateBlock("entry"));
+    IrInstruction* t = b.PmAlloc(b.Const(512), "table");
+    b.Ret(t);
+  }
+
+  // fn init(): map the pool, publish the root, install the first table.
+  IrFunction* init = m.CreateFunction("init", 0);
+  {
+    b.SetInsertPoint(init->CreateBlock("entry"));
+    IrInstruction* r = b.PmMapFile("root");
+    b.Store(r, g_root);
+    IrInstruction* t = b.Call(alloc_table, {}, "t0");
+    IrInstruction* ht_addr = b.FieldAddr(r, 0, "ht_addr");
+    b.Store(t, ht_addr);
+    b.Ret();
+  }
+
+  // fn slabs_alloc(): pop the freelist or carve a fresh item. One alloc site
+  // for every item, so item pointers alias across operations (which is what
+  // address reuse after a free means to the analysis).
+  IrFunction* slabs_alloc = m.CreateFunction("slabs_alloc", 0);
+  {
+    b.SetInsertPoint(slabs_alloc->CreateBlock("entry"));
+    IrInstruction* r = b.Load(g_root, "r");
+    IrInstruction* fl_addr = b.FieldAddr(r, 7, "fl_addr");
+    IrInstruction* it = b.Load(fl_addr, "it");
+    IrInstruction* next = b.Load(b.FieldAddr(it, 0, "it_hn"), "next");
+    b.Store(next, fl_addr);
+    IrInstruction* fresh = b.PmAlloc(b.Const(64), "fresh");
+    IrInstruction* out = b.Phi({it, fresh}, "out");
+    b.Ret(out);
+  }
+
+  // fn item_free(it): push onto the freelist (the slab reuse path).
+  IrFunction* item_free = m.CreateFunction("item_free", 1);
+  {
+    b.SetInsertPoint(item_free->CreateBlock("entry"));
+    IrArgument* it = item_free->arg(0);
+    IrInstruction* r = b.Load(g_root, "r");
+    IrInstruction* fl_addr = b.FieldAddr(r, 7, "fl_addr");
+    IrInstruction* head = b.Load(fl_addr, "head");
+    b.Store(head, b.FieldAddr(it, 0, "hn_addr"));
+    b.Store(it, fl_addr, kGuidMcFreelistStore);
+    b.Ret();
+  }
+
+  // fn maybe_reap(it): free items whose refcount reads zero.
+  IrFunction* maybe_reap = m.CreateFunction("maybe_reap", 1);
+  {
+    IrBasicBlock* entry = maybe_reap->CreateBlock("entry");
+    IrBasicBlock* reap = maybe_reap->CreateBlock("reap");
+    IrBasicBlock* done = maybe_reap->CreateBlock("done");
+    b.SetInsertPoint(entry);
+    IrArgument* it = maybe_reap->arg(0);
+    IrInstruction* rc = b.Load(b.FieldAddr(it, 1, "rc_addr"), "rc");
+    IrInstruction* z = b.Cmp(rc, b.Const(0), "z");
+    b.CondBr(z, reap, done);
+    b.SetInsertPoint(reap);
+    b.Call(item_free, {it});
+    b.PmFree(it, kGuidMcReaperFree);
+    b.Br(done);
+    b.SetInsertPoint(done);
+    b.Ret();
+  }
+
+  // fn assoc_find(k): shared chain walk.
+  IrFunction* assoc_find = m.CreateFunction("assoc_find", 1);
+  {
+    IrBasicBlock* entry = assoc_find->CreateBlock("entry");
+    IrBasicBlock* walk = assoc_find->CreateBlock("walk");
+    IrBasicBlock* body = assoc_find->CreateBlock("body");
+    IrBasicBlock* out = assoc_find->CreateBlock("out");
+    b.SetInsertPoint(entry);
+    IrArgument* k = assoc_find->arg(0);
+    IrInstruction* r = b.Load(g_root, "r");
+    IrInstruction* ht = b.Load(b.FieldAddr(r, 0, "ht_addr"), "ht");
+    IrInstruction* slot = b.IndexAddr(ht, k, "slot");
+    IrInstruction* h0 = b.Load(slot, "h0");
+    b.Br(walk);
+    b.SetInsertPoint(walk);
+    IrInstruction* itn_fwd =
+        b.Phi({h0}, "it");  // second input patched below
+    IrInstruction* c = b.Cmp(itn_fwd, b.Const(0), "c");
+    b.CondBr(c, body, out);
+    b.SetInsertPoint(body);
+    IrInstruction* itn = b.Load(b.FieldAddr(itn_fwd, 0, "hn_addr"), "itn");
+    b.Br(walk);
+    itn_fwd->AddOperand(itn);
+    b.SetInsertPoint(out);
+    b.Ret(itn_fwd);
+  }
+
+  // fn expand(): grow the table (the f5-relevant flag stores live here).
+  IrFunction* expand = m.CreateFunction("expand", 0);
+  {
+    b.SetInsertPoint(expand->CreateBlock("entry"));
+    IrInstruction* r = b.Load(g_root, "r");
+    IrInstruction* exp_addr = b.FieldAddr(r, 3, "exp_addr");
+    b.Store(b.Const(1), exp_addr, kGuidMcExpandStore);
+    IrInstruction* old_addr = b.FieldAddr(r, 5, "old_addr");
+    IrInstruction* ht_addr = b.FieldAddr(r, 0, "ht_addr");
+    IrInstruction* ht0 = b.Load(ht_addr, "ht0");
+    b.Store(ht0, old_addr, kGuidMcOldTableStore);
+    IrInstruction* nt = b.Call(alloc_table, {}, "nt");
+    // Rehash: move chain heads into the new table.
+    IrInstruction* oslot = b.IndexAddr(ht0, b.Const(0), "oslot");
+    IrInstruction* head = b.Load(oslot, "head");
+    IrInstruction* nslot = b.IndexAddr(nt, b.Const(0), "nslot");
+    b.Store(head, nslot);
+    b.Store(nt, ht_addr, kGuidMcTableStore);
+    b.Store(b.Const(0), exp_addr, kGuidMcExpandEndStore);
+    b.Ret();
+  }
+
+  // fn put(k, v).
+  IrFunction* put = m.CreateFunction("put", 2);
+  {
+    IrBasicBlock* entry = put->CreateBlock("entry");
+    IrBasicBlock* grow = put->CreateBlock("grow");
+    IrBasicBlock* done = put->CreateBlock("done");
+    b.SetInsertPoint(entry);
+    IrArgument* k = put->arg(0);
+    IrArgument* v = put->arg(1);
+    IrInstruction* r = b.Load(g_root, "r");
+    IrInstruction* it = b.Call(slabs_alloc, {}, "it");
+    b.Store(v, b.FieldAddr(it, 6, "data_addr"), kGuidMcItemInit);
+    IrInstruction* ht = b.Load(b.FieldAddr(r, 0, "ht_addr"), "ht");
+    IrInstruction* slot = b.IndexAddr(ht, k, "slot");
+    IrInstruction* head = b.Load(slot, "head");
+    b.Store(head, b.FieldAddr(it, 0, "hn_addr"), kGuidMcHNextStore);
+    b.Store(it, slot, kGuidMcBucketStore);
+    IrInstruction* cnt_addr = b.FieldAddr(r, 4, "cnt_addr");
+    IrInstruction* cnt = b.Load(cnt_addr, "cnt");
+    IrInstruction* cnt1 = b.BinOp(cnt, b.Const(1), "cnt1");
+    b.Store(cnt1, cnt_addr, kGuidMcCountStore);
+    IrInstruction* full = b.Cmp(cnt1, b.Const(128), "full");
+    b.CondBr(full, grow, done);
+    b.SetInsertPoint(grow);
+    b.Call(expand, {});
+    b.Br(done);
+    b.SetInsertPoint(done);
+    b.Ret();
+  }
+
+  // fn get(k): the expanding-aware lookup with the expiry filter. Hosts the
+  // fault sites for f1/f2/f4 and the wrongful-miss site for f3/f5.
+  IrFunction* get = m.CreateFunction("get", 1);
+  {
+    IrBasicBlock* entry = get->CreateBlock("entry");
+    IrBasicBlock* oldpath = get->CreateBlock("oldpath");
+    IrBasicBlock* newpath = get->CreateBlock("newpath");
+    IrBasicBlock* walk = get->CreateBlock("walk");
+    IrBasicBlock* body = get->CreateBlock("body");
+    IrBasicBlock* filtered = get->CreateBlock("filtered");
+    IrBasicBlock* step = get->CreateBlock("step");
+    IrBasicBlock* miss = get->CreateBlock("miss");
+    b.SetInsertPoint(entry);
+    IrArgument* k = get->arg(0);
+    IrInstruction* r = b.Load(g_root, "r");
+    IrInstruction* exp = b.Load(b.FieldAddr(r, 3, "exp_addr"), "exp");
+    IrInstruction* e = b.Cmp(exp, b.Const(0), "e");
+    b.CondBr(e, oldpath, newpath);
+    b.SetInsertPoint(oldpath);
+    IrInstruction* oht = b.Load(b.FieldAddr(r, 5, "old_addr"), "oht");
+    IrInstruction* oslot = b.IndexAddr(oht, k, "oslot");
+    IrInstruction* h0o = b.Load(oslot, "h0o");
+    b.Br(walk);
+    b.SetInsertPoint(newpath);
+    IrInstruction* ht = b.Load(b.FieldAddr(r, 0, "ht_addr"), "ht");
+    IrInstruction* slot = b.IndexAddr(ht, k, "slot");
+    IrInstruction* h0 = b.Load(slot, "h0");
+    b.Br(walk);
+    b.SetInsertPoint(walk);
+    IrInstruction* it = b.Phi({h0o, h0}, "it");  // loop input patched below
+    IrInstruction* c = b.Cmp(it, b.Const(0), "c");
+    b.CondBr(c, body, miss);
+    b.SetInsertPoint(body);
+    IrInstruction* hdr =
+        b.Load(b.FieldAddr(it, 3, "klen_addr"), "hdr");
+    hdr->set_guid(kGuidMcItemAccess);
+    IrInstruction* fb = b.Load(b.FieldAddr(r, 2, "fb_addr"), "fb");
+    fb->set_guid(kGuidMcExpiryCheck);
+    IrInstruction* created = b.Load(b.FieldAddr(it, 5, "cr_addr"), "cr");
+    IrInstruction* expd = b.Cmp(created, fb, "expd");
+    b.CondBr(expd, filtered, step);
+    b.SetInsertPoint(filtered);
+    b.Ret(b.Const(0));
+    b.SetInsertPoint(step);
+    IrInstruction* itn = b.Load(b.FieldAddr(it, 0, "hn_addr"), "itn");
+    itn->set_guid(kGuidMcAssocFind);
+    b.Br(walk);
+    it->AddOperand(itn);
+    b.SetInsertPoint(miss);
+    IrInstruction* mm = b.Load(b.IndexAddr(ht, k, "slot2"), "mm");
+    mm->set_guid(kGuidMcLookupMiss);
+    b.Ret(mm);
+  }
+
+  // fn del(k): unlink + free.
+  IrFunction* del = m.CreateFunction("del", 1);
+  {
+    b.SetInsertPoint(del->CreateBlock("entry"));
+    IrArgument* k = del->arg(0);
+    IrInstruction* it = b.Call(assoc_find, {k}, "it");
+    IrInstruction* r = b.Load(g_root, "r");
+    IrInstruction* ht = b.Load(b.FieldAddr(r, 0, "ht_addr"), "ht");
+    IrInstruction* slot = b.IndexAddr(ht, k, "slot");
+    IrInstruction* hn = b.Load(b.FieldAddr(it, 0, "hn_addr"), "hn");
+    b.Store(hn, slot);
+    IrInstruction* cnt_addr = b.FieldAddr(r, 4, "cnt_addr");
+    IrInstruction* cnt = b.Load(cnt_addr, "cnt");
+    b.Store(b.BinOp(cnt, b.Const(-1), "cntm"), cnt_addr);
+    b.Call(item_free, {it});
+    b.Ret();
+  }
+
+  // fn append(k, v): the f4 shape — the header length is computed narrow,
+  // the copy cursor is byte-offset (wildcard field) and may clobber
+  // anything in the item's slab neighborhood.
+  IrFunction* append = m.CreateFunction("append", 2);
+  {
+    b.SetInsertPoint(append->CreateBlock("entry"));
+    IrArgument* k = append->arg(0);
+    IrArgument* v = append->arg(1);
+    IrInstruction* it = b.Call(assoc_find, {k}, "it");
+    IrInstruction* vl_addr = b.FieldAddr(it, 4, "vl_addr");
+    IrInstruction* vl = b.Load(vl_addr, "vl");
+    IrInstruction* total = b.BinOp(vl, v, "total");
+    IrInstruction* dst = b.IndexAddr(it, total, "dst");
+    b.Store(v, dst, kGuidMcDataStore);
+    b.Store(total, vl_addr, kGuidMcValLenStore);
+    b.Ret();
+  }
+
+  // fn hold(k): refcount increment + reap check (the f1 chain).
+  IrFunction* hold = m.CreateFunction("hold", 1);
+  {
+    b.SetInsertPoint(hold->CreateBlock("entry"));
+    IrArgument* k = hold->arg(0);
+    IrInstruction* it = b.Call(assoc_find, {k}, "it");
+    IrInstruction* rc_addr = b.FieldAddr(it, 1, "rc_addr");
+    IrInstruction* rc = b.Load(rc_addr, "rc");
+    IrInstruction* rc1 = b.BinOp(rc, b.Const(1), "rc1");
+    b.Store(rc1, rc_addr, kGuidMcRefcountStore);
+    b.Call(maybe_reap, {it});
+    b.Ret();
+  }
+
+  // fn flush_all(d): the f2 cutoff store.
+  IrFunction* flush_all = m.CreateFunction("flush_all", 1);
+  {
+    b.SetInsertPoint(flush_all->CreateBlock("entry"));
+    IrArgument* d = flush_all->arg(0);
+    IrInstruction* r = b.Load(g_root, "r");
+    IrInstruction* fb_addr = b.FieldAddr(r, 2, "fb_addr");
+    IrInstruction* t = b.BinOp(d, b.Const(1), "t");
+    b.Store(t, fb_addr, kGuidMcFlushStore);
+    b.Ret();
+  }
+
+  assert(model_->Verify().ok());
+  for (const IrInstruction* inst : model_->AllInstructions()) {
+    if (inst->guid() != kNoGuid) {
+      (void)registry_.Register(inst->guid(), name_,
+                               inst->block()->parent()->name() + ":" +
+                                   inst->block()->name(),
+                               inst->ToString());
+    }
+  }
+}
+
+}  // namespace arthas

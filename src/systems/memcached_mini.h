@@ -1,0 +1,122 @@
+// memcached_mini: a persistent-memory port of Memcached's core, scaled down.
+//
+// Reproduces the mechanisms behind faults f1-f5 of the paper's evaluation
+// (Table 2): a chained hashtable whose buckets and items live in PM (the
+// persistent Memcached port stores the entire item structure in PM,
+// including "transient" fields like refcount — paper Section 2.2), item
+// reference counting with a reaper that frees refcount-0 items, flush_all
+// expiry semantics, value append, and an incremental-rehash flag in the
+// persistent root.
+//
+// Armed faults:
+//   f1 kF1RefcountOverflow  — refcount++ without overflow check; the wrap
+//      to 0 makes the reaper free a still-linked item; address reuse then
+//      creates a hashtable chain cycle and GET hangs (paper Section 2.3).
+//   f2 kF2FlushAllLogic     — flush_all(delay) applies the cutoff
+//      immediately instead of at now+delay, expiring valid items.
+//   f3 kF3HashtableLockRace — insert uses a stale chain head (lost-update
+//      race window), dropping a linked item from its chain.
+//   f4 kF4AppendIntOverflow — append computes the new length in 16 bits;
+//      the copy uses the unwrapped length and overruns into the next block.
+//   f5 kF5RehashFlagBitflip — a CPU bit flip sets the persistent rehash
+//      flag; a later persist of the same cache line makes it durable, and
+//      lookups consult a bogus old table.
+
+#ifndef ARTHAS_SYSTEMS_MEMCACHED_MINI_H_
+#define ARTHAS_SYSTEMS_MEMCACHED_MINI_H_
+
+#include <cstdint>
+#include <string>
+
+#include "systems/system_base.h"
+
+namespace arthas {
+
+// GUIDs of memcached_mini's PM instructions (1100-1199). Shared between the
+// runtime trace call sites and the IR model.
+constexpr Guid kGuidMcItemInit = 1101;       // item header+data store at put
+constexpr Guid kGuidMcBucketStore = 1102;    // hashtable bucket head store
+constexpr Guid kGuidMcHNextStore = 1103;     // item.h_next store
+constexpr Guid kGuidMcCountStore = 1104;     // root.item_count store
+constexpr Guid kGuidMcRefcountStore = 1105;  // item.refcount store
+constexpr Guid kGuidMcFlushStore = 1106;     // root.flush_before store
+constexpr Guid kGuidMcAssocFind = 1107;      // chain-walk load (fault site)
+constexpr Guid kGuidMcExpiryCheck = 1108;    // flush cutoff load (fault site)
+constexpr Guid kGuidMcLookupMiss = 1110;     // lookup-miss site (fault site)
+constexpr Guid kGuidMcValLenStore = 1111;    // item.vallen store (append)
+constexpr Guid kGuidMcDataStore = 1112;      // value byte copy store
+constexpr Guid kGuidMcItemAccess = 1113;     // item header load (fault site)
+constexpr Guid kGuidMcExpandStore = 1114;    // root.expanding := 1 store
+constexpr Guid kGuidMcFreelistStore = 1116;  // slab freelist head store
+constexpr Guid kGuidMcReaperFree = 1117;     // pm free in the reaper
+constexpr Guid kGuidMcTableStore = 1118;     // root.hashtable/nbuckets store
+constexpr Guid kGuidMcExpandEndStore = 1119;  // root.expanding := 0 store
+constexpr Guid kGuidMcOldTableStore = 1120;  // root.old_hashtable store
+
+struct MemcachedOptions {
+  size_t pool_size = 1 * 1024 * 1024;
+  uint64_t hashtable_buckets = 64;  // kept small so collisions are easy
+  uint64_t chain_walk_budget = 4096;
+};
+
+class MemcachedMini : public PmSystemBase {
+ public:
+  using Options = MemcachedOptions;
+
+  explicit MemcachedMini(Options options = {});
+
+  Response Handle(const Request& request) override;
+  uint64_t ItemCount() override;
+  Status CheckConsistency() override;
+
+  // Injects the f5 CPU bit flip: flips the persistent rehash flag in the
+  // live image (not yet durable; a later persist of the root line will
+  // carry it to media — the soft-to-hard transformation).
+  void InjectRehashFlagBitFlip();
+
+  // Current virtual time used for item timestamps / flush_all; set by the
+  // harness before each operation.
+  void SetTime(int64_t now) { now_ = now; }
+
+  // f3 needs a racy window: when set, the next insert captures the chain
+  // head before a concurrent insert updates it (lost update).
+  void OpenRaceWindow() { race_window_ = true; }
+
+ protected:
+  Status Recover() override;
+
+ private:
+  struct McRoot;
+  struct McItem;
+
+  McRoot* root();
+  uint64_t BucketIndex(const std::string& key) const;
+  PmOffset* BucketSlot(uint64_t index);
+  Oid BucketArray();
+  // Chain lookup; returns 0 when absent; raises kHang past the walk budget.
+  PmOffset AssocFind(const std::string& key, Guid fault_site);
+  McItem* ItemAt(PmOffset off);
+  std::string ItemKey(const McItem* item) const;
+
+  void MaybeExpand();
+  Response Put(const Request& request);
+  Response Get(const Request& request);
+  Response Delete(const Request& request);
+  Response Append(const Request& request);
+  Response Hold(const Request& request);
+  Response ReleaseRef(const Request& request);
+  Response FlushAll(const Request& request);
+
+  void BuildIrModel();
+
+  Options options_;
+  Oid root_oid_;
+  int64_t now_ = 0;
+  bool race_window_ = false;
+  PmOffset stale_head_ = 0;   // captured chain head for the race
+  uint64_t stale_bucket_ = 0;
+};
+
+}  // namespace arthas
+
+#endif  // ARTHAS_SYSTEMS_MEMCACHED_MINI_H_

@@ -1,0 +1,512 @@
+#include "systems/pelikan_mini.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace arthas {
+
+namespace {
+constexpr PmOffset kPlNull = 0;
+constexpr uint64_t kDetailMagic = 0x9e11ca11ULL;  // "pelican"
+
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h = (h ^ static_cast<uint8_t>(c)) * 1099511628211ULL;
+  }
+  return h;
+}
+}  // namespace
+
+struct PelikanMini::PelRoot {
+  PmOffset ht;
+  uint64_t nbuckets;
+  uint64_t count;
+  PmOffset stats_detail;  // persistent detailed-metrics block
+  uint64_t gets;
+  uint64_t sets;
+};
+
+struct PelikanMini::PelItem {
+  PmOffset next;
+  uint8_t klen;
+  uint8_t vlen;
+  uint16_t pad;
+  uint32_t pad2;
+  char data[];
+};
+
+struct PelikanMini::PelStatsDetail {
+  uint64_t magic;
+  uint64_t hits;
+  uint64_t misses;
+};
+
+PelikanMini::PelikanMini(Options options)
+    : PmSystemBase("pelikan_mini", options.pool_size), options_(options) {
+  auto root_res = pool_->Root(sizeof(PelRoot));
+  assert(root_res.ok());
+  root_oid_ = *root_res;
+  PelRoot* r = root();
+  if (r->ht == kPlNull) {
+    auto table = pool_->Zalloc(options_.buckets * sizeof(PmOffset));
+    assert(table.ok());
+    r->ht = table->off;
+    r->nbuckets = options_.buckets;
+    auto detail = pool_->Zalloc(sizeof(PelStatsDetail));
+    assert(detail.ok());
+    auto* d = pool_->Direct<PelStatsDetail>(*detail);
+    d->magic = kDetailMagic;
+    pool_->Persist(*detail, 0, sizeof(PelStatsDetail));
+    r->stats_detail = detail->off;
+    pool_->PersistObject<PelRoot>(root_oid_);
+  }
+  BuildIrModel();
+}
+
+PelikanMini::PelRoot* PelikanMini::root() {
+  return pool_->Direct<PelRoot>(root_oid_);
+}
+
+uint64_t PelikanMini::BucketIndex(const std::string& key) const {
+  const auto* r =
+      const_cast<PelikanMini*>(this)->pool_->Direct<PelRoot>(root_oid_);
+  return Fnv1a(key) % r->nbuckets;
+}
+
+PmOffset* PelikanMini::BucketSlot(uint64_t index) {
+  return pool_->Direct<PmOffset>(Oid{root()->ht}) + index;
+}
+
+PelikanMini::PelItem* PelikanMini::ItemAt(PmOffset off) {
+  if (off == kPlNull || off + sizeof(PelItem) > pool_->device().size()) {
+    return nullptr;
+  }
+  return reinterpret_cast<PelItem*>(pool_->device().Live(off));
+}
+
+PmOffset PelikanMini::Find(const std::string& key) {
+  PmOffset cur = *BucketSlot(BucketIndex(key));
+  uint64_t budget = options_.chain_walk_budget;
+  while (cur != kPlNull) {
+    PelItem* item = ItemAt(cur);
+    if (item == nullptr) {
+      RaiseFault(FailureKind::kCrash, kGuidPlItemAccess, cur,
+                 "invalid item offset in chain", {"hashtable_get"});
+      return kPlNull;
+    }
+    // An item must live inside an allocated block; a clobbered neighbor
+    // header turns this walk into a wild access (the f10 segfault).
+    auto usable = pool_->UsableSize(Oid{cur});
+    if (!usable.ok() ||
+        sizeof(PelItem) + item->klen + item->vlen > *usable + 1) {
+      RaiseFault(FailureKind::kCrash, kGuidPlItemAccess, cur,
+                 "item header corrupt (block smashed)",
+                 {"item_check", "hashtable_get"});
+      return kPlNull;
+    }
+    if (budget-- == 0) {
+      RaiseFault(FailureKind::kHang, kGuidPlItemAccess, cur, "chain cycle",
+                 {"hashtable_get"});
+      return kPlNull;
+    }
+    if (item->klen == key.size() &&
+        std::memcmp(item->data, key.data(), key.size()) == 0) {
+      return cur;
+    }
+    cur = item->next;
+  }
+  return kPlNull;
+}
+
+Response PelikanMini::Handle(const Request& request) {
+  Response response;
+  if (HasFault()) {
+    response.status = Internal("server unavailable");
+    return response;
+  }
+  switch (request.op) {
+    case Request::Op::kPut:
+      return Put(request);
+    case Request::Op::kGet:
+      return Get(request);
+    case Request::Op::kDelete:
+      return Delete(request);
+    case Request::Op::kStats:
+      return Stats(request);
+    default:
+      response.status = Unimplemented("op not supported by pelikan_mini");
+      return response;
+  }
+}
+
+Response PelikanMini::Put(const Request& request) {
+  Response response;
+  if (request.key.size() > 200) {
+    response.status = InvalidArgument("key too large");
+    return response;
+  }
+  const size_t real_vlen = request.value.size();
+  if (!FaultArmed(FaultId::kF10ValueLenOverflow) && real_vlen > 255) {
+    response.status = InvalidArgument("value too large");
+    return response;
+  }
+  PelRoot* r = root();
+  const PmOffset existing = Find(request.key);
+  if (HasFault()) {
+    response.status = Internal(fault_->message);
+    return response;
+  }
+  if (existing != kPlNull) {
+    // Update in place when the new value fits the item's block.
+    PelItem* item = ItemAt(existing);
+    auto usable = pool_->UsableSize(Oid{existing});
+    if (usable.ok() && real_vlen <= 255 &&
+        sizeof(PelItem) + item->klen + real_vlen <= *usable) {
+      std::memcpy(item->data + item->klen, request.value.data(), real_vlen);
+      item->vlen = static_cast<uint8_t>(real_vlen);
+      TracedPersist(Oid{existing}, 0,
+                    sizeof(PelItem) + item->klen + real_vlen, kGuidPlItemInit);
+      r->sets++;
+      response.status = OkStatus();
+      return response;
+    }
+    Request del = request;
+    del.op = Request::Op::kDelete;
+    Delete(del);
+  }
+  // f10: the stored length is 8-bit; the allocation sizes the block from the
+  // wrapped length while the copy writes the real bytes.
+  const uint8_t stored_vlen = static_cast<uint8_t>(real_vlen);
+  auto oid =
+      pool_->Zalloc(sizeof(PelItem) + request.key.size() + stored_vlen);
+  if (!oid.ok()) {
+    RaiseFault(FailureKind::kOutOfSpace, kGuidPlItemInit, kNullPmOffset,
+               "item allocation failed", {"item_alloc"});
+    response.status = oid.status();
+    return response;
+  }
+  PelItem* item = pool_->Direct<PelItem>(*oid);
+  item->klen = static_cast<uint8_t>(request.key.size());
+  item->vlen = stored_vlen;
+  std::memcpy(item->data, request.key.data(), request.key.size());
+  std::memcpy(item->data + request.key.size(), request.value.data(),
+              real_vlen);
+  TracedPersist(*oid, 0, sizeof(PelItem) + request.key.size() + real_vlen,
+                kGuidPlItemInit);
+  const uint64_t index = BucketIndex(request.key);
+  item->next = *BucketSlot(index);
+  *BucketSlot(index) = oid->off;
+  TracedPersist(*oid, offsetof(PelItem, next), sizeof(PmOffset),
+                kGuidPlItemInit);
+  TracedPersistRange(r->ht + index * sizeof(PmOffset), sizeof(PmOffset),
+                     kGuidPlBucketStore);
+  r->count++;
+  r->sets++;
+  TracedPersist(root_oid_, offsetof(PelRoot, count), sizeof(uint64_t),
+                kGuidPlCountStore);
+  response.status = OkStatus();
+  return response;
+}
+
+Response PelikanMini::Get(const Request& request) {
+  Response response;
+  const PmOffset off = Find(request.key);
+  if (HasFault()) {
+    response.status = Internal(fault_->message);
+    return response;
+  }
+  if (off == kPlNull) {
+    if (request.must_exist) {
+      RaiseFault(FailureKind::kWrongResult, kGuidPlLookupMiss,
+                 root()->ht + BucketIndex(request.key) * sizeof(PmOffset),
+                 "linked item missing", {"hashtable_get"});
+      response.status = Internal(fault_->message);
+      return response;
+    }
+    response.found = false;
+    response.status = OkStatus();
+    return response;
+  }
+  PelItem* item = ItemAt(off);
+  response.found = true;
+  response.value.assign(item->data + item->klen, item->vlen);
+  response.status = OkStatus();
+  return response;
+}
+
+Response PelikanMini::Delete(const Request& request) {
+  Response response;
+  PelRoot* r = root();
+  const uint64_t index = BucketIndex(request.key);
+  PmOffset prev = kPlNull;
+  PmOffset cur = *BucketSlot(index);
+  uint64_t budget = options_.chain_walk_budget;
+  while (cur != kPlNull && budget-- > 0) {
+    PelItem* item = ItemAt(cur);
+    if (item == nullptr) {
+      break;
+    }
+    if (item->klen == request.key.size() &&
+        std::memcmp(item->data, request.key.data(), request.key.size()) == 0) {
+      if (prev == kPlNull) {
+        *BucketSlot(index) = item->next;
+        TracedPersistRange(r->ht + index * sizeof(PmOffset),
+                           sizeof(PmOffset), kGuidPlBucketStore);
+      } else {
+        ItemAt(prev)->next = item->next;
+        TracedPersist(Oid{prev}, offsetof(PelItem, next), sizeof(PmOffset),
+                      kGuidPlItemInit);
+      }
+      (void)pool_->Free(Oid{cur});
+      r->count--;
+      TracedPersist(root_oid_, offsetof(PelRoot, count), sizeof(uint64_t),
+                    kGuidPlCountStore);
+      response.found = true;
+      response.status = OkStatus();
+      return response;
+    }
+    prev = cur;
+    cur = item->next;
+  }
+  response.found = false;
+  response.status = OkStatus();
+  return response;
+}
+
+Response PelikanMini::Stats(const Request& request) {
+  Response response;
+  PelRoot* r = root();
+  if (request.key == "reset") {
+    if (FaultArmed(FaultId::kF11NullStats)) {
+      // Bug: resets the detail *pointer* instead of the counters behind it.
+      r->stats_detail = kPlNull;
+      TracedPersist(root_oid_, offsetof(PelRoot, stats_detail),
+                    sizeof(PmOffset), kGuidPlDetailStore);
+    } else {
+      auto* d = pool_->Direct<PelStatsDetail>(Oid{r->stats_detail});
+      d->hits = 0;
+      d->misses = 0;
+      TracedPersistRange(r->stats_detail, sizeof(PelStatsDetail),
+                         kGuidPlStatsBump);
+    }
+    response.status = OkStatus();
+    return response;
+  }
+  // "show": dereference the detail block.
+  if (r->stats_detail == kPlNull ||
+      pool_->Direct<PelStatsDetail>(Oid{r->stats_detail})->magic !=
+          kDetailMagic) {
+    RaiseFault(FailureKind::kCrash, kGuidPlStatsRead,
+               root_oid_.off + offsetof(PelRoot, stats_detail),
+               "null/garbage stats detail pointer dereferenced",
+               {"admin_stats", "core_admin"});
+    response.status = Internal(fault_->message);
+    return response;
+  }
+  auto* d = pool_->Direct<PelStatsDetail>(Oid{r->stats_detail});
+  d->hits++;
+  TracedPersistRange(r->stats_detail + offsetof(PelStatsDetail, hits),
+                     sizeof(uint64_t), kGuidPlStatsBump);
+  response.value = "gets=" + std::to_string(r->gets) +
+                   " sets=" + std::to_string(r->sets) +
+                   " hits=" + std::to_string(d->hits);
+  response.found = true;
+  response.status = OkStatus();
+  return response;
+}
+
+uint64_t PelikanMini::ItemCount() { return root()->count; }
+
+Status PelikanMini::CheckConsistency() {
+  ARTHAS_RETURN_IF_ERROR(pool_->CheckIntegrity());
+  PelRoot* r = root();
+  if (r->stats_detail == kPlNull) {
+    return Corruption("stats detail pointer is null");
+  }
+  uint64_t reachable = 0;
+  for (uint64_t i = 0; i < r->nbuckets; i++) {
+    PmOffset cur = *BucketSlot(i);
+    uint64_t budget = options_.chain_walk_budget;
+    while (cur != kPlNull) {
+      if (budget-- == 0) {
+        return Corruption("chain cycle");
+      }
+      PelItem* item = ItemAt(cur);
+      if (item == nullptr) {
+        return Corruption("chain points outside pool");
+      }
+      auto usable = pool_->UsableSize(Oid{cur});
+      if (!usable.ok() ||
+          sizeof(PelItem) + item->klen + item->vlen > *usable + 1) {
+        return Corruption("item larger than its block");
+      }
+      reachable++;
+      cur = item->next;
+    }
+  }
+  if (reachable != r->count) {
+    return Corruption("count mismatch");
+  }
+  return OkStatus();
+}
+
+Status PelikanMini::Recover() {
+  PelRoot* r = root();
+  RecoveryTouch(r->ht);
+  uint64_t reachable = 0;
+  if (r->stats_detail != kPlNull) {
+    RecoveryTouch(r->stats_detail);
+  }
+  for (uint64_t i = 0; i < r->nbuckets; i++) {
+    PmOffset cur = *BucketSlot(i);
+    uint64_t budget = options_.chain_walk_budget;
+    while (cur != kPlNull) {
+      PelItem* item = ItemAt(cur);
+      if (item == nullptr) {
+        RaiseFault(FailureKind::kCrash, kGuidPlItemAccess, cur,
+                   "recovery hit invalid item", {"seg_recover"});
+        return OkStatus();
+      }
+      auto usable = pool_->UsableSize(Oid{cur});
+      if (!usable.ok() ||
+          sizeof(PelItem) + item->klen + item->vlen > *usable + 1) {
+        RaiseFault(FailureKind::kCrash, kGuidPlItemAccess, cur,
+                   "recovery hit corrupt item header", {"seg_recover"});
+        return OkStatus();
+      }
+      if (budget-- == 0) {
+        RaiseFault(FailureKind::kHang, kGuidPlItemAccess, cur,
+                   "recovery chain cycle", {"seg_recover"});
+        return OkStatus();
+      }
+      RecoveryTouch(cur);
+      reachable++;
+      cur = item->next;
+    }
+  }
+  // The item count is derived metadata, recomputed by the recovery scan.
+  r->count = reachable;
+  pool_->device().PersistQuiet(root_oid_.off + offsetof(PelRoot, count),
+                               sizeof(uint64_t));
+  return OkStatus();
+}
+
+// --- IR model ----------------------------------------------------------------
+//
+// Root fields: 0 ht, 1 nbuckets, 2 count, 3 stats_detail, 4 gets, 5 sets.
+// Item fields: 0 next, 1 klen, 2 vlen, 3 data.
+void PelikanMini::BuildIrModel() {
+  model_ = std::make_unique<IrModule>("pelikan_mini");
+  IrModule& m = *model_;
+  IrBuilder b(m);
+  IrGlobal* g_root = m.CreateGlobal("g_root");
+
+  IrFunction* init = m.CreateFunction("init", 0);
+  {
+    b.SetInsertPoint(init->CreateBlock("entry"));
+    IrInstruction* r = b.PmMapFile("root");
+    b.Store(r, g_root);
+    IrInstruction* ht = b.PmAlloc(b.Const(512), "ht");
+    b.Store(ht, b.FieldAddr(r, 0, "ht_addr"));
+    IrInstruction* detail = b.PmAlloc(b.Const(24), "detail");
+    b.Store(detail, b.FieldAddr(r, 3, "detail_addr"));
+    b.Ret();
+  }
+
+  IrFunction* alloc_item = m.CreateFunction("alloc_item", 0);
+  {
+    b.SetInsertPoint(alloc_item->CreateBlock("entry"));
+    IrInstruction* it = b.PmAlloc(b.Const(64), "it");
+    b.Ret(it);
+  }
+
+  // fn put(k, v): the wrapped length + byte-cursor copy (f10 shape).
+  IrFunction* put = m.CreateFunction("put", 2);
+  {
+    b.SetInsertPoint(put->CreateBlock("entry"));
+    IrArgument* k = put->arg(0);
+    IrArgument* v = put->arg(1);
+    IrInstruction* r = b.Load(g_root, "r");
+    IrInstruction* it = b.Call(alloc_item, {}, "it");
+    IrInstruction* vl = b.BinOp(v, b.Const(255), "vl");  // narrow length
+    b.Store(vl, b.FieldAddr(it, 2, "vl_addr"));
+    IrInstruction* cursor = b.IndexAddr(it, v, "cursor");
+    b.Store(v, cursor, kGuidPlItemInit);
+    IrInstruction* ht = b.Load(b.FieldAddr(r, 0, "ht_addr"), "ht");
+    IrInstruction* slot = b.IndexAddr(ht, k, "slot");
+    IrInstruction* head = b.Load(slot, "head");
+    b.Store(head, b.FieldAddr(it, 0, "next_addr"));
+    b.Store(it, slot, kGuidPlBucketStore);
+    IrInstruction* cnt_addr = b.FieldAddr(r, 2, "cnt_addr");
+    IrInstruction* cnt = b.Load(cnt_addr, "cnt");
+    b.Store(b.BinOp(cnt, b.Const(1), "cnt1"), cnt_addr, kGuidPlCountStore);
+    b.Ret();
+  }
+
+  // fn get(k): chain walk with the header validity check (f10 fault site).
+  IrFunction* get = m.CreateFunction("get", 1);
+  {
+    IrBasicBlock* entry = get->CreateBlock("entry");
+    IrBasicBlock* walk = get->CreateBlock("walk");
+    IrBasicBlock* body = get->CreateBlock("body");
+    IrBasicBlock* miss = get->CreateBlock("miss");
+    b.SetInsertPoint(entry);
+    IrArgument* k = get->arg(0);
+    IrInstruction* r = b.Load(g_root, "r");
+    IrInstruction* ht = b.Load(b.FieldAddr(r, 0, "ht_addr"), "ht");
+    IrInstruction* slot = b.IndexAddr(ht, k, "slot");
+    IrInstruction* h0 = b.Load(slot, "h0");
+    b.Br(walk);
+    b.SetInsertPoint(walk);
+    IrInstruction* it = b.Phi({h0}, "it");
+    IrInstruction* c = b.Cmp(it, b.Const(0), "c");
+    b.CondBr(c, body, miss);
+    b.SetInsertPoint(body);
+    IrInstruction* hdr = b.Load(b.FieldAddr(it, 1, "klen_addr"), "hdr");
+    hdr->set_guid(kGuidPlItemAccess);
+    IrInstruction* itn = b.Load(b.FieldAddr(it, 0, "next_addr"), "itn");
+    b.Br(walk);
+    it->AddOperand(itn);
+    b.SetInsertPoint(miss);
+    IrInstruction* mm = b.Load(b.IndexAddr(ht, k, "slot2"), "mm");
+    mm->set_guid(kGuidPlLookupMiss);
+    b.Ret(mm);
+  }
+
+  // fn stats_reset(): the f11 pointer-nulling store.
+  IrFunction* stats_reset = m.CreateFunction("stats_reset", 0);
+  {
+    b.SetInsertPoint(stats_reset->CreateBlock("entry"));
+    IrInstruction* r = b.Load(g_root, "r");
+    b.Store(b.Const(0), b.FieldAddr(r, 3, "detail_addr"), kGuidPlDetailStore);
+    b.Ret();
+  }
+
+  // fn stats_show(): dereferences the detail pointer (f11 fault site).
+  IrFunction* stats_show = m.CreateFunction("stats_show", 0);
+  {
+    b.SetInsertPoint(stats_show->CreateBlock("entry"));
+    IrInstruction* r = b.Load(g_root, "r");
+    IrInstruction* d = b.Load(b.FieldAddr(r, 3, "detail_addr"), "d");
+    d->set_guid(kGuidPlStatsRead);
+    IrInstruction* hits_addr = b.FieldAddr(d, 1, "hits_addr");
+    IrInstruction* hits = b.Load(hits_addr, "hits");
+    b.Store(b.BinOp(hits, b.Const(1), "hits1"), hits_addr, kGuidPlStatsBump);
+    b.Ret();
+  }
+
+  assert(model_->Verify().ok());
+  for (const IrInstruction* inst : model_->AllInstructions()) {
+    if (inst->guid() != kNoGuid) {
+      (void)registry_.Register(inst->guid(), name_,
+                               inst->block()->parent()->name() + ":" +
+                                   inst->block()->name(),
+                               inst->ToString());
+    }
+  }
+}
+
+}  // namespace arthas

@@ -1,0 +1,75 @@
+// pelikan_mini: Twitter's Pelikan cache (seg/slab storage + admin stats),
+// scaled down and ported to PM.
+//
+// Armed faults (paper Table 2):
+//   f10 kF10ValueLenOverflow — a put with a value longer than the 8-bit
+//       header field wraps the stored length; the copy uses the real length
+//       and overruns the block into its physical neighbor (segfault on the
+//       next access through the clobbered region).
+//   f11 kF11NullStats — the stats-reset path nulls the persistent detail
+//       pointer instead of the counters behind it; the next stats read
+//       dereferences the null pointer (segfault).
+
+#ifndef ARTHAS_SYSTEMS_PELIKAN_MINI_H_
+#define ARTHAS_SYSTEMS_PELIKAN_MINI_H_
+
+#include <cstdint>
+#include <string>
+
+#include "systems/system_base.h"
+
+namespace arthas {
+
+// GUIDs 4100-4199.
+constexpr Guid kGuidPlItemInit = 4101;    // item header + data store
+constexpr Guid kGuidPlBucketStore = 4102;  // hash bucket store
+constexpr Guid kGuidPlCountStore = 4103;   // root.count store
+constexpr Guid kGuidPlItemAccess = 4104;   // item header load (fault site)
+constexpr Guid kGuidPlDetailStore = 4105;  // stats.detail pointer store
+constexpr Guid kGuidPlStatsRead = 4106;    // stats detail load (fault site)
+constexpr Guid kGuidPlStatsBump = 4107;    // stats counter store
+constexpr Guid kGuidPlLookupMiss = 4108;   // wrongful-miss site
+
+struct PelikanOptions {
+  size_t pool_size = 1 * 1024 * 1024;
+  uint64_t buckets = 64;
+  uint64_t chain_walk_budget = 4096;
+};
+
+class PelikanMini : public PmSystemBase {
+ public:
+  using Options = PelikanOptions;
+
+  explicit PelikanMini(Options options = {});
+
+  Response Handle(const Request& request) override;
+  uint64_t ItemCount() override;
+  Status CheckConsistency() override;
+
+ protected:
+  Status Recover() override;
+
+ private:
+  struct PelRoot;
+  struct PelItem;
+  struct PelStatsDetail;
+
+  PelRoot* root();
+  uint64_t BucketIndex(const std::string& key) const;
+  PmOffset* BucketSlot(uint64_t index);
+  PelItem* ItemAt(PmOffset off);
+  PmOffset Find(const std::string& key);
+
+  Response Put(const Request& request);
+  Response Get(const Request& request);
+  Response Delete(const Request& request);
+  Response Stats(const Request& request);
+
+  Options options_;
+  Oid root_oid_;
+  void BuildIrModel();
+};
+
+}  // namespace arthas
+
+#endif  // ARTHAS_SYSTEMS_PELIKAN_MINI_H_

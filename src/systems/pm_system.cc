@@ -1,0 +1,25 @@
+#include "systems/pm_system.h"
+
+namespace arthas {
+
+const char* FailureKindName(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kNone:
+      return "none";
+    case FailureKind::kCrash:
+      return "crash";
+    case FailureKind::kAssertion:
+      return "assertion";
+    case FailureKind::kHang:
+      return "hang";
+    case FailureKind::kWrongResult:
+      return "wrong-result";
+    case FailureKind::kOutOfSpace:
+      return "out-of-space";
+    case FailureKind::kLeak:
+      return "leak";
+  }
+  return "?";
+}
+
+}  // namespace arthas

@@ -1,0 +1,136 @@
+// Common interface every target PM system implements.
+//
+// The evaluation runs five PM systems (Memcached, Redis, Pelikan, PMEMKV,
+// CCEH re-implemented as mini systems in src/systems). The harness drives
+// them through this request/response interface, restarts them by crashing
+// the PM pool and re-running recovery, and reads the failure surface the
+// Arthas detector monitors (crash signal, exit code, fault instruction,
+// stack digest, PM usage).
+//
+// A real deployment would observe a separate process; here the "process" is
+// the system object plus all volatile state, and "process death" is
+// modelled by destroying volatile state and calling Restart().
+
+#ifndef ARTHAS_SYSTEMS_PM_SYSTEM_H_
+#define ARTHAS_SYSTEMS_PM_SYSTEM_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ir/ir.h"
+#include "pmem/pool.h"
+#include "trace/guid_registry.h"
+#include "trace/tracer.h"
+
+namespace arthas {
+
+// How a failed run manifested (paper Section 4.3: crash, assertion failure,
+// hang, memory leak, wrong results; plus out-of-space for persistent leaks).
+enum class FailureKind {
+  kNone,
+  kCrash,        // segfault-equivalent
+  kAssertion,    // server panic / assertion failure
+  kHang,         // infinite loop / deadlock
+  kWrongResult,  // user-visible incorrect behaviour (incl. data loss)
+  kOutOfSpace,   // persistent pool exhausted
+  kLeak,         // PM usage monitor tripped
+};
+
+const char* FailureKindName(FailureKind kind);
+
+// What the detector retrieves about a failure (paper Section 4.3: "faulting
+// instruction, exit code, stack trace, memory usage").
+struct FaultInfo {
+  FailureKind kind = FailureKind::kNone;
+  Guid fault_guid = kNoGuid;  // instruction where the failure manifested
+  // Faulting PM access, when one exists (a crashing load/store reports it
+  // via siginfo in a real deployment). kNullPmOffset when unknown.
+  PmOffset fault_address = kNullPmOffset;
+  int exit_code = 0;
+  std::string message;
+  std::vector<std::string> stack;  // symbolic frames, innermost first
+  uint64_t pm_used_bytes = 0;
+};
+
+// Request surface shared by the KV-style targets.
+struct Request {
+  enum class Op {
+    kPut,
+    kGet,
+    kDelete,
+    kAppend,       // Memcached/Pelikan append to an existing value
+    kHold,         // take a reference on an item (refcount++)
+    kRelease,      // drop a reference (refcount--)
+    kFlushAll,     // Memcached flush_all (takes delay in int_arg)
+    kListPush,     // Redis listpack append (value is the element)
+    kListRead,     // Redis listpack read-back
+    kStats,        // Pelikan stats command (subcommand in `key`)
+    kCommand,      // system-specific admin command in `key`
+  };
+  Op op = Op::kGet;
+  std::string key;
+  std::string value;
+  int64_t int_arg = 0;
+  // Probe flag used by the detector's user-defined checks: the caller knows
+  // this key must exist, so a miss is a wrong result and the system raises
+  // (and diagnoses) a fault instead of returning not-found.
+  bool must_exist = false;
+};
+
+struct Response {
+  Status status;
+  std::string value;
+  bool found = false;
+};
+
+// The per-run outcome the harness and detector exchange.
+struct RunObservation {
+  std::optional<FaultInfo> fault;
+  uint64_t pm_used_bytes = 0;
+  uint64_t item_count = 0;
+};
+
+class PmSystemTarget {
+ public:
+  virtual ~PmSystemTarget() = default;
+
+  virtual const std::string& name() const = 0;
+
+  virtual PmemPool& pool() = 0;
+  virtual Tracer& tracer() = 0;
+
+  // Static metadata produced by the Arthas analyzer for this system.
+  virtual const IrModule& ir_model() const = 0;
+  virtual const GuidRegistry& guid_registry() const = 0;
+
+  // Simulates process restart: drops volatile state, crashes the pool (only
+  // durable bytes survive), re-runs pool recovery and the system's own
+  // recovery function.
+  virtual Status Restart() = 0;
+
+  // Handles one client request. A fault during handling is reported in the
+  // response's status and latched into last_fault().
+  virtual Response Handle(const Request& request) = 0;
+
+  // Most recent fault this "process" hit (cleared by Restart()).
+  virtual const std::optional<FaultInfo>& last_fault() const = 0;
+
+  // Number of logical items stored (for the data-loss metric).
+  virtual uint64_t ItemCount() = 0;
+
+  // Domain invariants ("number of items equals hashtable size" and the
+  // like). Used by Table 4/Table 7 experiments.
+  virtual Status CheckConsistency() = 0;
+
+  // PM object payload offsets the recovery function touched in the last
+  // Restart(); feeds the leak mitigation of paper Section 4.7 (the
+  // pmem_recover_begin/end annotation analogue).
+  virtual const std::vector<PmOffset>& RecoveryAccessedObjects() const = 0;
+};
+
+}  // namespace arthas
+
+#endif  // ARTHAS_SYSTEMS_PM_SYSTEM_H_

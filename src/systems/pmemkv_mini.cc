@@ -1,0 +1,396 @@
+#include "systems/pmemkv_mini.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace arthas {
+
+namespace {
+constexpr PmOffset kKvNull = 0;
+
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h = (h ^ static_cast<uint8_t>(c)) * 1099511628211ULL;
+  }
+  return h;
+}
+}  // namespace
+
+struct PmemkvMini::KvRoot {
+  PmOffset buckets;
+  uint64_t nbuckets;
+  uint64_t count;
+};
+
+struct PmemkvMini::KvEntry {
+  PmOffset next;
+  uint32_t klen;
+  uint32_t vlen;
+  char data[];
+};
+
+PmemkvMini::PmemkvMini(Options options)
+    : PmSystemBase("pmemkv_mini", options.pool_size), options_(options) {
+  auto root_res = pool_->Root(sizeof(KvRoot));
+  assert(root_res.ok());
+  root_oid_ = *root_res;
+  KvRoot* r = root();
+  if (r->buckets == kKvNull) {
+    auto table = pool_->Zalloc(options_.buckets * sizeof(PmOffset));
+    assert(table.ok());
+    r->buckets = table->off;
+    r->nbuckets = options_.buckets;
+    pool_->PersistObject<KvRoot>(root_oid_);
+  }
+  BuildIrModel();
+}
+
+PmemkvMini::KvRoot* PmemkvMini::root() {
+  return pool_->Direct<KvRoot>(root_oid_);
+}
+
+uint64_t PmemkvMini::BucketIndex(const std::string& key) const {
+  const auto* r =
+      const_cast<PmemkvMini*>(this)->pool_->Direct<KvRoot>(root_oid_);
+  return Fnv1a(key) % r->nbuckets;
+}
+
+PmOffset* PmemkvMini::BucketSlot(uint64_t index) {
+  return pool_->Direct<PmOffset>(Oid{root()->buckets}) + index;
+}
+
+// Validated entry access: a wild chain pointer (possible after external
+// reversion of bucket stores) would segfault the real system.
+PmemkvMini::KvEntry* PmemkvMini::EntryAt(PmOffset off) {
+  if (off == kKvNull || off + sizeof(KvEntry) > pool_->device().size() ||
+      !pool_->UsableSize(Oid{off}).ok()) {
+    return nullptr;
+  }
+  return pool_->Direct<KvEntry>(Oid{off});
+}
+
+Response PmemkvMini::Handle(const Request& request) {
+  Response response;
+  if (HasFault()) {
+    response.status = Internal("server unavailable");
+    return response;
+  }
+  // The background worker gets a slice of CPU between requests — unless the
+  // lazy-free bug is armed, in which case it is modelled as never running
+  // before the next crash (the race the paper describes).
+  if (!FaultArmed(FaultId::kF12AsyncLazyFree)) {
+    RunAsyncFreeWorker();
+  }
+  switch (request.op) {
+    case Request::Op::kPut:
+      return Put(request);
+    case Request::Op::kGet:
+      return Get(request);
+    case Request::Op::kDelete:
+      return Delete(request);
+    default:
+      response.status = Unimplemented("op not supported by pmemkv_mini");
+      return response;
+  }
+}
+
+void PmemkvMini::RunAsyncFreeWorker() {
+  for (const PmOffset off : deferred_free_) {
+    (void)pool_->Free(Oid{off});
+  }
+  deferred_free_.clear();
+}
+
+Response PmemkvMini::Put(const Request& request) {
+  Response response;
+  KvRoot* r = root();
+  // Update in place when the existing entry's block can hold the value.
+  PmOffset cur = *BucketSlot(BucketIndex(request.key));
+  uint64_t budget = 4096;
+  while (cur != kKvNull && budget-- > 0) {
+    auto* entry = EntryAt(cur);
+    if (entry == nullptr) {
+      break;
+    }
+    if (entry->klen == request.key.size() &&
+        std::memcmp(entry->data, request.key.data(), request.key.size()) ==
+            0) {
+      auto usable = pool_->UsableSize(Oid{cur});
+      if (usable.ok() && sizeof(KvEntry) + entry->klen +
+                                 request.value.size() <=
+                             *usable) {
+        std::memcpy(entry->data + entry->klen, request.value.data(),
+                    request.value.size());
+        entry->vlen = request.value.size();
+        TracedPersist(Oid{cur}, 0,
+                      sizeof(KvEntry) + entry->klen + entry->vlen,
+                      kGuidKvEntryInit);
+        response.status = OkStatus();
+        return response;
+      }
+      break;
+    }
+    cur = entry->next;
+  }
+  // Remove any existing mapping first.
+  Request del = request;
+  del.op = Request::Op::kDelete;
+  Delete(del);
+
+  tracer_.Record(kGuidKvAllocSite, r->count);
+  auto oid = pool_->Zalloc(sizeof(KvEntry) + request.key.size() +
+                           request.value.size());
+  if (!oid.ok()) {
+    RaiseFault(FailureKind::kOutOfSpace, kGuidKvAllocSite, kNullPmOffset,
+               "put failed: persistent pool exhausted",
+               {"cmap::put", "pmemobj_tx_alloc"});
+    response.status = oid.status();
+    return response;
+  }
+  auto* entry = pool_->Direct<KvEntry>(*oid);
+  entry->klen = request.key.size();
+  entry->vlen = request.value.size();
+  std::memcpy(entry->data, request.key.data(), request.key.size());
+  std::memcpy(entry->data + entry->klen, request.value.data(),
+              request.value.size());
+  const uint64_t index = BucketIndex(request.key);
+  entry->next = *BucketSlot(index);
+  TracedPersist(*oid, 0, sizeof(KvEntry) + entry->klen + entry->vlen,
+                kGuidKvEntryInit);
+  *BucketSlot(index) = oid->off;
+  TracedPersistRange(r->buckets + index * sizeof(PmOffset), sizeof(PmOffset),
+                     kGuidKvBucketStore);
+  r->count++;
+  TracedPersist(root_oid_, offsetof(KvRoot, count), sizeof(uint64_t),
+                kGuidKvCountStore);
+  response.status = OkStatus();
+  return response;
+}
+
+Response PmemkvMini::Get(const Request& request) {
+  Response response;
+  PmOffset cur = *BucketSlot(BucketIndex(request.key));
+  uint64_t budget = 4096;
+  while (cur != kKvNull && budget-- > 0) {
+    auto* entry = EntryAt(cur);
+    if (entry == nullptr) {
+      RaiseFault(FailureKind::kCrash, kGuidKvLookupMiss, cur,
+                 "cmap chain points at a wild address", {"cmap::get"});
+      response.status = Internal(fault_->message);
+      return response;
+    }
+    if (entry->klen == request.key.size() &&
+        std::memcmp(entry->data, request.key.data(), request.key.size()) ==
+            0) {
+      response.found = true;
+      response.value.assign(entry->data + entry->klen, entry->vlen);
+      response.status = OkStatus();
+      return response;
+    }
+    cur = entry->next;
+  }
+  if (request.must_exist) {
+    RaiseFault(FailureKind::kWrongResult, kGuidKvLookupMiss,
+               root()->buckets + BucketIndex(request.key) * sizeof(PmOffset),
+               "inserted key missing", {"cmap::get"});
+    response.status = Internal(fault_->message);
+    return response;
+  }
+  response.found = false;
+  response.status = OkStatus();
+  return response;
+}
+
+Response PmemkvMini::Delete(const Request& request) {
+  Response response;
+  KvRoot* r = root();
+  const uint64_t index = BucketIndex(request.key);
+  PmOffset prev = kKvNull;
+  PmOffset cur = *BucketSlot(index);
+  uint64_t budget = 4096;
+  while (cur != kKvNull && budget-- > 0) {
+    auto* entry = EntryAt(cur);
+    if (entry == nullptr) {
+      RaiseFault(FailureKind::kCrash, kGuidKvLookupMiss, cur,
+                 "cmap chain points at a wild address", {"cmap::remove"});
+      response.status = Internal(fault_->message);
+      return response;
+    }
+    if (entry->klen == request.key.size() &&
+        std::memcmp(entry->data, request.key.data(), request.key.size()) ==
+            0) {
+      // Unlink now; free later in the background (PMEMKV's latency
+      // optimization — and f12's leak window).
+      if (prev == kKvNull) {
+        *BucketSlot(index) = entry->next;
+        TracedPersistRange(r->buckets + index * sizeof(PmOffset),
+                           sizeof(PmOffset), kGuidKvBucketStore);
+      } else {
+        auto* prev_entry = pool_->Direct<KvEntry>(Oid{prev});
+        prev_entry->next = entry->next;
+        TracedPersist(Oid{prev}, offsetof(KvEntry, next), sizeof(PmOffset),
+                      kGuidKvEntryInit);
+      }
+      deferred_free_.push_back(cur);
+      r->count--;
+      TracedPersist(root_oid_, offsetof(KvRoot, count), sizeof(uint64_t),
+                    kGuidKvCountStore);
+      response.found = true;
+      response.status = OkStatus();
+      return response;
+    }
+    prev = cur;
+    cur = entry->next;
+  }
+  response.found = false;
+  response.status = OkStatus();
+  return response;
+}
+
+uint64_t PmemkvMini::ItemCount() { return root()->count; }
+
+Status PmemkvMini::CheckConsistency() {
+  ARTHAS_RETURN_IF_ERROR(pool_->CheckIntegrity());
+  KvRoot* r = root();
+  uint64_t reachable = 0;
+  for (uint64_t i = 0; i < r->nbuckets; i++) {
+    PmOffset cur = *BucketSlot(i);
+    uint64_t budget = 4096;
+    while (cur != kKvNull) {
+      if (budget-- == 0) {
+        return Corruption("chain cycle");
+      }
+      auto* entry = EntryAt(cur);
+      if (entry == nullptr) {
+        return Corruption("cmap chain points at a wild address");
+      }
+      reachable++;
+      cur = entry->next;
+    }
+  }
+  if (reachable != r->count) {
+    return Corruption("count mismatch");
+  }
+  return OkStatus();
+}
+
+Status PmemkvMini::Recover() {
+  // Restart loses the volatile deferred-free queue: whatever was waiting to
+  // be freed leaks (f12's essence).
+  deferred_free_.clear();
+  KvRoot* r = root();
+  RecoveryTouch(r->buckets);
+  for (uint64_t i = 0; i < r->nbuckets; i++) {
+    PmOffset cur = *BucketSlot(i);
+    uint64_t budget = 4096;
+    while (cur != kKvNull && budget-- > 0) {
+      auto* entry = EntryAt(cur);
+      if (entry == nullptr) {
+        RaiseFault(FailureKind::kCrash, kGuidKvLookupMiss, cur,
+                   "recovery hit a wild cmap pointer", {"cmap::recover"});
+        return OkStatus();
+      }
+      RecoveryTouch(cur);
+      cur = entry->next;
+    }
+  }
+  return OkStatus();
+}
+
+// --- IR model ----------------------------------------------------------------
+void PmemkvMini::BuildIrModel() {
+  model_ = std::make_unique<IrModule>("pmemkv_mini");
+  IrModule& m = *model_;
+  IrBuilder b(m);
+  IrGlobal* g_root = m.CreateGlobal("g_root");
+
+  IrFunction* init = m.CreateFunction("init", 0);
+  {
+    b.SetInsertPoint(init->CreateBlock("entry"));
+    IrInstruction* r = b.PmMapFile("root");
+    b.Store(r, g_root);
+    IrInstruction* tbl = b.PmAlloc(b.Const(512), "tbl");
+    b.Store(tbl, b.FieldAddr(r, 0, "tbl_addr"));
+    b.Ret();
+  }
+
+  IrFunction* put = m.CreateFunction("put", 2);
+  {
+    b.SetInsertPoint(put->CreateBlock("entry"));
+    IrArgument* k = put->arg(0);
+    IrArgument* v = put->arg(1);
+    IrInstruction* r = b.Load(g_root, "r");
+    IrInstruction* e = b.PmAlloc(b.Const(64), "e");
+    e->set_guid(kGuidKvAllocSite);
+    b.Store(v, b.FieldAddr(e, 2, "data_addr"), kGuidKvEntryInit);
+    IrInstruction* tbl = b.Load(b.FieldAddr(r, 0, "tbl_addr"), "tbl");
+    IrInstruction* slot = b.IndexAddr(tbl, k, "slot");
+    IrInstruction* head = b.Load(slot, "head");
+    b.Store(head, b.FieldAddr(e, 0, "next_addr"));
+    b.Store(e, slot, kGuidKvBucketStore);
+    IrInstruction* cnt_addr = b.FieldAddr(r, 2, "cnt_addr");
+    IrInstruction* cnt = b.Load(cnt_addr, "cnt");
+    b.Store(b.BinOp(cnt, b.Const(1), "cnt1"), cnt_addr, kGuidKvCountStore);
+    b.Ret();
+  }
+
+  IrFunction* get = m.CreateFunction("get", 1);
+  {
+    IrBasicBlock* entry = get->CreateBlock("entry");
+    IrBasicBlock* walk = get->CreateBlock("walk");
+    IrBasicBlock* body = get->CreateBlock("body");
+    IrBasicBlock* miss = get->CreateBlock("miss");
+    b.SetInsertPoint(entry);
+    IrArgument* k = get->arg(0);
+    IrInstruction* r = b.Load(g_root, "r");
+    IrInstruction* tbl = b.Load(b.FieldAddr(r, 0, "tbl_addr"), "tbl");
+    IrInstruction* slot = b.IndexAddr(tbl, k, "slot");
+    IrInstruction* h0 = b.Load(slot, "h0");
+    b.Br(walk);
+    b.SetInsertPoint(walk);
+    IrInstruction* it = b.Phi({h0}, "it");
+    IrInstruction* c = b.Cmp(it, b.Const(0), "c");
+    b.CondBr(c, body, miss);
+    b.SetInsertPoint(body);
+    IrInstruction* itn = b.Load(b.FieldAddr(it, 0, "next_addr"), "itn");
+    b.Br(walk);
+    it->AddOperand(itn);
+    b.SetInsertPoint(miss);
+    IrInstruction* mm = b.Load(b.IndexAddr(tbl, k, "slot2"), "mm");
+    mm->set_guid(kGuidKvLookupMiss);
+    b.Ret(mm);
+  }
+
+  // fn del(k): unlink without freeing (the async free happens elsewhere —
+  // or never).
+  IrFunction* del = m.CreateFunction("del", 1);
+  {
+    b.SetInsertPoint(del->CreateBlock("entry"));
+    IrArgument* k = del->arg(0);
+    IrInstruction* r = b.Load(g_root, "r");
+    IrInstruction* tbl = b.Load(b.FieldAddr(r, 0, "tbl_addr"), "tbl");
+    IrInstruction* slot = b.IndexAddr(tbl, k, "slot");
+    IrInstruction* e = b.Load(slot, "e");
+    IrInstruction* nxt = b.Load(b.FieldAddr(e, 0, "next_addr"), "nxt");
+    b.Store(nxt, slot);
+    IrInstruction* cnt_addr = b.FieldAddr(r, 2, "cnt_addr");
+    IrInstruction* cnt = b.Load(cnt_addr, "cnt");
+    b.Store(b.BinOp(cnt, b.Const(-1), "cntm"), cnt_addr);
+    b.Ret();
+  }
+
+  assert(model_->Verify().ok());
+  for (const IrInstruction* inst : model_->AllInstructions()) {
+    if (inst->guid() != kNoGuid) {
+      (void)registry_.Register(inst->guid(), name_,
+                               inst->block()->parent()->name() + ":" +
+                                   inst->block()->name(),
+                               inst->ToString());
+    }
+  }
+}
+
+}  // namespace arthas

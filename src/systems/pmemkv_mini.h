@@ -1,0 +1,75 @@
+// pmemkv_mini: Intel's PMEMKV (cmap engine) scaled down.
+//
+// Armed fault (f12, PMEMKV issue #7): client deletes unlink the entry from
+// the concurrent hash map immediately (for latency) and queue the object
+// for an asynchronous background free. If the process crashes before the
+// background thread runs, the unlinked objects are never freed — a
+// persistent memory leak that survives every restart and eventually
+// exhausts the pool (paper Section 2.3).
+
+#ifndef ARTHAS_SYSTEMS_PMEMKV_MINI_H_
+#define ARTHAS_SYSTEMS_PMEMKV_MINI_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "systems/system_base.h"
+
+namespace arthas {
+
+// GUIDs 5100-5199.
+constexpr Guid kGuidKvEntryInit = 5101;    // entry init store
+constexpr Guid kGuidKvBucketStore = 5102;  // bucket head store
+constexpr Guid kGuidKvCountStore = 5103;   // root.count store
+constexpr Guid kGuidKvAllocSite = 5104;    // entry allocation (leak site)
+constexpr Guid kGuidKvLookupMiss = 5105;   // wrongful-miss site
+
+struct PmemkvOptions {
+  size_t pool_size = 1 * 1024 * 1024;
+  uint64_t buckets = 64;
+};
+
+class PmemkvMini : public PmSystemBase {
+ public:
+  using Options = PmemkvOptions;
+
+  explicit PmemkvMini(Options options = {});
+
+  Response Handle(const Request& request) override;
+  uint64_t ItemCount() override;
+  Status CheckConsistency() override;
+
+  // Runs the asynchronous lazy-free worker once (frees queued objects).
+  // With f12 armed this never gets the chance to run before the next
+  // restart, which is the bug.
+  void RunAsyncFreeWorker();
+
+  size_t deferred_free_queue_size() const { return deferred_free_.size(); }
+
+ protected:
+  Status Recover() override;
+
+ private:
+  struct KvRoot;
+  struct KvEntry;
+
+  KvRoot* root();
+  uint64_t BucketIndex(const std::string& key) const;
+  PmOffset* BucketSlot(uint64_t index);
+  KvEntry* EntryAt(PmOffset off);
+
+  Response Put(const Request& request);
+  Response Get(const Request& request);
+  Response Delete(const Request& request);
+
+  Options options_;
+  Oid root_oid_;
+  // Volatile deferred-free queue (lost on restart — that is the point).
+  std::vector<PmOffset> deferred_free_;
+  void BuildIrModel();
+};
+
+}  // namespace arthas
+
+#endif  // ARTHAS_SYSTEMS_PMEMKV_MINI_H_

@@ -1,0 +1,968 @@
+#include "systems/redis_mini.h"
+
+#include <cassert>
+#include <cstring>
+#include <map>
+
+#include "common/logging.h"
+
+namespace arthas {
+
+namespace {
+constexpr PmOffset kRdNull = 0;
+
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h = (h ^ static_cast<uint8_t>(c)) * 1099511628211ULL;
+  }
+  return h;
+}
+
+constexpr uint32_t kTypeString = 0;
+constexpr uint32_t kTypeListpack = 1;
+constexpr size_t kLpHeaderSize = 6;  // u32 total_bytes + u16 nelems
+}  // namespace
+
+struct RedisMini::RedisRoot {
+  PmOffset dict;
+  uint64_t nbuckets;
+  uint64_t item_count;
+  PmOffset slowlog_head;
+  uint64_t slowlog_len;
+};
+
+struct RedisMini::DictEntry {
+  PmOffset next;
+  PmOffset key_obj;  // not refcounted: key bytes stored inline below
+  PmOffset val_obj;
+  uint32_t keylen;
+  uint32_t pad;
+  char key[];
+};
+
+struct RedisMini::RedisObj {
+  uint32_t refcount;  // offset 0: persisted separately on each change
+  uint32_t type;
+  uint32_t len;       // payload bytes used (string) / listpack total_bytes
+  uint32_t tombstone; // lazy-free marker; must be 0 for a live object
+  char data[];
+};
+
+struct RedisMini::SlowlogEntry {
+  PmOffset next;
+  int64_t time;
+  uint32_t arglen;
+  uint32_t pad;
+  char arg[];
+};
+
+RedisMini::RedisMini(Options options)
+    : PmSystemBase("redis_mini", options.pool_size), options_(options) {
+  auto root_res = pool_->Root(sizeof(RedisRoot));
+  assert(root_res.ok());
+  root_oid_ = *root_res;
+  RedisRoot* r = root();
+  if (r->dict == kRdNull) {
+    auto table = pool_->Zalloc(options_.dict_buckets * sizeof(PmOffset));
+    assert(table.ok());
+    r->dict = table->off;
+    r->nbuckets = options_.dict_buckets;
+    pool_->PersistObject<RedisRoot>(root_oid_);
+  }
+  BuildIrModel();
+}
+
+RedisMini::RedisRoot* RedisMini::root() {
+  return pool_->Direct<RedisRoot>(root_oid_);
+}
+
+uint64_t RedisMini::BucketIndex(const std::string& key) const {
+  const auto* r =
+      const_cast<RedisMini*>(this)->pool_->Direct<RedisRoot>(root_oid_);
+  return Fnv1a(key) % r->nbuckets;
+}
+
+PmOffset* RedisMini::BucketSlot(uint64_t index) {
+  return pool_->Direct<PmOffset>(Oid{root()->dict}) + index;
+}
+
+PmOffset RedisMini::FindEntry(const std::string& key) {
+  PmOffset cur = *BucketSlot(BucketIndex(key));
+  uint64_t budget = 4096;
+  while (cur != kRdNull) {
+    if (budget-- == 0) {
+      RaiseFault(FailureKind::kHang, kGuidRdLookupMiss, cur,
+                 "dict chain cycle", {"dictFind"});
+      return kRdNull;
+    }
+    auto* entry = EntryAt(cur);
+    if (entry == nullptr) {
+      RaiseFault(FailureKind::kCrash, kGuidRdLookupMiss, cur,
+                 "dict chain points at a wild address", {"dictFind"});
+      return kRdNull;
+    }
+    if (entry->keylen == key.size() &&
+        std::memcmp(entry->key, key.data(), key.size()) == 0) {
+      return cur;
+    }
+    cur = entry->next;
+  }
+  return kRdNull;
+}
+
+RedisMini::RedisObj* RedisMini::ObjAt(PmOffset off) {
+  if (off == kRdNull || off + sizeof(RedisObj) > pool_->device().size()) {
+    return nullptr;
+  }
+  return reinterpret_cast<RedisObj*>(pool_->device().Live(off));
+}
+
+// Validated dict-entry access: a reverted/corrupted chain pointer would be
+// a wild dereference (segfault) in the real system; here it returns null
+// and the caller raises the crash fault.
+RedisMini::DictEntry* RedisMini::EntryAt(PmOffset off) {
+  if (off == kRdNull || off + sizeof(DictEntry) > pool_->device().size() ||
+      !pool_->UsableSize(Oid{off}).ok()) {
+    return nullptr;
+  }
+  return pool_->Direct<DictEntry>(Oid{off});
+}
+
+Result<Oid> RedisMini::AllocObj(uint32_t type, uint32_t capacity) {
+  ARTHAS_ASSIGN_OR_RETURN(Oid oid, pool_->Zalloc(sizeof(RedisObj) + capacity));
+  RedisObj* obj = pool_->Direct<RedisObj>(oid);
+  obj->refcount = 1;
+  obj->type = type;
+  obj->len = 0;
+  obj->tombstone = 0;
+  return oid;
+}
+
+Response RedisMini::Handle(const Request& request) {
+  Response response;
+  if (HasFault()) {
+    response.status = Internal("server unavailable (" +
+                               std::string(FailureKindName(fault_->kind)) +
+                               ")");
+    return response;
+  }
+  op_counter_++;
+  ProcessLazyFreeQueue();
+  switch (request.op) {
+    case Request::Op::kPut:
+      return Put(request);
+    case Request::Op::kGet:
+      return Get(request);
+    case Request::Op::kDelete:
+      return Delete(request);
+    case Request::Op::kListPush:
+      return ListPush(request);
+    case Request::Op::kListRead:
+      return ListRead(request);
+    default:
+      response.status = Unimplemented("op not supported by redis_mini");
+      return response;
+  }
+}
+
+void RedisMini::LazyFree(PmOffset obj) {
+  lazy_free_queue_.push_back({op_counter_, obj});
+}
+
+void RedisMini::ProcessLazyFreeQueue() {
+  // The background thread frees objects a while after they were queued.
+  size_t kept = 0;
+  for (size_t i = 0; i < lazy_free_queue_.size(); i++) {
+    if (op_counter_ - lazy_free_queue_[i].first >= 4096) {
+      (void)pool_->Free(Oid{lazy_free_queue_[i].second});
+    } else {
+      lazy_free_queue_[kept++] = lazy_free_queue_[i];
+    }
+  }
+  lazy_free_queue_.resize(kept);
+}
+
+Response RedisMini::Put(const Request& request) {
+  Response response;
+  RedisRoot* r = root();
+  const PmOffset existing = FindEntry(request.key);
+  if (HasFault()) {
+    response.status = Internal(fault_->message);
+    return response;
+  }
+  if (existing != kRdNull) {
+    auto* entry = pool_->Direct<DictEntry>(Oid{existing});
+    // Update in place when the new value fits the object's buffer (as the
+    // PM ports do, to avoid allocation churn); otherwise replace the
+    // object.
+    RedisObj* in_place = ObjAt(entry->val_obj);
+    if (in_place != nullptr && in_place->type == kTypeString &&
+        in_place->tombstone == 0) {
+      auto usable = pool_->UsableSize(Oid{entry->val_obj});
+      if (usable.ok() &&
+          sizeof(RedisObj) + request.value.size() <= *usable) {
+        std::memcpy(in_place->data, request.value.data(),
+                    request.value.size());
+        in_place->len = request.value.size();
+        TracedPersist(Oid{entry->val_obj}, 0,
+                      sizeof(RedisObj) + in_place->len, kGuidRdObjInit);
+        if (request.value.size() >= options_.slow_threshold) {
+          SlowlogAdd(request.key + " " + request.value);
+        }
+        response.status = OkStatus();
+        return response;
+      }
+    }
+    auto new_obj = AllocObj(kTypeString, request.value.size());
+    if (!new_obj.ok()) {
+      response.status = new_obj.status();
+      return response;
+    }
+    RedisObj* obj = pool_->Direct<RedisObj>(*new_obj);
+    obj->len = request.value.size();
+    std::memcpy(obj->data, request.value.data(), request.value.size());
+    TracedPersist(*new_obj, 0, sizeof(RedisObj) + obj->len, kGuidRdObjInit);
+    const PmOffset old_val = entry->val_obj;
+    entry->val_obj = new_obj->off;
+    TracedPersist(Oid{existing}, offsetof(DictEntry, val_obj),
+                  sizeof(PmOffset), kGuidRdValStore);
+    // Drop the old value's reference.
+    RedisObj* old_obj = ObjAt(old_val);
+    if (old_obj != nullptr) {
+      old_obj->refcount--;
+      TracedPersist(Oid{old_val}, 0, sizeof(uint32_t), kGuidRdRefDecr);
+      if (old_obj->refcount == 0) {
+        LazyFree(old_val);
+      }
+    }
+    if (request.value.size() >= options_.slow_threshold) {
+      SlowlogAdd(request.key + " " + request.value);
+    }
+    response.status = OkStatus();
+    return response;
+  }
+
+  auto obj_oid = AllocObj(kTypeString, request.value.size());
+  if (!obj_oid.ok()) {
+    RaiseFault(FailureKind::kOutOfSpace, kGuidRdObjInit, kNullPmOffset,
+               "value allocation failed", {"createStringObject", "setCommand"});
+    response.status = obj_oid.status();
+    return response;
+  }
+  RedisObj* obj = pool_->Direct<RedisObj>(*obj_oid);
+  obj->len = request.value.size();
+  std::memcpy(obj->data, request.value.data(), request.value.size());
+  TracedPersist(*obj_oid, 0, sizeof(RedisObj) + obj->len, kGuidRdObjInit);
+
+  auto entry_oid = pool_->Zalloc(sizeof(DictEntry) + request.key.size());
+  if (!entry_oid.ok()) {
+    RaiseFault(FailureKind::kOutOfSpace, kGuidRdEntryStore, kNullPmOffset,
+               "entry allocation failed", {"dictAdd", "setCommand"});
+    response.status = entry_oid.status();
+    return response;
+  }
+  auto* entry = pool_->Direct<DictEntry>(*entry_oid);
+  entry->keylen = request.key.size();
+  std::memcpy(entry->key, request.key.data(), request.key.size());
+  entry->val_obj = obj_oid->off;
+  const uint64_t index = BucketIndex(request.key);
+  entry->next = *BucketSlot(index);
+  TracedPersist(*entry_oid, 0, sizeof(DictEntry) + entry->keylen,
+                kGuidRdEntryStore);
+  *BucketSlot(index) = entry_oid->off;
+  TracedPersistRange(r->dict + index * sizeof(PmOffset), sizeof(PmOffset),
+                     kGuidRdBucketStore);
+  r->item_count++;
+  TracedPersist(root_oid_, offsetof(RedisRoot, item_count), sizeof(uint64_t),
+                kGuidRdCountStore);
+
+  if (request.value.size() >= options_.slow_threshold) {
+    // Slow commands are logged with their full argument vector.
+    SlowlogAdd(request.key + " " + request.value);
+  }
+  response.status = OkStatus();
+  return response;
+}
+
+Response RedisMini::Get(const Request& request) {
+  Response response;
+  const PmOffset entry_off = FindEntry(request.key);
+  if (HasFault()) {
+    response.status = Internal(fault_->message);
+    return response;
+  }
+  if (entry_off == kRdNull) {
+    if (request.must_exist) {
+      RaiseFault(FailureKind::kWrongResult, kGuidRdLookupMiss,
+                 root()->dict + BucketIndex(request.key) * sizeof(PmOffset),
+                 "linked key missing from dict", {"dictFind", "getCommand"});
+      response.status = Internal(fault_->message);
+      return response;
+    }
+    response.found = false;
+    response.status = OkStatus();
+    return response;
+  }
+  auto* entry = pool_->Direct<DictEntry>(Oid{entry_off});
+  RedisObj* obj = ObjAt(entry->val_obj);
+  // serverAssert(o->refcount > 0) — the f7 panic site.
+  if (obj == nullptr || obj->refcount == 0) {
+    RaiseFault(FailureKind::kAssertion, kGuidRdAssert,
+               entry->val_obj /* refcount field is at offset 0 */,
+               "assertion o->refcount > 0 failed",
+               {"incrRefCount", "getCommand", "serverPanic"});
+    response.status = Internal(fault_->message);
+    return response;
+  }
+  response.found = true;
+  response.value.assign(obj->data, obj->len);
+  response.status = OkStatus();
+  return response;
+}
+
+Response RedisMini::Delete(const Request& request) {
+  Response response;
+  RedisRoot* r = root();
+  const uint64_t index = BucketIndex(request.key);
+  PmOffset prev = kRdNull;
+  PmOffset cur = *BucketSlot(index);
+  uint64_t budget = 4096;
+  while (cur != kRdNull && budget-- > 0) {
+    auto* entry = EntryAt(cur);
+    if (entry == nullptr) {
+      RaiseFault(FailureKind::kCrash, kGuidRdLookupMiss, cur,
+                 "dict chain points at a wild address", {"dictDelete"});
+      response.status = Internal(fault_->message);
+      return response;
+    }
+    if (entry->keylen == request.key.size() &&
+        std::memcmp(entry->key, request.key.data(), request.key.size()) == 0) {
+      if (prev == kRdNull) {
+        *BucketSlot(index) = entry->next;
+        TracedPersistRange(r->dict + index * sizeof(PmOffset),
+                           sizeof(PmOffset), kGuidRdBucketStore);
+      } else {
+        auto* prev_entry = pool_->Direct<DictEntry>(Oid{prev});
+        prev_entry->next = entry->next;
+        TracedPersist(Oid{prev}, offsetof(DictEntry, next), sizeof(PmOffset),
+                      kGuidRdEntryStore);
+      }
+      // dictDelete accounting happens with the unlink; value release
+      // (refcounting, lazy free) follows.
+      r->item_count--;
+      TracedPersist(root_oid_, offsetof(RedisRoot, item_count),
+                    sizeof(uint64_t), kGuidRdCountStore);
+      RedisObj* obj = ObjAt(entry->val_obj);
+      if (obj != nullptr) {
+        obj->refcount--;
+        TracedPersist(Oid{entry->val_obj}, 0, sizeof(uint32_t),
+                      kGuidRdRefDecr);
+        if (FaultArmed(FaultId::kF7RefcountLogicBug)) {
+          // Bug: the lazy-free path decrements again and poisons the header,
+          // even though another key still owns the object.
+          obj->refcount--;
+          TracedPersist(Oid{entry->val_obj}, 0, sizeof(uint32_t),
+                        kGuidRdRefDecr);
+          obj->tombstone = 1;
+          if (obj->len > 0) {
+            obj->data[0] = '\xff';
+          }
+          TracedPersist(Oid{entry->val_obj}, offsetof(RedisObj, tombstone),
+                        sizeof(uint32_t) + 1, kGuidRdTombstone);
+        } else if (obj->refcount == 0) {
+          LazyFree(entry->val_obj);
+        }
+      }
+      (void)pool_->Free(Oid{cur});
+      response.status = OkStatus();
+      response.found = true;
+      return response;
+    }
+    prev = cur;
+    cur = entry->next;
+  }
+  response.status = OkStatus();
+  response.found = false;
+  return response;
+}
+
+Status RedisMini::Share(const std::string& key, const std::string& alias_key) {
+  const PmOffset entry_off = FindEntry(key);
+  if (entry_off == kRdNull) {
+    return NotFound("share source missing");
+  }
+  auto* src = pool_->Direct<DictEntry>(Oid{entry_off});
+  const PmOffset val = src->val_obj;
+
+  auto entry_oid = pool_->Zalloc(sizeof(DictEntry) + alias_key.size());
+  ARTHAS_RETURN_IF_ERROR(entry_oid.status());
+  auto* entry = pool_->Direct<DictEntry>(*entry_oid);
+  entry->keylen = alias_key.size();
+  std::memcpy(entry->key, alias_key.data(), alias_key.size());
+  entry->val_obj = val;
+  const uint64_t index = BucketIndex(alias_key);
+  entry->next = *BucketSlot(index);
+  TracedPersist(*entry_oid, 0, sizeof(DictEntry) + entry->keylen,
+                kGuidRdEntryStore);
+  *BucketSlot(index) = entry_oid->off;
+  TracedPersistRange(root()->dict + index * sizeof(PmOffset),
+                     sizeof(PmOffset), kGuidRdBucketStore);
+  RedisObj* obj = ObjAt(val);
+  obj->refcount++;
+  TracedPersist(Oid{val}, 0, sizeof(uint32_t), kGuidRdRefIncr);
+  root()->item_count++;
+  TracedPersist(root_oid_, offsetof(RedisRoot, item_count), sizeof(uint64_t),
+                kGuidRdCountStore);
+  return OkStatus();
+}
+
+Response RedisMini::ListPush(const Request& request) {
+  Response response;
+  PmOffset entry_off = FindEntry(request.key);
+  if (HasFault()) {
+    response.status = Internal(fault_->message);
+    return response;
+  }
+  Oid obj_oid;
+  if (entry_off == kRdNull) {
+    // Create an empty listpack under this key.
+    auto lp = AllocObj(kTypeListpack, 256);
+    if (!lp.ok()) {
+      response.status = lp.status();
+      return response;
+    }
+    RedisObj* obj = pool_->Direct<RedisObj>(*lp);
+    uint32_t total = kLpHeaderSize;
+    uint16_t nelems = 0;
+    std::memcpy(obj->data, &total, 4);
+    std::memcpy(obj->data + 4, &nelems, 2);
+    obj->len = total;
+    TracedPersist(*lp, 0, sizeof(RedisObj) + kLpHeaderSize, kGuidRdObjInit);
+
+    auto entry_oid = pool_->Zalloc(sizeof(DictEntry) + request.key.size());
+    if (!entry_oid.ok()) {
+      response.status = entry_oid.status();
+      return response;
+    }
+    auto* entry = pool_->Direct<DictEntry>(*entry_oid);
+    entry->keylen = request.key.size();
+    std::memcpy(entry->key, request.key.data(), request.key.size());
+    entry->val_obj = lp->off;
+    const uint64_t index = BucketIndex(request.key);
+    entry->next = *BucketSlot(index);
+    TracedPersist(*entry_oid, 0, sizeof(DictEntry) + entry->keylen,
+                  kGuidRdEntryStore);
+    *BucketSlot(index) = entry_oid->off;
+    TracedPersistRange(root()->dict + index * sizeof(PmOffset),
+                       sizeof(PmOffset), kGuidRdBucketStore);
+    root()->item_count++;
+    TracedPersist(root_oid_, offsetof(RedisRoot, item_count),
+                  sizeof(uint64_t), kGuidRdCountStore);
+    entry_off = entry_oid->off;
+    obj_oid = Oid{lp->off};
+  } else {
+    obj_oid = Oid{pool_->Direct<DictEntry>(Oid{entry_off})->val_obj};
+  }
+
+  RedisObj* obj = pool_->Direct<RedisObj>(obj_oid);
+  if (obj->type != kTypeListpack) {
+    response.status = InvalidArgument("not a listpack key");
+    return response;
+  }
+  if (request.value.size() > 250) {
+    response.status = InvalidArgument("element too large for listpack");
+    return response;
+  }
+  uint32_t total;
+  uint16_t nelems;
+  std::memcpy(&total, obj->data, 4);
+  std::memcpy(&nelems, obj->data + 4, 2);
+  const uint32_t new_total = total + 1 + request.value.size();
+
+  auto usable = pool_->UsableSize(obj_oid);
+  if (!usable.ok()) {
+    response.status = usable.status();
+    return response;
+  }
+  if (sizeof(RedisObj) + new_total > *usable) {
+    // Grow the object; the dict entry must be repointed.
+    auto grown = pool_->Realloc(obj_oid, sizeof(RedisObj) + new_total * 2);
+    if (!grown.ok()) {
+      response.status = grown.status();
+      return response;
+    }
+    obj_oid = *grown;
+    obj = pool_->Direct<RedisObj>(obj_oid);
+    auto* entry = pool_->Direct<DictEntry>(Oid{entry_off});
+    entry->val_obj = obj_oid.off;
+    TracedPersist(Oid{entry_off}, offsetof(DictEntry, val_obj),
+                  sizeof(PmOffset), kGuidRdValStore);
+  }
+
+  // Append the element.
+  obj->data[total] = static_cast<char>(request.value.size());
+  std::memcpy(obj->data + total + 1, request.value.data(),
+              request.value.size());
+  TracedPersist(obj_oid, sizeof(RedisObj) + total, 1 + request.value.size(),
+                kGuidRdLpElem);
+
+  // Encode the new header. f6: listpacks beyond the 4 KiB boundary hit the
+  // encoding logic error and the size header is corrupted (paper 2.3).
+  uint32_t stored_total = new_total;
+  if (FaultArmed(FaultId::kF6ListpackOverflow) &&
+      new_total > options_.listpack_limit) {
+    stored_total = new_total << 4;  // bogus size, far past the buffer
+  }
+  nelems++;
+  std::memcpy(obj->data, &stored_total, 4);
+  std::memcpy(obj->data + 4, &nelems, 2);
+  obj->len = stored_total;
+  TracedPersist(obj_oid, offsetof(RedisObj, len),
+                sizeof(uint32_t) * 2 + kLpHeaderSize, kGuidRdLpHeader);
+  response.status = OkStatus();
+  return response;
+}
+
+Response RedisMini::ListRead(const Request& request) {
+  Response response;
+  const PmOffset entry_off = FindEntry(request.key);
+  if (HasFault()) {
+    response.status = Internal(fault_->message);
+    return response;
+  }
+  if (entry_off == kRdNull) {
+    response.found = false;
+    response.status = OkStatus();
+    return response;
+  }
+  auto* entry = pool_->Direct<DictEntry>(Oid{entry_off});
+  RedisObj* obj = ObjAt(entry->val_obj);
+  if (obj == nullptr || obj->type != kTypeListpack) {
+    response.status = InvalidArgument("not a listpack key");
+    return response;
+  }
+  uint32_t total;
+  uint16_t nelems;
+  std::memcpy(&total, obj->data, 4);
+  std::memcpy(&nelems, obj->data + 4, 2);
+  auto usable = pool_->UsableSize(Oid{entry->val_obj});
+  const size_t capacity = usable.ok() ? *usable - sizeof(RedisObj) : 0;
+
+  // lpNext walk: the cursor advances through the buffer until it reaches
+  // the size header's end mark. A corrupt total (f6) drives it past the
+  // real elements into garbage and then past the buffer — in the real
+  // system this dereferences unmapped memory and segfaults.
+  size_t cursor = kLpHeaderSize;
+  std::string all;
+  (void)nelems;
+  while (cursor < total) {
+    if (cursor + 1 > capacity) {
+      RaiseFault(FailureKind::kCrash, kGuidRdLpRead,
+                 entry->val_obj + offsetof(RedisObj, len),
+                 "lpNext read past listpack buffer",
+                 {"lpNext", "lrangeCommand"});
+      response.status = Internal(fault_->message);
+      return response;
+    }
+    const uint8_t elen = static_cast<uint8_t>(obj->data[cursor]);
+    if (cursor + 1 + elen > capacity) {
+      RaiseFault(FailureKind::kCrash, kGuidRdLpRead,
+                 entry->val_obj + offsetof(RedisObj, len),
+                 "lpNext element overruns listpack buffer",
+                 {"lpNext", "lrangeCommand"});
+      response.status = Internal(fault_->message);
+      return response;
+    }
+    if (!all.empty()) {
+      all += ",";
+    }
+    all.append(obj->data + cursor + 1, elen);
+    cursor += 1 + elen;
+  }
+  response.found = true;
+  response.value = std::move(all);
+  response.status = OkStatus();
+  return response;
+}
+
+void RedisMini::SlowlogAdd(const std::string& arg) {
+  RedisRoot* r = root();
+  tracer_.Record(kGuidRdSlowlogAlloc, r->slowlog_head);
+  auto entry_oid = pool_->Zalloc(sizeof(SlowlogEntry) + arg.size());
+  if (!entry_oid.ok()) {
+    RaiseFault(FailureKind::kOutOfSpace, kGuidRdSlowlogAlloc, kNullPmOffset,
+               "slowlog allocation failed: pool exhausted",
+               {"slowlogPushEntryIfNeeded"});
+    return;
+  }
+  auto* entry = pool_->Direct<SlowlogEntry>(*entry_oid);
+  entry->arglen = arg.size();
+  std::memcpy(entry->arg, arg.data(), arg.size());
+  entry->next = r->slowlog_head;
+  TracedPersist(*entry_oid, 0, sizeof(SlowlogEntry) + entry->arglen,
+                kGuidRdSlowlogLink);
+  r->slowlog_head = entry_oid->off;
+  r->slowlog_len++;
+  TracedPersist(root_oid_, offsetof(RedisRoot, slowlog_head),
+                2 * sizeof(uint64_t), kGuidRdSlowlogLink);
+
+  if (r->slowlog_len > options_.slowlog_max) {
+    // Unlink the oldest entry. f8: the free is forgotten — the entry is
+    // unreachable but still allocated, leaking PM.
+    PmOffset prev = kRdNull;
+    PmOffset cur = r->slowlog_head;
+    while (cur != kRdNull) {
+      auto* e = pool_->Direct<SlowlogEntry>(Oid{cur});
+      if (e->next == kRdNull) {
+        break;
+      }
+      prev = cur;
+      cur = e->next;
+    }
+    if (prev != kRdNull) {
+      auto* prev_entry = pool_->Direct<SlowlogEntry>(Oid{prev});
+      prev_entry->next = kRdNull;
+      TracedPersist(Oid{prev}, offsetof(SlowlogEntry, next), sizeof(PmOffset),
+                    kGuidRdSlowlogLink);
+      r->slowlog_len--;
+      TracedPersist(root_oid_, offsetof(RedisRoot, slowlog_len),
+                    sizeof(uint64_t), kGuidRdSlowlogLink);
+      if (!FaultArmed(FaultId::kF8SlowlogLeak)) {
+        (void)pool_->Free(Oid{cur});
+      }
+    }
+  }
+}
+
+uint64_t RedisMini::ItemCount() { return root()->item_count; }
+
+Status RedisMini::CheckConsistency() {
+  ARTHAS_RETURN_IF_ERROR(pool_->CheckIntegrity());
+  RedisRoot* r = root();
+  uint64_t reachable = 0;
+  std::map<PmOffset, uint32_t> references;
+  for (uint64_t i = 0; i < r->nbuckets; i++) {
+    PmOffset cur = *BucketSlot(i);
+    uint64_t budget = 4096;
+    while (cur != kRdNull) {
+      if (budget-- == 0) {
+        return Corruption("dict chain cycle");
+      }
+      auto* entry = EntryAt(cur);
+      if (entry == nullptr) {
+        return Corruption("dict chain points at a wild address");
+      }
+      RedisObj* obj = ObjAt(entry->val_obj);
+      if (obj == nullptr) {
+        return Corruption("entry points at invalid value object");
+      }
+      if (obj->tombstone != 0) {
+        return Corruption("live object carries a lazy-free tombstone");
+      }
+      if (obj->refcount == 0) {
+        return Corruption("live object has refcount 0 (key '" +
+                          std::string(entry->key, entry->keylen) +
+                          "', obj offset " + std::to_string(entry->val_obj) +
+                          ")");
+      }
+      if (obj->type == kTypeListpack) {
+        uint32_t total;
+        std::memcpy(&total, obj->data, 4);
+        auto usable = pool_->UsableSize(Oid{entry->val_obj});
+        if (!usable.ok() || sizeof(RedisObj) + total > *usable) {
+          return Corruption("listpack header exceeds its buffer");
+        }
+      }
+      references[entry->val_obj]++;
+      reachable++;
+      cur = entry->next;
+    }
+  }
+  if (reachable != r->item_count) {
+    return Corruption("item_count mismatch");
+  }
+  for (const auto& [off, refs] : references) {
+    if (ObjAt(off)->refcount != refs) {
+      return Corruption("refcount " + std::to_string(ObjAt(off)->refcount) +
+                        " != references " + std::to_string(refs));
+    }
+  }
+  return OkStatus();
+}
+
+Status RedisMini::Recover() {
+  // Restart loses the volatile lazy-free queue; unfreed dead objects are a
+  // (small, bounded) leak, exactly as in the real system.
+  lazy_free_queue_.clear();
+  RedisRoot* r = root();
+  RecoveryTouch(r->dict);
+  uint64_t reachable = 0;
+  for (uint64_t i = 0; i < r->nbuckets; i++) {
+    PmOffset cur = *BucketSlot(i);
+    uint64_t budget = 4096;
+    while (cur != kRdNull) {
+      if (budget-- == 0) {
+        RaiseFault(FailureKind::kHang, kGuidRdLookupMiss, cur,
+                   "recovery dict walk exceeded budget", {"loadDataFromPm"});
+        return OkStatus();
+      }
+      auto* entry = EntryAt(cur);
+      if (entry == nullptr) {
+        RaiseFault(FailureKind::kCrash, kGuidRdLookupMiss, cur,
+                   "recovery hit a wild dict pointer", {"loadDataFromPm"});
+        return OkStatus();
+      }
+      RecoveryTouch(cur);
+      RecoveryTouch(entry->val_obj);
+      reachable++;
+      cur = entry->next;
+    }
+  }
+  // The dict's used-count is derived metadata: recovery recomputes it from
+  // the reachable entries (the paper's "reconstruct volatile states from
+  // persistent states" guidance — the count cache in DRAM is rebuilt, and
+  // the persistent copy refreshed).
+  r->item_count = reachable;
+  pool_->device().PersistQuiet(root_oid_.off + offsetof(RedisRoot, item_count),
+                               sizeof(uint64_t));
+  PmOffset slow = r->slowlog_head;
+  uint64_t budget = 65536;
+  while (slow != kRdNull && budget-- > 0) {
+    if (slow + sizeof(SlowlogEntry) > pool_->device().size() ||
+        !pool_->UsableSize(Oid{slow}).ok()) {
+      RaiseFault(FailureKind::kCrash, kGuidRdSlowlogLink, slow,
+                 "recovery hit a wild slowlog pointer", {"slowlogInit"});
+      return OkStatus();
+    }
+    RecoveryTouch(slow);
+    slow = pool_->Direct<SlowlogEntry>(Oid{slow})->next;
+  }
+  return OkStatus();
+}
+
+// --- IR model ----------------------------------------------------------------
+//
+// Root fields: 0 dict, 1 nbuckets, 2 item_count, 3 slowlog_head,
+// 4 slowlog_len. Entry fields: 0 next, 1 key_obj, 2 val_obj, 3 keylen.
+// Obj fields: 0 refcount, 1 type, 2 len, 3 tombstone, 4 data.
+void RedisMini::BuildIrModel() {
+  model_ = std::make_unique<IrModule>("redis_mini");
+  IrModule& m = *model_;
+  IrBuilder b(m);
+  IrGlobal* g_root = m.CreateGlobal("g_root");
+
+  IrFunction* init = m.CreateFunction("init", 0);
+  {
+    b.SetInsertPoint(init->CreateBlock("entry"));
+    IrInstruction* r = b.PmMapFile("root");
+    b.Store(r, g_root);
+    IrInstruction* dict = b.PmAlloc(b.Const(512), "dict");
+    b.Store(dict, b.FieldAddr(r, 0, "dict_addr"));
+    b.Ret();
+  }
+
+  // fn alloc_obj(): single site for every robj (strings and listpacks).
+  IrFunction* alloc_obj = m.CreateFunction("alloc_obj", 0);
+  {
+    b.SetInsertPoint(alloc_obj->CreateBlock("entry"));
+    IrInstruction* o = b.PmAlloc(b.Const(64), "obj");
+    b.Store(b.Const(1), b.FieldAddr(o, 0, "rc_addr"));
+    b.Ret(o);
+  }
+
+  // fn alloc_entry(): single site for dict entries.
+  IrFunction* alloc_entry = m.CreateFunction("alloc_entry", 0);
+  {
+    b.SetInsertPoint(alloc_entry->CreateBlock("entry"));
+    IrInstruction* e = b.PmAlloc(b.Const(64), "e");
+    b.Ret(e);
+  }
+
+  // fn find(k): dict chain walk.
+  IrFunction* find = m.CreateFunction("find", 1);
+  {
+    IrBasicBlock* entry = find->CreateBlock("entry");
+    IrBasicBlock* walk = find->CreateBlock("walk");
+    IrBasicBlock* body = find->CreateBlock("body");
+    IrBasicBlock* out = find->CreateBlock("out");
+    b.SetInsertPoint(entry);
+    IrArgument* k = find->arg(0);
+    IrInstruction* r = b.Load(g_root, "r");
+    IrInstruction* dict = b.Load(b.FieldAddr(r, 0, "dict_addr"), "dict");
+    IrInstruction* slot = b.IndexAddr(dict, k, "slot");
+    IrInstruction* h0 = b.Load(slot, "h0");
+    b.Br(walk);
+    b.SetInsertPoint(walk);
+    IrInstruction* it = b.Phi({h0}, "it");
+    IrInstruction* c = b.Cmp(it, b.Const(0), "c");
+    b.CondBr(c, body, out);
+    b.SetInsertPoint(body);
+    IrInstruction* itn = b.Load(b.FieldAddr(it, 0, "next_addr"), "itn");
+    b.Br(walk);
+    it->AddOperand(itn);
+    b.SetInsertPoint(out);
+    b.Ret(it);
+  }
+
+  // fn set(k, v).
+  IrFunction* set = m.CreateFunction("set", 2);
+  {
+    b.SetInsertPoint(set->CreateBlock("entry"));
+    IrArgument* k = set->arg(0);
+    IrArgument* v = set->arg(1);
+    IrInstruction* r = b.Load(g_root, "r");
+    IrInstruction* o = b.Call(alloc_obj, {}, "o");
+    b.Store(v, b.FieldAddr(o, 4, "data_addr"), kGuidRdObjInit);
+    IrInstruction* e = b.Call(alloc_entry, {}, "e");
+    b.Store(k, b.FieldAddr(e, 3, "klen_addr"), kGuidRdEntryStore);
+    b.Store(o, b.FieldAddr(e, 2, "val_addr"), kGuidRdValStore);
+    IrInstruction* dict = b.Load(b.FieldAddr(r, 0, "dict_addr"), "dict");
+    IrInstruction* slot = b.IndexAddr(dict, k, "slot");
+    IrInstruction* head = b.Load(slot, "head");
+    b.Store(head, b.FieldAddr(e, 0, "next_addr"));
+    b.Store(e, slot, kGuidRdBucketStore);
+    IrInstruction* cnt_addr = b.FieldAddr(r, 2, "cnt_addr");
+    IrInstruction* cnt = b.Load(cnt_addr, "cnt");
+    b.Store(b.BinOp(cnt, b.Const(1), "cnt1"), cnt_addr, kGuidRdCountStore);
+    b.Ret();
+  }
+
+  // fn get(k): hosts the refcount assert (f7) and miss (f3-style) sites.
+  IrFunction* get = m.CreateFunction("get", 1);
+  {
+    IrBasicBlock* entry = get->CreateBlock("entry");
+    IrBasicBlock* found = get->CreateBlock("found");
+    IrBasicBlock* miss = get->CreateBlock("miss");
+    b.SetInsertPoint(entry);
+    IrArgument* k = get->arg(0);
+    IrInstruction* e = b.Call(find, {k}, "e");
+    IrInstruction* c = b.Cmp(e, b.Const(0), "c");
+    b.CondBr(c, found, miss);
+    b.SetInsertPoint(found);
+    IrInstruction* o = b.Load(b.FieldAddr(e, 2, "val_addr"), "o");
+    IrInstruction* rc = b.Load(b.FieldAddr(o, 0, "rc_addr"), "rc");
+    rc->set_guid(kGuidRdAssert);
+    IrInstruction* data = b.Load(b.FieldAddr(o, 4, "data_addr"), "data");
+    b.Ret(data);
+    b.SetInsertPoint(miss);
+    IrInstruction* r = b.Load(g_root, "r");
+    IrInstruction* dict = b.Load(b.FieldAddr(r, 0, "dict_addr"), "dict");
+    IrInstruction* mm = b.Load(b.IndexAddr(dict, k, "slot2"), "mm");
+    mm->set_guid(kGuidRdLookupMiss);
+    b.Ret(mm);
+  }
+
+  // fn del(k): unlink + the f7 double-decrement & tombstone stores.
+  IrFunction* del = m.CreateFunction("del", 1);
+  {
+    b.SetInsertPoint(del->CreateBlock("entry"));
+    IrArgument* k = del->arg(0);
+    IrInstruction* e = b.Call(find, {k}, "e");
+    IrInstruction* r = b.Load(g_root, "r");
+    IrInstruction* dict = b.Load(b.FieldAddr(r, 0, "dict_addr"), "dict");
+    IrInstruction* slot = b.IndexAddr(dict, k, "slot");
+    IrInstruction* nxt = b.Load(b.FieldAddr(e, 0, "next_addr"), "nxt");
+    b.Store(nxt, slot);  // runtime unlink records kGuidRdBucketStore
+    IrInstruction* o = b.Load(b.FieldAddr(e, 2, "val_addr"), "o");
+    IrInstruction* rc_addr = b.FieldAddr(o, 0, "rc_addr");
+    IrInstruction* rc = b.Load(rc_addr, "rc");
+    IrInstruction* rc1 = b.BinOp(rc, b.Const(-1), "rc1");
+    b.Store(rc1, rc_addr, kGuidRdRefDecr);
+    b.Store(b.Const(1), b.FieldAddr(o, 3, "tomb_addr"), kGuidRdTombstone);
+    IrInstruction* cnt_addr = b.FieldAddr(r, 2, "cnt_addr");
+    IrInstruction* cnt = b.Load(cnt_addr, "cnt");
+    b.Store(b.BinOp(cnt, b.Const(-1), "cntm"), cnt_addr);
+    b.Ret();
+  }
+
+  // fn share(k1, k2): refcount increment.
+  IrFunction* share = m.CreateFunction("share", 2);
+  {
+    b.SetInsertPoint(share->CreateBlock("entry"));
+    IrArgument* k1 = share->arg(0);
+    IrArgument* k2 = share->arg(1);
+    IrInstruction* e1 = b.Call(find, {k1}, "e1");
+    IrInstruction* o = b.Load(b.FieldAddr(e1, 2, "val_addr"), "o");
+    IrInstruction* e2 = b.Call(alloc_entry, {}, "e2");
+    b.Store(k2, b.FieldAddr(e2, 3, "klen_addr"));
+    b.Store(o, b.FieldAddr(e2, 2, "val_addr"));
+    IrInstruction* rc_addr = b.FieldAddr(o, 0, "rc_addr");
+    IrInstruction* rc = b.Load(rc_addr, "rc");
+    b.Store(b.BinOp(rc, b.Const(1), "rc1"), rc_addr, kGuidRdRefIncr);
+    b.Ret();
+  }
+
+  // fn lpush(k, v): listpack append with the size-header encoding.
+  IrFunction* lpush = m.CreateFunction("lpush", 2);
+  {
+    b.SetInsertPoint(lpush->CreateBlock("entry"));
+    IrArgument* k = lpush->arg(0);
+    IrArgument* v = lpush->arg(1);
+    IrInstruction* e = b.Call(find, {k}, "e");
+    IrInstruction* o = b.Load(b.FieldAddr(e, 2, "val_addr"), "o");
+    // cursor = data + total: a byte-offset (wildcard) pointer.
+    IrInstruction* total = b.Load(b.FieldAddr(o, 2, "len_addr"), "total");
+    IrInstruction* cursor = b.IndexAddr(o, total, "cursor");
+    b.Store(v, cursor, kGuidRdLpElem);
+    IrInstruction* new_total = b.BinOp(total, v, "new_total");
+    b.Store(new_total, b.FieldAddr(o, 2, "len_addr"), kGuidRdLpHeader);
+    b.Ret();
+  }
+
+  // fn lread(k): the lpNext walk (f6 fault site).
+  IrFunction* lread = m.CreateFunction("lread", 1);
+  {
+    IrBasicBlock* entry = lread->CreateBlock("entry");
+    IrBasicBlock* walk = lread->CreateBlock("walk");
+    IrBasicBlock* body = lread->CreateBlock("body");
+    IrBasicBlock* out = lread->CreateBlock("out");
+    b.SetInsertPoint(entry);
+    IrArgument* k = lread->arg(0);
+    IrInstruction* e = b.Call(find, {k}, "e");
+    IrInstruction* o = b.Load(b.FieldAddr(e, 2, "val_addr"), "o");
+    IrInstruction* total = b.Load(b.FieldAddr(o, 2, "len_addr"), "total");
+    b.Br(walk);
+    b.SetInsertPoint(walk);
+    IrInstruction* cur = b.Phi({b.Const(0)}, "cur");
+    IrInstruction* c = b.Cmp(cur, total, "c");
+    b.CondBr(c, body, out);
+    b.SetInsertPoint(body);
+    IrInstruction* p = b.IndexAddr(o, cur, "p");
+    IrInstruction* elem = b.Load(p, "elem");
+    elem->set_guid(kGuidRdLpRead);
+    IrInstruction* nxt = b.BinOp(cur, elem, "nxt");
+    b.Br(walk);
+    cur->AddOperand(nxt);
+    b.SetInsertPoint(out);
+    b.Ret(cur);
+  }
+
+  // fn slowlog_add(arg): push + prune-without-free.
+  IrFunction* slowlog_add = m.CreateFunction("slowlog_add", 1);
+  {
+    b.SetInsertPoint(slowlog_add->CreateBlock("entry"));
+    IrArgument* arg = slowlog_add->arg(0);
+    IrInstruction* r = b.Load(g_root, "r");
+    IrInstruction* se = b.PmAlloc(b.Const(64), "se");
+    se->set_guid(kGuidRdSlowlogAlloc);
+    b.Store(arg, b.FieldAddr(se, 2, "arg_addr"));
+    IrInstruction* head_addr = b.FieldAddr(r, 3, "head_addr");
+    IrInstruction* head = b.Load(head_addr, "head");
+    b.Store(head, b.FieldAddr(se, 0, "next_addr"));
+    b.Store(se, head_addr, kGuidRdSlowlogLink);
+    b.Ret();
+  }
+
+  assert(model_->Verify().ok());
+  for (const IrInstruction* inst : model_->AllInstructions()) {
+    if (inst->guid() != kNoGuid) {
+      (void)registry_.Register(inst->guid(), name_,
+                               inst->block()->parent()->name() + ":" +
+                                   inst->block()->name(),
+                               inst->ToString());
+    }
+  }
+}
+
+}  // namespace arthas

@@ -1,0 +1,108 @@
+// redis_mini: a persistent-memory port of Redis' core, scaled down.
+//
+// Reproduces the mechanisms behind faults f6-f8 (paper Table 2): a chained
+// dict whose entries and refcounted value objects (robj) live in PM, the
+// listpack compact list encoding, object sharing, a lazy-free path, and the
+// slowlog ring.
+//
+// Armed faults:
+//   f6 kF6ListpackOverflow — the encoding function corrupts the listpack
+//      size header once the listpack grows past 4096 bytes; the insertion
+//      succeeds but the next read walks past the buffer (paper Section 2.3).
+//   f7 kF7RefcountLogicBug — a delete path decrements a shared object's
+//      refcount twice and poisons the object header (lazy-free marker);
+//      accessing the object through its other owner panics.
+//   f8 kF8SlowlogLeak     — slowlog pruning unlinks the oldest entry but
+//      forgets to free it; the pool slowly fills with unreachable objects.
+
+#ifndef ARTHAS_SYSTEMS_REDIS_MINI_H_
+#define ARTHAS_SYSTEMS_REDIS_MINI_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "systems/system_base.h"
+
+namespace arthas {
+
+// GUIDs of redis_mini's PM instructions (2100-2199).
+constexpr Guid kGuidRdEntryStore = 2101;     // dict entry init store
+constexpr Guid kGuidRdBucketStore = 2102;    // dict bucket head store
+constexpr Guid kGuidRdValStore = 2103;       // entry.val_obj store
+constexpr Guid kGuidRdObjInit = 2105;        // robj init (header + data)
+constexpr Guid kGuidRdRefDecr = 2106;        // robj.refcount decrement
+constexpr Guid kGuidRdTombstone = 2107;      // lazy-free poison store
+constexpr Guid kGuidRdCountStore = 2108;     // root.item_count store
+constexpr Guid kGuidRdLpHeader = 2109;       // listpack size header store
+constexpr Guid kGuidRdLpElem = 2110;         // listpack element bytes store
+constexpr Guid kGuidRdLpRead = 2111;         // lpNext read (fault site, f6)
+constexpr Guid kGuidRdAssert = 2112;         // refcount assert (fault, f7)
+constexpr Guid kGuidRdSlowlogLink = 2113;    // slowlog head store
+constexpr Guid kGuidRdSlowlogAlloc = 2114;   // slowlog entry allocation
+constexpr Guid kGuidRdLookupMiss = 2115;     // wrongful-miss site
+constexpr Guid kGuidRdRefIncr = 2116;        // robj.refcount increment
+
+struct RedisOptions {
+  size_t pool_size = 1 * 1024 * 1024;
+  uint64_t dict_buckets = 64;
+  uint64_t slowlog_max = 8;
+  size_t slow_threshold = 64;     // values this large are "slow" commands
+  size_t listpack_limit = 4096;   // the f6 boundary
+};
+
+class RedisMini : public PmSystemBase {
+ public:
+  using Options = RedisOptions;
+
+  explicit RedisMini(Options options = {});
+
+  Response Handle(const Request& request) override;
+  uint64_t ItemCount() override;
+  Status CheckConsistency() override;
+
+  // Makes `alias_key` share `key`'s value object (Redis shared objects).
+  Status Share(const std::string& key, const std::string& alias_key);
+
+ protected:
+  Status Recover() override;
+
+ private:
+  struct RedisRoot;
+  struct DictEntry;
+  struct RedisObj;
+  struct SlowlogEntry;
+
+  RedisRoot* root();
+  uint64_t BucketIndex(const std::string& key) const;
+  PmOffset* BucketSlot(uint64_t index);
+  PmOffset FindEntry(const std::string& key);
+  RedisObj* ObjAt(PmOffset off);
+  DictEntry* EntryAt(PmOffset off);
+
+  Response Put(const Request& request);
+  Response Get(const Request& request);
+  Response Delete(const Request& request);
+  Response ListPush(const Request& request);
+  Response ListRead(const Request& request);
+
+  Result<Oid> AllocObj(uint32_t type, uint32_t capacity);
+  void SlowlogAdd(const std::string& arg);
+
+  // Queues a no-longer-referenced value object for the background lazy-free
+  // worker (Redis frees large objects off the main thread).
+  void LazyFree(PmOffset obj);
+  void ProcessLazyFreeQueue();
+
+  Options options_;
+  Oid root_oid_;
+  // Volatile lazy-free queue: (enqueue op number, object offset).
+  std::vector<std::pair<uint64_t, PmOffset>> lazy_free_queue_;
+  uint64_t op_counter_ = 0;
+  void BuildIrModel();
+};
+
+}  // namespace arthas
+
+#endif  // ARTHAS_SYSTEMS_REDIS_MINI_H_

@@ -1,0 +1,34 @@
+#include "systems/system_base.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace arthas {
+
+PmSystemBase::PmSystemBase(std::string name, size_t pool_size)
+    : name_(std::move(name)) {
+  auto pool = PmemPool::Create(name_, pool_size);
+  assert(pool.ok());
+  pool_ = std::move(*pool);
+}
+
+void PmSystemBase::RaiseFault(FailureKind kind, Guid guid,
+                              PmOffset fault_address, std::string message,
+                              std::vector<std::string> stack) {
+  FaultInfo fault;
+  fault.kind = kind;
+  fault.fault_guid = guid;
+  fault.fault_address = fault_address;
+  fault.exit_code = kind == FailureKind::kCrash     ? 139
+                    : kind == FailureKind::kAssertion ? 134
+                                                      : 0;
+  fault.message = std::move(message);
+  fault.stack = std::move(stack);
+  fault.pm_used_bytes = pool_->stats().used_bytes;
+  ARTHAS_LOG(Info) << name_ << ": " << FailureKindName(kind) << " at guid "
+                   << guid << ": " << fault.message;
+  fault_ = std::move(fault);
+}
+
+}  // namespace arthas

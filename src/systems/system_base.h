@@ -1,0 +1,92 @@
+// Shared machinery for the five target PM systems.
+//
+// PmSystemBase owns the pool, the runtime tracer, the IR model and GUID
+// metadata (built by the subclass), fault-injection arming, and the
+// fault-latching/restart plumbing, so each mini system only implements its
+// data structures, its recovery function, and its injected bugs.
+
+#ifndef ARTHAS_SYSTEMS_SYSTEM_BASE_H_
+#define ARTHAS_SYSTEMS_SYSTEM_BASE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "faults/fault_ids.h"
+#include "systems/pm_system.h"
+
+namespace arthas {
+
+class PmSystemBase : public PmSystemTarget {
+ public:
+  const std::string& name() const override { return name_; }
+  PmemPool& pool() override { return *pool_; }
+  Tracer& tracer() override { return tracer_; }
+  const IrModule& ir_model() const override { return *model_; }
+  const GuidRegistry& guid_registry() const override { return registry_; }
+  const std::optional<FaultInfo>& last_fault() const override {
+    return fault_;
+  }
+  const std::vector<PmOffset>& RecoveryAccessedObjects() const override {
+    return recovery_accessed_;
+  }
+
+  Status Restart() override {
+    fault_.reset();
+    recovery_accessed_.clear();
+    ARTHAS_RETURN_IF_ERROR(pool_->CrashAndRecover());
+    return Recover();
+  }
+
+  // --- Fault injection -------------------------------------------------------
+
+  // Arms a bug; the buggy code path stays dormant until its trigger
+  // condition is met (a special request/workload, per paper Section 6.1).
+  void ArmFault(FaultId id) { armed_ = id; }
+  void DisarmFaults() { armed_ = FaultId::kNone; }
+  bool FaultArmed(FaultId id) const { return armed_ == id; }
+
+  void ClearFault() { fault_.reset(); }
+
+ protected:
+  PmSystemBase(std::string name, size_t pool_size);
+
+  // Runs the system's recovery function; must call RecoveryTouch for every
+  // PM object it retrieves (the pmem_recover_begin/end annotation).
+  virtual Status Recover() = 0;
+
+  // Latches a fault (the "process" just died / hung / paniced).
+  void RaiseFault(FailureKind kind, Guid guid, PmOffset fault_address,
+                  std::string message, std::vector<std::string> stack);
+
+  bool HasFault() const { return fault_.has_value(); }
+
+  // Instrumented persistence point: records <GUID, address> then persists.
+  void TracedPersist(Oid oid, size_t offset, size_t size, Guid guid) {
+    tracer_.Record(guid, oid.off + offset);
+    pool_->Persist(oid, offset, size);
+  }
+  void TracedPersistRange(PmOffset address, size_t size, Guid guid) {
+    tracer_.Record(guid, address);
+    pool_->PersistRange(address, size);
+  }
+
+  void RecoveryTouch(PmOffset payload_offset) {
+    recovery_accessed_.push_back(payload_offset);
+  }
+
+  std::string name_;
+  std::unique_ptr<PmemPool> pool_;
+  Tracer tracer_;
+  std::unique_ptr<IrModule> model_;
+  GuidRegistry registry_;
+  std::optional<FaultInfo> fault_;
+  FaultId armed_ = FaultId::kNone;
+  std::vector<PmOffset> recovery_accessed_;
+};
+
+}  // namespace arthas
+
+#endif  // ARTHAS_SYSTEMS_SYSTEM_BASE_H_

@@ -1,0 +1,67 @@
+#include "trace/guid_registry.h"
+
+#include <sstream>
+
+namespace arthas {
+
+Status GuidRegistry::Register(Guid guid, std::string system,
+                              std::string location, std::string instruction) {
+  if (guid == kNoGuid) {
+    return InvalidArgument("cannot register the null guid");
+  }
+  auto [it, inserted] = infos_.try_emplace(
+      guid, GuidInfo{guid, std::move(system), std::move(location),
+                     std::move(instruction)});
+  if (!inserted) {
+    return AlreadyExists("guid " + std::to_string(guid) +
+                         " already registered at " + it->second.location);
+  }
+  return OkStatus();
+}
+
+const GuidInfo* GuidRegistry::Lookup(Guid guid) const {
+  auto it = infos_.find(guid);
+  return it == infos_.end() ? nullptr : &it->second;
+}
+
+std::vector<GuidInfo> GuidRegistry::All() const {
+  std::vector<GuidInfo> out;
+  out.reserve(infos_.size());
+  for (const auto& [guid, info] : infos_) {
+    out.push_back(info);
+  }
+  return out;
+}
+
+std::string GuidRegistry::Serialize() const {
+  std::ostringstream out;
+  for (const auto& [guid, info] : infos_) {
+    out << guid << '\t' << info.system << '\t' << info.location << '\t'
+        << info.instruction << '\n';
+  }
+  return out.str();
+}
+
+Result<GuidRegistry> GuidRegistry::Parse(const std::string& text) {
+  GuidRegistry registry;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string guid_str, system, location, instruction;
+    if (!std::getline(fields, guid_str, '\t') ||
+        !std::getline(fields, system, '\t') ||
+        !std::getline(fields, location, '\t') ||
+        !std::getline(fields, instruction)) {
+      return Status(StatusCode::kCorruption, "malformed guid metadata line");
+    }
+    ARTHAS_RETURN_IF_ERROR(registry.Register(std::stoull(guid_str), system,
+                                             location, instruction));
+  }
+  return registry;
+}
+
+}  // namespace arthas

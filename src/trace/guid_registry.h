@@ -1,0 +1,50 @@
+// GUID metadata registry.
+//
+// The paper's analyzer assigns a Globally Unique Identifier to every
+// identified PM instruction and emits a metadata file with
+// <GUID, source_location, instruction> mappings (Section 4.1). Here the
+// registry is populated when a target system registers its IR model: each
+// instrumented runtime call site shares its GUID constant with the matching
+// IR instruction, and the registry carries the human-readable location.
+
+#ifndef ARTHAS_TRACE_GUID_REGISTRY_H_
+#define ARTHAS_TRACE_GUID_REGISTRY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ir/ir.h"
+
+namespace arthas {
+
+struct GuidInfo {
+  Guid guid = kNoGuid;
+  std::string system;       // e.g. "memcached_mini"
+  std::string location;     // e.g. "items.cc:do_item_link"
+  std::string instruction;  // rendering of the IR instruction
+};
+
+class GuidRegistry {
+ public:
+  Status Register(Guid guid, std::string system, std::string location,
+                  std::string instruction);
+
+  const GuidInfo* Lookup(Guid guid) const;
+  size_t size() const { return infos_.size(); }
+
+  std::vector<GuidInfo> All() const;
+
+  // Serialize to / parse from the metadata-file format
+  // "guid<TAB>system<TAB>location<TAB>instruction".
+  std::string Serialize() const;
+  static Result<GuidRegistry> Parse(const std::string& text);
+
+ private:
+  std::map<Guid, GuidInfo> infos_;
+};
+
+}  // namespace arthas
+
+#endif  // ARTHAS_TRACE_GUID_REGISTRY_H_

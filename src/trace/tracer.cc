@@ -1,0 +1,93 @@
+#include "trace/tracer.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace arthas {
+
+void Tracer::Flush() {
+  if (buffer_.empty()) {
+    return;
+  }
+  archive_.insert(archive_.end(), buffer_.begin(), buffer_.end());
+  buffer_.clear();
+  stats_.buffer_flushes++;
+  index_dirty_ = true;
+}
+
+void Tracer::RebuildIndex() {
+  Flush();
+  if (!index_dirty_) {
+    return;
+  }
+  by_guid_.clear();
+  by_address_.clear();
+  std::set<std::pair<Guid, PmOffset>> seen;
+  by_address_.reserve(archive_.size());
+  for (const TraceEvent& e : archive_) {
+    if (seen.insert({e.guid, e.address}).second) {
+      by_guid_[e.guid].push_back(e.address);
+      by_address_.push_back({e.address, e.guid});
+    }
+  }
+  std::sort(by_address_.begin(), by_address_.end());
+  index_dirty_ = false;
+}
+
+const std::vector<TraceEvent>& Tracer::Events() {
+  Flush();
+  return archive_;
+}
+
+std::vector<PmOffset> Tracer::AddressesForGuid(Guid guid) {
+  RebuildIndex();
+  auto it = by_guid_.find(guid);
+  return it == by_guid_.end() ? std::vector<PmOffset>{} : it->second;
+}
+
+std::vector<Guid> Tracer::GuidsForRange(PmOffset offset, size_t size) {
+  RebuildIndex();
+  std::vector<Guid> out;
+  auto it = std::lower_bound(by_address_.begin(), by_address_.end(),
+                             std::make_pair(offset, Guid{0}));
+  for (; it != by_address_.end() && it->first < offset + size; ++it) {
+    if (std::find(out.begin(), out.end(), it->second) == out.end()) {
+      out.push_back(it->second);
+    }
+  }
+  return out;
+}
+
+std::string Tracer::Serialize() {
+  Flush();
+  std::ostringstream out;
+  for (const TraceEvent& e : archive_) {
+    out << e.guid << '\t' << e.address << '\n';
+  }
+  return out.str();
+}
+
+Status Tracer::ParseAppend(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    const size_t tab = line.find('\t');
+    if (tab == std::string::npos) {
+      return Corruption("malformed trace line: " + line);
+    }
+    Record(std::stoull(line.substr(0, tab)),
+           std::stoull(line.substr(tab + 1)));
+  }
+  return OkStatus();
+}
+
+void Tracer::Clear() {
+  buffer_.clear();
+  archive_.clear();
+}
+
+}  // namespace arthas

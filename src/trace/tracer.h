@@ -1,0 +1,99 @@
+// Lightweight runtime PM-address tracing (paper Section 4.1, step 1).
+//
+// The instrumented target system calls Record(guid, address) just before
+// each PM instruction executes. To keep the overhead negligible (Table 8),
+// events are buffered in memory and flushed in batches, mirroring the
+// paper's inlined tracing with asynchronous file flushing. The reactor
+// consumes the trace to learn which dynamic PM addresses each static
+// instruction (GUID) touched.
+
+#ifndef ARTHAS_TRACE_TRACER_H_
+#define ARTHAS_TRACE_TRACER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ir/ir.h"
+#include "pmem/device.h"
+
+namespace arthas {
+
+struct TraceEvent {
+  Guid guid = kNoGuid;
+  PmOffset address = kNullPmOffset;
+  uint64_t index = 0;  // monotonically increasing event number
+};
+
+struct TracerStats {
+  uint64_t records = 0;
+  uint64_t buffer_flushes = 0;
+};
+
+class Tracer {
+ public:
+  // `buffer_capacity` events are held before an automatic flush to the
+  // archive (the paper flushes the in-memory buffer to a file when full).
+  explicit Tracer(size_t buffer_capacity = 4096)
+      : buffer_capacity_(buffer_capacity) {
+    buffer_.reserve(buffer_capacity);
+  }
+
+  // Fast path, called by instrumented PM call sites.
+  void Record(Guid guid, PmOffset address) {
+    if (!enabled_) {
+      return;
+    }
+    buffer_.push_back({guid, address, stats_.records++});
+    if (buffer_.size() >= buffer_capacity_) {
+      Flush();
+    }
+  }
+
+  // Toggles instrumentation, for the overhead ablation of Table 8 (a
+  // vanilla binary simply has no tracing calls).
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  // Moves buffered events to the archive (simulates the async file flush;
+  // also called when the system stops).
+  void Flush();
+
+  // Everything recorded so far (flushes first).
+  const std::vector<TraceEvent>& Events();
+
+  // Dynamic addresses a static instruction touched (deduplicated, in first-
+  // record order). Served from an index rebuilt lazily after new records.
+  std::vector<PmOffset> AddressesForGuid(Guid guid);
+
+  // GUIDs that ever touched an address inside [offset, offset + size)
+  // (deduplicated).
+  std::vector<Guid> GuidsForRange(PmOffset offset, size_t size);
+
+  // Serialize the archive in the "guid<TAB>address" trace-file format.
+  std::string Serialize();
+  Status ParseAppend(const std::string& text);
+
+  void Clear();
+
+  const TracerStats& stats() const { return stats_; }
+
+ private:
+  void RebuildIndex();
+
+  bool enabled_ = true;
+  size_t buffer_capacity_;
+  std::vector<TraceEvent> buffer_;
+  std::vector<TraceEvent> archive_;
+  // Lazily rebuilt query indexes over the archive.
+  bool index_dirty_ = true;
+  std::map<Guid, std::vector<PmOffset>> by_guid_;
+  std::vector<std::pair<PmOffset, Guid>> by_address_;  // sorted by address
+  TracerStats stats_;
+};
+
+}  // namespace arthas
+
+#endif  // ARTHAS_TRACE_TRACER_H_

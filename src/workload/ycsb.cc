@@ -1,0 +1,38 @@
+#include "workload/ycsb.h"
+
+namespace arthas {
+
+YcsbWorkload::YcsbWorkload(YcsbConfig config, uint64_t seed)
+    : config_(config),
+      rng_(seed),
+      zipf_(config.key_space, config.zipfian_theta) {}
+
+std::string YcsbWorkload::KeyAt(uint64_t i) const {
+  return config_.key_prefix + std::to_string(i);
+}
+
+Request YcsbWorkload::Next() {
+  Request request;
+  const uint64_t record = config_.uniform
+                              ? rng_.NextBelow(config_.key_space)
+                              : zipf_.Next(rng_);
+  request.key = KeyAt(record);
+  if (rng_.NextDouble() < config_.read_fraction) {
+    request.op = Request::Op::kGet;
+  } else {
+    request.op = Request::Op::kPut;
+    request.value.assign(config_.value_size,
+                         static_cast<char>('a' + record % 26));
+  }
+  return request;
+}
+
+Request InsertWorkload::Next() {
+  Request request;
+  request.op = Request::Op::kPut;
+  request.key = prefix_ + std::to_string(next_id_++);
+  request.value.assign(value_size_, static_cast<char>('a' + next_id_ % 26));
+  return request;
+}
+
+}  // namespace arthas

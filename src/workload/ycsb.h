@@ -1,0 +1,63 @@
+// YCSB-style workload generator (paper Section 6.7 uses YCSB with a 50/50
+// read/write mix for Redis and Memcached, plus custom insert workloads for
+// PMEMKV, Pelikan, and CCEH).
+
+#ifndef ARTHAS_WORKLOAD_YCSB_H_
+#define ARTHAS_WORKLOAD_YCSB_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "systems/pm_system.h"
+#include "workload/zipfian.h"
+
+namespace arthas {
+
+struct YcsbConfig {
+  uint64_t key_space = 1000;
+  double read_fraction = 0.5;
+  size_t value_size = 16;
+  double zipfian_theta = 0.99;
+  bool uniform = false;  // uniform key choice instead of zipfian
+  std::string key_prefix = "user";
+};
+
+class YcsbWorkload {
+ public:
+  YcsbWorkload(YcsbConfig config, uint64_t seed);
+
+  // The next operation in the stream.
+  Request Next();
+
+  // Key for logical record i.
+  std::string KeyAt(uint64_t i) const;
+
+  const YcsbConfig& config() const { return config_; }
+  Rng& rng() { return rng_; }
+
+ private:
+  YcsbConfig config_;
+  Rng rng_;
+  ZipfianGenerator zipf_;
+};
+
+// Custom pure-insert workload (unique keys).
+class InsertWorkload {
+ public:
+  InsertWorkload(std::string prefix, size_t value_size, uint64_t seed)
+      : prefix_(std::move(prefix)), value_size_(value_size), rng_(seed) {}
+
+  Request Next();
+  uint64_t issued() const { return next_id_; }
+
+ private:
+  std::string prefix_;
+  size_t value_size_;
+  Rng rng_;
+  uint64_t next_id_ = 0;
+};
+
+}  // namespace arthas
+
+#endif  // ARTHAS_WORKLOAD_YCSB_H_

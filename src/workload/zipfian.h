@@ -1,0 +1,34 @@
+// Zipfian key-popularity sampler (Gray et al. quick method, as used by
+// YCSB). Deterministic given the caller's Rng.
+
+#ifndef ARTHAS_WORKLOAD_ZIPFIAN_H_
+#define ARTHAS_WORKLOAD_ZIPFIAN_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace arthas {
+
+class ZipfianGenerator {
+ public:
+  // Samples from [0, n) with skew theta (0 < theta < 1; YCSB default 0.99).
+  ZipfianGenerator(uint64_t n, double theta = 0.99);
+
+  uint64_t Next(Rng& rng);
+
+  uint64_t n() const { return n_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+};
+
+}  // namespace arthas
+
+#endif  // ARTHAS_WORKLOAD_ZIPFIAN_H_

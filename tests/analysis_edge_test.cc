@@ -1,0 +1,236 @@
+// Edge-case tests for the static analyses: loops and nested control,
+// recursion, function pointers through persistent memory, interprocedural
+// memory dependence, and slice behavior on degenerate graphs.
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "analysis/dominators.h"
+#include "analysis/pdg.h"
+#include "analysis/pm_variables.h"
+#include "analysis/pointer_analysis.h"
+#include "analysis/slicer.h"
+#include "ir/ir.h"
+
+namespace arthas {
+namespace {
+
+bool Contains(const std::vector<const IrInstruction*>& v,
+              const IrInstruction* x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+TEST(DominatorsEdgeTest, NestedLoops) {
+  // entry -> outer -> inner -> inner | outer_latch -> outer | exit
+  IrModule m("nested");
+  IrFunction* f = m.CreateFunction("f", 1);
+  IrBasicBlock* entry = f->CreateBlock("entry");
+  IrBasicBlock* outer = f->CreateBlock("outer");
+  IrBasicBlock* inner = f->CreateBlock("inner");
+  IrBasicBlock* latch = f->CreateBlock("latch");
+  IrBasicBlock* exit = f->CreateBlock("exit");
+  IrBuilder b(m);
+  b.SetInsertPoint(entry);
+  b.Br(outer);
+  b.SetInsertPoint(outer);
+  b.CondBr(b.Cmp(f->arg(0), b.Const(1), "c1"), inner, exit);
+  b.SetInsertPoint(inner);
+  b.CondBr(b.Cmp(f->arg(0), b.Const(2), "c2"), inner, latch);
+  b.SetInsertPoint(latch);
+  b.Br(outer);
+  b.SetInsertPoint(exit);
+  b.Ret();
+  ASSERT_TRUE(m.Verify().ok());
+
+  PostDominators pdom(*f);
+  EXPECT_TRUE(pdom.PostDominates(exit, entry));
+  EXPECT_TRUE(pdom.PostDominates(exit, inner));
+  EXPECT_FALSE(pdom.PostDominates(inner, outer));
+
+  const ControlDependenceMap deps = ComputeControlDependence(*f);
+  // The inner body depends on both loop conditions.
+  ASSERT_TRUE(deps.count(inner));
+  EXPECT_TRUE(std::find(deps.at(inner).begin(), deps.at(inner).end(),
+                        outer) != deps.at(inner).end());
+  EXPECT_TRUE(std::find(deps.at(inner).begin(), deps.at(inner).end(),
+                        inner) != deps.at(inner).end());
+}
+
+TEST(DominatorsEdgeTest, UnreachableFromExitIsHandled) {
+  // A block with no path to ret (infinite loop) must not break the
+  // computation.
+  IrModule m("noexit");
+  IrFunction* f = m.CreateFunction("f", 1);
+  IrBasicBlock* entry = f->CreateBlock("entry");
+  IrBasicBlock* spin = f->CreateBlock("spin");
+  IrBasicBlock* out = f->CreateBlock("out");
+  IrBuilder b(m);
+  b.SetInsertPoint(entry);
+  b.CondBr(b.Cmp(f->arg(0), b.Const(0), "c"), spin, out);
+  b.SetInsertPoint(spin);
+  b.Br(spin);  // never reaches exit
+  b.SetInsertPoint(out);
+  b.Ret();
+  PostDominators pdom(*f);
+  EXPECT_FALSE(pdom.PostDominates(spin, entry));
+  EXPECT_FALSE(pdom.PostDominates(out, spin));
+  (void)ComputeControlDependence(*f);  // must terminate
+}
+
+TEST(PointerAnalysisEdgeTest, RecursionConverges) {
+  // fn rec(p) { store p -> g; if (...) ret p; else ret rec(p); }
+  IrModule m("rec");
+  IrGlobal* g = m.CreateGlobal("g");
+  IrFunction* rec = m.CreateFunction("rec", 1);
+  IrBuilder b(m);
+  IrBasicBlock* entry = rec->CreateBlock("entry");
+  IrBasicBlock* base = rec->CreateBlock("base");
+  IrBasicBlock* deeper = rec->CreateBlock("deeper");
+  b.SetInsertPoint(entry);
+  b.Store(rec->arg(0), g);
+  b.CondBr(b.Cmp(rec->arg(0), b.Const(0), "c"), base, deeper);
+  b.SetInsertPoint(base);
+  b.Ret(rec->arg(0));
+  b.SetInsertPoint(deeper);
+  IrInstruction* call = b.Call(rec, {rec->arg(0)}, "r");
+  b.Ret(call);
+
+  IrFunction* top = m.CreateFunction("top", 0);
+  b.SetInsertPoint(top->CreateBlock("entry"));
+  IrInstruction* obj = b.PmAlloc(b.Const(8), "obj");
+  IrInstruction* result = b.Call(rec, {obj}, "result");
+  IrInstruction* reload = b.Load(g, "reload");
+  b.Ret(reload);
+  ASSERT_TRUE(m.Verify().ok());
+
+  PointerAnalysis pa(m);
+  pa.Run();  // must terminate despite the recursive binding
+  EXPECT_TRUE(pa.MayAlias(obj, result));
+  EXPECT_TRUE(pa.MayAlias(obj, reload));
+}
+
+TEST(PointerAnalysisEdgeTest, FunctionPointerStoredInPm) {
+  // A function pointer stored in a *persistent* object and called after a
+  // reload — the call graph must still resolve.
+  IrModule m("fp_pm");
+  IrFunction* handler = m.CreateFunction("handler", 1);
+  IrBuilder b(m);
+  b.SetInsertPoint(handler->CreateBlock("entry"));
+  b.Ret(handler->arg(0));
+
+  IrFunction* install = m.CreateFunction("install", 0);
+  b.SetInsertPoint(install->CreateBlock("entry"));
+  IrInstruction* table = b.PmAlloc(b.Const(64), "table");
+  b.Store(handler, b.FieldAddr(table, 0, "slot"));
+  b.Ret(table);
+
+  IrFunction* dispatch = m.CreateFunction("dispatch", 0);
+  b.SetInsertPoint(dispatch->CreateBlock("entry"));
+  IrInstruction* t = b.Call(install, {}, "t");
+  IrInstruction* fp = b.Load(b.FieldAddr(t, 0, "slot2"), "fp");
+  IrInstruction* arg = b.PmAlloc(b.Const(8), "arg");
+  IrInstruction* r = b.CallIndirect(fp, {arg}, "r");
+  b.Ret();
+
+  PointerAnalysis pa(m);
+  pa.Run();
+  auto targets = pa.ResolveIndirect(fp);
+  ASSERT_EQ(targets.size(), 1u);
+  EXPECT_EQ(targets[0]->name(), "handler");
+  EXPECT_TRUE(pa.MayAlias(arg, r));
+}
+
+TEST(PdgEdgeTest, InterproceduralMemoryDependence) {
+  // writer() stores through a PM pointer; reader() loads it via a separate
+  // path to the same object. The memory edge must cross functions.
+  IrModule m("interp_mem");
+  IrGlobal* g = m.CreateGlobal("g");
+  IrFunction* init = m.CreateFunction("init", 0);
+  IrBuilder b(m);
+  b.SetInsertPoint(init->CreateBlock("entry"));
+  IrInstruction* obj = b.PmAlloc(b.Const(16), "obj");
+  b.Store(obj, g);
+  b.Ret();
+
+  IrFunction* writer = m.CreateFunction("writer", 1);
+  b.SetInsertPoint(writer->CreateBlock("entry"));
+  IrInstruction* w = b.Load(g, "w");
+  IrInstruction* st =
+      b.Store(writer->arg(0), b.FieldAddr(w, 1, "field"), /*guid=*/71);
+  b.Ret();
+
+  IrFunction* reader = m.CreateFunction("reader", 0);
+  b.SetInsertPoint(reader->CreateBlock("entry"));
+  IrInstruction* rd = b.Load(g, "r");
+  IrInstruction* ld = b.Load(b.FieldAddr(rd, 1, "field2"), "ld");
+  ld->set_guid(72);
+  b.Ret(ld);
+
+  PointerAnalysis pa(m);
+  pa.Run();
+  PmVariableInfo info(m, pa);
+  Pdg pdg(m, pa);
+  Slicer slicer(pdg, info);
+  SliceResult slice = slicer.Backward(ld);
+  EXPECT_TRUE(Contains(slice.instructions, st));
+}
+
+TEST(SlicerEdgeTest, IsolatedInstructionSlicesToItself) {
+  IrModule m("iso");
+  IrFunction* f = m.CreateFunction("f", 0);
+  IrBuilder b(m);
+  b.SetInsertPoint(f->CreateBlock("entry"));
+  IrInstruction* a = b.Alloca("a");
+  IrInstruction* st = b.Store(b.Const(1), a, /*guid=*/5);
+  b.Ret();
+  PointerAnalysis pa(m);
+  pa.Run();
+  PmVariableInfo info(m, pa);
+  Pdg pdg(m, pa);
+  Slicer slicer(pdg, info);
+  SliceResult slice = slicer.BackwardPersistent(st);
+  ASSERT_FALSE(slice.instructions.empty());
+  EXPECT_EQ(slice.instructions.front(), st);
+}
+
+TEST(SlicerEdgeTest, ForwardAndBackwardAreConverses) {
+  // If A is in Backward(B), then B is in Forward(A) — spot-checked on the
+  // memcached model.
+  IrModule m("conv");
+  IrGlobal* g = m.CreateGlobal("g");
+  IrFunction* f = m.CreateFunction("f", 1);
+  IrBuilder b(m);
+  b.SetInsertPoint(f->CreateBlock("entry"));
+  IrInstruction* obj = b.PmAlloc(b.Const(8), "obj");
+  b.Store(obj, g);
+  IrInstruction* st = b.Store(f->arg(0), obj, /*guid=*/81);
+  IrInstruction* ld = b.Load(obj, "ld");
+  ld->set_guid(82);
+  b.Ret(ld);
+  PointerAnalysis pa(m);
+  pa.Run();
+  PmVariableInfo info(m, pa);
+  Pdg pdg(m, pa);
+  Slicer slicer(pdg, info);
+  EXPECT_TRUE(Contains(slicer.Backward(ld).instructions, st));
+  EXPECT_TRUE(Contains(slicer.Forward(st).instructions, ld));
+}
+
+TEST(PmVariableEdgeTest, VolatileOnlyProgramHasNoPmWrites) {
+  IrModule m("volatile");
+  IrFunction* f = m.CreateFunction("f", 1);
+  IrBuilder b(m);
+  b.SetInsertPoint(f->CreateBlock("entry"));
+  IrInstruction* a = b.Alloca("a");
+  b.Store(f->arg(0), a);
+  IrInstruction* v = b.Load(a, "v");
+  b.Ret(v);
+  PointerAnalysis pa(m);
+  pa.Run();
+  PmVariableInfo info(m, pa);
+  EXPECT_TRUE(info.PmWriteInstructions().empty());
+  EXPECT_FALSE(info.IsPmValue(a));
+}
+
+}  // namespace
+}  // namespace arthas

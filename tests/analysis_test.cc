@@ -1,0 +1,359 @@
+// Tests for the static analyses: post-dominators, control dependence,
+// pointer analysis, PM-variable identification, PDG, and slicing.
+//
+// The fixture programs mirror the shapes from the paper: PM pointers flowing
+// across functions, bad values propagating from a persistent store through a
+// volatile variable to a fault site (the Figure 6 timeline).
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "analysis/dominators.h"
+#include "analysis/pdg.h"
+#include "analysis/pm_variables.h"
+#include "analysis/pointer_analysis.h"
+#include "analysis/slicer.h"
+#include "ir/ir.h"
+
+namespace arthas {
+namespace {
+
+bool Contains(const std::vector<const IrInstruction*>& v,
+              const IrInstruction* x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+// --- Control dependence ------------------------------------------------------
+
+TEST(ControlDependenceTest, DiamondDependsOnBranch) {
+  IrModule m("cd");
+  IrFunction* f = m.CreateFunction("f", 1);
+  IrBasicBlock* entry = f->CreateBlock("entry");
+  IrBasicBlock* then_b = f->CreateBlock("then");
+  IrBasicBlock* else_b = f->CreateBlock("else");
+  IrBasicBlock* join = f->CreateBlock("join");
+  IrBuilder b(m);
+  b.SetInsertPoint(entry);
+  IrInstruction* c = b.Cmp(f->arg(0), b.Const(0), "c");
+  b.CondBr(c, then_b, else_b);
+  b.SetInsertPoint(then_b);
+  b.Br(join);
+  b.SetInsertPoint(else_b);
+  b.Br(join);
+  b.SetInsertPoint(join);
+  b.Ret();
+
+  const ControlDependenceMap deps = ComputeControlDependence(*f);
+  // then/else are control dependent on entry; join is not.
+  ASSERT_TRUE(deps.count(then_b));
+  EXPECT_EQ(deps.at(then_b)[0], entry);
+  ASSERT_TRUE(deps.count(else_b));
+  EXPECT_EQ(deps.at(else_b)[0], entry);
+  EXPECT_FALSE(deps.count(join));
+}
+
+TEST(ControlDependenceTest, LoopBodyDependsOnHeader) {
+  IrModule m("loop");
+  IrFunction* f = m.CreateFunction("f", 1);
+  IrBasicBlock* entry = f->CreateBlock("entry");
+  IrBasicBlock* header = f->CreateBlock("header");
+  IrBasicBlock* body = f->CreateBlock("body");
+  IrBasicBlock* exit = f->CreateBlock("exit");
+  IrBuilder b(m);
+  b.SetInsertPoint(entry);
+  b.Br(header);
+  b.SetInsertPoint(header);
+  IrInstruction* c = b.Cmp(f->arg(0), b.Const(10), "c");
+  b.CondBr(c, body, exit);
+  b.SetInsertPoint(body);
+  b.Br(header);
+  b.SetInsertPoint(exit);
+  b.Ret();
+
+  const ControlDependenceMap deps = ComputeControlDependence(*f);
+  ASSERT_TRUE(deps.count(body));
+  EXPECT_TRUE(std::find(deps.at(body).begin(), deps.at(body).end(), header) !=
+              deps.at(body).end());
+  // The header is control dependent on itself (loop back edge).
+  ASSERT_TRUE(deps.count(header));
+}
+
+TEST(PostDominatorsTest, JoinPostDominatesBranches) {
+  IrModule m("pd");
+  IrFunction* f = m.CreateFunction("f", 1);
+  IrBasicBlock* entry = f->CreateBlock("entry");
+  IrBasicBlock* then_b = f->CreateBlock("then");
+  IrBasicBlock* else_b = f->CreateBlock("else");
+  IrBasicBlock* join = f->CreateBlock("join");
+  IrBuilder b(m);
+  b.SetInsertPoint(entry);
+  b.CondBr(b.Cmp(f->arg(0), b.Const(0), "c"), then_b, else_b);
+  b.SetInsertPoint(then_b);
+  b.Br(join);
+  b.SetInsertPoint(else_b);
+  b.Br(join);
+  b.SetInsertPoint(join);
+  b.Ret();
+
+  PostDominators pdom(*f);
+  EXPECT_TRUE(pdom.PostDominates(join, entry));
+  EXPECT_TRUE(pdom.PostDominates(join, then_b));
+  EXPECT_FALSE(pdom.PostDominates(then_b, entry));
+  EXPECT_TRUE(pdom.PostDominates(entry, entry));
+}
+
+// --- Pointer analysis --------------------------------------------------------
+
+TEST(PointerAnalysisTest, DistinctAllocationsDoNotAlias) {
+  IrModule m("pa");
+  IrFunction* f = m.CreateFunction("f", 0);
+  IrBuilder b(m);
+  b.SetInsertPoint(f->CreateBlock("entry"));
+  IrInstruction* p = b.PmAlloc(b.Const(64), "p");
+  IrInstruction* q = b.PmAlloc(b.Const(64), "q");
+  b.Ret();
+
+  PointerAnalysis pa(m);
+  pa.Run();
+  EXPECT_FALSE(pa.MayAlias(p, q));
+  EXPECT_TRUE(pa.MayAlias(p, p));
+}
+
+TEST(PointerAnalysisTest, FieldSensitivityDistinguishesFields) {
+  IrModule m("fields");
+  IrFunction* f = m.CreateFunction("f", 0);
+  IrBuilder b(m);
+  b.SetInsertPoint(f->CreateBlock("entry"));
+  IrInstruction* obj = b.PmAlloc(b.Const(64), "obj");
+  IrInstruction* f0 = b.FieldAddr(obj, 0, "f0");
+  IrInstruction* f1 = b.FieldAddr(obj, 1, "f1");
+  IrInstruction* f0b = b.FieldAddr(obj, 0, "f0b");
+  b.Ret();
+
+  PointerAnalysis pa(m);
+  pa.Run();
+  EXPECT_FALSE(pa.MayAlias(f0, f1));
+  EXPECT_TRUE(pa.MayAlias(f0, f0b));
+}
+
+TEST(PointerAnalysisTest, FlowThroughMemory) {
+  // g = &obj stored into a global slot, reloaded elsewhere: the reload must
+  // alias obj.
+  IrModule m("mem");
+  IrGlobal* slot = m.CreateGlobal("slot");
+  IrFunction* f = m.CreateFunction("f", 0);
+  IrBuilder b(m);
+  b.SetInsertPoint(f->CreateBlock("entry"));
+  IrInstruction* obj = b.PmAlloc(b.Const(64), "obj");
+  b.Store(obj, slot);
+  IrInstruction* reload = b.Load(slot, "reload");
+  b.Ret();
+
+  PointerAnalysis pa(m);
+  pa.Run();
+  EXPECT_TRUE(pa.MayAlias(obj, reload));
+}
+
+TEST(PointerAnalysisTest, InterproceduralArgumentBinding) {
+  IrModule m("interp");
+  IrFunction* callee = m.CreateFunction("callee", 1);
+  IrBuilder b(m);
+  b.SetInsertPoint(callee->CreateBlock("entry"));
+  b.Ret(callee->arg(0));
+
+  IrFunction* caller = m.CreateFunction("caller", 0);
+  b.SetInsertPoint(caller->CreateBlock("entry"));
+  IrInstruction* obj = b.PmAlloc(b.Const(64), "obj");
+  IrInstruction* result = b.Call(callee, {obj}, "result");
+  b.Ret();
+
+  PointerAnalysis pa(m);
+  pa.Run();
+  // The identity function returns its argument: result aliases obj.
+  EXPECT_TRUE(pa.MayAlias(obj, result));
+  EXPECT_TRUE(pa.PointsToPm(result));
+}
+
+TEST(PointerAnalysisTest, IndirectCallResolution) {
+  IrModule m("fp");
+  IrFunction* target = m.CreateFunction("target", 1);
+  IrBuilder b(m);
+  b.SetInsertPoint(target->CreateBlock("entry"));
+  b.Ret(target->arg(0));
+
+  IrGlobal* fp_slot = m.CreateGlobal("fp_slot");
+  IrFunction* caller = m.CreateFunction("caller", 0);
+  b.SetInsertPoint(caller->CreateBlock("entry"));
+  b.Store(target, fp_slot);
+  IrInstruction* fp = b.Load(fp_slot, "fp");
+  IrInstruction* obj = b.PmAlloc(b.Const(8), "obj");
+  IrInstruction* r = b.CallIndirect(fp, {obj}, "r");
+  b.Ret();
+
+  PointerAnalysis pa(m);
+  pa.Run();
+  auto targets = pa.ResolveIndirect(fp);
+  ASSERT_EQ(targets.size(), 1u);
+  EXPECT_EQ(targets[0], target);
+  EXPECT_TRUE(pa.MayAlias(obj, r));
+}
+
+// --- PM variable identification ----------------------------------------------
+
+TEST(PmVariableTest, TracksDerivedPointers) {
+  // ptr = pm_map_file(); fptr = ptr + 10: both are PM variables (paper 4.1).
+  IrModule m("pmv");
+  IrFunction* f = m.CreateFunction("f", 0);
+  IrBuilder b(m);
+  b.SetInsertPoint(f->CreateBlock("entry"));
+  IrInstruction* ptr = b.PmMapFile("ptr");
+  IrInstruction* fptr = b.BinOp(ptr, b.Const(10), "fptr");
+  IrInstruction* vol = b.Alloca("vol");
+  IrInstruction* store_pm = b.Store(b.Const(1), fptr, /*guid=*/1);
+  IrInstruction* store_vol = b.Store(b.Const(2), vol, /*guid=*/2);
+  b.Ret();
+
+  PointerAnalysis pa(m);
+  pa.Run();
+  PmVariableInfo info(m, pa);
+  EXPECT_TRUE(info.IsPmValue(ptr));
+  EXPECT_TRUE(info.IsPmValue(fptr));
+  EXPECT_FALSE(info.IsPmValue(vol));
+  EXPECT_TRUE(Contains(info.PmWriteInstructions(), store_pm));
+  EXPECT_FALSE(Contains(info.PmWriteInstructions(), store_vol));
+}
+
+// --- PDG and slicing -----------------------------------------------------------
+
+struct PropagationProgram {
+  IrModule m{"prop"};
+  IrInstruction* pm_store_rootcause;   // t5: bad value persisted
+  IrInstruction* pm_store_unrelated;   // independent PM update
+  IrInstruction* volatile_load;        // reads the bad persistent value
+  IrInstruction* fault_site;           // crash on derived volatile value
+};
+
+// Models the paper's Figure 6: a bad persistent write at t5 propagates
+// through a volatile variable to the fault at t15, with an unrelated PM
+// write in between.
+std::unique_ptr<PropagationProgram> BuildPropagation() {
+  auto p = std::make_unique<PropagationProgram>();
+  IrModule& m = p->m;
+  IrFunction* f = m.CreateFunction("handle_request", 1);
+  IrBuilder b(m);
+  b.SetInsertPoint(f->CreateBlock("entry"));
+  IrInstruction* obj = b.PmAlloc(b.Const(64), "obj");
+  IrInstruction* flag_addr = b.FieldAddr(obj, 0, "flag_addr");
+  IrInstruction* other = b.PmAlloc(b.Const(64), "other");
+  IrInstruction* other_addr = b.FieldAddr(other, 0, "other_addr");
+
+  // Root cause: a (possibly bad) value is stored to PM and persisted.
+  p->pm_store_rootcause = b.Store(f->arg(0), flag_addr, /*guid=*/101);
+  b.PmPersist(flag_addr, b.Const(8));
+
+  // Unrelated persistent update.
+  p->pm_store_unrelated = b.Store(b.Const(7), other_addr, /*guid=*/102);
+  b.PmPersist(other_addr, b.Const(8));
+
+  // Propagation: load the persistent flag into a volatile computation.
+  p->volatile_load = b.Load(flag_addr, "loaded");
+  IrInstruction* derived = b.BinOp(p->volatile_load, b.Const(1), "derived");
+  IrInstruction* buf = b.Alloca("buf");
+  // Fault site: e.g. strcpy(addr, buf) where addr derives from the flag.
+  p->fault_site = b.Store(derived, buf, /*guid=*/103);
+  b.Ret();
+  return p;
+}
+
+TEST(PdgTest, DefUseAndMemoryEdges) {
+  auto p = BuildPropagation();
+  PointerAnalysis pa(p->m);
+  pa.Run();
+  Pdg pdg(p->m, pa);
+
+  // The load of the flag must depend on the store to it (memory edge).
+  bool found = false;
+  for (const auto& e : pdg.Predecessors(p->volatile_load)) {
+    found = found || (e.to == p->pm_store_rootcause &&
+                      e.kind == PdgEdgeKind::kMemory);
+  }
+  EXPECT_TRUE(found);
+  // But not on the unrelated store.
+  for (const auto& e : pdg.Predecessors(p->volatile_load)) {
+    EXPECT_NE(e.to, p->pm_store_unrelated);
+  }
+}
+
+TEST(SlicerTest, BackwardSliceReachesRootCauseNotUnrelated) {
+  auto p = BuildPropagation();
+  PointerAnalysis pa(p->m);
+  pa.Run();
+  PmVariableInfo info(p->m, pa);
+  Pdg pdg(p->m, pa);
+  Slicer slicer(pdg, info);
+
+  SliceResult slice = slicer.Backward(p->fault_site);
+  EXPECT_TRUE(Contains(slice.instructions, p->pm_store_rootcause));
+  EXPECT_FALSE(Contains(slice.instructions, p->pm_store_unrelated));
+  EXPECT_EQ(slice.instructions.front(), p->fault_site);
+}
+
+TEST(SlicerTest, PersistentFilterKeepsPmNodes) {
+  auto p = BuildPropagation();
+  PointerAnalysis pa(p->m);
+  pa.Run();
+  PmVariableInfo info(p->m, pa);
+  Pdg pdg(p->m, pa);
+  Slicer slicer(pdg, info);
+
+  SliceResult slice = slicer.BackwardPersistent(p->fault_site);
+  EXPECT_TRUE(Contains(slice.instructions, p->pm_store_rootcause));
+  // The volatile alloca-backed fault store is the criterion, always kept.
+  EXPECT_EQ(slice.instructions.front(), p->fault_site);
+}
+
+TEST(SlicerTest, ForwardSliceFollowsInfluence) {
+  auto p = BuildPropagation();
+  PointerAnalysis pa(p->m);
+  pa.Run();
+  PmVariableInfo info(p->m, pa);
+  Pdg pdg(p->m, pa);
+  Slicer slicer(pdg, info);
+
+  SliceResult fwd = slicer.Forward(p->pm_store_rootcause);
+  EXPECT_TRUE(Contains(fwd.instructions, p->volatile_load));
+  EXPECT_TRUE(Contains(fwd.instructions, p->fault_site));
+  EXPECT_FALSE(Contains(fwd.instructions, p->pm_store_unrelated));
+}
+
+TEST(SlicerTest, ControlDependenceEntersSlice) {
+  // if (flag) { pm_store }: the store's backward slice includes the branch
+  // and the flag computation.
+  IrModule m("ctrl");
+  IrFunction* f = m.CreateFunction("f", 1);
+  IrBasicBlock* entry = f->CreateBlock("entry");
+  IrBasicBlock* then_b = f->CreateBlock("then");
+  IrBasicBlock* join = f->CreateBlock("join");
+  IrBuilder b(m);
+  b.SetInsertPoint(entry);
+  IrInstruction* obj = b.PmAlloc(b.Const(8), "obj");
+  IrInstruction* cond = b.Cmp(f->arg(0), b.Const(0), "cond");
+  IrInstruction* br = b.CondBr(cond, then_b, join);
+  b.SetInsertPoint(then_b);
+  IrInstruction* st = b.Store(b.Const(1), obj, /*guid=*/5);
+  b.Br(join);
+  b.SetInsertPoint(join);
+  b.Ret();
+
+  PointerAnalysis pa(m);
+  pa.Run();
+  PmVariableInfo info(m, pa);
+  Pdg pdg(m, pa);
+  Slicer slicer(pdg, info);
+  SliceResult slice = slicer.Backward(st);
+  EXPECT_TRUE(Contains(slice.instructions, br));
+  EXPECT_TRUE(Contains(slice.instructions, cond));
+}
+
+}  // namespace
+}  // namespace arthas

@@ -1,0 +1,163 @@
+// Unit tests for the baselines: pmCRIU snapshot/restore mechanics and
+// ArCkpt's strict time-ordered reversion, independent of the fault harness.
+
+#include <gtest/gtest.h>
+
+#include "baselines/arckpt.h"
+#include "baselines/pmcriu.h"
+#include "checkpoint/checkpoint_log.h"
+#include "pmem/pool.h"
+
+namespace arthas {
+namespace {
+
+TEST(PmCriuTest, FirstSnapshotAfterOneInterval) {
+  auto pool = *PmemPool::Create("criu", 128 * 1024);
+  PmCriu criu(pool->device());
+  criu.MaybeSnapshot(30 * kSecond, 1);
+  EXPECT_EQ(criu.snapshot_count(), 0u);
+  criu.MaybeSnapshot(61 * kSecond, 2);
+  EXPECT_EQ(criu.snapshot_count(), 1u);
+  // Next dump only after another full interval.
+  criu.MaybeSnapshot(90 * kSecond, 3);
+  EXPECT_EQ(criu.snapshot_count(), 1u);
+  criu.MaybeSnapshot(125 * kSecond, 4);
+  EXPECT_EQ(criu.snapshot_count(), 2u);
+}
+
+TEST(PmCriuTest, RestoresNewestWorkingSnapshot) {
+  auto pool = *PmemPool::Create("criu", 128 * 1024);
+  Oid obj = *pool->Zalloc(64);
+  auto* value = pool->Direct<uint64_t>(obj);
+
+  PmCriu criu(pool->device());
+  *value = 1;
+  pool->Persist(obj, 0, 8);
+  criu.SnapshotNow(60 * kSecond, 1);
+  *value = 2;
+  pool->Persist(obj, 0, 8);
+  criu.SnapshotNow(120 * kSecond, 2);
+  *value = 0xbad;  // the bug strikes and persists
+  pool->Persist(obj, 0, 8);
+
+  VirtualClock clock;
+  int probes = 0;
+  auto reexecute = [&]() {
+    probes++;
+    RunObservation obs;
+    (void)pool->CrashAndRecover();
+    if (*pool->Direct<uint64_t>(obj) == 0xbad) {
+      FaultInfo fault;
+      fault.kind = FailureKind::kCrash;
+      obs.fault = fault;
+    }
+    return obs;
+  };
+  PmCriuOutcome outcome = criu.Mitigate(reexecute, clock);
+  EXPECT_TRUE(outcome.recovered);
+  EXPECT_EQ(outcome.restores, 1);  // the newest snapshot was already good
+  EXPECT_EQ(*pool->Direct<uint64_t>(obj), 2u);
+  EXPECT_EQ(outcome.restored_item_count, 2u);
+  EXPECT_EQ(probes, 1);
+}
+
+TEST(PmCriuTest, WalksBackPastContaminatedSnapshots) {
+  auto pool = *PmemPool::Create("criu", 128 * 1024);
+  Oid obj = *pool->Zalloc(64);
+  auto* value = pool->Direct<uint64_t>(obj);
+  PmCriu criu(pool->device());
+  *value = 1;
+  pool->Persist(obj, 0, 8);
+  criu.SnapshotNow(60 * kSecond, 1);
+  *value = 0xbad;  // bug persists *before* the next two snapshots
+  pool->Persist(obj, 0, 8);
+  criu.SnapshotNow(120 * kSecond, 2);
+  criu.SnapshotNow(180 * kSecond, 3);
+
+  VirtualClock clock;
+  auto reexecute = [&]() {
+    RunObservation obs;
+    if (*pool->Direct<uint64_t>(obj) == 0xbad) {
+      FaultInfo fault;
+      fault.kind = FailureKind::kCrash;
+      obs.fault = fault;
+    }
+    return obs;
+  };
+  PmCriuOutcome outcome = criu.Mitigate(reexecute, clock);
+  EXPECT_TRUE(outcome.recovered);
+  EXPECT_EQ(outcome.restores, 3);  // two contaminated images tried first
+  EXPECT_EQ(*pool->Direct<uint64_t>(obj), 1u);
+}
+
+TEST(PmCriuTest, FailsWithNoSnapshots) {
+  auto pool = *PmemPool::Create("criu", 128 * 1024);
+  PmCriu criu(pool->device());
+  VirtualClock clock;
+  PmCriuOutcome outcome =
+      criu.Mitigate([] { return RunObservation{}; }, clock);
+  EXPECT_FALSE(outcome.recovered);
+  EXPECT_EQ(outcome.restores, 0);
+}
+
+TEST(ArCkptTest, RevertsInStrictTimeOrder) {
+  auto pool = *PmemPool::Create("arc", 128 * 1024);
+  CheckpointLog log(*pool);
+  Oid a = *pool->Zalloc(64);
+  Oid b = *pool->Zalloc(64);
+  // Good state, then a bad update on `a`, then newer unrelated updates.
+  *pool->Direct<uint64_t>(a) = 1;
+  pool->Persist(a, 0, 8);
+  *pool->Direct<uint64_t>(a) = 0xbad;
+  pool->Persist(a, 0, 8);
+  *pool->Direct<uint64_t>(b) = 7;
+  pool->Persist(b, 0, 8);
+  *pool->Direct<uint64_t>(b) = 8;
+  pool->Persist(b, 0, 8);
+
+  ArCkpt arckpt;
+  VirtualClock clock;
+  auto reexecute = [&]() {
+    RunObservation obs;
+    if (*pool->Direct<uint64_t>(a) == 0xbad) {
+      FaultInfo fault;
+      fault.kind = FailureKind::kCrash;
+      obs.fault = fault;
+    }
+    return obs;
+  };
+  ArCkptOutcome outcome = arckpt.Mitigate(log, reexecute, clock);
+  EXPECT_TRUE(outcome.recovered);
+  // Time order forces it through b's two newer updates first.
+  EXPECT_EQ(outcome.reexecutions, 3);
+  EXPECT_EQ(*pool->Direct<uint64_t>(a), 1u);
+  EXPECT_EQ(*pool->Direct<uint64_t>(b), 0u);  // collateral data loss
+}
+
+TEST(ArCkptTest, GivesUpAtBudget) {
+  auto pool = *PmemPool::Create("arc", 128 * 1024);
+  CheckpointLog log(*pool);
+  Oid a = *pool->Zalloc(512);
+  for (int i = 0; i < 40; i++) {
+    *pool->Direct<uint64_t>(a) = i;
+    pool->Persist(a, (i % 32) * 8, 8);
+  }
+  ArCkptConfig config;
+  config.max_attempts = 5;
+  ArCkpt arckpt(config);
+  VirtualClock clock;
+  auto always_failing = [] {
+    RunObservation obs;
+    FaultInfo fault;
+    fault.kind = FailureKind::kCrash;
+    obs.fault = fault;
+    return obs;
+  };
+  ArCkptOutcome outcome = arckpt.Mitigate(log, always_failing, clock);
+  EXPECT_FALSE(outcome.recovered);
+  EXPECT_TRUE(outcome.timed_out);
+  EXPECT_EQ(outcome.reexecutions, 5);
+}
+
+}  // namespace
+}  // namespace arthas

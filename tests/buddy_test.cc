@@ -1,0 +1,132 @@
+// Tests specific to the buddy allocator's observable behavior: size-class
+// rounding, deterministic leftmost reuse, merging, metadata ranges, and the
+// block walk.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "pmem/pool.h"
+
+namespace arthas {
+namespace {
+
+TEST(BuddyTest, UsableSizeIsNextPowerOfTwo) {
+  auto pool = *PmemPool::Create("buddy", 256 * 1024);
+  struct Case {
+    size_t request;
+    size_t expected;
+  };
+  for (const Case c : {Case{1, 32}, Case{32, 32}, Case{33, 64}, Case{64, 64},
+                       Case{100, 128}, Case{129, 256}, Case{4000, 4096}}) {
+    auto oid = pool->Zalloc(c.request);
+    ASSERT_TRUE(oid.ok());
+    EXPECT_EQ(*pool->UsableSize(*oid), c.expected) << c.request;
+  }
+}
+
+TEST(BuddyTest, LeftmostReuseIsDeterministic) {
+  auto pool = *PmemPool::Create("buddy", 256 * 1024);
+  auto a = *pool->Zalloc(100);
+  auto b = *pool->Zalloc(100);
+  (void)b;
+  ASSERT_TRUE(pool->Free(a).ok());
+  auto c = *pool->Zalloc(100);
+  EXPECT_EQ(c.off, a.off);  // the freed leftmost block is taken first
+}
+
+TEST(BuddyTest, SameClassAllocationsAreAdjacent) {
+  // Two fresh same-class allocations are buddies: payloads exactly one
+  // class apart (the property the overflow faults f4/f10 rely on).
+  auto pool = *PmemPool::Create("buddy", 256 * 1024);
+  auto a = *pool->Zalloc(100);  // class 128
+  auto b = *pool->Zalloc(100);
+  EXPECT_EQ(b.off, a.off + 128);
+}
+
+TEST(BuddyTest, MergingReassemblesLargeBlocks) {
+  auto pool = *PmemPool::Create("buddy", 256 * 1024);
+  std::vector<Oid> oids;
+  for (;;) {
+    auto oid = pool->Zalloc(1024);
+    if (!oid.ok()) {
+      break;
+    }
+    oids.push_back(*oid);
+  }
+  ASSERT_GT(oids.size(), 10u);
+  for (Oid oid : oids) {
+    ASSERT_TRUE(pool->Free(oid).ok());
+  }
+  // After all frees merge, one allocation of half the heap must fit.
+  auto big = pool->Zalloc(pool->Capacity() / 2);
+  EXPECT_TRUE(big.ok()) << big.status().ToString();
+  EXPECT_TRUE(pool->CheckIntegrity().ok());
+}
+
+TEST(BuddyTest, FreeOfWildAddressRejected) {
+  auto pool = *PmemPool::Create("buddy", 256 * 1024);
+  auto a = *pool->Zalloc(64);
+  EXPECT_FALSE(pool->Free(Oid{a.off + 8}).ok());    // interior pointer
+  EXPECT_FALSE(pool->Free(Oid{1}).ok());            // below the heap
+  EXPECT_FALSE(pool->Free(Oid{~0ull >> 1}).ok());   // far out of range
+  EXPECT_TRUE(pool->Free(a).ok());
+  EXPECT_FALSE(pool->Free(a).ok());                 // double free
+}
+
+TEST(BuddyTest, ForEachBlockCoversTheHeapExactly) {
+  auto pool = *PmemPool::Create("buddy", 256 * 1024);
+  (void)*pool->Zalloc(100);
+  (void)*pool->Zalloc(5000);
+  auto freed = *pool->Zalloc(100);
+  ASSERT_TRUE(pool->Free(freed).ok());
+
+  uint64_t total = 0;
+  uint64_t used = 0;
+  PmOffset prev_end = 0;
+  pool->ForEachBlock([&](PmOffset off, size_t size, bool is_used) {
+    if (prev_end != 0) {
+      EXPECT_EQ(off, prev_end);  // contiguous, no gaps or overlaps
+    }
+    prev_end = off + size;
+    total += size;
+    used += is_used ? size : 0;
+  });
+  EXPECT_EQ(total, pool->Capacity());
+  EXPECT_EQ(used, pool->stats().used_bytes);
+}
+
+TEST(BuddyTest, MetadataRangesExcludeTheHeap) {
+  auto pool = *PmemPool::Create("buddy", 256 * 1024);
+  auto oid = *pool->Zalloc(256);
+  // A range fully inside the heap has no metadata.
+  EXPECT_TRUE(pool->MetadataRangesIn(oid.off, 256).empty());
+  // A range starting at device offset 0 is metadata until the heap begins.
+  auto ranges = pool->MetadataRangesIn(0, pool->device().size());
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].first, 0u);
+  // The metadata region ends where the heap begins (at or before the first
+  // payload).
+  EXPECT_LE(ranges[0].first + ranges[0].second, oid.off);
+}
+
+TEST(BuddyTest, StatsTrackUsage) {
+  auto pool = *PmemPool::Create("buddy", 256 * 1024);
+  const size_t before = pool->FreeBytes();
+  auto a = *pool->Zalloc(1000);  // class 1024
+  EXPECT_EQ(pool->stats().used_bytes, 1024u + /*root-less pool*/ 0u);
+  EXPECT_EQ(pool->FreeBytes(), before - 1024);
+  ASSERT_TRUE(pool->Free(a).ok());
+  EXPECT_EQ(pool->FreeBytes(), before);
+  EXPECT_EQ(pool->stats().live_objects, 0u);
+}
+
+TEST(BuddyTest, AllocationLargerThanHeapFailsCleanly) {
+  auto pool = *PmemPool::Create("buddy", 128 * 1024);
+  auto huge = pool->Zalloc(pool->Capacity() * 2);
+  EXPECT_EQ(huge.status().code(), StatusCode::kOutOfSpace);
+  EXPECT_TRUE(pool->CheckIntegrity().ok());
+}
+
+}  // namespace
+}  // namespace arthas

@@ -1,0 +1,104 @@
+// Tests for the hard-failure detector: fingerprinting, recurrence
+// confirmation, the PM-usage leak monitor, and user-defined checks.
+
+#include <gtest/gtest.h>
+
+#include "detector/detector.h"
+#include "pmem/pool.h"
+
+namespace arthas {
+namespace {
+
+FaultInfo MakeFault(FailureKind kind, Guid guid,
+                    std::vector<std::string> stack = {}) {
+  FaultInfo f;
+  f.kind = kind;
+  f.fault_guid = guid;
+  f.stack = std::move(stack);
+  return f;
+}
+
+TEST(DetectorTest, NoFailureForOkRuns) {
+  Detector detector;
+  EXPECT_EQ(detector.Observe(std::nullopt), Detector::Assessment::kNoFailure);
+}
+
+TEST(DetectorTest, FirstFailureIsRecordedNotConfirmed) {
+  Detector detector;
+  EXPECT_EQ(detector.Observe(MakeFault(FailureKind::kCrash, 7)),
+            Detector::Assessment::kFirstFailure);
+  ASSERT_TRUE(detector.recorded_failure().has_value());
+}
+
+TEST(DetectorTest, RecurrenceIsSuspectedHardFailure) {
+  Detector detector;
+  (void)detector.Observe(MakeFault(FailureKind::kCrash, 7));
+  EXPECT_EQ(detector.Observe(MakeFault(FailureKind::kCrash, 7)),
+            Detector::Assessment::kSuspectedHardFailure);
+}
+
+TEST(DetectorTest, DifferentGuidIsANewFailure) {
+  Detector detector;
+  (void)detector.Observe(MakeFault(FailureKind::kCrash, 7));
+  EXPECT_EQ(detector.Observe(MakeFault(FailureKind::kCrash, 8)),
+            Detector::Assessment::kFirstFailure);
+}
+
+TEST(DetectorTest, MatchingGuidOverridesStackDifferences) {
+  // The same hard fault often manifests on a different stack (request path
+  // on the first hit, recovery path after restart).
+  Detector detector;
+  (void)detector.Observe(
+      MakeFault(FailureKind::kHang, 7, {"assoc_find", "process_get"}));
+  EXPECT_EQ(detector.Observe(
+                MakeFault(FailureKind::kHang, 7, {"assoc_init", "recover"})),
+            Detector::Assessment::kSuspectedHardFailure);
+}
+
+TEST(DetectorTest, LeakAndOutOfSpaceAreOneFamily) {
+  Detector detector;
+  (void)detector.Observe(MakeFault(FailureKind::kOutOfSpace, 9));
+  EXPECT_EQ(detector.Observe(MakeFault(FailureKind::kLeak, 9)),
+            Detector::Assessment::kSuspectedHardFailure);
+}
+
+TEST(DetectorTest, StackSimilarityUsedWithoutGuids) {
+  Detector detector;
+  FaultInfo a = MakeFault(FailureKind::kCrash, kNoGuid, {"f", "g", "h"});
+  FaultInfo b = MakeFault(FailureKind::kCrash, kNoGuid, {"g", "h", "x"});
+  FaultInfo c = MakeFault(FailureKind::kCrash, kNoGuid, {"p", "q", "r"});
+  EXPECT_TRUE(detector.SimilarFingerprint(a, b));   // 2/3 frames shared
+  EXPECT_FALSE(detector.SimilarFingerprint(a, c));  // nothing shared
+}
+
+TEST(DetectorTest, PmUsageMonitorTripsAtThreshold) {
+  auto pool = *PmemPool::Create("leak", 256 * 1024);
+  Detector detector;
+  EXPECT_FALSE(detector.CheckPmUsage(*pool, 5).has_value());
+  // Fill past 90% of the heap.
+  while (pool->stats().used_bytes <
+         static_cast<uint64_t>(0.95 * pool->Capacity())) {
+    auto oid = pool->Zalloc(4096);
+    if (!oid.ok()) {
+      break;
+    }
+  }
+  auto fault = detector.CheckPmUsage(*pool, 5);
+  ASSERT_TRUE(fault.has_value());
+  EXPECT_EQ(fault->kind, FailureKind::kLeak);
+  EXPECT_EQ(fault->fault_guid, 5u);
+}
+
+TEST(DetectorTest, UserDefinedCheckSynthesizesWrongResult) {
+  Detector detector;
+  auto ok = detector.RunUserCheck([] { return OkStatus(); }, 11);
+  EXPECT_FALSE(ok.has_value());
+  auto bad = detector.RunUserCheck(
+      [] { return Corruption("items missing"); }, 11);
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_EQ(bad->kind, FailureKind::kWrongResult);
+  EXPECT_EQ(bad->fault_guid, 11u);
+}
+
+}  // namespace
+}  // namespace arthas

@@ -1,0 +1,97 @@
+// Tests for the experiment harness itself: methodology wiring (trigger
+// timing, detection, confirmation), metric accounting, and configuration
+// knobs — complementing the per-fault integration tests.
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+
+namespace arthas {
+namespace {
+
+TEST(HarnessTest, MetricsArePopulatedOnRecovery) {
+  ExperimentResult r = RunCell(FaultId::kF2FlushAllLogic, Solution::kArthas);
+  EXPECT_TRUE(r.triggered);
+  EXPECT_TRUE(r.detected);
+  EXPECT_TRUE(r.recovered);
+  EXPECT_GT(r.items_before, 0u);
+  EXPECT_GT(r.items_after, 0u);
+  EXPECT_GT(r.checkpoint_updates_total, 0u);
+  EXPECT_GT(r.checkpoint_updates_discarded, 0u);
+  EXPECT_GT(r.mitigation_time, 0);
+  EXPECT_GT(r.discarded_fraction, 0.0);
+  EXPECT_LT(r.discarded_fraction, 0.5);
+}
+
+TEST(HarnessTest, DeterministicForSameSeed) {
+  ExperimentResult a = RunCell(FaultId::kF1RefcountOverflow,
+                               Solution::kArthas, 123);
+  ExperimentResult b = RunCell(FaultId::kF1RefcountOverflow,
+                               Solution::kArthas, 123);
+  EXPECT_EQ(a.recovered, b.recovered);
+  EXPECT_EQ(a.attempts, b.attempts);
+  EXPECT_EQ(a.checkpoint_updates_discarded, b.checkpoint_updates_discarded);
+  EXPECT_EQ(a.items_after, b.items_after);
+}
+
+TEST(HarnessTest, ArthasRecoversAcrossSeeds) {
+  for (uint64_t seed : {1ull, 5ull, 99ull}) {
+    ExperimentResult r =
+        RunCell(FaultId::kF2FlushAllLogic, Solution::kArthas, seed);
+    EXPECT_TRUE(r.recovered) << "seed " << seed;
+  }
+}
+
+TEST(HarnessTest, PmCriuLosesMoreUpdatesThanArthas) {
+  ExperimentResult a = RunCell(FaultId::kF1RefcountOverflow,
+                               Solution::kArthas);
+  ExperimentResult p = RunCell(FaultId::kF1RefcountOverflow,
+                               Solution::kPmCriu);
+  ASSERT_TRUE(a.recovered);
+  ASSERT_TRUE(p.recovered);
+  EXPECT_LT(a.discarded_fraction, p.discarded_fraction);
+}
+
+TEST(HarnessTest, NoAddressHintNeedsMoreAttempts) {
+  ExperimentConfig config;
+  config.fault = FaultId::kF7RefcountLogicBug;
+  config.solution = Solution::kArthas;
+  config.reactor.prioritize_fault_address = false;
+  config.reactor.max_attempts = 600;
+  config.reactor.mitigation_timeout = 60 * kMinute;
+  FaultExperiment no_hint(config);
+  ExperimentResult n = no_hint.Run();
+  ExperimentResult with_hint =
+      RunCell(FaultId::kF7RefcountLogicBug, Solution::kArthas);
+  ASSERT_TRUE(n.recovered);
+  ASSERT_TRUE(with_hint.recovered);
+  EXPECT_GT(n.attempts, with_hint.attempts);
+}
+
+TEST(HarnessTest, BatchingReducesReexecutions) {
+  ExperimentConfig config;
+  config.fault = FaultId::kF7RefcountLogicBug;
+  config.solution = Solution::kArthas;
+  config.reactor.prioritize_fault_address = false;
+  config.reactor.max_attempts = 600;
+  config.reactor.mitigation_timeout = 60 * kMinute;
+  FaultExperiment single(config);
+  ExperimentResult s = single.Run();
+  config.reactor.batch = true;
+  config.reactor.batch_limit = 5;
+  FaultExperiment batched(config);
+  ExperimentResult b = batched.Run();
+  ASSERT_TRUE(s.recovered);
+  ASSERT_TRUE(b.recovered);
+  EXPECT_LT(b.attempts, s.attempts);
+  EXPECT_GE(b.checkpoint_updates_discarded, s.checkpoint_updates_discarded);
+}
+
+TEST(HarnessTest, SolutionNames) {
+  EXPECT_STREQ(SolutionName(Solution::kArthas), "Arthas");
+  EXPECT_STREQ(SolutionName(Solution::kPmCriu), "pmCRIU");
+  EXPECT_STREQ(SolutionName(Solution::kArCkpt), "ArCkpt");
+}
+
+}  // namespace
+}  // namespace arthas

@@ -1,0 +1,138 @@
+// Coverage for the IR printer/verifier details and the builder's less-used
+// constructs (indirect calls, phi patching, pm intrinsics, globals), plus
+// the metadata file shapes the analyzer emits.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "ir/ir.h"
+#include "systems/cceh.h"
+#include "systems/memcached_mini.h"
+#include "systems/pelikan_mini.h"
+#include "systems/pmemkv_mini.h"
+#include "systems/redis_mini.h"
+
+namespace arthas {
+namespace {
+
+TEST(IrPrinterTest, PrintsFunctionsBlocksAndGlobals) {
+  IrModule m("demo");
+  m.CreateGlobal("g_table");
+  IrFunction* f = m.CreateFunction("handler", 2);
+  IrBuilder b(m);
+  b.SetInsertPoint(f->CreateBlock("entry"));
+  IrInstruction* obj = b.PmAlloc(b.Const(32), "obj");
+  b.PmTxBegin();
+  b.Store(f->arg(0), b.FieldAddr(obj, 1, "field"), /*guid=*/33);
+  b.PmTxCommit();
+  b.PmFree(obj);
+  b.Ret();
+
+  const std::string text = m.Print();
+  EXPECT_NE(text.find("module demo"), std::string::npos);
+  EXPECT_NE(text.find("global @g_table"), std::string::npos);
+  EXPECT_NE(text.find("fn @handler"), std::string::npos);
+  EXPECT_NE(text.find("^entry:"), std::string::npos);
+  EXPECT_NE(text.find("pm.tx_begin"), std::string::npos);
+  EXPECT_NE(text.find("pm.tx_commit"), std::string::npos);
+  EXPECT_NE(text.find("pm.free"), std::string::npos);
+  EXPECT_NE(text.find("!guid=33"), std::string::npos);
+  EXPECT_NE(text.find("#1"), std::string::npos);  // the field index
+}
+
+TEST(IrPrinterTest, EveryOpcodeHasAName) {
+  for (int op = 0; op <= static_cast<int>(IrOpcode::kPmFree); op++) {
+    EXPECT_STRNE(IrOpcodeName(static_cast<IrOpcode>(op)), "?");
+  }
+}
+
+TEST(IrVerifierTest, BranchAcrossFunctionsRejected) {
+  IrModule m("bad");
+  IrFunction* f = m.CreateFunction("f", 0);
+  IrFunction* g = m.CreateFunction("g", 0);
+  IrBasicBlock* gb = g->CreateBlock("gentry");
+  IrBuilder b(m);
+  b.SetInsertPoint(gb);
+  b.Ret();
+  b.SetInsertPoint(f->CreateBlock("entry"));
+  b.Br(gb);  // branch into another function
+  EXPECT_FALSE(m.Verify().ok());
+}
+
+TEST(IrVerifierTest, AllShippedModelsVerify) {
+  MemcachedMini mc;
+  RedisMini rd;
+  Cceh cc;
+  PelikanMini pl;
+  PmemkvMini kv;
+  for (const PmSystemTarget* system :
+       {static_cast<const PmSystemTarget*>(&mc),
+        static_cast<const PmSystemTarget*>(&rd),
+        static_cast<const PmSystemTarget*>(&cc),
+        static_cast<const PmSystemTarget*>(&pl),
+        static_cast<const PmSystemTarget*>(&kv)}) {
+    EXPECT_TRUE(system->ir_model().Verify().ok()) << system->name();
+    // Every registered GUID resolves to an instruction and vice versa.
+    for (const GuidInfo& info : system->guid_registry().All()) {
+      EXPECT_NE(system->ir_model().FindByGuid(info.guid), nullptr)
+          << system->name() << " guid " << info.guid;
+    }
+    for (const IrInstruction* inst : system->ir_model().AllInstructions()) {
+      if (inst->guid() != kNoGuid) {
+        EXPECT_NE(system->guid_registry().Lookup(inst->guid()), nullptr)
+            << system->name() << " guid " << inst->guid();
+      }
+    }
+  }
+}
+
+TEST(IrVerifierTest, GuidsAreGloballyUniqueAcrossSystems) {
+  // The five systems use disjoint GUID ranges so a combined deployment
+  // cannot confuse trace events.
+  MemcachedMini mc;
+  RedisMini rd;
+  Cceh cc;
+  PelikanMini pl;
+  PmemkvMini kv;
+  std::set<Guid> seen;
+  for (const PmSystemTarget* system :
+       {static_cast<const PmSystemTarget*>(&mc),
+        static_cast<const PmSystemTarget*>(&rd),
+        static_cast<const PmSystemTarget*>(&cc),
+        static_cast<const PmSystemTarget*>(&pl),
+        static_cast<const PmSystemTarget*>(&kv)}) {
+    for (const GuidInfo& info : system->guid_registry().All()) {
+      EXPECT_TRUE(seen.insert(info.guid).second)
+          << "guid " << info.guid << " reused by " << system->name();
+    }
+  }
+  EXPECT_GE(seen.size(), 40u);
+}
+
+TEST(IrBuilderTest, PhiPatchingForLoops) {
+  IrModule m("loop");
+  IrFunction* f = m.CreateFunction("f", 1);
+  IrBasicBlock* entry = f->CreateBlock("entry");
+  IrBasicBlock* header = f->CreateBlock("header");
+  IrBasicBlock* body = f->CreateBlock("body");
+  IrBasicBlock* out = f->CreateBlock("out");
+  IrBuilder b(m);
+  b.SetInsertPoint(entry);
+  b.Br(header);
+  b.SetInsertPoint(header);
+  IrInstruction* i = b.Phi({b.Const(0)}, "i");
+  b.CondBr(b.Cmp(i, f->arg(0), "c"), body, out);
+  b.SetInsertPoint(body);
+  IrInstruction* next = b.BinOp(i, b.Const(1), "next");
+  b.Br(header);
+  i->AddOperand(next);  // close the loop
+  b.SetInsertPoint(out);
+  b.Ret(i);
+  ASSERT_TRUE(m.Verify().ok());
+  EXPECT_EQ(i->operands().size(), 2u);
+  EXPECT_EQ(next->users().size(), 1u);
+}
+
+}  // namespace
+}  // namespace arthas

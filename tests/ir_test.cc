@@ -1,0 +1,139 @@
+// Unit tests for the mini-IR: construction, def-use, CFG, verifier, printer.
+
+#include <gtest/gtest.h>
+
+#include "ir/ir.h"
+
+namespace arthas {
+namespace {
+
+// Builds: fn f(p) { entry: x = alloca; store p, x; v = load x; ret v }
+IrFunction* BuildStraightLine(IrModule& m) {
+  IrFunction* f = m.CreateFunction("f", 1);
+  IrBasicBlock* entry = f->CreateBlock("entry");
+  IrBuilder b(m);
+  b.SetInsertPoint(entry);
+  IrInstruction* x = b.Alloca("x");
+  b.Store(f->arg(0), x);
+  IrInstruction* v = b.Load(x, "v");
+  b.Ret(v);
+  return f;
+}
+
+TEST(IrTest, StraightLineFunctionVerifies) {
+  IrModule m("test");
+  BuildStraightLine(m);
+  EXPECT_TRUE(m.Verify().ok()) << m.Verify().ToString();
+}
+
+TEST(IrTest, DefUseChainsAreMaintained) {
+  IrModule m("test");
+  IrFunction* f = BuildStraightLine(m);
+  IrInstruction* x = f->entry()->instructions()[0].get();
+  ASSERT_EQ(x->opcode(), IrOpcode::kAlloca);
+  // x is used by the store (as pointer) and the load.
+  EXPECT_EQ(x->users().size(), 2u);
+  // The argument is used once, by the store.
+  EXPECT_EQ(f->arg(0)->users().size(), 1u);
+}
+
+TEST(IrTest, CfgEdgesFromTerminators) {
+  IrModule m("test");
+  IrFunction* f = m.CreateFunction("g", 0);
+  IrBasicBlock* entry = f->CreateBlock("entry");
+  IrBasicBlock* then_b = f->CreateBlock("then");
+  IrBasicBlock* else_b = f->CreateBlock("else");
+  IrBasicBlock* join = f->CreateBlock("join");
+  IrBuilder b(m);
+  b.SetInsertPoint(entry);
+  IrInstruction* c = b.Cmp(b.Const(1), b.Const(2), "c");
+  b.CondBr(c, then_b, else_b);
+  b.SetInsertPoint(then_b);
+  b.Br(join);
+  b.SetInsertPoint(else_b);
+  b.Br(join);
+  b.SetInsertPoint(join);
+  b.Ret();
+
+  EXPECT_TRUE(m.Verify().ok());
+  EXPECT_EQ(entry->successors().size(), 2u);
+  EXPECT_EQ(join->predecessors().size(), 2u);
+  EXPECT_EQ(then_b->predecessors().size(), 1u);
+}
+
+TEST(IrTest, VerifierRejectsMissingTerminator) {
+  IrModule m("test");
+  IrFunction* f = m.CreateFunction("bad", 0);
+  IrBasicBlock* entry = f->CreateBlock("entry");
+  IrBuilder b(m);
+  b.SetInsertPoint(entry);
+  b.Alloca("x");
+  EXPECT_FALSE(m.Verify().ok());
+}
+
+TEST(IrTest, VerifierRejectsDuplicateGuids) {
+  IrModule m("test");
+  IrFunction* f = m.CreateFunction("dup", 0);
+  IrBasicBlock* entry = f->CreateBlock("entry");
+  IrBuilder b(m);
+  b.SetInsertPoint(entry);
+  IrInstruction* x = b.Alloca("x");
+  b.Store(b.Const(1), x, /*guid=*/77);
+  b.Store(b.Const(2), x, /*guid=*/77);
+  b.Ret();
+  EXPECT_FALSE(m.Verify().ok());
+}
+
+TEST(IrTest, FindByGuid) {
+  IrModule m("test");
+  IrFunction* f = m.CreateFunction("h", 0);
+  IrBasicBlock* entry = f->CreateBlock("entry");
+  IrBuilder b(m);
+  b.SetInsertPoint(entry);
+  IrInstruction* x = b.Alloca("x");
+  IrInstruction* st = b.Store(b.Const(3), x, /*guid=*/42);
+  b.Ret();
+  EXPECT_EQ(m.FindByGuid(42), st);
+  EXPECT_EQ(m.FindByGuid(43), nullptr);
+  EXPECT_EQ(m.FindByGuid(kNoGuid), nullptr);
+}
+
+TEST(IrTest, ConstantsAreInterned) {
+  IrModule m("test");
+  EXPECT_EQ(m.GetConstant(5), m.GetConstant(5));
+  EXPECT_NE(m.GetConstant(5), m.GetConstant(6));
+}
+
+TEST(IrTest, PrinterMentionsOpcodeAndGuid) {
+  IrModule m("test");
+  IrFunction* f = m.CreateFunction("p", 0);
+  IrBasicBlock* entry = f->CreateBlock("entry");
+  IrBuilder b(m);
+  b.SetInsertPoint(entry);
+  IrInstruction* ptr = b.PmAlloc(b.Const(64), "obj", /*guid=*/9);
+  b.PmPersist(ptr, b.Const(64));
+  b.Ret();
+  const std::string text = m.Print();
+  EXPECT_NE(text.find("pm.alloc"), std::string::npos);
+  EXPECT_NE(text.find("guid=9"), std::string::npos);
+  EXPECT_NE(text.find("pm.persist"), std::string::npos);
+}
+
+TEST(IrTest, ReturnSites) {
+  IrModule m("test");
+  IrFunction* f = m.CreateFunction("r", 0);
+  IrBasicBlock* a = f->CreateBlock("a");
+  IrBasicBlock* b1 = f->CreateBlock("b1");
+  IrBasicBlock* b2 = f->CreateBlock("b2");
+  IrBuilder b(m);
+  b.SetInsertPoint(a);
+  b.CondBr(b.Const(1), b1, b2);
+  b.SetInsertPoint(b1);
+  b.Ret(b.Const(10));
+  b.SetInsertPoint(b2);
+  b.Ret(b.Const(20));
+  EXPECT_EQ(f->ReturnSites().size(), 2u);
+}
+
+}  // namespace
+}  // namespace arthas

@@ -1,0 +1,144 @@
+// Additional memcached_mini operation-semantics tests: append (correct
+// path), flush_all scheduling, hold/release accounting, table expansion
+// interplay with checkpointing, and the f2/f3 diagnosis sites.
+
+#include <gtest/gtest.h>
+
+#include "checkpoint/checkpoint_log.h"
+#include "systems/memcached_mini.h"
+
+namespace arthas {
+namespace {
+
+Request Put(const std::string& k, const std::string& v) {
+  Request r;
+  r.op = Request::Op::kPut;
+  r.key = k;
+  r.value = v;
+  return r;
+}
+Request Get(const std::string& k, bool must_exist = false) {
+  Request r;
+  r.op = Request::Op::kGet;
+  r.key = k;
+  r.must_exist = must_exist;
+  return r;
+}
+Request Append(const std::string& k, const std::string& v) {
+  Request r;
+  r.op = Request::Op::kAppend;
+  r.key = k;
+  r.value = v;
+  return r;
+}
+
+TEST(MemcachedOpsTest, AppendConcatenates) {
+  MemcachedMini mc;
+  ASSERT_TRUE(mc.Handle(Put("k", "abc")).status.ok());
+  ASSERT_TRUE(mc.Handle(Append("k", "def")).status.ok());
+  EXPECT_EQ(mc.Handle(Get("k")).value, "abcdef");
+  EXPECT_TRUE(mc.CheckConsistency().ok());
+}
+
+TEST(MemcachedOpsTest, AppendRejectsOversizeWithoutTheBug) {
+  MemcachedMini mc;
+  ASSERT_TRUE(mc.Handle(Put("k", std::string(200, 'a'))).status.ok());
+  Response r = mc.Handle(Append("k", std::string(100, 'b')));
+  EXPECT_EQ(r.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(mc.Handle(Get("k")).value, std::string(200, 'a'));
+  EXPECT_TRUE(mc.CheckConsistency().ok());
+}
+
+TEST(MemcachedOpsTest, AppendToMissingKeyIsNotFound) {
+  MemcachedMini mc;
+  EXPECT_EQ(mc.Handle(Append("ghost", "x")).status.code(),
+            StatusCode::kNotFound);
+}
+
+TEST(MemcachedOpsTest, FlushAllAtZeroDelayExpiresExistingItems) {
+  MemcachedMini mc;
+  mc.SetTime(100);
+  ASSERT_TRUE(mc.Handle(Put("old", "1")).status.ok());
+  Request flush;
+  flush.op = Request::Op::kFlushAll;
+  flush.int_arg = 0;
+  ASSERT_TRUE(mc.Handle(flush).status.ok());
+  mc.SetTime(101);
+  EXPECT_FALSE(mc.Handle(Get("old")).found);
+  // Items created after the cutoff are served.
+  mc.SetTime(150);
+  ASSERT_TRUE(mc.Handle(Put("new", "2")).status.ok());
+  EXPECT_TRUE(mc.Handle(Get("new")).found);
+}
+
+TEST(MemcachedOpsTest, FutureFlushIsInertUntilItsTime) {
+  MemcachedMini mc;
+  mc.SetTime(100);
+  ASSERT_TRUE(mc.Handle(Put("k", "1")).status.ok());
+  Request flush;
+  flush.op = Request::Op::kFlushAll;
+  flush.int_arg = 50;  // cutoff at t=150
+  ASSERT_TRUE(mc.Handle(flush).status.ok());
+  mc.SetTime(120);
+  EXPECT_TRUE(mc.Handle(Get("k")).found);  // not yet
+  mc.SetTime(160);
+  EXPECT_FALSE(mc.Handle(Get("k")).found);  // now expired
+}
+
+TEST(MemcachedOpsTest, HoldOnMissingKey) {
+  MemcachedMini mc;
+  Request hold;
+  hold.op = Request::Op::kHold;
+  hold.key = "ghost";
+  EXPECT_EQ(mc.Handle(hold).status.code(), StatusCode::kNotFound);
+}
+
+TEST(MemcachedOpsTest, ExpansionUnderCheckpointingStaysRevertible) {
+  // The table expansion generates a burst of h_next/bucket persists; the
+  // checkpoint log must keep the pool consistent through it and survive a
+  // crash right after.
+  MemcachedOptions options;
+  options.hashtable_buckets = 16;
+  MemcachedMini mc(options);
+  CheckpointLog log(mc.pool());
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(mc.Handle(Put("k" + std::to_string(i), "v")).status.ok());
+  }
+  EXPECT_GT(log.stats().records, 300u);
+  ASSERT_TRUE(mc.Restart().ok());
+  EXPECT_TRUE(mc.CheckConsistency().ok());
+  for (int i = 0; i < 100; i++) {
+    EXPECT_TRUE(mc.Handle(Get("k" + std::to_string(i))).found) << i;
+  }
+}
+
+TEST(MemcachedOpsTest, MustExistDiagnosisDistinguishesCauses) {
+  // A plain miss with must_exist on a never-inserted key is a broken-chain
+  // diagnosis with the bucket address, not the rehash-flag one.
+  MemcachedMini mc;
+  ASSERT_TRUE(mc.Handle(Put("present", "1")).status.ok());
+  Response r = mc.Handle(Get("never-inserted", /*must_exist=*/true));
+  EXPECT_FALSE(r.status.ok());
+  ASSERT_TRUE(mc.last_fault().has_value());
+  EXPECT_EQ(mc.last_fault()->kind, FailureKind::kWrongResult);
+  EXPECT_EQ(mc.last_fault()->fault_guid, kGuidMcLookupMiss);
+  EXPECT_NE(mc.last_fault()->fault_address, kNullPmOffset);
+}
+
+TEST(MemcachedOpsTest, ValueTooLargeRejected) {
+  MemcachedMini mc;
+  EXPECT_EQ(mc.Handle(Put("k", std::string(300, 'x'))).status.code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(MemcachedOpsTest, ReplaceLargerValueReallocates) {
+  MemcachedMini mc;
+  ASSERT_TRUE(mc.Handle(Put("k", "small")).status.ok());
+  ASSERT_TRUE(mc.Handle(Put("k", std::string(200, 'L'))).status.ok());
+  EXPECT_EQ(mc.Handle(Get("k")).value, std::string(200, 'L'));
+  EXPECT_EQ(mc.ItemCount(), 1u);
+  EXPECT_TRUE(mc.CheckConsistency().ok());
+}
+
+}  // namespace
+}  // namespace arthas

@@ -1,0 +1,237 @@
+// Tests for memcached_mini: normal operation plus each of the f1-f5 fault
+// mechanisms (arming, trigger, failure manifestation, recurrence across
+// restart — the soft-to-hard transformation).
+
+#include <gtest/gtest.h>
+
+#include "faults/fault_ids.h"
+#include "systems/memcached_mini.h"
+
+namespace arthas {
+namespace {
+
+Request Put(const std::string& k, const std::string& v) {
+  Request r;
+  r.op = Request::Op::kPut;
+  r.key = k;
+  r.value = v;
+  return r;
+}
+
+Request Get(const std::string& k, bool must_exist = false) {
+  Request r;
+  r.op = Request::Op::kGet;
+  r.key = k;
+  r.must_exist = must_exist;
+  return r;
+}
+
+Request OpKey(Request::Op op, const std::string& k) {
+  Request r;
+  r.op = op;
+  r.key = k;
+  return r;
+}
+
+// Finds `n` distinct keys that all land in the same bucket as `base`.
+std::vector<std::string> CollidingKeys(const MemcachedMini&, int n) {
+  // FNV-1a mod 64 (the test relies on the default bucket count).
+  auto bucket = [](const std::string& s) {
+    uint64_t h = 1469598103934665603ULL;
+    for (const char c : s) {
+      h = (h ^ static_cast<uint8_t>(c)) * 1099511628211ULL;
+    }
+    return h % 64;
+  };
+  std::vector<std::string> keys;
+  const uint64_t target = bucket("seed");
+  keys.push_back("seed");
+  for (int i = 0; static_cast<int>(keys.size()) < n; i++) {
+    std::string candidate = "k" + std::to_string(i);
+    if (bucket(candidate) == target) {
+      keys.push_back(candidate);
+    }
+  }
+  return keys;
+}
+
+TEST(MemcachedMiniTest, PutGetDelete) {
+  MemcachedMini mc;
+  EXPECT_TRUE(mc.Handle(Put("a", "1")).status.ok());
+  Response get = mc.Handle(Get("a"));
+  EXPECT_TRUE(get.found);
+  EXPECT_EQ(get.value, "1");
+  EXPECT_EQ(mc.ItemCount(), 1u);
+  EXPECT_TRUE(mc.Handle(OpKey(Request::Op::kDelete, "a")).status.ok());
+  EXPECT_FALSE(mc.Handle(Get("a")).found);
+  EXPECT_EQ(mc.ItemCount(), 0u);
+  EXPECT_TRUE(mc.CheckConsistency().ok());
+}
+
+TEST(MemcachedMiniTest, OverwriteAndMissing) {
+  MemcachedMini mc;
+  ASSERT_TRUE(mc.Handle(Put("a", "11")).status.ok());
+  ASSERT_TRUE(mc.Handle(Put("a", "2")).status.ok());
+  EXPECT_EQ(mc.Handle(Get("a")).value, "2");
+  EXPECT_EQ(mc.ItemCount(), 1u);
+  EXPECT_FALSE(mc.Handle(Get("zzz")).found);
+}
+
+TEST(MemcachedMiniTest, DataSurvivesRestart) {
+  MemcachedMini mc;
+  ASSERT_TRUE(mc.Handle(Put("a", "persisted")).status.ok());
+  ASSERT_TRUE(mc.Restart().ok());
+  EXPECT_FALSE(mc.last_fault().has_value());
+  EXPECT_EQ(mc.Handle(Get("a")).value, "persisted");
+  EXPECT_TRUE(mc.CheckConsistency().ok());
+}
+
+TEST(MemcachedMiniTest, ExpansionKeepsAllItems) {
+  MemcachedMini mc;
+  for (int i = 0; i < 200; i++) {
+    ASSERT_TRUE(mc.Handle(Put("key" + std::to_string(i), "v")).status.ok());
+  }
+  EXPECT_EQ(mc.ItemCount(), 200u);
+  EXPECT_TRUE(mc.CheckConsistency().ok());
+  for (int i = 0; i < 200; i++) {
+    EXPECT_TRUE(mc.Handle(Get("key" + std::to_string(i))).found) << i;
+  }
+  ASSERT_TRUE(mc.Restart().ok());
+  EXPECT_TRUE(mc.CheckConsistency().ok());
+  EXPECT_TRUE(mc.Handle(Get("key123")).found);
+}
+
+TEST(MemcachedMiniTest, HoldReleaseNormal) {
+  MemcachedMini mc;
+  ASSERT_TRUE(mc.Handle(Put("a", "1")).status.ok());
+  EXPECT_TRUE(mc.Handle(OpKey(Request::Op::kHold, "a")).status.ok());
+  EXPECT_TRUE(mc.Handle(OpKey(Request::Op::kRelease, "a")).status.ok());
+  // Releasing below the link reference is rejected.
+  EXPECT_FALSE(mc.Handle(OpKey(Request::Op::kRelease, "a")).status.ok());
+  // Without the f1 bug, refcount saturates instead of wrapping.
+  for (int i = 0; i < 300; i++) {
+    mc.Handle(OpKey(Request::Op::kHold, "a"));
+  }
+  EXPECT_FALSE(mc.last_fault().has_value());
+  EXPECT_TRUE(mc.Handle(Get("a")).found);
+}
+
+TEST(MemcachedMiniTest, F1RefcountOverflowCreatesHang) {
+  MemcachedMini mc;
+  mc.ArmFault(FaultId::kF1RefcountOverflow);
+  auto keys = CollidingKeys(mc, 3);
+  ASSERT_TRUE(mc.Handle(Put(keys[0], "vvvv")).status.ok());  // A
+  ASSERT_TRUE(mc.Handle(Put(keys[1], "vvvv")).status.ok());  // B
+  // Wrap A's refcount 1 -> 0 via 255 holds; the reaper frees it in place.
+  for (int i = 0; i < 255; i++) {
+    mc.Handle(OpKey(Request::Op::kHold, keys[0]));
+  }
+  ASSERT_FALSE(mc.last_fault().has_value());
+  // Reinsert: the allocator reuses A's block and the chain becomes cyclic.
+  ASSERT_TRUE(mc.Handle(Put(keys[2], "vv")).status.ok());
+  // Looking up the freed-but-linked key walks the cycle forever (a found
+  // key short-circuits before the cycle closes).
+  Response get = mc.Handle(Get(keys[0]));
+  EXPECT_FALSE(get.status.ok());
+  ASSERT_TRUE(mc.last_fault().has_value());
+  EXPECT_EQ(mc.last_fault()->kind, FailureKind::kHang);
+  EXPECT_EQ(mc.last_fault()->fault_guid, kGuidMcAssocFind);
+  // Hard fault: the hang recurs across restart (recovery walks the cycle).
+  ASSERT_TRUE(mc.Restart().ok());
+  EXPECT_TRUE(mc.last_fault().has_value());
+  EXPECT_EQ(mc.last_fault()->kind, FailureKind::kHang);
+}
+
+TEST(MemcachedMiniTest, F2FlushAllExpiresValidItems) {
+  MemcachedMini mc;
+  mc.ArmFault(FaultId::kF2FlushAllLogic);
+  mc.SetTime(100);
+  ASSERT_TRUE(mc.Handle(Put("a", "1")).status.ok());
+  Request flush;
+  flush.op = Request::Op::kFlushAll;
+  flush.int_arg = 1000;  // scheduled for the future
+  ASSERT_TRUE(mc.Handle(flush).status.ok());
+  mc.SetTime(150);  // before the scheduled time
+  Response get = mc.Handle(Get("a", /*must_exist=*/true));
+  EXPECT_FALSE(get.status.ok());
+  ASSERT_TRUE(mc.last_fault().has_value());
+  EXPECT_EQ(mc.last_fault()->kind, FailureKind::kWrongResult);
+  EXPECT_EQ(mc.last_fault()->fault_guid, kGuidMcExpiryCheck);
+  // Without the bug the future cutoff is inert.
+  MemcachedMini ok;
+  ok.SetTime(100);
+  ASSERT_TRUE(ok.Handle(Put("a", "1")).status.ok());
+  ASSERT_TRUE(ok.Handle(flush).status.ok());
+  ok.SetTime(150);
+  EXPECT_TRUE(ok.Handle(Get("a", true)).found);
+}
+
+TEST(MemcachedMiniTest, F3RaceDropsItem) {
+  MemcachedMini mc;
+  mc.ArmFault(FaultId::kF3HashtableLockRace);
+  auto keys = CollidingKeys(mc, 3);
+  ASSERT_TRUE(mc.Handle(Put(keys[0], "base")).status.ok());
+  mc.OpenRaceWindow();
+  ASSERT_TRUE(mc.Handle(Put(keys[1], "x")).status.ok());  // captures head
+  ASSERT_TRUE(mc.Handle(Put(keys[2], "y")).status.ok());  // uses stale head
+  // keys[1] was dropped from the chain.
+  Response get = mc.Handle(Get(keys[1], /*must_exist=*/true));
+  EXPECT_FALSE(get.status.ok());
+  ASSERT_TRUE(mc.last_fault().has_value());
+  EXPECT_EQ(mc.last_fault()->fault_guid, kGuidMcLookupMiss);
+  // Consistency check sees the count/reachability mismatch.
+  mc.ClearFault();
+  EXPECT_FALSE(mc.CheckConsistency().ok());
+}
+
+TEST(MemcachedMiniTest, F4AppendOverflowCorruptsNeighbor) {
+  MemcachedMini mc;
+  mc.ArmFault(FaultId::kF4AppendIntOverflow);
+  ASSERT_TRUE(mc.Handle(Put("appendee", std::string(200, 'a'))).status.ok());
+  ASSERT_TRUE(mc.Handle(Put("victim", "v")).status.ok());
+  Request append;
+  append.op = Request::Op::kAppend;
+  append.key = "appendee";
+  append.value = std::string(100, 'b');  // real total 300 wraps to 44
+  ASSERT_TRUE(mc.Handle(append).status.ok());
+  EXPECT_FALSE(mc.CheckConsistency().ok());
+  // Any walk that touches the clobbered neighborhood crashes; restart does
+  // not help (the corruption is durable).
+  ASSERT_TRUE(mc.Restart().ok());
+  EXPECT_TRUE(mc.last_fault().has_value());
+  EXPECT_EQ(mc.last_fault()->kind, FailureKind::kCrash);
+}
+
+TEST(MemcachedMiniTest, F5BitFlipMakesLookupsMiss) {
+  MemcachedMini mc;
+  mc.ArmFault(FaultId::kF5RehashFlagBitflip);
+  // Enough inserts to run a legitimate expansion (so the flag has a
+  // checkpointed history).
+  for (int i = 0; i < 150; i++) {
+    ASSERT_TRUE(mc.Handle(Put("key" + std::to_string(i), "v")).status.ok());
+  }
+  mc.InjectRehashFlagBitFlip();
+  Response get = mc.Handle(Get("key5", /*must_exist=*/true));
+  EXPECT_FALSE(get.status.ok());
+  ASSERT_TRUE(mc.last_fault().has_value());
+  EXPECT_EQ(mc.last_fault()->fault_guid, kGuidMcLookupMiss);
+}
+
+TEST(MemcachedMiniTest, IrModelVerifiesAndRegistersGuids) {
+  MemcachedMini mc;
+  EXPECT_TRUE(mc.ir_model().Verify().ok());
+  EXPECT_NE(mc.ir_model().FindByGuid(kGuidMcAssocFind), nullptr);
+  EXPECT_NE(mc.ir_model().FindByGuid(kGuidMcBucketStore), nullptr);
+  EXPECT_NE(mc.guid_registry().Lookup(kGuidMcRefcountStore), nullptr);
+  EXPECT_GE(mc.guid_registry().size(), 12u);
+}
+
+TEST(MemcachedMiniTest, TraceRecordsBucketStores) {
+  MemcachedMini mc;
+  ASSERT_TRUE(mc.Handle(Put("a", "1")).status.ok());
+  EXPECT_FALSE(mc.tracer().AddressesForGuid(kGuidMcBucketStore).empty());
+  EXPECT_FALSE(mc.tracer().AddressesForGuid(kGuidMcItemInit).empty());
+}
+
+}  // namespace
+}  // namespace arthas

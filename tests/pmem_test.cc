@@ -1,0 +1,405 @@
+// Unit tests for the simulated PM device and the pool allocator/transactions.
+
+#include <cstring>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "pmem/device.h"
+#include "pmem/libpmem.h"
+#include "pmem/pool.h"
+#include "pmem/tx.h"
+
+namespace arthas {
+namespace {
+
+TEST(PmemDeviceTest, WritesAreVisibleImmediately) {
+  PmemDevice dev(4096);
+  std::memcpy(dev.Live(100), "hello", 5);
+  EXPECT_EQ(std::memcmp(dev.Live(100), "hello", 5), 0);
+}
+
+TEST(PmemDeviceTest, UnpersistedWritesDieAtCrash) {
+  PmemDevice dev(4096);
+  std::memcpy(dev.Live(100), "hello", 5);
+  dev.Crash();
+  EXPECT_EQ(dev.Live(100)[0], 0);
+}
+
+TEST(PmemDeviceTest, PersistedWritesSurviveCrash) {
+  PmemDevice dev(4096);
+  std::memcpy(dev.Live(100), "hello", 5);
+  dev.Persist(100, 5);
+  dev.Crash();
+  EXPECT_EQ(std::memcmp(dev.Live(100), "hello", 5), 0);
+}
+
+TEST(PmemDeviceTest, PersistRoundsToCacheLines) {
+  PmemDevice dev(4096);
+  // Bytes sharing a cache line with a persisted byte also become durable,
+  // exactly as clwb behaves.
+  std::memcpy(dev.Live(64), "abcd", 4);
+  dev.Persist(66, 1);
+  dev.Crash();
+  EXPECT_EQ(std::memcmp(dev.Live(64), "abcd", 4), 0);
+}
+
+TEST(PmemDeviceTest, FlushWithoutDrainIsNotDurable) {
+  PmemDevice dev(4096);
+  std::memcpy(dev.Live(0), "x", 1);
+  dev.FlushLines(0, 1);
+  dev.Crash();
+  EXPECT_EQ(dev.Live(0)[0], 0);
+}
+
+TEST(PmemDeviceTest, FlushThenDrainIsDurable) {
+  PmemDevice dev(4096);
+  std::memcpy(dev.Live(0), "x", 1);
+  dev.FlushLines(0, 1);
+  dev.Drain();
+  dev.Crash();
+  EXPECT_EQ(dev.Live(0)[0], 'x');
+}
+
+TEST(PmemDeviceTest, LibpmemHelpersTranslatePointers) {
+  PmemDevice dev(4096);
+  char* p = reinterpret_cast<char*>(dev.Live(128));
+  p[0] = 'z';
+  PmemPersist(dev, p, 1);
+  dev.Crash();
+  EXPECT_EQ(dev.Live(128)[0], 'z');
+
+  p[1] = 'y';
+  Clwb(dev, p + 1, 1);
+  Sfence(dev);
+  dev.Crash();
+  EXPECT_EQ(dev.Live(129)[0], 'y');
+}
+
+class RecordingObserver : public DurabilityObserver {
+ public:
+  void OnPersist(PmOffset offset, size_t size, const void* data) override {
+    events.push_back({offset, size, std::string(static_cast<const char*>(data),
+                                                std::min<size_t>(size, 16))});
+  }
+  struct Event {
+    PmOffset offset;
+    size_t size;
+    std::string head;
+  };
+  std::vector<Event> events;
+};
+
+TEST(PmemDeviceTest, ObserversFireAtDurabilityPoints) {
+  PmemDevice dev(4096);
+  RecordingObserver obs;
+  dev.AddObserver(&obs);
+  std::memcpy(dev.Live(200), "data", 4);
+  dev.Persist(200, 4);
+  ASSERT_EQ(obs.events.size(), 1u);
+  EXPECT_EQ(obs.events[0].offset, 200u);
+  EXPECT_EQ(obs.events[0].size, 4u);
+  EXPECT_EQ(obs.events[0].head, "data");
+}
+
+TEST(PmemDeviceTest, QuietPersistDoesNotNotify) {
+  PmemDevice dev(4096);
+  RecordingObserver obs;
+  dev.AddObserver(&obs);
+  dev.PersistQuiet(0, 8);
+  EXPECT_TRUE(obs.events.empty());
+}
+
+TEST(PmemDeviceTest, SnapshotAndRestore) {
+  PmemDevice dev(4096);
+  std::memcpy(dev.Live(0), "v1", 2);
+  dev.Persist(0, 2);
+  auto snap = dev.SnapshotDurable();
+  std::memcpy(dev.Live(0), "v2", 2);
+  dev.Persist(0, 2);
+  ASSERT_TRUE(dev.RestoreDurable(snap).ok());
+  EXPECT_EQ(std::memcmp(dev.Live(0), "v1", 2), 0);
+}
+
+TEST(PmemDeviceTest, OffsetOfRejectsForeignPointers) {
+  PmemDevice dev(4096);
+  int local = 0;
+  EXPECT_EQ(dev.OffsetOf(&local), kNullPmOffset);
+  EXPECT_EQ(dev.OffsetOf(dev.Live(10)), 10u);
+}
+
+// --- Pool tests ------------------------------------------------------------
+
+TEST(PmemPoolTest, CreateAndCheck) {
+  auto pool = PmemPool::Create("test", 256 * 1024);
+  ASSERT_TRUE(pool.ok()) << pool.status().ToString();
+  EXPECT_TRUE((*pool)->CheckIntegrity().ok());
+}
+
+TEST(PmemPoolTest, ZallocReturnsZeroedDurableMemory) {
+  auto pool = *PmemPool::Create("test", 256 * 1024);
+  auto oid = pool->Zalloc(128);
+  ASSERT_TRUE(oid.ok());
+  auto* p = pool->Direct<uint8_t>(*oid);
+  for (int i = 0; i < 128; i++) {
+    EXPECT_EQ(p[i], 0);
+  }
+}
+
+TEST(PmemPoolTest, AllocationsDoNotOverlap) {
+  auto pool = *PmemPool::Create("test", 1024 * 1024);
+  std::set<std::pair<PmOffset, PmOffset>> ranges;
+  for (int i = 0; i < 100; i++) {
+    auto oid = pool->Zalloc(64 + i);
+    ASSERT_TRUE(oid.ok());
+    size_t sz = *pool->UsableSize(*oid);
+    for (const auto& [lo, hi] : ranges) {
+      EXPECT_TRUE(oid->off >= hi || oid->off + sz <= lo);
+    }
+    ranges.insert({oid->off, oid->off + sz});
+  }
+  EXPECT_TRUE(pool->CheckIntegrity().ok());
+}
+
+TEST(PmemPoolTest, FreeAndReuse) {
+  auto pool = *PmemPool::Create("test", 256 * 1024);
+  auto a = *pool->Zalloc(100);
+  ASSERT_TRUE(pool->Free(a).ok());
+  auto b = *pool->Zalloc(100);
+  EXPECT_EQ(a.off, b.off);  // first-fit reuses the freed block
+}
+
+TEST(PmemPoolTest, DoubleFreeIsRejected) {
+  auto pool = *PmemPool::Create("test", 256 * 1024);
+  auto a = *pool->Zalloc(100);
+  ASSERT_TRUE(pool->Free(a).ok());
+  EXPECT_EQ(pool->Free(a).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PmemPoolTest, ExhaustionReturnsOutOfSpace) {
+  auto pool = *PmemPool::Create("test", 128 * 1024);
+  for (;;) {
+    auto oid = pool->Zalloc(4096);
+    if (!oid.ok()) {
+      EXPECT_EQ(oid.status().code(), StatusCode::kOutOfSpace);
+      break;
+    }
+  }
+  EXPECT_TRUE(pool->CheckIntegrity().ok());
+}
+
+TEST(PmemPoolTest, CoalescingRecoversSpaceAfterFragmentation) {
+  auto pool = *PmemPool::Create("test", 256 * 1024);
+  std::vector<Oid> oids;
+  for (;;) {
+    auto oid = pool->Zalloc(1024);
+    if (!oid.ok()) {
+      break;
+    }
+    oids.push_back(*oid);
+  }
+  for (Oid oid : oids) {
+    ASSERT_TRUE(pool->Free(oid).ok());
+  }
+  // A large allocation must succeed after coalescing.
+  auto big = pool->Zalloc(oids.size() * 1024 / 2);
+  EXPECT_TRUE(big.ok()) << big.status().ToString();
+  EXPECT_TRUE(pool->CheckIntegrity().ok());
+}
+
+TEST(PmemPoolTest, RootIsStableAcrossCalls) {
+  auto pool = *PmemPool::Create("test", 256 * 1024);
+  auto r1 = *pool->Root(64);
+  auto r2 = *pool->Root(64);
+  EXPECT_EQ(r1.off, r2.off);
+}
+
+TEST(PmemPoolTest, RootSurvivesCrash) {
+  auto pool = *PmemPool::Create("test", 256 * 1024);
+  auto root = *pool->Root(64);
+  auto* p = pool->Direct<uint64_t>(root);
+  *p = 0xdeadbeef;
+  pool->Persist(root, 0, 8);
+  ASSERT_TRUE(pool->CrashAndRecover().ok());
+  EXPECT_EQ(*pool->Direct<uint64_t>(*pool->Root(64)), 0xdeadbeefu);
+}
+
+TEST(PmemPoolTest, UnpersistedObjectDataLostOnCrash) {
+  auto pool = *PmemPool::Create("test", 256 * 1024);
+  auto root = *pool->Root(64);
+  *pool->Direct<uint64_t>(root) = 42;
+  // No persist.
+  ASSERT_TRUE(pool->CrashAndRecover().ok());
+  EXPECT_EQ(*pool->Direct<uint64_t>(root), 0u);
+}
+
+TEST(PmemPoolTest, ReallocPreservesPayload) {
+  auto pool = *PmemPool::Create("test", 256 * 1024);
+  auto oid = *pool->Zalloc(32);
+  std::memcpy(pool->Direct(oid), "payload", 8);
+  pool->Persist(oid, 0, 8);
+  auto grown = pool->Realloc(oid, 4096);
+  ASSERT_TRUE(grown.ok());
+  EXPECT_NE(grown->off, oid.off);
+  EXPECT_EQ(std::memcmp(pool->Direct(*grown), "payload", 8), 0);
+  EXPECT_TRUE(pool->CheckIntegrity().ok());
+}
+
+TEST(PmemPoolTest, OverrunClobbersOnlyNeighborPayload) {
+  // Allocator metadata is out-of-band (as in PMDK): an overrun from one
+  // object damages the neighbor's *payload*, never heap metadata — the
+  // failure shape of the studied overflow bugs.
+  auto pool = *PmemPool::Create("test", 256 * 1024);
+  auto a = *pool->Zalloc(64);
+  auto b = *pool->Zalloc(64);
+  auto* p = pool->Direct<uint8_t>(a);
+  std::memset(p, 0xff, 128);  // run 64 bytes past `a`
+  pool->PersistRange(a.off, 128);
+  EXPECT_TRUE(pool->CheckIntegrity().ok());
+  // The neighbor's payload took the damage.
+  if (b.off == a.off + 64) {
+    EXPECT_EQ(*pool->Direct<uint8_t>(b), 0xff);
+  }
+}
+
+TEST(PmemPoolTest, IntegrityCheckCatchesCorruptPoolHeader) {
+  auto pool = *PmemPool::Create("test", 256 * 1024);
+  (void)*pool->Zalloc(64);
+  ASSERT_TRUE(pool->CheckIntegrity().ok());
+  // Flip a byte inside the checksummed pool header.
+  pool->device().Live(16)[0] ^= 0xff;
+  EXPECT_FALSE(pool->CheckIntegrity().ok());
+}
+
+// --- Transaction tests -------------------------------------------------------
+
+TEST(PmemTxTest, CommitMakesDataDurable) {
+  auto pool = *PmemPool::Create("test", 256 * 1024);
+  auto oid = *pool->Zalloc(64);
+  {
+    PmemTx tx(*pool);
+    ASSERT_TRUE(tx.status().ok());
+    ASSERT_TRUE(tx.AddRange(oid, 0, 8).ok());
+    *pool->Direct<uint64_t>(oid) = 7;
+    ASSERT_TRUE(tx.Commit().ok());
+  }
+  ASSERT_TRUE(pool->CrashAndRecover().ok());
+  EXPECT_EQ(*pool->Direct<uint64_t>(oid), 7u);
+}
+
+TEST(PmemTxTest, AbortRestoresOldData) {
+  auto pool = *PmemPool::Create("test", 256 * 1024);
+  auto oid = *pool->Zalloc(64);
+  *pool->Direct<uint64_t>(oid) = 1;
+  pool->Persist(oid, 0, 8);
+  {
+    PmemTx tx(*pool);
+    ASSERT_TRUE(tx.AddRange(oid, 0, 8).ok());
+    *pool->Direct<uint64_t>(oid) = 2;
+    // Destructor aborts.
+  }
+  EXPECT_EQ(*pool->Direct<uint64_t>(oid), 1u);
+}
+
+TEST(PmemTxTest, CrashMidTransactionRollsBackOnRecovery) {
+  auto pool = *PmemPool::Create("test", 256 * 1024);
+  auto oid = *pool->Zalloc(64);
+  *pool->Direct<uint64_t>(oid) = 1;
+  pool->Persist(oid, 0, 8);
+
+  ASSERT_TRUE(pool->TxBegin().ok());
+  ASSERT_TRUE(pool->TxAddRange(oid, 0, 8).ok());
+  *pool->Direct<uint64_t>(oid) = 2;
+  // Partially persist the in-flight value, then crash before commit.
+  pool->device().PersistQuiet(oid.off, 8);
+  ASSERT_TRUE(pool->CrashAndRecover().ok());
+  EXPECT_EQ(*pool->Direct<uint64_t>(oid), 1u);
+  EXPECT_FALSE(pool->InTx());
+}
+
+TEST(PmemTxTest, NestedTxRejected) {
+  auto pool = *PmemPool::Create("test", 256 * 1024);
+  ASSERT_TRUE(pool->TxBegin().ok());
+  EXPECT_FALSE(pool->TxBegin().ok());
+  ASSERT_TRUE(pool->TxCommit().ok());
+}
+
+class PoolEventRecorder : public PoolObserver {
+ public:
+  void OnAlloc(PmOffset offset, size_t size) override {
+    allocs.push_back({offset, size});
+  }
+  void OnFree(PmOffset offset, size_t size) override {
+    frees.push_back({offset, size});
+  }
+  void OnRealloc(PmOffset old_offset, size_t, PmOffset new_offset,
+                 size_t) override {
+    reallocs.push_back({old_offset, new_offset});
+  }
+  void OnTxBegin(uint64_t id) override { tx_begins.push_back(id); }
+  void OnTxCommit(uint64_t id) override { tx_commits.push_back(id); }
+
+  std::vector<std::pair<PmOffset, size_t>> allocs, frees;
+  std::vector<std::pair<PmOffset, PmOffset>> reallocs;
+  std::vector<uint64_t> tx_begins, tx_commits;
+};
+
+TEST(PmemPoolTest, ObserverSeesLifecycleEvents) {
+  auto pool = *PmemPool::Create("test", 256 * 1024);
+  PoolEventRecorder rec;
+  pool->AddObserver(&rec);
+  auto a = *pool->Zalloc(100);
+  auto b = *pool->Realloc(a, 5000);
+  ASSERT_TRUE(pool->Free(b).ok());
+  ASSERT_TRUE(pool->TxBegin().ok());
+  ASSERT_TRUE(pool->TxCommit().ok());
+
+  ASSERT_EQ(rec.allocs.size(), 1u);
+  ASSERT_EQ(rec.reallocs.size(), 1u);
+  EXPECT_EQ(rec.reallocs[0].first, a.off);
+  EXPECT_EQ(rec.reallocs[0].second, b.off);
+  ASSERT_EQ(rec.frees.size(), 1u);
+  EXPECT_EQ(rec.tx_begins, rec.tx_commits);
+}
+
+// Property-style sweep: random alloc/free/crash sequences keep the pool
+// metadata consistent for a range of pool sizes.
+class PoolFuzzTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PoolFuzzTest, RandomOpsPreserveIntegrity) {
+  auto pool = *PmemPool::Create("fuzz", GetParam());
+  uint64_t seed = GetParam() * 2654435761u;
+  std::vector<Oid> live;
+  for (int i = 0; i < 600; i++) {
+    seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+    const uint64_t pick = (seed >> 33) % 100;
+    if (pick < 55) {
+      auto oid = pool->Zalloc(16 + (seed >> 17) % 512);
+      if (oid.ok()) {
+        live.push_back(*oid);
+      }
+    } else if (pick < 85 && !live.empty()) {
+      size_t idx = (seed >> 7) % live.size();
+      ASSERT_TRUE(pool->Free(live[idx]).ok());
+      live.erase(live.begin() + idx);
+    } else if (pick < 95 && !live.empty()) {
+      size_t idx = (seed >> 9) % live.size();
+      auto grown = pool->Realloc(live[idx], 16 + (seed >> 21) % 1024);
+      if (grown.ok()) {
+        live[idx] = *grown;
+      }
+    } else {
+      ASSERT_TRUE(pool->CrashAndRecover().ok());
+    }
+    ASSERT_TRUE(pool->CheckIntegrity().ok()) << "iteration " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PoolSizes, PoolFuzzTest,
+                         ::testing::Values(128 * 1024, 256 * 1024, 512 * 1024,
+                                           1024 * 1024));
+
+}  // namespace
+}  // namespace arthas

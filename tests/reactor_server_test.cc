@@ -1,0 +1,144 @@
+// Tests for the client-server reactor split (paper Section 5) and the
+// realloc-chain candidate expansion (technical report).
+
+#include <gtest/gtest.h>
+
+#include "checkpoint/checkpoint_log.h"
+#include "reactor/reactor_server.h"
+#include "systems/memcached_mini.h"
+#include "systems/redis_mini.h"
+
+namespace arthas {
+namespace {
+
+Request Put(const std::string& k, const std::string& v) {
+  Request r;
+  r.op = Request::Op::kPut;
+  r.key = k;
+  r.value = v;
+  return r;
+}
+Request ListPush(const std::string& k, const std::string& v) {
+  Request r;
+  r.op = Request::Op::kListPush;
+  r.key = k;
+  r.value = v;
+  return r;
+}
+
+TEST(ReactorServerTest, RequestAndResponseRoundTrip) {
+  MitigationRequest request;
+  request.fault.kind = FailureKind::kHang;
+  request.fault.fault_guid = 1107;
+  request.fault.fault_address = 4242;
+  request.fault.exit_code = 0;
+  auto parsed = MitigationRequest::Parse(request.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->fault.kind, FailureKind::kHang);
+  EXPECT_EQ(parsed->fault.fault_guid, 1107u);
+  EXPECT_EQ(parsed->fault.fault_address, 4242u);
+
+  PlanResponse response;
+  response.candidates = {9, 5, 2};
+  response.slicing_ns = 777;
+  auto plan = PlanResponse::Parse(response.Serialize());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->candidates, (std::vector<SeqNum>{9, 5, 2}));
+  EXPECT_FALSE(plan->empty_plan);
+  EXPECT_EQ(plan->slicing_ns, 777);
+
+  EXPECT_FALSE(MitigationRequest::Parse("garbage").ok());
+  EXPECT_FALSE(PlanResponse::Parse("").ok());
+}
+
+TEST(ReactorServerTest, ServesPlansFromIngestedTrace) {
+  MemcachedMini mc;
+  CheckpointLog log(mc.pool());
+  mc.ArmFault(FaultId::kF2FlushAllLogic);
+  ASSERT_TRUE(mc.Handle(Put("a", "1")).status.ok());
+  Request flush;
+  flush.op = Request::Op::kFlushAll;
+  flush.int_arg = 600;
+  ASSERT_TRUE(mc.Handle(flush).status.ok());
+  Request get = {};
+  get.op = Request::Op::kGet;
+  get.key = "a";
+  get.must_exist = true;
+  mc.Handle(get);
+  ASSERT_TRUE(mc.last_fault().has_value());
+
+  // The server learned the addresses from the serialized trace file, not
+  // from the live tracer.
+  ReactorServer server(mc.ir_model(), mc.guid_registry());
+  ASSERT_TRUE(server.IngestTrace(mc.tracer().Serialize()).ok());
+
+  MitigationRequest request;
+  request.fault = *mc.last_fault();
+  PlanResponse plan = server.ComputePlan(request, log);
+  ASSERT_FALSE(plan.empty_plan);
+  // The flush_before store must lead the plan (fault-address hint).
+  const PmOffset flush_addr = request.fault.fault_address;
+  auto located = log.LocateSeq(plan.candidates.front());
+  ASSERT_TRUE(located.has_value());
+  EXPECT_EQ(located->first, flush_addr);
+  EXPECT_EQ(server.requests_served(), 1);
+}
+
+TEST(ReactorServerTest, PdgIsReusedAcrossRequests) {
+  MemcachedMini mc;
+  CheckpointLog log(mc.pool());
+  ReactorServer server(mc.ir_model(), mc.guid_registry());
+  const int64_t analysis_ns = server.timings().static_analysis_ns;
+  MitigationRequest request;
+  request.fault.kind = FailureKind::kCrash;
+  request.fault.fault_guid = kGuidMcAssocFind;
+  for (int i = 0; i < 5; i++) {
+    (void)server.ComputePlan(request, log);
+  }
+  EXPECT_EQ(server.requests_served(), 5);
+  // The static analysis ran exactly once, at server start.
+  EXPECT_EQ(server.timings().static_analysis_ns, analysis_ns);
+}
+
+TEST(ReallocChainTest, PlanReachesPreResizeHistory) {
+  // Grow a listpack through a reallocation, then ask for a plan at the
+  // fault site: candidates must include updates recorded at the listpack's
+  // *previous* address (followed via the old_entry link).
+  RedisMini rd;
+  CheckpointLog log(rd.pool());
+  // Fill enough that at least one realloc occurred (initial capacity 256).
+  for (int i = 0; i < 12; i++) {
+    ASSERT_TRUE(rd.Handle(ListPush("list", std::string(40, 'x'))).status.ok());
+  }
+  // Find the current listpack entry and verify a chain exists.
+  bool found_link = false;
+  PmOffset old_addr = kNullPmOffset;
+  for (const auto& [addr, entry] : log.entries()) {
+    if (entry.old_entry != kNullPmOffset) {
+      found_link = true;
+      old_addr = entry.old_entry;
+    }
+  }
+  ASSERT_TRUE(found_link) << "no reallocation was recorded";
+
+  Reactor reactor(rd.ir_model(), rd.guid_registry());
+  FaultInfo fault;
+  fault.kind = FailureKind::kCrash;
+  fault.fault_guid = kGuidRdLpRead;
+  ReactorConfig config;
+  auto plan =
+      reactor.ComputeReversionPlan(fault, rd.tracer(), log, config);
+  ASSERT_FALSE(plan.empty());
+  // Some candidate must resolve to the pre-resize address.
+  bool reaches_old = false;
+  for (const SeqNum seq : plan) {
+    auto located = log.LocateSeq(seq);
+    if (located.has_value() && located->first == old_addr) {
+      reaches_old = true;
+    }
+  }
+  EXPECT_TRUE(reaches_old);
+}
+
+}  // namespace
+}  // namespace arthas

@@ -1,0 +1,290 @@
+// Unit tests for the reactor: reversion-plan derivation, fault-address
+// prioritization, transaction grouping, purge's forward pass, the empty-
+// plan soft-failure path, and the version-retry rounds — exercised against
+// a small purpose-built PM program rather than the full target systems.
+
+#include <gtest/gtest.h>
+
+#include "checkpoint/checkpoint_log.h"
+#include "reactor/reactor.h"
+#include "systems/system_base.h"
+
+namespace arthas {
+namespace {
+
+constexpr Guid kGuidFlagStore = 901;
+constexpr Guid kGuidDataStore = 902;
+constexpr Guid kGuidOtherStore = 903;
+constexpr Guid kGuidFaultSite = 904;
+
+// A tiny system: a persistent flag and a data word; reading crashes when
+// the flag holds a bad value. A third, independent field exists to verify
+// it is never reverted. The IR model wires flag -> read (memory dep) and
+// flag -> data (the data store is control-dependent on the flag).
+class TinyTarget : public PmSystemBase {
+ public:
+  TinyTarget() : PmSystemBase("tiny", 128 * 1024) {
+    root_ = *pool_->Zalloc(192);
+    BuildModel();
+  }
+
+  struct Layout {
+    uint64_t flag;    // field 0
+    uint64_t data;    // field 1
+    uint64_t other;   // field 2
+  };
+
+  Layout* state() { return pool_->Direct<Layout>(root_); }
+  Oid root() const { return root_; }
+
+  void StoreFlag(uint64_t v) {
+    state()->flag = v;
+    TracedPersist(root_, offsetof(Layout, flag), 8, kGuidFlagStore);
+  }
+  void StoreData(uint64_t v) {
+    state()->data = v;
+    TracedPersist(root_, offsetof(Layout, data), 8, kGuidDataStore);
+  }
+  void StoreOther(uint64_t v) {
+    state()->other = v;
+    TracedPersist(root_, offsetof(Layout, other), 8, kGuidOtherStore);
+  }
+
+  // The "request": crashes while the flag is bad.
+  bool Read() {
+    if (state()->flag == 0xbad) {
+      RaiseFault(FailureKind::kCrash, kGuidFaultSite,
+                 root_.off + offsetof(Layout, flag), "bad flag", {"read"});
+      return false;
+    }
+    return true;
+  }
+
+  Response Handle(const Request&) override { return Response{}; }
+  uint64_t ItemCount() override { return 1; }
+  Status CheckConsistency() override { return OkStatus(); }
+
+ protected:
+  Status Recover() override {
+    RecoveryTouch(root_.off);
+    return OkStatus();
+  }
+
+ private:
+  void BuildModel() {
+    model_ = std::make_unique<IrModule>("tiny");
+    IrBuilder b(*model_);
+    IrGlobal* g = model_->CreateGlobal("g_state");
+
+    IrFunction* init = model_->CreateFunction("init", 0);
+    b.SetInsertPoint(init->CreateBlock("entry"));
+    IrInstruction* s = b.PmMapFile("s");
+    b.Store(s, g);
+    b.Ret();
+
+    IrFunction* update = model_->CreateFunction("update", 2);
+    IrBasicBlock* entry = update->CreateBlock("entry");
+    IrBasicBlock* then_b = update->CreateBlock("then");
+    IrBasicBlock* done = update->CreateBlock("done");
+    b.SetInsertPoint(entry);
+    IrInstruction* s1 = b.Load(g, "s");
+    b.Store(update->arg(0), b.FieldAddr(s1, 0, "flag_addr"), kGuidFlagStore);
+    IrInstruction* flag = b.Load(b.FieldAddr(s1, 0, "flag_addr2"), "flag");
+    b.CondBr(b.Cmp(flag, b.Const(0), "c"), then_b, done);
+    b.SetInsertPoint(then_b);
+    b.Store(update->arg(1), b.FieldAddr(s1, 1, "data_addr"), kGuidDataStore);
+    b.Br(done);
+    b.SetInsertPoint(done);
+    b.Ret();
+
+    IrFunction* touch_other = model_->CreateFunction("touch_other", 1);
+    b.SetInsertPoint(touch_other->CreateBlock("entry"));
+    IrInstruction* s2 = b.Load(g, "s");
+    b.Store(touch_other->arg(0), b.FieldAddr(s2, 2, "other_addr"),
+            kGuidOtherStore);
+    b.Ret();
+
+    IrFunction* read = model_->CreateFunction("read", 0);
+    b.SetInsertPoint(read->CreateBlock("entry"));
+    IrInstruction* s3 = b.Load(g, "s");
+    IrInstruction* f = b.Load(b.FieldAddr(s3, 0, "flag_addr"), "f");
+    f->set_guid(kGuidFaultSite);
+    b.Ret(f);
+
+    for (const IrInstruction* inst : model_->AllInstructions()) {
+      if (inst->guid() != kNoGuid) {
+        (void)registry_.Register(inst->guid(), name_, "tiny.cc",
+                                 inst->ToString());
+      }
+    }
+  }
+
+  Oid root_;
+};
+
+class ReactorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    target_ = std::make_unique<TinyTarget>();
+    log_ = std::make_unique<CheckpointLog>(target_->pool());
+  }
+
+  FaultInfo TriggerFault() {
+    target_->StoreFlag(0xbad);
+    EXPECT_FALSE(target_->Read());
+    return *target_->last_fault();
+  }
+
+  ReexecuteFn MakeReexecute() {
+    return [this]() {
+      RunObservation obs;
+      (void)target_->Restart();
+      if (!target_->Read()) {
+        obs.fault = target_->last_fault();
+      }
+      obs.item_count = 1;
+      return obs;
+    };
+  }
+
+  std::unique_ptr<TinyTarget> target_;
+  std::unique_ptr<CheckpointLog> log_;
+  VirtualClock clock_;
+};
+
+TEST_F(ReactorTest, PlanContainsOnlyDependentUpdates) {
+  target_->StoreFlag(1);
+  target_->StoreData(10);
+  target_->StoreOther(99);
+  FaultInfo fault = TriggerFault();
+
+  Reactor reactor(target_->ir_model(), target_->guid_registry());
+  ReactorConfig config;
+  auto plan = reactor.ComputeReversionPlan(fault, target_->tracer(), *log_,
+                                           config);
+  ASSERT_FALSE(plan.empty());
+  // The independent `other` store must not be a candidate.
+  const SeqNum other_seq = log_->NewestSeqAt(
+      target_->root().off + offsetof(TinyTarget::Layout, other));
+  for (const SeqNum seq : plan) {
+    EXPECT_NE(seq, other_seq);
+  }
+}
+
+TEST_F(ReactorTest, FaultAddressCandidatesComeFirst) {
+  target_->StoreFlag(1);
+  target_->StoreData(10);  // newer than the flag store
+  FaultInfo fault = TriggerFault();
+
+  Reactor reactor(target_->ir_model(), target_->guid_registry());
+  ReactorConfig config;
+  auto plan = reactor.ComputeReversionPlan(fault, target_->tracer(), *log_,
+                                           config);
+  ASSERT_GE(plan.size(), 2u);
+  // With the hint, the flag-address candidates lead despite newer data
+  // stores existing.
+  auto at_flag = log_->NewestSeqAt(target_->root().off);
+  EXPECT_EQ(plan.front(), at_flag);
+
+  config.prioritize_fault_address = false;
+  auto unordered = reactor.ComputeReversionPlan(fault, target_->tracer(),
+                                                *log_, config);
+  // Without the hint the plan is strictly newest-first.
+  EXPECT_EQ(unordered.front(), log_->LatestSeq());
+}
+
+TEST_F(ReactorTest, MitigationRevertsBadFlagAndRecovers) {
+  target_->StoreFlag(1);
+  target_->StoreData(10);
+  FaultInfo fault = TriggerFault();
+
+  Reactor reactor(target_->ir_model(), target_->guid_registry());
+  MitigationOutcome outcome =
+      reactor.Mitigate(fault, target_->tracer(), *log_, *target_,
+                       MakeReexecute(), clock_);
+  EXPECT_TRUE(outcome.recovered);
+  EXPECT_GE(outcome.reexecutions, 1);
+  EXPECT_EQ(target_->state()->flag, 1u);   // previous good value
+  EXPECT_EQ(target_->state()->other, 0u);  // untouched
+  EXPECT_GT(outcome.elapsed, 0);
+}
+
+TEST_F(ReactorTest, EmptyPlanAbortsToRestart) {
+  // A fault whose guid is not in the model: the reactor must prune it as a
+  // non-PM failure and resort to a plain restart (Section 4.5).
+  target_->StoreFlag(1);
+  FaultInfo fault;
+  fault.kind = FailureKind::kCrash;
+  fault.fault_guid = 7777;  // unknown instruction
+
+  Reactor reactor(target_->ir_model(), target_->guid_registry());
+  MitigationOutcome outcome =
+      reactor.Mitigate(fault, target_->tracer(), *log_, *target_,
+                       MakeReexecute(), clock_);
+  EXPECT_TRUE(outcome.empty_plan);
+  EXPECT_TRUE(outcome.recovered);  // the flag was never bad
+  EXPECT_EQ(outcome.reverted_updates, 0u);
+}
+
+TEST_F(ReactorTest, VersionRoundsReachOlderState) {
+  // Three bad flag stores in a row: round 1 reverts to the 2nd-newest (also
+  // bad), further rounds walk back to the good original.
+  target_->StoreFlag(0xbad);
+  target_->StoreFlag(0xbad);
+  FaultInfo fault = TriggerFault();  // third 0xbad store
+
+  Reactor reactor(target_->ir_model(), target_->guid_registry());
+  MitigationOutcome outcome =
+      reactor.Mitigate(fault, target_->tracer(), *log_, *target_,
+                       MakeReexecute(), clock_);
+  EXPECT_TRUE(outcome.recovered);
+  EXPECT_GE(outcome.reexecutions, 2);
+  EXPECT_NE(target_->state()->flag, 0xbadu);
+}
+
+TEST_F(ReactorTest, DivergenceRestoresCheckpointedVersion) {
+  // The flag is corrupted *outside* the persistence path (bit flip written
+  // back quietly): reverting restores the last checkpointed good value.
+  target_->StoreFlag(7);
+  target_->state()->flag = 0xbad;
+  target_->pool().device().PersistQuiet(target_->root().off, 8);
+  FaultInfo fault;
+  fault.kind = FailureKind::kCrash;
+  fault.fault_guid = kGuidFaultSite;
+  fault.fault_address = target_->root().off;
+
+  Reactor reactor(target_->ir_model(), target_->guid_registry());
+  MitigationOutcome outcome =
+      reactor.Mitigate(fault, target_->tracer(), *log_, *target_,
+                       MakeReexecute(), clock_);
+  EXPECT_TRUE(outcome.recovered);
+  EXPECT_EQ(target_->state()->flag, 7u);  // the checkpointed good version
+}
+
+TEST_F(ReactorTest, LeakMitigationFreesUnreachableOnly) {
+  // Two allocations: one reachable from recovery (the root), one leaked.
+  auto leaked = *target_->pool().Zalloc(64);
+  (void)leaked;
+  FaultInfo fault;
+  fault.kind = FailureKind::kLeak;
+  fault.fault_guid = kGuidFaultSite;
+
+  const uint64_t live_before = target_->pool().stats().live_objects;
+  Reactor reactor(target_->ir_model(), target_->guid_registry());
+  MitigationOutcome outcome =
+      reactor.Mitigate(fault, target_->tracer(), *log_, *target_,
+                       MakeReexecute(), clock_);
+  EXPECT_TRUE(outcome.recovered);
+  EXPECT_EQ(outcome.freed_leak_objects, 1u);
+  EXPECT_EQ(target_->pool().stats().live_objects, live_before - 1);
+}
+
+TEST_F(ReactorTest, StaticAnalysisTimingsPopulated) {
+  Reactor reactor(target_->ir_model(), target_->guid_registry());
+  EXPECT_GT(reactor.timings().static_analysis_ns, 0);
+  EXPECT_GT(reactor.timings().pdg_ns, 0);
+  EXPECT_GT(reactor.pdg().stats().edges, 0u);
+}
+
+}  // namespace
+}  // namespace arthas

@@ -1,0 +1,172 @@
+// Tests for redis_mini: dict/listpack/slowlog behavior plus the f6-f8
+// fault mechanisms.
+
+#include <gtest/gtest.h>
+
+#include "faults/fault_ids.h"
+#include "systems/redis_mini.h"
+
+namespace arthas {
+namespace {
+
+Request Put(const std::string& k, const std::string& v) {
+  Request r;
+  r.op = Request::Op::kPut;
+  r.key = k;
+  r.value = v;
+  return r;
+}
+Request Get(const std::string& k, bool must_exist = false) {
+  Request r;
+  r.op = Request::Op::kGet;
+  r.key = k;
+  r.must_exist = must_exist;
+  return r;
+}
+Request Op(Request::Op op, const std::string& k, const std::string& v = "") {
+  Request r;
+  r.op = op;
+  r.key = k;
+  r.value = v;
+  return r;
+}
+
+TEST(RedisMiniTest, PutGetDeleteAndReplace) {
+  RedisMini rd;
+  ASSERT_TRUE(rd.Handle(Put("a", "1")).status.ok());
+  EXPECT_EQ(rd.Handle(Get("a")).value, "1");
+  ASSERT_TRUE(rd.Handle(Put("a", "2")).status.ok());
+  EXPECT_EQ(rd.Handle(Get("a")).value, "2");
+  EXPECT_EQ(rd.ItemCount(), 1u);
+  EXPECT_TRUE(rd.Handle(Op(Request::Op::kDelete, "a")).found);
+  EXPECT_FALSE(rd.Handle(Get("a")).found);
+  EXPECT_TRUE(rd.CheckConsistency().ok());
+}
+
+TEST(RedisMiniTest, DataSurvivesRestart) {
+  RedisMini rd;
+  ASSERT_TRUE(rd.Handle(Put("k", "persisted")).status.ok());
+  ASSERT_TRUE(rd.Restart().ok());
+  EXPECT_EQ(rd.Handle(Get("k")).value, "persisted");
+  EXPECT_TRUE(rd.CheckConsistency().ok());
+}
+
+TEST(RedisMiniTest, SharedObjectsCountReferences) {
+  RedisMini rd;
+  ASSERT_TRUE(rd.Handle(Put("orig", "shared")).status.ok());
+  ASSERT_TRUE(rd.Share("orig", "alias").ok());
+  EXPECT_EQ(rd.Handle(Get("alias")).value, "shared");
+  EXPECT_EQ(rd.ItemCount(), 2u);
+  EXPECT_TRUE(rd.CheckConsistency().ok());
+  // Deleting one owner keeps the object alive for the other.
+  ASSERT_TRUE(rd.Handle(Op(Request::Op::kDelete, "orig")).found);
+  EXPECT_EQ(rd.Handle(Get("alias")).value, "shared");
+  EXPECT_TRUE(rd.CheckConsistency().ok());
+}
+
+TEST(RedisMiniTest, ListpackPushAndRead) {
+  RedisMini rd;
+  for (int i = 0; i < 10; i++) {
+    ASSERT_TRUE(
+        rd.Handle(Op(Request::Op::kListPush, "list", "e" + std::to_string(i)))
+            .status.ok());
+  }
+  Response read = rd.Handle(Op(Request::Op::kListRead, "list"));
+  ASSERT_TRUE(read.status.ok());
+  EXPECT_NE(read.value.find("e0"), std::string::npos);
+  EXPECT_NE(read.value.find("e9"), std::string::npos);
+  EXPECT_TRUE(rd.CheckConsistency().ok());
+}
+
+TEST(RedisMiniTest, ListpackGrowsPastInitialCapacity) {
+  RedisMini rd;
+  for (int i = 0; i < 30; i++) {
+    ASSERT_TRUE(rd.Handle(Op(Request::Op::kListPush, "list",
+                             std::string(50, 'x')))
+                    .status.ok());
+  }
+  EXPECT_TRUE(rd.Handle(Op(Request::Op::kListRead, "list")).status.ok());
+  EXPECT_TRUE(rd.CheckConsistency().ok());
+}
+
+TEST(RedisMiniTest, F6CorruptsAcrossTheBoundary) {
+  RedisMini rd;
+  rd.ArmFault(FaultId::kF6ListpackOverflow);
+  // Fill to just under 4 KiB, then cross it.
+  for (int i = 0; i < 45; i++) {
+    ASSERT_TRUE(rd.Handle(Op(Request::Op::kListPush, "big",
+                             std::string(88, 'x')))
+                    .status.ok());
+  }
+  ASSERT_TRUE(rd.Handle(Op(Request::Op::kListPush, "big",
+                           std::string(200, 'y')))
+                  .status.ok());  // insertion succeeds (paper 2.3)
+  Response read = rd.Handle(Op(Request::Op::kListRead, "big"));
+  EXPECT_FALSE(read.status.ok());
+  ASSERT_TRUE(rd.last_fault().has_value());
+  EXPECT_EQ(rd.last_fault()->kind, FailureKind::kCrash);
+  EXPECT_EQ(rd.last_fault()->fault_guid, kGuidRdLpRead);
+  // Hard: recurs across restart.
+  ASSERT_TRUE(rd.Restart().ok());
+  EXPECT_FALSE(rd.Handle(Op(Request::Op::kListRead, "big")).status.ok());
+}
+
+TEST(RedisMiniTest, F7PanicsOnSharedObject) {
+  RedisMini rd;
+  rd.ArmFault(FaultId::kF7RefcountLogicBug);
+  ASSERT_TRUE(rd.Handle(Put("orig", "shared")).status.ok());
+  ASSERT_TRUE(rd.Share("orig", "alias").ok());
+  ASSERT_TRUE(rd.Handle(Op(Request::Op::kDelete, "orig")).status.ok());
+  Response get = rd.Handle(Get("alias"));
+  EXPECT_FALSE(get.status.ok());
+  ASSERT_TRUE(rd.last_fault().has_value());
+  EXPECT_EQ(rd.last_fault()->kind, FailureKind::kAssertion);
+  EXPECT_EQ(rd.last_fault()->fault_guid, kGuidRdAssert);
+}
+
+TEST(RedisMiniTest, F8LeaksSlowlogEntries) {
+  RedisOptions options;
+  options.pool_size = 256 * 1024;
+  RedisMini rd(options);
+  rd.ArmFault(FaultId::kF8SlowlogLeak);
+  const uint64_t before = rd.pool().stats().used_bytes;
+  for (int i = 0; i < 50; i++) {
+    // Same key: the item itself is replaced in place; only the slowlog
+    // entries accumulate.
+    ASSERT_TRUE(rd.Handle(Put("hot", std::string(200, 'v'))).status.ok());
+  }
+  const uint64_t after = rd.pool().stats().used_bytes;
+  // Far more than the slowlog_max live entries' worth of space is pinned.
+  EXPECT_GT(after - before, 40 * 200ul);
+  // Without the bug, pruning frees the old entries.
+  RedisMini ok(options);
+  const uint64_t ok_before = ok.pool().stats().used_bytes;
+  for (int i = 0; i < 50; i++) {
+    ASSERT_TRUE(ok.Handle(Put("hot", std::string(200, 'v'))).status.ok());
+  }
+  EXPECT_LT(ok.pool().stats().used_bytes - ok_before, after - before);
+}
+
+TEST(RedisMiniTest, LazyFreeEventuallyReleasesReplacedObjects) {
+  RedisMini rd;
+  ASSERT_TRUE(rd.Handle(Put("k", std::string(100, 'a'))).status.ok());
+  // Replace with something too large for in-place update.
+  ASSERT_TRUE(rd.Handle(Put("k", std::string(400, 'b'))).status.ok());
+  const uint64_t live = rd.pool().stats().live_objects;
+  // Drive enough ops for the background worker to run.
+  for (int i = 0; i < 5000; i++) {
+    rd.Handle(Get("k"));
+  }
+  EXPECT_LT(rd.pool().stats().live_objects, live);
+}
+
+TEST(RedisMiniTest, IrModelVerifies) {
+  RedisMini rd;
+  EXPECT_TRUE(rd.ir_model().Verify().ok());
+  EXPECT_NE(rd.ir_model().FindByGuid(kGuidRdAssert), nullptr);
+  EXPECT_NE(rd.ir_model().FindByGuid(kGuidRdLpRead), nullptr);
+  EXPECT_GE(rd.guid_registry().size(), 10u);
+}
+
+}  // namespace
+}  // namespace arthas

@@ -1,0 +1,90 @@
+// Tests pinning the empirical-study dataset (Section 2) to the paper's
+// reported distributions, and the fault registry (Table 2).
+
+#include <gtest/gtest.h>
+
+#include "faults/fault_ids.h"
+#include "faults/study.h"
+
+namespace arthas {
+namespace {
+
+TEST(StudyTest, TwentyEightBugsTotal) {
+  EXPECT_EQ(StudyDataset().size(), 28u);
+}
+
+TEST(StudyTest, Table1CountsPerSystem) {
+  // Table 1: CCEH 1, Dash 1, PMEMKV 2, LevelHash 2, RECIPE 2 (new);
+  // Memcached 9, Redis 11 (ported).
+  std::map<std::string, int> expect = {
+      {"CCEH", 1},   {"Dash", 1},      {"PMEMKV", 2}, {"LevelHash", 2},
+      {"RECIPE", 2}, {"Memcached", 9}, {"Redis", 11}};
+  for (const auto& [system, count] : StudyCountsBySystem()) {
+    EXPECT_EQ(count, expect[system]) << system;
+  }
+}
+
+TEST(StudyTest, Figure2RootCauseDistribution) {
+  // Figure 2: logic 46%, race 18%, integer/buffer/leak 11% each, h/w 4%.
+  auto histogram = StudyRootCauseHistogram();
+  EXPECT_EQ(histogram[RootCause::kLogicError], 13);
+  EXPECT_EQ(histogram[RootCause::kRaceCondition], 5);
+  EXPECT_EQ(histogram[RootCause::kIntegerOverflow], 3);
+  EXPECT_EQ(histogram[RootCause::kBufferOverflow], 3);
+  EXPECT_EQ(histogram[RootCause::kMemoryLeak], 3);
+  EXPECT_EQ(histogram[RootCause::kHardwareFault], 1);
+}
+
+TEST(StudyTest, Figure3ConsequenceDistribution) {
+  // Figure 3: repeated crash 32%, wrong result 21%, leak 14%, hang 11%,
+  // corruption/out-of-space/data-loss 7% each.
+  auto histogram = StudyConsequenceHistogram();
+  EXPECT_EQ(histogram[Consequence::kRepeatedCrash], 9);
+  EXPECT_EQ(histogram[Consequence::kWrongResult], 6);
+  EXPECT_EQ(histogram[Consequence::kPersistentLeak], 4);
+  EXPECT_EQ(histogram[Consequence::kRepeatedHang], 3);
+  EXPECT_EQ(histogram[Consequence::kCorruption], 2);
+  EXPECT_EQ(histogram[Consequence::kOutOfSpace], 2);
+  EXPECT_EQ(histogram[Consequence::kDataLoss], 2);
+}
+
+TEST(StudyTest, PropagationDistribution) {
+  // Section 2.6: 18% Type I, 68% Type II, 14% Type III.
+  auto histogram = StudyPropagationHistogram();
+  EXPECT_EQ(histogram[PropagationType::kTypeI], 5);
+  EXPECT_EQ(histogram[PropagationType::kTypeII], 19);
+  EXPECT_EQ(histogram[PropagationType::kTypeIII], 4);
+}
+
+TEST(FaultRegistryTest, TwelveEvaluatedFaults) {
+  EXPECT_EQ(AllFaults().size(), 12u);
+  // Every descriptor resolvable by id, labels sequential.
+  for (size_t i = 0; i < AllFaults().size(); i++) {
+    const FaultDescriptor& d = AllFaults()[i];
+    EXPECT_EQ(&DescriptorFor(d.id), &d);
+    EXPECT_EQ(std::string(d.label), "f" + std::to_string(i + 1));
+  }
+}
+
+TEST(FaultRegistryTest, Table7DetectabilityCounts) {
+  int invariant = 0;
+  int checksum = 0;
+  for (const FaultDescriptor& d : AllFaults()) {
+    invariant += d.invariant_detectable ? 1 : 0;
+    checksum += d.checksum_detectable ? 1 : 0;
+  }
+  EXPECT_EQ(invariant, 4);  // f1, f4, f6, f10 (Table 7)
+  EXPECT_EQ(checksum, 1);   // only f5 (Section 6.6)
+}
+
+TEST(FaultRegistryTest, NaturallyTriggeredFaults) {
+  // f3 and f8 manifest on their own (Section 6.1).
+  EXPECT_FALSE(DescriptorFor(FaultId::kF3HashtableLockRace)
+                   .externally_triggered);
+  EXPECT_FALSE(DescriptorFor(FaultId::kF8SlowlogLeak).externally_triggered);
+  EXPECT_TRUE(DescriptorFor(FaultId::kF1RefcountOverflow)
+                  .externally_triggered);
+}
+
+}  // namespace
+}  // namespace arthas

@@ -1,0 +1,221 @@
+// Tests for CCEH, pelikan_mini, and pmemkv_mini: normal operation and the
+// f9-f12 fault mechanisms.
+
+#include <gtest/gtest.h>
+
+#include "faults/fault_ids.h"
+#include "systems/cceh.h"
+#include "systems/pelikan_mini.h"
+#include "systems/pmemkv_mini.h"
+
+namespace arthas {
+namespace {
+
+Request Put(const std::string& k, const std::string& v) {
+  Request r;
+  r.op = Request::Op::kPut;
+  r.key = k;
+  r.value = v;
+  return r;
+}
+Request Get(const std::string& k, bool must_exist = false) {
+  Request r;
+  r.op = Request::Op::kGet;
+  r.key = k;
+  r.must_exist = must_exist;
+  return r;
+}
+Request Del(const std::string& k) {
+  Request r;
+  r.op = Request::Op::kDelete;
+  r.key = k;
+  return r;
+}
+
+// --- CCEH ---------------------------------------------------------------------
+
+TEST(CcehTest, InsertLookupAndGrowth) {
+  Cceh cc;
+  for (int i = 1; i <= 500; i++) {
+    ASSERT_TRUE(cc.Insert(i, i * 10).ok()) << i;
+  }
+  EXPECT_EQ(cc.ItemCount(), 500u);
+  EXPECT_GT(cc.global_depth(), 2u);  // the directory doubled along the way
+  for (int i = 1; i <= 500; i++) {
+    auto v = cc.Lookup(i);
+    ASSERT_TRUE(v.ok()) << i;
+    EXPECT_EQ(*v, static_cast<uint64_t>(i * 10));
+  }
+  EXPECT_TRUE(cc.CheckConsistency().ok());
+}
+
+TEST(CcehTest, UpdatesInPlace) {
+  Cceh cc;
+  ASSERT_TRUE(cc.Insert(7, 1).ok());
+  ASSERT_TRUE(cc.Insert(7, 2).ok());
+  EXPECT_EQ(*cc.Lookup(7), 2u);
+  EXPECT_EQ(cc.ItemCount(), 1u);
+}
+
+TEST(CcehTest, DataSurvivesRestart) {
+  Cceh cc;
+  for (int i = 1; i <= 100; i++) {
+    ASSERT_TRUE(cc.Insert(i, i).ok());
+  }
+  ASSERT_TRUE(cc.Restart().ok());
+  EXPECT_FALSE(cc.last_fault().has_value());
+  EXPECT_EQ(*cc.Lookup(50), 50u);
+  EXPECT_TRUE(cc.CheckConsistency().ok());
+}
+
+TEST(CcehTest, F9HangsAfterUntimelyCrash) {
+  Cceh cc;
+  cc.ArmFault(FaultId::kF9DirectoryDoubling);
+  // Background workload grows the table before the bug strikes (as in the
+  // evaluation runs); with a larger directory the stale-depth-reachable
+  // half is big enough to expose the inconsistent segments.
+  uint64_t key = 1;
+  for (; key <= 200; key++) {
+    ASSERT_TRUE(cc.Insert(key, key).ok());
+  }
+  cc.OpenCrashWindow();
+  const uint64_t depth = cc.global_depth();
+  while (cc.global_depth() == depth) {
+    ASSERT_TRUE(cc.Insert(key, key).ok());
+    key++;
+  }
+  // A few more requests land before the crash (as in the harness); they
+  // split more segments, putting inconsistent ones in the stale-reachable
+  // half of the directory.
+  for (int i = 0; i < 5; i++) {
+    ASSERT_TRUE(cc.Insert(key + i, key + i).ok());
+  }
+  cc.CloseCrashWindow();
+  ASSERT_TRUE(cc.Restart().ok());
+  EXPECT_EQ(cc.global_depth(), depth);  // the durable depth is stale
+  // Fill inconsistent segments until an insert spins.
+  for (int i = 0; i < 64 && !cc.last_fault().has_value(); i++) {
+    auto stuck = cc.FindKeyForInconsistentSegment(/*require_full=*/true);
+    if (stuck.ok()) {
+      cc.Handle(Put(*stuck, "p"));
+      break;
+    }
+    auto filler = cc.FindKeyForInconsistentSegment(/*require_full=*/false);
+    ASSERT_TRUE(filler.ok()) << "no inconsistent segment reachable";
+    cc.Handle(Put(*filler, "p"));
+  }
+  ASSERT_TRUE(cc.last_fault().has_value());
+  EXPECT_EQ(cc.last_fault()->kind, FailureKind::kHang);
+  EXPECT_EQ(cc.last_fault()->fault_guid, kGuidCcInsertLoop);
+}
+
+TEST(CcehTest, NoHangWithoutCrashWindow) {
+  Cceh cc;
+  cc.ArmFault(FaultId::kF9DirectoryDoubling);  // armed but no crash window
+  for (int i = 1; i <= 300; i++) {
+    ASSERT_TRUE(cc.Insert(i, i).ok());
+  }
+  ASSERT_TRUE(cc.Restart().ok());
+  EXPECT_FALSE(cc.FindKeyForInconsistentSegment(false).ok());
+  EXPECT_TRUE(cc.CheckConsistency().ok());
+}
+
+// --- Pelikan -------------------------------------------------------------------
+
+TEST(PelikanTest, PutGetDeleteStats) {
+  PelikanMini pl;
+  ASSERT_TRUE(pl.Handle(Put("a", "1")).status.ok());
+  EXPECT_EQ(pl.Handle(Get("a")).value, "1");
+  Request stats;
+  stats.op = Request::Op::kStats;
+  stats.key = "show";
+  Response s = pl.Handle(stats);
+  ASSERT_TRUE(s.status.ok());
+  EXPECT_NE(s.value.find("sets=1"), std::string::npos);
+  EXPECT_TRUE(pl.Handle(Del("a")).found);
+  EXPECT_TRUE(pl.CheckConsistency().ok());
+}
+
+TEST(PelikanTest, F10OverrunCorruptsNeighbor) {
+  PelikanMini pl;
+  pl.ArmFault(FaultId::kF10ValueLenOverflow);
+  ASSERT_TRUE(pl.Handle(Put("pl_a", std::string(90, 'a'))).status.ok());
+  ASSERT_TRUE(pl.Handle(Put("victim", std::string(90, 'v'))).status.ok());
+  ASSERT_TRUE(pl.Handle(Del("pl_a")).found);
+  ASSERT_TRUE(pl.Handle(Put("big", std::string(300, 'b'))).status.ok());
+  Response get = pl.Handle(Get("victim"));
+  EXPECT_FALSE(get.status.ok());
+  ASSERT_TRUE(pl.last_fault().has_value());
+  EXPECT_EQ(pl.last_fault()->kind, FailureKind::kCrash);
+  // Hard: recovery crashes too.
+  ASSERT_TRUE(pl.Restart().ok());
+  EXPECT_TRUE(pl.last_fault().has_value());
+}
+
+TEST(PelikanTest, F11NullStatsCrash) {
+  PelikanMini pl;
+  pl.ArmFault(FaultId::kF11NullStats);
+  Request reset;
+  reset.op = Request::Op::kStats;
+  reset.key = "reset";
+  ASSERT_TRUE(pl.Handle(reset).status.ok());
+  Request show;
+  show.op = Request::Op::kStats;
+  show.key = "show";
+  Response s = pl.Handle(show);
+  EXPECT_FALSE(s.status.ok());
+  ASSERT_TRUE(pl.last_fault().has_value());
+  EXPECT_EQ(pl.last_fault()->fault_guid, kGuidPlStatsRead);
+  EXPECT_FALSE(pl.CheckConsistency().ok());  // detail pointer is null
+}
+
+// --- PMEMKV --------------------------------------------------------------------
+
+TEST(PmemkvTest, PutGetDelete) {
+  PmemkvMini kv;
+  ASSERT_TRUE(kv.Handle(Put("a", "1")).status.ok());
+  EXPECT_EQ(kv.Handle(Get("a")).value, "1");
+  EXPECT_TRUE(kv.Handle(Del("a")).found);
+  EXPECT_FALSE(kv.Handle(Get("a")).found);
+  EXPECT_TRUE(kv.CheckConsistency().ok());
+}
+
+TEST(PmemkvTest, AsyncWorkerFreesDeleted) {
+  PmemkvMini kv;  // fault not armed: the worker runs between requests
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(kv.Handle(Put("k" + std::to_string(i), "v")).status.ok());
+    ASSERT_TRUE(kv.Handle(Del("k" + std::to_string(i))).found);
+  }
+  // Only bounded space is pinned: the worker freed the churn.
+  EXPECT_LT(kv.pool().stats().live_objects, 10u);
+}
+
+TEST(PmemkvTest, F12LeaksWithoutTheWorker) {
+  PmemkvMini kv;
+  kv.ArmFault(FaultId::kF12AsyncLazyFree);
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(kv.Handle(Put("k" + std::to_string(i), "v")).status.ok());
+    ASSERT_TRUE(kv.Handle(Del("k" + std::to_string(i))).found);
+  }
+  EXPECT_EQ(kv.deferred_free_queue_size(), 100u);
+  // Crash: the queue is gone, the objects leak.
+  ASSERT_TRUE(kv.Restart().ok());
+  EXPECT_EQ(kv.deferred_free_queue_size(), 0u);
+  EXPECT_GT(kv.pool().stats().live_objects, 100u);
+  EXPECT_EQ(kv.ItemCount(), 0u);  // nothing reachable
+}
+
+TEST(PmemkvTest, RecoveryAccessedObjectsExcludeLeaked) {
+  PmemkvMini kv;
+  kv.ArmFault(FaultId::kF12AsyncLazyFree);
+  ASSERT_TRUE(kv.Handle(Put("keep", "v")).status.ok());
+  ASSERT_TRUE(kv.Handle(Put("drop", "v")).status.ok());
+  ASSERT_TRUE(kv.Handle(Del("drop")).found);
+  ASSERT_TRUE(kv.Restart().ok());
+  // Recovery touched the table and the live entry, not the leaked one.
+  EXPECT_GE(kv.RecoveryAccessedObjects().size(), 2u);
+  EXPECT_EQ(kv.ItemCount(), 1u);
+}
+
+}  // namespace
+}  // namespace arthas

@@ -1,0 +1,105 @@
+// Tests for the GUID registry and the runtime PM-address tracer.
+
+#include <gtest/gtest.h>
+
+#include "trace/guid_registry.h"
+#include "trace/tracer.h"
+
+namespace arthas {
+namespace {
+
+TEST(GuidRegistryTest, RegisterAndLookup) {
+  GuidRegistry registry;
+  ASSERT_TRUE(registry.Register(42, "sys", "file.cc:12", "store %v1").ok());
+  const GuidInfo* info = registry.Lookup(42);
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->system, "sys");
+  EXPECT_EQ(info->location, "file.cc:12");
+  EXPECT_EQ(registry.Lookup(43), nullptr);
+}
+
+TEST(GuidRegistryTest, RejectsDuplicatesAndNull) {
+  GuidRegistry registry;
+  ASSERT_TRUE(registry.Register(1, "s", "l", "i").ok());
+  EXPECT_EQ(registry.Register(1, "s", "l2", "i2").code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(registry.Register(kNoGuid, "s", "l", "i").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(GuidRegistryTest, SerializeRoundTrip) {
+  GuidRegistry registry;
+  ASSERT_TRUE(registry.Register(7, "memcached", "items.c:100", "store").ok());
+  ASSERT_TRUE(registry.Register(8, "memcached", "assoc.c:55", "load").ok());
+  auto parsed = GuidRegistry::Parse(registry.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 2u);
+  EXPECT_EQ(parsed->Lookup(7)->location, "items.c:100");
+}
+
+TEST(GuidRegistryTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(GuidRegistry::Parse("not a metadata line").ok());
+}
+
+TEST(TracerTest, RecordsAndQueriesByGuid) {
+  Tracer tracer;
+  tracer.Record(1, 100);
+  tracer.Record(2, 200);
+  tracer.Record(1, 300);
+  auto addrs = tracer.AddressesForGuid(1);
+  ASSERT_EQ(addrs.size(), 2u);
+  EXPECT_EQ(addrs[0], 100u);
+  EXPECT_EQ(addrs[1], 300u);
+  EXPECT_TRUE(tracer.AddressesForGuid(99).empty());
+}
+
+TEST(TracerTest, DeduplicatesRepeatedPairs) {
+  Tracer tracer;
+  for (int i = 0; i < 10; i++) {
+    tracer.Record(1, 100);
+  }
+  EXPECT_EQ(tracer.AddressesForGuid(1).size(), 1u);
+  EXPECT_EQ(tracer.stats().records, 10u);  // raw events still counted
+}
+
+TEST(TracerTest, RangeQuery) {
+  Tracer tracer;
+  tracer.Record(1, 100);
+  tracer.Record(2, 150);
+  tracer.Record(3, 400);
+  auto guids = tracer.GuidsForRange(100, 100);  // [100, 200)
+  ASSERT_EQ(guids.size(), 2u);
+  EXPECT_TRUE(tracer.GuidsForRange(500, 10).empty());
+}
+
+TEST(TracerTest, BufferFlushesAutomatically) {
+  Tracer tracer(/*buffer_capacity=*/4);
+  for (int i = 0; i < 10; i++) {
+    tracer.Record(1, 100 + i);
+  }
+  EXPECT_GE(tracer.stats().buffer_flushes, 2u);
+  EXPECT_EQ(tracer.Events().size(), 10u);
+}
+
+TEST(TracerTest, DisabledTracerRecordsNothing) {
+  Tracer tracer;
+  tracer.set_enabled(false);
+  tracer.Record(1, 100);
+  EXPECT_TRUE(tracer.Events().empty());
+  tracer.set_enabled(true);
+  tracer.Record(1, 100);
+  EXPECT_EQ(tracer.Events().size(), 1u);
+}
+
+TEST(TracerTest, SerializeRoundTrip) {
+  Tracer tracer;
+  tracer.Record(5, 123);
+  tracer.Record(6, 456);
+  Tracer other;
+  ASSERT_TRUE(other.ParseAppend(tracer.Serialize()).ok());
+  EXPECT_EQ(other.Events().size(), 2u);
+  EXPECT_EQ(other.AddressesForGuid(5)[0], 123u);
+}
+
+}  // namespace
+}  // namespace arthas

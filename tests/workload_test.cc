@@ -1,0 +1,113 @@
+// Tests for the workload generators and the table renderer.
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "harness/table.h"
+#include "workload/ycsb.h"
+#include "workload/zipfian.h"
+
+namespace arthas {
+namespace {
+
+TEST(ZipfianTest, StaysInRange) {
+  Rng rng(1);
+  ZipfianGenerator zipf(100);
+  for (int i = 0; i < 10000; i++) {
+    EXPECT_LT(zipf.Next(rng), 100u);
+  }
+}
+
+TEST(ZipfianTest, IsSkewedTowardsSmallRanks) {
+  Rng rng(2);
+  ZipfianGenerator zipf(1000, 0.99);
+  std::map<uint64_t, int> histogram;
+  for (int i = 0; i < 20000; i++) {
+    histogram[zipf.Next(rng)]++;
+  }
+  // The most popular item must dominate the median-rank items.
+  int top = 0;
+  for (const auto& [k, v] : histogram) {
+    top = std::max(top, v);
+  }
+  EXPECT_GT(top, 20000 / 100);  // far above uniform share
+}
+
+TEST(ZipfianTest, DeterministicForSameSeed) {
+  Rng a(7), b(7);
+  ZipfianGenerator zipf(500);
+  for (int i = 0; i < 100; i++) {
+    EXPECT_EQ(zipf.Next(a), zipf.Next(b));
+  }
+}
+
+TEST(YcsbTest, HonorsReadFraction) {
+  YcsbConfig config;
+  config.read_fraction = 0.5;
+  YcsbWorkload workload(config, 42);
+  int reads = 0;
+  constexpr int kOps = 10000;
+  for (int i = 0; i < kOps; i++) {
+    if (workload.Next().op == Request::Op::kGet) {
+      reads++;
+    }
+  }
+  EXPECT_NEAR(reads, kOps / 2, kOps / 20);
+}
+
+TEST(YcsbTest, WriteOnlyWorkload) {
+  YcsbConfig config;
+  config.read_fraction = 0.0;
+  YcsbWorkload workload(config, 42);
+  for (int i = 0; i < 100; i++) {
+    EXPECT_EQ(workload.Next().op, Request::Op::kPut);
+  }
+}
+
+TEST(YcsbTest, ValueSizeAndPrefix) {
+  YcsbConfig config;
+  config.read_fraction = 0.0;
+  config.value_size = 37;
+  config.key_prefix = "abc";
+  YcsbWorkload workload(config, 42);
+  Request r = workload.Next();
+  EXPECT_EQ(r.value.size(), 37u);
+  EXPECT_EQ(r.key.rfind("abc", 0), 0u);
+}
+
+TEST(InsertWorkloadTest, UniqueMonotonicKeys) {
+  InsertWorkload inserts("k", 8, 1);
+  std::set<std::string> seen;
+  for (int i = 0; i < 1000; i++) {
+    Request r = inserts.Next();
+    EXPECT_EQ(r.op, Request::Op::kPut);
+    EXPECT_TRUE(seen.insert(r.key).second);
+  }
+  EXPECT_EQ(inserts.issued(), 1000u);
+}
+
+TEST(TableTest, RendersAlignedColumns) {
+  TextTable table({"A", "Long header"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"yyyy", "22"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("| A    | Long header |"), std::string::npos);
+  EXPECT_NE(out.find("| yyyy | 22          |"), std::string::npos);
+}
+
+TEST(TableTest, PercentFormatting) {
+  EXPECT_EQ(FormatPercent(0.031), "3.10%");
+  EXPECT_EQ(FormatPercent(0.0), "0.00%");
+  // Tiny fractions switch to scientific notation (Figure 9 reports 3.1e-5%).
+  EXPECT_EQ(FormatPercent(0.0000003), "3.0e-05%");
+}
+
+TEST(TableTest, SecondsFormatting) {
+  EXPECT_EQ(FormatSeconds(4 * kSecond), "4.0 s");
+  EXPECT_EQ(FormatSeconds(kSecond / 2), "0.5 s");
+}
+
+}  // namespace
+}  // namespace arthas
