@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_data_loss.dir/bench_data_loss.cc.o"
+  "CMakeFiles/bench_data_loss.dir/bench_data_loss.cc.o.d"
+  "bench_data_loss"
+  "bench_data_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_data_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

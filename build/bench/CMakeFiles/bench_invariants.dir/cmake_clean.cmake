@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_invariants.dir/bench_invariants.cc.o"
+  "CMakeFiles/bench_invariants.dir/bench_invariants.cc.o.d"
+  "bench_invariants"
+  "bench_invariants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mitigation_time.dir/bench_mitigation_time.cc.o"
+  "CMakeFiles/bench_mitigation_time.dir/bench_mitigation_time.cc.o.d"
+  "bench_mitigation_time"
+  "bench_mitigation_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mitigation_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reversion_strategy.dir/bench_reversion_strategy.cc.o"
+  "CMakeFiles/bench_reversion_strategy.dir/bench_reversion_strategy.cc.o.d"
+  "bench_reversion_strategy"
+  "bench_reversion_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reversion_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

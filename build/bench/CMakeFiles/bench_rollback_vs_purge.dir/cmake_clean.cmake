@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rollback_vs_purge.dir/bench_rollback_vs_purge.cc.o"
+  "CMakeFiles/bench_rollback_vs_purge.dir/bench_rollback_vs_purge.cc.o.d"
+  "bench_rollback_vs_purge"
+  "bench_rollback_vs_purge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rollback_vs_purge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_study.dir/bench_study.cc.o"
+  "CMakeFiles/bench_study.dir/bench_study.cc.o.d"
+  "bench_study"
+  "bench_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tx_granularity.dir/bench_tx_granularity.cc.o"
+  "CMakeFiles/bench_tx_granularity.dir/bench_tx_granularity.cc.o.d"
+  "bench_tx_granularity"
+  "bench_tx_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tx_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_kvstore_recovery.dir/kvstore_recovery.cpp.o"
+  "CMakeFiles/example_kvstore_recovery.dir/kvstore_recovery.cpp.o.d"
+  "example_kvstore_recovery"
+  "example_kvstore_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_kvstore_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

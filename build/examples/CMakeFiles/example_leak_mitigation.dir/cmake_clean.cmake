@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_leak_mitigation.dir/leak_mitigation.cpp.o"
+  "CMakeFiles/example_leak_mitigation.dir/leak_mitigation.cpp.o.d"
+  "example_leak_mitigation"
+  "example_leak_mitigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_leak_mitigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

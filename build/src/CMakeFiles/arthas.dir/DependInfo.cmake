@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/dominators.cc" "src/CMakeFiles/arthas.dir/analysis/dominators.cc.o" "gcc" "src/CMakeFiles/arthas.dir/analysis/dominators.cc.o.d"
+  "/root/repo/src/analysis/pdg.cc" "src/CMakeFiles/arthas.dir/analysis/pdg.cc.o" "gcc" "src/CMakeFiles/arthas.dir/analysis/pdg.cc.o.d"
+  "/root/repo/src/analysis/pm_variables.cc" "src/CMakeFiles/arthas.dir/analysis/pm_variables.cc.o" "gcc" "src/CMakeFiles/arthas.dir/analysis/pm_variables.cc.o.d"
+  "/root/repo/src/analysis/pointer_analysis.cc" "src/CMakeFiles/arthas.dir/analysis/pointer_analysis.cc.o" "gcc" "src/CMakeFiles/arthas.dir/analysis/pointer_analysis.cc.o.d"
+  "/root/repo/src/analysis/slicer.cc" "src/CMakeFiles/arthas.dir/analysis/slicer.cc.o" "gcc" "src/CMakeFiles/arthas.dir/analysis/slicer.cc.o.d"
+  "/root/repo/src/baselines/arckpt.cc" "src/CMakeFiles/arthas.dir/baselines/arckpt.cc.o" "gcc" "src/CMakeFiles/arthas.dir/baselines/arckpt.cc.o.d"
+  "/root/repo/src/baselines/pmcriu.cc" "src/CMakeFiles/arthas.dir/baselines/pmcriu.cc.o" "gcc" "src/CMakeFiles/arthas.dir/baselines/pmcriu.cc.o.d"
+  "/root/repo/src/checkpoint/checkpoint_log.cc" "src/CMakeFiles/arthas.dir/checkpoint/checkpoint_log.cc.o" "gcc" "src/CMakeFiles/arthas.dir/checkpoint/checkpoint_log.cc.o.d"
+  "/root/repo/src/checkpoint/checkpoint_serialize.cc" "src/CMakeFiles/arthas.dir/checkpoint/checkpoint_serialize.cc.o" "gcc" "src/CMakeFiles/arthas.dir/checkpoint/checkpoint_serialize.cc.o.d"
+  "/root/repo/src/common/clock.cc" "src/CMakeFiles/arthas.dir/common/clock.cc.o" "gcc" "src/CMakeFiles/arthas.dir/common/clock.cc.o.d"
+  "/root/repo/src/common/crc32.cc" "src/CMakeFiles/arthas.dir/common/crc32.cc.o" "gcc" "src/CMakeFiles/arthas.dir/common/crc32.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/arthas.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/arthas.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/arthas.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/arthas.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/arthas.dir/common/status.cc.o" "gcc" "src/CMakeFiles/arthas.dir/common/status.cc.o.d"
+  "/root/repo/src/detector/detector.cc" "src/CMakeFiles/arthas.dir/detector/detector.cc.o" "gcc" "src/CMakeFiles/arthas.dir/detector/detector.cc.o.d"
+  "/root/repo/src/faults/fault_ids.cc" "src/CMakeFiles/arthas.dir/faults/fault_ids.cc.o" "gcc" "src/CMakeFiles/arthas.dir/faults/fault_ids.cc.o.d"
+  "/root/repo/src/faults/study.cc" "src/CMakeFiles/arthas.dir/faults/study.cc.o" "gcc" "src/CMakeFiles/arthas.dir/faults/study.cc.o.d"
+  "/root/repo/src/harness/experiment.cc" "src/CMakeFiles/arthas.dir/harness/experiment.cc.o" "gcc" "src/CMakeFiles/arthas.dir/harness/experiment.cc.o.d"
+  "/root/repo/src/harness/table.cc" "src/CMakeFiles/arthas.dir/harness/table.cc.o" "gcc" "src/CMakeFiles/arthas.dir/harness/table.cc.o.d"
+  "/root/repo/src/ir/ir.cc" "src/CMakeFiles/arthas.dir/ir/ir.cc.o" "gcc" "src/CMakeFiles/arthas.dir/ir/ir.cc.o.d"
+  "/root/repo/src/pmem/device.cc" "src/CMakeFiles/arthas.dir/pmem/device.cc.o" "gcc" "src/CMakeFiles/arthas.dir/pmem/device.cc.o.d"
+  "/root/repo/src/pmem/pool.cc" "src/CMakeFiles/arthas.dir/pmem/pool.cc.o" "gcc" "src/CMakeFiles/arthas.dir/pmem/pool.cc.o.d"
+  "/root/repo/src/reactor/reactor.cc" "src/CMakeFiles/arthas.dir/reactor/reactor.cc.o" "gcc" "src/CMakeFiles/arthas.dir/reactor/reactor.cc.o.d"
+  "/root/repo/src/reactor/reactor_server.cc" "src/CMakeFiles/arthas.dir/reactor/reactor_server.cc.o" "gcc" "src/CMakeFiles/arthas.dir/reactor/reactor_server.cc.o.d"
+  "/root/repo/src/systems/cceh.cc" "src/CMakeFiles/arthas.dir/systems/cceh.cc.o" "gcc" "src/CMakeFiles/arthas.dir/systems/cceh.cc.o.d"
+  "/root/repo/src/systems/memcached_mini.cc" "src/CMakeFiles/arthas.dir/systems/memcached_mini.cc.o" "gcc" "src/CMakeFiles/arthas.dir/systems/memcached_mini.cc.o.d"
+  "/root/repo/src/systems/pelikan_mini.cc" "src/CMakeFiles/arthas.dir/systems/pelikan_mini.cc.o" "gcc" "src/CMakeFiles/arthas.dir/systems/pelikan_mini.cc.o.d"
+  "/root/repo/src/systems/pm_system.cc" "src/CMakeFiles/arthas.dir/systems/pm_system.cc.o" "gcc" "src/CMakeFiles/arthas.dir/systems/pm_system.cc.o.d"
+  "/root/repo/src/systems/pmemkv_mini.cc" "src/CMakeFiles/arthas.dir/systems/pmemkv_mini.cc.o" "gcc" "src/CMakeFiles/arthas.dir/systems/pmemkv_mini.cc.o.d"
+  "/root/repo/src/systems/redis_mini.cc" "src/CMakeFiles/arthas.dir/systems/redis_mini.cc.o" "gcc" "src/CMakeFiles/arthas.dir/systems/redis_mini.cc.o.d"
+  "/root/repo/src/systems/system_base.cc" "src/CMakeFiles/arthas.dir/systems/system_base.cc.o" "gcc" "src/CMakeFiles/arthas.dir/systems/system_base.cc.o.d"
+  "/root/repo/src/trace/guid_registry.cc" "src/CMakeFiles/arthas.dir/trace/guid_registry.cc.o" "gcc" "src/CMakeFiles/arthas.dir/trace/guid_registry.cc.o.d"
+  "/root/repo/src/trace/tracer.cc" "src/CMakeFiles/arthas.dir/trace/tracer.cc.o" "gcc" "src/CMakeFiles/arthas.dir/trace/tracer.cc.o.d"
+  "/root/repo/src/workload/ycsb.cc" "src/CMakeFiles/arthas.dir/workload/ycsb.cc.o" "gcc" "src/CMakeFiles/arthas.dir/workload/ycsb.cc.o.d"
+  "/root/repo/src/workload/zipfian.cc" "src/CMakeFiles/arthas.dir/workload/zipfian.cc.o" "gcc" "src/CMakeFiles/arthas.dir/workload/zipfian.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

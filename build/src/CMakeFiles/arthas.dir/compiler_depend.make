@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for arthas.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for arthas.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_edge_test.dir/analysis_edge_test.cc.o"
+  "CMakeFiles/analysis_edge_test.dir/analysis_edge_test.cc.o.d"
+  "analysis_edge_test"
+  "analysis_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memcached_ops_test.dir/memcached_ops_test.cc.o"
+  "CMakeFiles/memcached_ops_test.dir/memcached_ops_test.cc.o.d"
+  "memcached_ops_test"
+  "memcached_ops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memcached_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reactor_server_test.dir/reactor_server_test.cc.o"
+  "CMakeFiles/reactor_server_test.dir/reactor_server_test.cc.o.d"
+  "reactor_server_test"
+  "reactor_server_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reactor_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reactor_test.dir/reactor_test.cc.o"
+  "CMakeFiles/reactor_test.dir/reactor_test.cc.o.d"
+  "reactor_test"
+  "reactor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reactor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
