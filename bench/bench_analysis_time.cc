@@ -19,6 +19,7 @@
 #include "systems/pelikan_mini.h"
 #include "systems/pmemkv_mini.h"
 #include "systems/redis_mini.h"
+#include "harness/artifacts.h"
 
 namespace arthas {
 namespace {
@@ -67,7 +68,8 @@ Row Measure(PmSystemBase& system, Guid fault_guid) {
 }  // namespace
 }  // namespace arthas
 
-int main() {
+int main(int argc, char** argv) {
+  arthas::ObsArtifactWriter obs_artifacts(argc, argv);
   using namespace arthas;
   MemcachedMini memcached;
   RedisMini redis;

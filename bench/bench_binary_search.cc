@@ -9,6 +9,7 @@
 
 #include "harness/experiment.h"
 #include "harness/table.h"
+#include "harness/artifacts.h"
 
 namespace arthas {
 namespace {
@@ -31,7 +32,8 @@ ExperimentResult RunVariant(FaultId fault, bool batch, bool probing) {
 }  // namespace
 }  // namespace arthas
 
-int main() {
+int main(int argc, char** argv) {
+  arthas::ObsArtifactWriter obs_artifacts(argc, argv);
   using namespace arthas;
   TextTable table({"Fault", "Strategy", "Recovered", "Re-executions",
                    "Updates reverted", "Mitigation time"});

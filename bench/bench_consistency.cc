@@ -14,6 +14,7 @@
 
 #include "harness/experiment.h"
 #include "harness/table.h"
+#include "harness/artifacts.h"
 
 namespace arthas {
 namespace {
@@ -49,7 +50,8 @@ std::string ConsistencyCell(FaultId fault, Solution solution,
 }  // namespace
 }  // namespace arthas
 
-int main() {
+int main(int argc, char** argv) {
+  arthas::ObsArtifactWriter obs_artifacts(argc, argv);
   using namespace arthas;
   std::printf("Table 4: Is the recovered system semantically consistent?\n");
   TextTable table({"Fault", "pmCRIU", "Arthas (purge)", "Arthas (rollback)"});

@@ -10,8 +10,10 @@
 
 #include "harness/experiment.h"
 #include "harness/table.h"
+#include "harness/artifacts.h"
 
-int main() {
+int main(int argc, char** argv) {
+  arthas::ObsArtifactWriter obs_artifacts(argc, argv);
   using namespace arthas;
   TextTable table({"Fault", "Arthas", "ArCkpt", "pmCRIU"});
   double sum_arthas = 0;

@@ -8,8 +8,10 @@
 
 #include "harness/experiment.h"
 #include "harness/table.h"
+#include "harness/artifacts.h"
 
-int main() {
+int main(int argc, char** argv) {
+  arthas::ObsArtifactWriter obs_artifacts(argc, argv);
   using namespace arthas;
   const FaultId cases[] = {FaultId::kF1RefcountOverflow,
                            FaultId::kF5RehashFlagBitflip,

@@ -13,6 +13,7 @@
 
 #include "harness/experiment.h"
 #include "harness/table.h"
+#include "harness/artifacts.h"
 
 namespace arthas {
 namespace {
@@ -56,7 +57,8 @@ double Median(std::vector<int> v) {
 }  // namespace
 }  // namespace arthas
 
-int main() {
+int main(int argc, char** argv) {
+  arthas::ObsArtifactWriter obs_artifacts(argc, argv);
   using namespace arthas;
   TextTable fig8({"Fault", "Arthas", "Arthas (no addr hint)", "ArCkpt",
                   "pmCRIU"});

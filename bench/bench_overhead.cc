@@ -25,6 +25,7 @@
 #include "systems/pmemkv_mini.h"
 #include "systems/redis_mini.h"
 #include "workload/ycsb.h"
+#include "harness/artifacts.h"
 
 namespace arthas {
 namespace {
@@ -92,7 +93,8 @@ struct SystemSpec {
 }  // namespace
 }  // namespace arthas
 
-int main() {
+int main(int argc, char** argv) {
+  arthas::ObsArtifactWriter obs_artifacts(argc, argv);
   using namespace arthas;
   const std::vector<SystemSpec> systems = {
       {"Memcached",

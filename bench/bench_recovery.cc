@@ -10,6 +10,7 @@
 
 #include "harness/experiment.h"
 #include "harness/table.h"
+#include "harness/artifacts.h"
 
 namespace arthas {
 namespace {
@@ -40,7 +41,8 @@ std::string Cell(FaultId fault, Solution solution) {
 }  // namespace
 }  // namespace arthas
 
-int main() {
+int main(int argc, char** argv) {
+  arthas::ObsArtifactWriter obs_artifacts(argc, argv);
   using namespace arthas;
   std::printf(
       "Table 3: Recoverability in mitigating the evaluated failures\n");

@@ -11,6 +11,7 @@
 
 #include "harness/experiment.h"
 #include "harness/table.h"
+#include "harness/artifacts.h"
 
 namespace arthas {
 namespace {
@@ -34,7 +35,8 @@ ExperimentResult RunStrategy(FaultId fault, bool batch) {
 }  // namespace
 }  // namespace arthas
 
-int main() {
+int main(int argc, char** argv) {
+  arthas::ObsArtifactWriter obs_artifacts(argc, argv);
   using namespace arthas;
   const FaultId cases[] = {
       FaultId::kF1RefcountOverflow, FaultId::kF2FlushAllLogic,

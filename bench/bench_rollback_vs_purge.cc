@@ -9,8 +9,10 @@
 
 #include "harness/experiment.h"
 #include "harness/table.h"
+#include "harness/artifacts.h"
 
-int main() {
+int main(int argc, char** argv) {
+  arthas::ObsArtifactWriter obs_artifacts(argc, argv);
   using namespace arthas;
   TextTable table({"Fault", "Rollback", "Purge"});
   double sum_rollback = 0;

@@ -8,6 +8,7 @@
 #include "faults/fault_ids.h"
 #include "faults/study.h"
 #include "harness/table.h"
+#include "harness/artifacts.h"
 
 namespace arthas {
 namespace {
@@ -71,7 +72,8 @@ void PrintTable2() {
 }  // namespace
 }  // namespace arthas
 
-int main() {
+int main(int argc, char** argv) {
+  arthas::ObsArtifactWriter obs_artifacts(argc, argv);
   arthas::PrintTable1();
   arthas::PrintFigure2();
   arthas::PrintFigure3();

@@ -18,6 +18,7 @@
 #include "harness/table.h"
 #include "pmem/pool.h"
 #include "pmem/tx.h"
+#include "harness/artifacts.h"
 
 namespace arthas {
 namespace {
@@ -87,7 +88,8 @@ Outcome Run(int tx_size) {
 }  // namespace
 }  // namespace arthas
 
-int main() {
+int main(int argc, char** argv) {
+  arthas::ObsArtifactWriter obs_artifacts(argc, argv);
   using namespace arthas;
   TextTable table({"Tx size (updates)", "Reversion attempts",
                    "Updates reverted", "Recovered"});

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "obs/obs.h"
 
 namespace arthas {
 
@@ -65,6 +66,8 @@ void CheckpointLog::OnPersist(PmOffset offset, size_t size, const void* data) {
     }
     std::copy(evicted.begin(), evicted.end(), entry.original.begin());
     entry.versions.erase(entry.versions.begin());
+    retained_versions_--;
+    ARTHAS_COUNTER_ADD("checkpoint.evict.count", 1);
   }
   if (open_tx_ != 0) {
     seq_to_tx_[version.seq_num] = open_tx_;
@@ -74,7 +77,14 @@ void CheckpointLog::OnPersist(PmOffset offset, size_t size, const void* data) {
   stats_.records++;
   stats_.bytes_copied += size;
   entry.versions.push_back(std::move(version));
+  retained_versions_++;
   max_extent_ = std::max(max_extent_, entry.original.size());
+  // Write-amplification accounting (Section 6.4): `copy.bytes` counts both
+  // the new-version and undo copies the log makes per persisted range.
+  ARTHAS_COUNTER_ADD("checkpoint.record.count", 1);
+  ARTHAS_COUNTER_ADD("checkpoint.copy.bytes", 2 * size);
+  ARTHAS_GAUGE_SET("checkpoint.versions.retained", retained_versions_);
+  ARTHAS_GAUGE_SET("checkpoint.entries.count", entries_.size());
 }
 
 void CheckpointLog::OnAlloc(PmOffset offset, size_t size) {
@@ -293,6 +303,9 @@ Result<bool> CheckpointLog::RevertSeq(SeqNum seq) {
     stats_.reverted_updates += discarded + 1;
     entry.versions.erase(entry.versions.begin() + idx + 1,
                          entry.versions.end());
+    retained_versions_ -= discarded;
+    ARTHAS_COUNTER_ADD("checkpoint.revert.count", discarded + 1);
+    ARTHAS_GAUGE_SET("checkpoint.versions.retained", retained_versions_);
     return true;  // divergence restore
   }
   // Restore the pre-state of exactly the byte range this version persisted
@@ -312,6 +325,9 @@ Result<bool> CheckpointLog::RevertSeq(SeqNum seq) {
   const auto discarded = entry.versions.size() - static_cast<size_t>(idx);
   stats_.reverted_updates += discarded;
   entry.versions.erase(entry.versions.begin() + idx, entry.versions.end());
+  retained_versions_ -= discarded;
+  ARTHAS_COUNTER_ADD("checkpoint.revert.count", discarded);
+  ARTHAS_GAUGE_SET("checkpoint.versions.retained", retained_versions_);
   return false;
 }
 
@@ -341,6 +357,9 @@ Result<uint64_t> CheckpointLog::RollbackToSeq(SeqNum seq) {
                          entry.versions.end());
   }
   stats_.reverted_updates += discarded;
+  retained_versions_ -= discarded;
+  ARTHAS_COUNTER_ADD("checkpoint.revert.count", discarded);
+  ARTHAS_GAUGE_SET("checkpoint.versions.retained", retained_versions_);
   return discarded;
 }
 

@@ -197,6 +197,9 @@ class CheckpointLog : public DurabilityObserver, public PoolObserver {
   std::map<PmOffset, AllocationRecord> allocations_;
   SeqNum next_seq_ = 1;
   uint64_t open_tx_ = 0;
+  // Currently retained versions across all entries (mirrored to the
+  // `checkpoint.versions.retained` gauge).
+  uint64_t retained_versions_ = 0;
   // Largest extent any entry ever reached (bounds the Overlapping scan).
   size_t max_extent_ = 0;
   CheckpointStats stats_;

@@ -8,6 +8,8 @@
 #include <cstring>
 
 #include "checkpoint/checkpoint_log.h"
+#include "common/clock.h"
+#include "obs/obs.h"
 
 namespace arthas {
 
@@ -59,6 +61,7 @@ class Reader {
 }  // namespace
 
 std::vector<uint8_t> CheckpointLog::Serialize() const {
+  ScopedTimer timer;
   Writer w;
   w.U64(kLogMagic);
   w.U64(next_seq_);
@@ -92,6 +95,9 @@ std::vector<uint8_t> CheckpointLog::Serialize() const {
     w.U64(seq);
     w.U64(tx);
   }
+  ARTHAS_HISTOGRAM_RECORD("checkpoint.serialize.ns", timer.ElapsedNanos());
+  ARTHAS_GAUGE_SET("checkpoint.image.bytes", w.bytes.size());
+  ARTHAS_COUNTER_ADD("checkpoint.serialize.count", 1);
   return std::move(w.bytes);
 }
 

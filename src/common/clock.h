@@ -36,9 +36,26 @@ class VirtualClock {
   VirtualTime now_ = 0;
 };
 
-// Real (wall-clock) time helpers, used by overhead benchmarks only.
-// Returns monotonic nanoseconds.
+// Real (wall-clock) time helpers, used by the overhead benchmarks and the
+// observability layer. Returns monotonic nanoseconds.
 int64_t MonotonicNanos();
+
+// Alias used by the obs layer; same monotonic clock.
+inline int64_t NowNanos() { return MonotonicNanos(); }
+
+// Measures real elapsed time on the monotonic clock. The building block for
+// obs::ScopedLatency and the span tracer.
+class ScopedTimer {
+ public:
+  ScopedTimer() : start_ns_(MonotonicNanos()) {}
+
+  int64_t ElapsedNanos() const { return MonotonicNanos() - start_ns_; }
+  int64_t start_ns() const { return start_ns_; }
+  void Reset() { start_ns_ = MonotonicNanos(); }
+
+ private:
+  int64_t start_ns_;
+};
 
 }  // namespace arthas
 

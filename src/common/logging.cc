@@ -1,13 +1,54 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <mutex>
 
 namespace arthas {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kWarning};
+
+// Reads ARTHAS_LOG_LEVEL once at startup. Accepts level names (case
+// insensitive: debug, info, warning/warn, error) or the numeric enum value.
+LogLevel LevelFromEnvironment() {
+  const char* env = std::getenv("ARTHAS_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') {
+    return LogLevel::kWarning;
+  }
+  auto matches = [env](const char* name) {
+    const char* a = env;
+    const char* b = name;
+    for (; *a != '\0' && *b != '\0'; a++, b++) {
+      if (std::tolower(static_cast<unsigned char>(*a)) != *b) {
+        return false;
+      }
+    }
+    return *a == '\0' && *b == '\0';
+  };
+  if (matches("debug") || matches("0")) {
+    return LogLevel::kDebug;
+  }
+  if (matches("info") || matches("1")) {
+    return LogLevel::kInfo;
+  }
+  if (matches("warning") || matches("warn") || matches("2")) {
+    return LogLevel::kWarning;
+  }
+  if (matches("error") || matches("3")) {
+    return LogLevel::kError;
+  }
+  std::fprintf(stderr, "[W logging] unrecognized ARTHAS_LOG_LEVEL '%s'\n",
+               env);
+  return LogLevel::kWarning;
+}
+
+std::atomic<LogLevel>& Level() {
+  static std::atomic<LogLevel> level{LevelFromEnvironment()};
+  return level;
+}
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -27,18 +68,31 @@ const char* Basename(const char* path) {
   const char* slash = std::strrchr(path, '/');
   return slash != nullptr ? slash + 1 : path;
 }
+
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level.store(level); }
-LogLevel GetLogLevel() { return g_level.load(); }
+void SetLogLevel(LogLevel level) { Level().store(level); }
+LogLevel GetLogLevel() { return Level().load(); }
 
 void LogMessage(LogLevel level, const char* file, int line,
                 const std::string& message) {
-  if (level < g_level.load()) {
+  if (level < Level().load()) {
     return;
   }
-  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelTag(level), Basename(file), line,
-               message.c_str());
+  // Format the whole line first and emit it with a single locked fwrite so
+  // concurrent threads never interleave within a line.
+  char prefix[128];
+  const int prefix_len =
+      std::snprintf(prefix, sizeof(prefix), "[%s %s:%d] ", LevelTag(level),
+                    Basename(file), line);
+  std::string linebuf;
+  linebuf.reserve(static_cast<size_t>(prefix_len) + message.size() + 1);
+  linebuf.append(prefix, static_cast<size_t>(prefix_len));
+  linebuf.append(message);
+  linebuf.push_back('\n');
+  static std::mutex* mutex = new std::mutex();
+  std::lock_guard<std::mutex> lock(*mutex);
+  std::fwrite(linebuf.data(), 1, linebuf.size(), stderr);
 }
 
 }  // namespace arthas

@@ -2,14 +2,19 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
+
 namespace arthas {
 
 Detector::Assessment Detector::Observe(
     const std::optional<FaultInfo>& fault) {
+  ARTHAS_SCOPED_LATENCY("detector.observe.ns");
   if (!fault.has_value() || fault->kind == FailureKind::kNone) {
     return Assessment::kNoFailure;
   }
+  ARTHAS_COUNTER_ADD("detector.fault_observed.count", 1);
   if (recorded_.has_value() && SimilarFingerprint(*recorded_, *fault)) {
+    ARTHAS_COUNTER_ADD("detector.hard_fault.count", 1);
     return Assessment::kSuspectedHardFailure;
   }
   recorded_ = *fault;

@@ -1,0 +1,114 @@
+#include "harness/artifacts.h"
+
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+#include "common/logging.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace arthas {
+
+namespace {
+
+std::mutex& CellMutex() {
+  static std::mutex* mutex = new std::mutex();
+  return *mutex;
+}
+
+std::vector<CellRecord>& CellStore() {
+  static std::vector<CellRecord>* store = new std::vector<CellRecord>();
+  return *store;
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Internal("cannot open " + path + " for writing");
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  if (written != content.size()) {
+    return Internal("short write to " + path);
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+void RecordCell(CellRecord record) {
+  std::lock_guard<std::mutex> lock(CellMutex());
+  CellStore().push_back(std::move(record));
+}
+
+std::vector<CellRecord> CellRecords() {
+  std::lock_guard<std::mutex> lock(CellMutex());
+  return CellStore();
+}
+
+void ClearCellRecords() {
+  std::lock_guard<std::mutex> lock(CellMutex());
+  CellStore().clear();
+}
+
+std::string MetricsArtifactJson() {
+  obs::JsonValue out = obs::MetricsRegistry::Global().SnapshotJson();
+  obs::JsonValue cells = obs::JsonValue::Array();
+  for (const CellRecord& record : CellRecords()) {
+    obs::JsonValue cell = obs::JsonValue::Object();
+    cell.Set("fault", obs::JsonValue(record.fault));
+    cell.Set("solution", obs::JsonValue(record.solution));
+    cell.Set("recovered", obs::JsonValue(record.recovered));
+    cell.Set("attempts", obs::JsonValue(int64_t{record.attempts}));
+    cell.Set("mitigation_time_us",
+             obs::JsonValue(record.mitigation_time_us));
+    obs::JsonValue deltas = obs::JsonValue::Object();
+    for (const auto& [name, delta] : record.counter_deltas) {
+      deltas.Set(name, obs::JsonValue(delta));
+    }
+    cell.Set("counter_deltas", std::move(deltas));
+    cells.Append(std::move(cell));
+  }
+  out.Set("cells", std::move(cells));
+  return out.Dump();
+}
+
+ObsArtifactWriter::ObsArtifactWriter(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; i++) {
+    if (std::strcmp(argv[i], "--metrics-json") == 0) {
+      metrics_path_ = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-json") == 0) {
+      trace_path_ = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-summary") == 0) {
+      summary_path_ = argv[++i];
+    }
+  }
+}
+
+ObsArtifactWriter::~ObsArtifactWriter() {
+  if (Status s = WriteNow(); !s.ok()) {
+    ARTHAS_LOG(Error) << "failed to write observability artifacts: "
+                      << s.ToString();
+  }
+}
+
+Status ObsArtifactWriter::WriteNow() const {
+  if (!metrics_path_.empty()) {
+    ARTHAS_RETURN_IF_ERROR(WriteFile(metrics_path_, MetricsArtifactJson()));
+  }
+  if (!trace_path_.empty()) {
+    ARTHAS_RETURN_IF_ERROR(
+        WriteFile(trace_path_, obs::SpanTracer::Global().ExportChromeJson()));
+  }
+  if (!summary_path_.empty()) {
+    std::string summary = obs::SpanTracer::Global().ExportTextSummary();
+    summary += obs::MetricsRegistry::Global().SnapshotJsonString();
+    summary += "\n";
+    ARTHAS_RETURN_IF_ERROR(WriteFile(summary_path_, summary));
+  }
+  return OkStatus();
+}
+
+}  // namespace arthas

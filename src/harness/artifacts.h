@@ -1,0 +1,68 @@
+// Observability artifacts for the bench binaries.
+//
+// Every bench binary accepts
+//   --metrics-json <path>   registry snapshot + per-cell records as JSON
+//   --trace-json <path>     Chrome trace-event JSON (chrome://tracing)
+//   --metrics-summary <path> flat text summary (spans + top counters)
+// and writes them when the ObsArtifactWriter goes out of scope in main().
+//
+// The experiment harness appends one CellRecord per (fault, solution) cell
+// it runs; the records end up under "cells" in the metrics artifact so a
+// table row can be joined back to the raw counter deltas that produced it.
+
+#ifndef ARTHAS_HARNESS_ARTIFACTS_H_
+#define ARTHAS_HARNESS_ARTIFACTS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace arthas {
+
+struct CellRecord {
+  std::string fault;     // fault label, e.g. "f1"
+  std::string solution;  // "Arthas" / "pmCRIU" / "ArCkpt"
+  bool recovered = false;
+  int attempts = 0;
+  int64_t mitigation_time_us = 0;  // virtual time
+  // Registry counter movement attributable to this cell (after - before).
+  std::map<std::string, uint64_t> counter_deltas;
+};
+
+// Process-global per-cell accumulator (appended by FaultExperiment::Run).
+void RecordCell(CellRecord record);
+std::vector<CellRecord> CellRecords();
+void ClearCellRecords();
+
+// The metrics artifact: {"counters", "gauges", "histograms", "cells"}.
+std::string MetricsArtifactJson();
+
+// Parses --metrics-json/--trace-json/--metrics-summary out of argv and
+// writes the artifacts at scope exit (i.e. when main() returns).
+class ObsArtifactWriter {
+ public:
+  ObsArtifactWriter(int argc, char** argv);
+  ~ObsArtifactWriter();
+
+  ObsArtifactWriter(const ObsArtifactWriter&) = delete;
+  ObsArtifactWriter& operator=(const ObsArtifactWriter&) = delete;
+
+  // Writes whichever artifacts were requested, immediately. The destructor
+  // writes again (overwriting) so late metrics still land.
+  Status WriteNow() const;
+
+  const std::string& metrics_path() const { return metrics_path_; }
+  const std::string& trace_path() const { return trace_path_; }
+
+ private:
+  std::string metrics_path_;
+  std::string trace_path_;
+  std::string summary_path_;
+};
+
+}  // namespace arthas
+
+#endif  // ARTHAS_HARNESS_ARTIFACTS_H_

@@ -82,6 +82,9 @@ class FaultExperiment {
   const Reactor* reactor() const { return reactor_.get(); }
 
  private:
+  // The experiment proper; Run() wraps it with the per-cell observability
+  // bookkeeping (span, registry snapshots, cell record).
+  ExperimentResult RunInner();
   // Per-fault wiring (system construction, workload step, trigger, probes).
   void BuildScript();
   void WorkloadStep();

@@ -1,0 +1,316 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace arthas {
+namespace obs {
+
+const JsonValue* JsonValue::Get(const std::string& key) const {
+  auto it = members_.find(key);
+  return it == members_.end() ? nullptr : &it->second;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void DumpNumber(std::ostringstream& out, double d) {
+  // Integers (the common case: counters, nanoseconds) print without a
+  // fractional part so the artifacts stay diff-friendly.
+  if (d == std::floor(d) && std::abs(d) < 9.0e15) {
+    out << static_cast<int64_t>(d);
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", d);
+  out << buf;
+}
+
+void DumpTo(const JsonValue& v, std::ostringstream& out) {
+  switch (v.kind()) {
+    case JsonValue::Kind::kNull:
+      out << "null";
+      break;
+    case JsonValue::Kind::kBool:
+      out << (v.AsBool() ? "true" : "false");
+      break;
+    case JsonValue::Kind::kNumber:
+      DumpNumber(out, v.AsDouble());
+      break;
+    case JsonValue::Kind::kString:
+      out << '"' << JsonEscape(v.AsString()) << '"';
+      break;
+    case JsonValue::Kind::kArray: {
+      out << '[';
+      bool first = true;
+      for (const JsonValue& item : v.items()) {
+        if (!first) {
+          out << ',';
+        }
+        first = false;
+        DumpTo(item, out);
+      }
+      out << ']';
+      break;
+    }
+    case JsonValue::Kind::kObject: {
+      out << '{';
+      bool first = true;
+      for (const auto& [key, member] : v.members()) {
+        if (!first) {
+          out << ',';
+        }
+        first = false;
+        out << '"' << JsonEscape(key) << "\":";
+        DumpTo(member, out);
+      }
+      out << '}';
+      break;
+    }
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Run() {
+    ARTHAS_ASSIGN_OR_RETURN(JsonValue v, ParseValue());
+    SkipSpace();
+    if (at_ != text_.size()) {
+      return Fail("trailing characters after JSON value");
+    }
+    return v;
+  }
+
+ private:
+  Status Fail(const std::string& what) const {
+    return Corruption("JSON parse error at offset " + std::to_string(at_) +
+                      ": " + what);
+  }
+
+  void SkipSpace() {
+    while (at_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[at_])) != 0) {
+      at_++;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (at_ < text_.size() && text_[at_] == c) {
+      at_++;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue() {
+    SkipSpace();
+    if (at_ >= text_.size()) {
+      return Fail("unexpected end of input");
+    }
+    const char c = text_[at_];
+    if (c == '{') {
+      return ParseObject();
+    }
+    if (c == '[') {
+      return ParseArray();
+    }
+    if (c == '"') {
+      ARTHAS_ASSIGN_OR_RETURN(std::string s, ParseString());
+      return JsonValue(std::move(s));
+    }
+    if (text_.compare(at_, 4, "true") == 0) {
+      at_ += 4;
+      return JsonValue(true);
+    }
+    if (text_.compare(at_, 5, "false") == 0) {
+      at_ += 5;
+      return JsonValue(false);
+    }
+    if (text_.compare(at_, 4, "null") == 0) {
+      at_ += 4;
+      return JsonValue();
+    }
+    return ParseNumber();
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const size_t start = at_;
+    while (at_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[at_])) != 0 ||
+            text_[at_] == '-' || text_[at_] == '+' || text_[at_] == '.' ||
+            text_[at_] == 'e' || text_[at_] == 'E')) {
+      at_++;
+    }
+    if (at_ == start) {
+      return Fail("expected a value");
+    }
+    char* end = nullptr;
+    const std::string token = text_.substr(start, at_ - start);
+    const double d = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      return Fail("malformed number '" + token + "'");
+    }
+    return JsonValue(d);
+  }
+
+  Result<std::string> ParseString() {
+    if (!Consume('"')) {
+      return Fail("expected '\"'");
+    }
+    std::string out;
+    while (at_ < text_.size() && text_[at_] != '"') {
+      char c = text_[at_++];
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (at_ >= text_.size()) {
+        return Fail("dangling escape");
+      }
+      const char esc = text_[at_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out += esc;
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'u': {
+          if (at_ + 4 > text_.size()) {
+            return Fail("truncated \\u escape");
+          }
+          const unsigned long code =
+              std::strtoul(text_.substr(at_, 4).c_str(), nullptr, 16);
+          at_ += 4;
+          // The obs layer only emits \u for control characters; decode the
+          // Latin-1 subset and pass anything else through as '?'.
+          out += code < 0x100 ? static_cast<char>(code) : '?';
+          break;
+        }
+        default:
+          return Fail("unknown escape");
+      }
+    }
+    if (!Consume('"')) {
+      return Fail("unterminated string");
+    }
+    return out;
+  }
+
+  Result<JsonValue> ParseArray() {
+    if (!Consume('[')) {
+      return Fail("expected '['");
+    }
+    JsonValue out = JsonValue::Array();
+    if (Consume(']')) {
+      return out;
+    }
+    while (true) {
+      ARTHAS_ASSIGN_OR_RETURN(JsonValue item, ParseValue());
+      out.Append(std::move(item));
+      if (Consume(']')) {
+        return out;
+      }
+      if (!Consume(',')) {
+        return Fail("expected ',' or ']' in array");
+      }
+    }
+  }
+
+  Result<JsonValue> ParseObject() {
+    if (!Consume('{')) {
+      return Fail("expected '{'");
+    }
+    JsonValue out = JsonValue::Object();
+    if (Consume('}')) {
+      return out;
+    }
+    while (true) {
+      Result<std::string> key = ParseString();
+      if (!key.ok()) {
+        return key.status();
+      }
+      if (!Consume(':')) {
+        return Fail("expected ':' after object key");
+      }
+      ARTHAS_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+      out.Set(*key, std::move(value));
+      if (Consume('}')) {
+        return out;
+      }
+      if (!Consume(',')) {
+        return Fail("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  const std::string& text_;
+  size_t at_ = 0;
+};
+
+}  // namespace
+
+std::string JsonValue::Dump() const {
+  std::ostringstream out;
+  DumpTo(*this, out);
+  return out.str();
+}
+
+Result<JsonValue> JsonValue::Parse(const std::string& text) {
+  return Parser(text).Run();
+}
+
+}  // namespace obs
+}  // namespace arthas

@@ -1,0 +1,94 @@
+// Minimal JSON document model for the observability layer.
+//
+// The obs subsystem emits two machine-readable artifacts per run — a metrics
+// snapshot and a Chrome trace-event file — and the test suite must be able to
+// parse them back to prove the round trip. The repo cannot take third-party
+// dependencies, so this is a small self-contained value type with a writer
+// and a recursive-descent parser covering the JSON the obs layer produces
+// (objects, arrays, strings with escapes, doubles, bools, null).
+
+#ifndef ARTHAS_OBS_JSON_H_
+#define ARTHAS_OBS_JSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace arthas {
+namespace obs {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+  explicit JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}
+  explicit JsonValue(double d) : kind_(Kind::kNumber), number_(d) {}
+  explicit JsonValue(int64_t n)
+      : kind_(Kind::kNumber), number_(static_cast<double>(n)) {}
+  explicit JsonValue(uint64_t n)
+      : kind_(Kind::kNumber), number_(static_cast<double>(n)) {}
+  explicit JsonValue(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+  explicit JsonValue(const char* s) : kind_(Kind::kString), string_(s) {}
+
+  static JsonValue Array() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsDouble() const { return number_; }
+  int64_t AsInt() const { return static_cast<int64_t>(number_); }
+  const std::string& AsString() const { return string_; }
+
+  // Array access.
+  const std::vector<JsonValue>& items() const { return items_; }
+  void Append(JsonValue v) { items_.push_back(std::move(v)); }
+  size_t size() const { return items_.size(); }
+
+  // Object access. Get returns nullptr when the key is absent.
+  const std::map<std::string, JsonValue>& members() const { return members_; }
+  void Set(const std::string& key, JsonValue v) {
+    members_[key] = std::move(v);
+  }
+  const JsonValue* Get(const std::string& key) const;
+  bool Has(const std::string& key) const { return Get(key) != nullptr; }
+
+  // Compact single-line serialization.
+  std::string Dump() const;
+
+  static Result<JsonValue> Parse(const std::string& text);
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::map<std::string, JsonValue> members_;
+};
+
+// Escapes a string for embedding in JSON output (quotes not included).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace obs
+}  // namespace arthas
+
+#endif  // ARTHAS_OBS_JSON_H_

@@ -1,0 +1,266 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace arthas {
+namespace obs {
+
+size_t Histogram::BucketIndex(uint64_t value) {
+  if (value < 16) {
+    return static_cast<size_t>(value);
+  }
+  // value >= 16: octave o = floor(log2(value)) >= 4; 4 linear sub-buckets.
+  const int o = 63 - std::countl_zero(value);
+  const uint64_t sub = (value >> (o - 2)) & 3;
+  return 16 + static_cast<size_t>(o - 4) * 4 + static_cast<size_t>(sub);
+}
+
+std::pair<uint64_t, uint64_t> Histogram::BucketBounds(size_t index) {
+  if (index < 16) {
+    return {index, index};
+  }
+  const size_t rel = index - 16;
+  const int o = static_cast<int>(rel / 4) + 4;
+  const uint64_t sub = rel % 4;
+  const uint64_t width = 1ULL << (o - 2);
+  const uint64_t lo = (1ULL << o) + sub * width;
+  return {lo, lo + width - 1};
+}
+
+void Histogram::Record(uint64_t value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (size_t i = 0; i < kNumBuckets; i++) {
+    const uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) {
+      buckets_[i].fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+  uint64_t v = other.max_.load(std::memory_order_relaxed);
+  uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (v > seen &&
+         !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+  v = other.min_.load(std::memory_order_relaxed);
+  seen = min_.load(std::memory_order_relaxed);
+  while (v < seen &&
+         !min_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  min_.store(~0ULL, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::min() const {
+  const uint64_t v = min_.load(std::memory_order_relaxed);
+  return v == ~0ULL ? 0 : v;
+}
+
+double Histogram::Percentile(double q) const {
+  const uint64_t total = count();
+  if (total == 0) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th sample (1-based, ceil), walked over the buckets.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(q * static_cast<double>(total) + 0.5));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; i++) {
+    const uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+    if (n == 0) {
+      continue;
+    }
+    if (seen + n >= rank) {
+      const auto [lo, hi] = BucketBounds(i);
+      // Linear interpolation inside the bucket; clamp to the recorded max
+      // so p100 is exact.
+      const double frac =
+          static_cast<double>(rank - seen) / static_cast<double>(n);
+      const double v =
+          static_cast<double>(lo) +
+          frac * static_cast<double>(hi - lo);
+      return std::min(v, static_cast<double>(max()));
+    }
+    seen += n;
+  }
+  return static_cast<double>(max());
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot s;
+  s.count = count();
+  s.sum = sum();
+  s.min = min();
+  s.max = max();
+  s.p50 = Percentile(0.50);
+  s.p90 = Percentile(0.90);
+  s.p99 = Percentile(0.99);
+  s.mean = s.count == 0
+               ? 0
+               : static_cast<double>(s.sum) / static_cast<double>(s.count);
+  return s;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Slot& slot = slots_[name];
+  if (slot.counter == nullptr) {
+    assert(slot.gauge == nullptr && slot.histogram == nullptr &&
+           "metric name already registered with a different kind");
+    slot.counter = std::make_unique<Counter>();
+  }
+  return *slot.counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Slot& slot = slots_[name];
+  if (slot.gauge == nullptr) {
+    assert(slot.counter == nullptr && slot.histogram == nullptr &&
+           "metric name already registered with a different kind");
+    slot.gauge = std::make_unique<Gauge>();
+  }
+  return *slot.gauge;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Slot& slot = slots_[name];
+  if (slot.histogram == nullptr) {
+    assert(slot.counter == nullptr && slot.gauge == nullptr &&
+           "metric name already registered with a different kind");
+    slot.histogram = std::make_unique<Histogram>();
+  }
+  return *slot.histogram;
+}
+
+bool MetricsRegistry::Has(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slots_.count(name) != 0;
+}
+
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  std::lock_guard<std::mutex> other_lock(other.mutex_);
+  for (const auto& [name, slot] : other.slots_) {
+    if (slot.counter != nullptr) {
+      GetCounter(name).Add(slot.counter->value());
+    }
+    if (slot.gauge != nullptr) {
+      GetGauge(name).Set(slot.gauge->value());
+    }
+    if (slot.histogram != nullptr) {
+      GetHistogram(name).Merge(*slot.histogram);
+    }
+  }
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, slot] : slots_) {
+    if (slot.counter != nullptr) {
+      slot.counter->Reset();
+    }
+    if (slot.gauge != nullptr) {
+      slot.gauge->Reset();
+    }
+    if (slot.histogram != nullptr) {
+      slot.histogram->Reset();
+    }
+  }
+}
+
+RegistrySnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RegistrySnapshot out;
+  for (const auto& [name, slot] : slots_) {
+    if (slot.counter != nullptr) {
+      out.counters[name] = slot.counter->value();
+    }
+    if (slot.gauge != nullptr) {
+      out.gauges[name] = slot.gauge->value();
+    }
+    if (slot.histogram != nullptr) {
+      out.histograms[name] = slot.histogram->Snapshot();
+    }
+  }
+  return out;
+}
+
+JsonValue MetricsRegistry::SnapshotJson() const {
+  const RegistrySnapshot snap = Snapshot();
+  JsonValue counters = JsonValue::Object();
+  for (const auto& [name, value] : snap.counters) {
+    counters.Set(name, JsonValue(value));
+  }
+  JsonValue gauges = JsonValue::Object();
+  for (const auto& [name, value] : snap.gauges) {
+    gauges.Set(name, JsonValue(value));
+  }
+  JsonValue histograms = JsonValue::Object();
+  for (const auto& [name, h] : snap.histograms) {
+    JsonValue hv = JsonValue::Object();
+    hv.Set("count", JsonValue(h.count));
+    hv.Set("sum", JsonValue(h.sum));
+    hv.Set("min", JsonValue(h.min));
+    hv.Set("max", JsonValue(h.max));
+    hv.Set("mean", JsonValue(h.mean));
+    hv.Set("p50", JsonValue(h.p50));
+    hv.Set("p90", JsonValue(h.p90));
+    hv.Set("p99", JsonValue(h.p99));
+    histograms.Set(name, std::move(hv));
+  }
+  JsonValue out = JsonValue::Object();
+  out.Set("counters", std::move(counters));
+  out.Set("gauges", std::move(gauges));
+  out.Set("histograms", std::move(histograms));
+  return out;
+}
+
+std::string MetricsRegistry::SnapshotJsonString() const {
+  return SnapshotJson().Dump();
+}
+
+std::map<std::string, uint64_t> CounterDeltas(const RegistrySnapshot& before,
+                                              const RegistrySnapshot& after) {
+  std::map<std::string, uint64_t> out;
+  for (const auto& [name, value] : after.counters) {
+    auto it = before.counters.find(name);
+    const uint64_t prior = it == before.counters.end() ? 0 : it->second;
+    if (value > prior) {
+      out[name] = value - prior;
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace arthas

@@ -1,0 +1,166 @@
+#include "obs/span.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace arthas {
+namespace obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+// Sequential per-thread ids keep the Chrome trace stable across runs
+// (std::thread::id values are neither small nor deterministic).
+uint32_t ThisThreadId() {
+  static std::atomic<uint32_t> next{1};
+  thread_local uint32_t id = next.fetch_add(1);
+  return id;
+}
+
+int& ThisThreadDepth() {
+  thread_local int depth = 0;
+  return depth;
+}
+
+}  // namespace
+
+SpanTracer::SpanTracer() : epoch_ns_(NowNanos()) {}
+
+SpanTracer& SpanTracer::Global() {
+  static SpanTracer* tracer = new SpanTracer();
+  return *tracer;
+}
+
+void SpanTracer::set_enabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  enabled_ = enabled;
+}
+
+bool SpanTracer::enabled() const {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void SpanTracer::Record(SpanEvent event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+std::vector<SpanEvent> SpanTracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+size_t SpanTracer::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+void SpanTracer::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  epoch_ns_ = NowNanos();
+}
+
+std::string SpanTracer::ExportChromeJson() const {
+  const std::vector<SpanEvent> events = Snapshot();
+  JsonValue trace_events = JsonValue::Array();
+  for (const SpanEvent& e : events) {
+    JsonValue ev = JsonValue::Object();
+    ev.Set("name", JsonValue(e.name));
+    ev.Set("cat", JsonValue("arthas"));
+    ev.Set("ph", JsonValue("X"));
+    // Chrome trace timestamps are microseconds; keep sub-us precision as a
+    // fractional part.
+    ev.Set("ts", JsonValue(static_cast<double>(e.start_ns) / 1000.0));
+    ev.Set("dur",
+           JsonValue(static_cast<double>(e.end_ns - e.start_ns) / 1000.0));
+    ev.Set("pid", JsonValue(int64_t{1}));
+    ev.Set("tid", JsonValue(static_cast<int64_t>(e.tid)));
+    if (!e.attrs.empty()) {
+      JsonValue args = JsonValue::Object();
+      for (const auto& [key, value] : e.attrs) {
+        args.Set(key, JsonValue(value));
+      }
+      ev.Set("args", std::move(args));
+    }
+    trace_events.Append(std::move(ev));
+  }
+  JsonValue out = JsonValue::Object();
+  out.Set("traceEvents", std::move(trace_events));
+  out.Set("displayTimeUnit", JsonValue("ns"));
+  return out.Dump();
+}
+
+std::string SpanTracer::ExportTextSummary() const {
+  struct Agg {
+    uint64_t count = 0;
+    int64_t total_ns = 0;
+  };
+  std::map<std::string, Agg> by_name;
+  for (const SpanEvent& e : Snapshot()) {
+    Agg& agg = by_name[e.name];
+    agg.count++;
+    agg.total_ns += e.end_ns - e.start_ns;
+  }
+  std::ostringstream out;
+  out << "span summary (" << by_name.size() << " span names)\n";
+  for (const auto& [name, agg] : by_name) {
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "  %-32s count=%-8llu total=%.3f ms  mean=%.1f us\n",
+                  name.c_str(), static_cast<unsigned long long>(agg.count),
+                  static_cast<double>(agg.total_ns) / 1e6,
+                  static_cast<double>(agg.total_ns) /
+                      static_cast<double>(agg.count) / 1e3);
+    out << line;
+  }
+  return out.str();
+}
+
+ScopedSpan::ScopedSpan(std::string name) {
+  SpanTracer& tracer = SpanTracer::Global();
+  active_ = tracer.enabled();
+  if (!active_) {
+    return;
+  }
+  start_abs_ns_ = NowNanos();
+  event_.name = std::move(name);
+  event_.tid = ThisThreadId();
+  event_.depth = ThisThreadDepth()++;
+  event_.start_ns = start_abs_ns_ - tracer.epoch_ns();
+}
+
+ScopedSpan::~ScopedSpan() { Close(); }
+
+void ScopedSpan::Close() {
+  if (!active_) {
+    return;
+  }
+  active_ = false;
+  ThisThreadDepth()--;
+  SpanTracer& tracer = SpanTracer::Global();
+  event_.end_ns = NowNanos() - tracer.epoch_ns();
+  // Chrome's renderer drops zero-duration complete events nested inside
+  // others; clamp to 1 ns so every span stays visible.
+  if (event_.end_ns <= event_.start_ns) {
+    event_.end_ns = event_.start_ns + 1;
+  }
+  tracer.Record(std::move(event_));
+}
+
+void ScopedSpan::AddAttr(std::string key, std::string value) {
+  if (!active_) {
+    return;
+  }
+  event_.attrs.emplace_back(std::move(key), std::move(value));
+}
+
+}  // namespace obs
+}  // namespace arthas

@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "obs/obs.h"
 
 namespace arthas {
 
@@ -30,6 +31,12 @@ void PmemDevice::MakeDurable(PmOffset offset, size_t size) {
               line_end - line_start);
   stats_.flushed_lines += (line_end - line_start) / kCacheLineSize;
   stats_.persisted_bytes += size;
+  // `media.bytes` counts whole flushed lines (what actually hits media),
+  // while `persist.bytes` counts what the program asked for — the gap is
+  // the write amplification of cache-line rounding.
+  ARTHAS_COUNTER_ADD("pmem.flush.count", (line_end - line_start) / kCacheLineSize);
+  ARTHAS_COUNTER_ADD("pmem.media.bytes", line_end - line_start);
+  ARTHAS_COUNTER_ADD("pmem.persist.bytes", size);
 }
 
 void PmemDevice::Persist(PmOffset offset, size_t size) {
@@ -44,6 +51,7 @@ void PmemDevice::Persist(PmOffset offset, size_t size) {
   }
   MakeDurable(offset, size);
   stats_.persists++;
+  ARTHAS_COUNTER_ADD("pmem.persist.count", 1);
 }
 
 void PmemDevice::PersistQuiet(PmOffset offset, size_t size) {
@@ -52,6 +60,7 @@ void PmemDevice::PersistQuiet(PmOffset offset, size_t size) {
   }
   MakeDurable(offset, size);
   stats_.persists++;
+  ARTHAS_COUNTER_ADD("pmem.persist.count", 1);
 }
 
 void PmemDevice::FlushLines(PmOffset offset, size_t size) {
@@ -63,6 +72,7 @@ void PmemDevice::FlushLines(PmOffset offset, size_t size) {
 
 void PmemDevice::Drain() {
   stats_.drains++;
+  ARTHAS_COUNTER_ADD("pmem.drain.count", 1);
   for (const PendingRange& range : pending_) {
     for (DurabilityObserver* obs : observers_) {
       obs->OnPersist(range.offset, range.size, live_.data() + range.offset);
@@ -74,6 +84,20 @@ void PmemDevice::Drain() {
 }
 
 void PmemDevice::Crash() {
+#ifndef ARTHAS_OBS_DISABLED
+  // Count the cache lines whose writes never reached the durable image —
+  // the data a real power failure would discard. The scan is obs-only work
+  // and compiles out with the rest of the instrumentation.
+  uint64_t discarded_lines = 0;
+  for (size_t off = 0; off < live_.size(); off += kCacheLineSize) {
+    const size_t n = std::min(kCacheLineSize, live_.size() - off);
+    if (std::memcmp(live_.data() + off, durable_.data() + off, n) != 0) {
+      discarded_lines++;
+    }
+  }
+  ARTHAS_COUNTER_ADD("pmem.crash.count", 1);
+  ARTHAS_COUNTER_ADD("pmem.crash_discarded.lines", discarded_lines);
+#endif
   pending_.clear();
   std::memcpy(live_.data(), durable_.data(), live_.size());
   stats_.crashes++;

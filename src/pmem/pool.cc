@@ -6,6 +6,7 @@
 
 #include "common/crc32.h"
 #include "common/logging.h"
+#include "obs/obs.h"
 
 namespace arthas {
 
@@ -261,6 +262,7 @@ uint64_t PmemPool::FindFreeNode(uint64_t node, size_t node_order,
 }
 
 Result<Oid> PmemPool::AllocInternal(size_t size, bool zero) {
+  ARTHAS_SCOPED_LATENCY("pool.alloc.ns");
   if (size == 0) {
     return Status(StatusCode::kInvalidArgument, "zero-size allocation");
   }
@@ -284,6 +286,9 @@ Result<Oid> PmemPool::AllocInternal(size_t size, bool zero) {
   stats_.allocs++;
   stats_.used_bytes = h->used_bytes;
   stats_.live_objects = h->live_objects;
+  ARTHAS_COUNTER_ADD("pool.alloc.count", 1);
+  ARTHAS_GAUGE_SET("pool.used.bytes", h->used_bytes);
+  ARTHAS_GAUGE_SET("pool.live.objects", h->live_objects);
 
   const PmOffset payload = NodeOffset(node, static_cast<size_t>(order));
   if (zero) {
@@ -322,6 +327,7 @@ std::pair<uint64_t, size_t> PmemPool::FindUsedNode(PmOffset offset) const {
 }
 
 Status PmemPool::Free(Oid oid) {
+  ARTHAS_SCOPED_LATENCY("pool.free.ns");
   if (oid.is_null()) {
     return InvalidArgument("free of null oid");
   }
@@ -352,6 +358,9 @@ Status PmemPool::Free(Oid oid) {
   stats_.frees++;
   stats_.used_bytes = h->used_bytes;
   stats_.live_objects = h->live_objects;
+  ARTHAS_COUNTER_ADD("pool.free.count", 1);
+  ARTHAS_GAUGE_SET("pool.used.bytes", h->used_bytes);
+  ARTHAS_GAUGE_SET("pool.live.objects", h->live_objects);
   for (PoolObserver* obs : observers_) {
     obs->OnFree(oid.off, block);
   }
@@ -476,9 +485,11 @@ Status PmemPool::TxAddRange(Oid oid, size_t offset, size_t size) {
 }
 
 Status PmemPool::TxCommit() {
+  ARTHAS_SCOPED_LATENCY("pool.tx_commit.ns");
   if (!in_tx_) {
     return FailedPrecondition("commit outside transaction");
   }
+  ARTHAS_COUNTER_ADD("pool.tx_commit.count", 1);
   PoolHeader* h = header();
   // Make every range registered in this transaction durable, firing the
   // durability observers (which is where the Arthas checkpoint library
@@ -502,9 +513,11 @@ Status PmemPool::TxCommit() {
 }
 
 Status PmemPool::TxAbort() {
+  ARTHAS_SCOPED_LATENCY("pool.tx_abort.ns");
   if (!in_tx_) {
     return FailedPrecondition("abort outside transaction");
   }
+  ARTHAS_COUNTER_ADD("pool.tx_abort.count", 1);
   PoolHeader* h = header();
   std::vector<PmOffset> entry_offsets;
   PmOffset cursor = h->undo_off;

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/logging.h"
+#include "obs/obs.h"
 
 namespace arthas {
 
@@ -29,9 +30,18 @@ std::vector<SeqNum> Reactor::ComputeReversionPlan(const FaultInfo& fault,
   if (fault_inst == nullptr) {
     return {};
   }
+  ARTHAS_NAMED_SPAN(slice_span, "reactor.slice");
   const SliceResult slice = slicer_->BackwardPersistent(fault_inst);
   timings_.last_slicing_ns = slice.elapsed_ns;
+  ARTHAS_HISTOGRAM_RECORD("reactor.slice.ns", slice.elapsed_ns);
+  slice_span.AddAttr("instructions",
+                     static_cast<uint64_t>(slice.instructions.size()));
+  slice_span.Close();
 
+  // Search phase: join the static slice against the dynamic trace and the
+  // checkpoint log to build the candidate list (paper Section 4.4).
+  ARTHAS_NAMED_SPAN(search_span, "reactor.search");
+  ScopedTimer search_timer;
   std::set<SeqNum> candidate_set;
   size_t distance = 0;
   for (const IrInstruction* node : slice.instructions) {
@@ -91,6 +101,10 @@ std::vector<SeqNum> Reactor::ComputeReversionPlan(const FaultInfo& fault,
   }
   std::vector<SeqNum> plan = std::move(at_fault);
   plan.insert(plan.end(), rest.begin(), rest.end());
+  ARTHAS_HISTOGRAM_RECORD("reactor.search.ns", search_timer.ElapsedNanos());
+  ARTHAS_COUNTER_ADD("reactor.candidates.count", plan.size());
+  search_span.AddAttr("candidates", static_cast<uint64_t>(plan.size()));
+  search_span.Close();
   return plan;
 }
 
@@ -202,6 +216,9 @@ MitigationOutcome Reactor::Mitigate(const FaultInfo& fault, Tracer& tracer,
   }
 
   MitigationOutcome outcome;
+  ARTHAS_SCOPED_LATENCY("reactor.mitigate.ns");
+  ARTHAS_NAMED_SPAN(mitigate_span, "reactor.mitigate");
+  mitigate_span.AddAttr("fault", std::string(FailureKindName(fault.kind)));
   const VirtualTime start = clock.Now();
   std::vector<SeqNum> plan = ComputeReversionPlan(fault, tracer, log, config);
   if (plan.empty()) {
@@ -234,7 +251,11 @@ MitigationOutcome Reactor::Mitigate(const FaultInfo& fault, Tracer& tracer,
     }
     clock.Advance(config.reexecution_delay);
     outcome.reexecutions++;
+    ARTHAS_NAMED_SPAN(reexec_span, "reactor.reexecute");
+    ScopedTimer reexec_timer;
     const RunObservation obs = reexecute();
+    ARTHAS_HISTOGRAM_RECORD("reactor.reexecute.ns",
+                            reexec_timer.ElapsedNanos());
     return !obs.fault.has_value();
   };
 
@@ -272,6 +293,8 @@ MitigationOutcome Reactor::Mitigate(const FaultInfo& fault, Tracer& tracer,
         // exponentially while re-executions keep failing.
         batch_size = 1 << std::min(outcome.reexecutions, 12);
       }
+      ARTHAS_NAMED_SPAN(revert_span, "reactor.revert");
+      ScopedTimer revert_timer;
       for (int b = 0; b < batch_size && i < round_plan.size(); b++, i++) {
         if (config.mode == ReversionMode::kRollback) {
           // Undo the chosen candidate itself (divergence-aware), then
@@ -303,6 +326,9 @@ MitigationOutcome Reactor::Mitigate(const FaultInfo& fault, Tracer& tracer,
           pending += static_cast<int>(n);
         }
       }
+      ARTHAS_HISTOGRAM_RECORD("reactor.revert.ns", revert_timer.ElapsedNanos());
+      ARTHAS_COUNTER_ADD("reactor.revert_attempts.count", 1);
+      revert_span.Close();
       if (try_reexecution(pending)) {
         outcome.recovered = true;
         outcome.elapsed = clock.Now() - start;

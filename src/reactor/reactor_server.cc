@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/obs.h"
+
 namespace arthas {
 
 std::string MitigationRequest::Serialize() const {
@@ -58,6 +60,8 @@ Status ReactorServer::IngestTrace(const std::string& trace_lines) {
 
 PlanResponse ReactorServer::ComputePlan(const MitigationRequest& request,
                                         const CheckpointLog& log) {
+  ARTHAS_SCOPED_LATENCY("reactor_server.plan.ns");
+  ARTHAS_COUNTER_ADD("reactor_server.request.count", 1);
   PlanResponse response;
   response.candidates = reactor_->ComputeReversionPlan(
       request.fault, trace_copy_, log, request.config);
@@ -72,6 +76,7 @@ MitigationOutcome ReactorServer::Execute(const MitigationRequest& request,
                                          PmSystemTarget& target,
                                          const ReexecuteFn& reexecute,
                                          VirtualClock& clock) {
+  ARTHAS_COUNTER_ADD("reactor_server.request.count", 1);
   requests_served_++;
   return reactor_->Mitigate(request.fault, trace_copy_, log, target,
                             reexecute, clock, request.config);

@@ -4,12 +4,18 @@
 #include <set>
 #include <sstream>
 
+#include "obs/obs.h"
+
 namespace arthas {
 
 void Tracer::Flush() {
   if (buffer_.empty()) {
     return;
   }
+  // Registry mirror happens at flush granularity so the Record() hot path
+  // (Table 8's instrumentation overhead) stays a buffered push_back.
+  ARTHAS_COUNTER_ADD("trace.record.count", buffer_.size());
+  ARTHAS_COUNTER_ADD("trace.flush.count", 1);
   archive_.insert(archive_.end(), buffer_.begin(), buffer_.end());
   buffer_.clear();
   stats_.buffer_flushes++;
@@ -88,6 +94,13 @@ Status Tracer::ParseAppend(const std::string& text) {
 void Tracer::Clear() {
   buffer_.clear();
   archive_.clear();
+  // Derived state must reset with the archive: the lazy indexes would
+  // otherwise keep serving pre-Clear results until the next Record, and the
+  // stats (which also seed event indexes) would keep counting.
+  by_guid_.clear();
+  by_address_.clear();
+  index_dirty_ = true;
+  stats_ = TracerStats{};
 }
 
 }  // namespace arthas

@@ -1,0 +1,53 @@
+// Compiled with ARTHAS_OBS_DISABLED (see tests/CMakeLists.txt): proves the
+// instrumentation macros compile out to no-ops in a translation unit that
+// links against a library built *with* observability — the compile-out is a
+// per-TU decision, not an ABI switch.
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/span.h"
+
+#ifndef ARTHAS_OBS_DISABLED
+#error "this test must be compiled with ARTHAS_OBS_DISABLED"
+#endif
+
+namespace arthas {
+namespace {
+
+TEST(ObsDisabledTest, MacrosAreNoOps) {
+  ARTHAS_COUNTER_ADD("disabled.count", 5);
+  ARTHAS_GAUGE_SET("disabled.gauge", 5);
+  ARTHAS_HISTOGRAM_RECORD("disabled.ns", 5);
+  { ARTHAS_SCOPED_LATENCY("disabled.scoped.ns"); }
+  { ARTHAS_SPAN("disabled.span"); }
+  {
+    ARTHAS_NAMED_SPAN(span, "disabled.named");
+    span.AddAttr("k", std::string("v"));
+    span.AddAttr("n", uint64_t{1});
+    span.Close();
+    EXPECT_EQ(span.elapsed_ns(), 0);
+  }
+  // Nothing reached the global registry or span tracer.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  EXPECT_FALSE(registry.Has("disabled.count"));
+  EXPECT_FALSE(registry.Has("disabled.gauge"));
+  EXPECT_FALSE(registry.Has("disabled.ns"));
+  EXPECT_FALSE(registry.Has("disabled.scoped.ns"));
+  for (const obs::SpanEvent& event : obs::SpanTracer::Global().Snapshot()) {
+    EXPECT_NE(event.name.substr(0, 8), "disabled");
+  }
+}
+
+TEST(ObsDisabledTest, LibraryStaysUsableDirectly) {
+  // Direct (non-macro) use of the obs classes still works in a disabled TU:
+  // only the instrumentation macros compile out.
+  obs::MetricsRegistry registry;
+  registry.GetCounter("direct.count").Add(1);
+  EXPECT_EQ(registry.Snapshot().counters.at("direct.count"), 1u);
+}
+
+}  // namespace
+}  // namespace arthas

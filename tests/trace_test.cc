@@ -91,6 +91,27 @@ TEST(TracerTest, DisabledTracerRecordsNothing) {
   EXPECT_EQ(tracer.Events().size(), 1u);
 }
 
+TEST(TracerTest, ClearResetsDerivedState) {
+  Tracer tracer;
+  tracer.Record(7, 123);
+  tracer.Record(8, 456);
+  ASSERT_EQ(tracer.AddressesForGuid(7).size(), 1u);  // builds the index
+  ASSERT_GT(tracer.stats().records, 0u);
+
+  tracer.Clear();
+  // The lazy indexes must not serve pre-Clear results.
+  EXPECT_TRUE(tracer.AddressesForGuid(7).empty());
+  EXPECT_TRUE(tracer.GuidsForRange(0, 1 << 20).empty());
+  EXPECT_TRUE(tracer.Events().empty());
+  // Stats restart from zero.
+  EXPECT_EQ(tracer.stats().records, 0u);
+  EXPECT_EQ(tracer.stats().buffer_flushes, 0u);
+
+  tracer.Record(7, 789);
+  ASSERT_EQ(tracer.AddressesForGuid(7).size(), 1u);
+  EXPECT_EQ(tracer.AddressesForGuid(7)[0], 789u);
+}
+
 TEST(TracerTest, SerializeRoundTrip) {
   Tracer tracer;
   tracer.Record(5, 123);
