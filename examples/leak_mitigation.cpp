@@ -42,14 +42,14 @@ int main() {
               "volatile lazy-free queue\n",
               store.deferred_free_queue_size());
   std::printf("pool usage: %lu bytes live\n",
-              store.pool().stats().used_bytes);
+              store.pool().stats().used_bytes.load());
 
   // A crash loses the queue; the unlinked objects leak.
   (void)store.Restart();
   std::printf("after the crash: queue holds %zu entries, but %lu bytes are "
               "still allocated — leaked\n",
               store.deferred_free_queue_size(),
-              store.pool().stats().used_bytes);
+              store.pool().stats().used_bytes.load());
 
   // Leak mitigation: unfreed allocations not touched by recovery.
   uint64_t freed = 0;
@@ -64,7 +64,7 @@ int main() {
   }
   std::printf("leak mitigation freed %lu unreachable objects; %lu bytes "
               "live now\n\n",
-              freed, store.pool().stats().used_bytes);
+              freed, store.pool().stats().used_bytes.load());
 
   // Then the full workflow through the harness (monitor -> detect ->
   // reactor leak path -> re-execution check).

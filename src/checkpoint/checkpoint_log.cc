@@ -8,6 +8,19 @@
 
 namespace arthas {
 
+namespace {
+// Transaction attribution is per-thread: OnTxBegin, the persists inside the
+// transaction, and OnTxCommit all run on the thread executing it, so a
+// thread-local tag (scoped to the log instance) attributes them correctly
+// even while other threads run their own transactions. A log-global field
+// would cross-tag concurrent transactions.
+struct OpenTxTag {
+  const void* log = nullptr;
+  uint64_t tx_id = 0;
+};
+thread_local OpenTxTag tls_open_tx;
+}  // namespace
+
 CheckpointLog::CheckpointLog(PmemPool& pool, CheckpointConfig config)
     : pool_(&pool), device_(&pool.device()), config_(config) {
   device_->AddObserver(this);
@@ -24,22 +37,43 @@ void CheckpointLog::Detach() {
   }
 }
 
-CheckpointEntry& CheckpointLog::GetOrCreate(PmOffset address, size_t size) {
-  auto it = entries_.find(address);
-  if (it == entries_.end()) {
+// Offset hash -> shard index. Offsets are persisted-range starts; mixing the
+// cache-line index spreads neighboring objects across shards while keeping
+// all persists of one address on one shard.
+size_t CheckpointLog::ShardOf(PmOffset address) {
+  const uint64_t line = address / kCacheLineSize;
+  return (line * 0x9E3779B97F4A7C15ULL >> 32) % kNumShards;
+}
+
+void CheckpointLog::RaiseMaxExtent(size_t extent) {
+  size_t cur = max_extent_.load(std::memory_order_relaxed);
+  while (cur < extent &&
+         !max_extent_.compare_exchange_weak(cur, extent,
+                                            std::memory_order_relaxed)) {
+  }
+}
+
+CheckpointEntry& CheckpointLog::GetOrCreateLocked(Shard& shard,
+                                                  PmOffset address,
+                                                  size_t size) {
+  auto it = shard.entries.find(address);
+  if (it == shard.entries.end()) {
     CheckpointEntry entry;
     entry.address = address;
     // Seed the pre-history with what is durable right now (the observer
     // fires before the media copy, so this is the pre-update durable data).
     entry.original.assign(device_->Durable(address),
                           device_->Durable(address) + size);
-    it = entries_.emplace(address, std::move(entry)).first;
+    it = shard.entries.emplace(address, std::move(entry)).first;
+    entry_count_++;
   }
   return it->second;
 }
 
 void CheckpointLog::OnPersist(PmOffset offset, size_t size, const void* data) {
-  CheckpointEntry& entry = GetOrCreate(offset, size);
+  Shard& shard = ShardFor(offset);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  CheckpointEntry& entry = GetOrCreateLocked(shard, offset, size);
   // A larger persist at a known address (e.g. an object growing, or an
   // overrunning copy) extends the entry's extent: capture the still-durable
   // bytes beyond the previous extent so reversion can restore them.
@@ -50,8 +84,8 @@ void CheckpointLog::OnPersist(PmOffset offset, size_t size, const void* data) {
                           device_->Durable(offset) + size);
   }
   CheckpointVersion version;
-  version.seq_num = next_seq_++;
-  version.tx_id = open_tx_;
+  version.seq_num = next_seq_.fetch_add(1);
+  version.tx_id = tls_open_tx.log == this ? tls_open_tx.tx_id : 0;
   version.data.assign(static_cast<const uint8_t*>(data),
                       static_cast<const uint8_t*>(data) + size);
   // The observer fires before the media copy: the durable image still holds
@@ -69,29 +103,32 @@ void CheckpointLog::OnPersist(PmOffset offset, size_t size, const void* data) {
     retained_versions_--;
     ARTHAS_COUNTER_ADD("checkpoint.evict.count", 1);
   }
-  if (open_tx_ != 0) {
-    seq_to_tx_[version.seq_num] = open_tx_;
-    tx_to_seqs_[open_tx_].push_back(version.seq_num);
+  if (version.tx_id != 0) {
+    std::lock_guard<std::mutex> aux(aux_mutex_);
+    seq_to_tx_[version.seq_num] = version.tx_id;
+    tx_to_seqs_[version.tx_id].push_back(version.seq_num);
   }
-  seq_index_[version.seq_num] = offset;
+  shard.seq_index[version.seq_num] = offset;
   stats_.records++;
   stats_.bytes_copied += size;
   entry.versions.push_back(std::move(version));
   retained_versions_++;
-  max_extent_ = std::max(max_extent_, entry.original.size());
+  RaiseMaxExtent(entry.original.size());
   // Write-amplification accounting (Section 6.4): `copy.bytes` counts both
   // the new-version and undo copies the log makes per persisted range.
   ARTHAS_COUNTER_ADD("checkpoint.record.count", 1);
   ARTHAS_COUNTER_ADD("checkpoint.copy.bytes", 2 * size);
-  ARTHAS_GAUGE_SET("checkpoint.versions.retained", retained_versions_);
-  ARTHAS_GAUGE_SET("checkpoint.entries.count", entries_.size());
+  ARTHAS_GAUGE_SET("checkpoint.versions.retained", retained_versions_.load());
+  ARTHAS_GAUGE_SET("checkpoint.entries.count", entry_count_.load());
 }
 
 void CheckpointLog::OnAlloc(PmOffset offset, size_t size) {
-  allocations_[offset] = AllocationRecord{offset, size, next_seq_, false};
+  std::lock_guard<std::mutex> aux(aux_mutex_);
+  allocations_[offset] = AllocationRecord{offset, size, next_seq_.load(), false};
 }
 
 void CheckpointLog::OnFree(PmOffset offset, size_t /*size*/) {
+  std::lock_guard<std::mutex> aux(aux_mutex_);
   auto it = allocations_.find(offset);
   if (it != allocations_.end()) {
     it->second.freed = true;
@@ -100,77 +137,121 @@ void CheckpointLog::OnFree(PmOffset offset, size_t /*size*/) {
 
 void CheckpointLog::OnRealloc(PmOffset old_offset, size_t /*old_size*/,
                               PmOffset new_offset, size_t new_size) {
-  // Lifetime tracking: the old object is gone, the new one is live.
-  auto it = allocations_.find(old_offset);
-  if (it != allocations_.end()) {
-    it->second.freed = true;
+  {
+    std::lock_guard<std::mutex> aux(aux_mutex_);
+    // Lifetime tracking: the old object is gone, the new one is live.
+    auto it = allocations_.find(old_offset);
+    if (it != allocations_.end()) {
+      it->second.freed = true;
+    }
+    allocations_[new_offset] =
+        AllocationRecord{new_offset, new_size, next_seq_.load(), false};
   }
-  allocations_[new_offset] =
-      AllocationRecord{new_offset, new_size, next_seq_, false};
   // Entry linkage (paper Section 4.2 / Figure 5 old_entry field): connect
-  // the checkpoint histories across the move.
-  CheckpointEntry& fresh = GetOrCreate(new_offset, new_size);
+  // the checkpoint histories across the move. The two addresses may live in
+  // different shards; lock both in ascending shard order.
+  const size_t si_new = ShardOf(new_offset);
+  const size_t si_old = ShardOf(old_offset);
+  std::unique_lock<std::mutex> first(shards_[std::min(si_new, si_old)].mutex);
+  std::unique_lock<std::mutex> second;
+  if (si_new != si_old) {
+    second = std::unique_lock<std::mutex>(
+        shards_[std::max(si_new, si_old)].mutex);
+  }
+  CheckpointEntry& fresh =
+      GetOrCreateLocked(shards_[si_new], new_offset, new_size);
   fresh.old_entry = old_offset;
-  auto old_it = entries_.find(old_offset);
-  if (old_it != entries_.end()) {
+  auto old_it = shards_[si_old].entries.find(old_offset);
+  if (old_it != shards_[si_old].entries.end()) {
     old_it->second.new_entry = new_offset;
   }
 }
 
-void CheckpointLog::OnTxBegin(uint64_t tx_id) { open_tx_ = tx_id; }
+void CheckpointLog::OnTxBegin(uint64_t tx_id) {
+  tls_open_tx = OpenTxTag{this, tx_id};
+}
 
-void CheckpointLog::OnTxCommit(uint64_t /*tx_id*/) { open_tx_ = 0; }
+void CheckpointLog::OnTxCommit(uint64_t /*tx_id*/) {
+  if (tls_open_tx.log == this) {
+    tls_open_tx = OpenTxTag{};
+  }
+}
+
+std::map<PmOffset, CheckpointEntry> CheckpointLog::entries() const {
+  std::map<PmOffset, CheckpointEntry> merged;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [address, entry] : shard.entries) {
+      merged.emplace(address, entry);
+    }
+  }
+  return merged;
+}
 
 const CheckpointEntry* CheckpointLog::Find(PmOffset address) const {
-  auto it = entries_.find(address);
-  return it == entries_.end() ? nullptr : &it->second;
+  const Shard& shard = ShardFor(address);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.entries.find(address);
+  return it == shard.entries.end() ? nullptr : &it->second;
 }
 
 std::vector<const CheckpointEntry*> CheckpointLog::Overlapping(
     PmOffset offset, size_t size) const {
   // Entries are keyed by address; only those within the largest recorded
   // extent below the range end can overlap, so scan a bounded window
-  // backwards from the range end.
+  // backwards from the range end — in each shard, then merge by address.
   std::vector<const CheckpointEntry*> out;
-  auto it = entries_.lower_bound(offset + size);
-  while (it != entries_.begin()) {
-    --it;
-    const auto& [address, entry] = *it;
-    if (address + max_extent_ <= offset) {
-      break;
-    }
-    const size_t extent = std::max(entry.original.size(),
-                                   entry.versions.empty()
-                                       ? size_t{0}
-                                       : entry.versions.back().data.size());
-    if (address < offset + size && offset < address + extent) {
-      out.push_back(&entry);
+  const size_t max_extent = max_extent_.load();
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.entries.lower_bound(offset + size);
+    while (it != shard.entries.begin()) {
+      --it;
+      const auto& [address, entry] = *it;
+      if (address + max_extent <= offset) {
+        break;
+      }
+      const size_t extent = std::max(entry.original.size(),
+                                     entry.versions.empty()
+                                         ? size_t{0}
+                                         : entry.versions.back().data.size());
+      if (address < offset + size && offset < address + extent) {
+        out.push_back(&entry);
+      }
     }
   }
-  std::reverse(out.begin(), out.end());
+  std::sort(out.begin(), out.end(),
+            [](const CheckpointEntry* a, const CheckpointEntry* b) {
+              return a->address < b->address;
+            });
   return out;
 }
 
 std::optional<std::pair<PmOffset, int>> CheckpointLog::LocateSeq(
     SeqNum seq) const {
-  auto idx = seq_index_.find(seq);
-  if (idx == seq_index_.end()) {
-    return std::nullopt;
-  }
-  auto it = entries_.find(idx->second);
-  if (it == entries_.end()) {
-    return std::nullopt;
-  }
-  const CheckpointEntry& entry = it->second;
-  for (size_t i = 0; i < entry.versions.size(); i++) {
-    if (entry.versions[i].seq_num == seq) {
-      return std::make_pair(entry.address, static_cast<int>(i));
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto idx = shard.seq_index.find(seq);
+    if (idx == shard.seq_index.end()) {
+      continue;
     }
+    auto it = shard.entries.find(idx->second);
+    if (it == shard.entries.end()) {
+      return std::nullopt;
+    }
+    const CheckpointEntry& entry = it->second;
+    for (size_t i = 0; i < entry.versions.size(); i++) {
+      if (entry.versions[i].seq_num == seq) {
+        return std::make_pair(entry.address, static_cast<int>(i));
+      }
+    }
+    return std::nullopt;  // version was discarded by an earlier reversion
   }
-  return std::nullopt;  // version was discarded by an earlier reversion
+  return std::nullopt;
 }
 
 std::vector<SeqNum> CheckpointLog::SeqsInSameTx(SeqNum seq) const {
+  std::lock_guard<std::mutex> aux(aux_mutex_);
   auto it = seq_to_tx_.find(seq);
   if (it == seq_to_tx_.end()) {
     return {seq};
@@ -201,6 +282,7 @@ void CheckpointLog::RestoreBytes(PmOffset address, const uint8_t* data,
 }
 
 SeqNum CheckpointLog::AllocationEpoch(PmOffset address) const {
+  std::lock_guard<std::mutex> aux(aux_mutex_);
   auto it = allocations_.upper_bound(address);
   if (it == allocations_.begin()) {
     return kNoSeq;
@@ -236,6 +318,7 @@ std::vector<uint8_t> CheckpointLog::ReconstructState(
     // extent beyond its allocation (e.g. a neighbor clobbered by an
     // overrun, captured when the extent grew) keep their pre-history.
     size_t zero_end = state.size();
+    std::lock_guard<std::mutex> aux(aux_mutex_);
     auto it = allocations_.upper_bound(entry.address);
     if (it != allocations_.begin()) {
       --it;
@@ -265,7 +348,9 @@ Result<bool> CheckpointLog::RevertSeq(SeqNum seq) {
                     " not in checkpoint log (version evicted or never "
                     "recorded)");
   }
-  auto& entry = entries_.at(loc->first);
+  // Caller-serialized (see header): no shard lock is held while the device's
+  // raw-restore path runs.
+  auto& entry = ShardFor(loc->first).entries.at(loc->first);
   const int idx = loc->second;
   // Divergence rule: if the bytes currently at the address no longer match
   // what this version checkpointed, the state was corrupted *after* the
@@ -305,7 +390,8 @@ Result<bool> CheckpointLog::RevertSeq(SeqNum seq) {
                          entry.versions.end());
     retained_versions_ -= discarded;
     ARTHAS_COUNTER_ADD("checkpoint.revert.count", discarded + 1);
-    ARTHAS_GAUGE_SET("checkpoint.versions.retained", retained_versions_);
+    ARTHAS_GAUGE_SET("checkpoint.versions.retained",
+                     retained_versions_.load());
     return true;  // divergence restore
   }
   // Restore the pre-state of exactly the byte range this version persisted
@@ -327,45 +413,49 @@ Result<bool> CheckpointLog::RevertSeq(SeqNum seq) {
   entry.versions.erase(entry.versions.begin() + idx, entry.versions.end());
   retained_versions_ -= discarded;
   ARTHAS_COUNTER_ADD("checkpoint.revert.count", discarded);
-  ARTHAS_GAUGE_SET("checkpoint.versions.retained", retained_versions_);
+  ARTHAS_GAUGE_SET("checkpoint.versions.retained", retained_versions_.load());
   return false;
 }
 
 Result<uint64_t> CheckpointLog::RollbackToSeq(SeqNum seq) {
   uint64_t discarded = 0;
-  for (auto& [address, entry] : entries_) {
-    int first_newer = -1;
-    for (size_t i = 0; i < entry.versions.size(); i++) {
-      if (entry.versions[i].seq_num >= seq) {
-        first_newer = static_cast<int>(i);
-        break;
+  for (Shard& shard : shards_) {
+    for (auto& [address, entry] : shard.entries) {
+      int first_newer = -1;
+      for (size_t i = 0; i < entry.versions.size(); i++) {
+        if (entry.versions[i].seq_num >= seq) {
+          first_newer = static_cast<int>(i);
+          break;
+        }
       }
+      if (first_newer < 0) {
+        continue;
+      }
+      std::vector<uint8_t> restore =
+          ReconstructState(entry, static_cast<size_t>(first_newer));
+      const auto& pre = entry.versions[first_newer].pre;
+      if (pre.size() > restore.size()) {
+        restore.resize(pre.size());
+      }
+      std::copy(pre.begin(), pre.end(), restore.begin());
+      RestoreBytes(entry.address, restore.data(), restore.size());
+      discarded += entry.versions.size() - static_cast<size_t>(first_newer);
+      entry.versions.erase(entry.versions.begin() + first_newer,
+                           entry.versions.end());
     }
-    if (first_newer < 0) {
-      continue;
-    }
-    std::vector<uint8_t> restore =
-        ReconstructState(entry, static_cast<size_t>(first_newer));
-    const auto& pre = entry.versions[first_newer].pre;
-    if (pre.size() > restore.size()) {
-      restore.resize(pre.size());
-    }
-    std::copy(pre.begin(), pre.end(), restore.begin());
-    RestoreBytes(entry.address, restore.data(), restore.size());
-    discarded += entry.versions.size() - static_cast<size_t>(first_newer);
-    entry.versions.erase(entry.versions.begin() + first_newer,
-                         entry.versions.end());
   }
   stats_.reverted_updates += discarded;
   retained_versions_ -= discarded;
   ARTHAS_COUNTER_ADD("checkpoint.revert.count", discarded);
-  ARTHAS_GAUGE_SET("checkpoint.versions.retained", retained_versions_);
+  ARTHAS_GAUGE_SET("checkpoint.versions.retained", retained_versions_.load());
   return discarded;
 }
 
 SeqNum CheckpointLog::NewestSeqAt(PmOffset address) const {
-  auto it = entries_.find(address);
-  if (it == entries_.end() || it->second.versions.empty()) {
+  const Shard& shard = ShardFor(address);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.entries.find(address);
+  if (it == shard.entries.end() || it->second.versions.empty()) {
     return kNoSeq;
   }
   return it->second.versions.back().seq_num;
@@ -373,9 +463,12 @@ SeqNum CheckpointLog::NewestSeqAt(PmOffset address) const {
 
 SeqNum CheckpointLog::NewestRetainedSeq() const {
   SeqNum newest = kNoSeq;
-  for (const auto& [address, entry] : entries_) {
-    if (!entry.versions.empty()) {
-      newest = std::max(newest, entry.versions.back().seq_num);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [address, entry] : shard.entries) {
+      if (!entry.versions.empty()) {
+        newest = std::max(newest, entry.versions.back().seq_num);
+      }
     }
   }
   return newest;
@@ -391,6 +484,7 @@ Status CheckpointLog::RevertLatestAt(PmOffset address) {
 }
 
 std::vector<AllocationRecord> CheckpointLog::UnfreedAllocations() const {
+  std::lock_guard<std::mutex> aux(aux_mutex_);
   std::vector<AllocationRecord> out;
   for (const auto& [offset, record] : allocations_) {
     if (!record.freed) {

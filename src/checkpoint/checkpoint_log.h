@@ -17,12 +17,36 @@
 // Arthas runtime (outside the simulated pool), which models the same thing:
 // it survives target-system crashes because the reactor's process is not the
 // target's process.
+//
+// Concurrency model (see DESIGN.md "Concurrency model"):
+//   * The per-address entry map is sharded by offset hash with a lock per
+//     shard, so OnPersist callbacks from concurrent flushers never contend
+//     on one map. Sequence numbers come from one atomic counter (a global
+//     total order; 1,2,3,... single-threaded); each shard keeps its slice of
+//     the seq->address index, merged into the global order at serialize
+//     time.
+//   * Observer callbacks (OnPersist/OnAlloc/...) are thread-safe. Lock
+//     order: device stripes -> entry shard -> aux mutex (allocation and
+//     transaction maps).
+//   * Transaction attribution is per-thread: begin/persist/commit of one
+//     transaction run on the thread executing it.
+//   * The reversion primitives (RevertSeq/RollbackToSeq/RevertLatestAt) and
+//     Serialize/Restore are caller-serialized: the reactor quiesces worker
+//     threads before reverting, as a real recovery process owns the pool
+//     exclusively. They touch the device's raw-restore path, which must not
+//     run under shard locks (it takes device stripes).
+//   * Find/Overlapping return pointers into the log; entries are never
+//     erased (only Restore replaces them), so the pointers stay valid, but
+//     reading them races with concurrent flushers — reactor-side use only.
 
 #ifndef ARTHAS_CHECKPOINT_CHECKPOINT_LOG_H_
 #define ARTHAS_CHECKPOINT_CHECKPOINT_LOG_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -66,10 +90,11 @@ struct CheckpointEntry {
   PmOffset new_entry = kNullPmOffset;
 };
 
+// Fields are atomics so the harness can read them while flushers record.
 struct CheckpointStats {
-  uint64_t records = 0;           // persists checkpointed
-  uint64_t bytes_copied = 0;
-  uint64_t reverted_updates = 0;  // versions undone by reversion calls
+  std::atomic<uint64_t> records{0};  // persists checkpointed
+  std::atomic<uint64_t> bytes_copied{0};
+  std::atomic<uint64_t> reverted_updates{0};  // versions undone by reversion
 };
 
 // Tracks object lifetimes for the leak-mitigation workflow (Section 4.7).
@@ -101,9 +126,11 @@ class CheckpointLog : public DurabilityObserver, public PoolObserver {
 
   // --- Queries (used by the reactor) ---------------------------------------
 
-  const std::map<PmOffset, CheckpointEntry>& entries() const {
-    return entries_;
-  }
+  // Snapshot of all entries, merged across shards into address order.
+  std::map<PmOffset, CheckpointEntry> entries() const;
+
+  // Number of distinct addresses with a log entry.
+  size_t entry_count() const { return entry_count_.load(); }
 
   // Entry at exactly `address`, or nullptr.
   const CheckpointEntry* Find(PmOffset address) const;
@@ -120,9 +147,12 @@ class CheckpointLog : public DurabilityObserver, public PoolObserver {
   std::vector<SeqNum> SeqsInSameTx(SeqNum seq) const;
 
   // Largest sequence number issued so far.
-  SeqNum LatestSeq() const { return next_seq_ - 1; }
+  SeqNum LatestSeq() const { return next_seq_.load() - 1; }
 
   // --- Reversion primitives (used by the reactor) ---------------------------
+  //
+  // Caller-serialized: quiesce concurrent flushers first (the reactor's
+  // recovery process owns the pool exclusively).
 
   // Undoes the update with sequence number `seq`: restores the previous
   // version's bytes (or the original bytes) at the entry's address, in both
@@ -173,35 +203,56 @@ class CheckpointLog : public DurabilityObserver, public PoolObserver {
   // a reactor restart does not lose the versioned history. These serialize
   // the log (entries, versions with undo bytes, tx groups, allocation
   // records) to a byte buffer and restore it into a freshly attached log.
+  // Caller-serialized.
   std::vector<uint8_t> Serialize() const;
   Status Restore(const std::vector<uint8_t>& image);
 
  private:
-  CheckpointEntry& GetOrCreate(PmOffset address, size_t size);
+  // One lock-striped slice of the per-address entry map.
+  struct Shard {
+    mutable std::mutex mutex;
+    std::map<PmOffset, CheckpointEntry> entries;
+    // seq -> entry address (lookup accelerator; validated against the
+    // entry's retained versions at query time since reverts discard
+    // versions). This shard's slice of the global sequence order.
+    std::map<SeqNum, PmOffset> seq_index;
+  };
+  static constexpr size_t kNumShards = 16;
+
+  static size_t ShardOf(PmOffset address);
+  Shard& ShardFor(PmOffset address) { return shards_[ShardOf(address)]; }
+  const Shard& ShardFor(PmOffset address) const {
+    return shards_[ShardOf(address)];
+  }
+
+  // Requires `shard.mutex`.
+  CheckpointEntry& GetOrCreateLocked(Shard& shard, PmOffset address,
+                                     size_t size);
   // State of the entry's extent after its first `upto` retained versions,
   // respecting the address's allocation epoch.
   std::vector<uint8_t> ReconstructState(const CheckpointEntry& entry,
                                         size_t upto) const;
   // Restore that steps around current allocator metadata in the range.
   void RestoreBytes(PmOffset address, const uint8_t* data, size_t size);
+  void RaiseMaxExtent(size_t extent);
 
   PmemPool* pool_;  // null after Detach()
   PmemDevice* device_;
   CheckpointConfig config_;
-  std::map<PmOffset, CheckpointEntry> entries_;
-  // seq -> entry address (lookup accelerator; validated against the entry's
-  // retained versions at query time since reverts discard versions).
-  std::map<SeqNum, PmOffset> seq_index_;
+  std::array<Shard, kNumShards> shards_;
+  // Guards the transaction and allocation maps (taken after a shard mutex,
+  // never before one).
+  mutable std::mutex aux_mutex_;
   std::map<SeqNum, uint64_t> seq_to_tx_;
   std::map<uint64_t, std::vector<SeqNum>> tx_to_seqs_;
   std::map<PmOffset, AllocationRecord> allocations_;
-  SeqNum next_seq_ = 1;
-  uint64_t open_tx_ = 0;
+  std::atomic<SeqNum> next_seq_{1};
+  std::atomic<uint64_t> entry_count_{0};
   // Currently retained versions across all entries (mirrored to the
   // `checkpoint.versions.retained` gauge).
-  uint64_t retained_versions_ = 0;
+  std::atomic<uint64_t> retained_versions_{0};
   // Largest extent any entry ever reached (bounds the Overlapping scan).
-  size_t max_extent_ = 0;
+  std::atomic<size_t> max_extent_{0};
   CheckpointStats stats_;
 };
 

@@ -5,6 +5,7 @@
 // and transaction ids), the realloc links, transaction groups, allocation
 // records, and the sequence counter.
 
+#include <array>
 #include <cstring>
 
 #include "checkpoint/checkpoint_log.h"
@@ -64,11 +65,22 @@ std::vector<uint8_t> CheckpointLog::Serialize() const {
   ScopedTimer timer;
   Writer w;
   w.U64(kLogMagic);
-  w.U64(next_seq_);
+  w.U64(next_seq_.load());
   w.U64(static_cast<uint64_t>(config_.max_versions));
 
-  w.U64(entries_.size());
-  for (const auto& [address, entry] : entries_) {
+  // Merge the shards into one address-ordered sequence (the shards hold
+  // hash-disjoint address sets, so this is the global order the
+  // single-threaded log wrote directly). The per-version sequence numbers
+  // come from one atomic counter and need no renumbering.
+  std::map<PmOffset, const CheckpointEntry*> merged;
+  for (const Shard& shard : shards_) {
+    for (const auto& [address, entry] : shard.entries) {
+      merged.emplace(address, &entry);
+    }
+  }
+  w.U64(merged.size());
+  for (const auto& [address, entry_ptr] : merged) {
+    const CheckpointEntry& entry = *entry_ptr;
     w.U64(address);
     w.Blob(entry.original);
     w.U64(entry.old_entry);
@@ -113,13 +125,15 @@ Status CheckpointLog::Restore(const std::vector<uint8_t>& image) {
     return Corruption("truncated checkpoint-log header");
   }
 
-  std::map<PmOffset, CheckpointEntry> entries;
+  // Parsed entries, distributed back into their shards at the end (the
+  // shard assignment is a pure function of the address).
+  std::array<std::map<PmOffset, CheckpointEntry>, kNumShards> entries;
+  std::array<std::map<SeqNum, PmOffset>, kNumShards> seq_index;
   uint64_t entry_count = 0;
   if (!r.U64(&entry_count)) {
     return Corruption("truncated entry count");
   }
   size_t max_extent = 0;
-  std::map<SeqNum, PmOffset> seq_index;
   for (uint64_t i = 0; i < entry_count; i++) {
     CheckpointEntry entry;
     uint64_t version_count = 0;
@@ -128,17 +142,18 @@ Status CheckpointLog::Restore(const std::vector<uint8_t>& image) {
         !r.U64(&version_count)) {
       return Corruption("truncated entry");
     }
+    const size_t si = ShardOf(entry.address);
     for (uint64_t v = 0; v < version_count; v++) {
       CheckpointVersion version;
       if (!r.U64(&version.seq_num) || !r.U64(&version.tx_id) ||
           !r.Blob(&version.data) || !r.Blob(&version.pre)) {
         return Corruption("truncated version");
       }
-      seq_index[version.seq_num] = entry.address;
+      seq_index[si][version.seq_num] = entry.address;
       entry.versions.push_back(std::move(version));
     }
     max_extent = std::max(max_extent, entry.original.size());
-    entries.emplace(entry.address, std::move(entry));
+    entries[si].emplace(entry.address, std::move(entry));
   }
 
   std::map<PmOffset, AllocationRecord> allocations;
@@ -178,12 +193,21 @@ Status CheckpointLog::Restore(const std::vector<uint8_t>& image) {
     return Corruption("trailing bytes in checkpoint-log image");
   }
 
-  entries_ = std::move(entries);
-  allocations_ = std::move(allocations);
-  seq_to_tx_ = std::move(seq_to_tx);
-  tx_to_seqs_ = std::move(tx_to_seqs);
-  seq_index_ = std::move(seq_index);
+  uint64_t total_entries = 0;
+  for (size_t si = 0; si < kNumShards; si++) {
+    std::lock_guard<std::mutex> lock(shards_[si].mutex);
+    total_entries += entries[si].size();
+    shards_[si].entries = std::move(entries[si]);
+    shards_[si].seq_index = std::move(seq_index[si]);
+  }
+  {
+    std::lock_guard<std::mutex> aux(aux_mutex_);
+    allocations_ = std::move(allocations);
+    seq_to_tx_ = std::move(seq_to_tx);
+    tx_to_seqs_ = std::move(tx_to_seqs);
+  }
   next_seq_ = next_seq;
+  entry_count_ = total_entries;
   config_.max_versions = static_cast<int>(max_versions);
   max_extent_ = max_extent;
   return OkStatus();

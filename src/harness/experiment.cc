@@ -640,7 +640,8 @@ ExperimentResult FaultExperiment::RunInner() {
   // --- Mitigate. ---------------------------------------------------------------
   auto reexecute = [this]() { return Reexecute(); };
   const uint64_t reverted_before =
-      checkpoint_ != nullptr ? checkpoint_->stats().reverted_updates : 0;
+      checkpoint_ != nullptr ? checkpoint_->stats().reverted_updates.load()
+                             : 0;
 
   switch (config_.solution) {
     case Solution::kArthas: {

@@ -1,0 +1,96 @@
+#include "harness/mt_driver.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/clock.h"
+#include "obs/obs.h"
+
+namespace arthas {
+
+MultiThreadedDriver::MultiThreadedDriver(PmSystemTarget& system,
+                                         MtDriverConfig config)
+    : system_(system), config_(std::move(config)) {}
+
+MtDriverResult MultiThreadedDriver::Run() {
+  const int threads = config_.threads < 1 ? 1 : config_.threads;
+
+  struct ThreadState {
+    uint64_t ops = 0;
+    obs::Histogram latency;
+  };
+  std::vector<std::unique_ptr<ThreadState>> states;
+  states.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; t++) {
+    states.push_back(std::make_unique<ThreadState>());
+  }
+
+  // All threads spin at the start line until the clock starts, so the
+  // measured window covers pure steady-state traffic, not thread spawn.
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; t++) {
+    workers.emplace_back([this, t, &go, state = states[t].get()] {
+      YcsbWorkload workload(config_.workload,
+                            config_.base_seed + static_cast<uint64_t>(t));
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (uint64_t i = 0; i < config_.ops_per_thread; i++) {
+        const int64_t op_start = MonotonicNanos();
+        // Request generation and client-side work run outside the system's
+        // request lock — this is the parallelism a multi-threaded server
+        // actually has when its store is coarsely locked.
+        Request request = workload.Next();
+        if (config_.per_op_work) {
+          config_.per_op_work();
+        }
+        {
+          std::lock_guard<std::mutex> lock(system_.request_mutex());
+          system_.Handle(request);
+        }
+        state->latency.Record(
+            static_cast<uint64_t>(MonotonicNanos() - op_start));
+        state->ops++;
+        // Off-CPU between operations: the closed-loop client's network
+        // round-trip. Not part of the recorded op latency.
+        if (config_.think_time.count() > 0) {
+          std::this_thread::sleep_for(config_.think_time);
+        }
+      }
+    });
+  }
+
+  const int64_t start = MonotonicNanos();
+  go.store(true, std::memory_order_release);
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  const int64_t elapsed = MonotonicNanos() - start;
+
+  MtDriverResult result;
+  obs::Histogram merged;
+  for (const auto& state : states) {
+    result.total_ops += state->ops;
+    result.per_thread_ops.push_back(state->ops);
+    merged.Merge(state->latency);
+    // Merge the per-thread counters into the global obs registry.
+    ARTHAS_COUNTER_ADD("driver.ops.count", state->ops);
+  }
+#ifndef ARTHAS_OBS_DISABLED
+  obs::MetricsRegistry::Global()
+      .GetHistogram("driver.op.latency.ns")
+      .Merge(merged);
+#endif
+  result.latency = merged.Snapshot();
+  result.elapsed_seconds = static_cast<double>(elapsed) / 1e9;
+  result.ops_per_second =
+      result.elapsed_seconds > 0
+          ? static_cast<double>(result.total_ops) / result.elapsed_seconds
+          : 0;
+  return result;
+}
+
+}  // namespace arthas

@@ -1,0 +1,80 @@
+// Multi-threaded YCSB driver (paper Section 6.7 measurement conditions).
+//
+// The paper's Figure 12 / Table 8 overhead numbers are defined over
+// 4-thread YCSB runs. This driver reproduces that shape: N client threads,
+// each with its own YcsbWorkload stream (distinct seeds), issue requests
+// against ONE target system. The target's volatile structures are
+// single-threaded, so Handle() calls are serialized behind the system's own
+// coarse request lock (PmSystemTarget::request_mutex()) — exactly like
+// memcached worker threads contending on cache_lock — while request
+// generation and the simulated client-side work run outside the lock and
+// genuinely in parallel. The PM substrate below (device stripes, pool
+// mutex, checkpoint shards, tracer buffers) runs concurrently on its own
+// locks.
+//
+// Per-thread operation and latency counters are merged into the global obs
+// registry after the run (`driver.ops.count`, `driver.op.latency.ns`).
+//
+// With threads == 1 the driver is a plain loop: one workload stream with
+// the base seed, same request sequence as the single-threaded benches.
+
+#ifndef ARTHAS_HARNESS_MT_DRIVER_H_
+#define ARTHAS_HARNESS_MT_DRIVER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "systems/pm_system.h"
+#include "workload/ycsb.h"
+
+namespace arthas {
+
+struct MtDriverConfig {
+  int threads = 1;
+  // Operations issued by EACH thread (total = threads * ops_per_thread).
+  uint64_t ops_per_thread = 10000;
+  // Thread t's workload stream is seeded with base_seed + t, so thread 0 of
+  // a 1-thread run replays exactly the single-threaded request sequence.
+  uint64_t base_seed = 7;
+  YcsbConfig workload;
+  // Client-side work performed per operation OUTSIDE the system's request
+  // lock (e.g. the benches' SimulatedRequestWork). May be empty.
+  std::function<void()> per_op_work;
+  // Closed-loop client think time: each thread blocks this long between
+  // operations (after its response, before its next request), modelling the
+  // network round-trip a real YCSB client spends off-CPU. Think-time waits
+  // overlap across threads, so aggregate throughput scales with the client
+  // count until the server's request lock saturates — the standard
+  // closed-loop scaling shape. Zero (the default) disables it.
+  std::chrono::nanoseconds think_time{0};
+};
+
+struct MtDriverResult {
+  uint64_t total_ops = 0;
+  double elapsed_seconds = 0;
+  double ops_per_second = 0;  // aggregate across threads
+  std::vector<uint64_t> per_thread_ops;
+  // End-to-end per-operation latency (request generation + client work +
+  // locked Handle), merged across threads.
+  obs::HistogramSnapshot latency;
+};
+
+class MultiThreadedDriver {
+ public:
+  MultiThreadedDriver(PmSystemTarget& system, MtDriverConfig config);
+
+  // Runs threads * ops_per_thread operations and blocks until all client
+  // threads joined. Not reentrant; run one driver at a time per system.
+  MtDriverResult Run();
+
+ private:
+  PmSystemTarget& system_;
+  MtDriverConfig config_;
+};
+
+}  // namespace arthas
+
+#endif  // ARTHAS_HARNESS_MT_DRIVER_H_

@@ -12,6 +12,40 @@ namespace arthas {
 
 PmemDevice::PmemDevice(size_t size) : live_(size, 0), durable_(size, 0) {}
 
+// Stripe selection: cache-line index modulo kNumStripes. A range of L lines
+// therefore touches min(L, kNumStripes) stripes; kNumStripes is 64 so the
+// held set fits a uint64_t bitmask.
+PmemDevice::StripeGuard::StripeGuard(const PmemDevice& device, PmOffset offset,
+                                     size_t size)
+    : device_(device) {
+  static_assert(PmemDevice::kNumStripes <= 64, "stripe mask is a uint64_t");
+  if (size == 0) {
+    return;
+  }
+  const uint64_t first_line = offset / kCacheLineSize;
+  const uint64_t last_line = (offset + size - 1) / kCacheLineSize;
+  if (last_line - first_line + 1 >= kNumStripes) {
+    mask_ = ~0ULL;
+  } else {
+    for (uint64_t line = first_line; line <= last_line; line++) {
+      mask_ |= 1ULL << (line % kNumStripes);
+    }
+  }
+  for (size_t i = 0; i < kNumStripes; i++) {
+    if (mask_ & (1ULL << i)) {
+      device_.stripes_[i].lock();
+    }
+  }
+}
+
+PmemDevice::StripeGuard::~StripeGuard() {
+  for (size_t i = kNumStripes; i-- > 0;) {
+    if (mask_ & (1ULL << i)) {
+      device_.stripes_[i].unlock();
+    }
+  }
+}
+
 PmOffset PmemDevice::OffsetOf(const void* p) const {
   const auto* byte = static_cast<const uint8_t*>(p);
   if (byte < live_.data() || byte >= live_.data() + live_.size()) {
@@ -39,18 +73,24 @@ void PmemDevice::MakeDurable(PmOffset offset, size_t size) {
   ARTHAS_COUNTER_ADD("pmem.persist.bytes", size);
 }
 
-void PmemDevice::Persist(PmOffset offset, size_t size) {
-  if (size == 0) {
-    return;
-  }
+void PmemDevice::NotifyAndMakeDurable(PmOffset offset, size_t size) {
   // Observers run at the durability point but before the media copy, so a
   // checkpointing observer can still read the previous durable contents
-  // (needed to seed the oldest version of a fresh checkpoint entry).
+  // (needed to seed the oldest version of a fresh checkpoint entry). The
+  // range's stripes are held, keeping that pre-copy view stable.
   for (DurabilityObserver* obs : observers_) {
     obs->OnPersist(offset, size, live_.data() + offset);
   }
   MakeDurable(offset, size);
   stats_.persists++;
+}
+
+void PmemDevice::Persist(PmOffset offset, size_t size) {
+  if (size == 0) {
+    return;
+  }
+  StripeGuard guard(*this, offset, size);
+  NotifyAndMakeDurable(offset, size);
   ARTHAS_COUNTER_ADD("pmem.persist.count", 1);
 }
 
@@ -58,6 +98,7 @@ void PmemDevice::PersistQuiet(PmOffset offset, size_t size) {
   if (size == 0) {
     return;
   }
+  StripeGuard guard(*this, offset, size);
   MakeDurable(offset, size);
   stats_.persists++;
   ARTHAS_COUNTER_ADD("pmem.persist.count", 1);
@@ -67,23 +108,32 @@ void PmemDevice::FlushLines(PmOffset offset, size_t size) {
   if (size == 0) {
     return;
   }
+  std::lock_guard<std::mutex> lock(pending_mutex_);
   pending_.push_back({offset, size});
 }
 
 void PmemDevice::Drain() {
   stats_.drains++;
   ARTHAS_COUNTER_ADD("pmem.drain.count", 1);
-  for (const PendingRange& range : pending_) {
-    for (DurabilityObserver* obs : observers_) {
-      obs->OnPersist(range.offset, range.size, live_.data() + range.offset);
-    }
-    MakeDurable(range.offset, range.size);
-    stats_.persists++;
+  // Swap the staged list out under its own mutex (never held while taking
+  // stripes), then make each range durable under its stripes. A concurrent
+  // FlushLines after the swap lands in the next drain, exactly as a clwb
+  // issued after this thread's sfence would.
+  std::vector<PendingRange> draining;
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    draining.swap(pending_);
   }
-  pending_.clear();
+  for (const PendingRange& range : draining) {
+    StripeGuard guard(*this, range.offset, range.size);
+    NotifyAndMakeDurable(range.offset, range.size);
+  }
 }
 
 void PmemDevice::Crash() {
+  // Take every stripe so the unflushed-line set is consistent: concurrent
+  // persists are either fully durable or fully discarded.
+  StripeGuard guard(*this, 0, live_.size());
 #ifndef ARTHAS_OBS_DISABLED
   // Count the cache lines whose writes never reached the durable image —
   // the data a real power failure would discard. The scan is obs-only work
@@ -98,28 +148,42 @@ void PmemDevice::Crash() {
   ARTHAS_COUNTER_ADD("pmem.crash.count", 1);
   ARTHAS_COUNTER_ADD("pmem.crash_discarded.lines", discarded_lines);
 #endif
-  pending_.clear();
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    pending_.clear();
+  }
   std::memcpy(live_.data(), durable_.data(), live_.size());
   stats_.crashes++;
 }
 
 void PmemDevice::RawRestore(PmOffset offset, const void* data, size_t size) {
   assert(offset + size <= live_.size());
+  StripeGuard guard(*this, offset, size);
   std::memcpy(live_.data() + offset, data, size);
   std::memcpy(durable_.data() + offset, data, size);
+}
+
+std::vector<uint8_t> PmemDevice::SnapshotDurable() const {
+  StripeGuard guard(*this, 0, durable_.size());
+  return durable_;
 }
 
 Status PmemDevice::RestoreDurable(const std::vector<uint8_t>& image) {
   if (image.size() != durable_.size()) {
     return InvalidArgument("snapshot image size mismatch");
   }
+  StripeGuard guard(*this, 0, durable_.size());
   durable_ = image;
   std::memcpy(live_.data(), durable_.data(), live_.size());
-  pending_.clear();
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    pending_.clear();
+  }
   return OkStatus();
 }
 
 Status PmemDevice::SaveToFile(const std::string& path) const {
+  StripeGuard guard(*this, 0, durable_.size());
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) {
     return Internal("cannot open " + path + " for writing");
@@ -137,6 +201,7 @@ Status PmemDevice::LoadFromFile(const std::string& path) {
   if (f == nullptr) {
     return NotFound("cannot open " + path);
   }
+  StripeGuard guard(*this, 0, durable_.size());
   const size_t read = std::fread(durable_.data(), 1, durable_.size(), f);
   std::fclose(f);
   if (read != durable_.size()) {
@@ -157,6 +222,7 @@ void PmemDevice::RemoveObserver(DurabilityObserver* observer) {
 
 bool PmemDevice::IsDurable(PmOffset offset, size_t size) const {
   assert(offset + size <= live_.size());
+  StripeGuard guard(*this, offset, size);
   return std::memcmp(live_.data() + offset, durable_.data() + offset, size) ==
          0;
 }

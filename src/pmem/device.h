@@ -18,12 +18,31 @@
 // attaches to: it fires once per persisted range, at the durability point,
 // which is what lets checkpointing respect the program's own persistence
 // granularity and timing (paper Section 4.2).
+//
+// Concurrency model (see DESIGN.md "Concurrency model"):
+//   * The live image is ordinary memory: loads/stores through Live() are the
+//     application's to synchronize, exactly as with pmem_map_file memory.
+//   * Durability operations (Persist/FlushLines/Drain/IsDurable/RawRestore)
+//     are thread-safe. The durable image is covered by kNumStripes lock
+//     stripes keyed by cache-line index; an operation locks the stripes its
+//     line range maps to, in ascending stripe order. Observer callbacks run
+//     at the durability point with the range's stripes held, so an observer
+//     sees a stable pre-copy durable image for that range.
+//   * Crash() takes every stripe (ascending), so it observes a consistent
+//     unflushed-line set: no persist can be half-applied when the power
+//     "fails".
+//   * AddObserver/RemoveObserver and the whole-image save/restore helpers
+//     are caller-serialized: attach observers and snapshot images while no
+//     concurrent durability traffic runs (the harness quiesces first).
 
 #ifndef ARTHAS_PMEM_DEVICE_H_
 #define ARTHAS_PMEM_DEVICE_H_
 
+#include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -40,7 +59,9 @@ constexpr size_t kCacheLineSize = 64;
 
 // Receives durability events from a PmemDevice. All offsets are
 // device-relative; `data` points into the live image and is valid only for
-// the duration of the call.
+// the duration of the call. Callbacks fire with the range's lock stripes
+// held: implementations must not call back into durability operations of the
+// same device (they may read Live()/Durable() pointers for the range).
 class DurabilityObserver {
  public:
   virtual ~DurabilityObserver() = default;
@@ -49,17 +70,22 @@ class DurabilityObserver {
   virtual void OnPersist(PmOffset offset, size_t size, const void* data) = 0;
 };
 
-// Counters exposed for the overhead benchmarks.
+// Counters exposed for the overhead benchmarks. Fields are atomics so
+// concurrent flushers can bump them without a lock; readers load them
+// individually (the struct itself is not copyable).
 struct PmemDeviceStats {
-  uint64_t persists = 0;
-  uint64_t flushed_lines = 0;
-  uint64_t drains = 0;
-  uint64_t persisted_bytes = 0;
-  uint64_t crashes = 0;
+  std::atomic<uint64_t> persists{0};
+  std::atomic<uint64_t> flushed_lines{0};
+  std::atomic<uint64_t> drains{0};
+  std::atomic<uint64_t> persisted_bytes{0};
+  std::atomic<uint64_t> crashes{0};
 };
 
 class PmemDevice {
  public:
+  // Lock stripes covering the durable image, keyed by cache-line index.
+  static constexpr size_t kNumStripes = 64;
+
   // Creates a device of `size` bytes, both images zero-filled.
   explicit PmemDevice(size_t size);
 
@@ -84,21 +110,27 @@ class PmemDevice {
 
   // clwb/sfence-style durability: rounds the range out to cache lines,
   // copies live -> durable, and notifies observers. Equivalent to
-  // pmem_persist(addr, size).
+  // pmem_persist(addr, size). Thread-safe (locks the range's stripes).
   void Persist(PmOffset offset, size_t size);
 
   // Durability without observer notification. Used for pool-internal
   // metadata (allocator headers, undo log) so the checkpoint log sees only
-  // application PM updates.
+  // application PM updates. Thread-safe.
   void PersistQuiet(PmOffset offset, size_t size);
 
   // Two-step variant: FlushLines stages lines, Drain makes all staged lines
   // durable (and fires observer callbacks). Models clwb ... sfence code.
+  // Thread-safe; a Drain drains the ranges staged by every thread up to the
+  // moment it swaps the pending list out.
   void FlushLines(PmOffset offset, size_t size);
   void Drain();
 
   // Discards all non-durable state: the live image is rebuilt from the
   // durable image. This is what a process restart or power failure does.
+  // Takes every stripe, so the discarded (unflushed) line set is consistent:
+  // concurrent persists are either fully durable or fully discarded.
+  // Not linearizable with an in-flight Drain (quiesce flushers first, as
+  // the harness does).
   void Crash();
 
   // Raw mutation of both images at once, bypassing durability events.
@@ -108,7 +140,7 @@ class PmemDevice {
 
   // Whole-image snapshots for the pmCRIU baseline. A snapshot captures the
   // durable image (what CRIU would dump from the PM pool file).
-  std::vector<uint8_t> SnapshotDurable() const { return durable_; }
+  std::vector<uint8_t> SnapshotDurable() const;
   Status RestoreDurable(const std::vector<uint8_t>& image);
 
   // Save/load the durable image to a file, for cross-process style use.
@@ -130,10 +162,30 @@ class PmemDevice {
     size_t size;
   };
 
+  // Locks every stripe covering [offset, offset+size) in ascending stripe
+  // order (the deadlock-free total order); unlocks in reverse. A default-
+  // constructed-with-all guard (offset 0, size = device size) is what
+  // Crash() and the image helpers use.
+  class StripeGuard {
+   public:
+    StripeGuard(const PmemDevice& device, PmOffset offset, size_t size);
+    ~StripeGuard();
+    StripeGuard(const StripeGuard&) = delete;
+    StripeGuard& operator=(const StripeGuard&) = delete;
+
+   private:
+    const PmemDevice& device_;
+    uint64_t mask_ = 0;  // bit i set => stripes_[i] held
+  };
+
+  // Caller must hold the stripes covering the range.
   void MakeDurable(PmOffset offset, size_t size);
+  void NotifyAndMakeDurable(PmOffset offset, size_t size);
 
   std::vector<uint8_t> live_;
   std::vector<uint8_t> durable_;
+  mutable std::array<std::mutex, kNumStripes> stripes_;
+  std::mutex pending_mutex_;
   std::vector<PendingRange> pending_;  // flushed but not yet drained
   std::vector<DurabilityObserver*> observers_;
   PmemDeviceStats stats_;

@@ -24,9 +24,19 @@ namespace arthas {
 // indices are heap-shaped: node 1 is the whole heap, children 2i / 2i+1.
 // Allocation descends leftmost-first, which also gives the deterministic
 // address reuse after free that the f1/f10 reproductions rely on.
+//
+// Undo-slot layout: slot 0 is the original single-transaction design — its
+// activity flag and log cursor live in the pool header, and its log grows
+// up from the start of the undo region, with the *whole* region as its
+// capacity while it runs alone. Extra slots (for concurrent transactions)
+// carve fixed chunks from the top of the same region, below a descriptor
+// table at the very top. The descriptors use a magic activity tag rather
+// than a boolean so that an old single-threaded image whose slot-0 log grew
+// over the (then-unused) table is never misread as live extra slots.
 
 namespace {
 constexpr uint64_t kPoolMagic = 0x41525448'41535032ULL;  // "ARTHASP2"
+constexpr uint64_t kTxSlotActiveMagic = 0x41525448'54584c31ULL;  // "ARTHTXL1"
 constexpr uint8_t kNodeFree = 0;
 constexpr uint8_t kNodeSplit = 1;
 constexpr uint8_t kNodeUsed = 2;
@@ -58,9 +68,9 @@ struct PmemPool::PoolHeader {
   uint64_t heap_order;     // log2(heap size)
   uint64_t used_bytes;
   uint64_t live_objects;
-  uint64_t tx_active;
-  uint64_t tx_log_count;
-  uint64_t tx_log_bytes;
+  uint64_t tx_active;      // slot 0 activity flag
+  uint64_t tx_log_count;   // slot 0 log entries
+  uint64_t tx_log_bytes;   // slot 0 log cursor
   uint32_t crc;
   uint32_t pad;
 };
@@ -69,6 +79,15 @@ struct PmemPool::PoolHeader {
 // buddy design); declared to satisfy the header's friend declarations.
 struct PmemPool::BlockHeader {
   uint64_t unused;
+};
+
+// Persistent descriptor of one extra undo slot, in the table at the top of
+// the undo region. `magic_active` holds kTxSlotActiveMagic while the slot's
+// transaction is in flight, 0 (or stale payload bytes) otherwise.
+struct PmemPool::TxSlotDescriptor {
+  uint64_t magic_active;
+  uint64_t log_count;
+  uint64_t log_bytes;
 };
 
 namespace {
@@ -104,6 +123,44 @@ void PmemPool::PersistHeader() {
 }
 
 void PmemPool::PersistBlockHeader(PmOffset) {}
+
+// --- Undo-slot layout helpers -------------------------------------------------
+
+uint64_t PmemPool::ExtraTxChunkBytes() const {
+  const PoolHeader* h = header();
+  const uint64_t table = kExtraTxSlots * sizeof(TxSlotDescriptor);
+  return (h->undo_capacity - table) / kMaxConcurrentTx;
+}
+
+PmOffset PmemPool::TxSlotDescriptorOffset(int slot) const {
+  assert(slot >= 1 && slot <= kExtraTxSlots);
+  const PoolHeader* h = header();
+  return h->undo_off + h->undo_capacity -
+         (kExtraTxSlots - (slot - 1)) * sizeof(TxSlotDescriptor);
+}
+
+PmOffset PmemPool::ExtraTxSlotBase(int slot) const {
+  assert(slot >= 1 && slot <= kExtraTxSlots);
+  const PoolHeader* h = header();
+  const PmOffset table_base =
+      h->undo_off + h->undo_capacity - kExtraTxSlots * sizeof(TxSlotDescriptor);
+  return table_base - slot * ExtraTxChunkBytes();
+}
+
+void PmemPool::PersistTxSlotDescriptor(int slot) {
+  device_->PersistQuiet(TxSlotDescriptorOffset(slot), sizeof(TxSlotDescriptor));
+}
+
+uint64_t PmemPool::Slot0CapacityLocked() const {
+  const PoolHeader* h = header();
+  uint64_t limit = h->undo_capacity;
+  for (int i = 1; i <= kExtraTxSlots; i++) {
+    if (slot_busy_[i]) {
+      limit = std::min<uint64_t>(limit, ExtraTxSlotBase(i) - h->undo_off);
+    }
+  }
+  return limit;
+}
 
 // --- Buddy-tree helpers -------------------------------------------------------
 
@@ -197,7 +254,28 @@ Status PmemPool::Format(size_t size) {
   return OkStatus();
 }
 
+// Applies one undo log in reverse entry order (newest snapshot first), as
+// libpmemobj does on recovery and abort.
+void PmemPool::RollbackUndoLog(PmOffset log_base, uint64_t log_count) {
+  std::vector<PmOffset> entry_offsets;
+  PmOffset cursor = log_base;
+  for (uint64_t i = 0; i < log_count; i++) {
+    UndoEntryHeader eh;
+    std::memcpy(&eh, device_->Live(cursor), sizeof(eh));
+    entry_offsets.push_back(cursor);
+    cursor += sizeof(UndoEntryHeader) + AlignUp(eh.size, 8);
+  }
+  for (auto it = entry_offsets.rbegin(); it != entry_offsets.rend(); ++it) {
+    UndoEntryHeader eh;
+    std::memcpy(&eh, device_->Live(*it), sizeof(eh));
+    std::memcpy(device_->Live(eh.offset),
+                device_->Live(*it + sizeof(UndoEntryHeader)), eh.size);
+    device_->PersistQuiet(eh.offset, eh.size);
+  }
+}
+
 Status PmemPool::Recover() {
+  std::lock_guard<std::mutex> lock(mutex_);
   PoolHeader* h = header();
   stats_.used_bytes = h->used_bytes;
   stats_.live_objects = h->live_objects;
@@ -205,27 +283,35 @@ Status PmemPool::Recover() {
     // Crash happened inside a transaction: apply the undo log.
     ARTHAS_LOG(Info) << "pool recovery: rolling back in-flight transaction ("
                      << h->tx_log_count << " ranges)";
-    PmOffset cursor = h->undo_off;
-    std::vector<PmOffset> entry_offsets;
-    for (uint64_t i = 0; i < h->tx_log_count; i++) {
-      UndoEntryHeader eh;
-      std::memcpy(&eh, device_->Live(cursor), sizeof(eh));
-      entry_offsets.push_back(cursor);
-      cursor += sizeof(UndoEntryHeader) + AlignUp(eh.size, 8);
-    }
-    for (auto it = entry_offsets.rbegin(); it != entry_offsets.rend(); ++it) {
-      UndoEntryHeader eh;
-      std::memcpy(&eh, device_->Live(*it), sizeof(eh));
-      std::memcpy(device_->Live(eh.offset),
-                  device_->Live(*it + sizeof(UndoEntryHeader)), eh.size);
-      device_->PersistQuiet(eh.offset, eh.size);
-    }
+    RollbackUndoLog(h->undo_off, h->tx_log_count);
     h->tx_active = 0;
     h->tx_log_count = 0;
     h->tx_log_bytes = 0;
     PersistHeader();
   }
-  in_tx_ = false;
+  // Extra undo slots: roll back any transaction that was in flight on a
+  // concurrent thread. Concurrent transactions cover disjoint ranges, so
+  // the cross-slot rollback order is immaterial.
+  for (int slot = 1; slot <= kExtraTxSlots; slot++) {
+    TxSlotDescriptor desc;
+    std::memcpy(&desc, device_->Live(TxSlotDescriptorOffset(slot)),
+                sizeof(desc));
+    if (desc.magic_active != kTxSlotActiveMagic) {
+      continue;
+    }
+    ARTHAS_LOG(Info) << "pool recovery: rolling back in-flight transaction in "
+                        "undo slot "
+                     << slot << " (" << desc.log_count << " ranges)";
+    RollbackUndoLog(ExtraTxSlotBase(slot), desc.log_count);
+    desc = TxSlotDescriptor{};
+    std::memcpy(device_->Live(TxSlotDescriptorOffset(slot)), &desc,
+                sizeof(desc));
+    PersistTxSlotDescriptor(slot);
+  }
+  for (bool& busy : slot_busy_) {
+    busy = false;
+  }
+  default_tx_ = TxContext{};
   return OkStatus();
 }
 
@@ -261,6 +347,7 @@ uint64_t PmemPool::FindFreeNode(uint64_t node, size_t node_order,
   return FindFreeNode(2 * node + 1, node_order - 1, target);
 }
 
+// Requires the pool mutex.
 Result<Oid> PmemPool::AllocInternal(size_t size, bool zero) {
   ARTHAS_SCOPED_LATENCY("pool.alloc.ns");
   if (size == 0) {
@@ -301,8 +388,14 @@ Result<Oid> PmemPool::AllocInternal(size_t size, bool zero) {
   return Oid{payload};
 }
 
-Result<Oid> PmemPool::Alloc(size_t size) { return AllocInternal(size, false); }
-Result<Oid> PmemPool::Zalloc(size_t size) { return AllocInternal(size, true); }
+Result<Oid> PmemPool::Alloc(size_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return AllocInternal(size, false);
+}
+Result<Oid> PmemPool::Zalloc(size_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return AllocInternal(size, true);
+}
 
 // Locates the used node whose block starts exactly at `offset`.
 // Returns {node, order} or {0, 0}.
@@ -326,7 +419,8 @@ std::pair<uint64_t, size_t> PmemPool::FindUsedNode(PmOffset offset) const {
   return {node, order};
 }
 
-Status PmemPool::Free(Oid oid) {
+// Requires the pool mutex.
+Status PmemPool::FreeLocked(Oid oid) {
   ARTHAS_SCOPED_LATENCY("pool.free.ns");
   if (oid.is_null()) {
     return InvalidArgument("free of null oid");
@@ -367,11 +461,17 @@ Status PmemPool::Free(Oid oid) {
   return OkStatus();
 }
 
+Status PmemPool::Free(Oid oid) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return FreeLocked(oid);
+}
+
 Result<Oid> PmemPool::Realloc(Oid oid, size_t new_size) {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (oid.is_null()) {
-    return Alloc(new_size);
+    return AllocInternal(new_size, false);
   }
-  ARTHAS_ASSIGN_OR_RETURN(const size_t old_size, UsableSize(oid));
+  ARTHAS_ASSIGN_OR_RETURN(const size_t old_size, UsableSizeLocked(oid));
   if (new_size <= old_size) {
     return oid;  // fits in place
   }
@@ -387,7 +487,7 @@ Result<Oid> PmemPool::Realloc(Oid oid, size_t new_size) {
   std::memcpy(device_->Live(new_oid->off), device_->Live(oid.off),
               std::min(old_size, new_size));
   device_->PersistQuiet(new_oid->off, std::min(old_size, new_size));
-  Status freed = Free(oid);
+  Status freed = FreeLocked(oid);
   observers_.swap(saved);
   if (!freed.ok()) {
     return freed;
@@ -399,7 +499,8 @@ Result<Oid> PmemPool::Realloc(Oid oid, size_t new_size) {
   return *new_oid;
 }
 
-Result<size_t> PmemPool::UsableSize(Oid oid) const {
+// Requires the pool mutex.
+Result<size_t> PmemPool::UsableSizeLocked(Oid oid) const {
   if (oid.is_null()) {
     return Status(StatusCode::kInvalidArgument, "null oid");
   }
@@ -410,12 +511,18 @@ Result<size_t> PmemPool::UsableSize(Oid oid) const {
   return static_cast<size_t>(1ULL << order);
 }
 
+Result<size_t> PmemPool::UsableSize(Oid oid) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return UsableSizeLocked(oid);
+}
+
 Oid PmemPool::OidOf(const void* p) const {
   const PmOffset off = device_->OffsetOf(p);
   return off == kNullPmOffset ? Oid::Null() : Oid{off};
 }
 
 Result<Oid> PmemPool::Root(size_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
   PoolHeader* h = header();
   if (h->root_off != kNullPmOffset) {
     if (h->root_size < size) {
@@ -424,125 +531,179 @@ Result<Oid> PmemPool::Root(size_t size) {
     }
     return Oid{h->root_off};
   }
-  ARTHAS_ASSIGN_OR_RETURN(Oid root, Zalloc(size));
+  ARTHAS_ASSIGN_OR_RETURN(Oid root, AllocInternal(size, /*zero=*/true));
   h->root_off = root.off;
   h->root_size = size;
   PersistHeader();
   return root;
 }
 
-bool PmemPool::HasRoot() const { return header()->root_off != kNullPmOffset; }
+bool PmemPool::HasRoot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return header()->root_off != kNullPmOffset;
+}
 
 void PmemPool::Persist(Oid oid, size_t offset, size_t size) {
   assert(!oid.is_null());
   device_->Persist(oid.off + offset, size);
 }
 
-Status PmemPool::TxBegin() {
-  if (in_tx_) {
+Status PmemPool::TxBegin(TxContext& ctx) {
+  if (ctx.active) {
     return FailedPrecondition("nested transactions are not supported");
   }
+  std::lock_guard<std::mutex> lock(mutex_);
   PoolHeader* h = header();
-  h->tx_active = 1;
-  h->tx_log_count = 0;
-  h->tx_log_bytes = 0;
-  PersistHeader();
-  in_tx_ = true;
+  int slot = -1;
+  if (!slot_busy_[0]) {
+    slot = 0;
+  } else {
+    for (int i = 1; i <= kExtraTxSlots; i++) {
+      if (slot_busy_[i]) {
+        continue;
+      }
+      // The chunk must sit above slot 0's already-written log bytes.
+      if (ExtraTxSlotBase(i) < h->undo_off + h->tx_log_bytes) {
+        break;  // lower-numbered slots have higher bases; none can fit
+      }
+      slot = i;
+      break;
+    }
+  }
+  if (slot < 0) {
+    return FailedPrecondition("too many concurrent transactions");
+  }
+  slot_busy_[slot] = true;
   const uint64_t tx_id = next_tx_id_++;
-  current_tx_id_ = tx_id;
+  if (slot == 0) {
+    h->tx_active = 1;
+    h->tx_log_count = 0;
+    h->tx_log_bytes = 0;
+    PersistHeader();
+    ctx.undo_base = h->undo_off;
+    ctx.undo_capacity = h->undo_capacity;  // re-bounded per TxAddRange
+  } else {
+    TxSlotDescriptor desc{kTxSlotActiveMagic, 0, 0};
+    std::memcpy(device_->Live(TxSlotDescriptorOffset(slot)), &desc,
+                sizeof(desc));
+    PersistTxSlotDescriptor(slot);
+    ctx.undo_base = ExtraTxSlotBase(slot);
+    ctx.undo_capacity = ExtraTxChunkBytes();
+  }
+  ctx.active = true;
+  ctx.tx_id = tx_id;
+  ctx.slot = slot;
+  ctx.log_count = 0;
+  ctx.log_bytes = 0;
   for (PoolObserver* obs : observers_) {
     obs->OnTxBegin(tx_id);
   }
   return OkStatus();
 }
 
-Status PmemPool::TxAddRange(PmOffset offset, size_t size) {
-  if (!in_tx_) {
+Status PmemPool::TxAddRange(TxContext& ctx, PmOffset offset, size_t size) {
+  if (!ctx.active) {
     return FailedPrecondition("tx_add_range outside transaction");
   }
+  std::lock_guard<std::mutex> lock(mutex_);
   PoolHeader* h = header();
+  const uint64_t capacity =
+      ctx.slot == 0 ? Slot0CapacityLocked() : ctx.undo_capacity;
   const size_t need = sizeof(UndoEntryHeader) + AlignUp(size, 8);
-  if (h->tx_log_bytes + need > h->undo_capacity) {
+  if (ctx.log_bytes + need > capacity) {
     return OutOfSpace("undo log full");
   }
-  const PmOffset entry_off = h->undo_off + h->tx_log_bytes;
+  const PmOffset entry_off = ctx.undo_base + ctx.log_bytes;
   UndoEntryHeader eh{offset, size};
   std::memcpy(device_->Live(entry_off), &eh, sizeof(eh));
   std::memcpy(device_->Live(entry_off + sizeof(eh)), device_->Live(offset),
               size);
   device_->PersistQuiet(entry_off, sizeof(eh) + size);
-  h->tx_log_bytes += need;
-  h->tx_log_count++;
-  PersistHeader();
+  ctx.log_bytes += need;
+  ctx.log_count++;
+  if (ctx.slot == 0) {
+    h->tx_log_bytes = ctx.log_bytes;
+    h->tx_log_count = ctx.log_count;
+    PersistHeader();
+  } else {
+    TxSlotDescriptor desc{kTxSlotActiveMagic, ctx.log_count, ctx.log_bytes};
+    std::memcpy(device_->Live(TxSlotDescriptorOffset(ctx.slot)), &desc,
+                sizeof(desc));
+    PersistTxSlotDescriptor(ctx.slot);
+  }
   return OkStatus();
 }
 
-Status PmemPool::TxAddRange(Oid oid, size_t offset, size_t size) {
+Status PmemPool::TxAddRange(TxContext& ctx, Oid oid, size_t offset,
+                            size_t size) {
   if (oid.is_null()) {
     return InvalidArgument("tx_add_range on null oid");
   }
-  return TxAddRange(oid.off + offset, size);
+  return TxAddRange(ctx, oid.off + offset, size);
 }
 
-Status PmemPool::TxCommit() {
+Status PmemPool::TxCommit(TxContext& ctx) {
   ARTHAS_SCOPED_LATENCY("pool.tx_commit.ns");
-  if (!in_tx_) {
+  if (!ctx.active) {
     return FailedPrecondition("commit outside transaction");
   }
   ARTHAS_COUNTER_ADD("pool.tx_commit.count", 1);
+  std::lock_guard<std::mutex> lock(mutex_);
   PoolHeader* h = header();
   // Make every range registered in this transaction durable, firing the
   // durability observers (which is where the Arthas checkpoint library
   // copies the committed data, per paper Section 4.2).
-  PmOffset cursor = h->undo_off;
-  for (uint64_t i = 0; i < h->tx_log_count; i++) {
+  PmOffset cursor = ctx.undo_base;
+  for (uint64_t i = 0; i < ctx.log_count; i++) {
     UndoEntryHeader eh;
     std::memcpy(&eh, device_->Live(cursor), sizeof(eh));
     device_->Persist(eh.offset, eh.size);
     cursor += sizeof(UndoEntryHeader) + AlignUp(eh.size, 8);
   }
-  h->tx_active = 0;
-  h->tx_log_count = 0;
-  h->tx_log_bytes = 0;
-  PersistHeader();
-  in_tx_ = false;
+  if (ctx.slot == 0) {
+    h->tx_active = 0;
+    h->tx_log_count = 0;
+    h->tx_log_bytes = 0;
+    PersistHeader();
+  } else {
+    TxSlotDescriptor desc{};
+    std::memcpy(device_->Live(TxSlotDescriptorOffset(ctx.slot)), &desc,
+                sizeof(desc));
+    PersistTxSlotDescriptor(ctx.slot);
+  }
+  slot_busy_[ctx.slot] = false;
+  const uint64_t tx_id = ctx.tx_id;
+  ctx = TxContext{};
   for (PoolObserver* obs : observers_) {
-    obs->OnTxCommit(current_tx_id_);
+    obs->OnTxCommit(tx_id);
   }
   return OkStatus();
 }
 
-Status PmemPool::TxAbort() {
+Status PmemPool::TxAbort(TxContext& ctx) {
   ARTHAS_SCOPED_LATENCY("pool.tx_abort.ns");
-  if (!in_tx_) {
+  if (!ctx.active) {
     return FailedPrecondition("abort outside transaction");
   }
   ARTHAS_COUNTER_ADD("pool.tx_abort.count", 1);
+  std::lock_guard<std::mutex> lock(mutex_);
   PoolHeader* h = header();
-  std::vector<PmOffset> entry_offsets;
-  PmOffset cursor = h->undo_off;
-  for (uint64_t i = 0; i < h->tx_log_count; i++) {
-    UndoEntryHeader eh;
-    std::memcpy(&eh, device_->Live(cursor), sizeof(eh));
-    entry_offsets.push_back(cursor);
-    cursor += sizeof(UndoEntryHeader) + AlignUp(eh.size, 8);
+  RollbackUndoLog(ctx.undo_base, ctx.log_count);
+  if (ctx.slot == 0) {
+    h->tx_active = 0;
+    h->tx_log_count = 0;
+    h->tx_log_bytes = 0;
+    PersistHeader();
+  } else {
+    TxSlotDescriptor desc{};
+    std::memcpy(device_->Live(TxSlotDescriptorOffset(ctx.slot)), &desc,
+                sizeof(desc));
+    PersistTxSlotDescriptor(ctx.slot);
   }
-  for (auto it = entry_offsets.rbegin(); it != entry_offsets.rend(); ++it) {
-    UndoEntryHeader eh;
-    std::memcpy(&eh, device_->Live(*it), sizeof(eh));
-    std::memcpy(device_->Live(eh.offset),
-                device_->Live(*it + sizeof(UndoEntryHeader)), eh.size);
-    device_->PersistQuiet(eh.offset, eh.size);
-  }
-  h->tx_active = 0;
-  h->tx_log_count = 0;
-  h->tx_log_bytes = 0;
-  PersistHeader();
-  in_tx_ = false;
+  slot_busy_[ctx.slot] = false;
+  ctx = TxContext{};
   return OkStatus();
 }
-
-bool PmemPool::InTx() const { return in_tx_; }
 
 void PmemPool::WalkTree(
     uint64_t node, size_t node_order,
@@ -559,10 +720,12 @@ void PmemPool::WalkTree(
 
 void PmemPool::ForEachBlock(
     const std::function<void(PmOffset, size_t, bool)>& fn) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   WalkTree(1, header()->heap_order, fn);
 }
 
 Status PmemPool::CheckIntegrity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   const PoolHeader* h = header();
   if (h->magic != kPoolMagic) {
     return Corruption("pool header magic mismatch");
@@ -608,7 +771,10 @@ Status PmemPool::CheckIntegrity() const {
 std::vector<std::pair<PmOffset, size_t>> PmemPool::MetadataRangesIn(
     PmOffset offset, size_t size) const {
   // All allocator metadata lives below heap_base (pool header, undo log,
-  // buddy state array); the object heap contains only payloads.
+  // buddy state array); the object heap contains only payloads. heap_base
+  // is immutable after Format, so this is deliberately lock-free: the
+  // checkpoint log calls it from reversion paths that may hold its shard
+  // locks, and taking the pool mutex there would invert the lock order.
   std::vector<std::pair<PmOffset, size_t>> ranges;
   const PoolHeader* h = header();
   if (offset < h->heap_base) {
@@ -621,6 +787,7 @@ std::vector<std::pair<PmOffset, size_t>> PmemPool::MetadataRangesIn(
 size_t PmemPool::Capacity() const { return 1ULL << header()->heap_order; }
 
 size_t PmemPool::FreeBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   const PoolHeader* h = header();
   const uint64_t heap = 1ULL << h->heap_order;
   return h->used_bytes >= heap ? 0 : heap - h->used_bytes;

@@ -18,13 +18,29 @@
 // DurabilityObserver on the device): allocation, free, and realloc events
 // feed the checkpoint log's old_entry/new_entry linkage and the persistent
 // memory leak mitigation of paper Section 4.7.
+//
+// Concurrency model (see DESIGN.md "Concurrency model"):
+//   * All allocator operations (Alloc/Zalloc/Free/Realloc/Root/UsableSize/
+//     ForEachBlock/CheckIntegrity) and all transaction operations are
+//     serialized on one pool mutex; the buddy tree, the pool header, and
+//     the undo slot table are only touched under it.
+//   * Transactions are per-thread: each thread opens its own TxContext.
+//     Concurrent transactions must cover disjoint PM ranges (the usual
+//     libpmemobj contract); the undo region is partitioned into per-slot
+//     logs so their snapshots never interleave.
+//   * Lock order: pool mutex -> device stripes -> checkpoint shards. Pool
+//     code never calls back into itself from device observers.
+//   * AddObserver/RemoveObserver are caller-serialized (attach while no
+//     concurrent pool traffic runs).
 
 #ifndef ARTHAS_PMEM_POOL_H_
 #define ARTHAS_PMEM_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -45,6 +61,8 @@ struct Oid {
 };
 
 // Observes pool-level events (allocation lifecycle and transactions).
+// Callbacks run with the pool mutex held; implementations must not call
+// back into the pool.
 class PoolObserver {
  public:
   virtual ~PoolObserver() = default;
@@ -56,18 +74,42 @@ class PoolObserver {
   virtual void OnTxCommit(uint64_t tx_id) = 0;
 };
 
+// Fields are atomics so the monitor-style readers (detector, harness) can
+// poll them while worker threads allocate.
 struct PoolStats {
-  uint64_t allocs = 0;
-  uint64_t frees = 0;
-  uint64_t reallocs = 0;
-  uint64_t used_bytes = 0;   // payload bytes currently allocated
-  uint64_t live_objects = 0;
+  std::atomic<uint64_t> allocs{0};
+  std::atomic<uint64_t> frees{0};
+  std::atomic<uint64_t> reallocs{0};
+  std::atomic<uint64_t> used_bytes{0};  // payload bytes currently allocated
+  std::atomic<uint64_t> live_objects{0};
+};
+
+// Per-thread undo-log transaction state. Each concurrently running
+// transaction owns one TxContext (stack- or thread-local); the pool's
+// single-context API (TxBegin()/TxCommit()/... without a context) wraps a
+// pool-owned default context, preserving the original single-threaded
+// behaviour bit for bit.
+struct TxContext {
+  bool active = false;
+  uint64_t tx_id = 0;
+  int slot = -1;              // persistent undo slot; 0 = header-based slot
+  PmOffset undo_base = 0;     // start of this tx's undo log region
+  uint64_t undo_capacity = 0; // bytes available to this tx's undo log
+  uint64_t log_count = 0;
+  uint64_t log_bytes = 0;
 };
 
 class PmemTx;
 
 class PmemPool {
  public:
+  // Slot 0 lives in the pool header (the original single-transaction
+  // layout); kExtraTxSlots more concurrent transactions get fixed chunks
+  // carved from the top of the undo region, with persistent descriptors so
+  // recovery can roll them back too.
+  static constexpr int kExtraTxSlots = 7;
+  static constexpr int kMaxConcurrentTx = 1 + kExtraTxSlots;
+
   // Creates a fresh pool of `size` bytes with the given layout name, or
   // opens an existing image (after a crash/restart) validating the layout.
   static Result<std::unique_ptr<PmemPool>> Create(std::string layout,
@@ -83,8 +125,9 @@ class PmemPool {
   const PmemDevice& device() const { return *device_; }
 
   // Simulates a process restart / power failure and re-runs pool recovery
-  // (which rolls back any in-flight transaction). Volatile program state is
-  // the caller's to discard; this resets the PM view.
+  // (which rolls back any in-flight transaction, in every undo slot).
+  // Volatile program state is the caller's to discard; this resets the PM
+  // view. Caller-serialized: quiesce worker threads first.
   Status CrashAndRecover();
 
   // --- Object allocation -------------------------------------------------
@@ -127,7 +170,8 @@ class PmemPool {
   // --- Persistence --------------------------------------------------------
 
   // Makes [Direct(oid)+offset, +size) durable and notifies durability
-  // observers; the application-facing persistence point.
+  // observers; the application-facing persistence point. Thread-safe (the
+  // device takes its own stripe locks).
   void Persist(Oid oid, size_t offset, size_t size);
   void PersistRange(PmOffset offset, size_t size) {
     device_->Persist(offset, size);
@@ -139,13 +183,27 @@ class PmemPool {
   }
 
   // --- Transactions (see pmem/tx.h for the guard object) ------------------
+  //
+  // The context-taking forms are the multi-threaded API: each thread passes
+  // its own TxContext. The context-free forms operate on the pool's default
+  // context and exist for the original single-threaded callers.
 
-  Status TxBegin();
-  Status TxAddRange(PmOffset offset, size_t size);
-  Status TxAddRange(Oid oid, size_t offset, size_t size);
-  Status TxCommit();
-  Status TxAbort();
-  bool InTx() const;
+  Status TxBegin(TxContext& ctx);
+  Status TxAddRange(TxContext& ctx, PmOffset offset, size_t size);
+  Status TxAddRange(TxContext& ctx, Oid oid, size_t offset, size_t size);
+  Status TxCommit(TxContext& ctx);
+  Status TxAbort(TxContext& ctx);
+
+  Status TxBegin() { return TxBegin(default_tx_); }
+  Status TxAddRange(PmOffset offset, size_t size) {
+    return TxAddRange(default_tx_, offset, size);
+  }
+  Status TxAddRange(Oid oid, size_t offset, size_t size) {
+    return TxAddRange(default_tx_, oid, offset, size);
+  }
+  Status TxCommit() { return TxCommit(default_tx_); }
+  Status TxAbort() { return TxAbort(default_tx_); }
+  bool InTx() const { return default_tx_.active; }
 
   // --- Introspection -------------------------------------------------------
 
@@ -186,6 +244,7 @@ class PmemPool {
   Status Recover();
   struct PoolHeader;
   struct BlockHeader;
+  struct TxSlotDescriptor;
   PoolHeader* header();
   const PoolHeader* header() const;
   BlockHeader* BlockAt(PmOffset offset);
@@ -194,6 +253,19 @@ class PmemPool {
   void PersistBlockHeader(PmOffset offset);
   void CoalesceFreeBlocks();
   Result<Oid> AllocInternal(size_t size, bool zero);
+  Status FreeLocked(Oid oid);
+  Result<size_t> UsableSizeLocked(Oid oid) const;
+
+  // Extra-slot undo layout helpers (all require the pool mutex).
+  uint64_t ExtraTxChunkBytes() const;
+  PmOffset ExtraTxSlotBase(int slot) const;     // slot in [1, kExtraTxSlots]
+  PmOffset TxSlotDescriptorOffset(int slot) const;
+  void PersistTxSlotDescriptor(int slot);
+  // Capacity currently usable by slot 0: the full undo region, shrunk only
+  // while extra slots are active (so single-threaded behaviour is
+  // unchanged).
+  uint64_t Slot0CapacityLocked() const;
+  void RollbackUndoLog(PmOffset log_base, uint64_t log_count);
 
   // Buddy-allocator internals (state array in the out-of-band metadata
   // region; see the design comment in pool.cc).
@@ -210,9 +282,13 @@ class PmemPool {
   std::string layout_;
   std::vector<PoolObserver*> observers_;
   PoolStats stats_;
-  bool in_tx_ = false;
+  // Serializes allocator state, the pool header, and tx slot assignment.
+  mutable std::mutex mutex_;
   uint64_t next_tx_id_ = 1;
-  uint64_t current_tx_id_ = 0;
+  // Volatile occupancy of the undo slots (persistent side: header fields
+  // for slot 0, TxSlotDescriptors for the rest).
+  bool slot_busy_[kMaxConcurrentTx] = {};
+  TxContext default_tx_;  // backs the context-free single-threaded API
 };
 
 }  // namespace arthas

@@ -15,6 +15,7 @@
 #define ARTHAS_SYSTEMS_PM_SYSTEM_H_
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -129,6 +130,16 @@ class PmSystemTarget {
   // Restart(); feeds the leak mitigation of paper Section 4.7 (the
   // pmem_recover_begin/end annotation analogue).
   virtual const std::vector<PmOffset>& RecoveryAccessedObjects() const = 0;
+
+  // The system's coarse request lock. The mini systems' volatile structures
+  // are single-threaded inside Handle() — like memcached's cache_lock or
+  // Redis's single event loop — so a concurrent driver serializes Handle()
+  // calls behind this one mutex (see harness/mt_driver.h). Single-threaded
+  // callers may invoke Handle() directly without it.
+  std::mutex& request_mutex() { return request_mutex_; }
+
+ private:
+  std::mutex request_mutex_;
 };
 
 }  // namespace arthas

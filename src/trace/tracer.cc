@@ -3,27 +3,88 @@
 #include <algorithm>
 #include <set>
 #include <sstream>
+#include <unordered_map>
 
 #include "obs/obs.h"
 
 namespace arthas {
 
-void Tracer::Flush() {
-  if (buffer_.empty()) {
+namespace {
+std::atomic<uint64_t> g_next_tracer_id{1};
+
+// Per-thread map: tracer id -> that tracer's buffer for this thread. Ids
+// are never reused, so an entry left behind by a destroyed tracer can never
+// be returned for a new one (its value is only dangling storage that is
+// never dereferenced again).
+thread_local std::unordered_map<uint64_t, void*> tls_buffers;
+}  // namespace
+
+Tracer::Tracer(size_t buffer_capacity)
+    : buffer_capacity_(buffer_capacity), id_(g_next_tracer_id.fetch_add(1)) {}
+
+Tracer::~Tracer() = default;
+
+Tracer::ThreadBuffer& Tracer::LocalBuffer() {
+  auto it = tls_buffers.find(id_);
+  if (it == tls_buffers.end()) {
+    auto owned = std::make_unique<ThreadBuffer>();
+    owned->events.reserve(buffer_capacity_);
+    ThreadBuffer* raw = owned.get();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      buffers_.push_back(std::move(owned));
+    }
+    it = tls_buffers.emplace(id_, raw).first;
+  }
+  return *static_cast<ThreadBuffer*>(it->second);
+}
+
+void Tracer::Record(Guid guid, PmOffset address) {
+  if (!enabled_) {
+    return;
+  }
+  ThreadBuffer& buf = LocalBuffer();
+  buf.events.push_back({guid, address, stats_.records.fetch_add(1)});
+  if (buf.events.size() >= buffer_capacity_) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    FlushBufferLocked(buf);
+  }
+}
+
+void Tracer::FlushBufferLocked(ThreadBuffer& buf) {
+  if (buf.events.empty()) {
     return;
   }
   // Registry mirror happens at flush granularity so the Record() hot path
   // (Table 8's instrumentation overhead) stays a buffered push_back.
-  ARTHAS_COUNTER_ADD("trace.record.count", buffer_.size());
+  ARTHAS_COUNTER_ADD("trace.record.count", buf.events.size());
   ARTHAS_COUNTER_ADD("trace.flush.count", 1);
-  archive_.insert(archive_.end(), buffer_.begin(), buffer_.end());
-  buffer_.clear();
+  // A thread's buffer is index-sorted (the atomic counter is monotonic and
+  // the thread appends sequentially); merging keeps the whole archive in
+  // total event order. Single-threaded, the merge is a no-op append.
+  const auto middle_at = archive_.size();
+  archive_.insert(archive_.end(), buf.events.begin(), buf.events.end());
+  std::inplace_merge(archive_.begin(),
+                     archive_.begin() + static_cast<ptrdiff_t>(middle_at),
+                     archive_.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                       return a.index < b.index;
+                     });
+  buf.events.clear();
   stats_.buffer_flushes++;
   index_dirty_ = true;
 }
 
+void Tracer::Flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& buf : buffers_) {
+    FlushBufferLocked(*buf);
+  }
+}
+
 void Tracer::RebuildIndex() {
   Flush();
+  std::lock_guard<std::mutex> lock(mutex_);
   if (!index_dirty_) {
     return;
   }
@@ -41,19 +102,22 @@ void Tracer::RebuildIndex() {
   index_dirty_ = false;
 }
 
-const std::vector<TraceEvent>& Tracer::Events() {
+std::vector<TraceEvent> Tracer::Events() {
   Flush();
+  std::lock_guard<std::mutex> lock(mutex_);
   return archive_;
 }
 
 std::vector<PmOffset> Tracer::AddressesForGuid(Guid guid) {
   RebuildIndex();
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = by_guid_.find(guid);
   return it == by_guid_.end() ? std::vector<PmOffset>{} : it->second;
 }
 
 std::vector<Guid> Tracer::GuidsForRange(PmOffset offset, size_t size) {
   RebuildIndex();
+  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<Guid> out;
   auto it = std::lower_bound(by_address_.begin(), by_address_.end(),
                              std::make_pair(offset, Guid{0}));
@@ -67,6 +131,7 @@ std::vector<Guid> Tracer::GuidsForRange(PmOffset offset, size_t size) {
 
 std::string Tracer::Serialize() {
   Flush();
+  std::lock_guard<std::mutex> lock(mutex_);
   std::ostringstream out;
   for (const TraceEvent& e : archive_) {
     out << e.guid << '\t' << e.address << '\n';
@@ -92,7 +157,10 @@ Status Tracer::ParseAppend(const std::string& text) {
 }
 
 void Tracer::Clear() {
-  buffer_.clear();
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& buf : buffers_) {
+    buf->events.clear();
+  }
   archive_.clear();
   // Derived state must reset with the archive: the lazy indexes would
   // otherwise keep serving pre-Clear results until the next Record, and the
@@ -100,7 +168,8 @@ void Tracer::Clear() {
   by_guid_.clear();
   by_address_.clear();
   index_dirty_ = true;
-  stats_ = TracerStats{};
+  stats_.records = 0;
+  stats_.buffer_flushes = 0;
 }
 
 }  // namespace arthas

@@ -6,12 +6,27 @@
 // paper's inlined tracing with asynchronous file flushing. The reactor
 // consumes the trace to learn which dynamic PM addresses each static
 // instruction (GUID) touched.
+//
+// Concurrency model (see DESIGN.md "Concurrency model"):
+//   * Record() is thread-safe and mostly lock-free: each thread appends to
+//     its own buffer (registered with the tracer on first use) and takes
+//     the archive lock only when its buffer fills. Event indexes come from
+//     one atomic counter, so the archive preserves a total event order even
+//     across threads (buffers are merged by index at flush time).
+//   * The epoch operations — Flush() of *all* thread buffers, Events(),
+//     the Serialize/query family, Clear(), set_enabled() — are
+//     caller-serialized: run them while no thread is inside Record() (the
+//     harness joins or quiesces workers first), exactly as the paper's
+//     trace files are read only after the target stops.
 
 #ifndef ARTHAS_TRACE_TRACER_H_
 #define ARTHAS_TRACE_TRACER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -27,42 +42,42 @@ struct TraceEvent {
   uint64_t index = 0;  // monotonically increasing event number
 };
 
+// Fields are atomics: `records` doubles as the global event-index source.
 struct TracerStats {
-  uint64_t records = 0;
-  uint64_t buffer_flushes = 0;
+  std::atomic<uint64_t> records{0};
+  std::atomic<uint64_t> buffer_flushes{0};
 };
 
 class Tracer {
  public:
-  // `buffer_capacity` events are held before an automatic flush to the
-  // archive (the paper flushes the in-memory buffer to a file when full).
-  explicit Tracer(size_t buffer_capacity = 4096)
-      : buffer_capacity_(buffer_capacity) {
-    buffer_.reserve(buffer_capacity);
-  }
+  // `buffer_capacity` events are held per thread before an automatic flush
+  // to the archive (the paper flushes the in-memory buffer to a file when
+  // full).
+  explicit Tracer(size_t buffer_capacity = 4096);
+  ~Tracer();
 
-  // Fast path, called by instrumented PM call sites.
-  void Record(Guid guid, PmOffset address) {
-    if (!enabled_) {
-      return;
-    }
-    buffer_.push_back({guid, address, stats_.records++});
-    if (buffer_.size() >= buffer_capacity_) {
-      Flush();
-    }
-  }
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Fast path, called by instrumented PM call sites. Thread-safe; appends
+  // to the calling thread's buffer.
+  void Record(Guid guid, PmOffset address);
 
   // Toggles instrumentation, for the overhead ablation of Table 8 (a
-  // vanilla binary simply has no tracing calls).
+  // vanilla binary simply has no tracing calls). Caller-serialized.
   void set_enabled(bool enabled) { enabled_ = enabled; }
   bool enabled() const { return enabled_; }
 
-  // Moves buffered events to the archive (simulates the async file flush;
-  // also called when the system stops).
+  // Moves every thread's buffered events to the archive (simulates the
+  // async file flush; also called when the system stops). An epoch
+  // operation: caller-serialized.
   void Flush();
 
-  // Everything recorded so far (flushes first).
-  const std::vector<TraceEvent>& Events();
+  // Snapshot of everything recorded so far, in event-index order (flushes
+  // first). Returned by value: the archive may be re-sorted by a concurrent
+  // Record-triggered flush, so a reference would be invalidated mid-
+  // iteration.
+  std::vector<TraceEvent> Events();
 
   // Dynamic addresses a static instruction touched (deduplicated, in first-
   // record order). Served from an index rebuilt lazily after new records.
@@ -81,12 +96,28 @@ class Tracer {
   const TracerStats& stats() const { return stats_; }
 
  private:
+  // One thread's pending events. Owned by the tracer (so events survive
+  // thread exit until the next flush); written only by its thread.
+  struct ThreadBuffer {
+    std::vector<TraceEvent> events;
+  };
+
+  // The calling thread's buffer for this tracer, registering it on first
+  // use. The thread-local lookup is keyed by a process-unique tracer id
+  // that is never reused, so entries for dead tracers can never alias a
+  // live one.
+  ThreadBuffer& LocalBuffer();
+  // Merges `buf` (sorted by index) into the archive. Requires mutex_.
+  void FlushBufferLocked(ThreadBuffer& buf);
   void RebuildIndex();
 
   bool enabled_ = true;
-  size_t buffer_capacity_;
-  std::vector<TraceEvent> buffer_;
-  std::vector<TraceEvent> archive_;
+  const size_t buffer_capacity_;
+  const uint64_t id_;  // process-unique, never reused
+  // Guards the archive, the buffer registry, and the lazy indexes.
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::vector<TraceEvent> archive_;  // sorted by event index
   // Lazily rebuilt query indexes over the archive.
   bool index_dirty_ = true;
   std::map<Guid, std::vector<PmOffset>> by_guid_;

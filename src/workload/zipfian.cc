@@ -21,8 +21,7 @@ ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta)
          (1.0 - zeta2 / zetan_);
 }
 
-uint64_t ZipfianGenerator::Next(Rng& rng) {
-  const double u = rng.NextDouble();
+uint64_t ZipfianGenerator::NextForUniform(double u) const {
   const double uz = u * zetan_;
   if (uz < 1.0) {
     return 0;
@@ -30,9 +29,17 @@ uint64_t ZipfianGenerator::Next(Rng& rng) {
   if (uz < 1.0 + std::pow(0.5, theta_)) {
     return 1;
   }
-  return static_cast<uint64_t>(
+  const uint64_t key = static_cast<uint64_t>(
       static_cast<double>(n_) *
       std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  // As u -> 1.0 the quick-method expression reaches n_ exactly (the pow
+  // factor rounds to 1.0), which is one past the key space [0, n); clamp to
+  // the last valid key.
+  return key >= n_ ? n_ - 1 : key;
+}
+
+uint64_t ZipfianGenerator::Next(Rng& rng) {
+  return NextForUniform(rng.NextDouble());
 }
 
 }  // namespace arthas

@@ -17,6 +17,12 @@ class ZipfianGenerator {
 
   uint64_t Next(Rng& rng);
 
+  // The sampling function on a caller-supplied uniform draw u in [0, 1).
+  // Exposed so tests can force edge draws (u -> 1.0) without fishing for an
+  // Rng state that produces them; Next(rng) is exactly
+  // NextForUniform(rng.NextDouble()).
+  uint64_t NextForUniform(double u) const;
+
   uint64_t n() const { return n_; }
 
  private:

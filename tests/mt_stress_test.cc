@@ -1,0 +1,315 @@
+// Multi-threaded stress tests for the concurrency-safe PM substrate:
+// device stripe locking under concurrent persists and crash, pool
+// allocation and per-thread transactions, checkpoint recording from
+// concurrent flushers, and the tracer's per-thread buffers.
+//
+// These are the tests the CI ThreadSanitizer job runs; they are written to
+// be data-race-free at the application level (threads touch disjoint
+// ranges, or only issue read-side durability calls on shared ranges) so any
+// TSan report points at the substrate, not the test.
+
+#include <atomic>
+#include <cstring>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "checkpoint/checkpoint_log.h"
+#include "pmem/device.h"
+#include "pmem/pool.h"
+#include "trace/tracer.h"
+
+namespace arthas {
+namespace {
+
+constexpr int kThreads = 4;
+
+// Deterministic nonzero fill byte for thread t's line j.
+uint8_t Pat(int t, int j) {
+  return static_cast<uint8_t>((t + 1) * 16 + (j % 13));
+}
+
+// N threads store + persist/flush disjoint line ranges (and concurrently
+// persist overlapping slices of one shared range), then the power fails.
+// The durable image must contain exactly the fenced lines.
+TEST(MtDeviceStressTest, CrashKeepsExactlyTheFencedLines) {
+  constexpr size_t kRegion = 16 * 1024;             // per-thread, disjoint
+  constexpr size_t kShared = kThreads * kRegion;    // one shared page at top
+  constexpr int kLines = static_cast<int>(kRegion / kCacheLineSize);
+  PmemDevice dev(kShared + 4096);
+
+  // The shared range is written single-threaded; the threads only *persist*
+  // overlapping slices of it (read live, copy to durable under stripes).
+  std::memset(dev.Live(kShared), 0xAB, 4096);
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; t++) {
+    workers.emplace_back([&dev, t] {
+      const PmOffset base = static_cast<PmOffset>(t) * kRegion;
+      for (int j = 0; j < kLines; j++) {
+        const PmOffset line = base + static_cast<PmOffset>(j) * kCacheLineSize;
+        std::memset(dev.Live(line), Pat(t, j), kCacheLineSize);
+        switch (j % 4) {
+          case 0:  // one-shot persist
+            dev.Persist(line, kCacheLineSize);
+            break;
+          case 1:  // staged now, drained at the end
+            dev.FlushLines(line, kCacheLineSize);
+            break;
+          case 2:  // clwb ... sfence pairs interleaved with other threads
+            dev.FlushLines(line, kCacheLineSize);
+            if (j % 8 == 6) {
+              dev.Drain();
+            }
+            break;
+          default:  // never fenced: must not survive the crash
+            break;
+        }
+      }
+      // Overlapping persists on the shared range exercise multi-stripe
+      // locking: slices [t*512, t*512+2048) overlap their neighbours.
+      dev.Persist(kShared + static_cast<PmOffset>(t) * 512, 2048);
+      dev.Drain();
+    });
+  }
+  for (std::thread& w : workers) {
+    w.join();
+  }
+
+  dev.Crash();
+
+  for (int t = 0; t < kThreads; t++) {
+    const PmOffset base = static_cast<PmOffset>(t) * kRegion;
+    for (int j = 0; j < kLines; j++) {
+      const PmOffset line = base + static_cast<PmOffset>(j) * kCacheLineSize;
+      const uint8_t want = j % 4 == 3 ? 0 : Pat(t, j);
+      for (size_t b = 0; b < kCacheLineSize; b++) {
+        ASSERT_EQ(dev.Live(line)[b], want)
+            << "thread " << t << " line " << j << " byte " << b;
+      }
+    }
+  }
+  // Shared range: bytes covered by some thread's slice survive, the tail
+  // past the last slice was never fenced.
+  constexpr size_t kCovered = (kThreads - 1) * 512 + 2048;
+  for (size_t b = 0; b < 4096; b++) {
+    ASSERT_EQ(dev.Live(kShared + b)[0], b < kCovered ? 0xAB : 0)
+        << "shared byte " << b;
+  }
+}
+
+TEST(MtPoolStressTest, ConcurrentAllocFreeKeepsHeapConsistent) {
+  auto pool_or = PmemPool::Create("mtstress", 1024 * 1024);
+  ASSERT_TRUE(pool_or.ok()) << pool_or.status().ToString();
+  PmemPool& pool = **pool_or;
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; t++) {
+    workers.emplace_back([&pool, t] {
+      const size_t sizes[] = {32, 64, 128, 256};
+      std::vector<Oid> mine;
+      for (int i = 0; i < 200; i++) {
+        Result<Oid> oid = pool.Alloc(sizes[(t + i) % 4]);
+        if (oid.ok()) {
+          // Payloads are disjoint across threads by construction of the
+          // allocator; writing ours races with nobody.
+          std::memset(pool.Direct(*oid), 0xC0 + t, sizes[(t + i) % 4]);
+          pool.Persist(*oid, 0, sizes[(t + i) % 4]);
+          mine.push_back(*oid);
+        }
+        if (i % 2 == 1 && !mine.empty()) {
+          ASSERT_TRUE(pool.Free(mine.back()).ok());
+          mine.pop_back();
+        }
+      }
+      for (Oid oid : mine) {
+        ASSERT_TRUE(pool.Free(oid).ok());
+      }
+    });
+  }
+  for (std::thread& w : workers) {
+    w.join();
+  }
+
+  EXPECT_TRUE(pool.CheckIntegrity().ok());
+  EXPECT_EQ(pool.stats().live_objects.load(), 0u);
+  EXPECT_EQ(pool.stats().used_bytes.load(), 0u);
+}
+
+TEST(MtPoolStressTest, ConcurrentDisjointTransactions) {
+  auto pool_or = PmemPool::Create("mttx", 1024 * 1024);
+  ASSERT_TRUE(pool_or.ok()) << pool_or.status().ToString();
+  PmemPool& pool = **pool_or;
+
+  std::vector<Oid> oids;
+  for (int t = 0; t < kThreads; t++) {
+    Result<Oid> oid = pool.Alloc(64);
+    ASSERT_TRUE(oid.ok());
+    std::memset(pool.Direct(*oid), 0xAA, 64);
+    pool.Persist(*oid, 0, 64);
+    oids.push_back(*oid);
+  }
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; t++) {
+    workers.emplace_back([&pool, oid = oids[t], t] {
+      uint8_t committed = 0xAA;
+      for (int i = 0; i < 50; i++) {
+        const uint8_t next = static_cast<uint8_t>((t + 1) * 40 + (i % 32));
+        TxContext ctx;
+        ASSERT_TRUE(pool.TxBegin(ctx).ok());
+        ASSERT_TRUE(pool.TxAddRange(ctx, oid, 0, 64).ok());
+        std::memset(pool.Direct(oid), next, 64);
+        if (i % 5 == 4) {
+          ASSERT_TRUE(pool.TxAbort(ctx).ok());
+          ASSERT_EQ(pool.Direct<uint8_t>(oid)[0], committed);
+          ASSERT_EQ(pool.Direct<uint8_t>(oid)[63], committed);
+        } else {
+          ASSERT_TRUE(pool.TxCommit(ctx).ok());
+          committed = next;
+        }
+      }
+      // Leave the last committed value for the post-join durability check.
+      TxContext ctx;
+      ASSERT_TRUE(pool.TxBegin(ctx).ok());
+      ASSERT_TRUE(pool.TxAddRange(ctx, oid, 0, 64).ok());
+      std::memset(pool.Direct(oid), 0xE0 + t, 64);
+      ASSERT_TRUE(pool.TxCommit(ctx).ok());
+    });
+  }
+  for (std::thread& w : workers) {
+    w.join();
+  }
+
+  // Committed transactions persisted their ranges, so the values must ride
+  // out a crash + recovery (no undo slot may roll them back).
+  ASSERT_TRUE(pool.CrashAndRecover().ok());
+  for (int t = 0; t < kThreads; t++) {
+    for (size_t b = 0; b < 64; b++) {
+      ASSERT_EQ(pool.Direct<uint8_t>(oids[t])[b], 0xE0 + t);
+    }
+  }
+  EXPECT_TRUE(pool.CheckIntegrity().ok());
+}
+
+TEST(MtPoolStressTest, TxSlotExhaustionIsAnErrorNotACorruption) {
+  auto pool_or = PmemPool::Create("mtslots", 1024 * 1024);
+  ASSERT_TRUE(pool_or.ok()) << pool_or.status().ToString();
+  PmemPool& pool = **pool_or;
+
+  TxContext ctx[PmemPool::kMaxConcurrentTx + 1];
+  for (int i = 0; i < PmemPool::kMaxConcurrentTx; i++) {
+    ASSERT_TRUE(pool.TxBegin(ctx[i]).ok()) << "slot " << i;
+  }
+  EXPECT_FALSE(pool.TxBegin(ctx[PmemPool::kMaxConcurrentTx]).ok());
+  for (int i = 0; i < PmemPool::kMaxConcurrentTx; i++) {
+    ASSERT_TRUE(pool.TxCommit(ctx[i]).ok());
+  }
+  EXPECT_TRUE(pool.CheckIntegrity().ok());
+}
+
+// Concurrent flushers record into the checkpoint log; afterwards every
+// address must hold its full (bounded) version history with globally unique
+// sequence numbers, and per-version undo bytes must revert cleanly.
+TEST(MtCheckpointStressTest, ConcurrentPersistsVersionAndRevertCleanly) {
+  auto pool_or = PmemPool::Create("mtckpt", 1024 * 1024);
+  ASSERT_TRUE(pool_or.ok()) << pool_or.status().ToString();
+  PmemPool& pool = **pool_or;
+
+  std::vector<Oid> oids;
+  for (int t = 0; t < kThreads; t++) {
+    Result<Oid> oid = pool.Alloc(64);
+    ASSERT_TRUE(oid.ok());
+    oids.push_back(*oid);
+  }
+
+  // Attach after the allocations so the log records exactly the persists
+  // the worker threads issue.
+  CheckpointLog ckpt(pool);
+  constexpr int kRounds = 5;
+  auto round_byte = [](int t, int r) {
+    return static_cast<uint8_t>((t + 1) * 16 + r);
+  };
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; t++) {
+    workers.emplace_back([&pool, oid = oids[t], round_byte, t] {
+      for (int r = 1; r <= kRounds; r++) {
+        std::memset(pool.Direct(oid), round_byte(t, r), 64);
+        pool.Persist(oid, 0, 64);
+      }
+    });
+  }
+  for (std::thread& w : workers) {
+    w.join();
+  }
+
+  EXPECT_EQ(ckpt.LatestSeq(), static_cast<SeqNum>(kThreads * kRounds));
+  EXPECT_EQ(ckpt.entry_count(), static_cast<size_t>(kThreads));
+
+  std::set<SeqNum> seqs;
+  for (const auto& [address, entry] : ckpt.entries()) {
+    EXPECT_LE(entry.versions.size(), 3u);  // paper default MAX_VERSIONS
+    for (const CheckpointVersion& v : entry.versions) {
+      EXPECT_TRUE(seqs.insert(v.seq_num).second)
+          << "duplicate seq " << v.seq_num;
+      EXPECT_LE(v.seq_num, ckpt.LatestSeq());
+    }
+  }
+
+  for (int t = 0; t < kThreads; t++) {
+    const PmOffset address = oids[t].off;
+    const CheckpointEntry* entry = ckpt.Find(address);
+    ASSERT_NE(entry, nullptr);
+    ASSERT_FALSE(entry->versions.empty());
+    // Newest retained version is the thread's last round...
+    EXPECT_EQ(entry->versions.back().data[0], round_byte(t, kRounds));
+    // ...and reverting it restores the round before, in both images.
+    ASSERT_TRUE(ckpt.RevertLatestAt(address).ok());
+    EXPECT_EQ(pool.Direct<uint8_t>(oids[t])[0], round_byte(t, kRounds - 1));
+    EXPECT_EQ(pool.device().Durable(address)[0], round_byte(t, kRounds - 1));
+  }
+}
+
+// Concurrent Record() into per-thread buffers: the merged archive must hold
+// every event exactly once, globally index-sorted, with each thread's
+// events still in its program order.
+TEST(MtTracerStressTest, ConcurrentRecordsMergeIntoTotalOrder) {
+  constexpr int kPerThread = 10000;
+  Tracer tracer(64);  // small buffers force frequent archive merges
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; t++) {
+    workers.emplace_back([&tracer, t] {
+      for (int i = 0; i < kPerThread; i++) {
+        tracer.Record(static_cast<Guid>(t + 1), static_cast<PmOffset>(i));
+      }
+    });
+  }
+  for (std::thread& w : workers) {
+    w.join();
+  }
+
+  std::vector<TraceEvent> events = tracer.Events();
+  ASSERT_EQ(events.size(), static_cast<size_t>(kThreads * kPerThread));
+
+  std::vector<PmOffset> next_address(kThreads, 0);
+  for (size_t i = 0; i < events.size(); i++) {
+    if (i > 0) {
+      EXPECT_LT(events[i - 1].index, events[i].index);
+    }
+    const int t = static_cast<int>(events[i].guid) - 1;
+    ASSERT_GE(t, 0);
+    ASSERT_LT(t, kThreads);
+    // Per-thread program order survives the merge.
+    EXPECT_EQ(events[i].address, next_address[t]++);
+  }
+  for (int t = 0; t < kThreads; t++) {
+    EXPECT_EQ(next_address[t], static_cast<PmOffset>(kPerThread));
+  }
+}
+
+}  // namespace
+}  // namespace arthas

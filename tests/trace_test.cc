@@ -81,6 +81,31 @@ TEST(TracerTest, BufferFlushesAutomatically) {
   EXPECT_EQ(tracer.Events().size(), 10u);
 }
 
+// Regression: Events() used to hand out a reference into the archive, which
+// a later Record()-triggered buffer flush would reallocate mid-iteration.
+// It now returns a snapshot that stays valid across further traffic.
+TEST(TracerTest, EventsSnapshotSurvivesFlushDuringIteration) {
+  Tracer tracer(/*buffer_capacity=*/4);
+  for (int i = 0; i < 6; i++) {
+    tracer.Record(1, 100 + i);
+  }
+  std::vector<TraceEvent> snapshot = tracer.Events();
+  ASSERT_EQ(snapshot.size(), 6u);
+  // Iterate the snapshot while recording enough to flush the buffer (and
+  // grow the archive) several times over.
+  for (size_t i = 0; i < snapshot.size(); i++) {
+    tracer.Record(2, 1000 + i * 10);
+    tracer.Record(2, 1001 + i * 10);
+    EXPECT_EQ(snapshot[i].guid, 1u);
+    EXPECT_EQ(snapshot[i].address, 100 + i);
+  }
+  tracer.Flush();
+  EXPECT_EQ(tracer.Events().size(), 18u);
+  // The old snapshot still reflects the moment it was taken.
+  EXPECT_EQ(snapshot.size(), 6u);
+  EXPECT_EQ(snapshot.back().address, 105u);
+}
+
 TEST(TracerTest, DisabledTracerRecordsNothing) {
   Tracer tracer;
   tracer.set_enabled(false);

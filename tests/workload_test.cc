@@ -1,5 +1,6 @@
 // Tests for the workload generators and the table renderer.
 
+#include <cmath>
 #include <map>
 #include <set>
 
@@ -40,6 +41,29 @@ TEST(ZipfianTest, DeterministicForSameSeed) {
   ZipfianGenerator zipf(500);
   for (int i = 0; i < 100; i++) {
     EXPECT_EQ(zipf.Next(a), zipf.Next(b));
+  }
+}
+
+// Regression: the Gray et al. quick-method expression evaluates to exactly
+// n when the uniform draw approaches 1.0 (the pow factor rounds to 1.0),
+// which is one past the valid key space [0, n). The generator must clamp.
+TEST(ZipfianTest, EdgeDrawsNearOneStayInRange) {
+  for (uint64_t n : {2ull, 10ull, 100ull, 1000ull}) {
+    ZipfianGenerator zipf(n, 0.99);
+    for (double u : {0.99, 0.999, 0.999999, 1.0 - 1e-12,
+                     std::nextafter(1.0, 0.0), 1.0}) {
+      EXPECT_LT(zipf.NextForUniform(u), n)
+          << "n=" << n << " u=" << u;
+    }
+  }
+}
+
+// NextForUniform is exactly the sampling function behind Next(rng).
+TEST(ZipfianTest, NextMatchesNextForUniform) {
+  Rng a(11), b(11);
+  ZipfianGenerator zipf(300);
+  for (int i = 0; i < 200; i++) {
+    EXPECT_EQ(zipf.Next(a), zipf.NextForUniform(b.NextDouble()));
   }
 }
 
