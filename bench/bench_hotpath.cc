@@ -1,0 +1,273 @@
+// Microbenchmark of the persist→checkpoint hot path: every persisted range
+// travels device.Persist → DurabilityObserver::OnPersist → checkpoint-log
+// append. This is the per-operation cost Arthas adds to a target system
+// (Table 8's checkpointing column), so its constant factors are what the
+// overhead numbers are made of.
+//
+// Two implementations are measured over the same operation stream:
+//
+//   * new      — the real substrate: the device's atomic pending-line
+//     bitmap (lock-free FlushLines) and the checkpoint log's flat-hash
+//     index + per-shard payload arena.
+//   * legacy   — reference re-implementations of the previous structures,
+//     kept here as the comparison baseline: a mutex-guarded pending-range
+//     vector and a mutex-guarded std::map index whose versions own
+//     std::vector payload copies (one allocation each for data and undo
+//     bytes per persist).
+//
+// Reported per variant: ns/op, cycles/op, and cache lines flushed per op.
+// Results land in BENCH_hotpath.json.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "checkpoint/checkpoint_log.h"
+#include "common/clock.h"
+#include "harness/artifacts.h"
+#include "harness/table.h"
+#include "obs/json.h"
+#include "pmem/pool.h"
+
+namespace arthas {
+namespace {
+
+constexpr uint64_t kDefaultOps = 200000;
+constexpr size_t kObjects = 512;       // distinct persisted addresses
+constexpr size_t kObjectSize = 64;     // one cache line per persist
+constexpr size_t kPoolSize = 8 * 1024 * 1024;
+
+// --- Legacy reference structures ---------------------------------------------
+//
+// The shapes the substrate used before the bitmap/flat-hash rewrite. They
+// are re-implemented here (not imported) so the bench keeps measuring the
+// old cost model even though the real code has moved on.
+
+// Pending-line tracking: every FlushLines appended a range to a
+// mutex-guarded vector; Drain swapped the vector out under the same lock.
+struct LegacyPendingTracker {
+  struct PendingRange {
+    PmOffset offset;
+    size_t size;
+  };
+  std::mutex mutex;
+  std::vector<PendingRange> pending;
+
+  void FlushLines(PmOffset offset, size_t size) {
+    std::lock_guard<std::mutex> lock(mutex);
+    pending.push_back({offset, size});
+  }
+  template <typename Fn>
+  void Drain(Fn&& fn) {
+    std::vector<PendingRange> taken;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      taken.swap(pending);
+    }
+    for (const PendingRange& r : taken) {
+      fn(r.offset, r.size);
+    }
+  }
+};
+
+// Checkpoint index: one ordered map from address to entry, each version
+// owning heap-allocated payload copies, plus an ordered seq index — all
+// behind one mutex (the old per-shard picture, with the shard count folded
+// out since this bench is single-threaded).
+struct LegacyCheckpointIndex {
+  struct Version {
+    uint64_t seq;
+    std::vector<uint8_t> data;
+    std::vector<uint8_t> pre;
+  };
+  struct Entry {
+    std::vector<uint8_t> original;
+    std::deque<Version> versions;
+  };
+  std::mutex mutex;
+  std::map<PmOffset, Entry> entries;
+  std::map<uint64_t, PmOffset> seq_index;
+  uint64_t next_seq = 1;
+  int max_versions = 3;
+
+  void OnPersist(PmOffset offset, size_t size, const uint8_t* live,
+                 const uint8_t* durable) {
+    std::lock_guard<std::mutex> lock(mutex);
+    auto [it, fresh] = entries.try_emplace(offset);
+    Entry& entry = it->second;
+    if (fresh) {
+      entry.original.assign(durable, durable + size);
+    }
+    Version version;
+    version.seq = next_seq++;
+    version.data.assign(live, live + size);
+    version.pre.assign(durable, durable + size);
+    if (static_cast<int>(entry.versions.size()) >= max_versions) {
+      entry.original = entry.versions.front().data;
+      seq_index.erase(entry.versions.front().seq);
+      entry.versions.pop_front();
+    }
+    seq_index.emplace(version.seq, offset);
+    entry.versions.push_back(std::move(version));
+  }
+};
+
+struct Measurement {
+  std::string name;
+  double ns_per_op = 0;
+  double cycles_per_op = 0;
+  double lines_per_op = 0;
+};
+
+// The operation stream both variants replay: op i rewrites object
+// (i % kObjects) with bytes derived from i, then persists it. With
+// kOps >> kObjects * max_versions, every op past warm-up takes the
+// version-eviction path — the steady state of a long-running system.
+Measurement MeasureNew(uint64_t ops) {
+  auto pool_res = PmemPool::Create("hotpath_new", kPoolSize);
+  PmemPool& pool = **pool_res;
+  CheckpointLog log(pool);
+  std::vector<Oid> objects;
+  objects.reserve(kObjects);
+  for (size_t i = 0; i < kObjects; i++) {
+    objects.push_back(*pool.Zalloc(kObjectSize));
+  }
+  PmemDevice& device = pool.device();
+  const uint64_t lines_before = device.stats().flushed_lines.load();
+
+  const int64_t start_ns = MonotonicNanos();
+  const uint64_t start_cycles = CycleCount();
+  for (uint64_t i = 0; i < ops; i++) {
+    const Oid oid = objects[i % kObjects];
+    uint8_t* p = device.Live(oid.off);
+    std::memset(p, static_cast<int>(i & 0xff), kObjectSize);
+    device.Persist(oid.off, kObjectSize);
+  }
+  const uint64_t cycles = CycleCount() - start_cycles;
+  const int64_t elapsed_ns = MonotonicNanos() - start_ns;
+
+  Measurement m;
+  m.name = "new";
+  m.ns_per_op = static_cast<double>(elapsed_ns) / static_cast<double>(ops);
+  m.cycles_per_op = static_cast<double>(cycles) / static_cast<double>(ops);
+  m.lines_per_op =
+      static_cast<double>(device.stats().flushed_lines.load() - lines_before) /
+      static_cast<double>(ops);
+  return m;
+}
+
+Measurement MeasureLegacy(uint64_t ops) {
+  // The legacy variant replays the same stream against the reference
+  // structures, with the device's media copy stubbed by two scratch images
+  // so the payload-copy traffic (the dominant legacy cost) is identical.
+  std::vector<uint8_t> live(kObjects * kObjectSize, 0);
+  std::vector<uint8_t> durable(kObjects * kObjectSize, 0);
+  LegacyPendingTracker pending;
+  LegacyCheckpointIndex index;
+  uint64_t lines = 0;
+
+  const int64_t start_ns = MonotonicNanos();
+  const uint64_t start_cycles = CycleCount();
+  for (uint64_t i = 0; i < ops; i++) {
+    const PmOffset off = (i % kObjects) * kObjectSize;
+    std::memset(live.data() + off, static_cast<int>(i & 0xff), kObjectSize);
+    pending.FlushLines(off, kObjectSize);
+    pending.Drain([&](PmOffset o, size_t size) {
+      lines += size / kCacheLineSize;
+      index.OnPersist(o, size, live.data() + o, durable.data() + o);
+      std::memcpy(durable.data() + o, live.data() + o, size);
+    });
+  }
+  const uint64_t cycles = CycleCount() - start_cycles;
+  const int64_t elapsed_ns = MonotonicNanos() - start_ns;
+
+  Measurement m;
+  m.name = "legacy";
+  m.ns_per_op = static_cast<double>(elapsed_ns) / static_cast<double>(ops);
+  m.cycles_per_op = static_cast<double>(cycles) / static_cast<double>(ops);
+  m.lines_per_op = static_cast<double>(lines) / static_cast<double>(ops);
+  return m;
+}
+
+// Keeps whichever run was faster; repetitions interleave the variants so a
+// transient load spike on the machine cannot bias one side.
+Measurement Best(Measurement a, const Measurement& b) {
+  return a.ns_per_op <= b.ns_per_op ? a : b;
+}
+
+int Run(uint64_t ops, int repeat) {
+  Measurement legacy = MeasureLegacy(ops);
+  Measurement fresh = MeasureNew(ops);
+  for (int r = 1; r < repeat; r++) {
+    legacy = Best(legacy, MeasureLegacy(ops));
+    fresh = Best(fresh, MeasureNew(ops));
+  }
+
+  TextTable table({"Variant", "ns/op", "cycles/op", "lines flushed/op"});
+  obs::JsonValue variants = obs::JsonValue::Array();
+  for (const Measurement& m : {legacy, fresh}) {
+    char ns[32], cy[32], ln[32];
+    std::snprintf(ns, sizeof(ns), "%.1f", m.ns_per_op);
+    std::snprintf(cy, sizeof(cy), "%.0f", m.cycles_per_op);
+    std::snprintf(ln, sizeof(ln), "%.2f", m.lines_per_op);
+    table.AddRow({m.name, ns, cy, ln});
+
+    obs::JsonValue row = obs::JsonValue::Object();
+    row.Set("name", obs::JsonValue(m.name));
+    row.Set("ns_per_op", obs::JsonValue(m.ns_per_op));
+    row.Set("cycles_per_op", obs::JsonValue(m.cycles_per_op));
+    row.Set("lines_per_op", obs::JsonValue(m.lines_per_op));
+    variants.Append(std::move(row));
+  }
+  std::printf("Persist -> OnPersist -> checkpoint-append hot path "
+              "(%llu ops, %zu objects, %zu B each, best of %d)\n%s\n",
+              static_cast<unsigned long long>(ops), kObjects, kObjectSize,
+              repeat, table.Render().c_str());
+  std::printf("legacy = mutex+vector pending list, std::map index, "
+              "per-version vector copies; new = atomic pending bitmap, "
+              "flat-hash index, arena payloads.\n"
+              "Note: `new` runs on the full substrate (stripe locks, stats "
+              "atomics, obs counters, observer dispatch); `legacy` is a bare "
+              "structure replay, so the single-thread comparison flatters "
+              "it. The structural win — allocation-free staging and "
+              "lock-free flushing — shows up under concurrency "
+              "(bench_overhead --lock-mode sharded).\n");
+
+  obs::JsonValue doc = obs::JsonValue::Object();
+  doc.Set("bench", obs::JsonValue("hotpath"));
+  doc.Set("ops", obs::JsonValue(static_cast<uint64_t>(ops)));
+  doc.Set("repeat", obs::JsonValue(static_cast<uint64_t>(repeat)));
+  doc.Set("objects", obs::JsonValue(static_cast<uint64_t>(kObjects)));
+  doc.Set("object_size", obs::JsonValue(static_cast<uint64_t>(kObjectSize)));
+  doc.Set("variants", std::move(variants));
+  std::ofstream out("BENCH_hotpath.json");
+  if (out) {
+    out << doc.Dump() << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace arthas
+
+int main(int argc, char** argv) {
+  arthas::ObsArtifactWriter obs_artifacts(argc, argv);
+  uint64_t ops = arthas::kDefaultOps;
+  int repeat = 3;
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--ops") == 0 && i + 1 < argc) {
+      ops = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+      repeat = std::max(1, std::atoi(argv[++i]));
+    }
+  }
+  return arthas::Run(ops, repeat);
+}

@@ -11,8 +11,11 @@
 // `--threads N` switches to the paper's actual measurement condition: N
 // client threads (the paper uses 4) driving one system through the
 // MultiThreadedDriver, swept over 1..N in powers of two so each row carries
-// its speedup relative to the 1-thread run. The default (no flag) path is
-// the original single-threaded measurement, byte-identical to before.
+// its speedup relative to the 1-thread run. `--lock-mode sharded` runs the
+// sweep with key-hashed request-lock stripes instead of the coarse request
+// lock (systems that don't support sharding fall back to an exclusive
+// gate). The default (no flag) path is the original single-threaded
+// measurement, byte-identical to before.
 //
 // Both modes write a machine-readable throughput artifact to
 // BENCH_overhead.json in the working directory.
@@ -107,13 +110,25 @@ double MeasureThroughput(const SystemFactory& factory, Mode mode,
 // grants it a single core).
 constexpr std::chrono::microseconds kClientThinkTime{50};
 
-// Runs `total_ops` operations split across `threads` client threads and
-// returns aggregate ops/second. Same workload shape as MeasureThroughput;
-// the simulated request work and the think-time wait run outside the
-// system's request lock, which is where a coarsely locked server's
-// parallelism actually lives.
-double MeasureThroughputMt(const SystemFactory& factory, Mode mode,
-                           bool ycsb_mix, int threads, uint64_t total_ops) {
+// One sweep measurement: aggregate throughput, wall cycles per operation
+// (rdtsc over the whole run divided by total ops — the lock-contention
+// budget each op really pays), and how many trace events the run recorded
+// (counted via Tracer::EventCount, not an Events() archive copy).
+struct MtMeasurement {
+  double ops_per_sec = 0;
+  double cycles_per_op = 0;
+  uint64_t trace_events = 0;
+};
+
+// Runs `total_ops` operations split across `threads` client threads. Same
+// workload shape as MeasureThroughput; the simulated request work and the
+// think-time wait run outside the system's request lock(s), which is where
+// a coarsely locked server's parallelism actually lives. `lock_mode`
+// selects how Handle() calls serialize (coarse lock vs key-hashed stripes).
+MtMeasurement MeasureThroughputMt(const SystemFactory& factory, Mode mode,
+                                  bool ycsb_mix, int threads,
+                                  uint64_t total_ops,
+                                  RequestLockMode lock_mode) {
   auto system = factory();
   system->tracer().set_enabled(mode == Mode::kInstrumentation ||
                                mode == Mode::kArthas);
@@ -131,9 +146,21 @@ double MeasureThroughputMt(const SystemFactory& factory, Mode mode,
   config.workload.value_size = 16;
   config.per_op_work = SimulatedRequestWork;
   config.think_time = kClientThinkTime;
+  config.lock_mode = lock_mode;
 
   MultiThreadedDriver driver(*system, config);
-  return driver.Run().ops_per_second;
+  const uint64_t cycles_start = CycleCount();
+  MtDriverResult run = driver.Run();
+  const uint64_t cycles = CycleCount() - cycles_start;
+
+  MtMeasurement m;
+  m.ops_per_sec = run.ops_per_second;
+  m.cycles_per_op = run.total_ops > 0
+                        ? static_cast<double>(cycles) /
+                              static_cast<double>(run.total_ops)
+                        : 0;
+  m.trace_events = system->tracer().EventCount();
+  return m;
 }
 
 struct SystemSpec {
@@ -252,11 +279,17 @@ int RunSingleThreaded() {
 }
 
 // The --threads sweep: for each system, thread counts 1, 2, 4, ... up to
-// max_threads, vanilla and full-Arthas modes, with aggregate throughput and
-// the speedup relative to the same mode's 1-thread run (Fig. 12 is defined
-// over 4-thread YCSB; --threads 4 is that configuration).
-int RunThreadSweep(int max_threads, uint64_t total_ops) {
+// max_threads, vanilla and full-Arthas modes, with aggregate throughput,
+// wall cycles per op, and the speedup/efficiency relative to the same
+// mode's 1-thread run (Fig. 12 is defined over 4-thread YCSB; --threads 4
+// is that configuration). `lock_mode` picks coarse or sharded request
+// locking for every run in the sweep (including the 1-thread baselines, so
+// the speedup column isolates scaling, not lock-path cost).
+int RunThreadSweep(int max_threads, uint64_t total_ops,
+                   RequestLockMode lock_mode) {
   const std::vector<SystemSpec> systems = MakeSystems();
+  const char* lock_mode_name =
+      lock_mode == RequestLockMode::kSharded ? "sharded" : "coarse";
 
   std::vector<int> thread_counts;
   for (int t = 1; t < max_threads; t *= 2) {
@@ -266,37 +299,57 @@ int RunThreadSweep(int max_threads, uint64_t total_ops) {
 
   TextTable sweep({"System", "Threads", "Vanilla (op/s)", "w/ Arthas",
                    "Arthas rel.", "Vanilla speedup", "Arthas speedup"});
+  TextTable scaling({"System", "Threads", "Arthas cycles/op",
+                     "Vanilla efficiency", "Arthas efficiency"});
   obs::JsonValue json_systems = obs::JsonValue::Array();
   for (const SystemSpec& spec : systems) {
-    std::fprintf(stderr, "measuring %s (threads sweep)...\n",
-                 spec.name.c_str());
+    std::fprintf(stderr, "measuring %s (threads sweep, %s locks)...\n",
+                 spec.name.c_str(), lock_mode_name);
     double vanilla_1t = 0;
     double arthas_1t = 0;
     obs::JsonValue json_rows = obs::JsonValue::Array();
     for (int threads : thread_counts) {
-      const double vanilla = MeasureThroughputMt(
-          spec.factory, Mode::kVanilla, spec.ycsb_mix, threads, total_ops);
-      const double arthas = MeasureThroughputMt(
-          spec.factory, Mode::kArthas, spec.ycsb_mix, threads, total_ops);
+      const MtMeasurement vanilla =
+          MeasureThroughputMt(spec.factory, Mode::kVanilla, spec.ycsb_mix,
+                              threads, total_ops, lock_mode);
+      const MtMeasurement arthas =
+          MeasureThroughputMt(spec.factory, Mode::kArthas, spec.ycsb_mix,
+                              threads, total_ops, lock_mode);
       if (threads == 1) {
-        vanilla_1t = vanilla;
-        arthas_1t = arthas;
+        vanilla_1t = vanilla.ops_per_sec;
+        arthas_1t = arthas.ops_per_sec;
       }
+      const double vanilla_speedup = vanilla.ops_per_sec / vanilla_1t;
+      const double arthas_speedup = arthas.ops_per_sec / arthas_1t;
+      const double vanilla_eff = vanilla_speedup / threads;
+      const double arthas_eff = arthas_speedup / threads;
       char t[16], v[32], a[32], ra[32], sv[32], sa[32];
       std::snprintf(t, sizeof(t), "%d", threads);
-      std::snprintf(v, sizeof(v), "%.0fK", vanilla / 1000);
-      std::snprintf(a, sizeof(a), "%.0fK", arthas / 1000);
-      std::snprintf(ra, sizeof(ra), "%.3f", arthas / vanilla);
-      std::snprintf(sv, sizeof(sv), "%.2fx", vanilla / vanilla_1t);
-      std::snprintf(sa, sizeof(sa), "%.2fx", arthas / arthas_1t);
+      std::snprintf(v, sizeof(v), "%.0fK", vanilla.ops_per_sec / 1000);
+      std::snprintf(a, sizeof(a), "%.0fK", arthas.ops_per_sec / 1000);
+      std::snprintf(ra, sizeof(ra), "%.3f",
+                    arthas.ops_per_sec / vanilla.ops_per_sec);
+      std::snprintf(sv, sizeof(sv), "%.2fx", vanilla_speedup);
+      std::snprintf(sa, sizeof(sa), "%.2fx", arthas_speedup);
       sweep.AddRow({spec.name, t, v, a, ra, sv, sa});
+      char cy[32], ev[32], ea[32];
+      std::snprintf(cy, sizeof(cy), "%.0f", arthas.cycles_per_op);
+      std::snprintf(ev, sizeof(ev), "%.2f", vanilla_eff);
+      std::snprintf(ea, sizeof(ea), "%.2f", arthas_eff);
+      scaling.AddRow({spec.name, t, cy, ev, ea});
 
       obs::JsonValue row = obs::JsonValue::Object();
       row.Set("threads", obs::JsonValue(static_cast<int64_t>(threads)));
-      row.Set("vanilla_ops_per_sec", obs::JsonValue(vanilla));
-      row.Set("arthas_ops_per_sec", obs::JsonValue(arthas));
-      row.Set("vanilla_speedup", obs::JsonValue(vanilla / vanilla_1t));
-      row.Set("arthas_speedup", obs::JsonValue(arthas / arthas_1t));
+      row.Set("vanilla_ops_per_sec", obs::JsonValue(vanilla.ops_per_sec));
+      row.Set("arthas_ops_per_sec", obs::JsonValue(arthas.ops_per_sec));
+      row.Set("vanilla_speedup", obs::JsonValue(vanilla_speedup));
+      row.Set("arthas_speedup", obs::JsonValue(arthas_speedup));
+      row.Set("vanilla_cycles_per_op", obs::JsonValue(vanilla.cycles_per_op));
+      row.Set("arthas_cycles_per_op", obs::JsonValue(arthas.cycles_per_op));
+      row.Set("vanilla_efficiency", obs::JsonValue(vanilla_eff));
+      row.Set("arthas_efficiency", obs::JsonValue(arthas_eff));
+      row.Set("arthas_trace_events",
+              obs::JsonValue(static_cast<uint64_t>(arthas.trace_events)));
       json_rows.Append(std::move(row));
     }
     obs::JsonValue sys = obs::JsonValue::Object();
@@ -304,17 +357,22 @@ int RunThreadSweep(int max_threads, uint64_t total_ops) {
     sys.Set("rows", std::move(json_rows));
     json_systems.Append(std::move(sys));
   }
-  std::printf("Figure 12 (measurement condition): %d-thread YCSB sweep\n%s\n",
-              max_threads, sweep.Render().c_str());
+  std::printf("Figure 12 (measurement condition): %d-thread YCSB sweep, "
+              "%s request locks\n%s\n",
+              max_threads, lock_mode_name, sweep.Render().c_str());
   std::printf("Speedup columns are aggregate throughput relative to the "
               "1-thread run of the same mode. Clients are closed-loop with "
               "a %lldus simulated network round-trip per op; aggregate "
-              "throughput grows as those round-trips overlap.\n",
+              "throughput grows as those round-trips overlap.\n\n",
               static_cast<long long>(kClientThinkTime.count()));
+  std::printf("Scaling detail: wall cycles/op and efficiency "
+              "(speedup / threads)\n%s\n",
+              scaling.Render().c_str());
 
   obs::JsonValue doc = obs::JsonValue::Object();
   doc.Set("bench", obs::JsonValue("overhead"));
   doc.Set("mode", obs::JsonValue("thread_sweep"));
+  doc.Set("lock_mode", obs::JsonValue(std::string(lock_mode_name)));
   doc.Set("ops", obs::JsonValue(static_cast<uint64_t>(total_ops)));
   doc.Set("max_threads", obs::JsonValue(static_cast<int64_t>(max_threads)));
   doc.Set("systems", std::move(json_systems));
@@ -329,15 +387,25 @@ int main(int argc, char** argv) {
   arthas::ObsArtifactWriter obs_artifacts(argc, argv);
   int threads = 0;  // 0 = original single-threaded measurement
   uint64_t total_ops = arthas::kOps;
+  arthas::RequestLockMode lock_mode = arthas::RequestLockMode::kCoarse;
   for (int i = 1; i < argc; i++) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--ops") == 0 && i + 1 < argc) {
       total_ops = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--lock-mode") == 0 && i + 1 < argc) {
+      i++;
+      if (std::strcmp(argv[i], "sharded") == 0) {
+        lock_mode = arthas::RequestLockMode::kSharded;
+      } else if (std::strcmp(argv[i], "coarse") != 0) {
+        std::fprintf(stderr, "unknown --lock-mode '%s' (coarse|sharded)\n",
+                     argv[i]);
+        return 2;
+      }
     }
   }
   if (threads > 0) {
-    return arthas::RunThreadSweep(threads, total_ops);
+    return arthas::RunThreadSweep(threads, total_ops, lock_mode);
   }
   return arthas::RunSingleThreaded();
 }

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""CI perf-smoke gate for the persist->checkpoint hot path.
+
+Compares a fresh BENCH_hotpath.json against the checked-in
+bench/perf_baseline.json and fails (exit 1) if the single-thread ns/op of
+the real substrate ("new") regressed more than the tolerance.
+
+Raw ns/op is not comparable across CI machines, so the check normalizes by
+the in-run "legacy" measurement: both variants replay the same operation
+stream in the same process, which makes legacy a same-machine clock
+calibrator. The gated quantity is therefore the new/legacy ns/op ratio —
+a >25% ratio regression means the rewritten structures themselves got
+slower, not that the runner was busy.
+
+Usage: check_perf_baseline.py [BENCH_hotpath.json] [bench/perf_baseline.json]
+"""
+
+import json
+import sys
+
+TOLERANCE = 0.25
+
+
+def main() -> int:
+    measured_path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_hotpath.json"
+    baseline_path = (
+        sys.argv[2] if len(sys.argv) > 2 else "bench/perf_baseline.json"
+    )
+    with open(measured_path) as f:
+        measured = {v["name"]: v for v in json.load(f)["variants"]}
+    with open(baseline_path) as f:
+        baseline = json.load(f)["hotpath"]
+
+    measured_ratio = (
+        measured["new"]["ns_per_op"] / measured["legacy"]["ns_per_op"]
+    )
+    baseline_ratio = (
+        baseline["new_ns_per_op"] / baseline["legacy_ns_per_op"]
+    )
+    limit = baseline_ratio * (1.0 + TOLERANCE)
+    print(
+        f"hot path new/legacy ns/op ratio: measured {measured_ratio:.3f} "
+        f"(new {measured['new']['ns_per_op']:.1f} ns/op, legacy "
+        f"{measured['legacy']['ns_per_op']:.1f} ns/op), baseline "
+        f"{baseline_ratio:.3f}, limit {limit:.3f}"
+    )
+    if measured_ratio > limit:
+        print(
+            f"FAIL: single-thread hot-path ns/op regressed more than "
+            f"{TOLERANCE:.0%} against bench/perf_baseline.json"
+        )
+        return 1
+    print("OK: hot path within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

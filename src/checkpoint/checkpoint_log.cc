@@ -1,7 +1,9 @@
 #include "checkpoint/checkpoint_log.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cstring>
+#include <unordered_map>
 
 #include "common/logging.h"
 #include "obs/obs.h"
@@ -19,10 +21,25 @@ struct OpenTxTag {
   uint64_t tx_id = 0;
 };
 thread_local OpenTxTag tls_open_tx;
+
+// Never reused, so a stale thread-local buffer entry from a destroyed log
+// can never alias a new one.
+std::atomic<uint64_t> next_log_id{1};
+
+// Bucket hash for the per-shard flat index. The shard choice already
+// consumed the cache-line bits (ShardOf), so mix the raw address and fold
+// the high bits down — the bucket mask keeps only low bits.
+uint64_t HashAddress(PmOffset address) {
+  const uint64_t h = address * 0x9E3779B97F4A7C15ULL;
+  return h ^ (h >> 32);
+}
 }  // namespace
 
 CheckpointLog::CheckpointLog(PmemPool& pool, CheckpointConfig config)
-    : pool_(&pool), device_(&pool.device()), config_(config) {
+    : pool_(&pool),
+      device_(&pool.device()),
+      config_(config),
+      log_id_(next_log_id.fetch_add(1)) {
   device_->AddObserver(this);
   pool_->AddObserver(this);
 }
@@ -53,67 +70,151 @@ void CheckpointLog::RaiseMaxExtent(size_t extent) {
   }
 }
 
+const CheckpointEntry* CheckpointLog::FindSlot(const Shard& shard,
+                                               PmOffset address) {
+  if (shard.buckets.empty()) {
+    return nullptr;
+  }
+  const size_t mask = shard.buckets.size() - 1;
+  for (size_t i = HashAddress(address) & mask;; i = (i + 1) & mask) {
+    const uint32_t slot = shard.buckets[i];
+    if (slot == 0) {
+      return nullptr;
+    }
+    const CheckpointEntry& entry = shard.slots[slot - 1];
+    if (entry.address == address) {
+      return &entry;
+    }
+  }
+}
+
+CheckpointEntry* CheckpointLog::FindSlot(Shard& shard, PmOffset address) {
+  return const_cast<CheckpointEntry*>(
+      FindSlot(static_cast<const Shard&>(shard), address));
+}
+
+void CheckpointLog::InsertBucket(Shard& shard, PmOffset address,
+                                 uint32_t slot) {
+  const size_t mask = shard.buckets.size() - 1;
+  size_t i = HashAddress(address) & mask;
+  while (shard.buckets[i] != 0) {
+    i = (i + 1) & mask;
+  }
+  shard.buckets[i] = slot;
+}
+
+// (Re)builds the bucket array sized so the next insert keeps load <= 3/4.
+void CheckpointLog::RehashLocked(Shard& shard) {
+  size_t cap = 64;
+  while ((shard.slots.size() + 1) * 4 > cap * 3) {
+    cap <<= 1;
+  }
+  shard.buckets.assign(cap, 0);
+  for (size_t i = 0; i < shard.slots.size(); i++) {
+    InsertBucket(shard, shard.slots[i].address, static_cast<uint32_t>(i + 1));
+  }
+}
+
 CheckpointEntry& CheckpointLog::GetOrCreateLocked(Shard& shard,
                                                   PmOffset address,
                                                   size_t size) {
-  auto it = shard.entries.find(address);
-  if (it == shard.entries.end()) {
-    CheckpointEntry entry;
-    entry.address = address;
-    // Seed the pre-history with what is durable right now (the observer
-    // fires before the media copy, so this is the pre-update durable data).
-    entry.original.assign(device_->Durable(address),
-                          device_->Durable(address) + size);
-    it = shard.entries.emplace(address, std::move(entry)).first;
-    entry_count_++;
+  if (CheckpointEntry* found = FindSlot(shard, address)) {
+    return *found;
   }
-  return it->second;
+  if (shard.buckets.empty() ||
+      (shard.slots.size() + 1) * 4 > shard.buckets.size() * 3) {
+    RehashLocked(shard);
+  }
+  shard.slots.emplace_back();
+  CheckpointEntry& entry = shard.slots.back();
+  entry.address = address;
+  // Seed the pre-history with what is durable right now (the observer
+  // fires before the media copy, so this is the pre-update durable data).
+  entry.original.assign(device_->Durable(address),
+                        device_->Durable(address) + size);
+  InsertBucket(shard, address, static_cast<uint32_t>(shard.slots.size()));
+  entry_count_++;
+  return entry;
+}
+
+CheckpointLog::TxBuffer& CheckpointLog::LocalTxBuffer() const {
+  thread_local std::unordered_map<uint64_t, TxBuffer*> tls_buffers;
+  auto it = tls_buffers.find(log_id_);
+  if (it == tls_buffers.end()) {
+    auto owned = std::make_unique<TxBuffer>();
+    TxBuffer* raw = owned.get();
+    {
+      std::lock_guard<std::mutex> aux(aux_mutex_);
+      tx_buffers_.push_back(std::move(owned));
+    }
+    it = tls_buffers.emplace(log_id_, raw).first;
+  }
+  return *it->second;
+}
+
+void CheckpointLog::PublishTxBuffersLocked() const {
+  for (const auto& buffer : tx_buffers_) {
+    for (const auto& [seq, tx] : buffer->pairs) {
+      seq_to_tx_[seq] = tx;
+      tx_to_seqs_[tx].push_back(seq);
+    }
+    buffer->pairs.clear();
+  }
 }
 
 void CheckpointLog::OnPersist(PmOffset offset, size_t size, const void* data) {
   Shard& shard = ShardFor(offset);
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  CheckpointEntry& entry = GetOrCreateLocked(shard, offset, size);
-  // A larger persist at a known address (e.g. an object growing, or an
-  // overrunning copy) extends the entry's extent: capture the still-durable
-  // bytes beyond the previous extent so reversion can restore them.
-  if (size > entry.original.size()) {
-    const size_t old_extent = entry.original.size();
-    entry.original.insert(entry.original.end(),
-                          device_->Durable(offset + old_extent),
-                          device_->Durable(offset) + size);
-  }
-  CheckpointVersion version;
-  version.seq_num = next_seq_.fetch_add(1);
-  version.tx_id = tls_open_tx.log == this ? tls_open_tx.tx_id : 0;
-  version.data.assign(static_cast<const uint8_t*>(data),
-                      static_cast<const uint8_t*>(data) + size);
-  // The observer fires before the media copy: the durable image still holds
-  // this version's undo bytes.
-  version.pre.assign(device_->Durable(offset), device_->Durable(offset) + size);
-  if (static_cast<int>(entry.versions.size()) >= config_.max_versions) {
-    // Ring is full: fold the evicted oldest version into the pre-history
-    // (overlay, so a smaller version does not shrink the extent).
-    const auto& evicted = entry.versions.front().data;
-    if (evicted.size() > entry.original.size()) {
-      entry.original.resize(evicted.size());
+  const uint64_t tx_id = tls_open_tx.log == this ? tls_open_tx.tx_id : 0;
+  SeqNum seq = kNoSeq;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    CheckpointEntry& entry = GetOrCreateLocked(shard, offset, size);
+    // A larger persist at a known address (e.g. an object growing, or an
+    // overrunning copy) extends the entry's extent: capture the still-durable
+    // bytes beyond the previous extent so reversion can restore them.
+    if (size > entry.original.size()) {
+      const size_t old_extent = entry.original.size();
+      entry.original.insert(entry.original.end(),
+                            device_->Durable(offset + old_extent),
+                            device_->Durable(offset) + size);
     }
-    std::copy(evicted.begin(), evicted.end(), entry.original.begin());
-    entry.versions.erase(entry.versions.begin());
-    retained_versions_--;
-    ARTHAS_COUNTER_ADD("checkpoint.evict.count", 1);
+    CheckpointVersion version;
+    // Allocated under the shard lock, so this shard's seq_index appends stay
+    // sorted (the invariant LocateSeq's binary search relies on).
+    seq = next_seq_.fetch_add(1);
+    version.seq_num = seq;
+    version.tx_id = tx_id;
+    version.data = shard.arena.Store(static_cast<const uint8_t*>(data), size);
+    // The observer fires before the media copy: the durable image still holds
+    // this version's undo bytes.
+    version.pre = shard.arena.Store(device_->Durable(offset), size);
+    if (static_cast<int>(entry.versions.size()) >= config_.max_versions) {
+      // Ring is full: fold the evicted oldest version into the pre-history
+      // (overlay, so a smaller version does not shrink the extent), then
+      // recycle its arena spans.
+      const CheckpointVersion evicted = entry.versions.front();
+      if (evicted.data.size() > entry.original.size()) {
+        entry.original.resize(evicted.data.size());
+      }
+      std::copy(evicted.data.begin(), evicted.data.end(),
+                entry.original.begin());
+      entry.versions.erase(entry.versions.begin());
+      shard.arena.Release(evicted.data);
+      shard.arena.Release(evicted.pre);
+      retained_versions_--;
+      ARTHAS_COUNTER_ADD("checkpoint.evict.count", 1);
+    }
+    shard.seq_index.emplace_back(seq, offset);
+    entry.versions.push_back(version);
+    retained_versions_++;
+    RaiseMaxExtent(entry.original.size());
   }
-  if (version.tx_id != 0) {
-    std::lock_guard<std::mutex> aux(aux_mutex_);
-    seq_to_tx_[version.seq_num] = version.tx_id;
-    tx_to_seqs_[version.tx_id].push_back(version.seq_num);
+  if (tx_id != 0) {
+    // Lock-free on the persist path: staged locally, published at commit.
+    LocalTxBuffer().pairs.emplace_back(seq, tx_id);
   }
-  shard.seq_index[version.seq_num] = offset;
   stats_.records++;
   stats_.bytes_copied += size;
-  entry.versions.push_back(std::move(version));
-  retained_versions_++;
-  RaiseMaxExtent(entry.original.size());
   // Write-amplification accounting (Section 6.4): `copy.bytes` counts both
   // the new-version and undo copies the log makes per persisted range.
   ARTHAS_COUNTER_ADD("checkpoint.record.count", 1);
@@ -161,9 +262,8 @@ void CheckpointLog::OnRealloc(PmOffset old_offset, size_t /*old_size*/,
   CheckpointEntry& fresh =
       GetOrCreateLocked(shards_[si_new], new_offset, new_size);
   fresh.old_entry = old_offset;
-  auto old_it = shards_[si_old].entries.find(old_offset);
-  if (old_it != shards_[si_old].entries.end()) {
-    old_it->second.new_entry = new_offset;
+  if (CheckpointEntry* old_entry = FindSlot(shards_[si_old], old_offset)) {
+    old_entry->new_entry = new_offset;
   }
 }
 
@@ -172,50 +272,70 @@ void CheckpointLog::OnTxBegin(uint64_t tx_id) {
 }
 
 void CheckpointLog::OnTxCommit(uint64_t /*tx_id*/) {
-  if (tls_open_tx.log == this) {
-    tls_open_tx = OpenTxTag{};
+  if (tls_open_tx.log != this) {
+    return;
+  }
+  tls_open_tx = OpenTxTag{};
+  // Publish this thread's staged attribution pairs. Only the owning thread
+  // appends to its buffer, so taking aux here races with nothing but other
+  // publishers.
+  TxBuffer& buffer = LocalTxBuffer();
+  if (buffer.pairs.empty()) {
+    return;
+  }
+  std::lock_guard<std::mutex> aux(aux_mutex_);
+  for (const auto& [seq, tx] : buffer.pairs) {
+    seq_to_tx_[seq] = tx;
+    tx_to_seqs_[tx].push_back(seq);
+  }
+  buffer.pairs.clear();
+}
+
+void CheckpointLog::ForEachEntry(
+    const std::function<void(const CheckpointEntry&)>& fn) const {
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const CheckpointEntry& entry : shard.slots) {
+      fn(entry);
+    }
   }
 }
 
 std::map<PmOffset, CheckpointEntry> CheckpointLog::entries() const {
   std::map<PmOffset, CheckpointEntry> merged;
-  for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    for (const auto& [address, entry] : shard.entries) {
-      merged.emplace(address, entry);
-    }
-  }
+  ForEachEntry([&merged](const CheckpointEntry& entry) {
+    merged.emplace(entry.address, entry);
+  });
   return merged;
 }
 
 const CheckpointEntry* CheckpointLog::Find(PmOffset address) const {
   const Shard& shard = ShardFor(address);
   std::lock_guard<std::mutex> lock(shard.mutex);
-  auto it = shard.entries.find(address);
-  return it == shard.entries.end() ? nullptr : &it->second;
+  return FindSlot(shard, address);
 }
 
 std::vector<const CheckpointEntry*> CheckpointLog::Overlapping(
     PmOffset offset, size_t size) const {
-  // Entries are keyed by address; only those within the largest recorded
-  // extent below the range end can overlap, so scan a bounded window
-  // backwards from the range end — in each shard, then merge by address.
+  // Entries are hash-indexed (no address order to exploit), but only those
+  // starting within the largest recorded extent below the range end can
+  // overlap, so the scan filters on [offset - max_extent, offset + size).
+  // Reactor-side: linear in the shard's entry count, which is fine off the
+  // hot path.
   std::vector<const CheckpointEntry*> out;
   const size_t max_extent = max_extent_.load();
   for (const Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mutex);
-    auto it = shard.entries.lower_bound(offset + size);
-    while (it != shard.entries.begin()) {
-      --it;
-      const auto& [address, entry] = *it;
-      if (address + max_extent <= offset) {
-        break;
+    for (const CheckpointEntry& entry : shard.slots) {
+      if (entry.address >= offset + size ||
+          entry.address + max_extent <= offset) {
+        continue;
       }
       const size_t extent = std::max(entry.original.size(),
                                      entry.versions.empty()
                                          ? size_t{0}
                                          : entry.versions.back().data.size());
-      if (address < offset + size && offset < address + extent) {
+      if (offset < entry.address + extent) {
         out.push_back(&entry);
       }
     }
@@ -231,18 +351,21 @@ std::optional<std::pair<PmOffset, int>> CheckpointLog::LocateSeq(
     SeqNum seq) const {
   for (const Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mutex);
-    auto idx = shard.seq_index.find(seq);
-    if (idx == shard.seq_index.end()) {
+    auto idx = std::lower_bound(
+        shard.seq_index.begin(), shard.seq_index.end(), seq,
+        [](const std::pair<SeqNum, PmOffset>& p, SeqNum s) {
+          return p.first < s;
+        });
+    if (idx == shard.seq_index.end() || idx->first != seq) {
       continue;
     }
-    auto it = shard.entries.find(idx->second);
-    if (it == shard.entries.end()) {
+    const CheckpointEntry* entry = FindSlot(shard, idx->second);
+    if (entry == nullptr) {
       return std::nullopt;
     }
-    const CheckpointEntry& entry = it->second;
-    for (size_t i = 0; i < entry.versions.size(); i++) {
-      if (entry.versions[i].seq_num == seq) {
-        return std::make_pair(entry.address, static_cast<int>(i));
+    for (size_t i = 0; i < entry->versions.size(); i++) {
+      if (entry->versions[i].seq_num == seq) {
+        return std::make_pair(entry->address, static_cast<int>(i));
       }
     }
     return std::nullopt;  // version was discarded by an earlier reversion
@@ -252,6 +375,7 @@ std::optional<std::pair<PmOffset, int>> CheckpointLog::LocateSeq(
 
 std::vector<SeqNum> CheckpointLog::SeqsInSameTx(SeqNum seq) const {
   std::lock_guard<std::mutex> aux(aux_mutex_);
+  PublishTxBuffersLocked();
   auto it = seq_to_tx_.find(seq);
   if (it == seq_to_tx_.end()) {
     return {seq};
@@ -332,7 +456,7 @@ std::vector<uint8_t> CheckpointLog::ReconstructState(
               state.begin() + static_cast<ptrdiff_t>(zero_end), 0);
   }
   for (size_t v = first_valid; v < upto && v < entry.versions.size(); v++) {
-    const auto& data = entry.versions[v].data;
+    const PayloadRef data = entry.versions[v].data;
     if (data.size() > state.size()) {
       state.resize(data.size());
     }
@@ -350,7 +474,8 @@ Result<bool> CheckpointLog::RevertSeq(SeqNum seq) {
   }
   // Caller-serialized (see header): no shard lock is held while the device's
   // raw-restore path runs.
-  auto& entry = ShardFor(loc->first).entries.at(loc->first);
+  Shard& shard = ShardFor(loc->first);
+  CheckpointEntry& entry = *FindSlot(shard, loc->first);
   const int idx = loc->second;
   // Divergence rule: if the bytes currently at the address no longer match
   // what this version checkpointed, the state was corrupted *after* the
@@ -363,7 +488,7 @@ Result<bool> CheckpointLog::RevertSeq(SeqNum seq) {
   // Divergence comparison masks out allocator metadata under the current
   // heap layout: blocks carved inside the range after the persist are
   // legitimate churn, not corruption.
-  auto diverged_from = [&](const std::vector<uint8_t>& data) {
+  auto diverged_from = [&](PayloadRef data) {
     size_t cursor = 0;
     auto differs = [&](size_t lo, size_t hi) {
       return std::memcmp(device_->Live(entry.address + lo), data.data() + lo,
@@ -381,13 +506,22 @@ Result<bool> CheckpointLog::RevertSeq(SeqNum seq) {
     }
     return cursor < data.size() && differs(cursor, data.size());
   };
+  // Erases versions [from, end) and recycles their arena spans. Valid only
+  // after every use of the spans (including `checked`'s) is done.
+  auto discard_from = [&](size_t from) {
+    for (size_t i = from; i < entry.versions.size(); i++) {
+      shard.arena.Release(entry.versions[i].data);
+      shard.arena.Release(entry.versions[i].pre);
+    }
+    entry.versions.erase(entry.versions.begin() + static_cast<ptrdiff_t>(from),
+                         entry.versions.end());
+  };
   if (is_newest && diverged_from(checked.data)) {
     RestoreBytes(entry.address, checked.data.data(), checked.data.size());
     const auto discarded =
         entry.versions.size() - static_cast<size_t>(idx) - 1;
     stats_.reverted_updates += discarded + 1;
-    entry.versions.erase(entry.versions.begin() + idx + 1,
-                         entry.versions.end());
+    discard_from(static_cast<size_t>(idx) + 1);
     retained_versions_ -= discarded;
     ARTHAS_COUNTER_ADD("checkpoint.revert.count", discarded + 1);
     ARTHAS_GAUGE_SET("checkpoint.versions.retained",
@@ -410,7 +544,7 @@ Result<bool> CheckpointLog::RevertSeq(SeqNum seq) {
   RestoreBytes(entry.address, state.data(), std::min(span, state.size()));
   const auto discarded = entry.versions.size() - static_cast<size_t>(idx);
   stats_.reverted_updates += discarded;
-  entry.versions.erase(entry.versions.begin() + idx, entry.versions.end());
+  discard_from(static_cast<size_t>(idx));
   retained_versions_ -= discarded;
   ARTHAS_COUNTER_ADD("checkpoint.revert.count", discarded);
   ARTHAS_GAUGE_SET("checkpoint.versions.retained", retained_versions_.load());
@@ -420,7 +554,7 @@ Result<bool> CheckpointLog::RevertSeq(SeqNum seq) {
 Result<uint64_t> CheckpointLog::RollbackToSeq(SeqNum seq) {
   uint64_t discarded = 0;
   for (Shard& shard : shards_) {
-    for (auto& [address, entry] : shard.entries) {
+    for (CheckpointEntry& entry : shard.slots) {
       int first_newer = -1;
       for (size_t i = 0; i < entry.versions.size(); i++) {
         if (entry.versions[i].seq_num >= seq) {
@@ -433,13 +567,18 @@ Result<uint64_t> CheckpointLog::RollbackToSeq(SeqNum seq) {
       }
       std::vector<uint8_t> restore =
           ReconstructState(entry, static_cast<size_t>(first_newer));
-      const auto& pre = entry.versions[first_newer].pre;
+      const PayloadRef pre = entry.versions[first_newer].pre;
       if (pre.size() > restore.size()) {
         restore.resize(pre.size());
       }
       std::copy(pre.begin(), pre.end(), restore.begin());
       RestoreBytes(entry.address, restore.data(), restore.size());
       discarded += entry.versions.size() - static_cast<size_t>(first_newer);
+      for (size_t i = static_cast<size_t>(first_newer);
+           i < entry.versions.size(); i++) {
+        shard.arena.Release(entry.versions[i].data);
+        shard.arena.Release(entry.versions[i].pre);
+      }
       entry.versions.erase(entry.versions.begin() + first_newer,
                            entry.versions.end());
     }
@@ -454,23 +593,20 @@ Result<uint64_t> CheckpointLog::RollbackToSeq(SeqNum seq) {
 SeqNum CheckpointLog::NewestSeqAt(PmOffset address) const {
   const Shard& shard = ShardFor(address);
   std::lock_guard<std::mutex> lock(shard.mutex);
-  auto it = shard.entries.find(address);
-  if (it == shard.entries.end() || it->second.versions.empty()) {
+  const CheckpointEntry* entry = FindSlot(shard, address);
+  if (entry == nullptr || entry->versions.empty()) {
     return kNoSeq;
   }
-  return it->second.versions.back().seq_num;
+  return entry->versions.back().seq_num;
 }
 
 SeqNum CheckpointLog::NewestRetainedSeq() const {
   SeqNum newest = kNoSeq;
-  for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    for (const auto& [address, entry] : shard.entries) {
-      if (!entry.versions.empty()) {
-        newest = std::max(newest, entry.versions.back().seq_num);
-      }
+  ForEachEntry([&newest](const CheckpointEntry& entry) {
+    if (!entry.versions.empty()) {
+      newest = std::max(newest, entry.versions.back().seq_num);
     }
-  }
+  });
   return newest;
 }
 

@@ -18,18 +18,30 @@
 // it survives target-system crashes because the reactor's process is not the
 // target's process.
 //
+// Hot-path data layout (see DESIGN.md "Hot path"): each shard indexes its
+// entries with an open-addressing flat hash table (bucket array of slot
+// indices probing linearly, entries in an append-only deque so pointers stay
+// stable across rehash), and copies version payloads into a per-shard
+// size-classed arena instead of per-version heap vectors. One OnPersist is a
+// hash probe plus two arena copies — no tree rebalancing and, in steady
+// state, no allocator calls.
+//
 // Concurrency model (see DESIGN.md "Concurrency model"):
-//   * The per-address entry map is sharded by offset hash with a lock per
+//   * The per-address entry index is sharded by offset hash with a lock per
 //     shard, so OnPersist callbacks from concurrent flushers never contend
-//     on one map. Sequence numbers come from one atomic counter (a global
-//     total order; 1,2,3,... single-threaded); each shard keeps its slice of
-//     the seq->address index, merged into the global order at serialize
-//     time.
+//     on one index. Sequence numbers come from one atomic counter (a global
+//     total order; 1,2,3,... single-threaded) allocated under the shard
+//     lock, so each shard's seq->address slice is append-ordered: the index
+//     is a sorted vector, not a map.
 //   * Observer callbacks (OnPersist/OnAlloc/...) are thread-safe. Lock
 //     order: device stripes -> entry shard -> aux mutex (allocation and
 //     transaction maps).
 //   * Transaction attribution is per-thread: begin/persist/commit of one
-//     transaction run on the thread executing it.
+//     transaction run on the thread executing it. seq->tx pairs are staged
+//     in a thread-local buffer (no lock on the persist path) and published
+//     into the global maps when the owning thread commits; queries that need
+//     the maps (SeqsInSameTx, Serialize) drain every thread's buffer first,
+//     which is safe because they are caller-serialized (quiesced).
 //   * The reversion primitives (RevertSeq/RollbackToSeq/RevertLatestAt) and
 //     Serialize/Restore are caller-serialized: the reactor quiesces worker
 //     threads before reverting, as a real recovery process owns the pool
@@ -38,6 +50,10 @@
 //   * Find/Overlapping return pointers into the log; entries are never
 //     erased (only Restore replaces them), so the pointers stay valid, but
 //     reading them races with concurrent flushers — reactor-side use only.
+//   * PayloadRef views (CheckpointVersion::data/pre) borrow arena storage:
+//     a view stays valid until its version is evicted from the ring or
+//     discarded by a reversion (the span is then recycled). Snapshots from
+//     entries() share the views; read them before mutating the log.
 
 #ifndef ARTHAS_CHECKPOINT_CHECKPOINT_LOG_H_
 #define ARTHAS_CHECKPOINT_CHECKPOINT_LOG_H_
@@ -45,7 +61,11 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <vector>
@@ -64,17 +84,130 @@ struct CheckpointConfig {
   int max_versions = 3;
 };
 
-// One retained version of a PM address range.
+// Read-only view of a version payload stored in a checkpoint arena. Same
+// read surface as the const side of std::vector<uint8_t> (data/size/
+// begin/end/operator[]), so existing consumers compile unchanged. Validity
+// follows the version that owns it (see the concurrency notes above).
+class PayloadRef {
+ public:
+  PayloadRef() = default;
+  PayloadRef(const uint8_t* data, size_t size)
+      : data_(data), size_(static_cast<uint32_t>(size)) {}
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const uint8_t* begin() const { return data_; }
+  const uint8_t* end() const { return data_ + size_; }
+  uint8_t operator[](size_t i) const { return data_[i]; }
+
+ private:
+  const uint8_t* data_ = nullptr;
+  uint32_t size_ = 0;
+};
+
+// Bump-pointer arena with power-of-two size-class recycling, one per
+// checkpoint shard. Payload copies on the persist path come from here: a
+// fresh span is carved off the current chunk (or popped from a free list
+// once versions start getting evicted), so steady-state checkpointing does
+// no general-purpose heap allocation per persist. Spans released back keep
+// their class and are reused verbatim; spans larger than the chunk size get
+// a dedicated chunk and are not recycled (reclaimed only by Clear).
+// Externally synchronized (the owning shard's mutex, or caller-serialized).
+class PayloadArena {
+ public:
+  // Copies [src, src+size) into the arena and returns a view of the copy.
+  PayloadRef Store(const uint8_t* src, size_t size) {
+    if (size == 0) {
+      return PayloadRef();
+    }
+    uint8_t* span = Alloc(size);
+    std::memcpy(span, src, size);
+    return PayloadRef(span, size);
+  }
+
+  // Recycles a span previously returned by Store on this arena. The bytes
+  // may be overwritten by any later Store.
+  void Release(PayloadRef ref) {
+    if (ref.size() == 0 || ref.size() > kMaxSmall) {
+      return;  // large spans live until Clear
+    }
+    free_[ClassOf(ref.size())].push_back(const_cast<uint8_t*>(ref.data()));
+  }
+
+  // Drops every chunk; all outstanding PayloadRefs become invalid.
+  void Clear() {
+    chunks_.clear();
+    cursor_ = nullptr;
+    remaining_ = 0;
+    for (auto& list : free_) {
+      list.clear();
+    }
+  }
+
+  size_t allocated_bytes() const { return allocated_bytes_; }
+
+ private:
+  static constexpr size_t kChunkBytes = 64 * 1024;
+  static constexpr size_t kMinClass = 16;
+  static constexpr size_t kMaxSmall = kChunkBytes;
+  // Classes 16, 32, ..., 65536.
+  static constexpr size_t kNumClasses = 13;
+
+  static size_t ClassOf(size_t size) {
+    size_t cls = 0;
+    size_t cap = kMinClass;
+    while (cap < size) {
+      cap <<= 1;
+      cls++;
+    }
+    return cls;
+  }
+
+  uint8_t* Alloc(size_t size) {
+    if (size > kMaxSmall) {
+      chunks_.emplace_back(new uint8_t[size]);
+      allocated_bytes_ += size;
+      return chunks_.back().get();
+    }
+    const size_t cls = ClassOf(size);
+    if (!free_[cls].empty()) {
+      uint8_t* span = free_[cls].back();
+      free_[cls].pop_back();
+      return span;
+    }
+    const size_t cap = kMinClass << cls;
+    if (remaining_ < cap) {
+      chunks_.emplace_back(new uint8_t[kChunkBytes]);
+      allocated_bytes_ += kChunkBytes;
+      cursor_ = chunks_.back().get();
+      remaining_ = kChunkBytes;
+    }
+    uint8_t* span = cursor_;
+    cursor_ += cap;
+    remaining_ -= cap;
+    return span;
+  }
+
+  std::vector<std::unique_ptr<uint8_t[]>> chunks_;
+  uint8_t* cursor_ = nullptr;  // bump pointer into chunks_.back()
+  size_t remaining_ = 0;
+  size_t allocated_bytes_ = 0;
+  std::array<std::vector<uint8_t*>, kNumClasses> free_;
+};
+
+// One retained version of a PM address range. Payloads are views into the
+// owning shard's arena (valid until this version is evicted or reverted).
 struct CheckpointVersion {
   SeqNum seq_num = kNoSeq;
   uint64_t tx_id = 0;  // 0 when the update was outside any transaction
-  std::vector<uint8_t> data;
+  PayloadRef data;
   // Durable bytes of the same range captured immediately before this
   // persist: the authoritative undo data for this version. Covers writes
   // that bypassed checkpointing (allocator metadata carved inside a
   // previously-persisted range, address reuse after free, external
   // corruption), which the version chain alone cannot reconstruct.
-  std::vector<uint8_t> pre;
+  PayloadRef pre;
 };
 
 // Per-address log entry (paper Figure 5).
@@ -126,8 +259,17 @@ class CheckpointLog : public DurabilityObserver, public PoolObserver {
 
   // --- Queries (used by the reactor) ---------------------------------------
 
-  // Snapshot of all entries, merged across shards into address order.
+  // Snapshot of all entries, merged across shards into address order. The
+  // copies share PayloadRef views with the log — read them before mutating
+  // it. Prefer ForEachEntry in loops: this materializes a full map.
   std::map<PmOffset, CheckpointEntry> entries() const;
+
+  // Visits every entry without materializing a merged copy. Iteration is
+  // shard-grouped (insertion order within a shard, not address order); each
+  // shard's lock is held while its slice is visited, so the callback must
+  // not call back into the log.
+  void ForEachEntry(
+      const std::function<void(const CheckpointEntry&)>& fn) const;
 
   // Number of distinct addresses with a log entry.
   size_t entry_count() const { return entry_count_.load(); }
@@ -144,6 +286,7 @@ class CheckpointLog : public DurabilityObserver, public PoolObserver {
 
   // Sequence numbers recorded within the same transaction as `seq`
   // (including `seq` itself); just {seq} if it was not transactional.
+  // Caller-serialized (drains the per-thread attribution buffers).
   std::vector<SeqNum> SeqsInSameTx(SeqNum seq) const;
 
   // Largest sequence number issued so far.
@@ -208,16 +351,32 @@ class CheckpointLog : public DurabilityObserver, public PoolObserver {
   Status Restore(const std::vector<uint8_t>& image);
 
  private:
-  // One lock-striped slice of the per-address entry map.
+  // One lock-striped slice of the per-address entry index.
   struct Shard {
     mutable std::mutex mutex;
-    std::map<PmOffset, CheckpointEntry> entries;
-    // seq -> entry address (lookup accelerator; validated against the
-    // entry's retained versions at query time since reverts discard
-    // versions). This shard's slice of the global sequence order.
-    std::map<SeqNum, PmOffset> seq_index;
+    // Open-addressing index: each bucket holds (slot index + 1), 0 = empty.
+    // Power-of-two size, linear probing; entries are never individually
+    // erased, so no tombstones. Rebuilt in place when load passes 3/4.
+    std::vector<uint32_t> buckets;
+    // Append-only entry storage. A deque keeps entry addresses stable, so
+    // Find/Overlapping pointers survive rehashes and new inserts.
+    std::deque<CheckpointEntry> slots;
+    // (seq, entry address) pairs in seq order — seqs are allocated under
+    // the shard mutex, so plain append keeps this sorted and LocateSeq is
+    // a binary search. Validated against the entry's retained versions at
+    // query time since reverts discard versions. This shard's slice of the
+    // global sequence order.
+    std::vector<std::pair<SeqNum, PmOffset>> seq_index;
+    // Version payload storage (CheckpointVersion::data/pre spans).
+    PayloadArena arena;
   };
   static constexpr size_t kNumShards = 16;
+
+  // Staged seq->tx pairs of one thread, appended without a lock on the
+  // persist path and published under aux_mutex_ at commit/query time.
+  struct TxBuffer {
+    std::vector<std::pair<SeqNum, uint64_t>> pairs;
+  };
 
   static size_t ShardOf(PmOffset address);
   Shard& ShardFor(PmOffset address) { return shards_[ShardOf(address)]; }
@@ -225,9 +384,21 @@ class CheckpointLog : public DurabilityObserver, public PoolObserver {
     return shards_[ShardOf(address)];
   }
 
-  // Requires `shard.mutex`.
+  // Flat-hash helpers. All require `shard.mutex` (or caller-serialization).
+  static CheckpointEntry* FindSlot(Shard& shard, PmOffset address);
+  static const CheckpointEntry* FindSlot(const Shard& shard,
+                                         PmOffset address);
+  static void InsertBucket(Shard& shard, PmOffset address, uint32_t slot);
+  static void RehashLocked(Shard& shard);
   CheckpointEntry& GetOrCreateLocked(Shard& shard, PmOffset address,
                                      size_t size);
+
+  // This thread's staging buffer for this log (registered on first use).
+  TxBuffer& LocalTxBuffer() const;
+  // Moves every thread's staged pairs into seq_to_tx_/tx_to_seqs_.
+  // Requires aux_mutex_; races with nothing when caller-serialized.
+  void PublishTxBuffersLocked() const;
+
   // State of the entry's extent after its first `upto` retained versions,
   // respecting the address's allocation epoch.
   std::vector<uint8_t> ReconstructState(const CheckpointEntry& entry,
@@ -239,12 +410,17 @@ class CheckpointLog : public DurabilityObserver, public PoolObserver {
   PmemPool* pool_;  // null after Detach()
   PmemDevice* device_;
   CheckpointConfig config_;
+  // Process-unique id keying the thread-local buffer registry (never
+  // reused, so a stale TLS entry can never alias a new log).
+  const uint64_t log_id_;
   std::array<Shard, kNumShards> shards_;
   // Guards the transaction and allocation maps (taken after a shard mutex,
-  // never before one).
+  // never before one). The tx maps are lazily-published caches, so they are
+  // mutable: const queries drain the staging buffers into them.
   mutable std::mutex aux_mutex_;
-  std::map<SeqNum, uint64_t> seq_to_tx_;
-  std::map<uint64_t, std::vector<SeqNum>> tx_to_seqs_;
+  mutable std::map<SeqNum, uint64_t> seq_to_tx_;
+  mutable std::map<uint64_t, std::vector<SeqNum>> tx_to_seqs_;
+  mutable std::vector<std::unique_ptr<TxBuffer>> tx_buffers_;
   std::map<PmOffset, AllocationRecord> allocations_;
   std::atomic<SeqNum> next_seq_{1};
   std::atomic<uint64_t> entry_count_{0};

@@ -4,7 +4,14 @@
 // included: entries with their version rings (data + undo bytes + sequence
 // and transaction ids), the realloc links, transaction groups, allocation
 // records, and the sequence counter.
+//
+// Serialize streams the shards through ForEachEntry in shard/slot order —
+// no merged address-ordered map is materialized (Restore redistributes by
+// ShardOf, a pure function of the address, so the on-wire entry order is
+// irrelevant). The per-version sequence numbers come from one atomic
+// counter and need no renumbering.
 
+#include <algorithm>
 #include <array>
 #include <cstring>
 
@@ -24,10 +31,14 @@ class Writer {
     bytes.resize(at + 8);
     std::memcpy(bytes.data() + at, &v, 8);
   }
-  void Blob(const std::vector<uint8_t>& data) {
-    U64(data.size());
-    bytes.insert(bytes.end(), data.begin(), data.end());
+  void Blob(const uint8_t* data, size_t size) {
+    U64(size);
+    bytes.insert(bytes.end(), data, data + size);
   }
+  void Blob(const std::vector<uint8_t>& data) {
+    Blob(data.data(), data.size());
+  }
+  void Blob(PayloadRef data) { Blob(data.data(), data.size()); }
   std::vector<uint8_t> bytes;
 };
 
@@ -59,6 +70,22 @@ class Reader {
   const std::vector<uint8_t>& bytes_;
   size_t at_ = 0;
 };
+
+// Parsed-but-not-committed entry: payloads still own their bytes (they move
+// into the target shard's arena only once the whole image parses cleanly).
+struct StagedVersion {
+  SeqNum seq_num = kNoSeq;
+  uint64_t tx_id = 0;
+  std::vector<uint8_t> data;
+  std::vector<uint8_t> pre;
+};
+struct StagedEntry {
+  PmOffset address = kNullPmOffset;
+  std::vector<uint8_t> original;
+  PmOffset old_entry = kNullPmOffset;
+  PmOffset new_entry = kNullPmOffset;
+  std::vector<StagedVersion> versions;
+};
 }  // namespace
 
 std::vector<uint8_t> CheckpointLog::Serialize() const {
@@ -68,20 +95,9 @@ std::vector<uint8_t> CheckpointLog::Serialize() const {
   w.U64(next_seq_.load());
   w.U64(static_cast<uint64_t>(config_.max_versions));
 
-  // Merge the shards into one address-ordered sequence (the shards hold
-  // hash-disjoint address sets, so this is the global order the
-  // single-threaded log wrote directly). The per-version sequence numbers
-  // come from one atomic counter and need no renumbering.
-  std::map<PmOffset, const CheckpointEntry*> merged;
-  for (const Shard& shard : shards_) {
-    for (const auto& [address, entry] : shard.entries) {
-      merged.emplace(address, &entry);
-    }
-  }
-  w.U64(merged.size());
-  for (const auto& [address, entry_ptr] : merged) {
-    const CheckpointEntry& entry = *entry_ptr;
-    w.U64(address);
+  w.U64(entry_count_.load());
+  ForEachEntry([&w](const CheckpointEntry& entry) {
+    w.U64(entry.address);
     w.Blob(entry.original);
     w.U64(entry.old_entry);
     w.U64(entry.new_entry);
@@ -92,8 +108,13 @@ std::vector<uint8_t> CheckpointLog::Serialize() const {
       w.Blob(v.data);
       w.Blob(v.pre);
     }
-  }
+  });
 
+  std::lock_guard<std::mutex> aux(aux_mutex_);
+  // Fold any still-staged per-thread seq->tx pairs (e.g. from a transaction
+  // whose commit hook ran on a thread that never published) into the maps
+  // before writing them out. Caller-serialized, so no thread is appending.
+  PublishTxBuffersLocked();
   w.U64(allocations_.size());
   for (const auto& [offset, record] : allocations_) {
     w.U64(record.offset);
@@ -125,35 +146,34 @@ Status CheckpointLog::Restore(const std::vector<uint8_t>& image) {
     return Corruption("truncated checkpoint-log header");
   }
 
-  // Parsed entries, distributed back into their shards at the end (the
-  // shard assignment is a pure function of the address).
-  std::array<std::map<PmOffset, CheckpointEntry>, kNumShards> entries;
-  std::array<std::map<SeqNum, PmOffset>, kNumShards> seq_index;
+  // Parse everything into staging storage first, so a truncated image never
+  // leaves the log half-replaced; entries are distributed to their shards
+  // at commit time (the shard assignment is a pure function of the
+  // address).
+  std::array<std::vector<StagedEntry>, kNumShards> staged;
   uint64_t entry_count = 0;
   if (!r.U64(&entry_count)) {
     return Corruption("truncated entry count");
   }
   size_t max_extent = 0;
   for (uint64_t i = 0; i < entry_count; i++) {
-    CheckpointEntry entry;
+    StagedEntry entry;
     uint64_t version_count = 0;
     if (!r.U64(&entry.address) || !r.Blob(&entry.original) ||
         !r.U64(&entry.old_entry) || !r.U64(&entry.new_entry) ||
         !r.U64(&version_count)) {
       return Corruption("truncated entry");
     }
-    const size_t si = ShardOf(entry.address);
     for (uint64_t v = 0; v < version_count; v++) {
-      CheckpointVersion version;
+      StagedVersion version;
       if (!r.U64(&version.seq_num) || !r.U64(&version.tx_id) ||
           !r.Blob(&version.data) || !r.Blob(&version.pre)) {
         return Corruption("truncated version");
       }
-      seq_index[si][version.seq_num] = entry.address;
       entry.versions.push_back(std::move(version));
     }
     max_extent = std::max(max_extent, entry.original.size());
-    entries[si].emplace(entry.address, std::move(entry));
+    staged[ShardOf(entry.address)].push_back(std::move(entry));
   }
 
   std::map<PmOffset, AllocationRecord> allocations;
@@ -194,20 +214,52 @@ Status CheckpointLog::Restore(const std::vector<uint8_t>& image) {
   }
 
   uint64_t total_entries = 0;
+  uint64_t total_versions = 0;
   for (size_t si = 0; si < kNumShards; si++) {
     std::lock_guard<std::mutex> lock(shards_[si].mutex);
-    total_entries += entries[si].size();
-    shards_[si].entries = std::move(entries[si]);
-    shards_[si].seq_index = std::move(seq_index[si]);
+    Shard& shard = shards_[si];
+    shard.slots.clear();
+    shard.buckets.clear();
+    shard.seq_index.clear();
+    shard.arena.Clear();
+    for (StagedEntry& src : staged[si]) {
+      shard.slots.emplace_back();
+      CheckpointEntry& dst = shard.slots.back();
+      dst.address = src.address;
+      dst.original = std::move(src.original);
+      dst.old_entry = src.old_entry;
+      dst.new_entry = src.new_entry;
+      for (const StagedVersion& sv : src.versions) {
+        CheckpointVersion version;
+        version.seq_num = sv.seq_num;
+        version.tx_id = sv.tx_id;
+        version.data = shard.arena.Store(sv.data.data(), sv.data.size());
+        version.pre = shard.arena.Store(sv.pre.data(), sv.pre.size());
+        dst.versions.push_back(version);
+        shard.seq_index.emplace_back(sv.seq_num, dst.address);
+        total_versions++;
+      }
+    }
+    // On-wire entry order is arbitrary relative to this shard's history, so
+    // re-sort the seq slice to restore the binary-search invariant.
+    std::sort(shard.seq_index.begin(), shard.seq_index.end());
+    RehashLocked(shard);
+    total_entries += shard.slots.size();
   }
   {
     std::lock_guard<std::mutex> aux(aux_mutex_);
+    // Staged pairs from the pre-restore history must not leak into the
+    // restored maps.
+    for (const auto& buffer : tx_buffers_) {
+      buffer->pairs.clear();
+    }
     allocations_ = std::move(allocations);
     seq_to_tx_ = std::move(seq_to_tx);
     tx_to_seqs_ = std::move(tx_to_seqs);
   }
   next_seq_ = next_seq;
   entry_count_ = total_entries;
+  retained_versions_ = total_versions;
   config_.max_versions = static_cast<int>(max_versions);
   max_extent_ = max_extent;
   return OkStatus();

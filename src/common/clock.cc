@@ -2,7 +2,15 @@
 
 #include <chrono>
 
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#endif
+
 namespace arthas {
+
+#if defined(__x86_64__) || defined(_M_X64)
+uint64_t CycleCount() { return __rdtsc(); }
+#endif
 
 int64_t MonotonicNanos() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(

@@ -40,6 +40,18 @@ class VirtualClock {
 // observability layer. Returns monotonic nanoseconds.
 int64_t MonotonicNanos();
 
+// Raw CPU timestamp counter, for the benches' cycles/op reporting. On
+// x86-64 this is rdtsc (constant-rate on the paper's testbed class of
+// hardware); elsewhere it falls back to the monotonic nanosecond clock, so
+// "cycles" degrade to nanoseconds but stay monotonic and cheap.
+#if defined(__x86_64__) || defined(_M_X64)
+uint64_t CycleCount();
+#else
+inline uint64_t CycleCount() {
+  return static_cast<uint64_t>(MonotonicNanos());
+}
+#endif
+
 // Alias used by the obs layer; same monotonic clock.
 inline int64_t NowNanos() { return MonotonicNanos(); }
 

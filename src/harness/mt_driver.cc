@@ -16,6 +16,7 @@ MultiThreadedDriver::MultiThreadedDriver(PmSystemTarget& system,
 
 MtDriverResult MultiThreadedDriver::Run() {
   const int threads = config_.threads < 1 ? 1 : config_.threads;
+  system_.set_lock_mode(config_.lock_mode);
 
   struct ThreadState {
     uint64_t ops = 0;
@@ -48,7 +49,7 @@ MtDriverResult MultiThreadedDriver::Run() {
           config_.per_op_work();
         }
         {
-          std::lock_guard<std::mutex> lock(system_.request_mutex());
+          RequestGuard guard(system_, request);
           system_.Handle(request);
         }
         state->latency.Record(
@@ -69,6 +70,12 @@ MtDriverResult MultiThreadedDriver::Run() {
     worker.join();
   }
   const int64_t elapsed = MonotonicNanos() - start;
+
+  // A trailing maintenance request (e.g. a hashtable expansion triggered by
+  // the last insert) must not be left pending: drain it so sharded runs end
+  // in the same structural state a coarse run reaches inline.
+  system_.DrainPendingMaintenance();
+  system_.set_lock_mode(RequestLockMode::kCoarse);
 
   MtDriverResult result;
   obs::Histogram merged;

@@ -3,14 +3,16 @@
 // The paper's Figure 12 / Table 8 overhead numbers are defined over
 // 4-thread YCSB runs. This driver reproduces that shape: N client threads,
 // each with its own YcsbWorkload stream (distinct seeds), issue requests
-// against ONE target system. The target's volatile structures are
-// single-threaded, so Handle() calls are serialized behind the system's own
-// coarse request lock (PmSystemTarget::request_mutex()) — exactly like
-// memcached worker threads contending on cache_lock — while request
-// generation and the simulated client-side work run outside the lock and
-// genuinely in parallel. The PM substrate below (device stripes, pool
-// mutex, checkpoint shards, tracer buffers) runs concurrently on its own
-// locks.
+// against ONE target system. By default Handle() calls are serialized
+// behind the system's coarse request lock (PmSystemTarget::request_mutex())
+// — exactly like memcached worker threads contending on cache_lock — while
+// request generation and the simulated client-side work run outside the
+// lock and genuinely in parallel. With lock_mode == kSharded, systems that
+// support it run key-local requests under key-hashed lock stripes instead
+// (see RequestGuard in systems/pm_system.h), so non-colliding keys proceed
+// concurrently. The PM substrate below (device stripes, pool mutex,
+// checkpoint shards, tracer buffers) runs concurrently on its own locks
+// either way.
 //
 // Per-thread operation and latency counters are merged into the global obs
 // registry after the run (`driver.ops.count`, `driver.op.latency.ns`).
@@ -50,6 +52,10 @@ struct MtDriverConfig {
   // count until the server's request lock saturates — the standard
   // closed-loop scaling shape. Zero (the default) disables it.
   std::chrono::nanoseconds think_time{0};
+  // How Handle() calls are serialized: coarse (one lock, the default) or
+  // sharded (key-hashed stripes, for systems that support it). The driver
+  // sets the mode on the system for the run and restores kCoarse after.
+  RequestLockMode lock_mode = RequestLockMode::kCoarse;
 };
 
 struct MtDriverResult {

@@ -10,7 +10,13 @@
 
 namespace arthas {
 
-PmemDevice::PmemDevice(size_t size) : live_(size, 0), durable_(size, 0) {}
+PmemDevice::PmemDevice(size_t size) : live_(size, 0), durable_(size, 0) {
+  const size_t lines = (size + kCacheLineSize - 1) / kCacheLineSize;
+  num_pending_words_ = (lines + 63) / 64;
+  // Value-initialization zeroes every word (std::atomic's default
+  // constructor does not, pre-C++20).
+  pending_words_.reset(new std::atomic<uint64_t>[num_pending_words_]());
+}
 
 // Stripe selection: cache-line index modulo kNumStripes. A range of L lines
 // therefore touches min(L, kNumStripes) stripes; kNumStripes is 64 so the
@@ -108,26 +114,85 @@ void PmemDevice::FlushLines(PmOffset offset, size_t size) {
   if (size == 0) {
     return;
   }
-  std::lock_guard<std::mutex> lock(pending_mutex_);
-  pending_.push_back({offset, size});
+  const uint64_t first_line = offset / kCacheLineSize;
+  const uint64_t last_line = (offset + size - 1) / kCacheLineSize;
+  // The release order pairs with Drain's acquire exchange: a drainer that
+  // observes a staged bit also observes the live-image stores the flusher
+  // made before staging it.
+  for (uint64_t line = first_line; line <= last_line;) {
+    const uint64_t word = line / 64;
+    uint64_t mask = 0;
+    const uint64_t word_end = std::min<uint64_t>((word + 1) * 64,
+                                                 last_line + 1);
+    for (; line < word_end; line++) {
+      mask |= 1ULL << (line % 64);
+    }
+    pending_words_[word].fetch_or(mask, std::memory_order_release);
+  }
+  // Widen the scan window. Both watermarks only ever move outward between
+  // quiesce points, so a concurrent Drain that misses this update by a hair
+  // leaves the staged bits for the next drain — the same fate a clwb issued
+  // concurrently with another thread's sfence has.
+  const uint64_t lo_word = first_line / 64;
+  const uint64_t hi_word = last_line / 64;
+  uint64_t lo = pending_lo_.load(std::memory_order_relaxed);
+  while (lo_word < lo && !pending_lo_.compare_exchange_weak(
+                             lo, lo_word, std::memory_order_release)) {
+  }
+  uint64_t hi = pending_hi_.load(std::memory_order_relaxed);
+  while (hi_word > hi && !pending_hi_.compare_exchange_weak(
+                             hi, hi_word, std::memory_order_release)) {
+  }
 }
 
 void PmemDevice::Drain() {
   stats_.drains++;
   ARTHAS_COUNTER_ADD("pmem.drain.count", 1);
-  // Swap the staged list out under its own mutex (never held while taking
-  // stripes), then make each range durable under its stripes. A concurrent
-  // FlushLines after the swap lands in the next drain, exactly as a clwb
-  // issued after this thread's sfence would.
-  std::vector<PendingRange> draining;
-  {
-    std::lock_guard<std::mutex> lock(pending_mutex_);
-    draining.swap(pending_);
+  // Claim each staged word with an atomic exchange (never holding a lock),
+  // then make each contiguous run of claimed lines durable under its
+  // stripes. A concurrent FlushLines after the exchange lands in the next
+  // drain, exactly as a clwb issued after this thread's sfence would.
+  const uint64_t lo = pending_lo_.load(std::memory_order_acquire);
+  const uint64_t hi = pending_hi_.load(std::memory_order_acquire);
+  if (lo > hi) {
+    return;  // nothing staged since the last quiesce
   }
-  for (const PendingRange& range : draining) {
-    StripeGuard guard(*this, range.offset, range.size);
-    NotifyAndMakeDurable(range.offset, range.size);
+  for (uint64_t w = lo; w <= hi && w < num_pending_words_; w++) {
+    if (pending_words_[w].load(std::memory_order_relaxed) == 0) {
+      continue;
+    }
+    uint64_t bits = pending_words_[w].exchange(0, std::memory_order_acquire);
+    while (bits != 0) {
+      const int first = __builtin_ctzll(bits);
+      int last = first;
+      while (last + 1 < 64 && (bits & (1ULL << (last + 1)))) {
+        last++;
+      }
+      const uint64_t run_mask =
+          (last == 63 ? ~0ULL : ((1ULL << (last + 1)) - 1)) &
+          ~((1ULL << first) - 1);
+      bits &= ~run_mask;
+      const PmOffset run_offset =
+          (w * 64 + static_cast<uint64_t>(first)) * kCacheLineSize;
+      if (run_offset >= live_.size()) {
+        break;
+      }
+      const size_t run_size =
+          std::min<size_t>(static_cast<size_t>(last - first + 1) *
+                               kCacheLineSize,
+                           live_.size() - run_offset);
+      StripeGuard guard(*this, run_offset, run_size);
+      NotifyAndMakeDurable(run_offset, run_size);
+    }
   }
+}
+
+void PmemDevice::ClearPending() {
+  for (size_t w = 0; w < num_pending_words_; w++) {
+    pending_words_[w].store(0, std::memory_order_relaxed);
+  }
+  pending_lo_.store(~0ULL, std::memory_order_relaxed);
+  pending_hi_.store(0, std::memory_order_relaxed);
 }
 
 void PmemDevice::Crash() {
@@ -148,10 +213,7 @@ void PmemDevice::Crash() {
   ARTHAS_COUNTER_ADD("pmem.crash.count", 1);
   ARTHAS_COUNTER_ADD("pmem.crash_discarded.lines", discarded_lines);
 #endif
-  {
-    std::lock_guard<std::mutex> lock(pending_mutex_);
-    pending_.clear();
-  }
+  ClearPending();
   std::memcpy(live_.data(), durable_.data(), live_.size());
   stats_.crashes++;
 }
@@ -175,10 +237,7 @@ Status PmemDevice::RestoreDurable(const std::vector<uint8_t>& image) {
   StripeGuard guard(*this, 0, durable_.size());
   durable_ = image;
   std::memcpy(live_.data(), durable_.data(), live_.size());
-  {
-    std::lock_guard<std::mutex> lock(pending_mutex_);
-    pending_.clear();
-  }
+  ClearPending();
   return OkStatus();
 }
 
@@ -222,7 +281,8 @@ void PmemDevice::RemoveObserver(DurabilityObserver* observer) {
 
 bool PmemDevice::IsDurable(PmOffset offset, size_t size) const {
   assert(offset + size <= live_.size());
-  StripeGuard guard(*this, offset, size);
+  // Lock-free by design (see header): the caller guarantees no concurrent
+  // persist/drain of this range, so both images are stable for the compare.
   return std::memcmp(live_.data() + offset, durable_.data() + offset, size) ==
          0;
 }

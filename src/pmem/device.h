@@ -22,12 +22,15 @@
 // Concurrency model (see DESIGN.md "Concurrency model"):
 //   * The live image is ordinary memory: loads/stores through Live() are the
 //     application's to synchronize, exactly as with pmem_map_file memory.
-//   * Durability operations (Persist/FlushLines/Drain/IsDurable/RawRestore)
-//     are thread-safe. The durable image is covered by kNumStripes lock
+//   * Durability operations (Persist/FlushLines/Drain/RawRestore) are
+//     thread-safe. The durable image is covered by kNumStripes lock
 //     stripes keyed by cache-line index; an operation locks the stripes its
 //     line range maps to, in ascending stripe order. Observer callbacks run
 //     at the durability point with the range's stripes held, so an observer
-//     sees a stable pre-copy durable image for that range.
+//     sees a stable pre-copy durable image for that range. FlushLines is
+//     lock-free: staged lines live in an atomic bitmap, not a list.
+//   * IsDurable is a lock-free compare; like reads of Live(), it is the
+//     caller's job not to race it with persists of the same range.
 //   * Crash() takes every stripe (ascending), so it observes a consistent
 //     unflushed-line set: no persist can be half-applied when the power
 //     "fails".
@@ -42,6 +45,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -120,8 +124,15 @@ class PmemDevice {
 
   // Two-step variant: FlushLines stages lines, Drain makes all staged lines
   // durable (and fires observer callbacks). Models clwb ... sfence code.
-  // Thread-safe; a Drain drains the ranges staged by every thread up to the
-  // moment it swaps the pending list out.
+  // Thread-safe and, on the FlushLines side, lock-free: staged lines live in
+  // an atomic per-cache-line bitmap (one word per 64 lines), so concurrent
+  // flushers never serialize on a pending list. A Drain claims each word
+  // with an atomic exchange and drains the lines staged by every thread up
+  // to that moment, exactly as an sfence fences every prior clwb.
+  //
+  // Like real clwb, staging is line-granular: Drain coalesces adjacent
+  // staged lines into one observer callback per contiguous run, and a line
+  // flushed twice before the fence becomes durable (and is observed) once.
   void FlushLines(PmOffset offset, size_t size);
   void Drain();
 
@@ -153,15 +164,13 @@ class PmemDevice {
   const PmemDeviceStats& stats() const { return stats_; }
 
   // True if every byte of [offset, offset+size) is identical in the live and
-  // durable images, i.e. the range is fully persisted.
+  // durable images, i.e. the range is fully persisted. Lock-free: the
+  // comparison takes no stripes, so it must not race with concurrent
+  // persists or drains of the same range (readers of Live() already carry
+  // that obligation — the live image is plain memory).
   bool IsDurable(PmOffset offset, size_t size) const;
 
  private:
-  struct PendingRange {
-    PmOffset offset;
-    size_t size;
-  };
-
   // Locks every stripe covering [offset, offset+size) in ascending stripe
   // order (the deadlock-free total order); unlocks in reverse. A default-
   // constructed-with-all guard (offset 0, size = device size) is what
@@ -182,11 +191,23 @@ class PmemDevice {
   void MakeDurable(PmOffset offset, size_t size);
   void NotifyAndMakeDurable(PmOffset offset, size_t size);
 
+  // Resets the staged-line bitmap and its scan watermarks. Caller must have
+  // quiesced flushers (Crash/RestoreDurable hold every stripe).
+  void ClearPending();
+
   std::vector<uint8_t> live_;
   std::vector<uint8_t> durable_;
   mutable std::array<std::mutex, kNumStripes> stripes_;
-  std::mutex pending_mutex_;
-  std::vector<PendingRange> pending_;  // flushed but not yet drained
+  // Flushed-but-not-drained cache lines: bit i of word w covers line
+  // w * 64 + i. fetch_or on flush, exchange(0) on drain — no lock anywhere
+  // on the staging path.
+  std::unique_ptr<std::atomic<uint64_t>[]> pending_words_;
+  size_t num_pending_words_ = 0;
+  // Inclusive word-range watermarks bounding the Drain scan; lo > hi means
+  // "nothing staged". Monotone under concurrent flushes (CAS min/max),
+  // reset only under full quiesce.
+  std::atomic<uint64_t> pending_lo_{~0ULL};
+  std::atomic<uint64_t> pending_hi_{0};
   std::vector<DurabilityObserver*> observers_;
   PmemDeviceStats stats_;
 };

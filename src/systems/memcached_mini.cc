@@ -191,7 +191,7 @@ Response MemcachedMini::Put(const Request& request) {
 
   const size_t total =
       sizeof(McItem) + request.key.size() + request.value.size();
-  auto oid = pool_->Zalloc(total);
+  auto oid = pool_->Zalloc(LineSafeSize(total));
   if (!oid.ok()) {
     RaiseFault(FailureKind::kOutOfSpace, kGuidMcItemInit, kNullPmOffset,
                "item allocation failed: " + oid.status().ToString(),
@@ -239,16 +239,38 @@ Response MemcachedMini::Put(const Request& request) {
       r->hashtable + index * sizeof(PmOffset);
   TracedPersistRange(slot_addr, sizeof(PmOffset), kGuidMcBucketStore);
 
-  r->item_count++;
-  TracedPersist(root_oid_, offsetof(McRoot, item_count), sizeof(uint64_t),
-                kGuidMcCountStore);
+  uint64_t count_now;
+  {
+    // The persist stays inside the counter section: the media copy reads the
+    // counter's whole cache line, so it must not overlap another striped
+    // request's increment (counter mutex ranks above the device stripes).
+    std::lock_guard<std::mutex> counters(counter_mutex_);
+    count_now = ++r->item_count;
+    TracedPersist(root_oid_, offsetof(McRoot, item_count), sizeof(uint64_t),
+                  kGuidMcCountStore);
+  }
 
-  // Grow the table when chains get long.
-  if (r->item_count > r->nbuckets * 2 && r->expanding == 0) {
-    MaybeExpand();
+  // Grow the table when chains get long. Expansion relinks every chain, so
+  // a striped request (shared gate) defers it to the next exclusive window
+  // instead of restructuring in place.
+  if (count_now > r->nbuckets * 2 && r->expanding == 0) {
+    if (lock_mode() == RequestLockMode::kSharded) {
+      RequestMaintenance();
+    } else {
+      MaybeExpand();
+    }
   }
   response.status = OkStatus();
   return response;
+}
+
+void MemcachedMini::RunPendingMaintenance() {
+  // Re-check the trigger under the exclusive gate: a drain may run after a
+  // delete already brought the count back down.
+  McRoot* r = root();
+  if (r->item_count > r->nbuckets * 2 && r->expanding == 0) {
+    MaybeExpand();
+  }
 }
 
 void MemcachedMini::MaybeExpand() {
@@ -398,9 +420,12 @@ Response MemcachedMini::Delete(const Request& request) {
       }
       tracer_.Record(kGuidMcFreelistStore, cur);
       (void)pool_->Free(Oid{cur});
-      r->item_count--;
-      TracedPersist(root_oid_, offsetof(McRoot, item_count), sizeof(uint64_t),
-                    kGuidMcCountStore);
+      {
+        std::lock_guard<std::mutex> counters(counter_mutex_);
+        r->item_count--;
+        TracedPersist(root_oid_, offsetof(McRoot, item_count),
+                      sizeof(uint64_t), kGuidMcCountStore);
+      }
       response.status = OkStatus();
       response.found = true;
       return response;

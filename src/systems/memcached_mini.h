@@ -69,6 +69,19 @@ class MemcachedMini : public PmSystemBase {
   uint64_t ItemCount() override;
   Status CheckConsistency() override;
 
+  // Sharded request locking: key ops are confined to one bucket chain, so
+  // striping by bucket keeps colliding keys serialized. Buckets are grouped
+  // by the cache line their 8-byte table slot lives in before striping:
+  // persisting one slot copies its whole rounded line, so all slots in a
+  // line must belong to one stripe. Hashtable expansion is deferred
+  // maintenance (it relinks every chain), run under the exclusive gate by
+  // RunPendingMaintenance.
+  bool SupportsShardedLocks() const override { return true; }
+  size_t RequestStripeOf(const std::string& key) const override {
+    return BucketIndex(key) / kBucketsPerCacheLine % kNumRequestStripes;
+  }
+  void RunPendingMaintenance() override;
+
   // Injects the f5 CPU bit flip: flips the persistent rehash flag in the
   // live image (not yet durable; a later persist of the root line will
   // carry it to media — the soft-to-hard transformation).

@@ -55,7 +55,7 @@ PelikanMini::PelikanMini(Options options)
     assert(table.ok());
     r->ht = table->off;
     r->nbuckets = options_.buckets;
-    auto detail = pool_->Zalloc(sizeof(PelStatsDetail));
+    auto detail = pool_->Zalloc(LineSafeSize(sizeof(PelStatsDetail)));
     assert(detail.ok());
     auto* d = pool_->Direct<PelStatsDetail>(*detail);
     d->magic = kDetailMagic;
@@ -169,7 +169,10 @@ Response PelikanMini::Put(const Request& request) {
       item->vlen = static_cast<uint8_t>(real_vlen);
       TracedPersist(Oid{existing}, 0,
                     sizeof(PelItem) + item->klen + real_vlen, kGuidPlItemInit);
-      r->sets++;
+      {
+        std::lock_guard<std::mutex> counters(counter_mutex_);
+        r->sets++;
+      }
       response.status = OkStatus();
       return response;
     }
@@ -180,8 +183,8 @@ Response PelikanMini::Put(const Request& request) {
   // f10: the stored length is 8-bit; the allocation sizes the block from the
   // wrapped length while the copy writes the real bytes.
   const uint8_t stored_vlen = static_cast<uint8_t>(real_vlen);
-  auto oid =
-      pool_->Zalloc(sizeof(PelItem) + request.key.size() + stored_vlen);
+  auto oid = pool_->Zalloc(
+      LineSafeSize(sizeof(PelItem) + request.key.size() + stored_vlen));
   if (!oid.ok()) {
     RaiseFault(FailureKind::kOutOfSpace, kGuidPlItemInit, kNullPmOffset,
                "item allocation failed", {"item_alloc"});
@@ -203,10 +206,15 @@ Response PelikanMini::Put(const Request& request) {
                 kGuidPlItemInit);
   TracedPersistRange(r->ht + index * sizeof(PmOffset), sizeof(PmOffset),
                      kGuidPlBucketStore);
-  r->count++;
-  r->sets++;
-  TracedPersist(root_oid_, offsetof(PelRoot, count), sizeof(uint64_t),
-                kGuidPlCountStore);
+  {
+    // Persist inside the counter section: the media copy reads the counter's
+    // whole cache line, so it must not overlap another stripe's increment.
+    std::lock_guard<std::mutex> counters(counter_mutex_);
+    r->count++;
+    r->sets++;
+    TracedPersist(root_oid_, offsetof(PelRoot, count), sizeof(uint64_t),
+                  kGuidPlCountStore);
+  }
   response.status = OkStatus();
   return response;
 }
@@ -261,9 +269,12 @@ Response PelikanMini::Delete(const Request& request) {
                       kGuidPlItemInit);
       }
       (void)pool_->Free(Oid{cur});
-      r->count--;
-      TracedPersist(root_oid_, offsetof(PelRoot, count), sizeof(uint64_t),
-                    kGuidPlCountStore);
+      {
+        std::lock_guard<std::mutex> counters(counter_mutex_);
+        r->count--;
+        TracedPersist(root_oid_, offsetof(PelRoot, count), sizeof(uint64_t),
+                      kGuidPlCountStore);
+      }
       response.found = true;
       response.status = OkStatus();
       return response;

@@ -46,6 +46,15 @@ class PelikanMini : public PmSystemBase {
   uint64_t ItemCount() override;
   Status CheckConsistency() override;
 
+  // Sharded request locking: key ops touch one bucket chain; the count/sets
+  // counters are guarded by counter_mutex_. kStats stays exclusive.
+  bool SupportsShardedLocks() const override { return true; }
+  size_t RequestStripeOf(const std::string& key) const override {
+    // Slot-line granular: all table slots sharing a cache line map to one
+    // stripe, since persisting any slot copies the whole rounded line.
+    return BucketIndex(key) / kBucketsPerCacheLine % kNumRequestStripes;
+  }
+
  protected:
   Status Recover() override;
 

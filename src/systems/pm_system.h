@@ -14,9 +14,13 @@
 #ifndef ARTHAS_SYSTEMS_PM_SYSTEM_H_
 #define ARTHAS_SYSTEMS_PM_SYSTEM_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -94,6 +98,19 @@ struct RunObservation {
   uint64_t item_count = 0;
 };
 
+// How a concurrent driver serializes Handle() calls against a system.
+//   kCoarse  — one mutex around every request (the default; matches
+//              memcached's cache_lock / Redis's single event loop).
+//   kSharded — key-hashed lock stripes for key-local operations, with a
+//              structural reader/writer gate so whole-table operations
+//              (flush_all, admin commands, stats) still run exclusively.
+// Systems opt in via SupportsShardedLocks(); for everything else kSharded
+// silently behaves like an exclusive gate, so it is always safe to request.
+enum class RequestLockMode {
+  kCoarse,
+  kSharded,
+};
+
 class PmSystemTarget {
  public:
   virtual ~PmSystemTarget() = default;
@@ -138,8 +155,134 @@ class PmSystemTarget {
   // callers may invoke Handle() directly without it.
   std::mutex& request_mutex() { return request_mutex_; }
 
+  // ---- Sharded request locking (RequestLockMode::kSharded) ----
+  //
+  // Key-local operations take the structural gate shared plus one of
+  // kNumRequestStripes stripe mutexes chosen by RequestStripeOf(key);
+  // whole-table operations take the gate exclusive. Systems that opt in
+  // (SupportsShardedLocks) must map every pair of keys that can share
+  // volatile chain state to the same stripe — the mini systems stripe by
+  // hash bucket, so two keys colliding into one bucket always serialize.
+  // Stripes must also be no finer than persist granularity: Persist copies
+  // whole rounded cache lines, so every byte a striped request may persist
+  // must land in lines no other stripe concurrently writes. The mini
+  // systems therefore group the kBucketsPerCacheLine adjacent 8-byte table
+  // slots sharing one line into a single stripe (item payloads are already
+  // safe: blocks of a cache line or more are line-aligned, and every item
+  // the systems allocate is larger than the sub-line minimum block).
+  static constexpr size_t kNumRequestStripes = 16;
+  static constexpr size_t kBucketsPerCacheLine =
+      kCacheLineSize / sizeof(PmOffset);
+
+  // Allocation-size floor for objects that striped request paths persist.
+  // Blocks of at least a cache line are line-aligned, so a persist of one
+  // object never copies bytes of a neighbor; a sub-line block shares its
+  // line with a buddy that may belong to another stripe.
+  static constexpr size_t LineSafeSize(size_t size) {
+    return size < kCacheLineSize ? kCacheLineSize : size;
+  }
+
+  RequestLockMode lock_mode() const {
+    return lock_mode_.load(std::memory_order_relaxed);
+  }
+  void set_lock_mode(RequestLockMode mode) {
+    lock_mode_.store(mode, std::memory_order_relaxed);
+  }
+
+  // True if this system's Handle() is safe under per-stripe concurrency for
+  // key-local ops. Defaults to false: such systems run every request behind
+  // the exclusive gate even in kSharded mode (correct, just not parallel).
+  virtual bool SupportsShardedLocks() const { return false; }
+
+  // Stripe for a key. Overrides must be stable while the structural gate is
+  // held shared (the mini systems derive it from the current bucket index,
+  // which only structural operations — run exclusively — can change).
+  virtual size_t RequestStripeOf(const std::string& key) const {
+    return std::hash<std::string>{}(key) % kNumRequestStripes;
+  }
+
+  // Deferred structural work (e.g. memcached's hashtable expansion): a
+  // striped request that notices the trigger condition calls
+  // RequestMaintenance() instead of restructuring under a shared gate; the
+  // next RequestGuard acquisition (or an explicit drain) runs
+  // RunPendingMaintenance() under the exclusive gate.
+  void RequestMaintenance() {
+    maintenance_pending_.store(true, std::memory_order_release);
+  }
+  virtual void RunPendingMaintenance() {}
+  void DrainPendingMaintenance() {
+    bool expected = true;
+    if (maintenance_pending_.compare_exchange_strong(
+            expected, false, std::memory_order_acq_rel)) {
+      std::unique_lock<std::shared_mutex> gate(structural_gate_);
+      RunPendingMaintenance();
+    }
+  }
+
+  // True for ops whose effects are confined to one key's bucket chain (plus
+  // counters the system guards internally); everything else — flush_all,
+  // list ops, stats, admin commands — restructures or scans shared state
+  // and runs behind the exclusive gate.
+  bool ShardableOp(const Request& request) const {
+    if (!SupportsShardedLocks()) {
+      return false;
+    }
+    switch (request.op) {
+      case Request::Op::kPut:
+      case Request::Op::kGet:
+      case Request::Op::kDelete:
+      case Request::Op::kAppend:
+      case Request::Op::kHold:
+      case Request::Op::kRelease:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  std::shared_mutex& structural_gate() { return structural_gate_; }
+  std::mutex& request_stripe(size_t i) { return request_stripes_[i]; }
+
  private:
   std::mutex request_mutex_;
+  std::atomic<RequestLockMode> lock_mode_{RequestLockMode::kCoarse};
+  std::shared_mutex structural_gate_;
+  std::array<std::mutex, kNumRequestStripes> request_stripes_;
+  std::atomic<bool> maintenance_pending_{false};
+};
+
+// RAII acquisition of whatever locks one Handle() call needs under the
+// system's current lock mode. Construct, call Handle(), destroy.
+//
+// kSharded order: drain any deferred maintenance (exclusive gate, released
+// before proceeding), then gate-shared + stripe for shardable ops or
+// gate-exclusive for the rest. The stripe index is computed after the
+// shared gate is held, so the bucket geometry it derives from is stable.
+class RequestGuard {
+ public:
+  RequestGuard(PmSystemTarget& system, const Request& request) {
+    if (system.lock_mode() == RequestLockMode::kCoarse) {
+      coarse_ = std::unique_lock<std::mutex>(system.request_mutex());
+      return;
+    }
+    system.DrainPendingMaintenance();
+    if (!system.ShardableOp(request)) {
+      exclusive_ = std::unique_lock<std::shared_mutex>(system.structural_gate());
+      return;
+    }
+    shared_ = std::shared_lock<std::shared_mutex>(system.structural_gate());
+    stripe_ = std::unique_lock<std::mutex>(
+        system.request_stripe(system.RequestStripeOf(request.key)));
+  }
+
+  RequestGuard(const RequestGuard&) = delete;
+  RequestGuard& operator=(const RequestGuard&) = delete;
+
+ private:
+  std::unique_lock<std::mutex> coarse_;
+  std::unique_lock<std::shared_mutex> exclusive_;
+  std::shared_lock<std::shared_mutex> shared_;
+  std::unique_lock<std::mutex> stripe_;  // declared last: released first
 };
 
 }  // namespace arthas

@@ -98,6 +98,7 @@ Response PmemkvMini::Handle(const Request& request) {
 }
 
 void PmemkvMini::RunAsyncFreeWorker() {
+  std::lock_guard<std::mutex> counters(counter_mutex_);
   for (const PmOffset off : deferred_free_) {
     (void)pool_->Free(Oid{off});
   }
@@ -141,8 +142,8 @@ Response PmemkvMini::Put(const Request& request) {
   Delete(del);
 
   tracer_.Record(kGuidKvAllocSite, r->count);
-  auto oid = pool_->Zalloc(sizeof(KvEntry) + request.key.size() +
-                           request.value.size());
+  auto oid = pool_->Zalloc(LineSafeSize(
+      sizeof(KvEntry) + request.key.size() + request.value.size()));
   if (!oid.ok()) {
     RaiseFault(FailureKind::kOutOfSpace, kGuidKvAllocSite, kNullPmOffset,
                "put failed: persistent pool exhausted",
@@ -163,9 +164,14 @@ Response PmemkvMini::Put(const Request& request) {
   *BucketSlot(index) = oid->off;
   TracedPersistRange(r->buckets + index * sizeof(PmOffset), sizeof(PmOffset),
                      kGuidKvBucketStore);
-  r->count++;
-  TracedPersist(root_oid_, offsetof(KvRoot, count), sizeof(uint64_t),
-                kGuidKvCountStore);
+  {
+    // Persist inside the counter section: the media copy reads the counter's
+    // whole cache line, so it must not overlap another stripe's increment.
+    std::lock_guard<std::mutex> counters(counter_mutex_);
+    r->count++;
+    TracedPersist(root_oid_, offsetof(KvRoot, count), sizeof(uint64_t),
+                  kGuidKvCountStore);
+  }
   response.status = OkStatus();
   return response;
 }
@@ -234,10 +240,13 @@ Response PmemkvMini::Delete(const Request& request) {
         TracedPersist(Oid{prev}, offsetof(KvEntry, next), sizeof(PmOffset),
                       kGuidKvEntryInit);
       }
-      deferred_free_.push_back(cur);
-      r->count--;
-      TracedPersist(root_oid_, offsetof(KvRoot, count), sizeof(uint64_t),
-                    kGuidKvCountStore);
+      {
+        std::lock_guard<std::mutex> counters(counter_mutex_);
+        deferred_free_.push_back(cur);
+        r->count--;
+        TracedPersist(root_oid_, offsetof(KvRoot, count), sizeof(uint64_t),
+                      kGuidKvCountStore);
+      }
       response.found = true;
       response.status = OkStatus();
       return response;

@@ -47,6 +47,15 @@ class PmemkvMini : public PmSystemBase {
 
   size_t deferred_free_queue_size() const { return deferred_free_.size(); }
 
+  // Sharded request locking: every op touches one bucket chain; the count
+  // and the deferred-free queue are guarded by counter_mutex_.
+  bool SupportsShardedLocks() const override { return true; }
+  size_t RequestStripeOf(const std::string& key) const override {
+    // Slot-line granular: all table slots sharing a cache line map to one
+    // stripe, since persisting any slot copies the whole rounded line.
+    return BucketIndex(key) / kBucketsPerCacheLine % kNumRequestStripes;
+  }
+
  protected:
   Status Recover() override;
 

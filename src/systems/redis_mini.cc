@@ -130,7 +130,8 @@ RedisMini::DictEntry* RedisMini::EntryAt(PmOffset off) {
 }
 
 Result<Oid> RedisMini::AllocObj(uint32_t type, uint32_t capacity) {
-  ARTHAS_ASSIGN_OR_RETURN(Oid oid, pool_->Zalloc(sizeof(RedisObj) + capacity));
+  ARTHAS_ASSIGN_OR_RETURN(
+      Oid oid, pool_->Zalloc(LineSafeSize(sizeof(RedisObj) + capacity)));
   RedisObj* obj = pool_->Direct<RedisObj>(oid);
   obj->refcount = 1;
   obj->type = type;
@@ -147,8 +148,14 @@ Response RedisMini::Handle(const Request& request) {
                                ")");
     return response;
   }
-  op_counter_++;
-  ProcessLazyFreeQueue();
+  {
+    // The op counter and lazy-free queue are cross-key state; striped
+    // requests bump/drain them under the counter lock (the real system does
+    // this on the single event-loop thread).
+    std::lock_guard<std::mutex> counters(counter_mutex_);
+    op_counter_++;
+    ProcessLazyFreeQueue();
+  }
   switch (request.op) {
     case Request::Op::kPut:
       return Put(request);
@@ -167,9 +174,11 @@ Response RedisMini::Handle(const Request& request) {
 }
 
 void RedisMini::LazyFree(PmOffset obj) {
+  std::lock_guard<std::mutex> counters(counter_mutex_);
   lazy_free_queue_.push_back({op_counter_, obj});
 }
 
+// Caller holds counter_mutex_.
 void RedisMini::ProcessLazyFreeQueue() {
   // The background thread frees objects a while after they were queued.
   size_t kept = 0;
@@ -255,7 +264,7 @@ Response RedisMini::Put(const Request& request) {
   std::memcpy(obj->data, request.value.data(), request.value.size());
   TracedPersist(*obj_oid, 0, sizeof(RedisObj) + obj->len, kGuidRdObjInit);
 
-  auto entry_oid = pool_->Zalloc(sizeof(DictEntry) + request.key.size());
+  auto entry_oid = pool_->Zalloc(LineSafeSize(sizeof(DictEntry) + request.key.size()));
   if (!entry_oid.ok()) {
     RaiseFault(FailureKind::kOutOfSpace, kGuidRdEntryStore, kNullPmOffset,
                "entry allocation failed", {"dictAdd", "setCommand"});
@@ -273,9 +282,15 @@ Response RedisMini::Put(const Request& request) {
   *BucketSlot(index) = entry_oid->off;
   TracedPersistRange(r->dict + index * sizeof(PmOffset), sizeof(PmOffset),
                      kGuidRdBucketStore);
-  r->item_count++;
-  TracedPersist(root_oid_, offsetof(RedisRoot, item_count), sizeof(uint64_t),
-                kGuidRdCountStore);
+  {
+    // Persist inside the counter section: the media copy reads the whole
+    // cache line (which also holds the slowlog fields), so every mutator and
+    // persister of that line serializes on the counter mutex.
+    std::lock_guard<std::mutex> counters(counter_mutex_);
+    r->item_count++;
+    TracedPersist(root_oid_, offsetof(RedisRoot, item_count), sizeof(uint64_t),
+                  kGuidRdCountStore);
+  }
 
   if (request.value.size() >= options_.slow_threshold) {
     // Slow commands are logged with their full argument vector.
@@ -350,9 +365,12 @@ Response RedisMini::Delete(const Request& request) {
       }
       // dictDelete accounting happens with the unlink; value release
       // (refcounting, lazy free) follows.
-      r->item_count--;
-      TracedPersist(root_oid_, offsetof(RedisRoot, item_count),
-                    sizeof(uint64_t), kGuidRdCountStore);
+      {
+        std::lock_guard<std::mutex> counters(counter_mutex_);
+        r->item_count--;
+        TracedPersist(root_oid_, offsetof(RedisRoot, item_count),
+                      sizeof(uint64_t), kGuidRdCountStore);
+      }
       RedisObj* obj = ObjAt(entry->val_obj);
       if (obj != nullptr) {
         obj->refcount--;
@@ -395,7 +413,7 @@ Status RedisMini::Share(const std::string& key, const std::string& alias_key) {
   auto* src = pool_->Direct<DictEntry>(Oid{entry_off});
   const PmOffset val = src->val_obj;
 
-  auto entry_oid = pool_->Zalloc(sizeof(DictEntry) + alias_key.size());
+  auto entry_oid = pool_->Zalloc(LineSafeSize(sizeof(DictEntry) + alias_key.size()));
   ARTHAS_RETURN_IF_ERROR(entry_oid.status());
   auto* entry = pool_->Direct<DictEntry>(*entry_oid);
   entry->keylen = alias_key.size();
@@ -440,7 +458,7 @@ Response RedisMini::ListPush(const Request& request) {
     obj->len = total;
     TracedPersist(*lp, 0, sizeof(RedisObj) + kLpHeaderSize, kGuidRdObjInit);
 
-    auto entry_oid = pool_->Zalloc(sizeof(DictEntry) + request.key.size());
+    auto entry_oid = pool_->Zalloc(LineSafeSize(sizeof(DictEntry) + request.key.size()));
     if (!entry_oid.ok()) {
       response.status = entry_oid.status();
       return response;
@@ -587,9 +605,11 @@ Response RedisMini::ListRead(const Request& request) {
 }
 
 void RedisMini::SlowlogAdd(const std::string& arg) {
+  // The slowlog ring is shared across keys; striped Puts serialize here.
+  std::lock_guard<std::mutex> counters(counter_mutex_);
   RedisRoot* r = root();
   tracer_.Record(kGuidRdSlowlogAlloc, r->slowlog_head);
-  auto entry_oid = pool_->Zalloc(sizeof(SlowlogEntry) + arg.size());
+  auto entry_oid = pool_->Zalloc(LineSafeSize(sizeof(SlowlogEntry) + arg.size()));
   if (!entry_oid.ok()) {
     RaiseFault(FailureKind::kOutOfSpace, kGuidRdSlowlogAlloc, kNullPmOffset,
                "slowlog allocation failed: pool exhausted",

@@ -65,6 +65,17 @@ class RedisMini : public PmSystemBase {
   // Makes `alias_key` share `key`'s value object (Redis shared objects).
   Status Share(const std::string& key, const std::string& alias_key);
 
+  // Sharded request locking: kPut/kGet/kDelete are confined to one dict
+  // chain (list ops stay exclusive — see ShardableOp). The op counter,
+  // lazy-free queue, slowlog and item count are cross-key state, guarded by
+  // counter_mutex_.
+  bool SupportsShardedLocks() const override { return true; }
+  size_t RequestStripeOf(const std::string& key) const override {
+    // Slot-line granular: all dict slots sharing a cache line map to one
+    // stripe, since persisting any slot copies the whole rounded line.
+    return BucketIndex(key) / kBucketsPerCacheLine % kNumRequestStripes;
+  }
+
  protected:
   Status Recover() override;
 

@@ -26,9 +26,15 @@ void PmSystemBase::RaiseFault(FailureKind kind, Guid guid,
   fault.message = std::move(message);
   fault.stack = std::move(stack);
   fault.pm_used_bytes = pool_->stats().used_bytes;
+  std::lock_guard<std::mutex> latch(fault_latch_);
+  if (has_fault_.load(std::memory_order_relaxed)) {
+    // A fault is already latched; the process is "dead". Drop this one.
+    return;
+  }
   ARTHAS_LOG(Info) << name_ << ": " << FailureKindName(kind) << " at guid "
                    << guid << ": " << fault.message;
   fault_ = std::move(fault);
+  has_fault_.store(true, std::memory_order_release);
 }
 
 }  // namespace arthas

@@ -8,7 +8,9 @@
 #ifndef ARTHAS_SYSTEMS_SYSTEM_BASE_H_
 #define ARTHAS_SYSTEMS_SYSTEM_BASE_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -35,6 +37,7 @@ class PmSystemBase : public PmSystemTarget {
 
   Status Restart() override {
     fault_.reset();
+    has_fault_.store(false, std::memory_order_release);
     recovery_accessed_.clear();
     ARTHAS_RETURN_IF_ERROR(pool_->CrashAndRecover());
     return Recover();
@@ -48,7 +51,10 @@ class PmSystemBase : public PmSystemTarget {
   void DisarmFaults() { armed_ = FaultId::kNone; }
   bool FaultArmed(FaultId id) const { return armed_ == id; }
 
-  void ClearFault() { fault_.reset(); }
+  void ClearFault() {
+    fault_.reset();
+    has_fault_.store(false, std::memory_order_release);
+  }
 
  protected:
   PmSystemBase(std::string name, size_t pool_size);
@@ -57,11 +63,19 @@ class PmSystemBase : public PmSystemTarget {
   // PM object it retrieves (the pmem_recover_begin/end annotation).
   virtual Status Recover() = 0;
 
-  // Latches a fault (the "process" just died / hung / paniced).
+  // Latches a fault (the "process" just died / hung / paniced). Keep-first:
+  // once a fault is latched, later raises are dropped — a dead process
+  // executes nothing further, and Handle() short-circuits on HasFault(), so
+  // single-threaded behaviour is unchanged. The latch makes concurrent
+  // raises from striped requests safe: one winner, no torn FaultInfo.
   void RaiseFault(FailureKind kind, Guid guid, PmOffset fault_address,
                   std::string message, std::vector<std::string> stack);
 
-  bool HasFault() const { return fault_.has_value(); }
+  // Lock-free fast path; acquire pairs with the release store in RaiseFault
+  // so a reader that sees true also sees the complete FaultInfo.
+  bool HasFault() const {
+    return has_fault_.load(std::memory_order_acquire);
+  }
 
   // Instrumented persistence point: records <GUID, address> then persists.
   void TracedPersist(Oid oid, size_t offset, size_t size, Guid guid) {
@@ -85,6 +99,17 @@ class PmSystemBase : public PmSystemTarget {
   std::optional<FaultInfo> fault_;
   FaultId armed_ = FaultId::kNone;
   std::vector<PmOffset> recovery_accessed_;
+  // Guards shared bookkeeping that key-striped requests mutate outside any
+  // one bucket's stripe: item counters, lazy-free queues, the slowlog.
+  // Uncontended (and trivially cheap) in coarse mode. Lock order: acquired
+  // after the request stripe, before any pool/device/checkpoint lock.
+  std::mutex counter_mutex_;
+
+ private:
+  // Set (release) by RaiseFault under fault_latch_, cleared only by the
+  // caller-serialized Restart()/ClearFault().
+  std::atomic<bool> has_fault_{false};
+  std::mutex fault_latch_;
 };
 
 }  // namespace arthas

@@ -108,6 +108,20 @@ std::vector<TraceEvent> Tracer::Events() {
   return archive_;
 }
 
+uint64_t Tracer::EventCount() {
+  Flush();
+  std::lock_guard<std::mutex> lock(mutex_);
+  return archive_.size();
+}
+
+void Tracer::ForEachEvent(const std::function<void(const TraceEvent&)>& fn) {
+  Flush();
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const TraceEvent& e : archive_) {
+    fn(e);
+  }
+}
+
 std::vector<PmOffset> Tracer::AddressesForGuid(Guid guid) {
   RebuildIndex();
   std::lock_guard<std::mutex> lock(mutex_);

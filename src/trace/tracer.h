@@ -24,6 +24,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -78,6 +79,16 @@ class Tracer {
   // Record-triggered flush, so a reference would be invalidated mid-
   // iteration.
   std::vector<TraceEvent> Events();
+
+  // Number of events recorded so far (flushes first). An epoch operation.
+  // Use this (or ForEachEvent) instead of Events().size(): Events() copies
+  // the whole archive per call.
+  uint64_t EventCount();
+
+  // Visits every archived event in event-index order without copying the
+  // archive (flushes first). An epoch operation; `fn` must not call back
+  // into this tracer.
+  void ForEachEvent(const std::function<void(const TraceEvent&)>& fn);
 
   // Dynamic addresses a static instruction touched (deduplicated, in first-
   // record order). Served from an index rebuilt lazily after new records.
