@@ -6,21 +6,36 @@
 // good items; pmCRIU's coarse snapshots discard 56.5% on average; ArCkpt
 // discards a single item on the two cases it can mitigate.
 
+// `--fault <label>` (e.g. `--fault f3`) restricts the run to one fault —
+// the CI forensics smoke job uses this to get a crash report quickly. The
+// default (no flag) output is byte-identical to the full run.
+
 #include <cstdio>
+#include <cstring>
 
 #include "harness/experiment.h"
 #include "harness/table.h"
 #include "harness/artifacts.h"
+#include "obs/forensics.h"
 
 int main(int argc, char** argv) {
   arthas::ObsArtifactWriter obs_artifacts(argc, argv);
   using namespace arthas;
+  const char* fault_filter = nullptr;
+  for (int i = 1; i + 1 < argc; i++) {
+    if (std::strcmp(argv[i], "--fault") == 0) {
+      fault_filter = argv[++i];
+    }
+  }
   TextTable table({"Fault", "Arthas", "ArCkpt", "pmCRIU"});
   double sum_arthas = 0;
   int n_arthas = 0;
   double sum_pmcriu = 0;
   int n_pmcriu = 0;
   for (const FaultDescriptor& d : AllFaults()) {
+    if (fault_filter != nullptr && std::strcmp(d.label, fault_filter) != 0) {
+      continue;
+    }
     std::fprintf(stderr, "running %s...\n", d.label);
     ExperimentResult a = RunCell(d.id, Solution::kArthas);
     ExperimentResult c = RunCell(d.id, Solution::kArCkpt);
@@ -53,5 +68,11 @@ int main(int argc, char** argv) {
   std::printf("Ratio: pmCRIU discards %.1fx more than Arthas (paper: ~10x "
               "or more)\n",
               avg_arthas > 0 ? avg_pmcriu / avg_arthas : 0.0);
+  // The crash-forensics narrative for the last analyzed crash goes to
+  // stderr (stdout stays byte-identical); --forensics-json/--forensics-text
+  // write the full report.
+  if (auto forensics = obs::LatestForensics(); forensics.has_value()) {
+    std::fprintf(stderr, "forensics: %s\n", forensics->summary.c_str());
+  }
   return 0;
 }

@@ -17,7 +17,14 @@
 // gate). The default (no flag) path is the original single-threaded
 // measurement, byte-identical to before.
 //
-// Both modes write a machine-readable throughput artifact to
+// `--recorder-overhead` measures the durability flight recorder's cost
+// instead: the same single-threaded Arthas-mode run with the recorder
+// runtime-enabled vs runtime-disabled (the one-binary proxy for an
+// ARTHAS_OBS_DISABLED build; the disabled path still pays one relaxed
+// load). The resulting on/off slowdown ratio is gated by
+// bench/check_perf_baseline.py --recorder against bench/perf_baseline.json.
+//
+// All modes write a machine-readable throughput artifact to
 // BENCH_overhead.json in the working directory.
 
 #include <cstdio>
@@ -35,6 +42,7 @@
 #include "common/crc32.h"
 #include "harness/mt_driver.h"
 #include "harness/table.h"
+#include "obs/flight_recorder.h"
 #include "obs/json.h"
 #include "systems/cceh.h"
 #include "systems/memcached_mini.h"
@@ -380,17 +388,83 @@ int RunThreadSweep(int max_threads, uint64_t total_ops,
   return 0;
 }
 
+// Flight-recorder overhead: per-system single-threaded throughput with the
+// recorder on vs off, interleaved best-of-`repeat` so a machine load spike
+// cannot bias one side. The gated quantity is the off/on throughput ratio
+// (the slowdown enabling the recorder costs); raw ops/s stay in the
+// artifact for reference.
+int RunRecorderOverhead(int repeat) {
+  const std::vector<SystemSpec> systems = MakeSystems();
+  obs::FlightRecorder& recorder = obs::FlightRecorder::Global();
+
+  TextTable table({"System", "Recorder off (op/s)", "Recorder on",
+                   "on/off slowdown"});
+  obs::JsonValue json_systems = obs::JsonValue::Array();
+  double worst_ratio = 0;
+  for (const SystemSpec& spec : systems) {
+    std::fprintf(stderr, "measuring %s (flight recorder on/off)...\n",
+                 spec.name.c_str());
+    double off = 0;
+    double on = 0;
+    for (int r = 0; r < repeat; r++) {
+      recorder.set_enabled(false);
+      off = std::max(
+          off, MeasureThroughput(spec.factory, Mode::kArthas, spec.ycsb_mix));
+      recorder.set_enabled(true);
+      on = std::max(
+          on, MeasureThroughput(spec.factory, Mode::kArthas, spec.ycsb_mix));
+    }
+    recorder.set_enabled(true);
+    const double ratio = on > 0 ? off / on : 0;
+    worst_ratio = std::max(worst_ratio, ratio);
+    char o[32], n[32], ra[32];
+    std::snprintf(o, sizeof(o), "%.0fK", off / 1000);
+    std::snprintf(n, sizeof(n), "%.0fK", on / 1000);
+    std::snprintf(ra, sizeof(ra), "%.3f", ratio);
+    table.AddRow({spec.name, o, n, ra});
+
+    obs::JsonValue row = obs::JsonValue::Object();
+    row.Set("name", obs::JsonValue(spec.name));
+    row.Set("recorder_off_ops_per_sec", obs::JsonValue(off));
+    row.Set("recorder_on_ops_per_sec", obs::JsonValue(on));
+    row.Set("on_off_ratio", obs::JsonValue(ratio));
+    json_systems.Append(std::move(row));
+  }
+  std::printf("Durability flight recorder overhead (single-threaded Arthas "
+              "mode, %d ops, best of %d)\n%s\n",
+              kOps, repeat, table.Render().c_str());
+  std::printf("A slowdown of 1.000 means free; the recorder budget is a few "
+              "percent (see bench/perf_baseline.json).\n");
+
+  obs::JsonValue doc = obs::JsonValue::Object();
+  doc.Set("bench", obs::JsonValue("overhead"));
+  doc.Set("mode", obs::JsonValue("recorder_overhead"));
+  doc.Set("ops", obs::JsonValue(static_cast<int64_t>(kOps)));
+  obs::JsonValue recorder_json = obs::JsonValue::Object();
+  recorder_json.Set("worst_on_off_ratio", obs::JsonValue(worst_ratio));
+  recorder_json.Set("systems", std::move(json_systems));
+  doc.Set("recorder", std::move(recorder_json));
+  WriteArtifact(doc);
+  return 0;
+}
+
 }  // namespace
 }  // namespace arthas
 
 int main(int argc, char** argv) {
   arthas::ObsArtifactWriter obs_artifacts(argc, argv);
   int threads = 0;  // 0 = original single-threaded measurement
+  bool recorder_overhead = false;
+  int repeat = 3;
   uint64_t total_ops = arthas::kOps;
   arthas::RequestLockMode lock_mode = arthas::RequestLockMode::kCoarse;
   for (int i = 1; i < argc; i++) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--recorder-overhead") == 0) {
+      recorder_overhead = true;
+    } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+      repeat = std::max(1, std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--ops") == 0 && i + 1 < argc) {
       total_ops = static_cast<uint64_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--lock-mode") == 0 && i + 1 < argc) {
@@ -403,6 +477,9 @@ int main(int argc, char** argv) {
         return 2;
       }
     }
+  }
+  if (recorder_overhead) {
+    return arthas::RunRecorderOverhead(repeat);
   }
   if (threads > 0) {
     return arthas::RunThreadSweep(threads, total_ops, lock_mode);

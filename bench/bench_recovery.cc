@@ -11,6 +11,7 @@
 #include "harness/experiment.h"
 #include "harness/table.h"
 #include "harness/artifacts.h"
+#include "obs/forensics.h"
 
 namespace arthas {
 namespace {
@@ -56,5 +57,11 @@ int main(int argc, char** argv) {
   std::printf("%s\n", table.Render().c_str());
   std::printf("Paper: Arthas 12/12; pmCRIU 9 cases + f5 at 1/10 and f8 at "
               "4/10, fails f3; ArCkpt only f4 and f10.\n");
+  // Crash-forensics narrative for the last analyzed crash, on stderr so
+  // the Table 3 stdout stays byte-identical. The --forensics-json /
+  // --forensics-text flags write the full report.
+  if (auto forensics = obs::LatestForensics(); forensics.has_value()) {
+    std::fprintf(stderr, "forensics: %s\n", forensics->summary.c_str());
+  }
   return 0;
 }

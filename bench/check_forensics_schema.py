@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""CI validator for the crash-forensics JSON artifact.
+
+Checks that a file produced by `--forensics-json` conforms to forensics
+schema version 1 (see src/obs/forensics.h and DESIGN.md): every required
+key is present with the right JSON type, including the per-item layout of
+lost_lines, open_transactions, reactor_candidates, and persist_order.
+Exits 1 with a path-qualified message on the first violation.
+
+Usage: check_forensics_schema.py [forensics.json]
+"""
+
+import json
+import sys
+
+NUMBER = (int, float)
+
+
+class SchemaError(Exception):
+    pass
+
+
+def expect(cond: bool, path: str, message: str) -> None:
+    if not cond:
+        raise SchemaError(f"{path}: {message}")
+
+
+def check_keys(obj, path: str, fields: dict) -> None:
+    expect(isinstance(obj, dict), path, f"expected object, got {type(obj).__name__}")
+    for key, types in fields.items():
+        expect(key in obj, path, f"missing required key '{key}'")
+        expect(
+            isinstance(obj[key], types) and not (
+                types is not bool and isinstance(obj[key], bool) and bool not in (
+                    types if isinstance(types, tuple) else (types,))),
+            f"{path}.{key}",
+            f"expected {types}, got {type(obj[key]).__name__}",
+        )
+
+
+def check_report(doc) -> None:
+    check_keys(doc, "$", {
+        "schema_version": NUMBER,
+        "present": bool,
+        "device_id": NUMBER,
+        "summary": str,
+        "crash": dict,
+        "fault": dict,
+        "lost_lines": list,
+        "open_transactions": list,
+        "reactor_candidates": list,
+        "persist_order": dict,
+    })
+    expect(doc["schema_version"] == 1, "$.schema_version",
+           f"unsupported version {doc['schema_version']}")
+    check_keys(doc["crash"], "$.crash", {
+        "seq": NUMBER,
+        "count": NUMBER,
+        "events_analyzed": NUMBER,
+        "events_dropped": NUMBER,
+    })
+    check_keys(doc["fault"], "$.fault", {
+        "guid": NUMBER,
+        "has_address": bool,
+    })
+    if doc["fault"]["has_address"]:
+        expect("address" in doc["fault"], "$.fault", "has_address without address")
+    for i, line in enumerate(doc["lost_lines"]):
+        check_keys(line, f"$.lost_lines[{i}]", {
+            "line_offset": NUMBER,
+            "missing": str,
+            "last_writer_tid": NUMBER,
+            "last_writer_seq": NUMBER,
+            "last_writer_event": str,
+            "tx_id": NUMBER,
+            "undo_covered": bool,
+            "durable_prefix": str,
+        })
+        expect(line["missing"] in ("never_flushed", "flushed_not_drained"),
+               f"$.lost_lines[{i}].missing",
+               f"unknown durability gap '{line['missing']}'")
+    for i, tx in enumerate(doc["open_transactions"]):
+        check_keys(tx, f"$.open_transactions[{i}]", {
+            "tx_id": NUMBER,
+            "tid": NUMBER,
+            "begin_seq": NUMBER,
+            "ranges": NUMBER,
+            "undo_bytes": NUMBER,
+            "lost_lines": NUMBER,
+        })
+    for i, cand in enumerate(doc["reactor_candidates"]):
+        check_keys(cand, f"$.reactor_candidates[{i}]", {
+            "checkpoint_seq": NUMBER,
+            "rank": NUMBER,
+            "accepted": bool,
+            "reason": str,
+            "event_seq": NUMBER,
+        })
+    order = doc["persist_order"]
+    check_keys(order, "$.persist_order", {"events": list, "edges": list})
+    for i, ev in enumerate(order["events"]):
+        check_keys(ev, f"$.persist_order.events[{i}]", {
+            "seq": NUMBER,
+            "tid": NUMBER,
+            "type": str,
+            "addr": NUMBER,
+            "size": NUMBER,
+            "arg": NUMBER,
+            "reason": str,
+        })
+    for i, edge in enumerate(order["edges"]):
+        check_keys(edge, f"$.persist_order.edges[{i}]", {
+            "from": NUMBER,
+            "to": NUMBER,
+        })
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "forensics.json"
+    with open(path) as f:
+        doc = json.load(f)
+    try:
+        check_report(doc)
+    except SchemaError as e:
+        print(f"FAIL: {path} does not match forensics schema v1: {e}")
+        return 1
+    if not doc["present"]:
+        print(f"FAIL: {path} is schema-valid but reports no analyzed crash "
+              "(present=false)")
+        return 1
+    print(
+        f"OK: {path} matches forensics schema v1 "
+        f"(crash #{int(doc['crash']['count'])}, "
+        f"{len(doc['lost_lines'])} lost line(s), "
+        f"{len(doc['reactor_candidates'])} candidate decision(s))"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,7 +12,15 @@ calibrator. The gated quantity is therefore the new/legacy ns/op ratio —
 a >25% ratio regression means the rewritten structures themselves got
 slower, not that the runner was busy.
 
+With --recorder, the input is instead a BENCH_overhead.json produced by
+`bench_overhead --recorder-overhead`, and the gated quantity is the worst
+per-system flight-recorder on/off throughput slowdown, bounded by the
+absolute ceiling in the baseline's "recorder" section. The on/off quotient
+is measured in one process on one machine, so no cross-machine
+normalization is needed.
+
 Usage: check_perf_baseline.py [BENCH_hotpath.json] [bench/perf_baseline.json]
+       check_perf_baseline.py --recorder [BENCH_overhead.json] [baseline]
 """
 
 import json
@@ -21,11 +29,45 @@ import sys
 TOLERANCE = 0.25
 
 
-def main() -> int:
-    measured_path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_hotpath.json"
-    baseline_path = (
-        sys.argv[2] if len(sys.argv) > 2 else "bench/perf_baseline.json"
+def check_recorder(measured_path: str, baseline_path: str) -> int:
+    with open(measured_path) as f:
+        measured = json.load(f)
+    with open(baseline_path) as f:
+        baseline = json.load(f)["recorder"]
+    if measured.get("mode") != "recorder_overhead":
+        print(f"FAIL: {measured_path} is not a --recorder-overhead artifact")
+        return 1
+    recorder = measured["recorder"]
+    worst = recorder["worst_on_off_ratio"]
+    limit = baseline["max_on_off_ratio"]
+    for system in recorder["systems"]:
+        print(
+            f"  {system['name']}: recorder on/off slowdown "
+            f"{system['on_off_ratio']:.3f}"
+        )
+    print(
+        f"flight recorder worst on/off slowdown: {worst:.3f}, "
+        f"limit {limit:.3f}"
     )
+    if worst > limit:
+        print(
+            "FAIL: enabling the flight recorder costs more throughput than "
+            "the budget in bench/perf_baseline.json"
+        )
+        return 1
+    print("OK: flight recorder within budget")
+    return 0
+
+
+def main() -> int:
+    args = sys.argv[1:]
+    if args and args[0] == "--recorder":
+        measured_path = args[1] if len(args) > 1 else "BENCH_overhead.json"
+        baseline_path = args[2] if len(args) > 2 else "bench/perf_baseline.json"
+        return check_recorder(measured_path, baseline_path)
+
+    measured_path = args[0] if args else "BENCH_hotpath.json"
+    baseline_path = args[1] if len(args) > 1 else "bench/perf_baseline.json"
     with open(measured_path) as f:
         measured = {v["name"]: v for v in json.load(f)["variants"]}
     with open(baseline_path) as f:

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "obs/flight_recorder.h"
 #include "obs/obs.h"
 
 namespace arthas {
@@ -203,6 +204,8 @@ void CheckpointLog::OnPersist(PmOffset offset, size_t size, const void* data) {
       shard.arena.Release(evicted.pre);
       retained_versions_--;
       ARTHAS_COUNTER_ADD("checkpoint.evict.count", 1);
+      ARTHAS_FLIGHT_RECORD(obs::FrType::kCheckpointEvict,
+                           device_->device_id(), offset, 0, evicted.seq_num);
     }
     shard.seq_index.emplace_back(seq, offset);
     entry.versions.push_back(version);
@@ -215,6 +218,8 @@ void CheckpointLog::OnPersist(PmOffset offset, size_t size, const void* data) {
   }
   stats_.records++;
   stats_.bytes_copied += size;
+  ARTHAS_FLIGHT_RECORD(obs::FrType::kCheckpointTake, device_->device_id(),
+                       offset, size, seq);
   // Write-amplification accounting (Section 6.4): `copy.bytes` counts both
   // the new-version and undo copies the log makes per persisted range.
   ARTHAS_COUNTER_ADD("checkpoint.record.count", 1);
@@ -526,6 +531,9 @@ Result<bool> CheckpointLog::RevertSeq(SeqNum seq) {
     ARTHAS_COUNTER_ADD("checkpoint.revert.count", discarded + 1);
     ARTHAS_GAUGE_SET("checkpoint.versions.retained",
                      retained_versions_.load());
+    ARTHAS_FLIGHT_RECORD(obs::FrType::kCheckpointRevert,
+                         device_->device_id(), entry.address, discarded + 1,
+                         seq, obs::FrReason::kDivergence);
     return true;  // divergence restore
   }
   // Restore the pre-state of exactly the byte range this version persisted
@@ -548,6 +556,8 @@ Result<bool> CheckpointLog::RevertSeq(SeqNum seq) {
   retained_versions_ -= discarded;
   ARTHAS_COUNTER_ADD("checkpoint.revert.count", discarded);
   ARTHAS_GAUGE_SET("checkpoint.versions.retained", retained_versions_.load());
+  ARTHAS_FLIGHT_RECORD(obs::FrType::kCheckpointRevert, device_->device_id(),
+                       entry.address, discarded, seq);
   return false;
 }
 
@@ -587,6 +597,8 @@ Result<uint64_t> CheckpointLog::RollbackToSeq(SeqNum seq) {
   retained_versions_ -= discarded;
   ARTHAS_COUNTER_ADD("checkpoint.revert.count", discarded);
   ARTHAS_GAUGE_SET("checkpoint.versions.retained", retained_versions_.load());
+  ARTHAS_FLIGHT_RECORD(obs::FrType::kCheckpointRollback,
+                       device_->device_id(), 0, discarded, seq);
   return discarded;
 }
 

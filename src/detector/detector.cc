@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/flight_recorder.h"
 #include "obs/obs.h"
 
 namespace arthas {
@@ -15,9 +16,13 @@ Detector::Assessment Detector::Observe(
   ARTHAS_COUNTER_ADD("detector.fault_observed.count", 1);
   if (recorded_.has_value() && SimilarFingerprint(*recorded_, *fault)) {
     ARTHAS_COUNTER_ADD("detector.hard_fault.count", 1);
+    ARTHAS_FLIGHT_RECORD(obs::FrType::kFaultObserved, 0,
+                         fault->fault_address, 2, fault->fault_guid);
     return Assessment::kSuspectedHardFailure;
   }
   recorded_ = *fault;
+  ARTHAS_FLIGHT_RECORD(obs::FrType::kFaultObserved, 0, fault->fault_address,
+                       1, fault->fault_guid);
   return Assessment::kFirstFailure;
 }
 

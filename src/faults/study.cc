@@ -1,5 +1,8 @@
 #include "faults/study.h"
 
+#include "obs/flight_recorder.h"
+#include "pmem/device.h"
+
 namespace arthas {
 
 namespace {
@@ -121,6 +124,16 @@ std::map<PropagationType, int> StudyPropagationHistogram() {
     histogram[bug.propagation]++;
   }
   return histogram;
+}
+
+void RecordFaultInjection(const FaultDescriptor& fault) {
+  // arg carries the FaultId ordinal (there is no guid yet at injection
+  // time; the raised-fault event that follows overwrites it with the real
+  // guid); size carries the root cause so the record is self-describing.
+  ARTHAS_FLIGHT_RECORD(obs::FrType::kFaultInjected, 0, kNullPmOffset,
+                       static_cast<uint64_t>(fault.root_cause),
+                       static_cast<uint64_t>(fault.id));
+  (void)fault;
 }
 
 }  // namespace arthas

@@ -47,6 +47,11 @@ std::map<Consequence, int> StudyConsequenceHistogram();
 // Section 2.6: propagation-type histogram (counts).
 std::map<PropagationType, int> StudyPropagationHistogram();
 
+// Stamps a fault-injection event into the durability flight recorder so
+// post-crash forensics can tie lost cache lines back to the studied bug
+// that was armed, even before the fault manifests as a raised failure.
+void RecordFaultInjection(const FaultDescriptor& fault);
+
 }  // namespace arthas
 
 #endif  // ARTHAS_FAULTS_STUDY_H_

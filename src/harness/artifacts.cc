@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "common/logging.h"
+#include "obs/forensics.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
@@ -64,6 +65,12 @@ std::string MetricsArtifactJson() {
     cell.Set("attempts", obs::JsonValue(int64_t{record.attempts}));
     cell.Set("mitigation_time_us",
              obs::JsonValue(record.mitigation_time_us));
+    obs::JsonValue forensics = obs::JsonValue::Object();
+    forensics.Set("lost_lines", obs::JsonValue(record.forensics_lost_lines));
+    forensics.Set("open_transactions",
+                  obs::JsonValue(record.forensics_open_txs));
+    forensics.Set("summary", obs::JsonValue(record.forensics_summary));
+    cell.Set("forensics", std::move(forensics));
     obs::JsonValue deltas = obs::JsonValue::Object();
     for (const auto& [name, delta] : record.counter_deltas) {
       deltas.Set(name, obs::JsonValue(delta));
@@ -83,6 +90,10 @@ ObsArtifactWriter::ObsArtifactWriter(int argc, char** argv) {
       trace_path_ = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics-summary") == 0) {
       summary_path_ = argv[++i];
+    } else if (std::strcmp(argv[i], "--forensics-json") == 0) {
+      forensics_json_path_ = argv[++i];
+    } else if (std::strcmp(argv[i], "--forensics-text") == 0) {
+      forensics_text_path_ = argv[++i];
     }
   }
 }
@@ -104,9 +115,24 @@ Status ObsArtifactWriter::WriteNow() const {
   }
   if (!summary_path_.empty()) {
     std::string summary = obs::SpanTracer::Global().ExportTextSummary();
+    summary += obs::MetricsRegistry::Global().LatencyTable();
     summary += obs::MetricsRegistry::Global().SnapshotJsonString();
     summary += "\n";
     ARTHAS_RETURN_IF_ERROR(WriteFile(summary_path_, summary));
+  }
+  if (!forensics_json_path_.empty() || !forensics_text_path_.empty()) {
+    // A run with no crash still produces a well-formed artifact: the
+    // default report carries present=false and an explanatory summary.
+    obs::ForensicsReport report =
+        obs::LatestForensics().value_or(obs::ForensicsReport{});
+    if (!forensics_json_path_.empty()) {
+      ARTHAS_RETURN_IF_ERROR(
+          WriteFile(forensics_json_path_, report.ToJsonString()));
+    }
+    if (!forensics_text_path_.empty()) {
+      ARTHAS_RETURN_IF_ERROR(
+          WriteFile(forensics_text_path_, report.ToText()));
+    }
   }
   return OkStatus();
 }

@@ -3,7 +3,9 @@
 // Every bench binary accepts
 //   --metrics-json <path>   registry snapshot + per-cell records as JSON
 //   --trace-json <path>     Chrome trace-event JSON (chrome://tracing)
-//   --metrics-summary <path> flat text summary (spans + top counters)
+//   --metrics-summary <path> flat text summary (spans + latency percentiles)
+//   --forensics-json <path>  latest crash-forensics report as JSON
+//   --forensics-text <path>  the same report as a human-readable narrative
 // and writes them when the ObsArtifactWriter goes out of scope in main().
 //
 // The experiment harness appends one CellRecord per (fault, solution) cell
@@ -28,6 +30,11 @@ struct CellRecord {
   bool recovered = false;
   int attempts = 0;
   int64_t mitigation_time_us = 0;  // virtual time
+  // Crash-forensics digest for the cell (zero / empty when the run ended
+  // without a crash or the flight recorder is compiled out).
+  uint64_t forensics_lost_lines = 0;
+  uint64_t forensics_open_txs = 0;
+  std::string forensics_summary;
   // Registry counter movement attributable to this cell (after - before).
   std::map<std::string, uint64_t> counter_deltas;
 };
@@ -61,6 +68,8 @@ class ObsArtifactWriter {
   std::string metrics_path_;
   std::string trace_path_;
   std::string summary_path_;
+  std::string forensics_json_path_;
+  std::string forensics_text_path_;
 };
 
 }  // namespace arthas

@@ -4,7 +4,9 @@
 #include <cassert>
 
 #include "common/logging.h"
+#include "faults/study.h"
 #include "harness/artifacts.h"
+#include "obs/forensics.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "systems/cceh.h"
@@ -457,6 +459,7 @@ void FaultExperiment::BuildScript() {
 void FaultExperiment::WorkloadStep() { workload_op_(); }
 
 void FaultExperiment::ApplyTrigger() {
+  RecordFaultInjection(DescriptorFor(config_.fault));
   trigger_();
   triggered_ = true;
 }
@@ -554,6 +557,17 @@ ExperimentResult FaultExperiment::Run() {
   record.recovered = result.recovered;
   record.attempts = result.attempts;
   record.mitigation_time_us = result.mitigation_time;
+  // Post-mortem: replay the flight recorder against this cell's device and
+  // publish the report (the artifact writer picks up the latest one). With
+  // the recorder compiled out or no crash in the cell, present stays false.
+  obs::ForensicsReport forensics =
+      obs::AnalyzeCrash(system_->pool().device());
+  if (forensics.present) {
+    record.forensics_lost_lines = forensics.lost_lines.size();
+    record.forensics_open_txs = forensics.open_txs.size();
+    record.forensics_summary = forensics.summary;
+    obs::SetLatestForensics(std::move(forensics));
+  }
   record.counter_deltas =
       obs::CounterDeltas(before, obs::MetricsRegistry::Global().Snapshot());
   RecordCell(std::move(record));

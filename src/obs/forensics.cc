@@ -1,0 +1,554 @@
+#include "obs/forensics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <set>
+#include <sstream>
+
+namespace arthas {
+namespace obs {
+
+namespace {
+
+// Replay state for one open transaction.
+struct TxState {
+  uint64_t tx_id = 0;
+  uint16_t tid = 0;
+  uint64_t begin_seq = 0;
+  std::vector<std::pair<uint64_t, uint64_t>> ranges;  // (addr, size)
+  uint64_t undo_bytes = 0;
+};
+
+// Last recorded event that wrote/flushed a cache line.
+struct LastTouch {
+  uint16_t tid = 0;
+  uint64_t seq = 0;
+  FrType type = FrType::kNone;
+  uint64_t tx_id = 0;  // open tx of the touching thread at that moment
+};
+
+bool RangeCoversLine(uint64_t addr, uint64_t size, uint64_t line_offset) {
+  if (size == 0) {
+    return false;
+  }
+  const uint64_t first = addr & ~(uint64_t{kCacheLineSize} - 1);
+  const uint64_t last = (addr + size - 1) & ~(uint64_t{kCacheLineSize} - 1);
+  return line_offset >= first && line_offset <= last;
+}
+
+template <typename Fn>
+void ForEachLine(uint64_t addr, uint64_t size, Fn&& fn) {
+  if (size == 0) {
+    return;
+  }
+  const uint64_t first = addr / kCacheLineSize;
+  const uint64_t last = (addr + size - 1) / kCacheLineSize;
+  for (uint64_t line = first; line <= last; line++) {
+    fn(line * kCacheLineSize);
+  }
+}
+
+std::string Hex(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::mutex& LatestMutex() {
+  static std::mutex* m = new std::mutex();
+  return *m;
+}
+
+std::optional<ForensicsReport>& LatestSlot() {
+  static std::optional<ForensicsReport>* slot =
+      new std::optional<ForensicsReport>();
+  return *slot;
+}
+
+}  // namespace
+
+ForensicsReport AnalyzeCrash(const PmemDevice& device,
+                             const std::vector<FlightRecord>& timeline,
+                             uint64_t events_dropped) {
+  ForensicsReport report;
+  report.device_id = device.device_id();
+  report.events_analyzed = timeline.size();
+  report.events_dropped = events_dropped;
+
+  // Locate the last crash on this device's timeline, and the boundary of
+  // the previous crash/restore so lost-line records of earlier crashes are
+  // not re-attributed to this one.
+  size_t crash_index = timeline.size();
+  size_t prev_boundary = 0;
+  for (size_t i = 0; i < timeline.size(); i++) {
+    const FlightRecord& r = timeline[i];
+    if (r.device_id != report.device_id) {
+      continue;
+    }
+    if (r.type == FrType::kCrash) {
+      prev_boundary = crash_index == timeline.size() ? prev_boundary
+                                                     : crash_index + 1;
+      crash_index = i;
+      report.crash_count++;
+    } else if (r.type == FrType::kRestore && crash_index != timeline.size()) {
+      // A restore after the latest crash resets the boundary too.
+      prev_boundary = i + 1;
+    }
+  }
+  if (crash_index == timeline.size()) {
+    report.summary = "no crash recorded for device " +
+                     std::to_string(report.device_id);
+    return report;
+  }
+  report.present = true;
+  report.crash_seq = timeline[crash_index].seq;
+
+  // --- Replay the device's lifecycle up to the crash. ------------------------
+  std::map<uint64_t, LastTouch> last_touch;          // line offset -> writer
+  std::map<uint16_t, TxState> open_by_thread;        // tid -> open tx
+  std::map<uint64_t, uint64_t> staged;               // line -> flush event seq
+  std::vector<const FlightRecord*> lost_records;
+
+  auto open_tx_of = [&](uint16_t tid) -> uint64_t {
+    auto it = open_by_thread.find(tid);
+    return it == open_by_thread.end() ? 0 : it->second.tx_id;
+  };
+
+  for (size_t i = 0; i <= crash_index; i++) {
+    const FlightRecord& r = timeline[i];
+    // Reactor/fault events are not device-bound (device_id 0); collect them
+    // from the whole prefix. Device lifecycle events must match the device.
+    switch (r.type) {
+      case FrType::kFaultInjected:
+      case FrType::kFaultRaised:
+      case FrType::kFaultObserved:
+        report.fault_guid = r.arg != 0 ? r.arg : report.fault_guid;
+        if (r.addr != kNullPmOffset && r.addr != 0) {
+          report.fault_address = r.addr;
+        }
+        continue;
+      default:
+        break;
+    }
+    if (r.device_id != report.device_id) {
+      continue;
+    }
+    switch (r.type) {
+      case FrType::kPersist:
+      case FrType::kPersistQuiet:
+        ForEachLine(r.addr, r.size, [&](uint64_t line) {
+          last_touch[line] =
+              LastTouch{r.tid, r.seq, r.type, open_tx_of(r.tid)};
+          staged.erase(line);  // persisted lines are no longer pending
+        });
+        break;
+      case FrType::kFlush:
+        ForEachLine(r.addr, r.size, [&](uint64_t line) {
+          last_touch[line] =
+              LastTouch{r.tid, r.seq, r.type, open_tx_of(r.tid)};
+          staged[line] = r.seq;
+        });
+        break;
+      case FrType::kDrain: {
+        // The sfence orders every staged clwb before it: one edge per
+        // distinct staged flush event.
+        std::set<uint64_t> fenced;
+        for (const auto& [line, flush_seq] : staged) {
+          fenced.insert(flush_seq);
+        }
+        for (const uint64_t flush_seq : fenced) {
+          report.order_edges.push_back(PersistOrderEdge{flush_seq, r.seq});
+        }
+        staged.clear();
+        break;
+      }
+      case FrType::kTxBegin: {
+        TxState tx;
+        tx.tx_id = r.arg;
+        tx.tid = r.tid;
+        tx.begin_seq = r.seq;
+        open_by_thread[r.tid] = std::move(tx);
+        break;
+      }
+      case FrType::kTxAddRange: {
+        auto it = open_by_thread.find(r.tid);
+        if (it != open_by_thread.end() && it->second.tx_id == r.arg) {
+          it->second.ranges.emplace_back(r.addr, r.size);
+          it->second.undo_bytes += r.size;
+        }
+        // Declaring a range is intent-to-write: attribute the lines.
+        ForEachLine(r.addr, r.size, [&](uint64_t line) {
+          last_touch[line] = LastTouch{r.tid, r.seq, r.type, r.arg};
+        });
+        break;
+      }
+      case FrType::kTxCommit:
+      case FrType::kTxAbort:
+        open_by_thread.erase(r.tid);
+        break;
+      case FrType::kLineLost:
+        if (i >= prev_boundary) {
+          lost_records.push_back(&r);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // --- Lost lines, joined with their last writer and tx coverage. ------------
+  for (const FlightRecord* lost : lost_records) {
+    LostLineReport line;
+    line.line_offset = lost->addr;
+    line.missing = lost->reason;
+    auto touch = last_touch.find(lost->addr);
+    if (touch != last_touch.end()) {
+      line.last_writer_tid = touch->second.tid;
+      line.last_writer_seq = touch->second.seq;
+      line.last_writer_event = touch->second.type;
+      line.tx_id = touch->second.tx_id;
+    }
+    for (const auto& [tid, tx] : open_by_thread) {
+      for (const auto& [addr, size] : tx.ranges) {
+        if (RangeCoversLine(addr, size, lost->addr)) {
+          line.tx_id = tx.tx_id;
+          // The undo entry was persisted (PersistQuiet) at add-range time,
+          // so recovery can restore this line's pre-image.
+          line.undo_covered = true;
+        }
+      }
+    }
+    if (lost->addr + sizeof(uint64_t) <= device.size()) {
+      std::memcpy(&line.durable_prefix, device.Durable(lost->addr),
+                  sizeof(uint64_t));
+    }
+    report.lost_lines.push_back(line);
+  }
+  std::sort(report.lost_lines.begin(), report.lost_lines.end(),
+            [](const LostLineReport& a, const LostLineReport& b) {
+              return a.line_offset < b.line_offset;
+            });
+
+  // --- Transactions open at the crash. ---------------------------------------
+  for (const auto& [tid, tx] : open_by_thread) {
+    OpenTxReport open;
+    open.tx_id = tx.tx_id;
+    open.tid = tx.tid;
+    open.begin_seq = tx.begin_seq;
+    open.ranges = tx.ranges.size();
+    open.undo_bytes = tx.undo_bytes;
+    for (const LostLineReport& line : report.lost_lines) {
+      for (const auto& [addr, size] : tx.ranges) {
+        if (RangeCoversLine(addr, size, line.line_offset)) {
+          open.lost_lines++;
+          break;
+        }
+      }
+    }
+    report.open_txs.push_back(open);
+  }
+  std::sort(report.open_txs.begin(), report.open_txs.end(),
+            [](const OpenTxReport& a, const OpenTxReport& b) {
+              return a.tx_id < b.tx_id;
+            });
+
+  // --- Reactor candidate decisions (recorded during mitigation, which runs
+  // after the crash — scan the whole timeline). -------------------------------
+  for (const FlightRecord& r : timeline) {
+    if (r.type != FrType::kCandidateAccept &&
+        r.type != FrType::kCandidateReject) {
+      continue;
+    }
+    CandidateReport c;
+    c.checkpoint_seq = r.addr;
+    c.rank = r.arg;
+    c.accepted = r.type == FrType::kCandidateAccept;
+    c.reason = r.reason;
+    c.event_seq = r.seq;
+    report.candidates.push_back(c);
+  }
+
+  // --- Persist-order window around the fault: the last device events that
+  // touched a lost line or the fault address, plus the crash itself. ----------
+  constexpr size_t kWindowMax = 48;
+  std::set<uint64_t> interesting_lines;
+  for (const LostLineReport& line : report.lost_lines) {
+    interesting_lines.insert(line.line_offset);
+  }
+  if (report.fault_address != kNullPmOffset) {
+    interesting_lines.insert(report.fault_address &
+                             ~(uint64_t{kCacheLineSize} - 1));
+  }
+  for (size_t i = crash_index + 1; i-- > 0;) {
+    const FlightRecord& r = timeline[i];
+    if (r.device_id != report.device_id) {
+      continue;
+    }
+    bool keep = r.type == FrType::kCrash || r.type == FrType::kDrain;
+    if (!keep) {
+      switch (r.type) {
+        case FrType::kPersist:
+        case FrType::kPersistQuiet:
+        case FrType::kFlush:
+        case FrType::kTxAddRange:
+        case FrType::kLineLost:
+          for (const uint64_t line : interesting_lines) {
+            if (RangeCoversLine(r.addr, std::max<uint64_t>(r.size, 1),
+                                line)) {
+              keep = true;
+              break;
+            }
+          }
+          break;
+        case FrType::kTxBegin:
+        case FrType::kTxCommit:
+        case FrType::kTxAbort:
+          keep = true;
+          break;
+        default:
+          break;
+      }
+    }
+    if (keep) {
+      report.window.push_back(r);
+      if (report.window.size() >= kWindowMax) {
+        break;
+      }
+    }
+  }
+  std::reverse(report.window.begin(), report.window.end());
+  // Keep only edges whose endpoints are in the window.
+  std::set<uint64_t> window_seqs;
+  for (const FlightRecord& r : report.window) {
+    window_seqs.insert(r.seq);
+  }
+  report.order_edges.erase(
+      std::remove_if(report.order_edges.begin(), report.order_edges.end(),
+                     [&](const PersistOrderEdge& e) {
+                       return window_seqs.count(e.from_seq) == 0 ||
+                              window_seqs.count(e.to_seq) == 0;
+                     }),
+      report.order_edges.end());
+
+  // --- Narrative. ------------------------------------------------------------
+  uint64_t missing_drain = 0;
+  uint64_t never_flushed = 0;
+  uint64_t undo_covered = 0;
+  for (const LostLineReport& line : report.lost_lines) {
+    if (line.missing == FrReason::kFlushedNotDrained) {
+      missing_drain++;
+    } else {
+      never_flushed++;
+    }
+    if (line.undo_covered) {
+      undo_covered++;
+    }
+  }
+  uint64_t accepted = 0;
+  for (const CandidateReport& c : report.candidates) {
+    if (c.accepted) {
+      accepted++;
+    }
+  }
+  std::ostringstream s;
+  s << "crash #" << report.crash_count << " on device " << report.device_id
+    << " discarded " << report.lost_lines.size() << " cache line(s): "
+    << never_flushed << " never flushed, " << missing_drain
+    << " staged but unfenced (missing drain)";
+  if (!report.open_txs.empty()) {
+    s << "; " << report.open_txs.size() << " transaction(s) open at the crash"
+      << " (undo log covers " << undo_covered << "/"
+      << report.lost_lines.size() << " lost lines)";
+  }
+  if (!report.candidates.empty()) {
+    s << "; reactor accepted " << accepted << " of "
+      << report.candidates.size() << " rollback candidate decision(s)";
+  }
+  report.summary = s.str();
+  return report;
+}
+
+ForensicsReport AnalyzeCrash(const PmemDevice& device) {
+  const FlightRecorder& recorder = FlightRecorder::Global();
+  return AnalyzeCrash(device, recorder.Snapshot(), recorder.dropped());
+}
+
+std::string ForensicsReport::ToText() const {
+  std::ostringstream out;
+  out << "=== Arthas crash forensics (schema v" << kForensicsSchemaVersion
+      << ") ===\n";
+  if (!present) {
+    out << summary << "\n";
+    return out.str();
+  }
+  out << summary << "\n\n";
+  out << "device " << device_id << ", crash event seq " << crash_seq << " ("
+      << events_analyzed << " events analyzed, " << events_dropped
+      << " dropped to ring wraparound)\n";
+  if (fault_guid != 0 || fault_address != kNullPmOffset) {
+    out << "fault: guid " << fault_guid;
+    if (fault_address != kNullPmOffset) {
+      out << " at address " << Hex(fault_address);
+    }
+    out << "\n";
+  }
+
+  out << "\nlost cache lines (" << lost_lines.size() << "):\n";
+  for (const LostLineReport& line : lost_lines) {
+    out << "  line " << Hex(line.line_offset) << ": "
+        << FrReasonName(line.missing);
+    if (line.last_writer_tid != 0) {
+      out << "; last writer thread " << line.last_writer_tid << " ("
+          << FrTypeName(line.last_writer_event) << " @" << line.last_writer_seq
+          << ")";
+    } else {
+      out << "; no recorded flush or tx range covered it";
+    }
+    if (line.tx_id != 0) {
+      out << "; tx " << line.tx_id
+          << (line.undo_covered ? " (undo log covers it)" : "");
+    }
+    out << "; durable prefix " << Hex(line.durable_prefix) << "\n";
+  }
+
+  out << "\nopen transactions at crash (" << open_txs.size() << "):\n";
+  for (const OpenTxReport& tx : open_txs) {
+    out << "  tx " << tx.tx_id << " (thread " << tx.tid << ", begun @"
+        << tx.begin_seq << "): " << tx.ranges << " range(s), "
+        << tx.undo_bytes << " undo byte(s), " << tx.lost_lines
+        << " lost line(s) in its write set\n";
+  }
+
+  out << "\nreactor candidate decisions (" << candidates.size() << "):\n";
+  for (const CandidateReport& c : candidates) {
+    out << "  checkpoint seq " << c.checkpoint_seq << " rank " << c.rank
+        << ": " << (c.accepted ? "accepted" : "rejected") << " ("
+        << FrReasonName(c.reason) << ")\n";
+  }
+
+  out << "\npersist-order window (" << window.size() << " events, "
+      << order_edges.size() << " flush->drain edges):\n";
+  for (const FlightRecord& r : window) {
+    out << "  @" << r.seq << " t" << r.tid << " " << FrTypeName(r.type)
+        << " addr=" << Hex(r.addr) << " size=" << r.size << " arg=" << r.arg;
+    if (r.reason != FrReason::kNone) {
+      out << " (" << FrReasonName(r.reason) << ")";
+    }
+    out << "\n";
+  }
+  for (const PersistOrderEdge& e : order_edges) {
+    out << "  edge: flush @" << e.from_seq << " -> drain @" << e.to_seq
+        << "\n";
+  }
+  return out.str();
+}
+
+JsonValue ForensicsReport::ToJson() const {
+  JsonValue out = JsonValue::Object();
+  out.Set("schema_version", JsonValue(int64_t{kForensicsSchemaVersion}));
+  out.Set("present", JsonValue(present));
+  out.Set("device_id", JsonValue(uint64_t{device_id}));
+  out.Set("summary", JsonValue(summary));
+
+  JsonValue crash = JsonValue::Object();
+  crash.Set("seq", JsonValue(crash_seq));
+  crash.Set("count", JsonValue(crash_count));
+  crash.Set("events_analyzed", JsonValue(events_analyzed));
+  crash.Set("events_dropped", JsonValue(events_dropped));
+  out.Set("crash", std::move(crash));
+
+  JsonValue fault = JsonValue::Object();
+  fault.Set("guid", JsonValue(fault_guid));
+  fault.Set("has_address", JsonValue(fault_address != kNullPmOffset));
+  fault.Set("address", JsonValue(fault_address == kNullPmOffset
+                                     ? uint64_t{0}
+                                     : fault_address));
+  out.Set("fault", std::move(fault));
+
+  JsonValue lines = JsonValue::Array();
+  for (const LostLineReport& line : lost_lines) {
+    JsonValue v = JsonValue::Object();
+    v.Set("line_offset", JsonValue(line.line_offset));
+    v.Set("missing", JsonValue(FrReasonName(line.missing)));
+    v.Set("last_writer_tid", JsonValue(uint64_t{line.last_writer_tid}));
+    v.Set("last_writer_seq", JsonValue(line.last_writer_seq));
+    v.Set("last_writer_event", JsonValue(FrTypeName(line.last_writer_event)));
+    v.Set("tx_id", JsonValue(line.tx_id));
+    v.Set("undo_covered", JsonValue(line.undo_covered));
+    v.Set("durable_prefix", JsonValue(Hex(line.durable_prefix)));
+    lines.Append(std::move(v));
+  }
+  out.Set("lost_lines", std::move(lines));
+
+  JsonValue txs = JsonValue::Array();
+  for (const OpenTxReport& tx : open_txs) {
+    JsonValue v = JsonValue::Object();
+    v.Set("tx_id", JsonValue(tx.tx_id));
+    v.Set("tid", JsonValue(uint64_t{tx.tid}));
+    v.Set("begin_seq", JsonValue(tx.begin_seq));
+    v.Set("ranges", JsonValue(tx.ranges));
+    v.Set("undo_bytes", JsonValue(tx.undo_bytes));
+    v.Set("lost_lines", JsonValue(tx.lost_lines));
+    txs.Append(std::move(v));
+  }
+  out.Set("open_transactions", std::move(txs));
+
+  JsonValue cands = JsonValue::Array();
+  for (const CandidateReport& c : candidates) {
+    JsonValue v = JsonValue::Object();
+    v.Set("checkpoint_seq", JsonValue(c.checkpoint_seq));
+    v.Set("rank", JsonValue(c.rank));
+    v.Set("accepted", JsonValue(c.accepted));
+    v.Set("reason", JsonValue(FrReasonName(c.reason)));
+    v.Set("event_seq", JsonValue(c.event_seq));
+    cands.Append(std::move(v));
+  }
+  out.Set("reactor_candidates", std::move(cands));
+
+  JsonValue order = JsonValue::Object();
+  JsonValue events = JsonValue::Array();
+  for (const FlightRecord& r : window) {
+    JsonValue v = JsonValue::Object();
+    v.Set("seq", JsonValue(r.seq));
+    v.Set("tid", JsonValue(uint64_t{r.tid}));
+    v.Set("type", JsonValue(FrTypeName(r.type)));
+    v.Set("addr", JsonValue(r.addr));
+    v.Set("size", JsonValue(r.size));
+    v.Set("arg", JsonValue(r.arg));
+    v.Set("reason", JsonValue(FrReasonName(r.reason)));
+    events.Append(std::move(v));
+  }
+  order.Set("events", std::move(events));
+  JsonValue edges = JsonValue::Array();
+  for (const PersistOrderEdge& e : order_edges) {
+    JsonValue v = JsonValue::Object();
+    v.Set("from", JsonValue(e.from_seq));
+    v.Set("to", JsonValue(e.to_seq));
+    edges.Append(std::move(v));
+  }
+  order.Set("edges", std::move(edges));
+  out.Set("persist_order", std::move(order));
+  return out;
+}
+
+void SetLatestForensics(ForensicsReport report) {
+  std::lock_guard<std::mutex> lock(LatestMutex());
+  LatestSlot() = std::move(report);
+}
+
+std::optional<ForensicsReport> LatestForensics() {
+  std::lock_guard<std::mutex> lock(LatestMutex());
+  return LatestSlot();
+}
+
+void ClearLatestForensics() {
+  std::lock_guard<std::mutex> lock(LatestMutex());
+  LatestSlot().reset();
+}
+
+}  // namespace obs
+}  // namespace arthas

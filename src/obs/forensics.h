@@ -1,0 +1,126 @@
+// Post-crash root-cause forensics built on the flight recorder.
+//
+// AnalyzeCrash replays the recorded PM event timeline against the device's
+// durable image and produces the narrative the paper's case studies build
+// by hand (Sections 2 and 6): which cache lines were lost at the crash and
+// *why* (who wrote them last, and whether the miss was a forgotten clwb or
+// a forgotten sfence), which transactions were open and how much of the
+// lost data their undo logs cover, what the reactor decided about each
+// rollback candidate, and the flush→drain ordering graph around the fault.
+//
+// The report is emitted as human-readable text and as schema-versioned
+// JSON (kForensicsSchemaVersion); ObsArtifactWriter writes whichever of
+// --forensics-text / --forensics-json was requested from the process-global
+// "latest report" slot that the harness fills after each crash.
+
+#ifndef ARTHAS_OBS_FORENSICS_H_
+#define ARTHAS_OBS_FORENSICS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+#include "obs/json.h"
+#include "pmem/device.h"
+
+namespace arthas {
+namespace obs {
+
+inline constexpr int kForensicsSchemaVersion = 1;
+
+// A cache line whose writes never reached the durable image when the crash
+// hit, joined with the last recorded event that touched it.
+struct LostLineReport {
+  PmOffset line_offset = 0;
+  // Why the line died: never flushed (missing clwb+sfence) or staged but
+  // unfenced (missing sfence only).
+  FrReason missing = FrReason::kNeverFlushed;
+  // Last recorded writer of the line (flush / persist / tx_add_range);
+  // 0 = no recorded event covered it (e.g. a raw store with no flush).
+  uint16_t last_writer_tid = 0;
+  uint64_t last_writer_seq = 0;       // flight-recorder seq of that event
+  FrType last_writer_event = FrType::kNone;
+  uint64_t tx_id = 0;                 // open tx that covered the line, if any
+  bool undo_covered = false;          // inside that tx's persisted undo log
+  // First 8 durable bytes at the line, for the narrative.
+  uint64_t durable_prefix = 0;
+};
+
+// A transaction that began but neither committed nor aborted before the
+// crash, with its undo-log coverage.
+struct OpenTxReport {
+  uint64_t tx_id = 0;
+  uint16_t tid = 0;
+  uint64_t begin_seq = 0;
+  uint64_t ranges = 0;       // tx_add_range count
+  uint64_t undo_bytes = 0;   // bytes covered by the undo log
+  uint64_t lost_lines = 0;   // lost lines falling inside its ranges
+};
+
+// One reactor decision about a rollback candidate.
+struct CandidateReport {
+  uint64_t checkpoint_seq = 0;
+  uint64_t rank = 0;          // position in the reversion plan
+  bool accepted = false;
+  FrReason reason = FrReason::kNone;
+  uint64_t event_seq = 0;
+};
+
+// Flush→drain ordering edge: the drain (sfence) that made a staged flush
+// durable. Nodes are flight-recorder seqs of the window events.
+struct PersistOrderEdge {
+  uint64_t from_seq = 0;  // flush event
+  uint64_t to_seq = 0;    // drain event
+};
+
+struct ForensicsReport {
+  bool present = false;  // false: no crash recorded for this device
+  uint32_t device_id = 0;
+  uint64_t crash_seq = 0;       // recorder seq of the last crash event
+  uint64_t crash_count = 0;     // crashes seen on this device's timeline
+  uint64_t events_analyzed = 0;
+  uint64_t events_dropped = 0;  // ring wraparound losses (coverage caveat)
+
+  std::vector<LostLineReport> lost_lines;
+  std::vector<OpenTxReport> open_txs;
+  std::vector<CandidateReport> candidates;
+
+  // The persist-order window: the last events before the crash that touched
+  // the lost lines or the fault address, plus the fences ordering them.
+  std::vector<FlightRecord> window;
+  std::vector<PersistOrderEdge> order_edges;
+
+  // Fault context (from kFaultInjected/kFaultRaised/kFaultObserved).
+  uint64_t fault_guid = 0;
+  uint64_t fault_address = kNullPmOffset;
+
+  std::string summary;  // one-paragraph root-cause narrative
+
+  std::string ToText() const;
+  JsonValue ToJson() const;
+  std::string ToJsonString() const { return ToJson().Dump(); }
+};
+
+// Replays `timeline` (a FlightRecorder snapshot) for `device`'s events and
+// builds the report for the *last* crash on that device. Reads the durable
+// image; call from quiesced (post-crash) context.
+ForensicsReport AnalyzeCrash(const PmemDevice& device,
+                             const std::vector<FlightRecord>& timeline,
+                             uint64_t events_dropped = 0);
+
+// Convenience: snapshot FlightRecorder::Global() and analyze.
+ForensicsReport AnalyzeCrash(const PmemDevice& device);
+
+// Process-global "latest report" slot, written by the harness after each
+// crash and drained by ObsArtifactWriter (--forensics-json/--forensics-text)
+// and the bench binaries.
+void SetLatestForensics(ForensicsReport report);
+std::optional<ForensicsReport> LatestForensics();
+void ClearLatestForensics();
+
+}  // namespace obs
+}  // namespace arthas
+
+#endif  // ARTHAS_OBS_FORENSICS_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <iomanip>
+#include <sstream>
 
 namespace arthas {
 namespace obs {
@@ -118,6 +120,7 @@ HistogramSnapshot Histogram::Snapshot() const {
   s.max = max();
   s.p50 = Percentile(0.50);
   s.p90 = Percentile(0.90);
+  s.p95 = Percentile(0.95);
   s.p99 = Percentile(0.99);
   s.mean = s.count == 0
                ? 0
@@ -235,6 +238,7 @@ JsonValue MetricsRegistry::SnapshotJson() const {
     hv.Set("mean", JsonValue(h.mean));
     hv.Set("p50", JsonValue(h.p50));
     hv.Set("p90", JsonValue(h.p90));
+    hv.Set("p95", JsonValue(h.p95));
     hv.Set("p99", JsonValue(h.p99));
     histograms.Set(name, std::move(hv));
   }
@@ -247,6 +251,34 @@ JsonValue MetricsRegistry::SnapshotJson() const {
 
 std::string MetricsRegistry::SnapshotJsonString() const {
   return SnapshotJson().Dump();
+}
+
+std::string MetricsRegistry::LatencyTable() const {
+  const RegistrySnapshot snap = Snapshot();
+  std::ostringstream out;
+  out << "--- latency percentiles ---\n";
+  if (snap.histograms.empty()) {
+    out << "(no histograms recorded)\n\n";
+    return out.str();
+  }
+  size_t name_width = 4;
+  for (const auto& [name, h] : snap.histograms) {
+    name_width = std::max(name_width, name.size());
+  }
+  out << std::left << std::setw(static_cast<int>(name_width)) << "name"
+      << std::right << std::setw(10) << "count" << std::setw(14) << "p50"
+      << std::setw(14) << "p95" << std::setw(14) << "p99" << std::setw(14)
+      << "max" << std::setw(14) << "mean" << "\n";
+  for (const auto& [name, h] : snap.histograms) {
+    out << std::left << std::setw(static_cast<int>(name_width)) << name
+        << std::right << std::setw(10) << h.count << std::fixed
+        << std::setprecision(0) << std::setw(14) << h.p50 << std::setw(14)
+        << h.p95 << std::setw(14) << h.p99 << std::setw(14) << h.max
+        << std::setprecision(1) << std::setw(14) << h.mean << "\n";
+    out.unsetf(std::ios::fixed);
+  }
+  out << "\n";
+  return out.str();
 }
 
 std::map<std::string, uint64_t> CounterDeltas(const RegistrySnapshot& before,

@@ -66,6 +66,7 @@ struct HistogramSnapshot {
   uint64_t max = 0;
   double p50 = 0;
   double p90 = 0;
+  double p95 = 0;
   double p99 = 0;
   double mean = 0;
 };
@@ -139,9 +140,13 @@ class MetricsRegistry {
   RegistrySnapshot Snapshot() const;
 
   // {"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum,
-  // min, max, mean, p50, p90, p99}}}
+  // min, max, mean, p50, p90, p95, p99}}}
   JsonValue SnapshotJson() const;
   std::string SnapshotJsonString() const;
+
+  // Aligned text table of every histogram's latency percentiles (count,
+  // p50/p95/p99, max, mean), for the --metrics-summary artifact.
+  std::string LatencyTable() const;
 
  private:
   struct Slot {

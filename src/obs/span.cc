@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdio>
 #include <map>
+#include <set>
 #include <sstream>
 
 #include "obs/json.h"
@@ -28,9 +29,23 @@ int& ThisThreadDepth() {
   return depth;
 }
 
+uint64_t NextTracerId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+// One-entry thread-local cache mapping "the tracer this thread last
+// recorded into" to its buffer. Tracer ids are never reused, so a stale
+// entry for a destroyed test tracer can never alias a live one.
+struct TlsBufferCache {
+  uint64_t tracer_id = 0;
+  void* buffer = nullptr;
+};
+thread_local TlsBufferCache tls_buffer_cache;
+
 }  // namespace
 
-SpanTracer::SpanTracer() : epoch_ns_(NowNanos()) {}
+SpanTracer::SpanTracer() : tracer_id_(NextTracerId()), epoch_ns_(NowNanos()) {}
 
 SpanTracer& SpanTracer::Global() {
   static SpanTracer* tracer = new SpanTracer();
@@ -39,38 +54,95 @@ SpanTracer& SpanTracer::Global() {
 
 void SpanTracer::set_enabled(bool enabled) {
   g_enabled.store(enabled, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mutex_);
-  enabled_ = enabled;
 }
 
 bool SpanTracer::enabled() const {
   return g_enabled.load(std::memory_order_relaxed);
 }
 
+SpanTracer::ThreadBuffer* SpanTracer::LocalBuffer() {
+  if (tls_buffer_cache.tracer_id == tracer_id_) {
+    return static_cast<ThreadBuffer*>(tls_buffer_cache.buffer);
+  }
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  const uint32_t tid = ThisThreadId();
+  ThreadBuffer* buffer = nullptr;
+  for (const auto& b : buffers_) {
+    if (b->tid == tid) {
+      buffer = b.get();
+      break;
+    }
+  }
+  if (buffer == nullptr) {
+    buffers_.push_back(std::make_unique<ThreadBuffer>(tid));
+    buffer = buffers_.back().get();
+  }
+  tls_buffer_cache = {tracer_id_, buffer};
+  return buffer;
+}
+
 void SpanTracer::Record(SpanEvent event) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  events_.push_back(std::move(event));
+  ThreadBuffer* buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer->mutex);
+  buffer->events.push_back(std::move(event));
 }
 
 std::vector<SpanEvent> SpanTracer::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return events_;
+  std::lock_guard<std::mutex> registry_lock(registry_mutex_);
+  std::vector<SpanEvent> merged;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    merged.insert(merged.end(), buffer->events.begin(),
+                  buffer->events.end());
+  }
+  // Completion order, as the old single-buffer tracer produced: a span
+  // lands when it closes, so nested spans precede their parents.
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const SpanEvent& a, const SpanEvent& b) {
+                     return a.end_ns < b.end_ns;
+                   });
+  return merged;
 }
 
 size_t SpanTracer::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return events_.size();
+  std::lock_guard<std::mutex> registry_lock(registry_mutex_);
+  size_t total = 0;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    total += buffer->events.size();
+  }
+  return total;
 }
 
 void SpanTracer::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  events_.clear();
+  std::lock_guard<std::mutex> registry_lock(registry_mutex_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    buffer->events.clear();
+  }
   epoch_ns_ = NowNanos();
 }
 
 std::string SpanTracer::ExportChromeJson() const {
   const std::vector<SpanEvent> events = Snapshot();
   JsonValue trace_events = JsonValue::Array();
+  // One thread_name metadata row per recording thread, so the viewer
+  // labels each merged buffer's track instead of showing bare numbers.
+  std::set<uint32_t> tids;
+  for (const SpanEvent& e : events) {
+    tids.insert(e.tid);
+  }
+  for (const uint32_t tid : tids) {
+    JsonValue meta = JsonValue::Object();
+    meta.Set("name", JsonValue("thread_name"));
+    meta.Set("ph", JsonValue("M"));
+    meta.Set("pid", JsonValue(int64_t{1}));
+    meta.Set("tid", JsonValue(static_cast<int64_t>(tid)));
+    JsonValue args = JsonValue::Object();
+    args.Set("name", JsonValue("arthas-thread-" + std::to_string(tid)));
+    meta.Set("args", std::move(args));
+    trace_events.Append(std::move(meta));
+  }
   for (const SpanEvent& e : events) {
     JsonValue ev = JsonValue::Object();
     ev.Set("name", JsonValue(e.name));

@@ -5,10 +5,15 @@
 // A span measures one timed region (monotonic nanoseconds, see
 // common/clock.h). Spans nest per thread: a ScopedSpan opened while another
 // is open on the same thread becomes its child, tracked with a thread-local
-// depth counter. Finished spans are appended to the tracer under a mutex —
-// span *end* is off the hot path by construction (spans wrap phases like
-// slicing or a reversion batch, not per-persist work; per-persist costs go
-// to histograms in obs/metrics.h instead).
+// depth counter. Finished spans are appended to the calling thread's own
+// buffer (per-buffer mutex, uncontended in steady state — only Snapshot
+// ever takes it from another thread), so concurrent workers never
+// serialize on one tracer-wide lock. Span *end* is off the hot path by
+// construction anyway (spans wrap phases like slicing or a reversion
+// batch, not per-persist work; per-persist costs go to histograms in
+// obs/metrics.h instead). The Chrome export merges the buffers and emits
+// one thread_name metadata row per thread, so chrome://tracing renders
+// each worker on its own labelled track.
 //
 // Prefer the ARTHAS_SPAN(...) macros in obs/obs.h, which compile out under
 // ARTHAS_OBS_DISABLED.
@@ -17,6 +22,7 @@
 #define ARTHAS_OBS_SPAN_H_
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <utility>
@@ -57,8 +63,11 @@ class SpanTracer {
   // Drops all recorded spans and restarts the epoch.
   void Clear();
 
-  // Chrome trace-event format: {"traceEvents": [{"name", "cat", "ph": "X",
-  // "ts" (us), "dur" (us), "pid", "tid", "args"}, ...]}.
+  // Chrome trace-event format: {"traceEvents": [{"name": "thread_name",
+  // "ph": "M", ...} per thread, then {"name", "cat", "ph": "X", "ts" (us),
+  // "dur" (us), "pid", "tid", "args"} per span]}. Events come from the
+  // merged per-thread buffers, in start-time order; the tid on each event
+  // is the recording thread's sequential id, matched by its metadata row.
   std::string ExportChromeJson() const;
 
   // Flat per-name summary: count, total, and mean wall time.
@@ -67,10 +76,21 @@ class SpanTracer {
   int64_t epoch_ns() const { return epoch_ns_; }
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<SpanEvent> events_;
+  // One finished-span buffer per recording thread. The buffer's mutex only
+  // conflicts when a Snapshot races the owner's append.
+  struct ThreadBuffer {
+    explicit ThreadBuffer(uint32_t tid) : tid(tid) {}
+    std::mutex mutex;
+    std::vector<SpanEvent> events;
+    uint32_t tid;
+  };
+
+  ThreadBuffer* LocalBuffer();
+
+  const uint64_t tracer_id_;  // process-unique, for the thread-local cache
+  mutable std::mutex registry_mutex_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
   int64_t epoch_ns_ = 0;
-  bool enabled_ = true;
 };
 
 // RAII timed span reporting to SpanTracer::Global(). Created by

@@ -6,11 +6,14 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "obs/flight_recorder.h"
 #include "obs/obs.h"
 
 namespace arthas {
 
 PmemDevice::PmemDevice(size_t size) : live_(size, 0), durable_(size, 0) {
+  static std::atomic<uint32_t> next_device_id{1};
+  device_id_ = next_device_id.fetch_add(1, std::memory_order_relaxed);
   const size_t lines = (size + kCacheLineSize - 1) / kCacheLineSize;
   num_pending_words_ = (lines + 63) / 64;
   // Value-initialization zeroes every word (std::atomic's default
@@ -98,6 +101,7 @@ void PmemDevice::Persist(PmOffset offset, size_t size) {
   StripeGuard guard(*this, offset, size);
   NotifyAndMakeDurable(offset, size);
   ARTHAS_COUNTER_ADD("pmem.persist.count", 1);
+  ARTHAS_FLIGHT_RECORD(obs::FrType::kPersist, device_id_, offset, size, 0);
 }
 
 void PmemDevice::PersistQuiet(PmOffset offset, size_t size) {
@@ -108,6 +112,8 @@ void PmemDevice::PersistQuiet(PmOffset offset, size_t size) {
   MakeDurable(offset, size);
   stats_.persists++;
   ARTHAS_COUNTER_ADD("pmem.persist.count", 1);
+  ARTHAS_FLIGHT_RECORD(obs::FrType::kPersistQuiet, device_id_, offset, size,
+                       0);
 }
 
 void PmemDevice::FlushLines(PmOffset offset, size_t size) {
@@ -143,6 +149,7 @@ void PmemDevice::FlushLines(PmOffset offset, size_t size) {
   while (hi_word > hi && !pending_hi_.compare_exchange_weak(
                              hi, hi_word, std::memory_order_release)) {
   }
+  ARTHAS_FLIGHT_RECORD(obs::FrType::kFlush, device_id_, offset, size, 0);
 }
 
 void PmemDevice::Drain() {
@@ -185,6 +192,8 @@ void PmemDevice::Drain() {
       NotifyAndMakeDurable(run_offset, run_size);
     }
   }
+  ARTHAS_FLIGHT_RECORD(obs::FrType::kDrain, device_id_, 0, 0,
+                       hi >= lo ? hi - lo + 1 : 0);
 }
 
 void PmemDevice::ClearPending() {
@@ -201,17 +210,30 @@ void PmemDevice::Crash() {
   StripeGuard guard(*this, 0, live_.size());
 #ifndef ARTHAS_OBS_DISABLED
   // Count the cache lines whose writes never reached the durable image —
-  // the data a real power failure would discard. The scan is obs-only work
-  // and compiles out with the rest of the instrumentation.
+  // the data a real power failure would discard — and leave one flight
+  // record per lost line so post-crash forensics can name it. The pending
+  // bitmap (still intact here) distinguishes a line that was staged by a
+  // clwb but never fenced (missing drain) from one no flush ever covered.
+  // The scan is obs-only work and compiles out with the instrumentation.
   uint64_t discarded_lines = 0;
   for (size_t off = 0; off < live_.size(); off += kCacheLineSize) {
     const size_t n = std::min(kCacheLineSize, live_.size() - off);
     if (std::memcmp(live_.data() + off, durable_.data() + off, n) != 0) {
       discarded_lines++;
+      const uint64_t line = off / kCacheLineSize;
+      const bool staged =
+          (pending_words_[line / 64].load(std::memory_order_relaxed) &
+           (1ULL << (line % 64))) != 0;
+      ARTHAS_FLIGHT_RECORD(obs::FrType::kLineLost, device_id_, off,
+                           kCacheLineSize, 0,
+                           staged ? obs::FrReason::kFlushedNotDrained
+                                  : obs::FrReason::kNeverFlushed);
     }
   }
   ARTHAS_COUNTER_ADD("pmem.crash.count", 1);
   ARTHAS_COUNTER_ADD("pmem.crash_discarded.lines", discarded_lines);
+  ARTHAS_FLIGHT_RECORD(obs::FrType::kCrash, device_id_, 0, 0,
+                       discarded_lines);
 #endif
   ClearPending();
   std::memcpy(live_.data(), durable_.data(), live_.size());
@@ -238,6 +260,7 @@ Status PmemDevice::RestoreDurable(const std::vector<uint8_t>& image) {
   durable_ = image;
   std::memcpy(live_.data(), durable_.data(), live_.size());
   ClearPending();
+  ARTHAS_FLIGHT_RECORD(obs::FrType::kRestore, device_id_, 0, image.size(), 0);
   return OkStatus();
 }
 

@@ -98,6 +98,10 @@ class PmemDevice {
 
   size_t size() const { return live_.size(); }
 
+  // Process-unique id (1-based) identifying this device in flight-recorder
+  // events and forensics reports.
+  uint32_t device_id() const { return device_id_; }
+
   // Direct pointers into the live (CPU-visible) image. Programs read and
   // write through these exactly as they would through pmem_map_file memory.
   uint8_t* Live(PmOffset offset) { return live_.data() + offset; }
@@ -197,6 +201,7 @@ class PmemDevice {
 
   std::vector<uint8_t> live_;
   std::vector<uint8_t> durable_;
+  uint32_t device_id_ = 0;
   mutable std::array<std::mutex, kNumStripes> stripes_;
   // Flushed-but-not-drained cache lines: bit i of word w covers line
   // w * 64 + i. fetch_or on flush, exchange(0) on drain — no lock anywhere

@@ -6,6 +6,7 @@
 
 #include "common/crc32.h"
 #include "common/logging.h"
+#include "obs/flight_recorder.h"
 #include "obs/obs.h"
 
 namespace arthas {
@@ -382,6 +383,8 @@ Result<Oid> PmemPool::AllocInternal(size_t size, bool zero) {
     std::memset(device_->Live(payload), 0, block);
     device_->PersistQuiet(payload, block);
   }
+  ARTHAS_FLIGHT_RECORD(obs::FrType::kAlloc, device_->device_id(), payload,
+                       block, 0);
   for (PoolObserver* obs : observers_) {
     obs->OnAlloc(payload, block);
   }
@@ -455,6 +458,8 @@ Status PmemPool::FreeLocked(Oid oid) {
   ARTHAS_COUNTER_ADD("pool.free.count", 1);
   ARTHAS_GAUGE_SET("pool.used.bytes", h->used_bytes);
   ARTHAS_GAUGE_SET("pool.live.objects", h->live_objects);
+  ARTHAS_FLIGHT_RECORD(obs::FrType::kFree, device_->device_id(), oid.off,
+                       block, 0);
   for (PoolObserver* obs : observers_) {
     obs->OnFree(oid.off, block);
   }
@@ -595,6 +600,8 @@ Status PmemPool::TxBegin(TxContext& ctx) {
   ctx.slot = slot;
   ctx.log_count = 0;
   ctx.log_bytes = 0;
+  ARTHAS_FLIGHT_RECORD(obs::FrType::kTxBegin, device_->device_id(),
+                       static_cast<uint64_t>(slot), 0, tx_id);
   for (PoolObserver* obs : observers_) {
     obs->OnTxBegin(tx_id);
   }
@@ -631,6 +638,8 @@ Status PmemPool::TxAddRange(TxContext& ctx, PmOffset offset, size_t size) {
                 sizeof(desc));
     PersistTxSlotDescriptor(ctx.slot);
   }
+  ARTHAS_FLIGHT_RECORD(obs::FrType::kTxAddRange, device_->device_id(), offset,
+                       size, ctx.tx_id);
   return OkStatus();
 }
 
@@ -674,6 +683,8 @@ Status PmemPool::TxCommit(TxContext& ctx) {
   slot_busy_[ctx.slot] = false;
   const uint64_t tx_id = ctx.tx_id;
   ctx = TxContext{};
+  ARTHAS_FLIGHT_RECORD(obs::FrType::kTxCommit, device_->device_id(), 0, 0,
+                       tx_id);
   for (PoolObserver* obs : observers_) {
     obs->OnTxCommit(tx_id);
   }
@@ -701,6 +712,8 @@ Status PmemPool::TxAbort(TxContext& ctx) {
     PersistTxSlotDescriptor(ctx.slot);
   }
   slot_busy_[ctx.slot] = false;
+  ARTHAS_FLIGHT_RECORD(obs::FrType::kTxAbort, device_->device_id(), 0, 0,
+                       ctx.tx_id);
   ctx = TxContext{};
   return OkStatus();
 }

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/logging.h"
+#include "obs/flight_recorder.h"
 #include "obs/obs.h"
 
 namespace arthas {
@@ -22,10 +23,10 @@ Reactor::Reactor(const IrModule& model, const GuidRegistry& registry)
   timings_.pdg_ns = t2 - t1;
 }
 
-std::vector<SeqNum> Reactor::ComputeReversionPlan(const FaultInfo& fault,
-                                                  Tracer& tracer,
-                                                  const CheckpointLog& log,
-                                                  const ReactorConfig& config) {
+std::vector<SeqNum> Reactor::ComputeReversionPlan(
+    const FaultInfo& fault, Tracer& tracer, const CheckpointLog& log,
+    const ReactorConfig& config,
+    std::vector<CandidateDecision>* explanation) {
   const IrInstruction* fault_inst = model_.FindByGuid(fault.fault_guid);
   if (fault_inst == nullptr) {
     return {};
@@ -101,6 +102,28 @@ std::vector<SeqNum> Reactor::ComputeReversionPlan(const FaultInfo& fault,
   }
   std::vector<SeqNum> plan = std::move(at_fault);
   plan.insert(plan.end(), rest.begin(), rest.end());
+  // Stamp one decision per candidate: why it made the plan (faulting
+  // address vs dependency slice), or that it is no longer usable because
+  // every retained version was discarded since the trace joined it in.
+  for (size_t rank = 0; rank < plan.size(); rank++) {
+    const SeqNum s = plan[rank];
+    const bool locatable = log.LocateSeq(s).has_value();
+    const obs::FrReason reason =
+        !locatable            ? obs::FrReason::kVersionEvicted
+        : at_fault_set.count(s) != 0 ? obs::FrReason::kAtFaultAddress
+                                     : obs::FrReason::kSliceDependency;
+    ARTHAS_FLIGHT_RECORD(locatable ? obs::FrType::kCandidateAccept
+                                   : obs::FrType::kCandidateReject,
+                         0, s, 0, rank, reason);
+    if (explanation != nullptr) {
+      CandidateDecision decision;
+      decision.seq = s;
+      decision.rank = rank;
+      decision.accepted = locatable;
+      decision.reason = obs::FrReasonName(reason);
+      explanation->push_back(std::move(decision));
+    }
+  }
   ARTHAS_HISTOGRAM_RECORD("reactor.search.ns", search_timer.ElapsedNanos());
   ARTHAS_COUNTER_ADD("reactor.candidates.count", plan.size());
   search_span.AddAttr("candidates", static_cast<uint64_t>(plan.size()));
@@ -295,6 +318,9 @@ MitigationOutcome Reactor::Mitigate(const FaultInfo& fault, Tracer& tracer,
       }
       ARTHAS_NAMED_SPAN(revert_span, "reactor.revert");
       ScopedTimer revert_timer;
+      // Candidates whose reversion took effect in this batch; the verdict
+      // of the next re-execution (cure vs no cure) is stamped on each.
+      std::vector<SeqNum> batch_reverted;
       for (int b = 0; b < batch_size && i < round_plan.size(); b++, i++) {
         if (config.mode == ReversionMode::kRollback) {
           // Undo the chosen candidate itself (divergence-aware), then
@@ -304,12 +330,23 @@ MitigationOutcome Reactor::Mitigate(const FaultInfo& fault, Tracer& tracer,
           // no later update was built on the bad value — so the restore of
           // the checkpointed good version is the whole reversion.
           bool diverged = false;
-          if (log.LocateSeq(round_plan[i]).has_value()) {
+          bool reverted_any = false;
+          if (!log.LocateSeq(round_plan[i]).has_value()) {
+            ARTHAS_FLIGHT_RECORD(obs::FrType::kCandidateReject, 0,
+                                 round_plan[i], 0, static_cast<uint64_t>(i),
+                                 obs::FrReason::kVersionEvicted);
+          } else {
             auto reverted = log.RevertSeq(round_plan[i]);
             if (reverted.ok()) {
               outcome.reverted_updates++;
               pending++;
               diverged = *reverted;
+              reverted_any = true;
+            } else {
+              ARTHAS_FLIGHT_RECORD(obs::FrType::kCandidateReject, 0,
+                                   round_plan[i], 0,
+                                   static_cast<uint64_t>(i),
+                                   obs::FrReason::kRevertFailed);
             }
           }
           if (!diverged) {
@@ -317,25 +354,51 @@ MitigationOutcome Reactor::Mitigate(const FaultInfo& fault, Tracer& tracer,
             if (discarded.ok()) {
               outcome.reverted_updates += *discarded;
               pending += static_cast<int>(*discarded);
+              reverted_any |= *discarded > 0;
             }
+          }
+          if (reverted_any) {
+            batch_reverted.push_back(round_plan[i]);
           }
         } else {
           const uint64_t n =
               RevertCandidate(round_plan[i], tracer, log, config);
           outcome.reverted_updates += n;
           pending += static_cast<int>(n);
+          if (n > 0) {
+            batch_reverted.push_back(round_plan[i]);
+          } else {
+            ARTHAS_FLIGHT_RECORD(obs::FrType::kCandidateReject, 0,
+                                 round_plan[i], 0, static_cast<uint64_t>(i),
+                                 obs::FrReason::kVersionEvicted);
+          }
         }
       }
       ARTHAS_HISTOGRAM_RECORD("reactor.revert.ns", revert_timer.ElapsedNanos());
       ARTHAS_COUNTER_ADD("reactor.revert_attempts.count", 1);
       revert_span.Close();
+      const bool attempted = pending > 0;
       if (try_reexecution(pending)) {
+        for (const SeqNum s : batch_reverted) {
+          (void)s;
+          ARTHAS_FLIGHT_RECORD(obs::FrType::kCandidateAccept, 0, s, 0,
+                               static_cast<uint64_t>(round),
+                               obs::FrReason::kRecovered);
+        }
         outcome.recovered = true;
         outcome.elapsed = clock.Now() - start;
         outcome.detail = "recovered after " +
                          std::to_string(outcome.reverted_updates) +
                          " reverted updates in round " + std::to_string(round);
         return outcome;
+      }
+      if (attempted) {
+        for (const SeqNum s : batch_reverted) {
+          (void)s;
+          ARTHAS_FLIGHT_RECORD(obs::FrType::kCandidateReject, 0, s, 0,
+                               static_cast<uint64_t>(round),
+                               obs::FrReason::kNoCure);
+        }
       }
       pending = 0;
       if (out_of_budget()) {

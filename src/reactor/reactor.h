@@ -98,6 +98,17 @@ struct MitigationOutcome {
   std::string detail;
 };
 
+// One entry per candidate the planner considered, in plan order. `reason`
+// is a stable token (flight-recorder reason name): why the candidate made
+// the plan ("at_fault_address", "slice_dependency") or why it is unusable
+// ("version_evicted" when every retained version was already discarded).
+struct CandidateDecision {
+  SeqNum seq = 0;
+  uint64_t rank = 0;  // 0-based position in the plan
+  bool accepted = false;
+  std::string reason;
+};
+
 // Invoked to re-run the target with the same arguments as the prior run;
 // returns what the detector observed (fault recurrence, PM usage, items).
 using ReexecuteFn = std::function<RunObservation()>;
@@ -116,11 +127,14 @@ class Reactor {
 
   // Derives the candidate sequence-number list for a fault (newest first).
   // Empty result means the failure does not trace back to checkpointed PM
-  // state.
-  std::vector<SeqNum> ComputeReversionPlan(const FaultInfo& fault,
-                                           Tracer& tracer,
-                                           const CheckpointLog& log,
-                                           const ReactorConfig& config);
+  // state. When `explanation` is non-null it receives one decision per
+  // candidate (the reactor-server `explain` request and the forensics
+  // report surface these); each decision is also stamped into the flight
+  // recorder.
+  std::vector<SeqNum> ComputeReversionPlan(
+      const FaultInfo& fault, Tracer& tracer, const CheckpointLog& log,
+      const ReactorConfig& config,
+      std::vector<CandidateDecision>* explanation = nullptr);
 
   // Full mitigation loop. `target` is used for the leak workflow (freeing
   // leaked objects, reading recovery-accessed annotations); `reexecute`

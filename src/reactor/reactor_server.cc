@@ -50,6 +50,36 @@ Result<PlanResponse> PlanResponse::Parse(const std::string& text) {
   return response;
 }
 
+std::string ExplainResponse::Serialize() const {
+  std::ostringstream out;
+  bool first = true;
+  for (const CandidateDecision& decision : candidates) {
+    if (!first) {
+      out << ' ';
+    }
+    first = false;
+    out << decision.seq << ' ' << decision.rank << ' '
+        << (decision.accepted ? 1 : 0) << ' ' << decision.reason;
+  }
+  return out.str();
+}
+
+Result<ExplainResponse> ExplainResponse::Parse(const std::string& text) {
+  std::istringstream in(text);
+  ExplainResponse response;
+  CandidateDecision decision;
+  int accepted = 0;
+  while (in >> decision.seq >> decision.rank >> accepted >> decision.reason) {
+    decision.accepted = accepted != 0;
+    response.candidates.push_back(decision);
+  }
+  if (!in.eof()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "malformed explain response");
+  }
+  return response;
+}
+
 ReactorServer::ReactorServer(const IrModule& model,
                              const GuidRegistry& registry)
     : reactor_(std::make_unique<Reactor>(model, registry)) {}
@@ -67,6 +97,17 @@ PlanResponse ReactorServer::ComputePlan(const MitigationRequest& request,
       request.fault, trace_copy_, log, request.config);
   response.empty_plan = response.candidates.empty();
   response.slicing_ns = reactor_->timings().last_slicing_ns;
+  requests_served_++;
+  return response;
+}
+
+ExplainResponse ReactorServer::Explain(const MitigationRequest& request,
+                                       const CheckpointLog& log) {
+  ARTHAS_SCOPED_LATENCY("reactor_server.plan.ns");
+  ARTHAS_COUNTER_ADD("reactor_server.request.count", 1);
+  ExplainResponse response;
+  (void)reactor_->ComputeReversionPlan(request.fault, trace_copy_, log,
+                                       request.config, &response.candidates);
   requests_served_++;
   return response;
 }

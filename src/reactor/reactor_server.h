@@ -47,6 +47,16 @@ struct PlanResponse {
   static Result<PlanResponse> Parse(const std::string& text);
 };
 
+// Answer to an `explain` request: the plan annotated with why each
+// candidate was accepted into (or rejected from) the reversion plan.
+struct ExplainResponse {
+  std::vector<CandidateDecision> candidates;
+
+  // Wire format: one "seq rank accepted reason" token group per candidate.
+  std::string Serialize() const;
+  static Result<ExplainResponse> Parse(const std::string& text);
+};
+
 class ReactorServer {
  public:
   // "Server start": runs static analysis + PDG construction for the
@@ -60,6 +70,11 @@ class ReactorServer {
   // Plan computation (the fast path: slicing + trace join only).
   PlanResponse ComputePlan(const MitigationRequest& request,
                            const CheckpointLog& log);
+
+  // `explain` request: same plan computation, but the answer carries the
+  // accept/reject decision and reason for every candidate considered.
+  ExplainResponse Explain(const MitigationRequest& request,
+                          const CheckpointLog& log);
 
   // Full mitigation on behalf of a confirmed request.
   MitigationOutcome Execute(const MitigationRequest& request,

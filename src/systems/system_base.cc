@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/logging.h"
+#include "obs/flight_recorder.h"
 
 namespace arthas {
 
@@ -33,6 +34,8 @@ void PmSystemBase::RaiseFault(FailureKind kind, Guid guid,
   }
   ARTHAS_LOG(Info) << name_ << ": " << FailureKindName(kind) << " at guid "
                    << guid << ": " << fault.message;
+  ARTHAS_FLIGHT_RECORD(obs::FrType::kFaultRaised, 0, fault.fault_address,
+                       static_cast<uint64_t>(fault.exit_code), guid);
   fault_ = std::move(fault);
   has_fault_.store(true, std::memory_order_release);
 }

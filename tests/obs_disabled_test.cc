@@ -6,6 +6,7 @@
 #include <string>
 
 #include "gtest/gtest.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "obs/span.h"
@@ -30,6 +31,13 @@ TEST(ObsDisabledTest, MacrosAreNoOps) {
     span.Close();
     EXPECT_EQ(span.elapsed_ns(), 0);
   }
+  // The flight-record macro compiles out too: the marker address below
+  // must not appear in the global recorder's timeline.
+  constexpr uint64_t kMarkerAddr = 0xD15AB1EDULL;
+  ARTHAS_FLIGHT_RECORD(obs::FrType::kPersist, 0, kMarkerAddr, 64, 0);
+  for (const obs::FlightRecord& r : obs::FlightRecorder::Global().Snapshot()) {
+    EXPECT_NE(r.addr, kMarkerAddr);
+  }
   // Nothing reached the global registry or span tracer.
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   EXPECT_FALSE(registry.Has("disabled.count"));
@@ -47,6 +55,11 @@ TEST(ObsDisabledTest, LibraryStaysUsableDirectly) {
   obs::MetricsRegistry registry;
   registry.GetCounter("direct.count").Add(1);
   EXPECT_EQ(registry.Snapshot().counters.at("direct.count"), 1u);
+  // Same for the flight recorder: direct Record calls still work in a
+  // disabled TU, only the ARTHAS_FLIGHT_RECORD macro is a no-op.
+  obs::FlightRecorder recorder(16);
+  recorder.Record(obs::FrType::kFlush, 1, 64, 64, 0);
+  EXPECT_EQ(recorder.Snapshot().size(), 1u);
 }
 
 }  // namespace

@@ -184,12 +184,20 @@ TEST(SpanTest, ChromeJsonRoundTrip) {
   const JsonValue* events = parsed->Get("traceEvents");
   ASSERT_NE(events, nullptr);
   ASSERT_TRUE(events->is_array());
-  ASSERT_EQ(events->size(), 1u);
-  const JsonValue& ev = events->items()[0];
+  // One thread_name metadata row for the recording thread, then the span.
+  ASSERT_EQ(events->size(), 2u);
+  const JsonValue& meta = events->items()[0];
+  EXPECT_EQ(meta.Get("name")->AsString(), "thread_name");
+  EXPECT_EQ(meta.Get("ph")->AsString(), "M");
+  ASSERT_NE(meta.Get("args"), nullptr);
+  EXPECT_FALSE(meta.Get("args")->Get("name")->AsString().empty());
+  const JsonValue& ev = events->items()[1];
   EXPECT_EQ(ev.Get("name")->AsString(), "phase.test");
   EXPECT_EQ(ev.Get("ph")->AsString(), "X");
   EXPECT_GT(ev.Get("dur")->AsDouble(), 0.0);
   EXPECT_EQ(ev.Get("args")->Get("items")->AsString(), "3");
+  // The span's tid matches its metadata row's tid.
+  EXPECT_EQ(ev.Get("tid")->AsDouble(), meta.Get("tid")->AsDouble());
 }
 
 TEST(SpanTest, DisabledTracerRecordsNothing) {
@@ -296,16 +304,23 @@ TEST(ArtifactsTest, ExperimentCellProducesAcceptanceMetrics) {
   bool saw_cell = false;
   bool saw_revert = false;
   bool saw_slice = false;
+  bool saw_thread_meta = false;
   for (const JsonValue& ev : events->items()) {
     const std::string& name = ev.Get("name")->AsString();
+    const std::string& ph = ev.Get("ph")->AsString();
+    if (ph == "M") {
+      saw_thread_meta |= name == "thread_name";
+      continue;
+    }
     saw_cell |= name == "harness.cell";
     saw_revert |= name == "reactor.revert";
     saw_slice |= name == "reactor.slice";
-    EXPECT_EQ(ev.Get("ph")->AsString(), "X");
+    EXPECT_EQ(ph, "X");
   }
   EXPECT_TRUE(saw_cell);
   EXPECT_TRUE(saw_revert);
   EXPECT_TRUE(saw_slice);
+  EXPECT_TRUE(saw_thread_meta);
 
   // The text summary renders without dying and mentions the histograms.
   const std::string summary = RenderMetricsSummary();

@@ -84,6 +84,56 @@ TEST(ReactorServerTest, ServesPlansFromIngestedTrace) {
   EXPECT_EQ(server.requests_served(), 1);
 }
 
+TEST(ReactorServerTest, ExplainListsEveryCandidateWithReason) {
+  MemcachedMini mc;
+  CheckpointLog log(mc.pool());
+  mc.ArmFault(FaultId::kF2FlushAllLogic);
+  ASSERT_TRUE(mc.Handle(Put("a", "1")).status.ok());
+  Request flush;
+  flush.op = Request::Op::kFlushAll;
+  flush.int_arg = 600;
+  ASSERT_TRUE(mc.Handle(flush).status.ok());
+  Request get = {};
+  get.op = Request::Op::kGet;
+  get.key = "a";
+  get.must_exist = true;
+  mc.Handle(get);
+  ASSERT_TRUE(mc.last_fault().has_value());
+
+  ReactorServer server(mc.ir_model(), mc.guid_registry());
+  ASSERT_TRUE(server.IngestTrace(mc.tracer().Serialize()).ok());
+  MitigationRequest request;
+  request.fault = *mc.last_fault();
+
+  ExplainResponse explain = server.Explain(request, log);
+  ASSERT_FALSE(explain.candidates.empty());
+  for (size_t i = 0; i < explain.candidates.size(); i++) {
+    const CandidateDecision& d = explain.candidates[i];
+    EXPECT_EQ(d.rank, i);
+    EXPECT_FALSE(d.reason.empty());
+    // At plan time a candidate is accepted iff its version is still
+    // locatable in the checkpoint ring.
+    EXPECT_EQ(d.accepted, log.LocateSeq(d.seq).has_value());
+  }
+  // The top candidate sits at the fault address and says so.
+  auto located = log.LocateSeq(explain.candidates.front().seq);
+  ASSERT_TRUE(located.has_value());
+  EXPECT_EQ(located->first, request.fault.fault_address);
+  EXPECT_EQ(explain.candidates.front().reason, "at_fault_address");
+
+  // Wire round-trip preserves every decision.
+  auto parsed = ExplainResponse::Parse(explain.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->candidates.size(), explain.candidates.size());
+  for (size_t i = 0; i < explain.candidates.size(); i++) {
+    EXPECT_EQ(parsed->candidates[i].seq, explain.candidates[i].seq);
+    EXPECT_EQ(parsed->candidates[i].rank, explain.candidates[i].rank);
+    EXPECT_EQ(parsed->candidates[i].accepted, explain.candidates[i].accepted);
+    EXPECT_EQ(parsed->candidates[i].reason, explain.candidates[i].reason);
+  }
+  EXPECT_FALSE(ExplainResponse::Parse("one two").ok());
+}
+
 TEST(ReactorServerTest, PdgIsReusedAcrossRequests) {
   MemcachedMini mc;
   CheckpointLog log(mc.pool());
