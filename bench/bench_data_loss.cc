@@ -16,6 +16,7 @@
 #include "harness/experiment.h"
 #include "harness/table.h"
 #include "harness/artifacts.h"
+#include "harness/timeline_scenario.h"
 #include "obs/forensics.h"
 
 int main(int argc, char** argv) {
@@ -73,6 +74,31 @@ int main(int argc, char** argv) {
   // write the full report.
   if (auto forensics = obs::LatestForensics(); forensics.has_value()) {
     std::fprintf(stderr, "forensics: %s\n", forensics->summary.c_str());
+  }
+  // Recovery-timeline artifact (--timeline-json / --obs-prefix): one
+  // recovering Arthas cell under live sampling — the `--fault` filter picks
+  // the cell, defaulting to f1. Stdout above stays byte-identical.
+  if (!obs_artifacts.timeline_path().empty()) {
+    TimelineScenarioConfig scenario;
+    if (fault_filter != nullptr) {
+      for (const FaultDescriptor& d : AllFaults()) {
+        if (std::strcmp(d.label, fault_filter) == 0) {
+          scenario.fault = d.id;
+        }
+      }
+    }
+    const TimelineScenarioOutcome t = RunTimelineScenario(scenario);
+    std::fprintf(stderr,
+                 "timeline: %s/Arthas recovered=%s time-to-detect=%.3f ms "
+                 "time-to-recover=%.3f ms\n",
+                 DescriptorFor(scenario.fault).label,
+                 t.result.recovered ? "yes" : "no",
+                 t.report.time_to_detect_ns < 0
+                     ? -1.0
+                     : static_cast<double>(t.report.time_to_detect_ns) / 1e6,
+                 t.report.time_to_recover_ns < 0
+                     ? -1.0
+                     : static_cast<double>(t.report.time_to_recover_ns) / 1e6);
   }
   return 0;
 }

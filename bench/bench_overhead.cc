@@ -44,6 +44,7 @@
 #include "harness/table.h"
 #include "obs/flight_recorder.h"
 #include "obs/json.h"
+#include "obs/timeseries.h"
 #include "systems/cceh.h"
 #include "systems/memcached_mini.h"
 #include "systems/pelikan_mini.h"
@@ -436,6 +437,56 @@ int RunRecorderOverhead(int repeat) {
   std::printf("A slowdown of 1.000 means free; the recorder budget is a few "
               "percent (see bench/perf_baseline.json).\n");
 
+  // Telemetry sampler overhead, measured the same interleaved way. The
+  // sampler runs at 1 ms here — 10x its production default — so the gated
+  // ratio is a conservative bound on what `--timeline-json` runs cost the
+  // workload (one registry snapshot + probe sweep per tick, all off the
+  // request path).
+  obs::TelemetrySampler& sampler = obs::TelemetrySampler::Global();
+  sampler.Stop();
+  sampler.Reset();
+  obs::SamplerOptions sampler_options;
+  sampler_options.interval_ns = 1'000'000;  // 1 ms
+  sampler.Configure(sampler_options);
+
+  TextTable sampler_table({"System", "Sampler off (op/s)", "Sampler on",
+                           "on/off slowdown"});
+  obs::JsonValue sampler_systems = obs::JsonValue::Array();
+  double sampler_worst_ratio = 0;
+  for (const SystemSpec& spec : systems) {
+    std::fprintf(stderr, "measuring %s (telemetry sampler on/off)...\n",
+                 spec.name.c_str());
+    double off = 0;
+    double on = 0;
+    for (int r = 0; r < repeat; r++) {
+      sampler.Stop();
+      off = std::max(
+          off, MeasureThroughput(spec.factory, Mode::kArthas, spec.ycsb_mix));
+      sampler.Start();
+      on = std::max(
+          on, MeasureThroughput(spec.factory, Mode::kArthas, spec.ycsb_mix));
+    }
+    sampler.Stop();
+    const double ratio = on > 0 ? off / on : 0;
+    sampler_worst_ratio = std::max(sampler_worst_ratio, ratio);
+    char o[32], n[32], ra[32];
+    std::snprintf(o, sizeof(o), "%.0fK", off / 1000);
+    std::snprintf(n, sizeof(n), "%.0fK", on / 1000);
+    std::snprintf(ra, sizeof(ra), "%.3f", ratio);
+    sampler_table.AddRow({spec.name, o, n, ra});
+
+    obs::JsonValue row = obs::JsonValue::Object();
+    row.Set("name", obs::JsonValue(spec.name));
+    row.Set("sampler_off_ops_per_sec", obs::JsonValue(off));
+    row.Set("sampler_on_ops_per_sec", obs::JsonValue(on));
+    row.Set("on_off_ratio", obs::JsonValue(ratio));
+    sampler_systems.Append(std::move(row));
+  }
+  sampler.Reset();
+  std::printf("Telemetry sampler overhead (1 ms interval, single-threaded "
+              "Arthas mode, %d ops, best of %d)\n%s\n",
+              kOps, repeat, sampler_table.Render().c_str());
+
   obs::JsonValue doc = obs::JsonValue::Object();
   doc.Set("bench", obs::JsonValue("overhead"));
   doc.Set("mode", obs::JsonValue("recorder_overhead"));
@@ -444,6 +495,12 @@ int RunRecorderOverhead(int repeat) {
   recorder_json.Set("worst_on_off_ratio", obs::JsonValue(worst_ratio));
   recorder_json.Set("systems", std::move(json_systems));
   doc.Set("recorder", std::move(recorder_json));
+  obs::JsonValue sampler_json = obs::JsonValue::Object();
+  sampler_json.Set("interval_ns",
+                   obs::JsonValue(sampler_options.interval_ns));
+  sampler_json.Set("worst_on_off_ratio", obs::JsonValue(sampler_worst_ratio));
+  sampler_json.Set("systems", std::move(sampler_systems));
+  doc.Set("sampler", std::move(sampler_json));
   WriteArtifact(doc);
   return 0;
 }

@@ -13,10 +13,11 @@ a >25% ratio regression means the rewritten structures themselves got
 slower, not that the runner was busy.
 
 With --recorder, the input is instead a BENCH_overhead.json produced by
-`bench_overhead --recorder-overhead`, and the gated quantity is the worst
-per-system flight-recorder on/off throughput slowdown, bounded by the
-absolute ceiling in the baseline's "recorder" section. The on/off quotient
-is measured in one process on one machine, so no cross-machine
+`bench_overhead --recorder-overhead`, and the gated quantities are the
+worst per-system flight-recorder on/off throughput slowdown ("recorder"
+section) and the worst telemetry-sampler on/off slowdown ("sampler"
+section), each bounded by the absolute ceiling in the baseline. The on/off
+quotients are measured in one process on one machine, so no cross-machine
 normalization is needed.
 
 Usage: check_perf_baseline.py [BENCH_hotpath.json] [bench/perf_baseline.json]
@@ -29,34 +30,43 @@ import sys
 TOLERANCE = 0.25
 
 
+def check_on_off_section(label: str, section, baseline) -> int:
+    worst = section["worst_on_off_ratio"]
+    limit = baseline["max_on_off_ratio"]
+    for system in section["systems"]:
+        print(
+            f"  {system['name']}: {label} on/off slowdown "
+            f"{system['on_off_ratio']:.3f}"
+        )
+    print(f"{label} worst on/off slowdown: {worst:.3f}, limit {limit:.3f}")
+    if worst > limit:
+        print(
+            f"FAIL: enabling the {label} costs more throughput than "
+            "the budget in bench/perf_baseline.json"
+        )
+        return 1
+    print(f"OK: {label} within budget")
+    return 0
+
+
 def check_recorder(measured_path: str, baseline_path: str) -> int:
     with open(measured_path) as f:
         measured = json.load(f)
     with open(baseline_path) as f:
-        baseline = json.load(f)["recorder"]
+        baseline = json.load(f)
     if measured.get("mode") != "recorder_overhead":
         print(f"FAIL: {measured_path} is not a --recorder-overhead artifact")
         return 1
-    recorder = measured["recorder"]
-    worst = recorder["worst_on_off_ratio"]
-    limit = baseline["max_on_off_ratio"]
-    for system in recorder["systems"]:
-        print(
-            f"  {system['name']}: recorder on/off slowdown "
-            f"{system['on_off_ratio']:.3f}"
-        )
-    print(
-        f"flight recorder worst on/off slowdown: {worst:.3f}, "
-        f"limit {limit:.3f}"
-    )
-    if worst > limit:
-        print(
-            "FAIL: enabling the flight recorder costs more throughput than "
-            "the budget in bench/perf_baseline.json"
-        )
+    status = check_on_off_section(
+        "flight recorder", measured["recorder"], baseline["recorder"])
+    # Older artifacts predate the sampler section; the baseline does not,
+    # so a fresh artifact without it is a bench regression.
+    if "sampler" not in measured:
+        print(f"FAIL: {measured_path} has no sampler overhead section")
         return 1
-    print("OK: flight recorder within budget")
-    return 0
+    status |= check_on_off_section(
+        "telemetry sampler", measured["sampler"], baseline["sampler"])
+    return status
 
 
 def main() -> int:

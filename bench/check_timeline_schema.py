@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""CI validator for the recovery-timeline JSON artifact.
+
+Checks that a file produced by `--timeline-json` conforms to timeline
+schema version 1 (see src/obs/timeseries.h and DESIGN.md section 4f):
+
+  * every required key is present with the right JSON type, including the
+    per-series and per-marker layouts;
+  * timestamps inside every series are strictly non-decreasing (the
+    sampler appends in tick order and the ring export rotates oldest
+    first, so a decrease means a broken export);
+  * the analysis phase markers are ordered
+    fault_injected <= detector_fired and fault_injected <= recovered,
+    matching the paper's detect-then-revert-then-recover timeline.
+
+Exits 1 with a path-qualified message on the first violation.
+
+Usage: check_timeline_schema.py [timeline.json] [--require-recovery]
+
+With --require-recovery the artifact must also report a complete recovery
+(non-null time_to_detect_ns and time_to_recover_ns), which is what the CI
+smoke job demands of the default f1/Arthas cell.
+"""
+
+import json
+import sys
+
+NUMBER = (int, float)
+
+
+class SchemaError(Exception):
+    pass
+
+
+def expect(cond: bool, path: str, message: str) -> None:
+    if not cond:
+        raise SchemaError(f"{path}: {message}")
+
+
+def check_keys(obj, path: str, fields: dict) -> None:
+    expect(isinstance(obj, dict), path, f"expected object, got {type(obj).__name__}")
+    for key, types in fields.items():
+        expect(key in obj, path, f"missing required key '{key}'")
+        expect(
+            isinstance(obj[key], types) and not (
+                types is not bool and isinstance(obj[key], bool) and bool not in (
+                    types if isinstance(types, tuple) else (types,))),
+            f"{path}.{key}",
+            f"expected {types}, got {type(obj[key]).__name__}",
+        )
+
+
+def check_nullable_number(obj, path: str, key: str) -> None:
+    expect(key in obj, path, f"missing required key '{key}'")
+    value = obj[key]
+    expect(value is None or (isinstance(value, NUMBER) and not isinstance(value, bool)),
+           f"{path}.{key}", f"expected number or null, got {type(value).__name__}")
+
+
+def check_timeline(doc) -> None:
+    check_keys(doc, "$", {
+        "schema_version": NUMBER,
+        "interval_ns": NUMBER,
+        "start_ns": NUMBER,
+        "samples": NUMBER,
+        "series": list,
+        "markers": list,
+        "analysis": dict,
+        "throughput_series": str,
+    })
+    expect(doc["schema_version"] == 1, "$.schema_version",
+           f"unsupported version {doc['schema_version']}")
+    for i, series in enumerate(doc["series"]):
+        path = f"$.series[{i}]"
+        check_keys(series, path, {
+            "name": str,
+            "kind": str,
+            "total_points": NUMBER,
+            "points": list,
+        })
+        expect(series["kind"] in ("counter", "gauge", "probe"),
+               f"{path}.kind", f"unknown series kind '{series['kind']}'")
+        expect(series["total_points"] >= len(series["points"]),
+               f"{path}.total_points", "fewer total points than exported points")
+        last_t = None
+        for j, point in enumerate(series["points"]):
+            ppath = f"{path}.points[{j}]"
+            check_keys(point, ppath, {"t_ns": NUMBER, "v": NUMBER})
+            if last_t is not None:
+                expect(point["t_ns"] >= last_t, f"{ppath}.t_ns",
+                       f"timestamp went backwards ({point['t_ns']} < {last_t})")
+            last_t = point["t_ns"]
+    for i, marker in enumerate(doc["markers"]):
+        check_keys(marker, f"$.markers[{i}]", {"name": str, "t_ns": NUMBER})
+
+    analysis = doc["analysis"]
+    check_keys(analysis, "$.analysis", {"has_fault": bool})
+    for key in ("fault_injected_ns", "detector_fired_ns", "reversion_done_ns",
+                "throughput_collapse_ns", "throughput_floor_ns",
+                "throughput_recovered_ns", "time_to_detect_ns",
+                "time_to_recover_ns"):
+        check_nullable_number(analysis, "$.analysis", key)
+    check_keys(analysis, "$.analysis", {
+        "pre_fault_rate_ops_per_sec": NUMBER,
+        "floor_rate_ops_per_sec": NUMBER,
+    })
+    fault = analysis["fault_injected_ns"]
+    detect = analysis["detector_fired_ns"]
+    recovered = analysis["throughput_recovered_ns"]
+    if detect is not None:
+        expect(fault is not None, "$.analysis.detector_fired_ns",
+               "detection without a fault_injected marker")
+        expect(fault <= detect, "$.analysis",
+               f"detector fired before the fault ({detect} < {fault})")
+    if recovered is not None:
+        expect(fault is not None, "$.analysis.throughput_recovered_ns",
+               "recovery without a fault_injected marker")
+        expect(fault <= recovered, "$.analysis",
+               f"recovery before the fault ({recovered} < {fault})")
+
+
+def main() -> int:
+    args = [a for a in sys.argv[1:] if a != "--require-recovery"]
+    require_recovery = "--require-recovery" in sys.argv[1:]
+    path = args[0] if args else "timeline.json"
+    with open(path) as f:
+        doc = json.load(f)
+    try:
+        check_timeline(doc)
+    except SchemaError as e:
+        print(f"FAIL: {path} does not match timeline schema v1: {e}")
+        return 1
+    analysis = doc["analysis"]
+    if require_recovery:
+        if not analysis["has_fault"]:
+            print(f"FAIL: {path} is schema-valid but saw no fault")
+            return 1
+        if analysis["time_to_detect_ns"] is None or \
+                analysis["time_to_recover_ns"] is None:
+            print(f"FAIL: {path} is schema-valid but the recovery is "
+                  f"incomplete (time_to_detect_ns="
+                  f"{analysis['time_to_detect_ns']}, time_to_recover_ns="
+                  f"{analysis['time_to_recover_ns']})")
+            return 1
+    ttd = analysis["time_to_detect_ns"]
+    ttr = analysis["time_to_recover_ns"]
+    print(
+        f"OK: {path} matches timeline schema v1 "
+        f"({len(doc['series'])} series, {int(doc['samples'])} samples, "
+        f"time-to-detect="
+        f"{'null' if ttd is None else f'{ttd / 1e6:.3f} ms'}, "
+        f"time-to-recover="
+        f"{'null' if ttr is None else f'{ttr / 1e6:.3f} ms'})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

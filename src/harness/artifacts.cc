@@ -9,6 +9,7 @@
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "obs/timeseries.h"
 
 namespace arthas {
 
@@ -83,6 +84,7 @@ std::string MetricsArtifactJson() {
 }
 
 ObsArtifactWriter::ObsArtifactWriter(int argc, char** argv) {
+  std::string prefix;
   for (int i = 1; i + 1 < argc; i++) {
     if (std::strcmp(argv[i], "--metrics-json") == 0) {
       metrics_path_ = argv[++i];
@@ -94,6 +96,32 @@ ObsArtifactWriter::ObsArtifactWriter(int argc, char** argv) {
       forensics_json_path_ = argv[++i];
     } else if (std::strcmp(argv[i], "--forensics-text") == 0) {
       forensics_text_path_ = argv[++i];
+    } else if (std::strcmp(argv[i], "--timeline-json") == 0) {
+      timeline_path_ = argv[++i];
+    } else if (std::strcmp(argv[i], "--obs-prefix") == 0) {
+      prefix = argv[++i];
+    }
+  }
+  if (!prefix.empty()) {
+    // The convenience spelling: one DIR/stem derives every artifact path.
+    // Explicit per-artifact flags keep priority regardless of flag order.
+    if (metrics_path_.empty()) {
+      metrics_path_ = prefix + ".metrics.json";
+    }
+    if (trace_path_.empty()) {
+      trace_path_ = prefix + ".trace.json";
+    }
+    if (summary_path_.empty()) {
+      summary_path_ = prefix + ".summary.txt";
+    }
+    if (forensics_json_path_.empty()) {
+      forensics_json_path_ = prefix + ".forensics.json";
+    }
+    if (forensics_text_path_.empty()) {
+      forensics_text_path_ = prefix + ".forensics.txt";
+    }
+    if (timeline_path_.empty()) {
+      timeline_path_ = prefix + ".timeline.json";
     }
   }
 }
@@ -133,6 +161,11 @@ Status ObsArtifactWriter::WriteNow() const {
       ARTHAS_RETURN_IF_ERROR(
           WriteFile(forensics_text_path_, report.ToText()));
     }
+  }
+  if (!timeline_path_.empty()) {
+    ARTHAS_RETURN_IF_ERROR(WriteFile(
+        timeline_path_,
+        obs::TimelineArtifactJson(obs::TelemetrySampler::Global()).Dump()));
   }
   return OkStatus();
 }

@@ -6,6 +6,12 @@
 //   --metrics-summary <path> flat text summary (spans + latency percentiles)
 //   --forensics-json <path>  latest crash-forensics report as JSON
 //   --forensics-text <path>  the same report as a human-readable narrative
+//   --timeline-json <path>   telemetry-sampler series + recovery timeline
+//   --obs-prefix <dir/stem>  derives every artifact path at once:
+//                            <stem>.metrics.json, <stem>.trace.json,
+//                            <stem>.summary.txt, <stem>.forensics.json,
+//                            <stem>.forensics.txt, <stem>.timeline.json
+//                            (an explicit per-artifact flag still overrides)
 // and writes them when the ObsArtifactWriter goes out of scope in main().
 //
 // The experiment harness appends one CellRecord per (fault, solution) cell
@@ -63,6 +69,7 @@ class ObsArtifactWriter {
 
   const std::string& metrics_path() const { return metrics_path_; }
   const std::string& trace_path() const { return trace_path_; }
+  const std::string& timeline_path() const { return timeline_path_; }
 
  private:
   std::string metrics_path_;
@@ -70,6 +77,7 @@ class ObsArtifactWriter {
   std::string summary_path_;
   std::string forensics_json_path_;
   std::string forensics_text_path_;
+  std::string timeline_path_;
 };
 
 }  // namespace arthas

@@ -9,6 +9,7 @@
 #include "obs/forensics.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "obs/timeseries.h"
 #include "systems/cceh.h"
 #include "systems/memcached_mini.h"
 #include "systems/pelikan_mini.h"
@@ -456,10 +457,17 @@ void FaultExperiment::BuildScript() {
   assert(false && "unhandled fault id");
 }
 
-void FaultExperiment::WorkloadStep() { workload_op_(); }
+void FaultExperiment::WorkloadStep() {
+  workload_op_();
+  // The live-telemetry throughput series: the sampler scrapes this counter
+  // into per-tick deltas, which is the recovery curve the TimelineAnalyzer
+  // reads (throughput_series = "harness.op.count").
+  ARTHAS_COUNTER_ADD("harness.op.count", 1);
+}
 
 void FaultExperiment::ApplyTrigger() {
   RecordFaultInjection(DescriptorFor(config_.fault));
+  ARTHAS_TIMELINE_MARK("fault_injected");
   trigger_();
   triggered_ = true;
 }
@@ -591,6 +599,30 @@ ExperimentResult FaultExperiment::RunInner() {
         std::make_unique<PmCriu>(system_->pool().device(), config_.pmcriu);
   }
 
+  // Live-telemetry probes, evaluated on the sampler thread each tick. Both
+  // read lock-free / latch-protected state, so they are safe against the
+  // single-threaded experiment loop. The RAII guard unregisters them on
+  // every exit path (after UnregisterProbe returns, the sampler never
+  // calls the lambdas again, so the captured pointers cannot dangle).
+  struct ProbeGuard {
+    obs::ProbeId pending = obs::kNoProbe;
+    obs::ProbeId fault = obs::kNoProbe;
+    ~ProbeGuard() {
+      ARTHAS_TELEMETRY_UNPROBE(pending);
+      ARTHAS_TELEMETRY_UNPROBE(fault);
+    }
+  } probes;
+  probes.pending = ARTHAS_TELEMETRY_PROBE(
+      "harness.pending.lines", obs::ProbeKind::kGauge,
+      [device = &system_->pool().device()] {
+        return static_cast<double>(device->PendingLineCount());
+      });
+  probes.fault = ARTHAS_TELEMETRY_PROBE(
+      "harness.fault.latched", obs::ProbeKind::kGauge,
+      [system = system_.get()] {
+        return system->last_fault().has_value() ? 1.0 : 0.0;
+      });
+
   // --- Run the workload; trigger half-way; detect the failure. ---------------
   std::optional<FaultInfo> first_fault;
   while (clock_.Now() < config_.run_duration) {
@@ -616,12 +648,18 @@ ExperimentResult FaultExperiment::RunInner() {
       auto leak = detector_.CheckPmUsage(system_->pool(), leak_guid_);
       if (leak.has_value()) {
         first_fault = leak;
+        if (!triggered_) {
+          ARTHAS_TIMELINE_MARK("fault_injected");  // manifested on its own
+        }
         result.triggered = true;
         break;
       }
     }
     if (system_->last_fault().has_value()) {
       first_fault = system_->last_fault();
+      if (!triggered_) {
+        ARTHAS_TIMELINE_MARK("fault_injected");  // manifested on its own
+      }
       result.triggered = true;  // natural faults count as triggered
       break;
     }
@@ -640,6 +678,7 @@ ExperimentResult FaultExperiment::RunInner() {
   // Detection + hard-failure confirmation: the symptom must recur across a
   // restart with a similar fingerprint (Section 4.3).
   (void)detector_.Observe(first_fault);
+  ARTHAS_TIMELINE_MARK("detector_fired");
   result.detected = true;
   RunObservation confirm = Reexecute();
   if (detector_.Observe(confirm.fault) !=
@@ -705,6 +744,10 @@ ExperimentResult FaultExperiment::RunInner() {
     }
   }
 
+  if (result.recovered) {
+    ARTHAS_TIMELINE_MARK("reversion_done");
+  }
+
   result.items_after = system_->ItemCount();
   if (checkpoint_ != nullptr) {
     result.checkpoint_updates_discarded =
@@ -713,6 +756,18 @@ ExperimentResult FaultExperiment::RunInner() {
       result.discarded_fraction =
           static_cast<double>(result.checkpoint_updates_discarded) /
           static_cast<double>(result.checkpoint_updates_total);
+    }
+  }
+
+  if (result.recovered && config_.post_recovery_ops > 0) {
+    // Throughput-recovery tail for the live telemetry plane: keep serving
+    // the production workload so the sampler watches the rate climb back
+    // to (and sustain) the pre-fault level.
+    for (int i = 0; i < config_.post_recovery_ops &&
+                    !system_->last_fault().has_value();
+         i++) {
+      clock_.Advance(config_.op_interval);
+      WorkloadStep();
     }
   }
 

@@ -45,6 +45,11 @@ struct ExperimentConfig {
   // Run the post-recovery consistency evaluation (pool checks, stability
   // workload, value verification).
   bool evaluate_consistency = false;
+  // After a successful mitigation, run this many more workload ops (at
+  // op_interval virtual pacing). 0 = stop at mitigation like the paper's
+  // tables; the timeline benches set it so the live telemetry sampler can
+  // observe throughput *recovering*, not just collapsing.
+  int post_recovery_ops = 0;
 };
 
 struct ExperimentResult {

@@ -7,6 +7,7 @@
 
 #include "common/clock.h"
 #include "obs/obs.h"
+#include "obs/timeseries.h"
 
 namespace arthas {
 
@@ -28,13 +29,37 @@ MtDriverResult MultiThreadedDriver::Run() {
     states.push_back(std::make_unique<ThreadState>());
   }
 
+  // Live telemetry: cumulative ops and latency-sum across all client
+  // threads, published to the sampler as probes. Two relaxed fetch_adds per
+  // op — negligible against a microsecond-scale Handle(), and the series
+  // lets the Stats/Health endpoints (and the timeline artifact) watch a
+  // run's throughput while it happens, not just its end-of-run merge.
+  std::atomic<uint64_t> live_ops{0};
+  std::atomic<uint64_t> live_latency_sum_ns{0};
+  const obs::ProbeId ops_probe = ARTHAS_TELEMETRY_PROBE(
+      "driver.live.ops", obs::ProbeKind::kCounter,
+      [&live_ops] {
+        return static_cast<double>(live_ops.load(std::memory_order_relaxed));
+      });
+  const obs::ProbeId latency_probe = ARTHAS_TELEMETRY_PROBE(
+      "driver.live.latency.avg_ns", obs::ProbeKind::kGauge,
+      [&live_ops, &live_latency_sum_ns] {
+        const uint64_t ops = live_ops.load(std::memory_order_relaxed);
+        const uint64_t sum =
+            live_latency_sum_ns.load(std::memory_order_relaxed);
+        return ops == 0 ? 0.0
+                        : static_cast<double>(sum) / static_cast<double>(ops);
+      });
+  ARTHAS_TIMELINE_MARK("driver.run.start");
+
   // All threads spin at the start line until the clock starts, so the
   // measured window covers pure steady-state traffic, not thread spawn.
   std::atomic<bool> go{false};
   std::vector<std::thread> workers;
   workers.reserve(static_cast<size_t>(threads));
   for (int t = 0; t < threads; t++) {
-    workers.emplace_back([this, t, &go, state = states[t].get()] {
+    workers.emplace_back([this, t, &go, state = states[t].get(), &live_ops,
+                          &live_latency_sum_ns] {
       YcsbWorkload workload(config_.workload,
                             config_.base_seed + static_cast<uint64_t>(t));
       while (!go.load(std::memory_order_acquire)) {
@@ -52,9 +77,12 @@ MtDriverResult MultiThreadedDriver::Run() {
           RequestGuard guard(system_, request);
           system_.Handle(request);
         }
-        state->latency.Record(
-            static_cast<uint64_t>(MonotonicNanos() - op_start));
+        const uint64_t op_ns =
+            static_cast<uint64_t>(MonotonicNanos() - op_start);
+        state->latency.Record(op_ns);
         state->ops++;
+        live_ops.fetch_add(1, std::memory_order_relaxed);
+        live_latency_sum_ns.fetch_add(op_ns, std::memory_order_relaxed);
         // Off-CPU between operations: the closed-loop client's network
         // round-trip. Not part of the recorded op latency.
         if (config_.think_time.count() > 0) {
@@ -70,6 +98,12 @@ MtDriverResult MultiThreadedDriver::Run() {
     worker.join();
   }
   const int64_t elapsed = MonotonicNanos() - start;
+
+  ARTHAS_TIMELINE_MARK("driver.run.end");
+  // The probes capture stack locals: unregister before they go out of
+  // scope (UnregisterProbe blocks out any in-flight sampler tick).
+  ARTHAS_TELEMETRY_UNPROBE(ops_probe);
+  ARTHAS_TELEMETRY_UNPROBE(latency_probe);
 
   // A trailing maintenance request (e.g. a hashtable expansion triggered by
   // the last insert) must not be left pending: drain it so sharded runs end

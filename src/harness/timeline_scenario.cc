@@ -1,0 +1,44 @@
+#include "harness/timeline_scenario.h"
+
+#include <chrono>
+#include <thread>
+
+namespace arthas {
+
+TimelineScenarioOutcome RunTimelineScenario(
+    const TimelineScenarioConfig& config) {
+  obs::TelemetrySampler& sampler = obs::TelemetrySampler::Global();
+  sampler.Stop();
+  sampler.Reset();
+  obs::SamplerOptions options;
+  options.interval_ns = config.sampler_interval_ns;
+  sampler.Configure(options);
+  sampler.Start();
+  // Wait for the sampler thread to actually tick before the cell starts:
+  // thread spawn plus the first registry snapshot (which copies every
+  // histogram the preceding bench cells accumulated) can cost multiple
+  // milliseconds cold — long enough to swallow the whole pre-fault phase
+  // and leave the analyzer without a throughput baseline.
+  const auto warmup_deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(200);
+  while (sampler.samples_taken() < 3 &&
+         std::chrono::steady_clock::now() < warmup_deadline) {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+
+  ExperimentConfig cell;
+  cell.fault = config.fault;
+  cell.solution = config.solution;
+  cell.seed = config.seed;
+  cell.post_recovery_ops = config.post_recovery_ops;
+  FaultExperiment experiment(cell);
+
+  TimelineScenarioOutcome outcome;
+  outcome.result = experiment.Run();
+
+  sampler.Stop();
+  outcome.report = obs::TimelineAnalyzer().Analyze(sampler);
+  return outcome;
+}
+
+}  // namespace arthas

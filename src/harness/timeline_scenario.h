@@ -1,0 +1,50 @@
+// The live-telemetry timeline scenario behind `--timeline-json`.
+//
+// The paper's central evaluation claim (Section 6 recovery figures) is a
+// *timeline*: throughput collapses when a hard fault fires, the detector
+// notices, the reactor reverts, and throughput recovers within seconds.
+// This helper runs one (fault, solution) cell under the global
+// TelemetrySampler — resetting and starting it around the cell, with a
+// post-recovery workload tail so the sampler actually sees throughput
+// return — and hands back the analyzed TimelineReport. bench_recovery and
+// bench_data_loss call it when --timeline-json (or --obs-prefix) is given;
+// the ObsArtifactWriter then exports the sampler's series, markers, and
+// the derived time_to_detect_ns / time_to_recover_ns as the artifact.
+
+#ifndef ARTHAS_HARNESS_TIMELINE_SCENARIO_H_
+#define ARTHAS_HARNESS_TIMELINE_SCENARIO_H_
+
+#include "harness/experiment.h"
+#include "obs/timeseries.h"
+
+namespace arthas {
+
+struct TimelineScenarioConfig {
+  FaultId fault = FaultId::kF1RefcountOverflow;
+  Solution solution = Solution::kArthas;
+  uint64_t seed = 42;
+  // The virtual-clock harness compresses a 5-minute run into tens of real
+  // milliseconds, so the sampler ticks much faster than its 10 ms default
+  // to give the analyzer enough pre-fault and post-recovery rate samples.
+  int64_t sampler_interval_ns = 200 * 1000;  // 200 us
+  // Workload ops run after a successful mitigation (the recovery tail).
+  // Sized so the tail spans well over sustain_samples sampler ticks even
+  // for cells whose fault fires early (f3 latches within the first
+  // thousand ops, leaving the tail as almost the whole sampled window).
+  int post_recovery_ops = 20000;
+};
+
+struct TimelineScenarioOutcome {
+  ExperimentResult result;
+  obs::TimelineReport report;
+};
+
+// Runs the cell under live sampling. On return the global sampler is
+// stopped but still holds the scenario's series and markers (for the
+// artifact writer); any series it held before are dropped.
+TimelineScenarioOutcome RunTimelineScenario(
+    const TimelineScenarioConfig& config = {});
+
+}  // namespace arthas
+
+#endif  // ARTHAS_HARNESS_TIMELINE_SCENARIO_H_

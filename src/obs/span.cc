@@ -126,8 +126,22 @@ void SpanTracer::Clear() {
 std::string SpanTracer::ExportChromeJson() const {
   const std::vector<SpanEvent> events = Snapshot();
   JsonValue trace_events = JsonValue::Array();
-  // One thread_name metadata row per recording thread, so the viewer
-  // labels each merged buffer's track instead of showing bare numbers.
+  // Exactly one process_name metadata row, whatever the thread count — a
+  // duplicate would make the viewer render duplicate process groups.
+  {
+    JsonValue meta = JsonValue::Object();
+    meta.Set("name", JsonValue("process_name"));
+    meta.Set("ph", JsonValue("M"));
+    meta.Set("pid", JsonValue(int64_t{1}));
+    meta.Set("tid", JsonValue(int64_t{0}));
+    JsonValue args = JsonValue::Object();
+    args.Set("name", JsonValue("arthas"));
+    meta.Set("args", std::move(args));
+    trace_events.Append(std::move(meta));
+  }
+  // One thread_name metadata row per thread that actually recorded an
+  // event (tids are collected from the events themselves, so idle
+  // registered buffers never produce an unlabeled empty track).
   std::set<uint32_t> tids;
   for (const SpanEvent& e : events) {
     tids.insert(e.tid);

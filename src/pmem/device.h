@@ -174,6 +174,24 @@ class PmemDevice {
   // that obligation — the live image is plain memory).
   bool IsDurable(PmOffset offset, size_t size) const;
 
+  // Number of cache lines currently flushed but not yet drained. Lock-free
+  // (relaxed scan of the staging bitmap between the watermarks), so the
+  // count is approximate under concurrent flush/drain traffic — intended
+  // for telemetry probes, not invariants.
+  uint64_t PendingLineCount() const {
+    const uint64_t lo = pending_lo_.load(std::memory_order_relaxed);
+    const uint64_t hi = pending_hi_.load(std::memory_order_relaxed);
+    if (lo > hi) {
+      return 0;
+    }
+    uint64_t count = 0;
+    for (uint64_t w = lo; w <= hi && w < num_pending_words_; w++) {
+      count += static_cast<uint64_t>(__builtin_popcountll(
+          pending_words_[w].load(std::memory_order_relaxed)));
+    }
+    return count;
+  }
+
  private:
   // Locks every stripe covering [offset, offset+size) in ascending stripe
   // order (the deadlock-free total order); unlocks in reverse. A default-

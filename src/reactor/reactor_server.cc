@@ -80,6 +80,115 @@ Result<ExplainResponse> ExplainResponse::Parse(const std::string& text) {
   return response;
 }
 
+std::string StatsRequest::Serialize() const {
+  std::ostringstream out;
+  out << (prefix.empty() ? "-" : prefix) << ' ' << tail_points;
+  return out.str();
+}
+
+Result<StatsRequest> StatsRequest::Parse(const std::string& text) {
+  std::istringstream in(text);
+  StatsRequest request;
+  if (!(in >> request.prefix >> request.tail_points)) {
+    return Status(StatusCode::kInvalidArgument, "malformed stats request");
+  }
+  if (request.prefix == "-") {
+    request.prefix.clear();
+  }
+  return request;
+}
+
+std::string StatsResponse::Serialize() const {
+  std::ostringstream out;
+  out.precision(17);
+  out << requests_served << ' ' << (sampler_running ? 1 : 0) << ' '
+      << samples_taken << ' ' << series.size();
+  for (const obs::SeriesSnapshot& s : series) {
+    out << ' ' << s.name << ' ' << s.kind << ' ' << s.total_points << ' '
+        << s.points.size();
+    for (const obs::TimelinePoint& p : s.points) {
+      out << ' ' << p.t_ns << ' ' << p.value;
+    }
+  }
+  return out.str();
+}
+
+Result<StatsResponse> StatsResponse::Parse(const std::string& text) {
+  std::istringstream in(text);
+  StatsResponse response;
+  int running = 0;
+  size_t nseries = 0;
+  if (!(in >> response.requests_served >> running >>
+        response.samples_taken >> nseries)) {
+    return Status(StatusCode::kInvalidArgument, "malformed stats response");
+  }
+  response.sampler_running = running != 0;
+  for (size_t i = 0; i < nseries; i++) {
+    obs::SeriesSnapshot s;
+    size_t npoints = 0;
+    if (!(in >> s.name >> s.kind >> s.total_points >> npoints)) {
+      return Status(StatusCode::kInvalidArgument, "malformed stats series");
+    }
+    for (size_t j = 0; j < npoints; j++) {
+      obs::TimelinePoint p;
+      if (!(in >> p.t_ns >> p.value)) {
+        return Status(StatusCode::kInvalidArgument, "malformed stats point");
+      }
+      s.points.push_back(p);
+    }
+    response.series.push_back(std::move(s));
+  }
+  return response;
+}
+
+std::string HealthRequest::Serialize() const { return throughput_series; }
+
+Result<HealthRequest> HealthRequest::Parse(const std::string& text) {
+  std::istringstream in(text);
+  HealthRequest request;
+  if (!(in >> request.throughput_series)) {
+    return Status(StatusCode::kInvalidArgument, "malformed health request");
+  }
+  return request;
+}
+
+const char* HealthVerdictName(HealthVerdict verdict) {
+  switch (verdict) {
+    case HealthVerdict::kHealthy:
+      return "healthy";
+    case HealthVerdict::kRecovering:
+      return "recovering";
+    case HealthVerdict::kDegraded:
+      return "degraded";
+  }
+  return "?";
+}
+
+std::string HealthResponse::Serialize() const {
+  std::ostringstream out;
+  out.precision(17);
+  out << static_cast<int>(verdict) << ' ' << (sampler_running ? 1 : 0) << ' '
+      << (has_fault ? 1 : 0) << ' ' << time_to_detect_ns << ' '
+      << time_to_recover_ns << ' ' << pre_fault_rate_ops_per_sec;
+  return out.str();
+}
+
+Result<HealthResponse> HealthResponse::Parse(const std::string& text) {
+  std::istringstream in(text);
+  HealthResponse response;
+  int verdict = 0;
+  int running = 0;
+  int has_fault = 0;
+  if (!(in >> verdict >> running >> has_fault >> response.time_to_detect_ns >>
+        response.time_to_recover_ns >> response.pre_fault_rate_ops_per_sec)) {
+    return Status(StatusCode::kInvalidArgument, "malformed health response");
+  }
+  response.verdict = static_cast<HealthVerdict>(verdict);
+  response.sampler_running = running != 0;
+  response.has_fault = has_fault != 0;
+  return response;
+}
+
 ReactorServer::ReactorServer(const IrModule& model,
                              const GuidRegistry& registry)
     : reactor_(std::make_unique<Reactor>(model, registry)) {}
@@ -109,6 +218,45 @@ ExplainResponse ReactorServer::Explain(const MitigationRequest& request,
   (void)reactor_->ComputeReversionPlan(request.fault, trace_copy_, log,
                                        request.config, &response.candidates);
   requests_served_++;
+  return response;
+}
+
+StatsResponse ReactorServer::Stats(const StatsRequest& request) {
+  ARTHAS_COUNTER_ADD("reactor_server.request.count", 1);
+  requests_served_++;
+  const obs::TelemetrySampler& sampler = obs::TelemetrySampler::Global();
+  StatsResponse response;
+  response.requests_served = requests_served_;
+  response.sampler_running = sampler.running();
+  response.samples_taken = sampler.samples_taken();
+  response.series = sampler.Tail(request.tail_points, request.prefix);
+  return response;
+}
+
+HealthResponse ReactorServer::Health(const HealthRequest& request) {
+  ARTHAS_COUNTER_ADD("reactor_server.request.count", 1);
+  requests_served_++;
+  const obs::TelemetrySampler& sampler = obs::TelemetrySampler::Global();
+  obs::TimelineAnalyzerConfig config;
+  config.throughput_series = request.throughput_series;
+  const obs::TimelineReport report =
+      obs::TimelineAnalyzer(config).Analyze(sampler);
+
+  HealthResponse response;
+  response.sampler_running = sampler.running();
+  response.has_fault = report.has_fault;
+  response.time_to_detect_ns = report.time_to_detect_ns;
+  response.time_to_recover_ns = report.time_to_recover_ns;
+  response.pre_fault_rate_ops_per_sec = report.pre_fault_rate_ops_per_sec;
+  if (!report.has_fault || report.throughput_recovered_ns >= 0) {
+    // No fault in the sampling window, or throughput is back at the
+    // pre-fault rate: the system serves traffic normally.
+    response.verdict = HealthVerdict::kHealthy;
+  } else if (report.detector_fired_ns >= 0 || report.reversion_done_ns >= 0) {
+    response.verdict = HealthVerdict::kRecovering;
+  } else {
+    response.verdict = HealthVerdict::kDegraded;
+  }
   return response;
 }
 

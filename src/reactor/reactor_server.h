@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/timeseries.h"
 #include "reactor/reactor.h"
 
 namespace arthas {
@@ -57,6 +58,62 @@ struct ExplainResponse {
   static Result<ExplainResponse> Parse(const std::string& text);
 };
 
+// `stats` request: poll the live telemetry plane of a running reactor
+// deployment — which series to return and how many tail points of each.
+struct StatsRequest {
+  // Series-name prefix filter; empty selects every series.
+  std::string prefix;
+  // Newest points returned per series.
+  uint64_t tail_points = 32;
+
+  // Wire format: "prefix tail_points", with "-" standing in for the empty
+  // prefix (metric names never contain spaces or a bare "-").
+  std::string Serialize() const;
+  static Result<StatsRequest> Parse(const std::string& text);
+};
+
+struct StatsResponse {
+  int requests_served = 0;
+  bool sampler_running = false;
+  uint64_t samples_taken = 0;
+  std::vector<obs::SeriesSnapshot> series;
+
+  // Wire format: "requests running samples nseries" then, per series,
+  // "name kind total_points npoints (t_ns value)*".
+  std::string Serialize() const;
+  static Result<StatsResponse> Parse(const std::string& text);
+};
+
+// `health` request: ask a live reactor "are you healthy?".
+struct HealthRequest {
+  // The throughput series the verdict is computed over.
+  std::string throughput_series = "harness.op.count";
+
+  std::string Serialize() const;
+  static Result<HealthRequest> Parse(const std::string& text);
+};
+
+enum class HealthVerdict {
+  kHealthy,     // no fault in the sampling window, or throughput recovered
+  kRecovering,  // fault seen and the detector/reactor is working on it
+  kDegraded,    // fault seen, no detection or recovery progress yet
+};
+const char* HealthVerdictName(HealthVerdict verdict);
+
+struct HealthResponse {
+  HealthVerdict verdict = HealthVerdict::kHealthy;
+  bool sampler_running = false;
+  bool has_fault = false;
+  // -1 where the timeline does not (yet) contain the phase.
+  int64_t time_to_detect_ns = -1;
+  int64_t time_to_recover_ns = -1;
+  double pre_fault_rate_ops_per_sec = 0;
+
+  // Wire format: "verdict running has_fault ttd ttr pre_rate".
+  std::string Serialize() const;
+  static Result<HealthResponse> Parse(const std::string& text);
+};
+
 class ReactorServer {
  public:
   // "Server start": runs static analysis + PDG construction for the
@@ -80,6 +137,14 @@ class ReactorServer {
   MitigationOutcome Execute(const MitigationRequest& request,
                             CheckpointLog& log, PmSystemTarget& target,
                             const ReexecuteFn& reexecute, VirtualClock& clock);
+
+  // Live introspection (paper Section 5's operator loop): the current
+  // telemetry-sampler tail and a health verdict derived from the timeline.
+  // Both read TelemetrySampler::Global() — the same plane the benches and
+  // harness publish into — and work (returning empty/healthy) when the
+  // sampler is stopped or the obs layer is compiled out.
+  StatsResponse Stats(const StatsRequest& request);
+  HealthResponse Health(const HealthRequest& request);
 
   const ReactorTimings& timings() const { return reactor_->timings(); }
   // Number of mitigation plans served from the same precomputed PDG.

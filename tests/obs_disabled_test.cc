@@ -10,6 +10,7 @@
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "obs/span.h"
+#include "obs/timeseries.h"
 
 #ifndef ARTHAS_OBS_DISABLED
 #error "this test must be compiled with ARTHAS_OBS_DISABLED"
@@ -47,6 +48,41 @@ TEST(ObsDisabledTest, MacrosAreNoOps) {
   for (const obs::SpanEvent& event : obs::SpanTracer::Global().Snapshot()) {
     EXPECT_NE(event.name.substr(0, 8), "disabled");
   }
+}
+
+TEST(ObsDisabledTest, TelemetryMacrosAreNoOps) {
+  // The probe body must never be evaluated in a disabled TU — the macro
+  // discards its arguments, so this lambda is not even compiled into a call.
+  const obs::ProbeId id = ARTHAS_TELEMETRY_PROBE(
+      "disabled.probe", obs::ProbeKind::kGauge, [] { return 1.0; });
+  EXPECT_EQ(id, obs::kNoProbe);
+  ARTHAS_TELEMETRY_UNPROBE(id);
+  ARTHAS_TIMELINE_MARK("disabled.marker");
+  // Nothing reached the global sampler: the marker name is absent whether
+  // or not some other test left the sampler holding data.
+  for (const obs::TimelineMarker& m :
+       obs::TelemetrySampler::Global().Markers()) {
+    EXPECT_NE(m.name, "disabled.marker");
+  }
+  EXPECT_TRUE(
+      obs::TelemetrySampler::Global().SeriesPoints("disabled.probe").empty());
+}
+
+TEST(ObsDisabledTest, SamplerStaysUsableDirectly) {
+  // Like the registry, the sampler class itself still works in a disabled
+  // TU; only the ARTHAS_TELEMETRY_* / ARTHAS_TIMELINE_MARK macros vanish.
+  obs::TelemetrySampler sampler;
+  obs::SamplerOptions options;
+  options.sample_counters = false;
+  options.sample_gauges = false;
+  sampler.Configure(options);
+  const obs::ProbeId id = sampler.RegisterProbe(
+      "direct.probe", obs::ProbeKind::kGauge, [] { return 42.0; });
+  EXPECT_NE(id, obs::kNoProbe);
+  sampler.SampleNow();
+  ASSERT_EQ(sampler.SeriesPoints("direct.probe").size(), 1u);
+  EXPECT_EQ(sampler.SeriesPoints("direct.probe")[0].value, 42.0);
+  sampler.UnregisterProbe(id);
 }
 
 TEST(ObsDisabledTest, LibraryStaysUsableDirectly) {

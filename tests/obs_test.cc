@@ -4,7 +4,9 @@
 // through the artifact writer must yield the paper's headline metrics.
 
 #include <cstdio>
+#include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
@@ -90,6 +92,30 @@ TEST(HistogramTest, MergeAddsBucketwise) {
   EXPECT_EQ(a.min(), 1u);
   EXPECT_EQ(a.max(), 1000u);
   EXPECT_NEAR(a.Percentile(0.5), 500.0, 500.0 * 0.125);
+}
+
+TEST(HistogramTest, EmptyAndEdgeQuantiles) {
+  Histogram h;
+  // Empty histogram: every quantile (including the edges) answers 0
+  // explicitly — no assert, no division by the zero count.
+  EXPECT_EQ(h.Percentile(0.0), 0.0);
+  EXPECT_EQ(h.Percentile(0.5), 0.0);
+  EXPECT_EQ(h.Percentile(1.0), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.Snapshot().count, 0u);
+
+  // Single sample: every quantile is exactly that sample (the in-bucket
+  // interpolation clamps to the recorded max).
+  h.Record(77);
+  EXPECT_EQ(h.Percentile(0.0), 77.0);
+  EXPECT_EQ(h.Percentile(0.5), 77.0);
+  EXPECT_EQ(h.Percentile(1.0), 77.0);
+
+  // Out-of-range q clamps to the edges instead of misbehaving.
+  EXPECT_EQ(h.Percentile(-1.0), h.Percentile(0.0));
+  EXPECT_EQ(h.Percentile(2.0), h.Percentile(1.0));
 }
 
 TEST(HistogramTest, BucketIndexMonotonic) {
@@ -184,20 +210,66 @@ TEST(SpanTest, ChromeJsonRoundTrip) {
   const JsonValue* events = parsed->Get("traceEvents");
   ASSERT_NE(events, nullptr);
   ASSERT_TRUE(events->is_array());
-  // One thread_name metadata row for the recording thread, then the span.
-  ASSERT_EQ(events->size(), 2u);
-  const JsonValue& meta = events->items()[0];
+  // One process_name row, one thread_name row for the recording thread,
+  // then the span.
+  ASSERT_EQ(events->size(), 3u);
+  const JsonValue& process_meta = events->items()[0];
+  EXPECT_EQ(process_meta.Get("name")->AsString(), "process_name");
+  EXPECT_EQ(process_meta.Get("ph")->AsString(), "M");
+  const JsonValue& meta = events->items()[1];
   EXPECT_EQ(meta.Get("name")->AsString(), "thread_name");
   EXPECT_EQ(meta.Get("ph")->AsString(), "M");
   ASSERT_NE(meta.Get("args"), nullptr);
   EXPECT_FALSE(meta.Get("args")->Get("name")->AsString().empty());
-  const JsonValue& ev = events->items()[1];
+  const JsonValue& ev = events->items()[2];
   EXPECT_EQ(ev.Get("name")->AsString(), "phase.test");
   EXPECT_EQ(ev.Get("ph")->AsString(), "X");
   EXPECT_GT(ev.Get("dur")->AsDouble(), 0.0);
   EXPECT_EQ(ev.Get("args")->Get("items")->AsString(), "3");
   // The span's tid matches its metadata row's tid.
   EXPECT_EQ(ev.Get("tid")->AsDouble(), meta.Get("tid")->AsDouble());
+}
+
+TEST(SpanTest, ChromeMetadataRowsAreUnique) {
+#ifdef ARTHAS_OBS_DISABLED
+  GTEST_SKIP() << "instrumentation macros are compiled out in this build";
+#endif
+  SpanTracer& tracer = SpanTracer::Global();
+  tracer.Clear();
+  std::thread t1([] { ARTHAS_SPAN("meta.t1"); });
+  std::thread t2([] { ARTHAS_SPAN("meta.t2"); });
+  t1.join();
+  t2.join();
+  { ARTHAS_SPAN("meta.main"); }
+
+  auto parsed = JsonValue::Parse(tracer.ExportChromeJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* events = parsed->Get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  int process_rows = 0;
+  std::set<double> thread_meta_tids;
+  std::set<double> event_tids;
+  for (const JsonValue& ev : events->items()) {
+    const std::string& name = ev.Get("name")->AsString();
+    if (ev.Get("ph")->AsString() == "M") {
+      if (name == "process_name") {
+        process_rows++;
+      } else if (name == "thread_name") {
+        const double tid = ev.Get("tid")->AsDouble();
+        // No duplicate thread_name rows for the same tid.
+        EXPECT_TRUE(thread_meta_tids.insert(tid).second)
+            << "duplicate thread_name row for tid " << tid;
+      }
+    } else {
+      event_tids.insert(ev.Get("tid")->AsDouble());
+    }
+  }
+  // process_name appears exactly once regardless of thread count.
+  EXPECT_EQ(process_rows, 1);
+  // Every labeled thread actually has events, and every event's thread is
+  // labeled: threads with no recorded spans get no thread_name row.
+  EXPECT_EQ(thread_meta_tids, event_tids);
+  EXPECT_GE(event_tids.size(), 2u);  // at least the two worker threads
 }
 
 TEST(SpanTest, DisabledTracerRecordsNothing) {

@@ -3,7 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "checkpoint/checkpoint_log.h"
+#include "harness/mt_driver.h"
+#include "obs/timeseries.h"
 #include "reactor/reactor_server.h"
 #include "systems/memcached_mini.h"
 #include "systems/redis_mini.h"
@@ -148,6 +153,143 @@ TEST(ReactorServerTest, PdgIsReusedAcrossRequests) {
   EXPECT_EQ(server.requests_served(), 5);
   // The static analysis ran exactly once, at server start.
   EXPECT_EQ(server.timings().static_analysis_ns, analysis_ns);
+}
+
+TEST(ReactorServerTest, StatsAndHealthWireRoundTrip) {
+  StatsRequest stats_request;
+  stats_request.prefix = "";
+  stats_request.tail_points = 5;
+  // Empty prefix travels as the "-" sentinel and must come back empty.
+  auto parsed_stats_request = StatsRequest::Parse(stats_request.Serialize());
+  ASSERT_TRUE(parsed_stats_request.ok());
+  EXPECT_EQ(parsed_stats_request->prefix, "");
+  EXPECT_EQ(parsed_stats_request->tail_points, 5u);
+  stats_request.prefix = "driver.";
+  parsed_stats_request = StatsRequest::Parse(stats_request.Serialize());
+  ASSERT_TRUE(parsed_stats_request.ok());
+  EXPECT_EQ(parsed_stats_request->prefix, "driver.");
+
+  StatsResponse stats_response;
+  stats_response.requests_served = 3;
+  stats_response.sampler_running = true;
+  stats_response.samples_taken = 9;
+  obs::SeriesSnapshot series;
+  series.name = "driver.live.ops";
+  series.kind = "probe";
+  series.total_points = 4;
+  series.points = {{100, 1.5}, {200, 2.5}};
+  stats_response.series.push_back(series);
+  auto parsed_stats = StatsResponse::Parse(stats_response.Serialize());
+  ASSERT_TRUE(parsed_stats.ok());
+  EXPECT_EQ(parsed_stats->requests_served, 3);
+  EXPECT_TRUE(parsed_stats->sampler_running);
+  EXPECT_EQ(parsed_stats->samples_taken, 9u);
+  ASSERT_EQ(parsed_stats->series.size(), 1u);
+  EXPECT_EQ(parsed_stats->series[0].name, "driver.live.ops");
+  EXPECT_EQ(parsed_stats->series[0].kind, "probe");
+  EXPECT_EQ(parsed_stats->series[0].total_points, 4u);
+  ASSERT_EQ(parsed_stats->series[0].points.size(), 2u);
+  EXPECT_EQ(parsed_stats->series[0].points[1].t_ns, 200);
+  EXPECT_DOUBLE_EQ(parsed_stats->series[0].points[1].value, 2.5);
+
+  HealthRequest health_request;
+  health_request.throughput_series = "driver.live.ops";
+  auto parsed_health_request = HealthRequest::Parse(health_request.Serialize());
+  ASSERT_TRUE(parsed_health_request.ok());
+  EXPECT_EQ(parsed_health_request->throughput_series, "driver.live.ops");
+
+  HealthResponse health_response;
+  health_response.verdict = HealthVerdict::kRecovering;
+  health_response.sampler_running = true;
+  health_response.has_fault = true;
+  health_response.time_to_detect_ns = 1234;
+  health_response.time_to_recover_ns = -1;
+  health_response.pre_fault_rate_ops_per_sec = 98765.5;
+  auto parsed_health = HealthResponse::Parse(health_response.Serialize());
+  ASSERT_TRUE(parsed_health.ok());
+  EXPECT_EQ(parsed_health->verdict, HealthVerdict::kRecovering);
+  EXPECT_TRUE(parsed_health->sampler_running);
+  EXPECT_TRUE(parsed_health->has_fault);
+  EXPECT_EQ(parsed_health->time_to_detect_ns, 1234);
+  EXPECT_EQ(parsed_health->time_to_recover_ns, -1);
+  EXPECT_DOUBLE_EQ(parsed_health->pre_fault_rate_ops_per_sec, 98765.5);
+
+  EXPECT_FALSE(StatsRequest::Parse("").ok());
+  EXPECT_FALSE(StatsResponse::Parse("not numbers").ok());
+  EXPECT_FALSE(HealthRequest::Parse("").ok());
+  EXPECT_FALSE(HealthResponse::Parse("0 garbage").ok());
+}
+
+TEST(ReactorServerTest, StatsAndHealthServeWhileWorkloadRuns) {
+#ifdef ARTHAS_OBS_DISABLED
+  GTEST_SKIP() << "driver probes compile out under ARTHAS_OBS_DISABLED";
+#endif
+  obs::TelemetrySampler& sampler = obs::TelemetrySampler::Global();
+  sampler.Stop();
+  sampler.Reset();
+  obs::SamplerOptions options;
+  options.interval_ns = 100 * 1000;  // 100 us: many ticks inside the run
+  options.sample_counters = false;
+  options.sample_gauges = false;
+  sampler.Configure(options);
+  ASSERT_TRUE(sampler.Start());
+
+  MemcachedMini mc;
+  ReactorServer server(mc.ir_model(), mc.guid_registry());
+
+  MtDriverConfig config;
+  config.threads = 2;
+  config.ops_per_thread = 20000;
+  std::thread workload([&mc, config]() mutable {
+    MultiThreadedDriver driver(mc, config);
+    (void)driver.Run();
+  });
+
+  // Query while the driver runs. The driver registers its live probes at
+  // Run() start; their ring data persists after unregistration, so the
+  // poll below succeeds even if the workload finishes first.
+  StatsRequest stats_request;
+  stats_request.prefix = "driver.";
+  stats_request.tail_points = 8;
+  StatsResponse stats;
+  bool saw_ops_series = false;
+  for (int i = 0; i < 2000 && !saw_ops_series; i++) {
+    auto parsed = StatsResponse::Parse(server.Stats(stats_request).Serialize());
+    ASSERT_TRUE(parsed.ok());
+    stats = *parsed;
+    for (const obs::SeriesSnapshot& s : stats.series) {
+      if (s.name == "driver.live.ops" && !s.points.empty()) {
+        saw_ops_series = true;
+      }
+    }
+    if (!saw_ops_series) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  EXPECT_TRUE(saw_ops_series);
+  EXPECT_TRUE(stats.sampler_running);
+  EXPECT_GT(stats.samples_taken, 0u);
+  for (const obs::SeriesSnapshot& s : stats.series) {
+    EXPECT_EQ(s.name.rfind("driver.", 0), 0u) << s.name;
+    EXPECT_LE(s.points.size(), stats_request.tail_points);
+  }
+
+  // No fault was injected, so a live health probe must say healthy.
+  HealthRequest health_request;
+  health_request.throughput_series = "driver.live.ops";
+  auto health = HealthResponse::Parse(server.Health(health_request).Serialize());
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->verdict, HealthVerdict::kHealthy);
+  EXPECT_FALSE(health->has_fault);
+  EXPECT_EQ(health->time_to_detect_ns, -1);
+  EXPECT_EQ(health->time_to_recover_ns, -1);
+
+  workload.join();
+  // Stats/Health are served by the reactor server, so they count as
+  // requests like ComputePlan/Explain.
+  EXPECT_GE(server.requests_served(), 2);
+  sampler.Stop();
+  sampler.Reset();
 }
 
 TEST(ReallocChainTest, PlanReachesPreResizeHistory) {
