@@ -17,6 +17,16 @@
 //
 // Reported per variant: ns/op, cycles/op, and cache lines flushed per op.
 // Results land in BENCH_hotpath.json.
+//
+// With --profile-json [path] (and/or --profile-folded, --diff) the bench
+// additionally runs one *profiled* pass per variant — the phase profiler
+// enabled around the measured loop — and reports where the cycles go: a
+// per-phase exclusive-cycles breakdown for both variants, a schema-versioned
+// profile artifact, and (--diff) a differential report attributing the
+// legacy→new cycles/op gap phase by phase. The legacy structures carry the
+// same ARTHAS_PROFILE phases as the real substrate so the two decompositions
+// are comparable. Headline numbers always come from unprofiled passes; the
+// profiled passes pay the scope tax and are reported separately.
 
 #include <algorithm>
 #include <cstdint>
@@ -35,6 +45,8 @@
 #include "harness/artifacts.h"
 #include "harness/table.h"
 #include "obs/json.h"
+#include "obs/profile_diff.h"
+#include "obs/profiler.h"
 #include "pmem/pool.h"
 
 namespace arthas {
@@ -62,16 +74,25 @@ struct LegacyPendingTracker {
   std::vector<PendingRange> pending;
 
   void FlushLines(PmOffset offset, size_t size) {
-    std::lock_guard<std::mutex> lock(mutex);
+    ARTHAS_PROFILE(kFlush);
+    std::unique_lock<std::mutex> lock(mutex, std::defer_lock);
+    {
+      ARTHAS_PROFILE(kLockWait);
+      lock.lock();
+    }
     pending.push_back({offset, size});
   }
   template <typename Fn>
   void Drain(Fn&& fn) {
+    ARTHAS_PROFILE(kDrain);
     std::vector<PendingRange> taken;
+    std::unique_lock<std::mutex> lock(mutex, std::defer_lock);
     {
-      std::lock_guard<std::mutex> lock(mutex);
-      taken.swap(pending);
+      ARTHAS_PROFILE(kLockWait);
+      lock.lock();
     }
+    taken.swap(pending);
+    lock.unlock();
     for (const PendingRange& r : taken) {
       fn(r.offset, r.size);
     }
@@ -100,23 +121,43 @@ struct LegacyCheckpointIndex {
 
   void OnPersist(PmOffset offset, size_t size, const uint8_t* live,
                  const uint8_t* durable) {
-    std::lock_guard<std::mutex> lock(mutex);
-    auto [it, fresh] = entries.try_emplace(offset);
-    Entry& entry = it->second;
+    std::unique_lock<std::mutex> lock(mutex, std::defer_lock);
+    {
+      ARTHAS_PROFILE(kLockWait);
+      lock.lock();
+    }
+    // Same phase taxonomy as the real CheckpointLog::OnPersist, so the
+    // profiled decompositions line up variant against variant.
+    ARTHAS_PROFILE(kBookkeeping);
+    Entry* entry = nullptr;
+    bool fresh = false;
+    {
+      ARTHAS_PROFILE(kIndexLookup);
+      auto [it, inserted] = entries.try_emplace(offset);
+      entry = &it->second;
+      fresh = inserted;
+    }
     if (fresh) {
-      entry.original.assign(durable, durable + size);
+      ARTHAS_PROFILE(kArenaCopy);
+      entry->original.assign(durable, durable + size);
     }
     Version version;
     version.seq = next_seq++;
-    version.data.assign(live, live + size);
-    version.pre.assign(durable, durable + size);
-    if (static_cast<int>(entry.versions.size()) >= max_versions) {
-      entry.original = entry.versions.front().data;
-      seq_index.erase(entry.versions.front().seq);
-      entry.versions.pop_front();
+    {
+      ARTHAS_PROFILE(kArenaCopy);
+      version.data.assign(live, live + size);
+      version.pre.assign(durable, durable + size);
+    }
+    if (static_cast<int>(entry->versions.size()) >= max_versions) {
+      {
+        ARTHAS_PROFILE(kArenaCopy);
+        entry->original = entry->versions.front().data;
+      }
+      seq_index.erase(entry->versions.front().seq);
+      entry->versions.pop_front();
     }
     seq_index.emplace(version.seq, offset);
-    entry.versions.push_back(std::move(version));
+    entry->versions.push_back(std::move(version));
   }
 };
 
@@ -125,13 +166,16 @@ struct Measurement {
   double ns_per_op = 0;
   double cycles_per_op = 0;
   double lines_per_op = 0;
+  // Filled by profiled passes only: the phase-profiler delta covering
+  // exactly the measured loop.
+  obs::ProfileSnapshot profile;
 };
 
 // The operation stream both variants replay: op i rewrites object
 // (i % kObjects) with bytes derived from i, then persists it. With
 // kOps >> kObjects * max_versions, every op past warm-up takes the
 // version-eviction path — the steady state of a long-running system.
-Measurement MeasureNew(uint64_t ops) {
+Measurement MeasureNew(uint64_t ops, bool profiled = false) {
   auto pool_res = PmemPool::Create("hotpath_new", kPoolSize);
   PmemPool& pool = **pool_res;
   CheckpointLog log(pool);
@@ -143,6 +187,15 @@ Measurement MeasureNew(uint64_t ops) {
   PmemDevice& device = pool.device();
   const uint64_t lines_before = device.stats().flushed_lines.load();
 
+  // Profiled passes bracket exactly the measured loop (setup excluded) with
+  // a snapshot delta, so the attribution covers the same cycles the loop
+  // timers cover.
+  obs::PhaseProfiler& prof = obs::PhaseProfiler::Global();
+  obs::ProfileSnapshot before;
+  if (profiled) {
+    before = prof.Snapshot();
+    prof.set_enabled(true);
+  }
   const int64_t start_ns = MonotonicNanos();
   const uint64_t start_cycles = CycleCount();
   for (uint64_t i = 0; i < ops; i++) {
@@ -155,6 +208,10 @@ Measurement MeasureNew(uint64_t ops) {
   const int64_t elapsed_ns = MonotonicNanos() - start_ns;
 
   Measurement m;
+  if (profiled) {
+    prof.set_enabled(false);
+    m.profile = obs::SnapshotDelta(prof.Snapshot(), before);
+  }
   m.name = "new";
   m.ns_per_op = static_cast<double>(elapsed_ns) / static_cast<double>(ops);
   m.cycles_per_op = static_cast<double>(cycles) / static_cast<double>(ops);
@@ -164,7 +221,7 @@ Measurement MeasureNew(uint64_t ops) {
   return m;
 }
 
-Measurement MeasureLegacy(uint64_t ops) {
+Measurement MeasureLegacy(uint64_t ops, bool profiled = false) {
   // The legacy variant replays the same stream against the reference
   // structures, with the device's media copy stubbed by two scratch images
   // so the payload-copy traffic (the dominant legacy cost) is identical.
@@ -174,6 +231,12 @@ Measurement MeasureLegacy(uint64_t ops) {
   LegacyCheckpointIndex index;
   uint64_t lines = 0;
 
+  obs::PhaseProfiler& prof = obs::PhaseProfiler::Global();
+  obs::ProfileSnapshot before;
+  if (profiled) {
+    before = prof.Snapshot();
+    prof.set_enabled(true);
+  }
   const int64_t start_ns = MonotonicNanos();
   const uint64_t start_cycles = CycleCount();
   for (uint64_t i = 0; i < ops; i++) {
@@ -183,6 +246,8 @@ Measurement MeasureLegacy(uint64_t ops) {
     pending.Drain([&](PmOffset o, size_t size) {
       lines += size / kCacheLineSize;
       index.OnPersist(o, size, live.data() + o, durable.data() + o);
+      // The media copy the stub performs in place of MakeDurable.
+      ARTHAS_PROFILE(kFlush);
       std::memcpy(durable.data() + o, live.data() + o, size);
     });
   }
@@ -190,6 +255,10 @@ Measurement MeasureLegacy(uint64_t ops) {
   const int64_t elapsed_ns = MonotonicNanos() - start_ns;
 
   Measurement m;
+  if (profiled) {
+    prof.set_enabled(false);
+    m.profile = obs::SnapshotDelta(prof.Snapshot(), before);
+  }
   m.name = "legacy";
   m.ns_per_op = static_cast<double>(elapsed_ns) / static_cast<double>(ops);
   m.cycles_per_op = static_cast<double>(cycles) / static_cast<double>(ops);
@@ -203,7 +272,41 @@ Measurement Best(Measurement a, const Measurement& b) {
   return a.ns_per_op <= b.ns_per_op ? a : b;
 }
 
-int Run(uint64_t ops, int repeat) {
+// Side-by-side exclusive-cycles decomposition of both profiled passes.
+std::string PhaseBreakdownTable(const Measurement& legacy,
+                                const Measurement& fresh, uint64_t ops) {
+  const double cpn = CyclesPerNanosecond();
+  TextTable table({"Phase", "legacy cyc/op", "legacy ns/op", "new cyc/op",
+                   "new ns/op"});
+  auto add_row = [&](const std::string& name, double lc, double nc) {
+    char a[32], b[32], c[32], d[32];
+    std::snprintf(a, sizeof(a), "%.1f", lc);
+    std::snprintf(b, sizeof(b), "%.1f", lc / cpn);
+    std::snprintf(c, sizeof(c), "%.1f", nc);
+    std::snprintf(d, sizeof(d), "%.1f", nc / cpn);
+    table.AddRow({name, a, b, c, d});
+  };
+  const double n = static_cast<double>(ops);
+  for (size_t i = 0; i < obs::kNumProfPhases; i++) {
+    add_row(obs::ProfPhaseName(static_cast<obs::ProfPhase>(i)),
+            static_cast<double>(legacy.profile.phases[i].exclusive_cycles) / n,
+            static_cast<double>(fresh.profile.phases[i].exclusive_cycles) / n);
+  }
+  add_row("(unattributed)",
+          legacy.cycles_per_op -
+              static_cast<double>(legacy.profile.total_exclusive_cycles()) / n,
+          fresh.cycles_per_op -
+              static_cast<double>(fresh.profile.total_exclusive_cycles()) / n);
+  add_row("total", legacy.cycles_per_op, fresh.cycles_per_op);
+  return table.Render();
+}
+
+int Run(uint64_t ops, int repeat, bool want_diff,
+        ObsArtifactWriter& artifacts) {
+  // The writer enables the profiler when a profile path was requested;
+  // headline numbers must come from unprofiled passes, so turn it off and
+  // let the profiled passes below bracket their own windows.
+  obs::PhaseProfiler::Global().set_enabled(false);
   Measurement legacy = MeasureLegacy(ops);
   Measurement fresh = MeasureNew(ops);
   for (int r = 1; r < repeat; r++) {
@@ -247,10 +350,52 @@ int Run(uint64_t ops, int repeat) {
   doc.Set("repeat", obs::JsonValue(static_cast<uint64_t>(repeat)));
   doc.Set("objects", obs::JsonValue(static_cast<uint64_t>(kObjects)));
   doc.Set("object_size", obs::JsonValue(static_cast<uint64_t>(kObjectSize)));
+  doc.Set("cycles_per_ns", obs::JsonValue(CyclesPerNanosecond()));
   doc.Set("variants", std::move(variants));
   std::ofstream out("BENCH_hotpath.json");
   if (out) {
     out << doc.Dump() << "\n";
+  }
+
+  const bool want_profile = want_diff ||
+                            !artifacts.profile_json_path().empty() ||
+                            !artifacts.profile_folded_path().empty();
+  if (!want_profile) {
+    return 0;
+  }
+
+  // One profiled pass per variant. These pay the scope tax, so their
+  // cycles/op runs above the headline numbers — but the attribution and the
+  // diff are computed against the profiled passes' *own* cycles/op, so the
+  // per-phase deltas plus the unattributed remainder still sum exactly to
+  // the gap the diff reports.
+  Measurement plegacy = MeasureLegacy(ops, /*profiled=*/true);
+  Measurement pfresh = MeasureNew(ops, /*profiled=*/true);
+  std::printf("Per-phase breakdown (profiled passes, exclusive cycles)\n%s\n",
+              PhaseBreakdownTable(plegacy, pfresh, ops).c_str());
+
+  const obs::ProfileDiff diff = obs::DiffProfiles(
+      "legacy", plegacy.profile, ops, plegacy.cycles_per_op, "new",
+      pfresh.profile, ops, pfresh.cycles_per_op);
+  if (want_diff) {
+    std::printf("Differential attribution of the legacy -> new gap\n%s\n",
+                diff.ToText().c_str());
+  }
+
+  std::vector<obs::JsonValue> profile_variants;
+  profile_variants.push_back(obs::ProfileVariantJson(
+      "legacy", plegacy.profile, ops, plegacy.cycles_per_op));
+  profile_variants.push_back(obs::ProfileVariantJson(
+      "new", pfresh.profile, ops, pfresh.cycles_per_op));
+  obs::JsonValue profile_doc =
+      obs::ProfileDocumentJson(std::move(profile_variants));
+  profile_doc.Set("diff", diff.ToJson());
+  if (!artifacts.profile_json_path().empty()) {
+    artifacts.SetProfileDocument(profile_doc.Dump());
+  }
+  if (!artifacts.profile_folded_path().empty()) {
+    artifacts.SetProfileFolded(obs::FoldedStacks(plegacy.profile, "legacy") +
+                               obs::FoldedStacks(pfresh.profile, "new"));
   }
   return 0;
 }
@@ -262,12 +407,15 @@ int main(int argc, char** argv) {
   arthas::ObsArtifactWriter obs_artifacts(argc, argv);
   uint64_t ops = arthas::kDefaultOps;
   int repeat = 3;
+  bool want_diff = false;
   for (int i = 1; i < argc; i++) {
     if (std::strcmp(argv[i], "--ops") == 0 && i + 1 < argc) {
       ops = static_cast<uint64_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
       repeat = std::max(1, std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--diff") == 0) {
+      want_diff = true;
     }
   }
-  return arthas::Run(ops, repeat);
+  return arthas::Run(ops, repeat, want_diff, obs_artifacts);
 }

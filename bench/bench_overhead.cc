@@ -44,6 +44,7 @@
 #include "harness/table.h"
 #include "obs/flight_recorder.h"
 #include "obs/json.h"
+#include "obs/profiler.h"
 #include "obs/timeseries.h"
 #include "systems/cceh.h"
 #include "systems/memcached_mini.h"
@@ -487,6 +488,48 @@ int RunRecorderOverhead(int repeat) {
               "Arthas mode, %d ops, best of %d)\n%s\n",
               kOps, repeat, sampler_table.Render().c_str());
 
+  // Phase-profiler overhead, same interleaved shape. Enabled scopes cost two
+  // TSC reads plus accumulator arithmetic on every instrumented region of
+  // the durability path; the gate bounds what a --profile-json run costs.
+  obs::PhaseProfiler& profiler = obs::PhaseProfiler::Global();
+  TextTable profiler_table({"System", "Profiler off (op/s)", "Profiler on",
+                            "on/off slowdown"});
+  obs::JsonValue profiler_systems = obs::JsonValue::Array();
+  double profiler_worst_ratio = 0;
+  for (const SystemSpec& spec : systems) {
+    std::fprintf(stderr, "measuring %s (phase profiler on/off)...\n",
+                 spec.name.c_str());
+    double off = 0;
+    double on = 0;
+    for (int r = 0; r < repeat; r++) {
+      profiler.set_enabled(false);
+      off = std::max(
+          off, MeasureThroughput(spec.factory, Mode::kArthas, spec.ycsb_mix));
+      profiler.set_enabled(true);
+      on = std::max(
+          on, MeasureThroughput(spec.factory, Mode::kArthas, spec.ycsb_mix));
+    }
+    profiler.set_enabled(false);
+    const double ratio = on > 0 ? off / on : 0;
+    profiler_worst_ratio = std::max(profiler_worst_ratio, ratio);
+    char o[32], n[32], ra[32];
+    std::snprintf(o, sizeof(o), "%.0fK", off / 1000);
+    std::snprintf(n, sizeof(n), "%.0fK", on / 1000);
+    std::snprintf(ra, sizeof(ra), "%.3f", ratio);
+    profiler_table.AddRow({spec.name, o, n, ra});
+
+    obs::JsonValue row = obs::JsonValue::Object();
+    row.Set("name", obs::JsonValue(spec.name));
+    row.Set("profiler_off_ops_per_sec", obs::JsonValue(off));
+    row.Set("profiler_on_ops_per_sec", obs::JsonValue(on));
+    row.Set("on_off_ratio", obs::JsonValue(ratio));
+    profiler_systems.Append(std::move(row));
+  }
+  profiler.Reset();
+  std::printf("Phase profiler overhead (single-threaded Arthas mode, %d ops, "
+              "best of %d)\n%s\n",
+              kOps, repeat, profiler_table.Render().c_str());
+
   obs::JsonValue doc = obs::JsonValue::Object();
   doc.Set("bench", obs::JsonValue("overhead"));
   doc.Set("mode", obs::JsonValue("recorder_overhead"));
@@ -501,6 +544,11 @@ int RunRecorderOverhead(int repeat) {
   sampler_json.Set("worst_on_off_ratio", obs::JsonValue(sampler_worst_ratio));
   sampler_json.Set("systems", std::move(sampler_systems));
   doc.Set("sampler", std::move(sampler_json));
+  obs::JsonValue profiler_json = obs::JsonValue::Object();
+  profiler_json.Set("worst_on_off_ratio",
+                    obs::JsonValue(profiler_worst_ratio));
+  profiler_json.Set("systems", std::move(profiler_systems));
+  doc.Set("profiler", std::move(profiler_json));
   WriteArtifact(doc);
   return 0;
 }

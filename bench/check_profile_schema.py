@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""CI profile-smoke validator for the phase-profiler artifact.
+
+Checks the schema-versioned JSON produced by `bench_hotpath --profile-json`
+(or any ObsArtifactWriter `--profile-json` export):
+
+  * schema_version == 1 and a positive cycles_per_ns calibration,
+  * every variant covers the full phase enum — no missing, renamed or
+    duplicated phase rows (two runs must always be comparable phase by
+    phase),
+  * per phase: exclusive_cycles <= inclusive_cycles, nothing negative,
+  * each profiled variant did real work (total calls > 0),
+  * with --require-diff: a "diff" section exists and its per-phase deltas
+    plus the unattributed delta sum to the reported cycles/op gap within
+    5% — the attribution ledger must close.
+
+Usage: check_profile_schema.py [--require-diff] [profile.json]
+"""
+
+import json
+import sys
+
+# Must match ProfPhaseName() over the ProfPhase enum in src/obs/profiler.h.
+PHASES = [
+    "lock_wait",
+    "index_lookup",
+    "arena_copy",
+    "flush",
+    "drain",
+    "bookkeeping",
+    "obs_hook",
+]
+
+DIFF_CLOSURE_TOLERANCE = 0.05
+
+
+def fail(message: str) -> int:
+    print(f"FAIL: {message}")
+    return 1
+
+
+def check_variant(variant) -> int:
+    name = variant.get("name", "<unnamed>")
+    phases = variant.get("phases", [])
+    seen = [p.get("name") for p in phases]
+    if seen != PHASES:
+        return fail(
+            f"variant '{name}' phase list {seen} does not match the "
+            f"ProfPhase enum {PHASES}"
+        )
+    total_calls = 0
+    for phase in phases:
+        excl = phase["exclusive_cycles"]
+        incl = phase["inclusive_cycles"]
+        calls = phase["calls"]
+        if excl < 0 or incl < 0 or calls < 0:
+            return fail(f"variant '{name}' phase '{phase['name']}' is negative")
+        if excl > incl:
+            return fail(
+                f"variant '{name}' phase '{phase['name']}': exclusive "
+                f"{excl} > inclusive {incl}"
+            )
+        total_calls += calls
+    if total_calls <= 0:
+        return fail(f"variant '{name}' recorded no calls — profiler was off?")
+    print(
+        f"  variant '{name}': {total_calls} calls, "
+        f"{sum(p['exclusive_cycles'] for p in phases)} exclusive cycles"
+    )
+    return 0
+
+
+def check_diff(diff) -> int:
+    gap = diff["gap_cycles_per_op"]
+    attributed = sum(p["delta_cycles_per_op"] for p in diff["phases"])
+    attributed += diff["unattributed_delta_cycles_per_op"]
+    reported = diff["attributed_gap_cycles_per_op"]
+    tolerance = max(abs(gap) * DIFF_CLOSURE_TOLERANCE, 1e-6)
+    print(
+        f"  diff {diff['base']} -> {diff['test']}: gap {gap:.1f} cycles/op, "
+        f"attributed {attributed:.1f} (reported {reported:.1f})"
+    )
+    seen = [p["name"] for p in diff["phases"]]
+    if sorted(seen) != sorted(PHASES):
+        return fail(f"diff phase set {sorted(seen)} != enum {sorted(PHASES)}")
+    if abs(attributed - gap) > tolerance:
+        return fail(
+            f"diff attribution does not close: per-phase deltas sum to "
+            f"{attributed:.2f} but the gap is {gap:.2f} cycles/op "
+            f"(tolerance {tolerance:.2f})"
+        )
+    if abs(reported - attributed) > tolerance:
+        return fail(
+            f"diff's own attributed_gap_cycles_per_op {reported:.2f} "
+            f"disagrees with its rows ({attributed:.2f})"
+        )
+    return 0
+
+
+def main() -> int:
+    args = sys.argv[1:]
+    require_diff = "--require-diff" in args
+    args = [a for a in args if a != "--require-diff"]
+    path = args[0] if args else "profile.json"
+    with open(path) as f:
+        doc = json.load(f)
+
+    if doc.get("schema_version") != 1:
+        return fail(f"schema_version {doc.get('schema_version')!r} != 1")
+    if not doc.get("cycles_per_ns", 0) > 0:
+        return fail(f"cycles_per_ns {doc.get('cycles_per_ns')!r} not positive")
+    variants = doc.get("variants", [])
+    if not variants:
+        return fail("no variants in profile")
+    print(f"{path}: schema v1, cycles/ns {doc['cycles_per_ns']:.3f}")
+    for variant in variants:
+        if check_variant(variant):
+            return 1
+    if require_diff:
+        if "diff" not in doc:
+            return fail("--require-diff: no diff section in profile")
+        if check_diff(doc["diff"]):
+            return 1
+    print("OK: profile artifact is schema-valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "obs/flight_recorder.h"
 #include "obs/obs.h"
+#include "obs/profiler.h"
 
 namespace arthas {
 
@@ -119,6 +120,7 @@ void CheckpointLog::RehashLocked(Shard& shard) {
 CheckpointEntry& CheckpointLog::GetOrCreateLocked(Shard& shard,
                                                   PmOffset address,
                                                   size_t size) {
+  ARTHAS_PROFILE(kIndexLookup);
   if (CheckpointEntry* found = FindSlot(shard, address)) {
     return *found;
   }
@@ -129,10 +131,13 @@ CheckpointEntry& CheckpointLog::GetOrCreateLocked(Shard& shard,
   shard.slots.emplace_back();
   CheckpointEntry& entry = shard.slots.back();
   entry.address = address;
-  // Seed the pre-history with what is durable right now (the observer
-  // fires before the media copy, so this is the pre-update durable data).
-  entry.original.assign(device_->Durable(address),
-                        device_->Durable(address) + size);
+  {
+    // Seed the pre-history with what is durable right now (the observer
+    // fires before the media copy, so this is the pre-update durable data).
+    ARTHAS_PROFILE(kArenaCopy);
+    entry.original.assign(device_->Durable(address),
+                          device_->Durable(address) + size);
+  }
   InsertBucket(shard, address, static_cast<uint32_t>(shard.slots.size()));
   entry_count_++;
   return entry;
@@ -168,12 +173,20 @@ void CheckpointLog::OnPersist(PmOffset offset, size_t size, const void* data) {
   const uint64_t tx_id = tls_open_tx.log == this ? tls_open_tx.tx_id : 0;
   SeqNum seq = kNoSeq;
   {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    std::unique_lock<std::mutex> lock(shard.mutex, std::defer_lock);
+    {
+      ARTHAS_PROFILE(kLockWait);
+      lock.lock();
+    }
+    // Everything under the shard lock not claimed by a nested phase below
+    // (index probe, arena copies) is ring/seq bookkeeping.
+    ARTHAS_PROFILE(kBookkeeping);
     CheckpointEntry& entry = GetOrCreateLocked(shard, offset, size);
     // A larger persist at a known address (e.g. an object growing, or an
     // overrunning copy) extends the entry's extent: capture the still-durable
     // bytes beyond the previous extent so reversion can restore them.
     if (size > entry.original.size()) {
+      ARTHAS_PROFILE(kArenaCopy);
       const size_t old_extent = entry.original.size();
       entry.original.insert(entry.original.end(),
                             device_->Durable(offset + old_extent),
@@ -185,10 +198,14 @@ void CheckpointLog::OnPersist(PmOffset offset, size_t size, const void* data) {
     seq = next_seq_.fetch_add(1);
     version.seq_num = seq;
     version.tx_id = tx_id;
-    version.data = shard.arena.Store(static_cast<const uint8_t*>(data), size);
-    // The observer fires before the media copy: the durable image still holds
-    // this version's undo bytes.
-    version.pre = shard.arena.Store(device_->Durable(offset), size);
+    {
+      ARTHAS_PROFILE(kArenaCopy);
+      version.data =
+          shard.arena.Store(static_cast<const uint8_t*>(data), size);
+      // The observer fires before the media copy: the durable image still
+      // holds this version's undo bytes.
+      version.pre = shard.arena.Store(device_->Durable(offset), size);
+    }
     if (static_cast<int>(entry.versions.size()) >= config_.max_versions) {
       // Ring is full: fold the evicted oldest version into the pre-history
       // (overlay, so a smaller version does not shrink the extent), then
@@ -203,6 +220,7 @@ void CheckpointLog::OnPersist(PmOffset offset, size_t size, const void* data) {
       shard.arena.Release(evicted.data);
       shard.arena.Release(evicted.pre);
       retained_versions_--;
+      ARTHAS_PROFILE(kObsHook);
       ARTHAS_COUNTER_ADD("checkpoint.evict.count", 1);
       ARTHAS_FLIGHT_RECORD(obs::FrType::kCheckpointEvict,
                            device_->device_id(), offset, 0, evicted.seq_num);
@@ -214,8 +232,10 @@ void CheckpointLog::OnPersist(PmOffset offset, size_t size, const void* data) {
   }
   if (tx_id != 0) {
     // Lock-free on the persist path: staged locally, published at commit.
+    ARTHAS_PROFILE(kBookkeeping);
     LocalTxBuffer().pairs.emplace_back(seq, tx_id);
   }
+  ARTHAS_PROFILE(kObsHook);
   stats_.records++;
   stats_.bytes_copied += size;
   ARTHAS_FLIGHT_RECORD(obs::FrType::kCheckpointTake, device_->device_id(),

@@ -18,4 +18,39 @@ int64_t MonotonicNanos() {
       .count();
 }
 
+namespace {
+
+double MeasureCyclesPerNanosecond() {
+  // Spin ~2 ms measuring both clocks. Long enough that the few-hundred-ns
+  // cost of the clock reads themselves is noise; short enough to be paid
+  // once per process without notice. Constant-rate TSCs (the paper's
+  // testbed class) make the window position irrelevant.
+  constexpr int64_t kWindowNanos = 2'000'000;
+  const int64_t start_ns = MonotonicNanos();
+  const uint64_t start_cycles = CycleCount();
+  int64_t end_ns = start_ns;
+  while (end_ns - start_ns < kWindowNanos) {
+    end_ns = MonotonicNanos();
+  }
+  const uint64_t end_cycles = CycleCount();
+  const double elapsed_ns = static_cast<double>(end_ns - start_ns);
+  const double elapsed_cycles = static_cast<double>(end_cycles - start_cycles);
+  if (elapsed_ns <= 0 || elapsed_cycles <= 0) {
+    return 1.0;  // degenerate clock; keep ratios sane
+  }
+  return elapsed_cycles / elapsed_ns;
+}
+
+}  // namespace
+
+double CyclesPerNanosecond() {
+#if defined(__x86_64__) || defined(_M_X64)
+  static const double ratio = MeasureCyclesPerNanosecond();
+  return ratio;
+#else
+  // CycleCount() is MonotonicNanos() here, so the ratio is 1 by definition.
+  return 1.0;
+#endif
+}
+
 }  // namespace arthas

@@ -55,6 +55,13 @@ inline uint64_t CycleCount() {
 // Alias used by the obs layer; same monotonic clock.
 inline int64_t NowNanos() { return MonotonicNanos(); }
 
+// rdtsc↔ns calibration: how many CycleCount() ticks elapse per monotonic
+// nanosecond. Measured once (a ~2 ms spin) on first call, then cached; the
+// benches and the profiler exporters use it to report both cycles/op and
+// ns/op from one TSC measurement. On targets where CycleCount() falls back
+// to MonotonicNanos() this is exactly 1.
+double CyclesPerNanosecond();
+
 // Measures real elapsed time on the monotonic clock. The building block for
 // obs::ScopedLatency and the span tracer.
 class ScopedTimer {

@@ -8,6 +8,7 @@
 #include "obs/forensics.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/span.h"
 #include "obs/timeseries.h"
 
@@ -85,7 +86,24 @@ std::string MetricsArtifactJson() {
 
 ObsArtifactWriter::ObsArtifactWriter(int argc, char** argv) {
   std::string prefix;
-  for (int i = 1; i + 1 < argc; i++) {
+  // The profile flags take an *optional* path ("--profile-json --diff"
+  // works); a following argument that looks like another flag is left alone
+  // and a default filename is used instead.
+  auto optional_path = [&](int& i, const char* fallback) -> std::string {
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      return argv[++i];
+    }
+    return fallback;
+  };
+  for (int i = 1; i < argc; i++) {
+    if (i + 1 >= argc) {
+      if (std::strcmp(argv[i], "--profile-json") == 0) {
+        profile_json_path_ = "profile.json";
+      } else if (std::strcmp(argv[i], "--profile-folded") == 0) {
+        profile_folded_path_ = "profile.folded";
+      }
+      break;
+    }
     if (std::strcmp(argv[i], "--metrics-json") == 0) {
       metrics_path_ = argv[++i];
     } else if (std::strcmp(argv[i], "--trace-json") == 0) {
@@ -98,6 +116,10 @@ ObsArtifactWriter::ObsArtifactWriter(int argc, char** argv) {
       forensics_text_path_ = argv[++i];
     } else if (std::strcmp(argv[i], "--timeline-json") == 0) {
       timeline_path_ = argv[++i];
+    } else if (std::strcmp(argv[i], "--profile-json") == 0) {
+      profile_json_path_ = optional_path(i, "profile.json");
+    } else if (std::strcmp(argv[i], "--profile-folded") == 0) {
+      profile_folded_path_ = optional_path(i, "profile.folded");
     } else if (std::strcmp(argv[i], "--obs-prefix") == 0) {
       prefix = argv[++i];
     }
@@ -123,7 +145,29 @@ ObsArtifactWriter::ObsArtifactWriter(int argc, char** argv) {
     if (timeline_path_.empty()) {
       timeline_path_ = prefix + ".timeline.json";
     }
+    if (profile_json_path_.empty()) {
+      profile_json_path_ = prefix + ".profile.json";
+    }
+    if (profile_folded_path_.empty()) {
+      profile_folded_path_ = prefix + ".profile.folded";
+    }
   }
+  // Asking for a profile artifact (directly or via --obs-prefix) means the
+  // process's hot-path scopes should record; without this a generic bench
+  // would export an all-zero profile. Benches that bracket their own
+  // measured windows (bench_hotpath) turn the profiler back off before
+  // their unprofiled timing passes.
+  if (!profile_json_path_.empty() || !profile_folded_path_.empty()) {
+    obs::PhaseProfiler::Global().set_enabled(true);
+  }
+}
+
+void ObsArtifactWriter::SetProfileDocument(std::string json) {
+  profile_document_ = std::move(json);
+}
+
+void ObsArtifactWriter::SetProfileFolded(std::string folded) {
+  profile_folded_override_ = std::move(folded);
 }
 
 ObsArtifactWriter::~ObsArtifactWriter() {
@@ -166,6 +210,27 @@ Status ObsArtifactWriter::WriteNow() const {
     ARTHAS_RETURN_IF_ERROR(WriteFile(
         timeline_path_,
         obs::TimelineArtifactJson(obs::TelemetrySampler::Global()).Dump()));
+  }
+  if (!profile_json_path_.empty()) {
+    std::string document = profile_document_;
+    if (document.empty()) {
+      // Generic export: whatever the global profiler accumulated, as one
+      // unnamed variant (ops unknown, so no per-op normalization).
+      const obs::ProfileSnapshot snapshot =
+          obs::PhaseProfiler::Global().Snapshot();
+      std::vector<obs::JsonValue> variants;
+      variants.push_back(obs::ProfileVariantJson("process", snapshot, 0, 0));
+      document = obs::ProfileDocumentJson(std::move(variants)).Dump();
+    }
+    ARTHAS_RETURN_IF_ERROR(WriteFile(profile_json_path_, document));
+  }
+  if (!profile_folded_path_.empty()) {
+    std::string folded = profile_folded_override_;
+    if (folded.empty()) {
+      folded = obs::FoldedStacks(obs::PhaseProfiler::Global().Snapshot(),
+                                 "process");
+    }
+    ARTHAS_RETURN_IF_ERROR(WriteFile(profile_folded_path_, folded));
   }
   return OkStatus();
 }

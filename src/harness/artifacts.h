@@ -7,10 +7,13 @@
 //   --forensics-json <path>  latest crash-forensics report as JSON
 //   --forensics-text <path>  the same report as a human-readable narrative
 //   --timeline-json <path>   telemetry-sampler series + recovery timeline
+//   --profile-json <path>    phase-profiler snapshot (schema-versioned)
+//   --profile-folded <path>  folded stacks for flamegraph tooling
 //   --obs-prefix <dir/stem>  derives every artifact path at once:
 //                            <stem>.metrics.json, <stem>.trace.json,
 //                            <stem>.summary.txt, <stem>.forensics.json,
-//                            <stem>.forensics.txt, <stem>.timeline.json
+//                            <stem>.forensics.txt, <stem>.timeline.json,
+//                            <stem>.profile.json, <stem>.profile.folded
 //                            (an explicit per-artifact flag still overrides)
 // and writes them when the ObsArtifactWriter goes out of scope in main().
 //
@@ -70,6 +73,17 @@ class ObsArtifactWriter {
   const std::string& metrics_path() const { return metrics_path_; }
   const std::string& trace_path() const { return trace_path_; }
   const std::string& timeline_path() const { return timeline_path_; }
+  const std::string& profile_json_path() const { return profile_json_path_; }
+  const std::string& profile_folded_path() const {
+    return profile_folded_path_;
+  }
+
+  // Overrides for the profile artifacts. By default the writer exports a
+  // generic snapshot of the global profiler; a bench that builds a richer
+  // document (per-variant attribution, a diff section) sets it here and the
+  // writer emits that instead of clobbering it with the generic dump.
+  void SetProfileDocument(std::string json);
+  void SetProfileFolded(std::string folded);
 
  private:
   std::string metrics_path_;
@@ -78,6 +92,10 @@ class ObsArtifactWriter {
   std::string forensics_json_path_;
   std::string forensics_text_path_;
   std::string timeline_path_;
+  std::string profile_json_path_;
+  std::string profile_folded_path_;
+  std::string profile_document_;  // empty = export the generic snapshot
+  std::string profile_folded_override_;
 };
 
 }  // namespace arthas

@@ -1,0 +1,130 @@
+#include "obs/profile_diff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "harness/table.h"
+
+namespace arthas {
+namespace obs {
+
+ProfileDiff DiffProfiles(const std::string& base_name,
+                         const ProfileSnapshot& base, uint64_t base_ops,
+                         double base_cycles_per_op,
+                         const std::string& test_name,
+                         const ProfileSnapshot& test, uint64_t test_ops,
+                         double test_cycles_per_op) {
+  ProfileDiff diff;
+  diff.base_name = base_name;
+  diff.test_name = test_name;
+  diff.base_cycles_per_op = base_cycles_per_op;
+  diff.test_cycles_per_op = test_cycles_per_op;
+  diff.gap_cycles_per_op = test_cycles_per_op - base_cycles_per_op;
+
+  double base_attributed = 0;
+  double test_attributed = 0;
+  for (size_t i = 0; i < kNumProfPhases; i++) {
+    ProfileDiffRow row;
+    row.phase = static_cast<ProfPhase>(i);
+    row.base_cycles_per_op =
+        base_ops > 0 ? static_cast<double>(base.phases[i].exclusive_cycles) /
+                           static_cast<double>(base_ops)
+                     : 0;
+    row.test_cycles_per_op =
+        test_ops > 0 ? static_cast<double>(test.phases[i].exclusive_cycles) /
+                           static_cast<double>(test_ops)
+                     : 0;
+    row.delta_cycles_per_op = row.test_cycles_per_op - row.base_cycles_per_op;
+    row.base_calls = base.phases[i].calls;
+    row.test_calls = test.phases[i].calls;
+    base_attributed += row.base_cycles_per_op;
+    test_attributed += row.test_cycles_per_op;
+    diff.rows.push_back(row);
+  }
+  std::sort(diff.rows.begin(), diff.rows.end(),
+            [](const ProfileDiffRow& a, const ProfileDiffRow& b) {
+              return std::fabs(a.delta_cycles_per_op) >
+                     std::fabs(b.delta_cycles_per_op);
+            });
+  diff.base_unattributed_cycles_per_op = base_cycles_per_op - base_attributed;
+  diff.test_unattributed_cycles_per_op = test_cycles_per_op - test_attributed;
+  diff.unattributed_delta_cycles_per_op =
+      diff.test_unattributed_cycles_per_op -
+      diff.base_unattributed_cycles_per_op;
+  return diff;
+}
+
+double ProfileDiff::attributed_gap_cycles_per_op() const {
+  double sum = unattributed_delta_cycles_per_op;
+  for (const ProfileDiffRow& row : rows) {
+    sum += row.delta_cycles_per_op;
+  }
+  return sum;
+}
+
+std::string ProfileDiff::ToText() const {
+  TextTable table({"Phase", base_name + " cyc/op", test_name + " cyc/op",
+                   "delta cyc/op", "share of gap"});
+  auto add_row = [&](const std::string& name, double base, double test,
+                     double delta) {
+    char b[32], t[32], d[32], s[32];
+    std::snprintf(b, sizeof(b), "%.1f", base);
+    std::snprintf(t, sizeof(t), "%.1f", test);
+    std::snprintf(d, sizeof(d), "%+.1f", delta);
+    if (std::fabs(gap_cycles_per_op) > 1e-9) {
+      std::snprintf(s, sizeof(s), "%.0f%%",
+                    100.0 * delta / gap_cycles_per_op);
+    } else {
+      std::snprintf(s, sizeof(s), "-");
+    }
+    table.AddRow({name, b, t, d, s});
+  };
+  for (const ProfileDiffRow& row : rows) {
+    add_row(ProfPhaseName(row.phase), row.base_cycles_per_op,
+            row.test_cycles_per_op, row.delta_cycles_per_op);
+  }
+  add_row("(unattributed)", base_unattributed_cycles_per_op,
+          test_unattributed_cycles_per_op, unattributed_delta_cycles_per_op);
+  char summary[160];
+  std::snprintf(summary, sizeof(summary),
+                "%s %.1f cyc/op -> %s %.1f cyc/op: gap %+.1f, attributed "
+                "%+.1f\n",
+                base_name.c_str(), base_cycles_per_op, test_name.c_str(),
+                test_cycles_per_op, gap_cycles_per_op,
+                attributed_gap_cycles_per_op());
+  return table.Render() + summary;
+}
+
+JsonValue ProfileDiff::ToJson() const {
+  JsonValue out = JsonValue::Object();
+  out.Set("base", JsonValue(base_name));
+  out.Set("test", JsonValue(test_name));
+  out.Set("base_cycles_per_op", JsonValue(base_cycles_per_op));
+  out.Set("test_cycles_per_op", JsonValue(test_cycles_per_op));
+  out.Set("gap_cycles_per_op", JsonValue(gap_cycles_per_op));
+  out.Set("attributed_gap_cycles_per_op",
+          JsonValue(attributed_gap_cycles_per_op()));
+  JsonValue phases = JsonValue::Array();
+  for (const ProfileDiffRow& row : rows) {
+    JsonValue p = JsonValue::Object();
+    p.Set("name", JsonValue(ProfPhaseName(row.phase)));
+    p.Set("base_cycles_per_op", JsonValue(row.base_cycles_per_op));
+    p.Set("test_cycles_per_op", JsonValue(row.test_cycles_per_op));
+    p.Set("delta_cycles_per_op", JsonValue(row.delta_cycles_per_op));
+    p.Set("base_calls", JsonValue(row.base_calls));
+    p.Set("test_calls", JsonValue(row.test_calls));
+    phases.Append(std::move(p));
+  }
+  out.Set("phases", std::move(phases));
+  out.Set("base_unattributed_cycles_per_op",
+          JsonValue(base_unattributed_cycles_per_op));
+  out.Set("test_unattributed_cycles_per_op",
+          JsonValue(test_unattributed_cycles_per_op));
+  out.Set("unattributed_delta_cycles_per_op",
+          JsonValue(unattributed_delta_cycles_per_op));
+  return out;
+}
+
+}  // namespace obs
+}  // namespace arthas

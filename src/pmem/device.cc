@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "obs/flight_recorder.h"
 #include "obs/obs.h"
+#include "obs/profiler.h"
 
 namespace arthas {
 
@@ -31,6 +32,7 @@ PmemDevice::StripeGuard::StripeGuard(const PmemDevice& device, PmOffset offset,
   if (size == 0) {
     return;
   }
+  ARTHAS_PROFILE(kLockWait);
   const uint64_t first_line = offset / kCacheLineSize;
   const uint64_t last_line = (offset + size - 1) / kCacheLineSize;
   if (last_line - first_line + 1 >= kNumStripes) {
@@ -70,10 +72,14 @@ void PmemDevice::MakeDurable(PmOffset offset, size_t size) {
   PmOffset line_end = (offset + size + kCacheLineSize - 1) &
                       ~(static_cast<PmOffset>(kCacheLineSize) - 1);
   line_end = std::min<PmOffset>(line_end, live_.size());
-  std::memcpy(durable_.data() + line_start, live_.data() + line_start,
-              line_end - line_start);
-  stats_.flushed_lines += (line_end - line_start) / kCacheLineSize;
-  stats_.persisted_bytes += size;
+  {
+    ARTHAS_PROFILE(kFlush);
+    std::memcpy(durable_.data() + line_start, live_.data() + line_start,
+                line_end - line_start);
+    stats_.flushed_lines += (line_end - line_start) / kCacheLineSize;
+    stats_.persisted_bytes += size;
+  }
+  ARTHAS_PROFILE(kObsHook);
   // `media.bytes` counts whole flushed lines (what actually hits media),
   // while `persist.bytes` counts what the program asked for — the gap is
   // the write amplification of cache-line rounding.
@@ -100,6 +106,7 @@ void PmemDevice::Persist(PmOffset offset, size_t size) {
   }
   StripeGuard guard(*this, offset, size);
   NotifyAndMakeDurable(offset, size);
+  ARTHAS_PROFILE(kObsHook);
   ARTHAS_COUNTER_ADD("pmem.persist.count", 1);
   ARTHAS_FLIGHT_RECORD(obs::FrType::kPersist, device_id_, offset, size, 0);
 }
@@ -111,6 +118,7 @@ void PmemDevice::PersistQuiet(PmOffset offset, size_t size) {
   StripeGuard guard(*this, offset, size);
   MakeDurable(offset, size);
   stats_.persists++;
+  ARTHAS_PROFILE(kObsHook);
   ARTHAS_COUNTER_ADD("pmem.persist.count", 1);
   ARTHAS_FLIGHT_RECORD(obs::FrType::kPersistQuiet, device_id_, offset, size,
                        0);
@@ -120,6 +128,7 @@ void PmemDevice::FlushLines(PmOffset offset, size_t size) {
   if (size == 0) {
     return;
   }
+  ARTHAS_PROFILE(kFlush);
   const uint64_t first_line = offset / kCacheLineSize;
   const uint64_t last_line = (offset + size - 1) / kCacheLineSize;
   // The release order pairs with Drain's acquire exchange: a drainer that
@@ -149,10 +158,14 @@ void PmemDevice::FlushLines(PmOffset offset, size_t size) {
   while (hi_word > hi && !pending_hi_.compare_exchange_weak(
                              hi, hi_word, std::memory_order_release)) {
   }
-  ARTHAS_FLIGHT_RECORD(obs::FrType::kFlush, device_id_, offset, size, 0);
+  {
+    ARTHAS_PROFILE(kObsHook);
+    ARTHAS_FLIGHT_RECORD(obs::FrType::kFlush, device_id_, offset, size, 0);
+  }
 }
 
 void PmemDevice::Drain() {
+  ARTHAS_PROFILE(kDrain);
   stats_.drains++;
   ARTHAS_COUNTER_ADD("pmem.drain.count", 1);
   // Claim each staged word with an atomic exchange (never holding a lock),
@@ -192,8 +205,11 @@ void PmemDevice::Drain() {
       NotifyAndMakeDurable(run_offset, run_size);
     }
   }
-  ARTHAS_FLIGHT_RECORD(obs::FrType::kDrain, device_id_, 0, 0,
-                       hi >= lo ? hi - lo + 1 : 0);
+  {
+    ARTHAS_PROFILE(kObsHook);
+    ARTHAS_FLIGHT_RECORD(obs::FrType::kDrain, device_id_, 0, 0,
+                         hi >= lo ? hi - lo + 1 : 0);
+  }
 }
 
 void PmemDevice::ClearPending() {

@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "obs/flight_recorder.h"
 #include "obs/obs.h"
+#include "obs/profiler.h"
 
 namespace arthas {
 
@@ -557,7 +558,12 @@ Status PmemPool::TxBegin(TxContext& ctx) {
   if (ctx.active) {
     return FailedPrecondition("nested transactions are not supported");
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::mutex> lock(mutex_, std::defer_lock);
+  {
+    ARTHAS_PROFILE(kLockWait);
+    lock.lock();
+  }
+  ARTHAS_PROFILE(kBookkeeping);
   PoolHeader* h = header();
   int slot = -1;
   if (!slot_busy_[0]) {
@@ -600,8 +606,11 @@ Status PmemPool::TxBegin(TxContext& ctx) {
   ctx.slot = slot;
   ctx.log_count = 0;
   ctx.log_bytes = 0;
-  ARTHAS_FLIGHT_RECORD(obs::FrType::kTxBegin, device_->device_id(),
-                       static_cast<uint64_t>(slot), 0, tx_id);
+  {
+    ARTHAS_PROFILE(kObsHook);
+    ARTHAS_FLIGHT_RECORD(obs::FrType::kTxBegin, device_->device_id(),
+                         static_cast<uint64_t>(slot), 0, tx_id);
+  }
   for (PoolObserver* obs : observers_) {
     obs->OnTxBegin(tx_id);
   }
@@ -612,7 +621,12 @@ Status PmemPool::TxAddRange(TxContext& ctx, PmOffset offset, size_t size) {
   if (!ctx.active) {
     return FailedPrecondition("tx_add_range outside transaction");
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::mutex> lock(mutex_, std::defer_lock);
+  {
+    ARTHAS_PROFILE(kLockWait);
+    lock.lock();
+  }
+  ARTHAS_PROFILE(kBookkeeping);
   PoolHeader* h = header();
   const uint64_t capacity =
       ctx.slot == 0 ? Slot0CapacityLocked() : ctx.undo_capacity;
@@ -638,8 +652,11 @@ Status PmemPool::TxAddRange(TxContext& ctx, PmOffset offset, size_t size) {
                 sizeof(desc));
     PersistTxSlotDescriptor(ctx.slot);
   }
-  ARTHAS_FLIGHT_RECORD(obs::FrType::kTxAddRange, device_->device_id(), offset,
-                       size, ctx.tx_id);
+  {
+    ARTHAS_PROFILE(kObsHook);
+    ARTHAS_FLIGHT_RECORD(obs::FrType::kTxAddRange, device_->device_id(),
+                         offset, size, ctx.tx_id);
+  }
   return OkStatus();
 }
 
@@ -657,7 +674,12 @@ Status PmemPool::TxCommit(TxContext& ctx) {
     return FailedPrecondition("commit outside transaction");
   }
   ARTHAS_COUNTER_ADD("pool.tx_commit.count", 1);
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::mutex> lock(mutex_, std::defer_lock);
+  {
+    ARTHAS_PROFILE(kLockWait);
+    lock.lock();
+  }
+  ARTHAS_PROFILE(kBookkeeping);
   PoolHeader* h = header();
   // Make every range registered in this transaction durable, firing the
   // durability observers (which is where the Arthas checkpoint library
@@ -683,8 +705,11 @@ Status PmemPool::TxCommit(TxContext& ctx) {
   slot_busy_[ctx.slot] = false;
   const uint64_t tx_id = ctx.tx_id;
   ctx = TxContext{};
-  ARTHAS_FLIGHT_RECORD(obs::FrType::kTxCommit, device_->device_id(), 0, 0,
-                       tx_id);
+  {
+    ARTHAS_PROFILE(kObsHook);
+    ARTHAS_FLIGHT_RECORD(obs::FrType::kTxCommit, device_->device_id(), 0, 0,
+                         tx_id);
+  }
   for (PoolObserver* obs : observers_) {
     obs->OnTxCommit(tx_id);
   }

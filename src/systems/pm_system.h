@@ -260,20 +260,10 @@ class PmSystemTarget {
 // shared gate is held, so the bucket geometry it derives from is stable.
 class RequestGuard {
  public:
-  RequestGuard(PmSystemTarget& system, const Request& request) {
-    if (system.lock_mode() == RequestLockMode::kCoarse) {
-      coarse_ = std::unique_lock<std::mutex>(system.request_mutex());
-      return;
-    }
-    system.DrainPendingMaintenance();
-    if (!system.ShardableOp(request)) {
-      exclusive_ = std::unique_lock<std::shared_mutex>(system.structural_gate());
-      return;
-    }
-    shared_ = std::shared_lock<std::shared_mutex>(system.structural_gate());
-    stripe_ = std::unique_lock<std::mutex>(
-        system.request_stripe(system.RequestStripeOf(request.key)));
-  }
+  // Out-of-line (system_base.cc): the acquisitions are profiled as
+  // lock-wait time, and this header is included too widely to pull in
+  // obs/profiler.h.
+  RequestGuard(PmSystemTarget& system, const Request& request);
 
   RequestGuard(const RequestGuard&) = delete;
   RequestGuard& operator=(const RequestGuard&) = delete;

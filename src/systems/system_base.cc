@@ -4,8 +4,32 @@
 
 #include "common/logging.h"
 #include "obs/flight_recorder.h"
+#include "obs/profiler.h"
+#include "systems/pm_system.h"
 
 namespace arthas {
+
+RequestGuard::RequestGuard(PmSystemTarget& system, const Request& request) {
+  if (system.lock_mode() == RequestLockMode::kCoarse) {
+    ARTHAS_PROFILE(kLockWait);
+    coarse_ = std::unique_lock<std::mutex>(system.request_mutex());
+    return;
+  }
+  {
+    // Deferred maintenance piggybacks on the next request; charge it as
+    // bookkeeping, not lock wait (it does real structural work inside).
+    ARTHAS_PROFILE(kBookkeeping);
+    system.DrainPendingMaintenance();
+  }
+  ARTHAS_PROFILE(kLockWait);
+  if (!system.ShardableOp(request)) {
+    exclusive_ = std::unique_lock<std::shared_mutex>(system.structural_gate());
+    return;
+  }
+  shared_ = std::shared_lock<std::shared_mutex>(system.structural_gate());
+  stripe_ = std::unique_lock<std::mutex>(
+      system.request_stripe(system.RequestStripeOf(request.key)));
+}
 
 PmSystemBase::PmSystemBase(std::string name, size_t pool_size)
     : name_(std::move(name)) {

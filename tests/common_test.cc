@@ -127,6 +127,17 @@ TEST(ClockTest, MonotonicNanosIsMonotonic) {
   EXPECT_GE(b, a);
 }
 
+TEST(ClockTest, CyclesPerNanosecondInSaneRange) {
+  // Any plausible TSC runs between 10 MHz and 1 THz; the non-x86 fallback
+  // is exactly 1 (CycleCount *is* MonotonicNanos there). A value outside
+  // this range means the calibration window measured garbage.
+  const double cpn = CyclesPerNanosecond();
+  EXPECT_GT(cpn, 0.01);
+  EXPECT_LT(cpn, 1000.0);
+  // Calibration happens once: repeated calls return the cached ratio.
+  EXPECT_EQ(CyclesPerNanosecond(), cpn);
+}
+
 // --- PersistentPtr / PersistentVar -------------------------------------------------
 
 struct Record {

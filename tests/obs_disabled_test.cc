@@ -9,6 +9,7 @@
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "obs/profiler.h"
 #include "obs/span.h"
 #include "obs/timeseries.h"
 
@@ -48,6 +49,23 @@ TEST(ObsDisabledTest, MacrosAreNoOps) {
   for (const obs::SpanEvent& event : obs::SpanTracer::Global().Snapshot()) {
     EXPECT_NE(event.name.substr(0, 8), "disabled");
   }
+}
+
+TEST(ObsDisabledTest, ProfileMacroIsNoOp) {
+  // ARTHAS_PROFILE expands to nothing in this TU: even with the global
+  // profiler runtime-enabled, a "scope" here records no frames.
+  obs::PhaseProfiler& profiler = obs::PhaseProfiler::Global();
+  profiler.Reset();
+  profiler.set_enabled(true);
+  const obs::ProfileSnapshot before = profiler.Snapshot();
+  {
+    ARTHAS_PROFILE(kFlush);
+    ARTHAS_PROFILE(kDrain);
+  }
+  profiler.set_enabled(false);
+  const obs::ProfileSnapshot after = profiler.Snapshot();
+  EXPECT_EQ(before.total_calls(), after.total_calls());
+  EXPECT_EQ(before.total_exclusive_cycles(), after.total_exclusive_cycles());
 }
 
 TEST(ObsDisabledTest, TelemetryMacrosAreNoOps) {
