@@ -9,6 +9,11 @@
 // `--fault <label>` (e.g. `--fault f3`) restricts the run to one fault —
 // the CI forensics smoke job uses this to get a crash report quickly. The
 // default (no flag) output is byte-identical to the full run.
+//
+// `--substrate {arthas,fase}` selects the consistency substrate. Under fase
+// nothing committed is revertible, so the Arthas column degenerates to
+// refuse-reversion + restart; a recovering cell discards only the rolled-
+// back crashed section, not reverted history.
 
 #include <cstdio>
 #include <cstring>
@@ -18,14 +23,24 @@
 #include "harness/artifacts.h"
 #include "harness/timeline_scenario.h"
 #include "obs/forensics.h"
+#include "substrate/substrate.h"
 
 int main(int argc, char** argv) {
   arthas::ObsArtifactWriter obs_artifacts(argc, argv);
   using namespace arthas;
   const char* fault_filter = nullptr;
+  SubstrateKind substrate = SubstrateKind::kArthasCheckpoint;
   for (int i = 1; i + 1 < argc; i++) {
     if (std::strcmp(argv[i], "--fault") == 0) {
       fault_filter = argv[++i];
+    } else if (std::strcmp(argv[i], "--substrate") == 0) {
+      auto parsed = ParseSubstrateKind(argv[++i]);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "unknown --substrate '%s' (arthas|fase)\n",
+                     argv[i]);
+        return 2;
+      }
+      substrate = *parsed;
     }
   }
   TextTable table({"Fault", "Arthas", "ArCkpt", "pmCRIU"});
@@ -38,9 +53,12 @@ int main(int argc, char** argv) {
       continue;
     }
     std::fprintf(stderr, "running %s...\n", d.label);
-    ExperimentResult a = RunCell(d.id, Solution::kArthas);
-    ExperimentResult c = RunCell(d.id, Solution::kArCkpt);
-    ExperimentResult p = RunCell(d.id, Solution::kPmCriu);
+    ExperimentResult a = RunCell(d.id, Solution::kArthas, 42,
+                                 ReversionMode::kPurge, false, substrate);
+    ExperimentResult c = RunCell(d.id, Solution::kArCkpt, 42,
+                                 ReversionMode::kPurge, false, substrate);
+    ExperimentResult p = RunCell(d.id, Solution::kPmCriu, 42,
+                                 ReversionMode::kPurge, false, substrate);
     auto fmt = [](const ExperimentResult& r) {
       if (!r.recovered) {
         return std::string("X");
@@ -56,6 +74,9 @@ int main(int argc, char** argv) {
       sum_pmcriu += p.discarded_fraction;
       n_pmcriu++;
     }
+  }
+  if (substrate != SubstrateKind::kArthasCheckpoint) {
+    std::printf("substrate: %s\n", SubstrateKindName(substrate));
   }
   std::printf("Figure 9: Data discarded in rollback by different "
               "solutions\n%s\n",

@@ -17,6 +17,13 @@
 // gate). The default (no flag) path is the original single-threaded
 // measurement, byte-identical to before.
 //
+// `--substrate {arthas,fase,all}` measures consistency-substrate overhead
+// instead: per-system single-threaded throughput with the named
+// substrate(s) attached (requests demarcated as sections through the
+// PmSystemBase NVI) relative to a vanilla run. The per-substrate
+// vanilla-relative throughput ratios land under "substrates" in
+// BENCH_overhead.json and are gated by check_perf_baseline.py --substrate.
+//
 // `--recorder-overhead` measures the durability flight recorder's cost
 // instead: the same single-threaded Arthas-mode run with the recorder
 // runtime-enabled vs runtime-disabled (the one-binary proxy for an
@@ -50,6 +57,7 @@
 #include "systems/memcached_mini.h"
 #include "systems/pelikan_mini.h"
 #include "systems/pmemkv_mini.h"
+#include "substrate/substrate.h"
 #include "systems/redis_mini.h"
 #include "workload/ycsb.h"
 #include "harness/artifacts.h"
@@ -553,6 +561,107 @@ int RunRecorderOverhead(int repeat) {
   return 0;
 }
 
+// Single-threaded throughput with a consistency substrate attached and
+// installed on the system, so every Handle() demarcates one section. The
+// arthas substrate also runs the tracer (its full deployed stack); FASE
+// needs no trace — its cost is the persistent undo log.
+double MeasureThroughputSubstrate(const SystemFactory& factory,
+                                  SubstrateKind kind, bool ycsb_mix) {
+  auto system = factory();
+  system->tracer().set_enabled(kind == SubstrateKind::kArthasCheckpoint);
+  auto substrate = MakeSubstrate(kind);
+  if (Status s = substrate->Attach(system->pool()); !s.ok()) {
+    std::fprintf(stderr, "substrate attach failed: %s\n",
+                 s.ToString().c_str());
+    return 0;
+  }
+  system->set_substrate(substrate.get());
+
+  YcsbConfig wl;
+  wl.key_space = 400;
+  wl.read_fraction = ycsb_mix ? 0.5 : 0.0;
+  wl.value_size = 16;
+  YcsbWorkload workload(wl, 7);
+
+  const int64_t start = MonotonicNanos();
+  for (int i = 0; i < kOps; i++) {
+    SimulatedRequestWork();
+    system->Handle(workload.Next());
+  }
+  const int64_t elapsed = MonotonicNanos() - start;
+  system->set_substrate(nullptr);
+  substrate->Detach();
+  return static_cast<double>(kOps) / (static_cast<double>(elapsed) / 1e9);
+}
+
+// The --substrate mode: per-system throughput under each selected
+// substrate, relative to vanilla.
+int RunSubstrateOverhead(const std::vector<SubstrateKind>& kinds) {
+  const std::vector<SystemSpec> systems = MakeSystems();
+
+  std::vector<std::string> headers = {"System", "Vanilla (op/s)"};
+  for (const SubstrateKind kind : kinds) {
+    headers.push_back(std::string("w/ ") + SubstrateKindName(kind));
+  }
+  for (const SubstrateKind kind : kinds) {
+    headers.push_back(std::string(SubstrateKindName(kind)) + " rel.");
+  }
+  TextTable table(headers);
+  obs::JsonValue json_systems = obs::JsonValue::Array();
+  std::vector<double> min_ratio(kinds.size(), 1e9);
+  for (const SystemSpec& spec : systems) {
+    std::fprintf(stderr, "measuring %s (substrate overhead)...\n",
+                 spec.name.c_str());
+    const double vanilla =
+        MeasureThroughput(spec.factory, Mode::kVanilla, spec.ycsb_mix);
+    std::vector<std::string> row = {spec.name};
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0fK", vanilla / 1000);
+    row.push_back(buf);
+    obs::JsonValue json_row = obs::JsonValue::Object();
+    json_row.Set("name", obs::JsonValue(spec.name));
+    json_row.Set("vanilla_ops_per_sec", obs::JsonValue(vanilla));
+    std::vector<std::string> ratio_cells;
+    for (size_t k = 0; k < kinds.size(); k++) {
+      const double with =
+          MeasureThroughputSubstrate(spec.factory, kinds[k], spec.ycsb_mix);
+      const double ratio = vanilla > 0 ? with / vanilla : 0;
+      min_ratio[k] = std::min(min_ratio[k], ratio);
+      std::snprintf(buf, sizeof(buf), "%.0fK", with / 1000);
+      row.push_back(buf);
+      std::snprintf(buf, sizeof(buf), "%.3f", ratio);
+      ratio_cells.push_back(buf);
+      const std::string name = SubstrateKindName(kinds[k]);
+      json_row.Set(name + "_ops_per_sec", obs::JsonValue(with));
+      json_row.Set(name + "_ratio", obs::JsonValue(ratio));
+    }
+    row.insert(row.end(), ratio_cells.begin(), ratio_cells.end());
+    table.AddRow(row);
+    json_systems.Append(std::move(json_row));
+  }
+  std::printf("Consistency-substrate overhead (single-threaded, %d ops, "
+              "throughput relative to vanilla)\n%s\n",
+              kOps, table.Render().c_str());
+  std::printf("arthas = per-persist checkpointing + tracing (the paper's "
+              "stack); fase = failure-atomic sections with a persistent "
+              "undo log, no trace.\n");
+
+  obs::JsonValue doc = obs::JsonValue::Object();
+  doc.Set("bench", obs::JsonValue("overhead"));
+  doc.Set("mode", obs::JsonValue("substrate_overhead"));
+  doc.Set("ops", obs::JsonValue(static_cast<int64_t>(kOps)));
+  obs::JsonValue substrates = obs::JsonValue::Object();
+  for (size_t k = 0; k < kinds.size(); k++) {
+    obs::JsonValue entry = obs::JsonValue::Object();
+    entry.Set("min_vanilla_ratio", obs::JsonValue(min_ratio[k]));
+    substrates.Set(SubstrateKindName(kinds[k]), std::move(entry));
+  }
+  doc.Set("substrates", std::move(substrates));
+  doc.Set("systems", std::move(json_systems));
+  WriteArtifact(doc);
+  return 0;
+}
+
 }  // namespace
 }  // namespace arthas
 
@@ -563,9 +672,24 @@ int main(int argc, char** argv) {
   int repeat = 3;
   uint64_t total_ops = arthas::kOps;
   arthas::RequestLockMode lock_mode = arthas::RequestLockMode::kCoarse;
+  std::vector<arthas::SubstrateKind> substrate_kinds;
   for (int i = 1; i < argc; i++) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--substrate") == 0 && i + 1 < argc) {
+      i++;
+      if (std::strcmp(argv[i], "all") == 0) {
+        substrate_kinds = {arthas::SubstrateKind::kArthasCheckpoint,
+                           arthas::SubstrateKind::kFase};
+      } else {
+        auto parsed = arthas::ParseSubstrateKind(argv[i]);
+        if (!parsed.ok()) {
+          std::fprintf(stderr, "unknown --substrate '%s' (arthas|fase|all)\n",
+                       argv[i]);
+          return 2;
+        }
+        substrate_kinds = {*parsed};
+      }
     } else if (std::strcmp(argv[i], "--recorder-overhead") == 0) {
       recorder_overhead = true;
     } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
@@ -582,6 +706,9 @@ int main(int argc, char** argv) {
         return 2;
       }
     }
+  }
+  if (!substrate_kinds.empty()) {
+    return arthas::RunSubstrateOverhead(substrate_kinds);
   }
   if (recorder_overhead) {
     return arthas::RunRecorderOverhead(repeat);

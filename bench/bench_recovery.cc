@@ -4,8 +4,17 @@
 // Paper's result: Arthas recovers 12/12; pmCRIU recovers 9 deterministic
 // cases plus f5 with 1/10 and f8 with 4/10 probability, and fails f3;
 // ArCkpt recovers only the immediate-crash cases f4 and f10.
+//
+// `--substrate {arthas,fase}` selects the consistency substrate the targets
+// run under. The default (arthas) output is byte-identical to before. Under
+// fase, requests run as failure-atomic sections with a persistent undo log;
+// recovery rolls the crashed section back, so crash-at-fault cases come
+// back clean by construction, while recurring logic bugs stay unrecoverable
+// — reversion is refused (FASE commits are final) and the reactor's one
+// restart probe hits the same fault again.
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "harness/experiment.h"
@@ -13,11 +22,12 @@
 #include "harness/artifacts.h"
 #include "harness/timeline_scenario.h"
 #include "obs/forensics.h"
+#include "substrate/substrate.h"
 
 namespace arthas {
 namespace {
 
-std::string Cell(FaultId fault, Solution solution) {
+std::string Cell(FaultId fault, Solution solution, SubstrateKind substrate) {
   const FaultDescriptor& d = DescriptorFor(fault);
   // f5 and f8 under pmCRIU are probabilistic: report success rate over 10
   // seeded runs (paper: 1/10 and 4/10).
@@ -28,16 +38,26 @@ std::string Cell(FaultId fault, Solution solution) {
   if (probabilistic) {
     int successes = 0;
     for (uint64_t seed = 1; seed <= 10; seed++) {
-      successes += RunCell(fault, solution, seed).recovered ? 1 : 0;
+      successes += RunCell(fault, solution, seed, ReversionMode::kPurge,
+                           false, substrate)
+                       .recovered
+                       ? 1
+                       : 0;
     }
     return std::to_string(successes) + "/10";
   }
-  ExperimentResult r = RunCell(fault, solution);
+  ExperimentResult r =
+      RunCell(fault, solution, 42, ReversionMode::kPurge, false, substrate);
   if (!r.triggered || !r.detected) {
     return "n/a(" + r.detail + ")";
   }
   (void)d;
-  return r.recovered ? "yes" : (r.timed_out ? "no (timeout)" : "no");
+  std::string cell =
+      r.recovered ? "yes" : (r.timed_out ? "no (timeout)" : "no");
+  if (r.reversion_refused) {
+    cell += "*";
+  }
+  return cell;
 }
 
 }  // namespace
@@ -46,14 +66,31 @@ std::string Cell(FaultId fault, Solution solution) {
 int main(int argc, char** argv) {
   arthas::ObsArtifactWriter obs_artifacts(argc, argv);
   using namespace arthas;
+  SubstrateKind substrate = SubstrateKind::kArthasCheckpoint;
+  for (int i = 1; i + 1 < argc; i++) {
+    if (std::strcmp(argv[i], "--substrate") == 0) {
+      auto parsed = ParseSubstrateKind(argv[++i]);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "unknown --substrate '%s' (arthas|fase)\n",
+                     argv[i]);
+        return 2;
+      }
+      substrate = *parsed;
+    }
+  }
   std::printf(
       "Table 3: Recoverability in mitigating the evaluated failures\n");
+  if (substrate != SubstrateKind::kArthasCheckpoint) {
+    std::printf("substrate: %s (failure-atomic sections; reversion refused, "
+                "'*' marks refuse-reversion + restart cells)\n",
+                SubstrateKindName(substrate));
+  }
   TextTable table({"Fault", "Description", "pmCRIU", "ArCkpt", "Arthas"});
   for (const FaultDescriptor& d : AllFaults()) {
     std::fprintf(stderr, "running %s...\n", d.label);
-    table.AddRow({d.label, d.fault, Cell(d.id, Solution::kPmCriu),
-                  Cell(d.id, Solution::kArCkpt),
-                  Cell(d.id, Solution::kArthas)});
+    table.AddRow({d.label, d.fault, Cell(d.id, Solution::kPmCriu, substrate),
+                  Cell(d.id, Solution::kArCkpt, substrate),
+                  Cell(d.id, Solution::kArthas, substrate)});
   }
   std::printf("%s\n", table.Render().c_str());
   std::printf("Paper: Arthas 12/12; pmCRIU 9 cases + f5 at 1/10 and f8 at "

@@ -2,9 +2,10 @@
 """CI validator for the crash-forensics JSON artifact.
 
 Checks that a file produced by `--forensics-json` conforms to forensics
-schema version 1 (see src/obs/forensics.h and DESIGN.md): every required
+schema version 2 (see src/obs/forensics.h and DESIGN.md): every required
 key is present with the right JSON type, including the per-item layout of
-lost_lines, open_transactions, reactor_candidates, and persist_order.
+lost_lines, open_transactions, open_sections, reactor_candidates, and
+persist_order. Version 1 files (no open_sections) are accepted too.
 Exits 1 with a path-qualified message on the first violation.
 
 Usage: check_forensics_schema.py [forensics.json]
@@ -51,8 +52,18 @@ def check_report(doc) -> None:
         "reactor_candidates": list,
         "persist_order": dict,
     })
-    expect(doc["schema_version"] == 1, "$.schema_version",
+    expect(doc["schema_version"] in (1, 2), "$.schema_version",
            f"unsupported version {doc['schema_version']}")
+    if doc["schema_version"] >= 2:
+        expect("open_sections" in doc, "$", "missing required key 'open_sections'")
+    for i, sec in enumerate(doc.get("open_sections", [])):
+        check_keys(sec, f"$.open_sections[{i}]", {
+            "section_id": NUMBER,
+            "tid": NUMBER,
+            "begin_seq": NUMBER,
+            "aborted": bool,
+            "rolled_back": bool,
+        })
     check_keys(doc["crash"], "$.crash", {
         "seq": NUMBER,
         "count": NUMBER,
@@ -122,16 +133,18 @@ def main() -> int:
     try:
         check_report(doc)
     except SchemaError as e:
-        print(f"FAIL: {path} does not match forensics schema v1: {e}")
+        print(f"FAIL: {path} does not match forensics schema: {e}")
         return 1
     if not doc["present"]:
         print(f"FAIL: {path} is schema-valid but reports no analyzed crash "
               "(present=false)")
         return 1
     print(
-        f"OK: {path} matches forensics schema v1 "
+        f"OK: {path} matches forensics schema "
+        f"v{int(doc['schema_version'])} "
         f"(crash #{int(doc['crash']['count'])}, "
         f"{len(doc['lost_lines'])} lost line(s), "
+        f"{len(doc.get('open_sections', []))} open section(s), "
         f"{len(doc['reactor_candidates'])} candidate decision(s))"
     )
     return 0

@@ -20,8 +20,17 @@ profiler ("profiler"), each bounded by the absolute ceiling in the
 baseline. The on/off quotients are measured in one process on one machine,
 so no cross-machine normalization is needed.
 
+With --substrate, the input is a BENCH_overhead.json produced by
+`bench_overhead --substrate all`, and the gated quantities are each
+consistency substrate's worst per-system vanilla-relative throughput
+ratio, floored by the matching "substrates" entry in the baseline. Both
+runs share a process, so the quotient needs no cross-machine
+normalization; the floors are deliberately loose (they catch a mechanism
+regression, not runner noise).
+
 Usage: check_perf_baseline.py [BENCH_hotpath.json] [bench/perf_baseline.json]
        check_perf_baseline.py --recorder [BENCH_overhead.json] [baseline]
+       check_perf_baseline.py --substrate [BENCH_overhead.json] [baseline]
 """
 
 import json
@@ -76,8 +85,47 @@ def check_recorder(measured_path: str, baseline_path: str) -> int:
     return status
 
 
+def check_substrates(measured_path: str, baseline_path: str) -> int:
+    with open(measured_path) as f:
+        measured = json.load(f)
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    if measured.get("mode") != "substrate_overhead":
+        print(f"FAIL: {measured_path} is not a --substrate overhead artifact")
+        return 1
+    floors = baseline.get("substrates")
+    if not floors:
+        print(f"FAIL: {baseline_path} has no substrates section")
+        return 1
+    status = 0
+    for name, entry in measured["substrates"].items():
+        if name not in floors:
+            print(f"FAIL: no baseline floor for substrate '{name}'")
+            status = 1
+            continue
+        ratio = entry["min_vanilla_ratio"]
+        floor = floors[name]["min_vanilla_ratio"]
+        print(
+            f"substrate '{name}': worst vanilla-relative throughput ratio "
+            f"{ratio:.3f}, floor {floor:.3f}"
+        )
+        if ratio < floor:
+            print(
+                f"FAIL: substrate '{name}' costs more throughput than the "
+                "floor in bench/perf_baseline.json allows"
+            )
+            status = 1
+    if status == 0:
+        print("OK: all substrates within budget")
+    return status
+
+
 def main() -> int:
     args = sys.argv[1:]
+    if args and args[0] == "--substrate":
+        measured_path = args[1] if len(args) > 1 else "BENCH_overhead.json"
+        baseline_path = args[2] if len(args) > 2 else "bench/perf_baseline.json"
+        return check_substrates(measured_path, baseline_path)
     if args and args[0] == "--recorder":
         measured_path = args[1] if len(args) > 1 else "BENCH_overhead.json"
         baseline_path = args[2] if len(args) > 2 else "bench/perf_baseline.json"

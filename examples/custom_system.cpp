@@ -100,7 +100,7 @@ class TaskQueue : public PmSystemBase {
   }
 
   // PmSystemTarget surface.
-  Response Handle(const Request&) override { return Response{}; }
+  Response HandleRequest(const Request&) override { return Response{}; }
   uint64_t ItemCount() override { return root()->count; }
   Status CheckConsistency() override { return pool_->CheckIntegrity(); }
 

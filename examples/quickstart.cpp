@@ -157,7 +157,7 @@ int main() {
     MiniTarget(CounterApp* app)
         : PmSystemBase("counter_app", 64 * 1024), app(app) {}
     Status Recover() override { return OkStatus(); }
-    Response Handle(const Request&) override { return Response{}; }
+    Response HandleRequest(const Request&) override { return Response{}; }
     uint64_t ItemCount() override { return 1; }
     Status CheckConsistency() override { return OkStatus(); }
   } target(&app);

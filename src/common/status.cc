@@ -26,6 +26,8 @@ const char* StatusCodeName(StatusCode code) {
       return "INTERNAL";
     case StatusCode::kUnimplemented:
       return "UNIMPLEMENTED";
+    case StatusCode::kBusy:
+      return "BUSY";
   }
   return "UNKNOWN";
 }

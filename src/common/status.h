@@ -26,6 +26,7 @@ enum class StatusCode {
   kTimeout,
   kInternal,
   kUnimplemented,
+  kBusy,             // resource transiently exhausted; retry after a release
 };
 
 // Returns a human-readable name, e.g. "OUT_OF_SPACE".
@@ -84,6 +85,9 @@ inline Status Internal(std::string m) {
 }
 inline Status Unimplemented(std::string m) {
   return Status(StatusCode::kUnimplemented, std::move(m));
+}
+inline Status Busy(std::string m) {
+  return Status(StatusCode::kBusy, std::move(m));
 }
 
 // A Status plus a value; holds the value only when the status is OK.

@@ -63,6 +63,7 @@ std::string MetricsArtifactJson() {
     obs::JsonValue cell = obs::JsonValue::Object();
     cell.Set("fault", obs::JsonValue(record.fault));
     cell.Set("solution", obs::JsonValue(record.solution));
+    cell.Set("substrate", obs::JsonValue(record.substrate));
     cell.Set("recovered", obs::JsonValue(record.recovered));
     cell.Set("attempts", obs::JsonValue(int64_t{record.attempts}));
     cell.Set("mitigation_time_us",
@@ -71,6 +72,8 @@ std::string MetricsArtifactJson() {
     forensics.Set("lost_lines", obs::JsonValue(record.forensics_lost_lines));
     forensics.Set("open_transactions",
                   obs::JsonValue(record.forensics_open_txs));
+    forensics.Set("open_sections",
+                  obs::JsonValue(record.forensics_open_sections));
     forensics.Set("summary", obs::JsonValue(record.forensics_summary));
     cell.Set("forensics", std::move(forensics));
     obs::JsonValue deltas = obs::JsonValue::Object();

@@ -36,6 +36,7 @@ namespace arthas {
 struct CellRecord {
   std::string fault;     // fault label, e.g. "f1"
   std::string solution;  // "Arthas" / "pmCRIU" / "ArCkpt"
+  std::string substrate;  // consistency substrate, "arthas" / "fase"
   bool recovered = false;
   int attempts = 0;
   int64_t mitigation_time_us = 0;  // virtual time
@@ -43,6 +44,7 @@ struct CellRecord {
   // without a crash or the flight recorder is compiled out).
   uint64_t forensics_lost_lines = 0;
   uint64_t forensics_open_txs = 0;
+  uint64_t forensics_open_sections = 0;
   std::string forensics_summary;
   // Registry counter movement attributable to this cell (after - before).
   std::map<std::string, uint64_t> counter_deltas;

@@ -562,6 +562,7 @@ ExperimentResult FaultExperiment::Run() {
   CellRecord record;
   record.fault = DescriptorFor(config_.fault).label;
   record.solution = SolutionName(config_.solution);
+  record.substrate = SubstrateKindName(config_.substrate);
   record.recovered = result.recovered;
   record.attempts = result.attempts;
   record.mitigation_time_us = result.mitigation_time;
@@ -573,6 +574,7 @@ ExperimentResult FaultExperiment::Run() {
   if (forensics.present) {
     record.forensics_lost_lines = forensics.lost_lines.size();
     record.forensics_open_txs = forensics.open_txs.size();
+    record.forensics_open_sections = forensics.open_sections.size();
     record.forensics_summary = forensics.summary;
     obs::SetLatestForensics(std::move(forensics));
   }
@@ -590,9 +592,22 @@ ExperimentResult FaultExperiment::RunInner() {
   BuildScript();
   system_->ArmFault(config_.fault);
 
-  if (config_.solution != Solution::kPmCriu) {
-    checkpoint_ = std::make_unique<CheckpointLog>(
-        system_->pool(), CheckpointConfig{config_.reactor.max_versions});
+  // Substrate selection. pmCRIU cells under the default substrate keep
+  // today's uninstrumented run (whole-image snapshots need no checkpoint
+  // log); every other combination attaches the configured substrate, and
+  // checkpoint_ borrows its log (null under FASE — consumers that need a
+  // log refuse instead of reaching for one that does not exist).
+  if (config_.substrate != SubstrateKind::kArthasCheckpoint ||
+      config_.solution != Solution::kPmCriu) {
+    SubstrateOptions options;
+    options.checkpoint_max_versions = config_.reactor.max_versions;
+    substrate_ = MakeSubstrate(config_.substrate, options);
+    if (Status s = substrate_->Attach(system_->pool()); !s.ok()) {
+      result.detail = "substrate attach failed: " + s.ToString();
+      return result;
+    }
+    system_->set_substrate(substrate_.get());
+    checkpoint_ = substrate_->checkpoint_log();
   }
   if (config_.solution == Solution::kPmCriu) {
     pmcriu_ =
@@ -701,11 +716,12 @@ ExperimentResult FaultExperiment::RunInner() {
       reactor_ = std::make_unique<Reactor>(system_->ir_model(),
                                            system_->guid_registry());
       MitigationOutcome outcome =
-          reactor_->Mitigate(hard_fault, system_->tracer(), *checkpoint_,
+          reactor_->Mitigate(hard_fault, system_->tracer(), *substrate_,
                              *system_, reexecute, clock_, config_.reactor);
       result.recovered = outcome.recovered;
       result.timed_out = outcome.timed_out;
       result.empty_plan = outcome.empty_plan;
+      result.reversion_refused = outcome.reversion_refused;
       result.attempts = outcome.reexecutions;
       result.mitigation_time = outcome.elapsed;
       result.leaked_objects_freed = outcome.freed_leak_objects;
@@ -732,6 +748,21 @@ ExperimentResult FaultExperiment::RunInner() {
       break;
     }
     case Solution::kArCkpt: {
+      if (checkpoint_ == nullptr) {
+        // Time-ordered reversion needs the checkpoint log's history; under
+        // FASE there is none. Refuse cleanly and probe one plain restart
+        // (whose recovery already rolled incomplete sections back).
+        result.reversion_refused = true;
+        clock_.Advance(config_.reactor.reexecution_delay);
+        const RunObservation obs = reexecute();
+        result.attempts = 1;
+        result.recovered = !obs.fault.has_value();
+        result.mitigation_time = config_.reactor.reexecution_delay;
+        result.detail = "reversion refused: substrate '" +
+                        std::string(substrate_->name()) +
+                        "' keeps no checkpoint log";
+        break;
+      }
       ArCkpt arckpt(config_.arckpt);
       ArCkptOutcome outcome = arckpt.Mitigate(*checkpoint_, reexecute, clock_);
       result.recovered = outcome.recovered;
@@ -778,13 +809,15 @@ ExperimentResult FaultExperiment::RunInner() {
 }
 
 ExperimentResult RunCell(FaultId fault, Solution solution, uint64_t seed,
-                         ReversionMode mode, bool evaluate_consistency) {
+                         ReversionMode mode, bool evaluate_consistency,
+                         SubstrateKind substrate) {
   ExperimentConfig config;
   config.fault = fault;
   config.solution = solution;
   config.seed = seed;
   config.reactor.mode = mode;
   config.evaluate_consistency = evaluate_consistency;
+  config.substrate = substrate;
   FaultExperiment experiment(config);
   return experiment.Run();
 }

@@ -26,6 +26,7 @@
 #include "detector/detector.h"
 #include "faults/fault_ids.h"
 #include "reactor/reactor.h"
+#include "substrate/substrate.h"
 #include "systems/system_base.h"
 
 namespace arthas {
@@ -39,6 +40,11 @@ struct ExperimentConfig {
   ReactorConfig reactor;
   PmCriuConfig pmcriu;
   ArCkptConfig arckpt;
+  // Consistency substrate the target runs under. The default reproduces
+  // the paper's stack (per-persist checkpoint log + reversion); kFase
+  // swaps in failure-atomic sections, under which the Arthas solution
+  // degenerates to refuse-reversion + restart (the reactor reports why).
+  SubstrateKind substrate = SubstrateKind::kArthasCheckpoint;
   uint64_t seed = 42;
   VirtualTime run_duration = 5 * kMinute;
   VirtualTime op_interval = 50 * kMillisecond;  // 20 ops/s of workload
@@ -71,6 +77,9 @@ struct ExperimentResult {
   uint64_t checkpoint_updates_discarded = 0;
   double discarded_fraction = 0.0;
   uint64_t leaked_objects_freed = 0;
+  // Reversion was refused because the substrate keeps no version history
+  // (FASE); mitigation degenerated to restart + section rollback.
+  bool reversion_refused = false;
   // Consistency evaluation (Table 4); meaningful when requested & recovered.
   bool consistent = false;
   std::string detail;
@@ -109,7 +118,11 @@ class FaultExperiment {
   VirtualClock clock_;
   Detector detector_;
   std::unique_ptr<PmSystemBase> system_;
-  std::unique_ptr<CheckpointLog> checkpoint_;
+  // The consistency substrate the cell runs under; checkpoint_ borrows the
+  // substrate's log (null under FASE — everything that needs a log must
+  // refuse instead).
+  std::unique_ptr<ConsistencySubstrate> substrate_;
+  CheckpointLog* checkpoint_ = nullptr;
   std::unique_ptr<PmCriu> pmcriu_;
   std::unique_ptr<Reactor> reactor_;
 
@@ -135,7 +148,9 @@ class FaultExperiment {
 // Convenience: run one (fault, solution) cell with default settings.
 ExperimentResult RunCell(FaultId fault, Solution solution, uint64_t seed = 42,
                          ReversionMode mode = ReversionMode::kPurge,
-                         bool evaluate_consistency = false);
+                         bool evaluate_consistency = false,
+                         SubstrateKind substrate =
+                             SubstrateKind::kArthasCheckpoint);
 
 }  // namespace arthas
 

@@ -18,6 +18,9 @@ MultiThreadedDriver::MultiThreadedDriver(PmSystemTarget& system,
 MtDriverResult MultiThreadedDriver::Run() {
   const int threads = config_.threads < 1 ? 1 : config_.threads;
   system_.set_lock_mode(config_.lock_mode);
+  if (config_.substrate != nullptr) {
+    system_.set_substrate(config_.substrate);
+  }
 
   struct ThreadState {
     uint64_t ops = 0;
@@ -110,6 +113,9 @@ MtDriverResult MultiThreadedDriver::Run() {
   // in the same structural state a coarse run reaches inline.
   system_.DrainPendingMaintenance();
   system_.set_lock_mode(RequestLockMode::kCoarse);
+  if (config_.substrate != nullptr) {
+    system_.set_substrate(nullptr);
+  }
 
   MtDriverResult result;
   obs::Histogram merged;

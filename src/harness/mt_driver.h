@@ -56,6 +56,12 @@ struct MtDriverConfig {
   // sharded (key-hashed stripes, for systems that support it). The driver
   // sets the mode on the system for the run and restores kCoarse after.
   RequestLockMode lock_mode = RequestLockMode::kCoarse;
+  // Consistency substrate for the run. When set, the driver installs it on
+  // the system (so each RequestGuard demarcates one failure-atomic
+  // section) and uninstalls it after the run. The caller owns the
+  // substrate and must have Attach()ed it to the system's pool; null keeps
+  // whatever the system already has.
+  ConsistencySubstrate* substrate = nullptr;
 };
 
 struct MtDriverResult {

@@ -61,6 +61,9 @@ const char* FrTypeName(FrType type) {
     case FrType::kFaultObserved: return "fault_observed";
     case FrType::kCandidateAccept: return "candidate_accept";
     case FrType::kCandidateReject: return "candidate_reject";
+    case FrType::kSectionBegin: return "section_begin";
+    case FrType::kSectionCommit: return "section_commit";
+    case FrType::kSectionAbort: return "section_abort";
   }
   return "unknown";
 }
@@ -78,6 +81,7 @@ const char* FrReasonName(FrReason reason) {
     case FrReason::kNoCure: return "no_cure";
     case FrReason::kRecovered: return "recovered";
     case FrReason::kDivergence: return "divergence";
+    case FrReason::kOpenAtCrash: return "open_at_crash";
   }
   return "unknown";
 }

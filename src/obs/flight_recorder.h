@@ -74,6 +74,12 @@ enum class FrType : uint8_t {
   // Reactor candidate decisions. addr = checkpoint seq, arg = rank in plan.
   kCandidateAccept,
   kCandidateReject,
+  // Consistency-substrate sections (FASE). arg = section id. An abort with
+  // reason kOpenAtCrash is recovery rolling back a section left open by a
+  // crash; without it, the abort happened live (fault latched mid-section).
+  kSectionBegin,
+  kSectionCommit,
+  kSectionAbort,
 };
 
 // Why an event happened, for kinds that need a cause (lost lines, reactor
@@ -90,6 +96,7 @@ enum class FrReason : uint8_t {
   kNoCure,             // candidate rejected: reverted but symptom persisted
   kRecovered,          // candidate accepted: re-execution passed after it
   kDivergence,         // checkpoint revert took the divergence path
+  kOpenAtCrash,        // section rolled back: it was open when power failed
 };
 
 const char* FrTypeName(FrType type);

@@ -22,6 +22,13 @@ struct TxState {
   uint64_t undo_bytes = 0;
 };
 
+// Replay state for one open failure-atomic section (FASE substrate).
+struct SectionState {
+  uint16_t tid = 0;
+  uint64_t begin_seq = 0;
+  bool aborted = false;  // the fault latched inside it before the crash
+};
+
 // Last recorded event that wrote/flushed a cache line.
 struct LastTouch {
   uint16_t tid = 0;
@@ -110,6 +117,7 @@ ForensicsReport AnalyzeCrash(const PmemDevice& device,
   // --- Replay the device's lifecycle up to the crash. ------------------------
   std::map<uint64_t, LastTouch> last_touch;          // line offset -> writer
   std::map<uint16_t, TxState> open_by_thread;        // tid -> open tx
+  std::map<uint64_t, SectionState> open_sections;    // section id -> state
   std::map<uint64_t, uint64_t> staged;               // line -> flush event seq
   std::vector<const FlightRecord*> lost_records;
 
@@ -190,6 +198,23 @@ ForensicsReport AnalyzeCrash(const PmemDevice& device,
       case FrType::kTxAbort:
         open_by_thread.erase(r.tid);
         break;
+      case FrType::kSectionBegin:
+        open_sections[r.arg] = SectionState{r.tid, r.seq, false};
+        break;
+      case FrType::kSectionCommit:
+        open_sections.erase(r.arg);
+        break;
+      case FrType::kSectionAbort:
+        if (r.reason == FrReason::kOpenAtCrash) {
+          // Recovery (of an earlier crash) already rolled it back.
+          open_sections.erase(r.arg);
+        } else if (auto it = open_sections.find(r.arg);
+                   it != open_sections.end()) {
+          // A live abort writes no commit record: the section stays
+          // incomplete until a post-crash recovery rolls it back.
+          it->second.aborted = true;
+        }
+        break;
       case FrType::kLineLost:
         if (i >= prev_boundary) {
           lost_records.push_back(&r);
@@ -256,6 +281,26 @@ ForensicsReport AnalyzeCrash(const PmemDevice& device,
               return a.tx_id < b.tx_id;
             });
 
+  // --- Failure-atomic sections open at the crash (FASE substrate). A
+  // post-crash section_abort with reason open_at_crash is recovery rolling
+  // the section back. ---------------------------------------------------------
+  for (const auto& [section_id, state] : open_sections) {
+    OpenSectionReport open;
+    open.section_id = section_id;
+    open.tid = state.tid;
+    open.begin_seq = state.begin_seq;
+    open.aborted = state.aborted;
+    for (size_t i = crash_index + 1; i < timeline.size(); i++) {
+      const FlightRecord& r = timeline[i];
+      if (r.type == FrType::kSectionAbort && r.arg == section_id &&
+          r.reason == FrReason::kOpenAtCrash) {
+        open.rolled_back = true;
+        break;
+      }
+    }
+    report.open_sections.push_back(open);
+  }
+
   // --- Reactor candidate decisions (recorded during mitigation, which runs
   // after the crash — scan the whole timeline). -------------------------------
   for (const FlightRecord& r : timeline) {
@@ -307,6 +352,9 @@ ForensicsReport AnalyzeCrash(const PmemDevice& device,
         case FrType::kTxBegin:
         case FrType::kTxCommit:
         case FrType::kTxAbort:
+        case FrType::kSectionBegin:
+        case FrType::kSectionCommit:
+        case FrType::kSectionAbort:
           keep = true;
           break;
         default:
@@ -363,6 +411,17 @@ ForensicsReport AnalyzeCrash(const PmemDevice& device,
     s << "; " << report.open_txs.size() << " transaction(s) open at the crash"
       << " (undo log covers " << undo_covered << "/"
       << report.lost_lines.size() << " lost lines)";
+  }
+  if (!report.open_sections.empty()) {
+    uint64_t rolled_back = 0;
+    for (const OpenSectionReport& sec : report.open_sections) {
+      if (sec.rolled_back) {
+        rolled_back++;
+      }
+    }
+    s << "; " << report.open_sections.size()
+      << " failure-atomic section(s) open at the crash (" << rolled_back
+      << " rolled back by recovery)";
   }
   if (!report.candidates.empty()) {
     s << "; reactor accepted " << accepted << " of "
@@ -421,6 +480,18 @@ std::string ForensicsReport::ToText() const {
         << tx.begin_seq << "): " << tx.ranges << " range(s), "
         << tx.undo_bytes << " undo byte(s), " << tx.lost_lines
         << " lost line(s) in its write set\n";
+  }
+
+  out << "\nopen failure-atomic sections at crash (" << open_sections.size()
+      << "):\n";
+  for (const OpenSectionReport& sec : open_sections) {
+    out << "  section " << sec.section_id << " (thread " << sec.tid
+        << ", begun @" << sec.begin_seq << "): "
+        << (sec.aborted ? "fault latched inside it" : "cut mid-flight")
+        << ", "
+        << (sec.rolled_back ? "rolled back by recovery"
+                            : "not yet rolled back")
+        << "\n";
   }
 
   out << "\nreactor candidate decisions (" << candidates.size() << "):\n";
@@ -496,6 +567,18 @@ JsonValue ForensicsReport::ToJson() const {
     txs.Append(std::move(v));
   }
   out.Set("open_transactions", std::move(txs));
+
+  JsonValue sections = JsonValue::Array();
+  for (const OpenSectionReport& sec : open_sections) {
+    JsonValue v = JsonValue::Object();
+    v.Set("section_id", JsonValue(sec.section_id));
+    v.Set("tid", JsonValue(uint64_t{sec.tid}));
+    v.Set("begin_seq", JsonValue(sec.begin_seq));
+    v.Set("aborted", JsonValue(sec.aborted));
+    v.Set("rolled_back", JsonValue(sec.rolled_back));
+    sections.Append(std::move(v));
+  }
+  out.Set("open_sections", std::move(sections));
 
   JsonValue cands = JsonValue::Array();
   for (const CandidateReport& c : candidates) {

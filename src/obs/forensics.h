@@ -28,7 +28,8 @@
 namespace arthas {
 namespace obs {
 
-inline constexpr int kForensicsSchemaVersion = 1;
+// v2 added the failure-atomic "open_sections" block (FASE substrate).
+inline constexpr int kForensicsSchemaVersion = 2;
 
 // A cache line whose writes never reached the durable image when the crash
 // hit, joined with the last recorded event that touched it.
@@ -59,6 +60,22 @@ struct OpenTxReport {
   uint64_t lost_lines = 0;   // lost lines falling inside its ranges
 };
 
+// A failure-atomic section (FASE substrate) that began but never committed
+// before the crash — either the crash cut it mid-flight or a latched fault
+// aborted it live (the simulated process-death point). Its writes are
+// all-or-nothing: recovery rolls the whole section back from the
+// persistent undo log.
+struct OpenSectionReport {
+  uint64_t section_id = 0;
+  uint16_t tid = 0;
+  uint64_t begin_seq = 0;
+  // The fault latched inside the section before the process died.
+  bool aborted = false;
+  // A post-crash section_abort event with reason open_at_crash confirmed
+  // that recovery rolled this section back.
+  bool rolled_back = false;
+};
+
 // One reactor decision about a rollback candidate.
 struct CandidateReport {
   uint64_t checkpoint_seq = 0;
@@ -85,6 +102,7 @@ struct ForensicsReport {
 
   std::vector<LostLineReport> lost_lines;
   std::vector<OpenTxReport> open_txs;
+  std::vector<OpenSectionReport> open_sections;
   std::vector<CandidateReport> candidates;
 
   // The persist-order window: the last events before the crash that touched

@@ -582,7 +582,11 @@ Status PmemPool::TxBegin(TxContext& ctx) {
     }
   }
   if (slot < 0) {
-    return FailedPrecondition("too many concurrent transactions");
+    // Transient exhaustion, not a protocol violation: every undo slot is
+    // held by a live transaction. Nothing was latched — the caller can
+    // retry after any one of them commits or aborts.
+    return Busy("all " + std::to_string(kMaxConcurrentTx) +
+                " concurrent transaction slots are busy");
   }
   slot_busy_[slot] = true;
   const uint64_t tx_id = next_tx_id_++;

@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "obs/flight_recorder.h"
 #include "obs/obs.h"
+#include "substrate/substrate.h"
 
 namespace arthas {
 
@@ -225,6 +226,37 @@ MitigationOutcome Reactor::MitigateLeak(const FaultInfo& fault,
   outcome.detail = "leak mitigation (" + std::string(FailureKindName(fault.kind)) +
                    "): freed " + std::to_string(outcome.freed_leak_objects) +
                    " unreachable persistent objects";
+  return outcome;
+}
+
+MitigationOutcome Reactor::Mitigate(const FaultInfo& fault, Tracer& tracer,
+                                    ConsistencySubstrate& substrate,
+                                    PmSystemTarget& target,
+                                    const ReexecuteFn& reexecute,
+                                    VirtualClock& clock,
+                                    const ReactorConfig& config) {
+  CheckpointLog* log = substrate.checkpoint_log();
+  if (substrate.revert_capable() && log != nullptr) {
+    return Mitigate(fault, tracer, *log, target, reexecute, clock, config);
+  }
+  // No version history to revert: refuse reversion explicitly and fall
+  // back to one plain restart. The substrate's own recovery (run inside
+  // Restart) rolls back incomplete sections; if the symptom was torn
+  // in-flight state it is gone, while a bug committed by an earlier
+  // section recurs — consistency-by-construction cannot cure logic bugs,
+  // which is exactly the comparison the FASE substrate exists to measure.
+  MitigationOutcome outcome;
+  outcome.reversion_refused = true;
+  const VirtualTime start = clock.Now();
+  clock.Advance(config.reexecution_delay);
+  const RunObservation obs = reexecute();
+  outcome.reexecutions = 1;
+  outcome.recovered = !obs.fault.has_value();
+  outcome.elapsed = clock.Now() - start;
+  outcome.detail = std::string("reversion refused: substrate '") +
+                   substrate.name() +
+                   "' is not revert-capable; restarted and rolled back "
+                   "incomplete sections instead";
   return outcome;
 }
 

@@ -43,6 +43,8 @@
 
 namespace arthas {
 
+class ConsistencySubstrate;
+
 enum class ReversionMode {
   kPurge,     // revert only dependent updates (fine-grained, default)
   kRollback,  // revert everything at or after each candidate (conservative)
@@ -90,6 +92,10 @@ struct MitigationOutcome {
   // The reversion plan was empty: the failure is not caused by bad PM
   // values; the reactor aborted to a simple restart (Section 4.5).
   bool empty_plan = false;
+  // Reversion was refused outright: the active consistency substrate keeps
+  // no version history to revert (e.g. FASE). The reactor fell back to one
+  // plain restart, whose recovery rolled back incomplete sections.
+  bool reversion_refused = false;
   bool timed_out = false;
   int reexecutions = 0;
   uint64_t reverted_updates = 0;
@@ -141,6 +147,17 @@ class Reactor {
   // restarts the target and probes the failure.
   MitigationOutcome Mitigate(const FaultInfo& fault, Tracer& tracer,
                              CheckpointLog& log, PmSystemTarget& target,
+                             const ReexecuteFn& reexecute,
+                             VirtualClock& clock,
+                             const ReactorConfig& config = {});
+
+  // Substrate-aware entry point: delegates to the checkpoint-log loop when
+  // the substrate is revert-capable, and otherwise refuses reversion
+  // cleanly — the outcome carries reversion_refused, an explicit detail,
+  // and the single restart-and-probe attempt the refusal falls back to.
+  MitigationOutcome Mitigate(const FaultInfo& fault, Tracer& tracer,
+                             ConsistencySubstrate& substrate,
+                             PmSystemTarget& target,
                              const ReexecuteFn& reexecute,
                              VirtualClock& clock,
                              const ReactorConfig& config = {});

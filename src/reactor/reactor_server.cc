@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "obs/obs.h"
+#include "substrate/substrate.h"
 
 namespace arthas {
 
@@ -52,13 +53,10 @@ Result<PlanResponse> PlanResponse::Parse(const std::string& text) {
 
 std::string ExplainResponse::Serialize() const {
   std::ostringstream out;
-  bool first = true;
+  out << substrate << ' ' << (revert_capable ? 1 : 0) << ' '
+      << (refusal_reason.empty() ? "-" : refusal_reason);
   for (const CandidateDecision& decision : candidates) {
-    if (!first) {
-      out << ' ';
-    }
-    first = false;
-    out << decision.seq << ' ' << decision.rank << ' '
+    out << ' ' << decision.seq << ' ' << decision.rank << ' '
         << (decision.accepted ? 1 : 0) << ' ' << decision.reason;
   }
   return out.str();
@@ -67,6 +65,12 @@ std::string ExplainResponse::Serialize() const {
 Result<ExplainResponse> ExplainResponse::Parse(const std::string& text) {
   std::istringstream in(text);
   ExplainResponse response;
+  int revert = 0;
+  if (!(in >> response.substrate >> revert >> response.refusal_reason)) {
+    return Status(StatusCode::kInvalidArgument,
+                  "malformed explain response");
+  }
+  response.revert_capable = revert != 0;
   CandidateDecision decision;
   int accepted = 0;
   while (in >> decision.seq >> decision.rank >> accepted >> decision.reason) {
@@ -169,7 +173,8 @@ std::string HealthResponse::Serialize() const {
   out.precision(17);
   out << static_cast<int>(verdict) << ' ' << (sampler_running ? 1 : 0) << ' '
       << (has_fault ? 1 : 0) << ' ' << time_to_detect_ns << ' '
-      << time_to_recover_ns << ' ' << pre_fault_rate_ops_per_sec;
+      << time_to_recover_ns << ' ' << pre_fault_rate_ops_per_sec << ' '
+      << (substrate.empty() ? "-" : substrate);
   return out.str();
 }
 
@@ -186,6 +191,10 @@ Result<HealthResponse> HealthResponse::Parse(const std::string& text) {
   response.verdict = static_cast<HealthVerdict>(verdict);
   response.sampler_running = running != 0;
   response.has_fault = has_fault != 0;
+  // The substrate token was appended later; older peers omit it.
+  if (!(in >> response.substrate)) {
+    response.substrate = "-";
+  }
   return response;
 }
 
@@ -215,9 +224,31 @@ ExplainResponse ReactorServer::Explain(const MitigationRequest& request,
   ARTHAS_SCOPED_LATENCY("reactor_server.plan.ns");
   ARTHAS_COUNTER_ADD("reactor_server.request.count", 1);
   ExplainResponse response;
+  if (active_substrate_ != nullptr) {
+    response.substrate = active_substrate_->name();
+  }
   (void)reactor_->ComputeReversionPlan(request.fault, trace_copy_, log,
                                        request.config, &response.candidates);
   requests_served_++;
+  return response;
+}
+
+ExplainResponse ReactorServer::Explain(const MitigationRequest& request,
+                                       const ConsistencySubstrate& substrate) {
+  const CheckpointLog* log = substrate.checkpoint_log();
+  if (substrate.revert_capable() && log != nullptr) {
+    ExplainResponse response = Explain(request, *log);
+    response.substrate = substrate.name();
+    return response;
+  }
+  ARTHAS_COUNTER_ADD("reactor_server.request.count", 1);
+  requests_served_++;
+  ExplainResponse response;
+  response.substrate = substrate.name();
+  response.revert_capable = false;
+  response.refusal_reason = substrate.revert_capable()
+                                ? "no_checkpoint_log"
+                                : "substrate_not_revert_capable";
   return response;
 }
 
@@ -243,6 +274,9 @@ HealthResponse ReactorServer::Health(const HealthRequest& request) {
       obs::TimelineAnalyzer(config).Analyze(sampler);
 
   HealthResponse response;
+  if (active_substrate_ != nullptr) {
+    response.substrate = active_substrate_->name();
+  }
   response.sampler_running = sampler.running();
   response.has_fault = report.has_fault;
   response.time_to_detect_ns = report.time_to_detect_ns;
@@ -268,6 +302,17 @@ MitigationOutcome ReactorServer::Execute(const MitigationRequest& request,
   ARTHAS_COUNTER_ADD("reactor_server.request.count", 1);
   requests_served_++;
   return reactor_->Mitigate(request.fault, trace_copy_, log, target,
+                            reexecute, clock, request.config);
+}
+
+MitigationOutcome ReactorServer::Execute(const MitigationRequest& request,
+                                         ConsistencySubstrate& substrate,
+                                         PmSystemTarget& target,
+                                         const ReexecuteFn& reexecute,
+                                         VirtualClock& clock) {
+  ARTHAS_COUNTER_ADD("reactor_server.request.count", 1);
+  requests_served_++;
+  return reactor_->Mitigate(request.fault, trace_copy_, substrate, target,
                             reexecute, clock, request.config);
 }
 

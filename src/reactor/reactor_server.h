@@ -49,11 +49,18 @@ struct PlanResponse {
 };
 
 // Answer to an `explain` request: the plan annotated with why each
-// candidate was accepted into (or rejected from) the reversion plan.
+// candidate was accepted into (or rejected from) the reversion plan, plus
+// the active consistency substrate and — when the substrate cannot revert —
+// the explicit refusal reason (the plan is then empty by construction).
 struct ExplainResponse {
+  std::string substrate = "arthas";  // active substrate's stable token
+  bool revert_capable = true;
+  // Stable token naming why reversion was refused; "-" when it was not.
+  std::string refusal_reason = "-";
   std::vector<CandidateDecision> candidates;
 
-  // Wire format: one "seq rank accepted reason" token group per candidate.
+  // Wire format: "substrate revert_capable refusal_reason" then one
+  // "seq rank accepted reason" token group per candidate.
   std::string Serialize() const;
   static Result<ExplainResponse> Parse(const std::string& text);
 };
@@ -108,8 +115,11 @@ struct HealthResponse {
   int64_t time_to_detect_ns = -1;
   int64_t time_to_recover_ns = -1;
   double pre_fault_rate_ops_per_sec = 0;
+  // Active consistency substrate token; "-" when the server has none set.
+  std::string substrate = "-";
 
-  // Wire format: "verdict running has_fault ttd ttr pre_rate".
+  // Wire format: "verdict running has_fault ttd ttr pre_rate substrate"
+  // (the trailing substrate token is accepted missing, for older peers).
   std::string Serialize() const;
   static Result<HealthResponse> Parse(const std::string& text);
 };
@@ -133,10 +143,34 @@ class ReactorServer {
   ExplainResponse Explain(const MitigationRequest& request,
                           const CheckpointLog& log);
 
+  // Substrate-aware `explain`: when the substrate is revert-capable this
+  // is the plan computation over its checkpoint log; otherwise the
+  // response is an explicit clean refusal (revert_capable = false,
+  // refusal_reason set, empty plan).
+  ExplainResponse Explain(const MitigationRequest& request,
+                          const ConsistencySubstrate& substrate);
+
   // Full mitigation on behalf of a confirmed request.
   MitigationOutcome Execute(const MitigationRequest& request,
                             CheckpointLog& log, PmSystemTarget& target,
                             const ReexecuteFn& reexecute, VirtualClock& clock);
+
+  // Substrate-aware mitigation: delegates to the reactor's substrate entry
+  // point, which refuses reversion (one restart probe) when the substrate
+  // keeps no version history.
+  MitigationOutcome Execute(const MitigationRequest& request,
+                            ConsistencySubstrate& substrate,
+                            PmSystemTarget& target,
+                            const ReexecuteFn& reexecute, VirtualClock& clock);
+
+  // Which consistency substrate the served deployment runs under; Health
+  // and Explain responses report it. Null resets to "unset".
+  void set_active_substrate(const ConsistencySubstrate* substrate) {
+    active_substrate_ = substrate;
+  }
+  const ConsistencySubstrate* active_substrate() const {
+    return active_substrate_;
+  }
 
   // Live introspection (paper Section 5's operator loop): the current
   // telemetry-sampler tail and a health verdict derived from the timeline.
@@ -154,6 +188,7 @@ class ReactorServer {
   std::unique_ptr<Reactor> reactor_;
   Tracer trace_copy_;
   int requests_served_ = 0;
+  const ConsistencySubstrate* active_substrate_ = nullptr;
 };
 
 }  // namespace arthas

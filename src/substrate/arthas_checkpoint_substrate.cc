@@ -1,0 +1,52 @@
+#include "substrate/arthas_checkpoint_substrate.h"
+
+namespace arthas {
+
+Status ArthasCheckpointSubstrate::Attach(PmemPool& pool) {
+  if (attached_) {
+    return FailedPrecondition("substrate already attached");
+  }
+  // The log constructor attaches itself to the pool and device observers,
+  // preserving the exact pre-substrate attachment order and behavior.
+  log_ = std::make_unique<CheckpointLog>(pool, config_);
+  attached_ = true;
+  return OkStatus();
+}
+
+void ArthasCheckpointSubstrate::Detach() {
+  if (log_ != nullptr) {
+    log_->Detach();
+  }
+  attached_ = false;
+}
+
+void ArthasCheckpointSubstrate::SectionBegin(uint64_t section_id) {
+  (void)section_id;
+  sections_begun_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ArthasCheckpointSubstrate::SectionEnd(uint64_t section_id) {
+  (void)section_id;
+  sections_committed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ArthasCheckpointSubstrate::SectionAbort(uint64_t section_id) {
+  (void)section_id;
+  sections_aborted_.fetch_add(1, std::memory_order_relaxed);
+}
+
+SubstrateStats ArthasCheckpointSubstrate::Stats() const {
+  SubstrateStats stats;
+  stats.sections_begun = sections_begun_.load(std::memory_order_relaxed);
+  stats.sections_committed =
+      sections_committed_.load(std::memory_order_relaxed);
+  stats.sections_aborted = sections_aborted_.load(std::memory_order_relaxed);
+  if (log_ != nullptr) {
+    stats.checkpoint_records = log_->stats().records.load();
+    stats.checkpoint_bytes = log_->stats().bytes_copied.load();
+    stats.reverted_updates = log_->stats().reverted_updates.load();
+  }
+  return stats;
+}
+
+}  // namespace arthas

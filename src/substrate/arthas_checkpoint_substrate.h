@@ -1,0 +1,58 @@
+// The default substrate: the paper's per-persist checkpoint log, wrapped
+// behind the ConsistencySubstrate contract. Behavior is bit-identical to the
+// pre-substrate stack — the wrapped CheckpointLog self-attaches to the
+// pool's observer surface exactly as before, section hooks are no-ops
+// (checkpoint granularity is the persist, not the request), and recovery is
+// a no-op because the log lives in the reactor's process, which the target's
+// crash does not kill. tests/substrate_test.cc verifies the durable-image
+// equivalence against a bare CheckpointLog run.
+
+#ifndef ARTHAS_SUBSTRATE_ARTHAS_CHECKPOINT_SUBSTRATE_H_
+#define ARTHAS_SUBSTRATE_ARTHAS_CHECKPOINT_SUBSTRATE_H_
+
+#include <atomic>
+#include <memory>
+
+#include "checkpoint/checkpoint_log.h"
+#include "substrate/substrate.h"
+
+namespace arthas {
+
+class ArthasCheckpointSubstrate : public ConsistencySubstrate {
+ public:
+  explicit ArthasCheckpointSubstrate(CheckpointConfig config = {})
+      : config_(config) {}
+
+  SubstrateKind kind() const override {
+    return SubstrateKind::kArthasCheckpoint;
+  }
+
+  Status Attach(PmemPool& pool) override;
+  void Detach() override;
+  bool attached() const override { return attached_; }
+
+  // Checkpointing is per-persist; the section boundary only feeds stats.
+  void SectionBegin(uint64_t section_id) override;
+  void SectionEnd(uint64_t section_id) override;
+  void SectionAbort(uint64_t section_id) override;
+
+  // The log survives target crashes by construction (it lives outside the
+  // simulated pool); reversion happens later, reactor-driven.
+  Status Recover() override { return OkStatus(); }
+
+  bool revert_capable() const override { return true; }
+  CheckpointLog* checkpoint_log() const override { return log_.get(); }
+  SubstrateStats Stats() const override;
+
+ private:
+  CheckpointConfig config_;
+  std::unique_ptr<CheckpointLog> log_;
+  bool attached_ = false;
+  std::atomic<uint64_t> sections_begun_{0};
+  std::atomic<uint64_t> sections_committed_{0};
+  std::atomic<uint64_t> sections_aborted_{0};
+};
+
+}  // namespace arthas
+
+#endif  // ARTHAS_SUBSTRATE_ARTHAS_CHECKPOINT_SUBSTRATE_H_

@@ -1,0 +1,44 @@
+#include "substrate/substrate.h"
+
+#include "substrate/arthas_checkpoint_substrate.h"
+#include "substrate/fase_substrate.h"
+
+namespace arthas {
+
+const char* SubstrateKindName(SubstrateKind kind) {
+  switch (kind) {
+    case SubstrateKind::kArthasCheckpoint:
+      return "arthas";
+    case SubstrateKind::kFase:
+      return "fase";
+  }
+  return "unknown";
+}
+
+Result<SubstrateKind> ParseSubstrateKind(const std::string& name) {
+  if (name == "arthas" || name == "checkpoint" || name == "arckpt") {
+    return SubstrateKind::kArthasCheckpoint;
+  }
+  if (name == "fase" || name == "atlas") {
+    return SubstrateKind::kFase;
+  }
+  return InvalidArgument("unknown substrate: " + name +
+                         " (expected arthas|fase)");
+}
+
+std::unique_ptr<ConsistencySubstrate> MakeSubstrate(
+    SubstrateKind kind, const SubstrateOptions& options) {
+  switch (kind) {
+    case SubstrateKind::kArthasCheckpoint:
+      return std::make_unique<ArthasCheckpointSubstrate>(
+          CheckpointConfig{options.checkpoint_max_versions});
+    case SubstrateKind::kFase: {
+      FaseConfig config;
+      config.log_bytes = options.fase_log_bytes;
+      return std::make_unique<FaseSubstrate>(config);
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace arthas

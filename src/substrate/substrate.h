@@ -1,0 +1,138 @@
+// Pluggable consistency substrates (ROADMAP item 4).
+//
+// A consistency substrate is the mechanism that makes a PM system's state
+// recoverable: it attaches to the pool/device observer surface, watches the
+// request lifecycle through section demarcation hooks, and owns the
+// post-crash recovery step. Two substrates implement the contract:
+//
+//   * ArthasCheckpointSubstrate — the paper's per-persist checkpoint log.
+//     Sections are ignored; every persisted range is versioned eagerly and
+//     the reactor can *revert* bad updates after the fact (cure-after-fault).
+//   * FaseSubstrate — Atlas-style failure-atomic sections (Chakrabarti et
+//     al., OOPSLA 2014). The section begun when a request takes its lock and
+//     ended when it releases is all-or-nothing: a persistent undo log makes
+//     recovery roll incomplete sections back (consistency-by-construction).
+//     Nothing is revertible after commit, so the reactor must refuse
+//     reversion under it.
+//
+// Layering: PmSystemBase demarcates sections (see SectionScope in
+// systems/pm_system.h), the harness selects and attaches the substrate, and
+// the reactor asks revert_capable() before offering a reversion plan. The
+// substrate owns whatever observer attachments it needs; callers never reach
+// into the checkpoint log directly except through checkpoint_log().
+//
+// Concurrency: Attach/Detach/Recover are caller-serialized (quiesced, like
+// observer attachment on the device). Section hooks and NextSectionId are
+// thread-safe and may run concurrently from many request threads.
+
+#ifndef ARTHAS_SUBSTRATE_SUBSTRATE_H_
+#define ARTHAS_SUBSTRATE_SUBSTRATE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+
+namespace arthas {
+
+class CheckpointLog;
+class PmemPool;
+
+enum class SubstrateKind {
+  kArthasCheckpoint,  // per-persist checkpoint log + reactor reversion
+  kFase,              // Atlas-style failure-atomic sections + undo log
+};
+
+// Stable lowercase token ("arthas" / "fase"): CLI flag values, artifact
+// fields, and wire tokens all use it.
+const char* SubstrateKindName(SubstrateKind kind);
+Result<SubstrateKind> ParseSubstrateKind(const std::string& name);
+
+// Point-in-time snapshot; plain values so callers can copy it around.
+// Checkpoint-substrate runs fill the checkpoint_* fields; FASE runs fill
+// the section/undo fields. Either way every field is well-defined (zero
+// when the mechanism does not apply).
+struct SubstrateStats {
+  uint64_t sections_begun = 0;
+  uint64_t sections_committed = 0;
+  uint64_t sections_aborted = 0;      // fault latched inside the section
+  uint64_t sections_rolled_back = 0;  // undone by post-crash recovery
+  uint64_t undo_records = 0;          // FASE section-log undo entries
+  uint64_t undo_bytes = 0;            // payload bytes captured into the log
+  uint64_t log_resets = 0;            // section log truncated (all committed)
+  uint64_t log_overflows = 0;         // undo append dropped: log region full
+  uint64_t checkpoint_records = 0;    // persists checkpointed
+  uint64_t checkpoint_bytes = 0;
+  uint64_t reverted_updates = 0;      // versions undone by the reactor
+};
+
+class ConsistencySubstrate {
+ public:
+  virtual ~ConsistencySubstrate() = default;
+
+  virtual SubstrateKind kind() const = 0;
+  const char* name() const { return SubstrateKindName(kind()); }
+
+  // Attaches the substrate's observers to `pool` (and its device). One pool
+  // at a time; Attach while attached is an error. Caller-serialized.
+  virtual Status Attach(PmemPool& pool) = 0;
+
+  // Detaches from the pool, keeping recorded state (a detached checkpoint
+  // log still answers queries; a detached FASE log keeps its records for a
+  // later Recover()). Caller-serialized.
+  virtual void Detach() = 0;
+
+  virtual bool attached() const = 0;
+
+  // --- Section demarcation (thread-safe) -----------------------------------
+  //
+  // PmSystemBase calls these from the request path: Begin when the
+  // outermost request scope opens (RequestGuard lock acquired / Handle
+  // entered), End when it closes cleanly, Abort instead of End when the
+  // request latched a fault (the simulated process death point). Ids come
+  // from NextSectionId() and are never reused.
+  virtual void SectionBegin(uint64_t section_id) = 0;
+  virtual void SectionEnd(uint64_t section_id) = 0;
+  virtual void SectionAbort(uint64_t section_id) = 0;
+
+  // Post-crash recovery, run after PmemPool::CrashAndRecover() and before
+  // the system's own Recover(): rolls back incomplete sections (FASE) or
+  // does nothing (checkpoint log — it lives outside the crashed process).
+  // Caller-serialized.
+  virtual Status Recover() = 0;
+
+  // True when the reactor may revert individual committed updates under
+  // this substrate. FASE commits are final: recovery already discarded
+  // everything revertible, so reversion must be refused.
+  virtual bool revert_capable() const = 0;
+
+  // The checkpoint log backing reversion, or nullptr when the substrate
+  // does not keep one. Callers that need a log (reactor, ArCkpt) must
+  // handle nullptr by refusing.
+  virtual CheckpointLog* checkpoint_log() const { return nullptr; }
+
+  virtual SubstrateStats Stats() const = 0;
+
+  // Allocates a process-unique section id (1-based, monotone).
+  uint64_t NextSectionId() {
+    return next_section_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> next_section_id_{1};
+};
+
+struct SubstrateOptions {
+  int checkpoint_max_versions = 3;       // paper default (Section 4.2)
+  size_t fase_log_bytes = 4u << 20;      // dedicated section-log region
+};
+
+std::unique_ptr<ConsistencySubstrate> MakeSubstrate(
+    SubstrateKind kind, const SubstrateOptions& options = {});
+
+}  // namespace arthas
+
+#endif  // ARTHAS_SUBSTRATE_SUBSTRATE_H_

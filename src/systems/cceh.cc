@@ -259,7 +259,7 @@ Result<uint64_t> Cceh::Lookup(uint64_t key) {
   return Status(StatusCode::kNotFound, "key absent");
 }
 
-Response Cceh::Handle(const Request& request) {
+Response Cceh::HandleRequest(const Request& request) {
   Response response;
   if (HasFault()) {
     response.status = Internal("server unavailable");

@@ -46,7 +46,7 @@ class Cceh : public PmSystemBase {
 
   explicit Cceh(Options options = {});
 
-  Response Handle(const Request& request) override;
+  Response HandleRequest(const Request& request) override;
   uint64_t ItemCount() override;
   Status CheckConsistency() override;
 

@@ -129,7 +129,7 @@ PmOffset MemcachedMini::AssocFind(const std::string& key, Guid fault_site) {
   return kMcNull;
 }
 
-Response MemcachedMini::Handle(const Request& request) {
+Response MemcachedMini::HandleRequest(const Request& request) {
   Response response;
   if (HasFault()) {
     // The "process" is dead/hung; a real client would see no reply.

@@ -65,7 +65,7 @@ class MemcachedMini : public PmSystemBase {
 
   explicit MemcachedMini(Options options = {});
 
-  Response Handle(const Request& request) override;
+  Response HandleRequest(const Request& request) override;
   uint64_t ItemCount() override;
   Status CheckConsistency() override;
 

@@ -121,7 +121,7 @@ PmOffset PelikanMini::Find(const std::string& key) {
   return kPlNull;
 }
 
-Response PelikanMini::Handle(const Request& request) {
+Response PelikanMini::HandleRequest(const Request& request) {
   Response response;
   if (HasFault()) {
     response.status = Internal("server unavailable");

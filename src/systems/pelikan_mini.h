@@ -42,7 +42,7 @@ class PelikanMini : public PmSystemBase {
 
   explicit PelikanMini(Options options = {});
 
-  Response Handle(const Request& request) override;
+  Response HandleRequest(const Request& request) override;
   uint64_t ItemCount() override;
   Status CheckConsistency() override;
 

@@ -32,6 +32,8 @@
 
 namespace arthas {
 
+class ConsistencySubstrate;
+
 // How a failed run manifested (paper Section 4.3: crash, assertion failure,
 // hang, memory leak, wrong results; plus out-of-space for persistent leaks).
 enum class FailureKind {
@@ -243,12 +245,50 @@ class PmSystemTarget {
   std::shared_mutex& structural_gate() { return structural_gate_; }
   std::mutex& request_stripe(size_t i) { return request_stripes_[i]; }
 
+  // ---- Consistency-substrate section demarcation ----
+  //
+  // The attached substrate (src/substrate/) sees one failure-atomic section
+  // per outermost request scope: RequestGuard and PmSystemBase::Handle both
+  // call Enter/ExitSection, and a thread-local depth count collapses the
+  // nesting so exactly one SectionBegin/SectionEnd pair reaches the
+  // substrate per request. RaiseFault marks the current section aborted —
+  // the simulated process-death point — turning the close into
+  // SectionAbort. All three are thread-safe; set_substrate is
+  // caller-serialized (attach while quiesced, like device observers).
+  void set_substrate(ConsistencySubstrate* substrate) {
+    substrate_.store(substrate, std::memory_order_release);
+  }
+  ConsistencySubstrate* substrate() const {
+    return substrate_.load(std::memory_order_acquire);
+  }
+
+  void EnterSection();
+  void ExitSection();
+  void MarkSectionAborted();
+
  private:
   std::mutex request_mutex_;
   std::atomic<RequestLockMode> lock_mode_{RequestLockMode::kCoarse};
   std::shared_mutex structural_gate_;
   std::array<std::mutex, kNumRequestStripes> request_stripes_;
   std::atomic<bool> maintenance_pending_{false};
+  std::atomic<ConsistencySubstrate*> substrate_{nullptr};
+};
+
+// RAII section demarcation for one request scope; nests freely with
+// RequestGuard (the inner scope is depth-counted away).
+class SectionScope {
+ public:
+  explicit SectionScope(PmSystemTarget& system) : system_(system) {
+    system_.EnterSection();
+  }
+  ~SectionScope() { system_.ExitSection(); }
+
+  SectionScope(const SectionScope&) = delete;
+  SectionScope& operator=(const SectionScope&) = delete;
+
+ private:
+  PmSystemTarget& system_;
 };
 
 // RAII acquisition of whatever locks one Handle() call needs under the
@@ -258,17 +298,24 @@ class PmSystemTarget {
 // before proceeding), then gate-shared + stripe for shardable ops or
 // gate-exclusive for the rest. The stripe index is computed after the
 // shared gate is held, so the bucket geometry it derives from is stable.
+// The guard also demarcates the failure-atomic section under FASE-style
+// substrates: lock acquisition opens the section, release closes it, so the
+// section boundary is exactly the critical section (Atlas's rule).
 class RequestGuard {
  public:
   // Out-of-line (system_base.cc): the acquisitions are profiled as
   // lock-wait time, and this header is included too widely to pull in
   // obs/profiler.h.
   RequestGuard(PmSystemTarget& system, const Request& request);
+  // Closes the section before the member unlocks run, so the section never
+  // outlives the locks that made it atomic.
+  ~RequestGuard();
 
   RequestGuard(const RequestGuard&) = delete;
   RequestGuard& operator=(const RequestGuard&) = delete;
 
  private:
+  PmSystemTarget& system_;
   std::unique_lock<std::mutex> coarse_;
   std::unique_lock<std::shared_mutex> exclusive_;
   std::shared_lock<std::shared_mutex> shared_;

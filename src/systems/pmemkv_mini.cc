@@ -72,7 +72,7 @@ PmemkvMini::KvEntry* PmemkvMini::EntryAt(PmOffset off) {
   return pool_->Direct<KvEntry>(Oid{off});
 }
 
-Response PmemkvMini::Handle(const Request& request) {
+Response PmemkvMini::HandleRequest(const Request& request) {
   Response response;
   if (HasFault()) {
     response.status = Internal("server unavailable");

@@ -36,7 +36,7 @@ class PmemkvMini : public PmSystemBase {
 
   explicit PmemkvMini(Options options = {});
 
-  Response Handle(const Request& request) override;
+  Response HandleRequest(const Request& request) override;
   uint64_t ItemCount() override;
   Status CheckConsistency() override;
 

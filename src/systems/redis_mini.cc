@@ -140,7 +140,7 @@ Result<Oid> RedisMini::AllocObj(uint32_t type, uint32_t capacity) {
   return oid;
 }
 
-Response RedisMini::Handle(const Request& request) {
+Response RedisMini::HandleRequest(const Request& request) {
   Response response;
   if (HasFault()) {
     response.status = Internal("server unavailable (" +

@@ -58,7 +58,7 @@ class RedisMini : public PmSystemBase {
 
   explicit RedisMini(Options options = {});
 
-  Response Handle(const Request& request) override;
+  Response HandleRequest(const Request& request) override;
   uint64_t ItemCount() override;
   Status CheckConsistency() override;
 

@@ -35,12 +35,18 @@ class PmSystemBase : public PmSystemTarget {
     return recovery_accessed_;
   }
 
-  Status Restart() override {
-    fault_.reset();
-    has_fault_.store(false, std::memory_order_release);
-    recovery_accessed_.clear();
-    ARTHAS_RETURN_IF_ERROR(pool_->CrashAndRecover());
-    return Recover();
+  // Out-of-line (system_base.cc): restart also runs the attached
+  // consistency substrate's recovery step between pool recovery and the
+  // system's own recovery function.
+  Status Restart() override;
+
+  // NVI wrapper: every Handle() call — harness lambdas, concurrent
+  // drivers, tests — demarcates one failure-atomic section for the
+  // attached substrate (nested scopes, e.g. under a RequestGuard, are
+  // depth-collapsed). Subclasses implement HandleRequest().
+  Response Handle(const Request& request) final {
+    SectionScope section(*this);
+    return HandleRequest(request);
   }
 
   // --- Fault injection -------------------------------------------------------
@@ -58,6 +64,11 @@ class PmSystemBase : public PmSystemTarget {
 
  protected:
   PmSystemBase(std::string name, size_t pool_size);
+
+  // Handles one client request; called by Handle() inside the request's
+  // section scope. A fault during handling is reported in the response's
+  // status and latched into last_fault().
+  virtual Response HandleRequest(const Request& request) = 0;
 
   // Runs the system's recovery function; must call RecoveryTouch for every
   // PM object it retrieves (the pmem_recover_begin/end annotation).

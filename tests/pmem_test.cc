@@ -326,6 +326,45 @@ TEST(PmemTxTest, NestedTxRejected) {
   ASSERT_TRUE(pool->TxCommit().ok());
 }
 
+TEST(PmemTxTest, SlotExhaustionReturnsBusyWithoutLatchingAnything) {
+  auto pool = *PmemPool::Create("test", 1024 * 1024);
+  auto oid = *pool->Zalloc(1024);
+
+  // Occupy every concurrent-transaction slot.
+  std::vector<TxContext> contexts(PmemPool::kMaxConcurrentTx);
+  for (int i = 0; i < PmemPool::kMaxConcurrentTx; i++) {
+    ASSERT_TRUE(pool->TxBegin(contexts[i]).ok()) << "slot " << i;
+    ASSERT_TRUE(
+        pool->TxAddRange(contexts[i], oid, static_cast<size_t>(i) * 64, 8)
+            .ok());
+  }
+
+  // One more begin must fail with a clean, retryable kBusy — not latch an
+  // abort, poison the pool, or disturb the live transactions.
+  TxContext overflow;
+  const Status busy = pool->TxBegin(overflow);
+  EXPECT_EQ(busy.code(), StatusCode::kBusy) << busy.ToString();
+  EXPECT_FALSE(overflow.active);
+
+  // Every held transaction still commits cleanly...
+  for (int i = 0; i < PmemPool::kMaxConcurrentTx; i++) {
+    auto* word = reinterpret_cast<uint64_t*>(pool->Direct<uint8_t>(oid) +
+                                             static_cast<size_t>(i) * 64);
+    *word = static_cast<uint64_t>(i) + 1;
+    EXPECT_TRUE(pool->TxCommit(contexts[i]).ok()) << "slot " << i;
+  }
+  // ...after which a fresh begin succeeds and the pool is intact.
+  EXPECT_TRUE(pool->TxBegin(overflow).ok());
+  EXPECT_TRUE(pool->TxAbort(overflow).ok());
+  EXPECT_TRUE(pool->CheckIntegrity().ok());
+  ASSERT_TRUE(pool->CrashAndRecover().ok());
+  for (int i = 0; i < PmemPool::kMaxConcurrentTx; i++) {
+    const auto* word = reinterpret_cast<const uint64_t*>(
+        pool->Direct<uint8_t>(oid) + static_cast<size_t>(i) * 64);
+    EXPECT_EQ(*word, static_cast<uint64_t>(i) + 1);
+  }
+}
+
 class PoolEventRecorder : public PoolObserver {
  public:
   void OnAlloc(PmOffset offset, size_t size) override {

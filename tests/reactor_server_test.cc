@@ -10,6 +10,7 @@
 #include "harness/mt_driver.h"
 #include "obs/timeseries.h"
 #include "reactor/reactor_server.h"
+#include "substrate/substrate.h"
 #include "systems/memcached_mini.h"
 #include "systems/redis_mini.h"
 
@@ -139,6 +140,54 @@ TEST(ReactorServerTest, ExplainListsEveryCandidateWithReason) {
   EXPECT_FALSE(ExplainResponse::Parse("one two").ok());
 }
 
+TEST(ReactorServerTest, SubstrateAwareExplainDelegatesAndRefuses) {
+  MemcachedMini mc;
+  mc.ArmFault(FaultId::kF2FlushAllLogic);
+  ASSERT_TRUE(mc.Handle(Put("a", "1")).status.ok());
+  Request flush;
+  flush.op = Request::Op::kFlushAll;
+  flush.int_arg = 600;
+  ASSERT_TRUE(mc.Handle(flush).status.ok());
+  Request get = {};
+  get.op = Request::Op::kGet;
+  get.key = "a";
+  get.must_exist = true;
+  mc.Handle(get);
+  ASSERT_TRUE(mc.last_fault().has_value());
+
+  ReactorServer server(mc.ir_model(), mc.guid_registry());
+  ASSERT_TRUE(server.IngestTrace(mc.tracer().Serialize()).ok());
+  MitigationRequest request;
+  request.fault = *mc.last_fault();
+
+  // A revert-capable substrate delegates to its checkpoint log and the
+  // answer carries the substrate token.
+  auto arckpt = MakeSubstrate(SubstrateKind::kArthasCheckpoint);
+  ASSERT_TRUE(arckpt->Attach(mc.pool()).ok());
+  ExplainResponse explain = server.Explain(request, *arckpt);
+  EXPECT_EQ(explain.substrate, "arthas");
+  EXPECT_TRUE(explain.revert_capable);
+  EXPECT_EQ(explain.refusal_reason, "-");
+  arckpt->Detach();
+
+  // FASE cannot revert committed updates: the answer is an explicit clean
+  // refusal with an empty plan, and it survives the wire round-trip.
+  auto fase = MakeSubstrate(SubstrateKind::kFase);
+  ASSERT_TRUE(fase->Attach(mc.pool()).ok());
+  ExplainResponse refusal = server.Explain(request, *fase);
+  EXPECT_EQ(refusal.substrate, "fase");
+  EXPECT_FALSE(refusal.revert_capable);
+  EXPECT_EQ(refusal.refusal_reason, "substrate_not_revert_capable");
+  EXPECT_TRUE(refusal.candidates.empty());
+  auto parsed = ExplainResponse::Parse(refusal.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->substrate, "fase");
+  EXPECT_FALSE(parsed->revert_capable);
+  EXPECT_EQ(parsed->refusal_reason, "substrate_not_revert_capable");
+  EXPECT_TRUE(parsed->candidates.empty());
+  fase->Detach();
+}
+
 TEST(ReactorServerTest, PdgIsReusedAcrossRequests) {
   MemcachedMini mc;
   CheckpointLog log(mc.pool());
@@ -205,6 +254,7 @@ TEST(ReactorServerTest, StatsAndHealthWireRoundTrip) {
   health_response.time_to_detect_ns = 1234;
   health_response.time_to_recover_ns = -1;
   health_response.pre_fault_rate_ops_per_sec = 98765.5;
+  health_response.substrate = "fase";
   auto parsed_health = HealthResponse::Parse(health_response.Serialize());
   ASSERT_TRUE(parsed_health.ok());
   EXPECT_EQ(parsed_health->verdict, HealthVerdict::kRecovering);
@@ -213,6 +263,12 @@ TEST(ReactorServerTest, StatsAndHealthWireRoundTrip) {
   EXPECT_EQ(parsed_health->time_to_detect_ns, 1234);
   EXPECT_EQ(parsed_health->time_to_recover_ns, -1);
   EXPECT_DOUBLE_EQ(parsed_health->pre_fault_rate_ops_per_sec, 98765.5);
+  EXPECT_EQ(parsed_health->substrate, "fase");
+
+  // Older peers omit the trailing substrate token; parse stays lenient.
+  auto old_health = HealthResponse::Parse("1 1 1 1234 -1 98765.5");
+  ASSERT_TRUE(old_health.ok());
+  EXPECT_EQ(old_health->substrate, "-");
 
   EXPECT_FALSE(StatsRequest::Parse("").ok());
   EXPECT_FALSE(StatsResponse::Parse("not numbers").ok());

@@ -60,7 +60,7 @@ class TinyTarget : public PmSystemBase {
     return true;
   }
 
-  Response Handle(const Request&) override { return Response{}; }
+  Response HandleRequest(const Request&) override { return Response{}; }
   uint64_t ItemCount() override { return 1; }
   Status CheckConsistency() override { return OkStatus(); }
 

@@ -1,0 +1,341 @@
+// Conformance suite for the pluggable consistency substrates.
+//
+// Both ConsistencySubstrate implementations are held to their contract:
+//
+//   * FASE (Atlas-style failure-atomic sections): a crash at EVERY possible
+//     persist point inside a section must recover to the bit-exact
+//     pre-section durable image (all-or-nothing), while a committed section
+//     survives in full and prunes the log;
+//   * ArthasCheckpointSubstrate: the wrapper must be behaviorally invisible —
+//     an identical workload against a bare CheckpointLog produces a
+//     bit-identical durable image and the same checkpoint contents (the
+//     refactor's no-regression criterion);
+//   * both substrates keep their books straight under a 4-thread sharded
+//     YCSB run (the CI TSan job executes this binary).
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "checkpoint/checkpoint_log.h"
+#include "harness/mt_driver.h"
+#include "pmem/device.h"
+#include "pmem/pool.h"
+#include "substrate/arthas_checkpoint_substrate.h"
+#include "substrate/fase_substrate.h"
+#include "substrate/substrate.h"
+#include "systems/memcached_mini.h"
+#include "systems/pm_system.h"
+
+namespace arthas {
+namespace {
+
+constexpr size_t kFaseLogReset = 64;  // header-only tail after a log prune
+
+// --- Contract basics --------------------------------------------------------
+
+TEST(SubstrateContractTest, KindNamesRoundTripThroughParse) {
+  EXPECT_STREQ(SubstrateKindName(SubstrateKind::kArthasCheckpoint), "arthas");
+  EXPECT_STREQ(SubstrateKindName(SubstrateKind::kFase), "fase");
+  for (SubstrateKind kind :
+       {SubstrateKind::kArthasCheckpoint, SubstrateKind::kFase}) {
+    auto parsed = ParseSubstrateKind(SubstrateKindName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  // Documented aliases map to their canonical kinds.
+  auto atlas = ParseSubstrateKind("atlas");
+  ASSERT_TRUE(atlas.ok());
+  EXPECT_EQ(*atlas, SubstrateKind::kFase);
+  auto arckpt = ParseSubstrateKind("arckpt");
+  ASSERT_TRUE(arckpt.ok());
+  EXPECT_EQ(*arckpt, SubstrateKind::kArthasCheckpoint);
+  EXPECT_FALSE(ParseSubstrateKind("pmdk").ok());
+  EXPECT_FALSE(ParseSubstrateKind("").ok());
+}
+
+TEST(SubstrateContractTest, FactoryBuildsTheRequestedKind) {
+  auto arckpt = MakeSubstrate(SubstrateKind::kArthasCheckpoint);
+  ASSERT_NE(arckpt, nullptr);
+  EXPECT_EQ(arckpt->kind(), SubstrateKind::kArthasCheckpoint);
+  EXPECT_TRUE(arckpt->revert_capable());
+
+  auto fase = MakeSubstrate(SubstrateKind::kFase);
+  ASSERT_NE(fase, nullptr);
+  EXPECT_EQ(fase->kind(), SubstrateKind::kFase);
+  EXPECT_FALSE(fase->revert_capable());
+  EXPECT_EQ(fase->checkpoint_log(), nullptr);
+}
+
+TEST(SubstrateContractTest, DoubleAttachAndDetachedRecoverAreRejected) {
+  auto pool = *PmemPool::Create("sub", 256 * 1024);
+  for (SubstrateKind kind :
+       {SubstrateKind::kArthasCheckpoint, SubstrateKind::kFase}) {
+    auto substrate = MakeSubstrate(kind);
+    EXPECT_FALSE(substrate->attached());
+    ASSERT_TRUE(substrate->Attach(*pool).ok());
+    EXPECT_TRUE(substrate->attached());
+    EXPECT_EQ(substrate->Attach(*pool).code(),
+              StatusCode::kFailedPrecondition);
+    substrate->Detach();
+    EXPECT_FALSE(substrate->attached());
+  }
+  // A detached FASE substrate has no pool to roll back into.
+  FaseSubstrate fase;
+  EXPECT_EQ(fase.Recover().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SubstrateContractTest, SectionIdsAreUniqueAndMonotone) {
+  FaseSubstrate fase;
+  uint64_t prev = fase.NextSectionId();
+  EXPECT_GE(prev, 1u);
+  for (int i = 0; i < 100; i++) {
+    const uint64_t next = fase.NextSectionId();
+    EXPECT_GT(next, prev);
+    prev = next;
+  }
+}
+
+// --- FASE: crash-at-every-persist sweep -------------------------------------
+
+// One deterministic section workload over a 4-line object: each step dirties
+// a line (two steps revisit line 0, so rollback must unwind overlapping undo
+// ranges newest-first) and persists it. Returns the number of persist points.
+constexpr size_t kObjLines = 4;
+constexpr size_t kObjBytes = kObjLines * kCacheLineSize;
+
+size_t SectionSteps() { return 6; }
+
+void RunSectionStep(PmemPool& pool, Oid oid, size_t step) {
+  uint8_t* base = pool.Direct<uint8_t>(oid);
+  const size_t line = (step < kObjLines) ? step : (step - kObjLines);
+  std::memset(base + line * kCacheLineSize, static_cast<int>(0xB0 + step),
+              kCacheLineSize);
+  pool.Persist(oid, line * kCacheLineSize, kCacheLineSize);
+}
+
+struct FaseFixture {
+  std::unique_ptr<PmemPool> pool;
+  std::unique_ptr<FaseSubstrate> substrate;
+  Oid oid;
+  std::vector<uint8_t> pre_section_image;
+
+  FaseFixture() {
+    pool = *PmemPool::Create("fase", 256 * 1024);
+    substrate = std::make_unique<FaseSubstrate>();
+    EXPECT_TRUE(substrate->Attach(*pool).ok());
+    oid = *pool->Zalloc(kObjBytes);
+    std::memset(pool->Direct<uint8_t>(oid), 0xAA, kObjBytes);
+    pool->Persist(oid, 0, kObjBytes);
+    pre_section_image = pool->device().SnapshotDurable();
+  }
+};
+
+// A crash after ANY prefix of the section's persists must recover to the
+// exact pre-section durable image: the section is all-or-nothing.
+TEST(FaseSubstrateTest, CrashAtEveryPersistRollsBackToPreSectionImage) {
+  for (size_t crash_after = 0; crash_after <= SectionSteps(); crash_after++) {
+    FaseFixture fx;
+    const uint64_t section = fx.substrate->NextSectionId();
+    fx.substrate->SectionBegin(section);
+    for (size_t step = 0; step < crash_after; step++) {
+      RunSectionStep(*fx.pool, fx.oid, step);
+    }
+    // Process death mid-section: the fault latches (abort closes the
+    // thread's section scope; no commit record is written), the pool
+    // crashes, and recovery rolls the incomplete section back.
+    fx.substrate->SectionAbort(section);
+    ASSERT_TRUE(fx.pool->CrashAndRecover().ok())
+        << "crash_after=" << crash_after;
+    ASSERT_TRUE(fx.substrate->Recover().ok()) << "crash_after=" << crash_after;
+
+    EXPECT_EQ(fx.pool->device().SnapshotDurable(), fx.pre_section_image)
+        << "durable image not rolled back to the pre-section state when "
+           "crashing after persist "
+        << crash_after << " of " << SectionSteps();
+    EXPECT_TRUE(fx.pool->CheckIntegrity().ok());
+    EXPECT_EQ(fx.substrate->log_tail(), kFaseLogReset);
+    const SubstrateStats stats = fx.substrate->Stats();
+    EXPECT_EQ(stats.sections_rolled_back, 1u);
+    EXPECT_EQ(stats.sections_aborted, 1u);
+    EXPECT_EQ(stats.sections_committed, 0u);
+  }
+}
+
+// The committed section is the other half of all-or-nothing: every write
+// survives the crash, and the log prunes to empty at commit.
+TEST(FaseSubstrateTest, CommittedSectionSurvivesCrashAndPrunesLog) {
+  FaseFixture fx;
+  const uint64_t section = fx.substrate->NextSectionId();
+  fx.substrate->SectionBegin(section);
+  for (size_t step = 0; step < SectionSteps(); step++) {
+    RunSectionStep(*fx.pool, fx.oid, step);
+  }
+  fx.substrate->SectionEnd(section);
+  EXPECT_EQ(fx.substrate->log_tail(), kFaseLogReset);  // pruned at commit
+  const std::vector<uint8_t> committed = fx.pool->device().SnapshotDurable();
+  EXPECT_NE(committed, fx.pre_section_image);
+
+  ASSERT_TRUE(fx.pool->CrashAndRecover().ok());
+  ASSERT_TRUE(fx.substrate->Recover().ok());
+  EXPECT_EQ(fx.pool->device().SnapshotDurable(), committed);
+  const SubstrateStats stats = fx.substrate->Stats();
+  EXPECT_EQ(stats.sections_committed, 1u);
+  EXPECT_EQ(stats.sections_rolled_back, 0u);
+  EXPECT_GT(stats.undo_records, 0u);
+}
+
+// An aborted section pins the log (its undo records must survive until
+// recovery), even while later sections commit; recovery releases it.
+TEST(FaseSubstrateTest, AbortedSectionPinsLogUntilRecovery) {
+  FaseFixture fx;
+  const uint64_t bad = fx.substrate->NextSectionId();
+  fx.substrate->SectionBegin(bad);
+  RunSectionStep(*fx.pool, fx.oid, 0);
+  fx.substrate->SectionAbort(bad);
+  const size_t pinned_tail = fx.substrate->log_tail();
+  EXPECT_GT(pinned_tail, kFaseLogReset);
+
+  const uint64_t good = fx.substrate->NextSectionId();
+  fx.substrate->SectionBegin(good);
+  RunSectionStep(*fx.pool, fx.oid, 1);
+  fx.substrate->SectionEnd(good);
+  // The commit may not prune: the aborted section's records are still live.
+  EXPECT_GT(fx.substrate->log_tail(), pinned_tail);
+
+  ASSERT_TRUE(fx.pool->CrashAndRecover().ok());
+  ASSERT_TRUE(fx.substrate->Recover().ok());
+  EXPECT_EQ(fx.substrate->log_tail(), kFaseLogReset);
+  EXPECT_EQ(fx.substrate->Stats().sections_rolled_back, 1u);
+  EXPECT_EQ(fx.substrate->open_section_count(), 0u);
+}
+
+// Writes outside any section are not failure-atomic (Atlas's rule for
+// lock-free writes): recovery must leave them alone.
+TEST(FaseSubstrateTest, OutsideSectionWritesAreNotRolledBack) {
+  FaseFixture fx;
+  uint8_t* base = fx.pool->Direct<uint8_t>(fx.oid);
+  std::memset(base, 0xCC, kCacheLineSize);
+  fx.pool->Persist(fx.oid, 0, kCacheLineSize);
+  EXPECT_EQ(fx.substrate->log_tail(), kFaseLogReset);  // nothing logged
+
+  ASSERT_TRUE(fx.pool->CrashAndRecover().ok());
+  ASSERT_TRUE(fx.substrate->Recover().ok());
+  EXPECT_EQ(fx.pool->device().Durable(fx.oid.off)[0], 0xCC);
+}
+
+// --- Checkpoint substrate: bit-identical to the bare log --------------------
+
+// The same single-threaded YCSB request sequence runs against (a) a system
+// with the ArthasCheckpointSubstrate installed and (b) a system with a bare
+// CheckpointLog attached the pre-refactor way. The wrapper claims to be a
+// pure repackaging, so the durable images must match bit for bit and the two
+// logs must have recorded the same history.
+TEST(ArthasCheckpointSubstrateTest, DurableImageMatchesBareCheckpointLog) {
+  MtDriverConfig config;
+  config.threads = 1;
+  config.ops_per_thread = 3000;
+  config.base_seed = 11;
+  config.workload.key_space = 256;
+
+  MemcachedMini with_substrate;
+  ArthasCheckpointSubstrate substrate;
+  ASSERT_TRUE(substrate.Attach(with_substrate.pool()).ok());
+  {
+    MtDriverConfig c = config;
+    c.substrate = &substrate;
+    MultiThreadedDriver driver(with_substrate, c);
+    driver.Run();
+  }
+
+  MemcachedMini with_bare_log;
+  CheckpointLog bare_log(with_bare_log.pool());
+  {
+    MultiThreadedDriver driver(with_bare_log, config);
+    driver.Run();
+  }
+
+  EXPECT_FALSE(with_substrate.last_fault().has_value());
+  EXPECT_FALSE(with_bare_log.last_fault().has_value());
+  EXPECT_EQ(with_substrate.ItemCount(), with_bare_log.ItemCount());
+  EXPECT_EQ(with_substrate.pool().device().SnapshotDurable(),
+            with_bare_log.pool().device().SnapshotDurable())
+      << "checkpoint substrate changed the durable image vs the bare log";
+
+  CheckpointLog* wrapped = substrate.checkpoint_log();
+  ASSERT_NE(wrapped, nullptr);
+  EXPECT_EQ(wrapped->entry_count(), bare_log.entry_count());
+  EXPECT_EQ(wrapped->LatestSeq(), bare_log.LatestSeq());
+
+  const SubstrateStats stats = substrate.Stats();
+  EXPECT_EQ(stats.sections_begun, config.ops_per_thread);
+  EXPECT_EQ(stats.sections_committed, config.ops_per_thread);
+  EXPECT_GT(stats.checkpoint_records, 0u);
+}
+
+// --- Multi-threaded section stress (TSan coverage) --------------------------
+
+// Four client threads under the sharded request locks, each request one
+// failure-atomic section: begin/commit books must balance, the log must
+// prune back to empty, and the run must be race-free under TSan.
+TEST(SubstrateStressTest, FourThreadShardedFaseSectionsBalance) {
+  MemcachedMini mc;
+  FaseSubstrate fase;
+  ASSERT_TRUE(fase.Attach(mc.pool()).ok());
+
+  MtDriverConfig config;
+  config.threads = 4;
+  config.ops_per_thread = 2000;
+  config.lock_mode = RequestLockMode::kSharded;
+  config.workload.key_space = 512;
+  config.workload.uniform = true;
+  config.substrate = &fase;
+  MultiThreadedDriver driver(mc, config);
+  const MtDriverResult result = driver.Run();
+
+  EXPECT_EQ(result.total_ops, 4u * 2000u);
+  EXPECT_FALSE(mc.last_fault().has_value());
+  EXPECT_TRUE(mc.CheckConsistency().ok());
+  EXPECT_TRUE(mc.pool().CheckIntegrity().ok());
+  EXPECT_EQ(mc.substrate(), nullptr);  // driver uninstalled it
+
+  const SubstrateStats stats = fase.Stats();
+  EXPECT_EQ(stats.sections_begun, 4u * 2000u);
+  EXPECT_EQ(stats.sections_committed, 4u * 2000u);
+  EXPECT_EQ(stats.sections_aborted, 0u);
+  EXPECT_EQ(fase.open_section_count(), 0u);
+  EXPECT_EQ(fase.log_tail(), kFaseLogReset);
+}
+
+// Same stress shape for the checkpoint substrate: section bookkeeping is
+// stats-only there, but it shares the concurrent begin/end path.
+TEST(SubstrateStressTest, FourThreadShardedCheckpointSectionsBalance) {
+  MemcachedMini mc;
+  ArthasCheckpointSubstrate substrate;
+  ASSERT_TRUE(substrate.Attach(mc.pool()).ok());
+
+  MtDriverConfig config;
+  config.threads = 4;
+  config.ops_per_thread = 2000;
+  config.lock_mode = RequestLockMode::kSharded;
+  config.workload.key_space = 512;
+  config.workload.uniform = true;
+  config.substrate = &substrate;
+  MultiThreadedDriver driver(mc, config);
+  const MtDriverResult result = driver.Run();
+
+  EXPECT_EQ(result.total_ops, 4u * 2000u);
+  EXPECT_FALSE(mc.last_fault().has_value());
+  EXPECT_TRUE(mc.CheckConsistency().ok());
+
+  const SubstrateStats stats = substrate.Stats();
+  EXPECT_EQ(stats.sections_begun, 4u * 2000u);
+  EXPECT_EQ(stats.sections_committed, 4u * 2000u);
+  EXPECT_GT(stats.checkpoint_records, 0u);
+}
+
+}  // namespace
+}  // namespace arthas
