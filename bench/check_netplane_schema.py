@@ -1,0 +1,221 @@
+#!/usr/bin/env python3
+"""CI validator for the BENCH_netplane.json open-loop artifact.
+
+Checks that a file produced by bench_netplane conforms to netplane schema
+version 1 (see bench/bench_netplane.cc and DESIGN.md section 4i):
+
+  * every required key is present with the right JSON type, for sweeps,
+    per-point latency blocks, the high-connections point, the batch A/B,
+    and the fault timeline;
+  * within every sweep, offered_qps_target is strictly increasing (the
+    latency-vs-offered-load curve must be a function of offered load);
+  * every latency block satisfies p50 <= p95 <= p99 <= p999 <= max
+    (quantiles of one histogram cannot cross);
+  * every point answered at least one request (ok > 0).
+
+Optional gates (what the CI jobs and the committed-artifact check demand):
+
+  --min-saturation R      at least one sweep's saturation_ops_per_sec >= R
+  --min-systems N         sweeps cover >= N distinct systems
+  --require-substrates    sweeps cover both arthas and fase
+  --require-high-conns N  the high_connections point used >= N connections
+  --require-fault-timeline  fault_timeline reports recovered == true with
+                            non-null time_to_detect_ns / time_to_recover_ns
+
+Exits 1 with a path-qualified message on the first violation.
+
+Usage: check_netplane_schema.py [BENCH_netplane.json] [gates...]
+"""
+
+import json
+import sys
+
+NUMBER = (int, float)
+
+
+class SchemaError(Exception):
+    pass
+
+
+def expect(cond: bool, path: str, message: str) -> None:
+    if not cond:
+        raise SchemaError(f"{path}: {message}")
+
+
+def check_latency(block, path: str) -> None:
+    expect(isinstance(block, dict), path, "latency_us must be an object")
+    for key in ("mean", "p50", "p95", "p99", "p999", "max"):
+        expect(key in block, path, f"missing latency key '{key}'")
+        expect(isinstance(block[key], NUMBER), f"{path}.{key}",
+               "must be a number")
+        expect(block[key] >= 0, f"{path}.{key}", "must be >= 0")
+    expect(block["p50"] <= block["p95"] <= block["p99"] <= block["p999"],
+           path, "quantiles must satisfy p50 <= p95 <= p99 <= p999")
+    expect(block["p999"] <= block["max"], path, "p999 must be <= max")
+
+
+def check_point(point, path: str) -> None:
+    expect(isinstance(point, dict), path, "point must be an object")
+    for key in ("offered_qps_target", "connections", "offered_qps",
+                "achieved_qps", "sent", "received", "ok", "errors", "faults",
+                "dropped"):
+        expect(key in point, path, f"missing key '{key}'")
+        expect(isinstance(point[key], NUMBER), f"{path}.{key}",
+               "must be a number")
+    expect(point["ok"] > 0, f"{path}.ok", "point answered no requests")
+    expect(point["received"] <= point["sent"], path,
+           "received more replies than requests sent")
+    check_latency(point.get("latency_us"), f"{path}.latency_us")
+
+
+def check_sweep(sweep, path: str) -> None:
+    expect(isinstance(sweep, dict), path, "sweep must be an object")
+    for key in ("system", "substrate", "points", "saturation_ops_per_sec"):
+        expect(key in sweep, path, f"missing key '{key}'")
+    points = sweep["points"]
+    expect(isinstance(points, list) and points, f"{path}.points",
+           "must be a non-empty array")
+    last_target = -1.0
+    for i, point in enumerate(points):
+        ppath = f"{path}.points[{i}]"
+        check_point(point, ppath)
+        target = point["offered_qps_target"]
+        expect(target > last_target, f"{ppath}.offered_qps_target",
+               "offered-load targets must be strictly increasing")
+        last_target = target
+    saturation = sweep["saturation_ops_per_sec"]
+    expect(isinstance(saturation, NUMBER) and saturation > 0,
+           f"{path}.saturation_ops_per_sec", "must be a positive number")
+    achieved_max = max(p["achieved_qps"] for p in points)
+    expect(abs(saturation - achieved_max) <= max(1.0, 0.01 * achieved_max),
+           f"{path}.saturation_ops_per_sec",
+           "must equal the max achieved_qps of the sweep's points")
+
+
+def main(argv) -> int:
+    path = "BENCH_netplane.json"
+    min_saturation = None
+    min_systems = None
+    require_substrates = False
+    require_high_conns = None
+    require_fault_timeline = False
+    i = 1
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--min-saturation":
+            i += 1
+            min_saturation = float(argv[i])
+        elif arg == "--min-systems":
+            i += 1
+            min_systems = int(argv[i])
+        elif arg == "--require-substrates":
+            require_substrates = True
+        elif arg == "--require-high-conns":
+            i += 1
+            require_high_conns = int(argv[i])
+        elif arg == "--require-fault-timeline":
+            require_fault_timeline = True
+        else:
+            path = arg
+        i += 1
+
+    with open(path) as f:
+        doc = json.load(f)
+
+    try:
+        expect(doc.get("bench") == "netplane", "bench",
+               "must be 'netplane'")
+        expect(doc.get("schema_version") == 1, "schema_version",
+               "must be 1")
+        expect(doc.get("mode") in ("full", "quick"), "mode",
+               "must be 'full' or 'quick'")
+        expect(isinstance(doc.get("closed_loop_per_thread_ceiling_ops_per_sec"),
+                          NUMBER),
+               "closed_loop_per_thread_ceiling_ops_per_sec",
+               "must be a number")
+
+        sweeps = doc.get("sweeps")
+        expect(isinstance(sweeps, list) and sweeps, "sweeps",
+               "must be a non-empty array")
+        systems = set()
+        substrates = set()
+        best_saturation = 0.0
+        for i, sweep in enumerate(sweeps):
+            spath = f"sweeps[{i}]"
+            check_sweep(sweep, spath)
+            systems.add(sweep["system"])
+            substrates.add(sweep["substrate"])
+            best_saturation = max(best_saturation,
+                                  sweep["saturation_ops_per_sec"])
+
+        if min_systems is not None:
+            expect(len(systems) >= min_systems, "sweeps",
+                   f"cover {len(systems)} systems, need >= {min_systems}")
+        if require_substrates:
+            expect({"arthas", "fase"} <= substrates, "sweeps",
+                   f"substrates covered {sorted(substrates)}, "
+                   "need both arthas and fase")
+        if min_saturation is not None:
+            expect(best_saturation >= min_saturation, "sweeps",
+                   f"best saturation {best_saturation:.0f} ops/s below the "
+                   f"required {min_saturation:.0f}")
+
+        if "high_connections" in doc or require_high_conns is not None:
+            expect("high_connections" in doc, "high_connections",
+                   "missing (required by --require-high-conns)")
+            high = doc["high_connections"]
+            expect(isinstance(high, dict), "high_connections",
+                   "must be an object")
+            check_point(high.get("point"), "high_connections.point")
+            if require_high_conns is not None:
+                conns = high["point"]["connections"]
+                expect(conns >= require_high_conns,
+                       "high_connections.point.connections",
+                       f"{conns} below required {require_high_conns}")
+
+        if "batch_ab" in doc:
+            ab = doc["batch_ab"]
+            expect(isinstance(ab, dict), "batch_ab", "must be an object")
+            check_point(ab.get("batched"), "batch_ab.batched")
+            check_point(ab.get("unbatched"), "batch_ab.unbatched")
+            expect(isinstance(ab.get("batched_over_unbatched"), NUMBER),
+                   "batch_ab.batched_over_unbatched", "must be a number")
+
+        if "fault_timeline" in doc or require_fault_timeline:
+            expect("fault_timeline" in doc, "fault_timeline",
+                   "missing (required by --require-fault-timeline)")
+            ft = doc["fault_timeline"]
+            expect(isinstance(ft, dict), "fault_timeline",
+                   "must be an object")
+            for key in ("system", "substrate", "fault", "load", "recovered",
+                        "timeline"):
+                expect(key in ft, "fault_timeline", f"missing key '{key}'")
+            check_point(ft["load"], "fault_timeline.load")
+            timeline = ft["timeline"]
+            expect(isinstance(timeline, dict), "fault_timeline.timeline",
+                   "must be an object")
+            for key in ("has_fault", "time_to_detect_ns",
+                        "time_to_recover_ns", "pre_fault_rate_ops_per_sec"):
+                expect(key in timeline, "fault_timeline.timeline",
+                       f"missing key '{key}'")
+            if require_fault_timeline:
+                expect(ft["recovered"] is True, "fault_timeline.recovered",
+                       "must be true")
+                for key in ("time_to_detect_ns", "time_to_recover_ns"):
+                    expect(isinstance(timeline[key], NUMBER),
+                           f"fault_timeline.timeline.{key}",
+                           "must be non-null for a recovered timeline")
+                    expect(timeline[key] >= 0,
+                           f"fault_timeline.timeline.{key}", "must be >= 0")
+    except SchemaError as error:
+        print(f"{path}: FAIL {error}", file=sys.stderr)
+        return 1
+
+    print(f"{path}: ok ({len(sweeps)} sweeps, {len(systems)} systems, "
+          f"substrates {sorted(substrates)}, best saturation "
+          f"{best_saturation:.0f} ops/s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,174 @@
+#include "net/dispatcher.h"
+
+#include <optional>
+
+#include "obs/obs.h"
+#include "pmem/device.h"
+#include "reactor/reactor_server.h"
+
+namespace arthas {
+namespace net {
+
+NetDispatcher::NetDispatcher(PmSystemTarget& system, ReactorServer* reactor,
+                             Options options)
+    : system_(system), reactor_(reactor), options_(std::move(options)) {}
+
+void NetDispatcher::ExecuteBatch(const std::vector<NetCommand>& commands,
+                                 std::string* out) {
+  if (commands.empty()) {
+    return;
+  }
+  bool saw_fault = false;
+  {
+    std::lock_guard<std::mutex> lock(system_.request_mutex());
+    // Declared before the batch scope: FASE's SectionEnd drains the device
+    // ahead of its commit record, so the batch's own drain (~BatchScope)
+    // must already have run by then.
+    SectionScope section(system_);
+    std::optional<PmemDevice::BatchScope> batch;
+    if (options_.batch_persists) {
+      batch.emplace(system_.pool().device());
+    }
+    for (const NetCommand& command : commands) {
+      switch (command.op) {
+        case NetOp::kGet:
+        case NetOp::kSet:
+        case NetOp::kDel:
+        case NetOp::kAppend:
+        case NetOp::kHold:
+          ExecuteKv(command, out);
+          break;
+        case NetOp::kPing:
+          EncodeSimple("PONG", out);
+          break;
+        case NetOp::kQuit:
+          // The server closes the connection after flushing this reply.
+          EncodeSimple("BYE", out);
+          break;
+        case NetOp::kStats:
+        case NetOp::kHealth:
+        case NetOp::kExplain:
+          ExecuteReactor(command, out);
+          break;
+        case NetOp::kError:
+          // Parse errors are the client's problem, never the system's: no
+          // request reaches Handle(), so no fault can latch.
+          EncodeError(command.text, out);
+          break;
+      }
+    }
+    saw_fault = system_.last_fault().has_value();
+    ARTHAS_HISTOGRAM_RECORD("net.batch.size", commands.size());
+    ARTHAS_COUNTER_ADD("net.req.count", commands.size());
+  }
+  if (saw_fault) {
+    MaybeRecover();
+  }
+}
+
+void NetDispatcher::ExecuteKv(const NetCommand& command, std::string* out) {
+  Request request;
+  request.key = command.key;
+  request.value = command.value;
+  switch (command.op) {
+    case NetOp::kGet:
+      request.op = Request::Op::kGet;
+      break;
+    case NetOp::kSet:
+      request.op = Request::Op::kPut;
+      break;
+    case NetOp::kDel:
+      request.op = Request::Op::kDelete;
+      break;
+    case NetOp::kAppend:
+      request.op = Request::Op::kAppend;
+      break;
+    case NetOp::kHold:
+      request.op = Request::Op::kHold;
+      break;
+    default:
+      EncodeError("not a KV command", out);
+      return;
+  }
+
+  const Response response = system_.Handle(request);
+
+  if (system_.last_fault().has_value()) {
+    // The "process" died (this request or an earlier one — Handle
+    // short-circuits once a fault is latched, so the whole tail of the
+    // batch lands here).
+    EncodeFault(response.status.message().empty() ? "server unavailable"
+                                                  : response.status.message(),
+                out);
+    return;
+  }
+  if (!response.status.ok() &&
+      response.status.code() != StatusCode::kNotFound) {
+    EncodeError(response.status.message(), out);
+    return;
+  }
+
+  ARTHAS_COUNTER_ADD("net.ops.ok", 1);
+  switch (command.op) {
+    case NetOp::kGet:
+      if (response.found) {
+        EncodeBulk(response.value, out);
+      } else {
+        EncodeNil(out);
+      }
+      break;
+    case NetOp::kDel:
+      EncodeInteger(response.found ? 1 : 0, out);
+      break;
+    default:
+      EncodeSimple("OK", out);
+      break;
+  }
+}
+
+void NetDispatcher::ExecuteReactor(const NetCommand& command,
+                                   std::string* out) {
+  if (reactor_ == nullptr) {
+    EncodeError("no reactor attached to this server", out);
+    return;
+  }
+  std::string line;
+  switch (command.op) {
+    case NetOp::kStats:
+      line = "stats " + command.text;
+      break;
+    case NetOp::kHealth:
+      line = "health " + command.text;
+      break;
+    default:
+      line = "explain " + command.text;
+      break;
+  }
+  // ServeLine serializes internally (the reactor is shared with the
+  // mitigation path and, in multi-system servers, other dispatchers).
+  Result<std::string> reply = reactor_->ServeLine(line);
+  if (!reply.ok()) {
+    EncodeError(reply.status().message(), out);
+    return;
+  }
+  EncodeBulk(*reply, out);
+}
+
+void NetDispatcher::MaybeRecover() {
+  if (!options_.on_fault) {
+    return;
+  }
+  // recovery_mutex_ first (never taken with request_mutex held elsewhere),
+  // then the request lock: mitigation is exclusive with request traffic,
+  // and batches that queued behind the same fault find it already cleared.
+  std::lock_guard<std::mutex> recovery(recovery_mutex_);
+  std::lock_guard<std::mutex> requests(system_.request_mutex());
+  if (!system_.last_fault().has_value()) {
+    return;
+  }
+  const FaultInfo fault = *system_.last_fault();
+  options_.on_fault(fault);
+}
+
+}  // namespace net
+}  // namespace arthas

@@ -1,0 +1,401 @@
+#include "net/load_gen.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/rng.h"
+#include "net/protocol.h"
+#include "obs/metrics.h"
+
+namespace arthas {
+namespace net {
+
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Exponential inter-arrival gap for a Poisson process at `rate` req/s.
+int64_t PoissonGapNs(Rng& rng, double rate) {
+  double u = rng.NextDouble();
+  if (u > 0.999999999) {
+    u = 0.999999999;
+  }
+  const double seconds = -std::log(1.0 - u) / rate;
+  return std::max<int64_t>(1, static_cast<int64_t>(seconds * 1e9));
+}
+
+int ConnectNonblocking(const std::string& host, uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+struct ClientConn {
+  int fd = -1;
+  ReplyParser parser;
+  // Scheduled arrival time of each in-flight request, send order. Replies
+  // come back strictly in order per connection, so front() is the match.
+  std::deque<int64_t> scheduled_ns;
+  std::string outbuf;
+  size_t outbuf_sent = 0;
+  bool want_write = false;
+};
+
+struct WorkerTally {
+  uint64_t sent = 0;
+  uint64_t received = 0;
+  uint64_t ok = 0;
+  uint64_t errors = 0;
+  uint64_t faults = 0;
+  uint64_t dropped = 0;
+  bool connect_failed = false;
+};
+
+class Worker {
+ public:
+  Worker(const LoadGenOptions& options, const RequestGenerator& generator,
+         int index, int num_conns, int64_t t0_ns, std::atomic<uint64_t>& seq,
+         obs::Histogram& latency)
+      : options_(options),
+        generator_(generator),
+        num_conns_(num_conns),
+        t0_ns_(t0_ns),
+        seq_(seq),
+        latency_(latency),
+        rng_(options.seed * 7919 + static_cast<uint64_t>(index) + 1) {}
+
+  WorkerTally Run() {
+    poller_ = Poller::Make(options_.backend);
+    if (poller_ == nullptr || !Connect()) {
+      tally_.connect_failed = true;
+      Teardown();
+      return tally_;
+    }
+
+    const double rate =
+        options_.target_qps / std::max(1, options_.threads);
+    const int64_t send_deadline_ns =
+        t0_ns_ + options_.duration_ms * 1'000'000;
+    const int64_t drain_deadline_ns =
+        send_deadline_ns + options_.drain_ms * 1'000'000;
+    int64_t next_send_ns = t0_ns_ + PoissonGapNs(rng_, rate);
+
+    std::vector<PollerEvent> events;
+    std::vector<size_t> dirty;  // connections with unsent bytes
+    while (true) {
+      int64_t now = NowNs();
+
+      // Schedule every arrival whose time has come. Arrivals never stall on
+      // replies — that is the whole point of open loop.
+      while (next_send_ns <= now && next_send_ns < send_deadline_ns) {
+        const size_t c = round_robin_++ % conns_.size();
+        ClientConn& conn = conns_[c];
+        if (conn.fd >= 0) {
+          generator_(seq_.fetch_add(1, std::memory_order_relaxed),
+                     &conn.outbuf);
+          conn.scheduled_ns.push_back(next_send_ns);
+          tally_.sent++;
+          dirty.push_back(c);
+        }
+        next_send_ns += PoissonGapNs(rng_, rate);
+      }
+      for (const size_t c : dirty) {
+        FlushConn(conns_[c]);
+      }
+      dirty.clear();
+
+      // Sleep in the poller until the next arrival is due (or a reply
+      // lands), capped so the drain deadline is honored.
+      const bool sending = next_send_ns < send_deadline_ns;
+      const int64_t wake_ns = sending ? next_send_ns : drain_deadline_ns;
+      const int timeout_ms = static_cast<int>(
+          std::clamp<int64_t>((wake_ns - now) / 1'000'000, 0, 20));
+      (void)poller_->Wait(&events, timeout_ms);
+      now = NowNs();
+
+      for (const PollerEvent& event : events) {
+        ClientConn* conn = FindConn(event.fd);
+        if (conn == nullptr) {
+          continue;
+        }
+        if (event.readable && !ReadReplies(*conn, now)) {
+          continue;  // torn down
+        }
+        if (event.writable) {
+          FlushConn(*conn);
+        }
+        if (event.closed && !event.readable) {
+          AbandonConn(*conn);
+        }
+      }
+
+      if (now >= drain_deadline_ns) {
+        break;
+      }
+      if (now >= send_deadline_ns && InFlight() == 0) {
+        break;
+      }
+    }
+
+    for (ClientConn& conn : conns_) {
+      tally_.dropped += conn.scheduled_ns.size();
+    }
+    Teardown();
+    return tally_;
+  }
+
+ private:
+  bool Connect() {
+    conns_.resize(static_cast<size_t>(num_conns_));
+    for (ClientConn& conn : conns_) {
+      conn.fd = ConnectNonblocking(options_.host, options_.port);
+      if (conn.fd < 0) {
+        return false;
+      }
+      if (!poller_->Add(conn.fd, false).ok()) {
+        return false;
+      }
+      index_[conn.fd] = &conn;
+    }
+    return !conns_.empty();
+  }
+
+  ClientConn* FindConn(int fd) {
+    auto it = index_.find(fd);
+    return it == index_.end() ? nullptr : it->second;
+  }
+
+  uint64_t InFlight() const {
+    uint64_t n = 0;
+    for (const ClientConn& conn : conns_) {
+      n += conn.scheduled_ns.size();
+    }
+    return n;
+  }
+
+  void FlushConn(ClientConn& conn) {
+    if (conn.fd < 0) {
+      return;
+    }
+    while (conn.outbuf_sent < conn.outbuf.size()) {
+      const ssize_t n =
+          ::write(conn.fd, conn.outbuf.data() + conn.outbuf_sent,
+                  conn.outbuf.size() - conn.outbuf_sent);
+      if (n > 0) {
+        conn.outbuf_sent += static_cast<size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        if (!conn.want_write) {
+          conn.want_write = true;
+          (void)poller_->Update(conn.fd, true);
+        }
+        return;
+      }
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      AbandonConn(conn);
+      return;
+    }
+    conn.outbuf.clear();
+    conn.outbuf_sent = 0;
+    if (conn.want_write) {
+      conn.want_write = false;
+      (void)poller_->Update(conn.fd, false);
+    }
+  }
+
+  bool ReadReplies(ClientConn& conn, int64_t now) {
+    char buf[64 * 1024];
+    std::vector<NetReply> replies;
+    while (true) {
+      const ssize_t n = ::read(conn.fd, buf, sizeof(buf));
+      if (n > 0) {
+        conn.parser.Feed(buf, static_cast<size_t>(n), &replies);
+        continue;
+      }
+      if (n == 0) {
+        Account(conn, replies, now);
+        AbandonConn(conn);
+        return false;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        break;
+      }
+      if (errno == EINTR) {
+        continue;
+      }
+      Account(conn, replies, now);
+      AbandonConn(conn);
+      return false;
+    }
+    Account(conn, replies, now);
+    return true;
+  }
+
+  void Account(ClientConn& conn, const std::vector<NetReply>& replies,
+               int64_t now) {
+    for (const NetReply& reply : replies) {
+      if (conn.scheduled_ns.empty()) {
+        break;  // server babbling? nothing sane to match against
+      }
+      const int64_t scheduled = conn.scheduled_ns.front();
+      conn.scheduled_ns.pop_front();
+      tally_.received++;
+      switch (reply.kind) {
+        case NetReply::Kind::kError:
+          tally_.errors++;
+          break;
+        case NetReply::Kind::kFault:
+          tally_.faults++;
+          break;
+        default:
+          tally_.ok++;
+          break;
+      }
+      latency_.Record(
+          static_cast<uint64_t>(std::max<int64_t>(0, now - scheduled)));
+    }
+  }
+
+  // Connection lost: its in-flight requests become drops at the end.
+  void AbandonConn(ClientConn& conn) {
+    if (conn.fd < 0) {
+      return;
+    }
+    poller_->Remove(conn.fd);
+    index_.erase(conn.fd);
+    ::close(conn.fd);
+    conn.fd = -1;
+  }
+
+  void Teardown() {
+    for (ClientConn& conn : conns_) {
+      if (conn.fd >= 0) {
+        poller_->Remove(conn.fd);
+        ::close(conn.fd);
+        conn.fd = -1;
+      }
+    }
+    index_.clear();
+  }
+
+  const LoadGenOptions& options_;
+  const RequestGenerator& generator_;
+  const int num_conns_;
+  const int64_t t0_ns_;
+  std::atomic<uint64_t>& seq_;
+  obs::Histogram& latency_;
+  Rng rng_;
+  std::unique_ptr<Poller> poller_;
+  std::vector<ClientConn> conns_;
+  std::unordered_map<int, ClientConn*> index_;
+  size_t round_robin_ = 0;
+  WorkerTally tally_;
+};
+
+}  // namespace
+
+LoadGenReport RunOpenLoop(const LoadGenOptions& options,
+                          const RequestGenerator& generator) {
+  LoadGenReport report;
+  const int threads = std::max(1, options.threads);
+  const int connections = std::max(threads, options.connections);
+  if (options.target_qps <= 0 || options.duration_ms <= 0) {
+    report.status = InvalidArgument("target_qps and duration_ms must be > 0");
+    return report;
+  }
+  (void)RaiseFdLimit(static_cast<uint64_t>(connections) + 512);
+
+  // Latency samples land in one shared histogram (Record is atomic).
+  obs::Histogram latency;
+  std::atomic<uint64_t> seq{0};
+  const int64_t t0_ns = NowNs();
+
+  std::vector<WorkerTally> tallies(static_cast<size_t>(threads));
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; i++) {
+    // Split connections as evenly as integer division allows.
+    const int conns =
+        connections / threads + (i < connections % threads ? 1 : 0);
+    workers.emplace_back([&, i, conns] {
+      Worker worker(options, generator, i, conns, t0_ns, seq, latency);
+      tallies[static_cast<size_t>(i)] = worker.Run();
+    });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  report.elapsed_ns = NowNs() - t0_ns;
+
+  bool connect_failed = false;
+  for (const WorkerTally& tally : tallies) {
+    report.sent += tally.sent;
+    report.received += tally.received;
+    report.ok += tally.ok;
+    report.errors += tally.errors;
+    report.faults += tally.faults;
+    report.dropped += tally.dropped;
+    connect_failed |= tally.connect_failed;
+  }
+  if (connect_failed) {
+    report.status = Internal("one or more load threads failed to connect");
+  }
+
+  const double window_s =
+      static_cast<double>(options.duration_ms) / 1000.0;
+  report.offered_qps = static_cast<double>(report.sent) / window_s;
+  report.achieved_qps = static_cast<double>(report.ok) / window_s;
+
+  const obs::HistogramSnapshot snapshot = latency.Snapshot();
+  report.mean_us = snapshot.mean / 1000.0;
+  report.p50_us = snapshot.p50 / 1000.0;
+  report.p95_us = snapshot.p95 / 1000.0;
+  report.p99_us = snapshot.p99 / 1000.0;
+  report.p999_us = snapshot.p999 / 1000.0;
+  report.max_us = static_cast<double>(snapshot.max) / 1000.0;
+  return report;
+}
+
+}  // namespace net
+}  // namespace arthas

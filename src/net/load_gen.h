@@ -1,0 +1,88 @@
+// Open-loop load generator for the network plane.
+//
+// Closed-loop drivers (harness/mt_driver.h) measure service time: each
+// worker waits for its reply before sending again, so the moment the server
+// slows down the offered load politely slows down with it, and queueing
+// delay — the thing a production tail-latency SLO is about — never shows up
+// (the closed-loop bench_overhead plateaued at ~7.1k ops/s per thread of
+// pure think time). The open-loop generator severs that feedback: requests
+// arrive on a Poisson schedule at a fixed target rate whether or not
+// earlier replies came back, and each request's latency is measured from
+// its *scheduled arrival time*, so time a request spends queued behind a
+// saturated server (or an unsent byte in the client's own buffer) counts.
+// Sweeping the target rate produces the classic hockey-stick
+// latency-vs-offered-load curve and a defensible saturation throughput.
+//
+// Mechanics: `connections` sockets are split over `threads` generator
+// threads, each running its own readiness loop (same Poller as the server).
+// Arrivals are scheduled per-thread with exponential inter-arrival gaps at
+// the thread's share of the rate, assigned round-robin to that thread's
+// connections; replies are matched to requests by position (the protocol
+// answers strictly in order per connection), popping the scheduled-time
+// FIFO. After `duration_ms` of sending, a drain grace period collects
+// stragglers; requests still unanswered then count as `dropped`, not as
+// latency samples (they would otherwise truncate the tail exactly where it
+// matters).
+
+#ifndef ARTHAS_NET_LOAD_GEN_H_
+#define ARTHAS_NET_LOAD_GEN_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+#include "net/poller.h"
+
+namespace arthas {
+namespace net {
+
+struct LoadGenOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  int threads = 4;
+  int connections = 64;     // total, split round-robin across threads
+  double target_qps = 10000;  // total offered load, all threads combined
+  int64_t duration_ms = 1000;
+  // Grace period after the last scheduled send to collect stragglers.
+  int64_t drain_ms = 2000;
+  uint64_t seed = 1;
+  PollerBackend backend = PollerBackend::kAuto;
+};
+
+// Appends exactly one encoded request line for request number `seq`
+// (process-wide sequence, so a keyspace can be partitioned or shared).
+// Called from generator threads: must be thread-safe.
+using RequestGenerator = std::function<void(uint64_t seq, std::string* out)>;
+
+struct LoadGenReport {
+  Status status;  // connect/setup failure; counters below still valid
+
+  double offered_qps = 0;   // the schedule actually generated
+  double achieved_qps = 0;  // ok replies per second of send window
+  uint64_t sent = 0;
+  uint64_t received = 0;
+  uint64_t ok = 0;
+  uint64_t errors = 0;  // -ERR replies
+  uint64_t faults = 0;  // -FAULT replies (system down, reactor recovering)
+  uint64_t dropped = 0;  // unanswered at drain deadline (excluded from tail)
+  int64_t elapsed_ns = 0;  // send window + drain actually used
+
+  // Latency from scheduled arrival, microseconds.
+  double mean_us = 0;
+  double p50_us = 0;
+  double p95_us = 0;
+  double p99_us = 0;
+  double p999_us = 0;
+  double max_us = 0;
+};
+
+// Runs one open-loop measurement. Blocks until the send window and drain
+// complete.
+LoadGenReport RunOpenLoop(const LoadGenOptions& options,
+                          const RequestGenerator& generator);
+
+}  // namespace net
+}  // namespace arthas
+
+#endif  // ARTHAS_NET_LOAD_GEN_H_

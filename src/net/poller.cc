@@ -1,0 +1,229 @@
+#include "net/poller.h"
+
+#include <cerrno>
+#include <cstring>
+#include <unordered_map>
+
+#include <poll.h>
+#include <sys/resource.h>
+#include <unistd.h>
+
+#if defined(__linux__)
+#define ARTHAS_NET_HAVE_EPOLL 1
+#include <sys/epoll.h>
+#else
+#define ARTHAS_NET_HAVE_EPOLL 0
+#endif
+
+namespace arthas {
+namespace net {
+
+const char* PollerBackendName(PollerBackend backend) {
+  switch (backend) {
+    case PollerBackend::kAuto:
+      return "auto";
+    case PollerBackend::kEpoll:
+      return "epoll";
+    case PollerBackend::kPoll:
+      return "poll";
+  }
+  return "?";
+}
+
+Result<PollerBackend> ParsePollerBackend(const std::string& name) {
+  if (name == "auto") {
+    return PollerBackend::kAuto;
+  }
+  if (name == "epoll") {
+    return PollerBackend::kEpoll;
+  }
+  if (name == "poll") {
+    return PollerBackend::kPoll;
+  }
+  return Status(StatusCode::kInvalidArgument,
+                "unknown poller backend '" + name + "'");
+}
+
+namespace {
+
+#if ARTHAS_NET_HAVE_EPOLL
+
+class EpollPoller final : public Poller {
+ public:
+  EpollPoller() : epfd_(epoll_create1(0)) {}
+  ~EpollPoller() override {
+    if (epfd_ >= 0) {
+      ::close(epfd_);
+    }
+  }
+
+  bool valid() const { return epfd_ >= 0; }
+
+  Status Add(int fd, bool want_write) override {
+    return Control(EPOLL_CTL_ADD, fd, want_write);
+  }
+  Status Update(int fd, bool want_write) override {
+    return Control(EPOLL_CTL_MOD, fd, want_write);
+  }
+  void Remove(int fd) override {
+    epoll_event ev{};
+    (void)epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, &ev);
+  }
+
+  int Wait(std::vector<PollerEvent>* out, int timeout_ms) override {
+    out->clear();
+    events_.resize(256);
+    const int n = epoll_wait(epfd_, events_.data(),
+                             static_cast<int>(events_.size()), timeout_ms);
+    if (n < 0) {
+      return errno == EINTR ? 0 : -errno;
+    }
+    out->reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; i++) {
+      PollerEvent event;
+      event.fd = events_[i].data.fd;
+      event.readable = (events_[i].events & (EPOLLIN | EPOLLPRI)) != 0;
+      event.writable = (events_[i].events & EPOLLOUT) != 0;
+      event.closed =
+          (events_[i].events & (EPOLLERR | EPOLLHUP | EPOLLRDHUP)) != 0;
+      out->push_back(event);
+    }
+    return n;
+  }
+
+  PollerBackend backend() const override { return PollerBackend::kEpoll; }
+
+ private:
+  Status Control(int op, int fd, bool want_write) {
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLRDHUP | (want_write ? EPOLLOUT : 0u);
+    ev.data.fd = fd;
+    if (epoll_ctl(epfd_, op, fd, &ev) != 0) {
+      return Status(StatusCode::kInternal,
+                    std::string("epoll_ctl: ") + std::strerror(errno));
+    }
+    return OkStatus();
+  }
+
+  int epfd_;
+  std::vector<epoll_event> events_;
+};
+
+#endif  // ARTHAS_NET_HAVE_EPOLL
+
+class PollPoller final : public Poller {
+ public:
+  Status Add(int fd, bool want_write) override {
+    if (index_.count(fd) != 0) {
+      return Status(StatusCode::kInvalidArgument, "fd already registered");
+    }
+    index_[fd] = fds_.size();
+    pollfd p{};
+    p.fd = fd;
+    p.events = static_cast<short>(POLLIN | (want_write ? POLLOUT : 0));
+    fds_.push_back(p);
+    return OkStatus();
+  }
+
+  Status Update(int fd, bool want_write) override {
+    auto it = index_.find(fd);
+    if (it == index_.end()) {
+      return Status(StatusCode::kNotFound, "fd not registered");
+    }
+    fds_[it->second].events =
+        static_cast<short>(POLLIN | (want_write ? POLLOUT : 0));
+    return OkStatus();
+  }
+
+  void Remove(int fd) override {
+    auto it = index_.find(fd);
+    if (it == index_.end()) {
+      return;
+    }
+    const size_t pos = it->second;
+    index_.erase(it);
+    // Swap-with-last keeps the pollfd vector dense.
+    if (pos + 1 != fds_.size()) {
+      fds_[pos] = fds_.back();
+      index_[fds_[pos].fd] = pos;
+    }
+    fds_.pop_back();
+  }
+
+  int Wait(std::vector<PollerEvent>* out, int timeout_ms) override {
+    out->clear();
+    const int n = ::poll(fds_.data(), fds_.size(), timeout_ms);
+    if (n < 0) {
+      return errno == EINTR ? 0 : -errno;
+    }
+    for (const pollfd& p : fds_) {
+      if (p.revents == 0) {
+        continue;
+      }
+      PollerEvent event;
+      event.fd = p.fd;
+      event.readable = (p.revents & (POLLIN | POLLPRI)) != 0;
+      event.writable = (p.revents & POLLOUT) != 0;
+      event.closed = (p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+      out->push_back(event);
+      if (static_cast<int>(out->size()) == n) {
+        break;
+      }
+    }
+    return static_cast<int>(out->size());
+  }
+
+  PollerBackend backend() const override { return PollerBackend::kPoll; }
+
+ private:
+  std::vector<pollfd> fds_;
+  std::unordered_map<int, size_t> index_;
+};
+
+}  // namespace
+
+std::unique_ptr<Poller> Poller::Make(PollerBackend backend) {
+#if ARTHAS_NET_HAVE_EPOLL
+  if (backend == PollerBackend::kAuto || backend == PollerBackend::kEpoll) {
+    auto poller = std::make_unique<EpollPoller>();
+    if (poller->valid()) {
+      return poller;
+    }
+    if (backend == PollerBackend::kEpoll) {
+      return nullptr;  // explicitly requested and unavailable
+    }
+  }
+#else
+  if (backend == PollerBackend::kEpoll) {
+    return nullptr;
+  }
+#endif
+  return std::make_unique<PollPoller>();
+}
+
+Status RaiseFdLimit(uint64_t want) {
+  rlimit limit{};
+  if (getrlimit(RLIMIT_NOFILE, &limit) != 0) {
+    return Status(StatusCode::kInternal,
+                  std::string("getrlimit: ") + std::strerror(errno));
+  }
+  if (limit.rlim_cur >= want) {
+    return OkStatus();
+  }
+  rlimit raised = limit;
+  raised.rlim_cur = limit.rlim_max == RLIM_INFINITY
+                        ? want
+                        : std::min<rlim_t>(want, limit.rlim_max);
+  if (setrlimit(RLIMIT_NOFILE, &raised) != 0) {
+    return Status(StatusCode::kInternal,
+                  std::string("setrlimit: ") + std::strerror(errno));
+  }
+  if (raised.rlim_cur < want) {
+    return Status(StatusCode::kBusy,
+                  "fd hard limit below requested " + std::to_string(want));
+  }
+  return OkStatus();
+}
+
+}  // namespace net
+}  // namespace arthas

@@ -1,0 +1,72 @@
+// Readiness-notification abstraction for the network plane.
+//
+// The server and the open-loop load generator both run readiness loops over
+// thousands of nonblocking sockets. On Linux the loop is epoll (level-
+// triggered — with per-connection input buffering there is nothing to gain
+// from edge-triggered's extra bookkeeping, and level-triggered cannot lose
+// a wakeup); everywhere else, and on demand for testing the fallback, it is
+// plain poll(2) over a dense pollfd vector. Both backends speak the same
+// three-call interface, so the event loops are backend-agnostic.
+
+#ifndef ARTHAS_NET_POLLER_H_
+#define ARTHAS_NET_POLLER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+
+namespace arthas {
+namespace net {
+
+enum class PollerBackend {
+  kAuto,   // epoll on Linux, poll elsewhere
+  kEpoll,  // fails to construct off Linux
+  kPoll,
+};
+
+const char* PollerBackendName(PollerBackend backend);
+Result<PollerBackend> ParsePollerBackend(const std::string& name);
+
+struct PollerEvent {
+  int fd = -1;
+  bool readable = false;
+  bool writable = false;
+  // Peer hung up or the socket errored; the owner should tear it down.
+  bool closed = false;
+};
+
+class Poller {
+ public:
+  virtual ~Poller() = default;
+
+  // Registers `fd` for readability (always) and, when `want_write`, for
+  // writability. One registration per fd.
+  virtual Status Add(int fd, bool want_write) = 0;
+  // Rewrites the interest set of a registered fd.
+  virtual Status Update(int fd, bool want_write) = 0;
+  // Deregisters; unknown fds are ignored (close() may race a queued event).
+  virtual void Remove(int fd) = 0;
+
+  // Blocks up to timeout_ms (-1 = forever, 0 = nonblocking) and fills
+  // `out` (cleared first) with the ready fds. Returns the event count, or
+  // a negative errno-style value on failure.
+  virtual int Wait(std::vector<PollerEvent>* out, int timeout_ms) = 0;
+
+  virtual PollerBackend backend() const = 0;
+
+  // Constructs the requested backend (kAuto picks the platform's best).
+  static std::unique_ptr<Poller> Make(PollerBackend backend);
+};
+
+// Raises RLIMIT_NOFILE's soft limit toward `want` descriptors (capped at
+// the hard limit). The thousands-of-connections sweeps need more than the
+// usual 1024-fd default; failure is reported but non-fatal (the caller can
+// still run a smaller sweep).
+Status RaiseFdLimit(uint64_t want);
+
+}  // namespace net
+}  // namespace arthas
+
+#endif  // ARTHAS_NET_POLLER_H_

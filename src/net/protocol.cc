@@ -1,0 +1,348 @@
+#include "net/protocol.h"
+
+#include <charconv>
+
+namespace arthas {
+namespace net {
+
+namespace {
+
+// Splits `line` on single spaces into at most `max_tokens` tokens; extra
+// content past the last requested token stays attached to it (so EXPLAIN's
+// four-field argument text survives as one piece when asked for).
+std::vector<std::string_view> Tokenize(std::string_view line,
+                                       size_t max_tokens) {
+  std::vector<std::string_view> tokens;
+  size_t pos = 0;
+  while (pos < line.size() && tokens.size() < max_tokens) {
+    const size_t space = line.find(' ', pos);
+    if (space == std::string_view::npos || tokens.size() + 1 == max_tokens) {
+      tokens.push_back(line.substr(pos));
+      return tokens;
+    }
+    tokens.push_back(line.substr(pos, space - pos));
+    pos = space + 1;
+  }
+  return tokens;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.size(); i++) {
+    const char ca = a[i] >= 'a' && a[i] <= 'z' ? a[i] - 32 : a[i];
+    const char cb = b[i] >= 'a' && b[i] <= 'z' ? b[i] - 32 : b[i];
+    if (ca != cb) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool IsUnsignedNumber(std::string_view s) {
+  if (s.empty()) {
+    return false;
+  }
+  for (const char c : s) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+  }
+  return true;
+}
+
+NetCommand MakeError(std::string message) {
+  NetCommand cmd;
+  cmd.op = NetOp::kError;
+  cmd.text = std::move(message);
+  return cmd;
+}
+
+}  // namespace
+
+const char* NetOpName(NetOp op) {
+  switch (op) {
+    case NetOp::kGet:
+      return "GET";
+    case NetOp::kSet:
+      return "SET";
+    case NetOp::kDel:
+      return "DEL";
+    case NetOp::kAppend:
+      return "APPEND";
+    case NetOp::kHold:
+      return "HOLD";
+    case NetOp::kPing:
+      return "PING";
+    case NetOp::kQuit:
+      return "QUIT";
+    case NetOp::kStats:
+      return "STATS";
+    case NetOp::kHealth:
+      return "HEALTH";
+    case NetOp::kExplain:
+      return "EXPLAIN";
+    case NetOp::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+NetCommand ParseRequestLine(std::string_view line) {
+  if (line.empty()) {
+    return MakeError("empty command");
+  }
+  const size_t name_end = line.find(' ');
+  const std::string_view name =
+      name_end == std::string_view::npos ? line : line.substr(0, name_end);
+  const std::string_view rest =
+      name_end == std::string_view::npos ? std::string_view()
+                                         : line.substr(name_end + 1);
+
+  NetCommand cmd;
+  if (EqualsIgnoreCase(name, "GET") || EqualsIgnoreCase(name, "DEL") ||
+      EqualsIgnoreCase(name, "HOLD")) {
+    const auto tokens = Tokenize(rest, 2);
+    if (rest.empty() || tokens.size() != 1 || tokens[0].empty()) {
+      return MakeError(std::string(name) + " expects exactly one key");
+    }
+    cmd.op = EqualsIgnoreCase(name, "GET")
+                 ? NetOp::kGet
+                 : (EqualsIgnoreCase(name, "DEL") ? NetOp::kDel
+                                                  : NetOp::kHold);
+    cmd.key.assign(tokens[0]);
+    return cmd;
+  }
+  if (EqualsIgnoreCase(name, "SET") || EqualsIgnoreCase(name, "APPEND")) {
+    const auto tokens = Tokenize(rest, 2);
+    if (tokens.size() != 2 || tokens[0].empty() || tokens[1].empty()) {
+      return MakeError(std::string(name) + " expects a key and a value");
+    }
+    cmd.op = EqualsIgnoreCase(name, "SET") ? NetOp::kSet : NetOp::kAppend;
+    cmd.key.assign(tokens[0]);
+    cmd.value.assign(tokens[1]);
+    return cmd;
+  }
+  if (EqualsIgnoreCase(name, "PING")) {
+    if (!rest.empty()) {
+      return MakeError("PING takes no arguments");
+    }
+    cmd.op = NetOp::kPing;
+    return cmd;
+  }
+  if (EqualsIgnoreCase(name, "QUIT")) {
+    cmd.op = NetOp::kQuit;
+    return cmd;
+  }
+  if (EqualsIgnoreCase(name, "STATS")) {
+    // Normalize to StatsRequest's "prefix tail" wire format ("-" stands in
+    // for the empty prefix, 32 is the default tail).
+    const auto tokens = Tokenize(rest, 3);
+    if (rest.empty()) {
+      cmd.text = "- 32";
+    } else if (tokens.size() == 1) {
+      cmd.text = std::string(tokens[0]) + " 32";
+    } else if (tokens.size() == 2 && IsUnsignedNumber(tokens[1])) {
+      cmd.text = std::string(tokens[0]) + " " + std::string(tokens[1]);
+    } else {
+      return MakeError("STATS expects [prefix [tail_points]]");
+    }
+    cmd.op = NetOp::kStats;
+    return cmd;
+  }
+  if (EqualsIgnoreCase(name, "HEALTH")) {
+    const auto tokens = Tokenize(rest, 2);
+    if (rest.empty()) {
+      cmd.text = "harness.op.count";
+    } else if (tokens.size() == 1) {
+      cmd.text.assign(tokens[0]);
+    } else {
+      return MakeError("HEALTH expects at most one series name");
+    }
+    cmd.op = NetOp::kHealth;
+    return cmd;
+  }
+  if (EqualsIgnoreCase(name, "EXPLAIN")) {
+    // MitigationRequest's "kind guid address exit_code": validate the arity
+    // here so garbage never reaches the reactor parser.
+    const auto tokens = Tokenize(rest, 5);
+    if (tokens.size() != 4) {
+      return MakeError("EXPLAIN expects: kind guid address exit_code");
+    }
+    cmd.op = NetOp::kExplain;
+    cmd.text.assign(rest);
+    return cmd;
+  }
+  return MakeError("unknown command '" + std::string(name) + "'");
+}
+
+size_t RequestParser::Feed(const char* data, size_t size,
+                           std::vector<NetCommand>* out) {
+  size_t parsed = 0;
+  for (size_t i = 0; i < size; i++) {
+    const char c = data[i];
+    if (c != '\n') {
+      if (discarding_) {
+        continue;
+      }
+      buffer_.push_back(c);
+      if (buffer_.size() > max_line_bytes_) {
+        // One error for the oversized line, then swallow the remainder.
+        out->push_back(MakeError("line exceeds " +
+                                 std::to_string(max_line_bytes_) + " bytes"));
+        parsed++;
+        buffer_.clear();
+        discarding_ = true;
+      }
+      continue;
+    }
+    if (discarding_) {
+      discarding_ = false;  // resynchronized at the newline
+      continue;
+    }
+    if (!buffer_.empty() && buffer_.back() == '\r') {
+      buffer_.pop_back();
+    }
+    out->push_back(ParseRequestLine(buffer_));
+    parsed++;
+    buffer_.clear();
+  }
+  return parsed;
+}
+
+// --- Reply encoding ----------------------------------------------------------
+
+void EncodeSimple(std::string_view msg, std::string* out) {
+  out->push_back('+');
+  out->append(msg);
+  out->append("\r\n");
+}
+
+void EncodeError(std::string_view msg, std::string* out) {
+  out->append("-ERR ");
+  out->append(msg);
+  out->append("\r\n");
+}
+
+void EncodeFault(std::string_view msg, std::string* out) {
+  out->append("-FAULT ");
+  out->append(msg);
+  out->append("\r\n");
+}
+
+void EncodeInteger(int64_t value, std::string* out) {
+  out->push_back(':');
+  out->append(std::to_string(value));
+  out->append("\r\n");
+}
+
+void EncodeBulk(std::string_view payload, std::string* out) {
+  out->push_back('$');
+  out->append(std::to_string(payload.size()));
+  out->append("\r\n");
+  out->append(payload);
+  out->append("\r\n");
+}
+
+void EncodeNil(std::string* out) { out->append("$-1\r\n"); }
+
+// --- Reply framing -----------------------------------------------------------
+
+size_t ReplyParser::Feed(const char* data, size_t size,
+                         std::vector<NetReply>* out) {
+  size_t parsed = 0;
+  buffer_.append(data, size);
+  size_t pos = 0;
+  while (true) {
+    if (bulk_pending_ >= 0) {
+      // Need payload + trailing CRLF.
+      const size_t need = static_cast<size_t>(bulk_pending_) + 2;
+      if (buffer_.size() - pos < need) {
+        break;
+      }
+      NetReply reply;
+      reply.kind = NetReply::Kind::kBulk;
+      reply.text = buffer_.substr(pos, static_cast<size_t>(bulk_pending_));
+      out->push_back(std::move(reply));
+      parsed++;
+      pos += need;
+      bulk_pending_ = -1;
+      continue;
+    }
+    const size_t nl = buffer_.find('\n', pos);
+    if (nl == std::string::npos) {
+      break;
+    }
+    std::string_view line(buffer_.data() + pos, nl - pos);
+    if (!line.empty() && line.back() == '\r') {
+      line.remove_suffix(1);
+    }
+    pos = nl + 1;
+    NetReply reply;
+    if (line.empty()) {
+      reply.kind = NetReply::Kind::kError;
+      reply.text = "empty reply line";
+      out->push_back(std::move(reply));
+      parsed++;
+      continue;
+    }
+    const char tag = line.front();
+    const std::string_view body = line.substr(1);
+    switch (tag) {
+      case '+':
+        reply.kind = NetReply::Kind::kSimple;
+        reply.text.assign(body);
+        break;
+      case '-':
+        reply.kind = body.substr(0, 6) == "FAULT " ? NetReply::Kind::kFault
+                                                   : NetReply::Kind::kError;
+        reply.text.assign(body);
+        break;
+      case ':': {
+        int64_t value = 0;
+        const auto [ptr, ec] =
+            std::from_chars(body.data(), body.data() + body.size(), value);
+        if (ec != std::errc() || ptr != body.data() + body.size()) {
+          reply.kind = NetReply::Kind::kError;
+          reply.text = "malformed integer reply";
+        } else {
+          reply.kind = NetReply::Kind::kInteger;
+          reply.integer = value;
+        }
+        break;
+      }
+      case '$': {
+        int64_t len = 0;
+        const auto [ptr, ec] =
+            std::from_chars(body.data(), body.data() + body.size(), len);
+        if (ec != std::errc() || ptr != body.data() + body.size() ||
+            len < -1) {
+          reply.kind = NetReply::Kind::kError;
+          reply.text = "malformed bulk header";
+          break;
+        }
+        if (len == -1) {
+          reply.kind = NetReply::Kind::kNil;
+          break;
+        }
+        bulk_pending_ = len;
+        // The reply completes once the payload arrives.
+        buffer_.erase(0, pos);
+        pos = 0;
+        continue;
+      }
+      default:
+        reply.kind = NetReply::Kind::kError;
+        reply.text = "unknown reply tag '" + std::string(1, tag) + "'";
+        break;
+    }
+    out->push_back(std::move(reply));
+    parsed++;
+  }
+  buffer_.erase(0, pos);
+  return parsed;
+}
+
+}  // namespace net
+}  // namespace arthas

@@ -1,0 +1,141 @@
+// Wire protocol of the network plane (ROADMAP item 1).
+//
+// A small memcached-text / RESP hybrid chosen so that the five mini KV
+// systems can serve real sockets without inventing a serialization layer:
+// requests are single ASCII lines (like memcached's text protocol), replies
+// are RESP-typed (simple string / error / integer / bulk), which gives the
+// client an unambiguous frame for pipelined responses.
+//
+// Requests (one per line, terminated by '\n', an optional preceding '\r' is
+// stripped; tokens separated by single spaces):
+//
+//   GET <key>                    -> $<len>\r\n<value>\r\n  |  $-1\r\n (miss)
+//   SET <key> <value>            -> +OK
+//   DEL <key>                    -> :1 (deleted) | :0 (not found)
+//   APPEND <key> <value>         -> +OK
+//   HOLD <key>                   -> +OK            (item refcount++)
+//   PING                         -> +PONG
+//   QUIT                         -> +BYE, then the server closes
+//   STATS [prefix [tail]]        -> $<len>\r\n<StatsResponse::Serialize>\r\n
+//   HEALTH [series]              -> $<len>\r\n<HealthResponse::Serialize>\r\n
+//   EXPLAIN <kind> <guid> <addr> <exit>
+//                                -> $<len>\r\n<ExplainResponse::Serialize>\r\n
+//
+// Values travel inline as one token (the YCSB workloads generate printable
+// single-token values), so a request never spans lines and the parser can
+// resynchronize on any '\n'. Error replies:
+//
+//   -ERR <message>    protocol or argument error; the connection stays up
+//                     and NO fault is latched on the served system (garbage
+//                     from one client must never look like a server bug),
+//   -FAULT <message>  the served system latched a hard fault handling the
+//                     request (the "process" died; the reactor takes over).
+//
+// RequestParser is incremental: feed it whatever read() returned — half a
+// line, one byte, or forty pipelined commands — and it emits every command
+// that completed. A line longer than max_line_bytes is rejected with one
+// kError command and swallowed up to its newline (memcached's
+// CLIENT_ERROR discipline), keeping one abusive client from wedging the
+// connection. ReplyParser is the client-side mirror used by the open-loop
+// load generator and the tests.
+
+#ifndef ARTHAS_NET_PROTOCOL_H_
+#define ARTHAS_NET_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace arthas {
+namespace net {
+
+enum class NetOp {
+  kGet,
+  kSet,
+  kDel,
+  kAppend,
+  kHold,
+  kPing,
+  kQuit,
+  kStats,    // reactor passthrough: StatsRequest wire text in `text`
+  kHealth,   // reactor passthrough: HealthRequest wire text in `text`
+  kExplain,  // reactor passthrough: MitigationRequest wire text in `text`
+  kError,    // malformed input; `text` holds the message to send back
+};
+
+const char* NetOpName(NetOp op);
+
+struct NetCommand {
+  NetOp op = NetOp::kError;
+  std::string key;
+  std::string value;
+  // kStats/kHealth/kExplain: the normalized argument text handed to the
+  // existing ReactorServer Parse() formats. kError: the error message.
+  std::string text;
+};
+
+// Parses one complete request line (terminator already stripped).
+NetCommand ParseRequestLine(std::string_view line);
+
+// Incremental request framing. Feed() buffers partial lines across calls,
+// so a command split at any byte boundary parses identically to one
+// delivered whole.
+class RequestParser {
+ public:
+  explicit RequestParser(size_t max_line_bytes = 8192)
+      : max_line_bytes_(max_line_bytes) {}
+
+  // Consumes `size` bytes, appending every completed command to `out`.
+  // Returns the number of commands appended.
+  size_t Feed(const char* data, size_t size, std::vector<NetCommand>* out);
+
+  size_t buffered_bytes() const { return buffer_.size(); }
+  size_t max_line_bytes() const { return max_line_bytes_; }
+
+ private:
+  size_t max_line_bytes_;
+  std::string buffer_;
+  bool discarding_ = false;  // oversized line: swallow until the newline
+};
+
+// --- Reply encoding (server side) -------------------------------------------
+
+void EncodeSimple(std::string_view msg, std::string* out);       // +msg
+void EncodeError(std::string_view msg, std::string* out);        // -ERR msg
+void EncodeFault(std::string_view msg, std::string* out);        // -FAULT msg
+void EncodeInteger(int64_t value, std::string* out);             // :n
+void EncodeBulk(std::string_view payload, std::string* out);     // $len...
+void EncodeNil(std::string* out);                                // $-1
+
+// --- Reply framing (client side) ---------------------------------------------
+
+struct NetReply {
+  enum class Kind { kSimple, kError, kFault, kInteger, kBulk, kNil };
+  Kind kind = Kind::kError;
+  std::string text;     // simple/error message or bulk payload
+  int64_t integer = 0;
+
+  bool ok() const { return kind != Kind::kError && kind != Kind::kFault; }
+};
+
+class ReplyParser {
+ public:
+  // Consumes `size` bytes, appending every completed reply to `out`.
+  // Returns the number of replies appended. Malformed framing surfaces as
+  // kError replies (the stream then resynchronizes at the next line).
+  size_t Feed(const char* data, size_t size, std::vector<NetReply>* out);
+
+  size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+  // >= 0 while the payload of a bulk reply of that many bytes is pending.
+  int64_t bulk_pending_ = -1;
+};
+
+}  // namespace net
+}  // namespace arthas
+
+#endif  // ARTHAS_NET_PROTOCOL_H_

@@ -122,6 +122,7 @@ HistogramSnapshot Histogram::Snapshot() const {
   s.p90 = Percentile(0.90);
   s.p95 = Percentile(0.95);
   s.p99 = Percentile(0.99);
+  s.p999 = Percentile(0.999);
   s.mean = s.count == 0
                ? 0
                : static_cast<double>(s.sum) / static_cast<double>(s.count);
@@ -240,6 +241,7 @@ JsonValue MetricsRegistry::SnapshotJson() const {
     hv.Set("p90", JsonValue(h.p90));
     hv.Set("p95", JsonValue(h.p95));
     hv.Set("p99", JsonValue(h.p99));
+    hv.Set("p999", JsonValue(h.p999));
     histograms.Set(name, std::move(hv));
   }
   JsonValue out = JsonValue::Object();
@@ -268,13 +270,14 @@ std::string MetricsRegistry::LatencyTable() const {
   out << std::left << std::setw(static_cast<int>(name_width)) << "name"
       << std::right << std::setw(10) << "count" << std::setw(14) << "p50"
       << std::setw(14) << "p95" << std::setw(14) << "p99" << std::setw(14)
-      << "max" << std::setw(14) << "mean" << "\n";
+      << "p999" << std::setw(14) << "max" << std::setw(14) << "mean" << "\n";
   for (const auto& [name, h] : snap.histograms) {
     out << std::left << std::setw(static_cast<int>(name_width)) << name
         << std::right << std::setw(10) << h.count << std::fixed
         << std::setprecision(0) << std::setw(14) << h.p50 << std::setw(14)
-        << h.p95 << std::setw(14) << h.p99 << std::setw(14) << h.max
-        << std::setprecision(1) << std::setw(14) << h.mean << "\n";
+        << h.p95 << std::setw(14) << h.p99 << std::setw(14) << h.p999
+        << std::setw(14) << h.max << std::setprecision(1) << std::setw(14)
+        << h.mean << "\n";
     out.unsetf(std::ios::fixed);
   }
   out << "\n";

@@ -13,8 +13,9 @@
 //   * metrics are never removed, so handles returned by the registry stay
 //     valid for the process lifetime,
 //   * histograms are log-bucketed (16 exact small buckets + 4 sub-buckets
-//     per power of two), giving p50/p90/p99/max with bounded relative error
-//     (<= 12.5%) at constant memory, and merge by bucket-wise addition.
+//     per power of two), giving p50/p90/p99/p999/max with bounded relative
+//     error (<= 12.5%) at constant memory, and merge by bucket-wise
+//     addition.
 //
 // Naming convention: `subsystem.verb.unit`, e.g. `pmem.flush.count`,
 // `checkpoint.serialize.ns`, `pool.used.bytes`.
@@ -68,6 +69,7 @@ struct HistogramSnapshot {
   double p90 = 0;
   double p95 = 0;
   double p99 = 0;
+  double p999 = 0;
   double mean = 0;
 };
 
@@ -140,12 +142,12 @@ class MetricsRegistry {
   RegistrySnapshot Snapshot() const;
 
   // {"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum,
-  // min, max, mean, p50, p90, p95, p99}}}
+  // min, max, mean, p50, p90, p95, p99, p999}}}
   JsonValue SnapshotJson() const;
   std::string SnapshotJsonString() const;
 
   // Aligned text table of every histogram's latency percentiles (count,
-  // p50/p95/p99, max, mean), for the --metrics-summary artifact.
+  // p50/p95/p99/p999, max, mean), for the --metrics-summary artifact.
   std::string LatencyTable() const;
 
  private:

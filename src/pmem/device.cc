@@ -100,8 +100,46 @@ void PmemDevice::NotifyAndMakeDurable(PmOffset offset, size_t size) {
   stats_.persists++;
 }
 
+namespace {
+// Innermost BatchScope of the calling thread; scopes chain through their
+// parent_ pointer, so one thread can hold scopes on several devices.
+thread_local PmemDevice::BatchScope* tls_batch_top = nullptr;
+}  // namespace
+
+PmemDevice::BatchScope::BatchScope(PmemDevice& device)
+    : device_(device), parent_(tls_batch_top) {
+  tls_batch_top = this;
+}
+
+PmemDevice::BatchScope::~BatchScope() {
+  tls_batch_top = parent_;
+  // Drain only when this was the thread's outermost scope for the device:
+  // nested scopes collapse into one fence at the true batch boundary.
+  if (!device_.InThreadBatch()) {
+    device_.Drain();
+  }
+}
+
+bool PmemDevice::InThreadBatch() const {
+  for (const BatchScope* scope = tls_batch_top; scope != nullptr;
+       scope = scope->parent_) {
+    if (&scope->device_ == this) {
+      return true;
+    }
+  }
+  return false;
+}
+
 void PmemDevice::Persist(PmOffset offset, size_t size) {
   if (size == 0) {
+    return;
+  }
+  if (InThreadBatch()) {
+    // Deferred-drain batch: stage the lines (clwb) and let the enclosing
+    // BatchScope issue the one sfence. Flush accounting happens here; the
+    // drain accounts the coalesced runs as persists when they actually
+    // become durable.
+    FlushLines(offset, size);
     return;
   }
   StripeGuard guard(*this, offset, size);

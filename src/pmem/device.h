@@ -140,6 +140,44 @@ class PmemDevice {
   void FlushLines(PmOffset offset, size_t size);
   void Drain();
 
+  // Per-thread persist batching (the network plane's pipelined-batch
+  // durability amortization). While the calling thread holds a BatchScope
+  // on this device, Persist() only stages the range's lines (a clwb without
+  // the sfence); the outermost scope's destructor issues the one Drain that
+  // makes everything staged durable and fires the observer callbacks with
+  // adjacent lines coalesced. A line written by several requests of the
+  // batch is copied (and observed) once — exactly the semantics of issuing
+  // one sfence after a pipelined run of clwb'd stores. The final durable
+  // image is bit-identical to per-request persists of the same stores; what
+  // changes is when durability (and its cost) happens, so a crash *inside*
+  // the batch loses up to the whole batch instead of up to one request.
+  //
+  // The scope is thread-local: only the owning thread's Persist() calls are
+  // deferred, and the drain fences every staged line (its own and, like a
+  // real sfence, any other thread's lines staged via FlushLines). Callers
+  // must keep the batch inside their request critical section: the drain
+  // reads live-image bytes, so it must run before another thread may write
+  // the batch's lines (NetDispatcher drains before releasing the request
+  // lock). PersistQuiet (allocator metadata) is never deferred. Nesting on
+  // the same device is collapsed to the outermost scope; a scope on a
+  // second device while one is active is independent (each device defers
+  // only its own persists).
+  class BatchScope {
+   public:
+    explicit BatchScope(PmemDevice& device);
+    ~BatchScope();  // drains if this was the thread's outermost scope
+    BatchScope(const BatchScope&) = delete;
+    BatchScope& operator=(const BatchScope&) = delete;
+
+   private:
+    friend class PmemDevice;  // InThreadBatch walks the scope chain
+    PmemDevice& device_;
+    BatchScope* parent_;  // previous scope of this thread (any device)
+  };
+
+  // True when the calling thread is inside a BatchScope for this device.
+  bool InThreadBatch() const;
+
   // Discards all non-durable state: the live image is rebuilt from the
   // durable image. This is what a process restart or power failure does.
   // Takes every stripe, so the discarded (unflushed) line set is consistent:

@@ -203,7 +203,42 @@ ReactorServer::ReactorServer(const IrModule& model,
     : reactor_(std::make_unique<Reactor>(model, registry)) {}
 
 Status ReactorServer::IngestTrace(const std::string& trace_lines) {
+  std::lock_guard<std::mutex> lock(serve_mutex_);
   return trace_copy_.ParseAppend(trace_lines);
+}
+
+Result<std::string> ReactorServer::ServeLine(const std::string& line) {
+  std::lock_guard<std::mutex> lock(serve_mutex_);
+  const size_t space = line.find(' ');
+  const std::string verb = line.substr(0, space);
+  const std::string rest =
+      space == std::string::npos ? std::string() : line.substr(space + 1);
+  if (verb == "stats") {
+    Result<StatsRequest> request = StatsRequest::Parse(rest);
+    if (!request.ok()) {
+      return request.status();
+    }
+    return Stats(*request).Serialize();
+  }
+  if (verb == "health") {
+    Result<HealthRequest> request = HealthRequest::Parse(rest);
+    if (!request.ok()) {
+      return request.status();
+    }
+    return Health(*request).Serialize();
+  }
+  if (verb == "explain") {
+    Result<MitigationRequest> request = MitigationRequest::Parse(rest);
+    if (!request.ok()) {
+      return request.status();
+    }
+    if (active_substrate_ == nullptr) {
+      return FailedPrecondition(
+          "explain needs an active substrate (set_active_substrate)");
+    }
+    return Explain(*request, *active_substrate_).Serialize();
+  }
+  return InvalidArgument("unknown reactor verb '" + verb + "'");
 }
 
 PlanResponse ReactorServer::ComputePlan(const MitigationRequest& request,
@@ -299,6 +334,7 @@ MitigationOutcome ReactorServer::Execute(const MitigationRequest& request,
                                          PmSystemTarget& target,
                                          const ReexecuteFn& reexecute,
                                          VirtualClock& clock) {
+  std::lock_guard<std::mutex> lock(serve_mutex_);
   ARTHAS_COUNTER_ADD("reactor_server.request.count", 1);
   requests_served_++;
   return reactor_->Mitigate(request.fault, trace_copy_, log, target,
@@ -310,6 +346,7 @@ MitigationOutcome ReactorServer::Execute(const MitigationRequest& request,
                                          PmSystemTarget& target,
                                          const ReexecuteFn& reexecute,
                                          VirtualClock& clock) {
+  std::lock_guard<std::mutex> lock(serve_mutex_);
   ARTHAS_COUNTER_ADD("reactor_server.request.count", 1);
   requests_served_++;
   return reactor_->Mitigate(request.fault, trace_copy_, substrate, target,

@@ -18,6 +18,7 @@
 #define ARTHAS_REACTOR_REACTOR_SERVER_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -172,6 +173,18 @@ class ReactorServer {
     return active_substrate_;
   }
 
+  // Text transport entry point for the network plane (src/net): one request
+  // line in, one serialized response body out. Lines are the wire formats
+  // above prefixed by a verb — "stats <StatsRequest>", "health
+  // <HealthRequest>", "explain <MitigationRequest>". `explain` answers
+  // against the active substrate and fails cleanly when none is set.
+  // Thread-safe: ServeLine, IngestTrace and the Execute overloads serialize
+  // on one internal mutex (socket loop threads share this server with the
+  // mitigation path); the typed methods below stay lock-free for the
+  // existing single-threaded callers and must not be mixed with concurrent
+  // ServeLine traffic.
+  Result<std::string> ServeLine(const std::string& line);
+
   // Live introspection (paper Section 5's operator loop): the current
   // telemetry-sampler tail and a health verdict derived from the timeline.
   // Both read TelemetrySampler::Global() — the same plane the benches and
@@ -189,6 +202,8 @@ class ReactorServer {
   Tracer trace_copy_;
   int requests_served_ = 0;
   const ConsistencySubstrate* active_substrate_ = nullptr;
+  // Serializes ServeLine / IngestTrace / Execute (see ServeLine's comment).
+  std::mutex serve_mutex_;
 };
 
 }  // namespace arthas

@@ -1,0 +1,238 @@
+// Wire-protocol robustness: the RequestParser/ReplyParser pair must parse
+// identically however the byte stream is sliced (TCP gives no framing
+// guarantees), reject garbage without wedging the connection, and swallow
+// oversized lines with exactly one error (memcached's CLIENT_ERROR
+// discipline).
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "net/protocol.h"
+
+namespace arthas {
+namespace net {
+namespace {
+
+std::vector<NetCommand> ParseWhole(const std::string& bytes,
+                                   size_t max_line_bytes = 8192) {
+  RequestParser parser(max_line_bytes);
+  std::vector<NetCommand> commands;
+  parser.Feed(bytes.data(), bytes.size(), &commands);
+  return commands;
+}
+
+TEST(ParseRequestLineTest, AllCommands) {
+  NetCommand get = ParseRequestLine("GET user7");
+  EXPECT_EQ(get.op, NetOp::kGet);
+  EXPECT_EQ(get.key, "user7");
+
+  NetCommand set = ParseRequestLine("SET user7 abcdef");
+  EXPECT_EQ(set.op, NetOp::kSet);
+  EXPECT_EQ(set.key, "user7");
+  EXPECT_EQ(set.value, "abcdef");
+
+  NetCommand del = ParseRequestLine("DEL user7");
+  EXPECT_EQ(del.op, NetOp::kDel);
+
+  NetCommand append = ParseRequestLine("APPEND user7 xyz");
+  EXPECT_EQ(append.op, NetOp::kAppend);
+  EXPECT_EQ(append.value, "xyz");
+
+  EXPECT_EQ(ParseRequestLine("HOLD user7").op, NetOp::kHold);
+  EXPECT_EQ(ParseRequestLine("PING").op, NetOp::kPing);
+  EXPECT_EQ(ParseRequestLine("QUIT").op, NetOp::kQuit);
+
+  // Commands are case-insensitive (memcached text protocol convention).
+  EXPECT_EQ(ParseRequestLine("get user7").op, NetOp::kGet);
+  EXPECT_EQ(ParseRequestLine("set k v").op, NetOp::kSet);
+}
+
+TEST(ParseRequestLineTest, ReactorPassthroughNormalization) {
+  // STATS defaults fill in the wire format's placeholder tokens.
+  NetCommand stats = ParseRequestLine("STATS");
+  EXPECT_EQ(stats.op, NetOp::kStats);
+  EXPECT_EQ(stats.text, "- 32");
+  EXPECT_EQ(ParseRequestLine("STATS net.").text, "net. 32");
+  EXPECT_EQ(ParseRequestLine("STATS net. 8").text, "net. 8");
+
+  NetCommand health = ParseRequestLine("HEALTH");
+  EXPECT_EQ(health.op, NetOp::kHealth);
+  EXPECT_EQ(health.text, "harness.op.count");
+  EXPECT_EQ(ParseRequestLine("HEALTH net.ops.ok").text, "net.ops.ok");
+
+  NetCommand explain = ParseRequestLine("EXPLAIN segfault 12 4096 139");
+  EXPECT_EQ(explain.op, NetOp::kExplain);
+  EXPECT_EQ(explain.text, "segfault 12 4096 139");
+}
+
+TEST(ParseRequestLineTest, ArityAndGarbageRejected) {
+  // Wrong arity, unknown verbs, and empty lines all come back as kError
+  // with a message — never an exception, never a latched state.
+  EXPECT_EQ(ParseRequestLine("GET").op, NetOp::kError);
+  EXPECT_EQ(ParseRequestLine("GET a b").op, NetOp::kError);
+  EXPECT_EQ(ParseRequestLine("SET onlykey").op, NetOp::kError);
+  EXPECT_EQ(ParseRequestLine("DEL").op, NetOp::kError);
+  EXPECT_EQ(ParseRequestLine("").op, NetOp::kError);
+  EXPECT_EQ(ParseRequestLine("BLARGH x y z").op, NetOp::kError);
+  EXPECT_EQ(ParseRequestLine("EXPLAIN too few").op, NetOp::kError);
+  EXPECT_FALSE(ParseRequestLine("BLARGH").text.empty());
+}
+
+TEST(RequestParserTest, SplitAtEveryByteBoundary) {
+  // A pipelined multi-command payload must parse identically however the
+  // stream is cut: two feeds split at every possible boundary, and a
+  // byte-at-a-time drip, all match the whole-buffer parse.
+  const std::string bytes =
+      "SET user1 aaaa\r\nGET user1\nDEL user2\nPING\nSET user3 bb\n";
+  const std::vector<NetCommand> expected = ParseWhole(bytes);
+  ASSERT_EQ(expected.size(), 5u);
+
+  for (size_t split = 0; split <= bytes.size(); split++) {
+    RequestParser parser;
+    std::vector<NetCommand> commands;
+    parser.Feed(bytes.data(), split, &commands);
+    parser.Feed(bytes.data() + split, bytes.size() - split, &commands);
+    ASSERT_EQ(commands.size(), expected.size()) << "split at " << split;
+    for (size_t i = 0; i < expected.size(); i++) {
+      EXPECT_EQ(commands[i].op, expected[i].op) << "split at " << split;
+      EXPECT_EQ(commands[i].key, expected[i].key) << "split at " << split;
+      EXPECT_EQ(commands[i].value, expected[i].value)
+          << "split at " << split;
+    }
+  }
+
+  RequestParser drip;
+  std::vector<NetCommand> dripped;
+  for (const char byte : bytes) {
+    drip.Feed(&byte, 1, &dripped);
+  }
+  ASSERT_EQ(dripped.size(), expected.size());
+  EXPECT_EQ(dripped.back().key, "user3");
+  EXPECT_EQ(drip.buffered_bytes(), 0u);
+}
+
+TEST(RequestParserTest, PipelinedCommandsInOneRead) {
+  std::string bytes;
+  for (int i = 0; i < 40; i++) {
+    bytes += "SET user" + std::to_string(i) + " v" + std::to_string(i) + "\n";
+  }
+  const std::vector<NetCommand> commands = ParseWhole(bytes);
+  ASSERT_EQ(commands.size(), 40u);
+  for (int i = 0; i < 40; i++) {
+    EXPECT_EQ(commands[static_cast<size_t>(i)].op, NetOp::kSet);
+    EXPECT_EQ(commands[static_cast<size_t>(i)].key,
+              "user" + std::to_string(i));
+  }
+}
+
+TEST(RequestParserTest, OversizedLineOneErrorThenResync) {
+  RequestParser parser(/*max_line_bytes=*/32);
+  std::vector<NetCommand> commands;
+
+  // An over-limit line yields exactly one kError — even when fed in many
+  // pieces — and the stream resynchronizes at its newline.
+  const std::string huge(100, 'x');
+  parser.Feed(huge.data(), huge.size(), &commands);
+  ASSERT_EQ(commands.size(), 1u);
+  EXPECT_EQ(commands[0].op, NetOp::kError);
+
+  const std::string more(50, 'y');  // still the same oversized line
+  parser.Feed(more.data(), more.size(), &commands);
+  EXPECT_EQ(commands.size(), 1u) << "one oversized line, one error";
+
+  const std::string tail = "z\nGET user1\n";
+  parser.Feed(tail.data(), tail.size(), &commands);
+  ASSERT_EQ(commands.size(), 2u);
+  EXPECT_EQ(commands[1].op, NetOp::kGet);
+  EXPECT_EQ(commands[1].key, "user1");
+}
+
+TEST(RequestParserTest, PartialLineStaysBuffered) {
+  // A connection torn down mid-request simply abandons the buffered
+  // prefix; nothing is emitted for an unterminated line.
+  RequestParser parser;
+  std::vector<NetCommand> commands;
+  const std::string partial = "SET user1 aaaa";  // no newline
+  parser.Feed(partial.data(), partial.size(), &commands);
+  EXPECT_TRUE(commands.empty());
+  EXPECT_EQ(parser.buffered_bytes(), partial.size());
+}
+
+// --- Reply framing (the load generator's half) -------------------------------
+
+std::vector<NetReply> ParseReplies(const std::string& bytes) {
+  ReplyParser parser;
+  std::vector<NetReply> replies;
+  parser.Feed(bytes.data(), bytes.size(), &replies);
+  return replies;
+}
+
+TEST(ReplyParserTest, AllReplyKindsRoundTrip) {
+  std::string bytes;
+  EncodeSimple("OK", &bytes);
+  EncodeError("bad arity", &bytes);
+  EncodeFault("server unavailable", &bytes);
+  EncodeInteger(42, &bytes);
+  EncodeBulk("payload with spaces", &bytes);
+  EncodeNil(&bytes);
+
+  const std::vector<NetReply> replies = ParseReplies(bytes);
+  ASSERT_EQ(replies.size(), 6u);
+  EXPECT_EQ(replies[0].kind, NetReply::Kind::kSimple);
+  EXPECT_EQ(replies[0].text, "OK");
+  EXPECT_EQ(replies[1].kind, NetReply::Kind::kError);
+  // Error/fault text keeps the wire prefix so callers can log it verbatim.
+  EXPECT_EQ(replies[1].text, "ERR bad arity");
+  EXPECT_FALSE(replies[1].ok());
+  EXPECT_EQ(replies[2].kind, NetReply::Kind::kFault);
+  EXPECT_EQ(replies[2].text, "FAULT server unavailable");
+  EXPECT_FALSE(replies[2].ok());
+  EXPECT_EQ(replies[3].kind, NetReply::Kind::kInteger);
+  EXPECT_EQ(replies[3].integer, 42);
+  EXPECT_EQ(replies[4].kind, NetReply::Kind::kBulk);
+  EXPECT_EQ(replies[4].text, "payload with spaces");
+  EXPECT_EQ(replies[5].kind, NetReply::Kind::kNil);
+  EXPECT_TRUE(replies[5].ok());
+}
+
+TEST(ReplyParserTest, SplitAtEveryByteBoundary) {
+  // Bulk payloads span a length header and a binary body; the parser must
+  // survive any cut, including cuts inside the header and inside the body.
+  std::string bytes;
+  EncodeBulk("0123456789abcdef", &bytes);
+  EncodeInteger(-7, &bytes);
+  EncodeBulk("", &bytes);  // zero-length bulk is valid and distinct from nil
+  EncodeSimple("BYE", &bytes);
+
+  const std::vector<NetReply> expected = ParseReplies(bytes);
+  ASSERT_EQ(expected.size(), 4u);
+  for (size_t split = 0; split <= bytes.size(); split++) {
+    ReplyParser parser;
+    std::vector<NetReply> replies;
+    parser.Feed(bytes.data(), split, &replies);
+    parser.Feed(bytes.data() + split, bytes.size() - split, &replies);
+    ASSERT_EQ(replies.size(), expected.size()) << "split at " << split;
+    for (size_t i = 0; i < expected.size(); i++) {
+      EXPECT_EQ(replies[i].kind, expected[i].kind) << "split at " << split;
+      EXPECT_EQ(replies[i].text, expected[i].text) << "split at " << split;
+      EXPECT_EQ(replies[i].integer, expected[i].integer)
+          << "split at " << split;
+    }
+  }
+}
+
+TEST(ReplyParserTest, MalformedFramingResyncs) {
+  // Garbage where a type byte should be surfaces as one kError reply and
+  // the stream resynchronizes at the next line.
+  std::string bytes = "#what\n";
+  EncodeSimple("OK", &bytes);
+  const std::vector<NetReply> replies = ParseReplies(bytes);
+  ASSERT_EQ(replies.size(), 2u);
+  EXPECT_EQ(replies[0].kind, NetReply::Kind::kError);
+  EXPECT_EQ(replies[1].kind, NetReply::Kind::kSimple);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace arthas

@@ -1,0 +1,535 @@
+// End-to-end tests for the network plane (src/net): real sockets against
+// NetServer, the dispatcher's batched-persist equivalence guarantee, fault
+// semantics over the wire, and the reactor passthrough.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+
+#include "gtest/gtest.h"
+#include "faults/fault_ids.h"
+#include "net/dispatcher.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "reactor/reactor_server.h"
+#include "substrate/substrate.h"
+#include "systems/memcached_mini.h"
+
+namespace arthas {
+namespace net {
+namespace {
+
+// Minimal blocking client: sends raw bytes, reads RESP-framed replies.
+class TestClient {
+ public:
+  explicit TestClient(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      return;
+    }
+    sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~TestClient() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+  }
+  TestClient(const TestClient&) = delete;
+  TestClient& operator=(const TestClient&) = delete;
+
+  bool connected() const { return fd_ >= 0; }
+
+  bool Send(const std::string& bytes) {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n = ::write(fd_, bytes.data() + sent, bytes.size() - sent);
+      if (n <= 0) {
+        return false;
+      }
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  // Reads until `want` replies arrived (appended to the running tally) or
+  // the timeout expires. Returns the replies collected this call.
+  std::vector<NetReply> ReadReplies(size_t want, int timeout_ms = 5000) {
+    std::vector<NetReply> replies;
+    char buf[4096];
+    while (replies.size() < want && timeout_ms > 0) {
+      pollfd pfd = {fd_, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, 50);
+      timeout_ms -= 50;
+      if (ready <= 0) {
+        continue;
+      }
+      const ssize_t n = ::read(fd_, buf, sizeof(buf));
+      if (n <= 0) {
+        break;  // peer closed
+      }
+      parser_.Feed(buf, static_cast<size_t>(n), &replies);
+    }
+    return replies;
+  }
+
+  // True when the server closed the connection (read() returns 0).
+  bool ReadEof(int timeout_ms = 5000) {
+    char buf[256];
+    while (timeout_ms > 0) {
+      pollfd pfd = {fd_, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, 50);
+      timeout_ms -= 50;
+      if (ready <= 0) {
+        continue;
+      }
+      const ssize_t n = ::read(fd_, buf, sizeof(buf));
+      if (n == 0) {
+        return true;
+      }
+      if (n < 0) {
+        return false;
+      }
+    }
+    return false;
+  }
+
+  void CloseAbruptly() {
+    ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_ = -1;
+  ReplyParser parser_;
+};
+
+TEST(NetServerTest, KvCommandsOverRealSocket) {
+  MemcachedMini mc;
+  NetDispatcher dispatcher(mc, /*reactor=*/nullptr);
+  NetServerOptions options;
+  options.loop_threads = 2;
+  NetServer server(dispatcher, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send("PING\nSET user1 hello\nGET user1\nGET nosuch\n"
+                          "DEL user1\nDEL user1\n"));
+  std::vector<NetReply> replies = client.ReadReplies(6);
+  ASSERT_EQ(replies.size(), 6u);
+  EXPECT_EQ(replies[0].kind, NetReply::Kind::kSimple);
+  EXPECT_EQ(replies[0].text, "PONG");
+  EXPECT_EQ(replies[1].kind, NetReply::Kind::kSimple);
+  EXPECT_EQ(replies[1].text, "OK");
+  EXPECT_EQ(replies[2].kind, NetReply::Kind::kBulk);
+  EXPECT_EQ(replies[2].text, "hello");
+  EXPECT_EQ(replies[3].kind, NetReply::Kind::kNil);
+  EXPECT_EQ(replies[4].kind, NetReply::Kind::kInteger);
+  EXPECT_EQ(replies[4].integer, 1);
+  EXPECT_EQ(replies[5].kind, NetReply::Kind::kInteger);
+  EXPECT_EQ(replies[5].integer, 0);
+
+  // QUIT answers +BYE and the server closes the connection.
+  ASSERT_TRUE(client.Send("QUIT\n"));
+  replies = client.ReadReplies(1);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].text, "BYE");
+  EXPECT_TRUE(client.ReadEof());
+
+  server.Stop();
+  EXPECT_FALSE(mc.last_fault().has_value());
+}
+
+TEST(NetServerTest, PipeliningPreservesReplyOrder) {
+  MemcachedMini mc;
+  NetDispatcher dispatcher(mc, /*reactor=*/nullptr);
+  NetServer server(dispatcher);
+  ASSERT_TRUE(server.Start().ok());
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  // One write: 32 SETs then 32 GETs. Replies must come back by position.
+  std::string bytes;
+  for (int i = 0; i < 32; i++) {
+    bytes += "SET user" + std::to_string(i) + " v" + std::to_string(i) + "\n";
+  }
+  for (int i = 0; i < 32; i++) {
+    bytes += "GET user" + std::to_string(i) + "\n";
+  }
+  ASSERT_TRUE(client.Send(bytes));
+  const std::vector<NetReply> replies = client.ReadReplies(64);
+  ASSERT_EQ(replies.size(), 64u);
+  for (int i = 0; i < 32; i++) {
+    EXPECT_EQ(replies[static_cast<size_t>(i)].text, "OK") << "SET " << i;
+    const NetReply& get = replies[static_cast<size_t>(32 + i)];
+    EXPECT_EQ(get.kind, NetReply::Kind::kBulk) << "GET " << i;
+    EXPECT_EQ(get.text, "v" + std::to_string(i)) << "GET " << i;
+  }
+  server.Stop();
+}
+
+// The perf path must not change semantics: a pipelined run executed as one
+// batched-persist batch leaves the same replies and a bit-identical durable
+// image as the same commands executed one-by-one with per-store persists
+// (the closed-loop drivers' behaviour).
+TEST(NetDispatcherTest, BatchedPipelineMatchesUnpipelinedDurableImage) {
+  std::vector<std::string> lines;
+  for (int i = 0; i < 120; i++) {
+    const std::string key = "user" + std::to_string(i % 17);
+    switch (i % 5) {
+      case 0:
+      case 1:
+        lines.push_back("SET " + key + " value" + std::to_string(i));
+        break;
+      case 2:
+        lines.push_back("GET " + key);
+        break;
+      case 3:
+        lines.push_back("APPEND " + key + " x");
+        break;
+      default:
+        lines.push_back("DEL " + key);
+        break;
+    }
+  }
+  std::vector<NetCommand> commands;
+  commands.reserve(lines.size());
+  for (const std::string& line : lines) {
+    commands.push_back(ParseRequestLine(line));
+  }
+
+  MemcachedMini batched_mc;
+  NetDispatcher::Options batched_options;
+  batched_options.batch_persists = true;
+  NetDispatcher batched(batched_mc, nullptr, batched_options);
+  std::string batched_replies;
+  // Pipelined: chunks of 16 commands, each one lock + section + drain.
+  for (size_t i = 0; i < commands.size(); i += 16) {
+    const size_t end = std::min(commands.size(), i + 16);
+    std::vector<NetCommand> chunk(commands.begin() + i, commands.begin() + end);
+    batched.ExecuteBatch(chunk, &batched_replies);
+  }
+
+  MemcachedMini plain_mc;
+  NetDispatcher::Options plain_options;
+  plain_options.batch_persists = false;
+  NetDispatcher plain(plain_mc, nullptr, plain_options);
+  std::string plain_replies;
+  for (const NetCommand& command : commands) {
+    plain.ExecuteBatch({command}, &plain_replies);
+  }
+
+  EXPECT_EQ(batched_replies, plain_replies);
+  EXPECT_EQ(batched_mc.ItemCount(), plain_mc.ItemCount());
+  EXPECT_TRUE(batched_mc.CheckConsistency().ok());
+  EXPECT_TRUE(plain_mc.CheckConsistency().ok());
+  EXPECT_FALSE(batched_mc.last_fault().has_value());
+  EXPECT_FALSE(plain_mc.last_fault().has_value());
+  EXPECT_EQ(batched_mc.pool().device().SnapshotDurable(),
+            plain_mc.pool().device().SnapshotDurable())
+      << "durable image differs between batched and per-op persists";
+}
+
+TEST(NetServerTest, GarbageAndOversizedLinesDoNotLatchFault) {
+  MemcachedMini mc;
+  NetDispatcher dispatcher(mc, /*reactor=*/nullptr);
+  NetServerOptions options;
+  options.max_line_bytes = 128;
+  NetServer server(dispatcher, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+
+  // Unknown verb, wrong arity, and an oversized line each answer -ERR; the
+  // connection stays usable and the served system never sees a fault.
+  ASSERT_TRUE(client.Send("BLARGH what is this\nGET\n"));
+  std::vector<NetReply> replies = client.ReadReplies(2);
+  ASSERT_EQ(replies.size(), 2u);
+  EXPECT_EQ(replies[0].kind, NetReply::Kind::kError);
+  EXPECT_EQ(replies[1].kind, NetReply::Kind::kError);
+
+  ASSERT_TRUE(client.Send(std::string(1000, 'x') + "\n"));
+  replies = client.ReadReplies(1);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].kind, NetReply::Kind::kError);
+
+  ASSERT_TRUE(client.Send("PING\nSET user1 still-works\nGET user1\n"));
+  replies = client.ReadReplies(3);
+  ASSERT_EQ(replies.size(), 3u);
+  EXPECT_EQ(replies[0].text, "PONG");
+  EXPECT_EQ(replies[2].text, "still-works");
+
+  EXPECT_FALSE(mc.last_fault().has_value());
+  server.Stop();
+}
+
+TEST(NetServerTest, TeardownMidRequestLeavesServerServing) {
+  MemcachedMini mc;
+  NetDispatcher dispatcher(mc, /*reactor=*/nullptr);
+  NetServer server(dispatcher);
+  ASSERT_TRUE(server.Start().ok());
+
+  {
+    TestClient abandoner(server.port());
+    ASSERT_TRUE(abandoner.connected());
+    // Half a request, no newline, then an abrupt close.
+    ASSERT_TRUE(abandoner.Send("SET user1 aband"));
+    abandoner.CloseAbruptly();
+  }
+
+  // The server must shrug it off: a new client gets full service and the
+  // half-written SET never executed.
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send("GET user1\nPING\n"));
+  const std::vector<NetReply> replies = client.ReadReplies(2);
+  ASSERT_EQ(replies.size(), 2u);
+  EXPECT_EQ(replies[0].kind, NetReply::Kind::kNil);
+  EXPECT_EQ(replies[1].text, "PONG");
+
+  // The accept counter trails the loop thread; give it a bounded moment.
+  for (int i = 0; i < 100 && server.connections_accepted() < 2; i++) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(server.connections_accepted(), 2u);
+  EXPECT_FALSE(mc.last_fault().has_value());
+  server.Stop();
+  EXPECT_EQ(server.connections_open(), 0u);
+}
+
+TEST(NetServerTest, ReactorStatsHealthExplainOverSocket) {
+  // Latch a real f2 fault and ingest the trace, exactly like the in-process
+  // reactor tests — then ask for the explanation over the wire.
+  MemcachedMini mc;
+  mc.ArmFault(FaultId::kF2FlushAllLogic);
+  Request put;
+  put.op = Request::Op::kPut;
+  put.key = "a";
+  put.value = "1";
+  ASSERT_TRUE(mc.Handle(put).status.ok());
+  Request flush;
+  flush.op = Request::Op::kFlushAll;
+  flush.int_arg = 600;
+  ASSERT_TRUE(mc.Handle(flush).status.ok());
+  Request get = {};
+  get.op = Request::Op::kGet;
+  get.key = "a";
+  get.must_exist = true;
+  mc.Handle(get);
+  ASSERT_TRUE(mc.last_fault().has_value());
+
+  ReactorServer reactor(mc.ir_model(), mc.guid_registry());
+  ASSERT_TRUE(reactor.IngestTrace(mc.tracer().Serialize()).ok());
+  auto substrate = MakeSubstrate(SubstrateKind::kArthasCheckpoint);
+  ASSERT_TRUE(substrate->Attach(mc.pool()).ok());
+  reactor.set_active_substrate(substrate.get());
+
+  NetDispatcher dispatcher(mc, &reactor);
+  NetServer server(dispatcher);
+  ASSERT_TRUE(server.Start().ok());
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+
+  ASSERT_TRUE(client.Send("STATS\nHEALTH net.ops.ok\n"));
+  std::vector<NetReply> replies = client.ReadReplies(2);
+  ASSERT_EQ(replies.size(), 2u);
+  ASSERT_EQ(replies[0].kind, NetReply::Kind::kBulk);
+  EXPECT_TRUE(StatsResponse::Parse(replies[0].text).ok());
+  ASSERT_EQ(replies[1].kind, NetReply::Kind::kBulk);
+  auto health = HealthResponse::Parse(replies[1].text);
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->substrate, "arthas");
+
+  MitigationRequest request;
+  request.fault = *mc.last_fault();
+  ASSERT_TRUE(client.Send("EXPLAIN " + request.Serialize() + "\n"));
+  replies = client.ReadReplies(1);
+  ASSERT_EQ(replies.size(), 1u);
+  ASSERT_EQ(replies[0].kind, NetReply::Kind::kBulk);
+  auto explain = ExplainResponse::Parse(replies[0].text);
+  ASSERT_TRUE(explain.ok());
+  EXPECT_EQ(explain->substrate, "arthas");
+  EXPECT_TRUE(explain->revert_capable);
+
+  server.Stop();
+  reactor.set_active_substrate(nullptr);
+  substrate->Detach();
+}
+
+TEST(NetServerTest, ReactorPassthroughWithoutReactorAnswersErr) {
+  MemcachedMini mc;
+  NetDispatcher dispatcher(mc, /*reactor=*/nullptr);
+  NetServer server(dispatcher);
+  ASSERT_TRUE(server.Start().ok());
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send("STATS\n"));
+  const std::vector<NetReply> replies = client.ReadReplies(1);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].kind, NetReply::Kind::kError);
+  server.Stop();
+}
+
+TEST(NetServerTest, HardFaultAnswersFaultAndHookRecovers) {
+  // f4's corruption is durable, so a bare restart re-latches the fault —
+  // the on_fault hook must run the real mitigation (reactor reversion +
+  // re-execution), the same flow bench_netplane's fault scenario drives.
+  MemcachedMini mc;
+  mc.tracer().set_enabled(true);
+  mc.ArmFault(FaultId::kF4AppendIntOverflow);
+  auto substrate = MakeSubstrate(SubstrateKind::kArthasCheckpoint);
+  ASSERT_TRUE(substrate->Attach(mc.pool()).ok());
+  mc.set_substrate(substrate.get());
+  ReactorServer reactor(mc.ir_model(), mc.guid_registry());
+  reactor.set_active_substrate(substrate.get());
+  VirtualClock clock;
+
+  auto reexecute = [&mc]() {
+    (void)mc.Restart();
+    Request get;
+    get.op = Request::Op::kGet;
+    get.key = "f4victim";
+    (void)mc.Handle(get);
+    RunObservation observation;
+    observation.fault = mc.last_fault();
+    observation.item_count = mc.ItemCount();
+    return observation;
+  };
+  std::atomic<int> recoveries{0};
+  NetDispatcher::Options options;
+  options.on_fault = [&](const FaultInfo& fault) {
+    mc.DisarmFaults();  // the mitigated "binary" no longer carries the bug
+    ASSERT_TRUE(reactor.IngestTrace(mc.tracer().Serialize()).ok());
+    MitigationRequest request;
+    request.fault = fault;
+    const MitigationOutcome outcome =
+        reactor.Execute(request, *substrate, mc, reexecute, clock);
+    if (outcome.recovered) {
+      recoveries.fetch_add(1);
+    }
+  };
+  NetDispatcher dispatcher(mc, &reactor, options);
+  NetServer server(dispatcher);
+  ASSERT_TRUE(server.Start().ok());
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+
+  // One write = one pipelined batch = one request-lock hold, so the two
+  // fresh allocations are buddy-adjacent and the armed APPEND overflows
+  // into its neighbour (the f4 recipe of harness/experiment.cc).
+  std::string trigger;
+  trigger += "SET appendee " + std::string(200, 'a') + "\n";
+  trigger += "SET f4victim " + std::string(210, 'v') + "\n";
+  trigger += "APPEND appendee " + std::string(100, 'b') + "\n";
+  trigger += "GET f4victim\n";
+  ASSERT_TRUE(client.Send(trigger));
+  std::vector<NetReply> replies = client.ReadReplies(4);
+  ASSERT_EQ(replies.size(), 4u);
+  EXPECT_EQ(replies[0].text, "OK");
+  EXPECT_EQ(replies[1].text, "OK");
+
+  // Reading the appendee's clobbered chain latches the hard fault: the
+  // faulting command and the rest of its batch answer -FAULT (a dead
+  // process executes nothing further), then the hook mitigates before the
+  // next batch takes the request lock.
+  ASSERT_TRUE(client.Send("GET appendee\nGET f4victim\n"));
+  replies = client.ReadReplies(2);
+  ASSERT_EQ(replies.size(), 2u);
+  EXPECT_EQ(replies[0].kind, NetReply::Kind::kFault);
+  EXPECT_EQ(replies[1].kind, NetReply::Kind::kFault);
+
+  // Same connection, next batch: the system is live again.
+  ASSERT_TRUE(client.Send("PING\nGET f4victim\n"));
+  replies = client.ReadReplies(2);
+  ASSERT_EQ(replies.size(), 2u);
+  EXPECT_EQ(replies[0].text, "PONG");
+  EXPECT_TRUE(replies[1].ok());
+  EXPECT_EQ(recoveries.load(), 1);
+  EXPECT_FALSE(mc.last_fault().has_value());
+  server.Stop();
+  mc.set_substrate(nullptr);
+  substrate->Detach();
+}
+
+TEST(NetServerTest, ConcurrentClientsHammer) {
+  // Thread-safety smoke for TSan: several clients pipeline disjoint keys
+  // through both loop threads while a reactor serves STATS passthrough.
+  MemcachedMini mc;
+  ReactorServer reactor(mc.ir_model(), mc.guid_registry());
+  NetDispatcher dispatcher(mc, &reactor);
+  NetServerOptions options;
+  options.loop_threads = 2;
+  NetServer server(dispatcher, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kThreads = 4;
+  constexpr int kPairs = 100;
+  std::atomic<int> bad{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; t++) {
+    clients.emplace_back([t, port = server.port(), &bad]() {
+      TestClient client(port);
+      if (!client.connected()) {
+        bad.fetch_add(1);
+        return;
+      }
+      for (int i = 0; i < kPairs; i++) {
+        const std::string key =
+            "t" + std::to_string(t) + "k" + std::to_string(i % 7);
+        std::string bytes = "SET " + key + " v\nGET " + key + "\n";
+        if (i % 25 == 0) {
+          bytes += "STATS\n";
+        }
+        if (!client.Send(bytes)) {
+          bad.fetch_add(1);
+          return;
+        }
+        const size_t want = 2 + (i % 25 == 0 ? 1 : 0);
+        const std::vector<NetReply> replies = client.ReadReplies(want);
+        if (replies.size() != want) {
+          bad.fetch_add(1);
+          return;
+        }
+        for (const NetReply& reply : replies) {
+          if (!reply.ok()) {
+            bad.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : clients) {
+    thread.join();
+  }
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_GE(server.connections_accepted(), static_cast<uint64_t>(kThreads));
+  EXPECT_FALSE(mc.last_fault().has_value());
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace arthas

@@ -106,16 +106,51 @@ TEST(HistogramTest, EmptyAndEdgeQuantiles) {
   EXPECT_EQ(h.max(), 0u);
   EXPECT_EQ(h.Snapshot().count, 0u);
 
+  // Empty snapshot: the tail quantiles are present and zero too.
+  EXPECT_EQ(h.Snapshot().p99, 0.0);
+  EXPECT_EQ(h.Snapshot().p999, 0.0);
+
   // Single sample: every quantile is exactly that sample (the in-bucket
   // interpolation clamps to the recorded max).
   h.Record(77);
   EXPECT_EQ(h.Percentile(0.0), 77.0);
   EXPECT_EQ(h.Percentile(0.5), 77.0);
   EXPECT_EQ(h.Percentile(1.0), 77.0);
+  // With one sample the whole snapshot tail collapses onto it, and the
+  // quantiles stay ordered: p50 <= p95 <= p99 <= p999 <= max.
+  const obs::HistogramSnapshot one = h.Snapshot();
+  EXPECT_EQ(one.p99, 77.0);
+  EXPECT_EQ(one.p999, 77.0);
+  EXPECT_LE(one.p50, one.p95);
+  EXPECT_LE(one.p95, one.p99);
+  EXPECT_LE(one.p99, one.p999);
+  EXPECT_LE(one.p999, static_cast<double>(one.max));
 
   // Out-of-range q clamps to the edges instead of misbehaving.
   EXPECT_EQ(h.Percentile(-1.0), h.Percentile(0.0));
   EXPECT_EQ(h.Percentile(2.0), h.Percentile(1.0));
+}
+
+TEST(HistogramTest, TailQuantilesSeparateOnSkewedDistribution) {
+  // 1000 fast samples and 5 slow outliers: p99 must sit in the fast mass's
+  // neighbourhood while p999 climbs into the outlier band — the distinction
+  // the open-loop latency curves report per sweep point.
+  Histogram h;
+  for (int i = 0; i < 1000; i++) {
+    h.Record(100);
+  }
+  for (int i = 0; i < 5; i++) {
+    h.Record(100000);
+  }
+  const obs::HistogramSnapshot snap = h.Snapshot();
+  EXPECT_NEAR(snap.p50, 100.0, 100.0 * 0.125);
+  EXPECT_NEAR(snap.p99, 100.0, 100.0 * 0.125);
+  EXPECT_GT(snap.p999, 10000.0);
+  EXPECT_LE(snap.p999, static_cast<double>(snap.max));
+  EXPECT_EQ(snap.max, 100000u);
+  EXPECT_LE(snap.p50, snap.p95);
+  EXPECT_LE(snap.p95, snap.p99);
+  EXPECT_LE(snap.p99, snap.p999);
 }
 
 TEST(HistogramTest, BucketIndexMonotonic) {

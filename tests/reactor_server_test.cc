@@ -2,8 +2,11 @@
 // realloc-chain candidate expansion (technical report).
 
 #include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <chrono>
+#include <string>
 #include <thread>
 
 #include "checkpoint/checkpoint_log.h"
@@ -346,6 +349,83 @@ TEST(ReactorServerTest, StatsAndHealthServeWhileWorkloadRuns) {
   EXPECT_GE(server.requests_served(), 2);
   sampler.Stop();
   sampler.Reset();
+}
+
+TEST(ReactorServerTest, ServeLineRoundTripOverSocketpair) {
+  // The network plane talks to the reactor through ServeLine's newline-
+  // framed text transport. Drive that transport over a real socketpair:
+  // one thread owns the server end (read line -> ServeLine -> write reply),
+  // the test plays the remote operator.
+  MemcachedMini mc;
+  ReactorServer server(mc.ir_model(), mc.guid_registry());
+
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  constexpr int kRequests = 3;
+
+  std::thread server_thread([&server, fd = fds[1]]() {
+    std::string inbuf;
+    int served = 0;
+    char buf[4096];
+    while (served < kRequests) {
+      const ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n <= 0) {
+        break;
+      }
+      inbuf.append(buf, static_cast<size_t>(n));
+      size_t newline;
+      while (served < kRequests &&
+             (newline = inbuf.find('\n')) != std::string::npos) {
+        const std::string line = inbuf.substr(0, newline);
+        inbuf.erase(0, newline + 1);
+        Result<std::string> reply = server.ServeLine(line);
+        // Transport errors stay on the transport: a bad verb answers an
+        // ERR line instead of tearing the stream down.
+        const std::string out =
+            (reply.ok() ? *reply : "ERR " + reply.status().message()) + "\n";
+        ASSERT_EQ(::write(fd, out.data(), out.size()),
+                  static_cast<ssize_t>(out.size()));
+        served++;
+      }
+    }
+    ::close(fd);
+  });
+
+  auto request_line = [&fds](const std::string& line) {
+    const std::string framed = line + "\n";
+    EXPECT_EQ(::write(fds[0], framed.data(), framed.size()),
+              static_cast<ssize_t>(framed.size()));
+    std::string reply;
+    char buf[4096];
+    while (reply.find('\n') == std::string::npos) {
+      const ssize_t n = ::read(fds[0], buf, sizeof(buf));
+      if (n <= 0) {
+        break;
+      }
+      reply.append(buf, static_cast<size_t>(n));
+    }
+    return reply.substr(0, reply.find('\n'));
+  };
+
+  // Stats and health answers must parse as the typed wire formats.
+  auto stats = StatsResponse::Parse(request_line("stats - 8"));
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->requests_served, 1);
+
+  auto health = HealthResponse::Parse(request_line("health harness.op.count"));
+  ASSERT_TRUE(health.ok());
+  EXPECT_FALSE(health->has_fault);
+  // No substrate was set on this server.
+  EXPECT_EQ(health->substrate, "-");
+
+  // Unknown verbs surface as ERR lines and leave the stream usable (the
+  // server thread keeps serving until its request quota).
+  const std::string err = request_line("frobnicate 1 2 3");
+  EXPECT_EQ(err.rfind("ERR ", 0), 0u) << err;
+
+  server_thread.join();
+  ::close(fds[0]);
+  EXPECT_GE(server.requests_served(), 2);
 }
 
 TEST(ReallocChainTest, PlanReachesPreResizeHistory) {
