@@ -28,10 +28,25 @@
 //                     TimelineAnalyzer's time-to-detect / time-to-recover
 //                     derived from the live "net.ops.ok" series
 //
+// Tail-attribution mode (--tailtrace-json <path>): instead of the sections
+// above, answers *where p999 time goes*. For every {system} x {substrate}
+// cell a saturation probe sizes the grid, then points below/at/above
+// saturation run with client trace-context propagation on, and the request
+// trace plane's per-stage breakdown of the slowest (>= p999) requests is
+// decomposed — client wait, batch wait, lock wait, section, flush, drain,
+// reply write — with per-trace closure (stage sum over end-to-end span,
+// ~1.0 by construction). A fault-under-load cell re-runs the f4 scenario
+// with tracing on, so the tail during mitigation is attributed to the
+// detector and reactor spans rather than generic lock wait. The result is
+// BENCH_tailtrace.json (schema-checked by bench/check_tailtrace_schema.py);
+// --tailtrace-chrome <path> additionally exports the slowest requests as a
+// Chrome trace-event file for chrome://tracing.
+//
 // Flags: --quick (CI smoke: full system x substrate grid, short points),
-// --skip-fault, --skip-sweep, --out <path>, plus the common ObsArtifactWriter
-// flags. Run from the repo root so BENCH_netplane.json lands next to the
-// other committed artifacts.
+// --skip-fault, --skip-sweep, --out <path>, --tailtrace-json <path>,
+// --tailtrace-chrome <path>, plus the common ObsArtifactWriter flags. Run
+// from the repo root so BENCH_netplane.json lands next to the other
+// committed artifacts.
 
 #include <atomic>
 #include <chrono>
@@ -61,7 +76,9 @@
 #include "net/protocol.h"
 #include "net/server.h"
 #include "obs/json.h"
+#include "obs/metrics.h"
 #include "obs/obs.h"
+#include "obs/reqtrace.h"
 #include "obs/timeseries.h"
 #include "reactor/reactor_server.h"
 #include "substrate/substrate.h"
@@ -81,6 +98,9 @@ struct BenchConfig {
   bool skip_fault = false;
   bool skip_sweep = false;
   std::string out_path = "BENCH_netplane.json";
+  // Non-empty switches the run to tail-attribution mode (see header).
+  std::string tailtrace_out;
+  std::string tailtrace_chrome;
 
   int loop_threads = 2;
   int gen_threads = 2;
@@ -202,6 +222,95 @@ obs::JsonValue PointJson(double target_qps, int connections,
   return v;
 }
 
+// --- Tail attribution helpers ------------------------------------------------
+
+// Aggregate stage decomposition of a slow set: per-stage means, mean
+// end-to-end span, and per-trace closure (stage sum / end-to-end span —
+// ~1.0 by construction, the CI gate requires >= 0.9).
+struct SlowSetStats {
+  size_t count = 0;
+  double e2e_mean_us = 0;
+  double stage_sum_mean_us = 0;
+  double closure_min = 0;
+  double closure_mean = 0;
+  double stage_mean_us[obs::kReqStageCount] = {};
+};
+
+SlowSetStats SummarizeSlowSet(const std::vector<obs::RequestTrace>& slow) {
+  SlowSetStats stats;
+  stats.count = slow.size();
+  if (slow.empty()) {
+    return stats;
+  }
+  double closure_min = 2.0;
+  double closure_sum = 0;
+  double e2e_sum = 0;
+  double stage_total = 0;
+  for (const obs::RequestTrace& trace : slow) {
+    const double e2e = static_cast<double>(trace.EndToEndNs());
+    double sum = 0;
+    for (size_t s = 0; s < obs::kReqStageCount; s++) {
+      const double ns = static_cast<double>(trace.stage_ns[s]);
+      stats.stage_mean_us[s] += ns;
+      sum += ns;
+    }
+    const double closure = e2e > 0 ? sum / e2e : 1.0;
+    closure_min = std::min(closure_min, closure);
+    closure_sum += closure;
+    e2e_sum += e2e;
+    stage_total += sum;
+  }
+  const double n = static_cast<double>(slow.size());
+  for (size_t s = 0; s < obs::kReqStageCount; s++) {
+    stats.stage_mean_us[s] /= n * 1000.0;
+  }
+  stats.e2e_mean_us = e2e_sum / (n * 1000.0);
+  stats.stage_sum_mean_us = stage_total / (n * 1000.0);
+  stats.closure_min = closure_min;
+  stats.closure_mean = closure_sum / n;
+  return stats;
+}
+
+obs::JsonValue SlowSetJson(const SlowSetStats& stats,
+                           const std::vector<obs::RequestTrace>& slow,
+                           size_t max_requests) {
+  obs::JsonValue v = obs::JsonValue::Object();
+  v.Set("slow_count", obs::JsonValue(static_cast<int64_t>(stats.count)));
+  v.Set("slow_e2e_mean_us", obs::JsonValue(stats.e2e_mean_us));
+  v.Set("stage_sum_mean_us", obs::JsonValue(stats.stage_sum_mean_us));
+  v.Set("closure_min", obs::JsonValue(stats.closure_min));
+  v.Set("closure_mean", obs::JsonValue(stats.closure_mean));
+  obs::JsonValue stages = obs::JsonValue::Object();
+  for (size_t s = 0; s < obs::kReqStageCount; s++) {
+    stages.Set(obs::ReqStageName(static_cast<obs::ReqStage>(s)),
+               obs::JsonValue(stats.stage_mean_us[s]));
+  }
+  v.Set("stages_us", std::move(stages));
+  obs::JsonValue requests = obs::JsonValue::Array();
+  for (size_t i = 0; i < slow.size() && i < max_requests; i++) {
+    requests.Append(obs::RequestTracePlane::TraceJson(slow[i]));
+  }
+  v.Set("slow_requests", std::move(requests));
+  return v;
+}
+
+// The slowest retained requests at or above the plane-side end-to-end p999
+// (falls back to the 16 slowest when the reservoir sits entirely below the
+// bucketed threshold).
+std::vector<obs::RequestTrace> CollectSlowSet(double p999_ns) {
+  obs::RequestTracePlane& plane = obs::RequestTracePlane::Global();
+  std::vector<obs::RequestTrace> slow;
+  for (const obs::RequestTrace& trace : plane.SlowestRequests(0)) {
+    if (static_cast<double>(trace.EndToEndNs()) >= p999_ns) {
+      slow.push_back(trace);
+    }
+  }
+  if (slow.empty()) {
+    slow = plane.SlowestRequests(16);
+  }
+  return slow;
+}
+
 // One open-loop measurement against a freshly served system (fresh so the
 // points are independent and the checkpoint log never carries a previous
 // point's history). Returns the report; `*out_error` is set on setup
@@ -209,7 +318,8 @@ obs::JsonValue PointJson(double target_qps, int connections,
 net::LoadGenReport RunPoint(const BenchConfig& config, const SystemSpec& spec,
                             SubstrateKind kind, double target_qps,
                             int connections, int64_t duration_ms,
-                            bool batch_persists, std::string* out_error) {
+                            bool batch_persists, bool propagate_ids,
+                            std::string* out_error) {
   auto system = spec.factory();
   system->tracer().set_enabled(kind == SubstrateKind::kArthasCheckpoint);
   auto substrate = MakeSubstrate(kind);
@@ -238,6 +348,7 @@ net::LoadGenReport RunPoint(const BenchConfig& config, const SystemSpec& spec,
   load.duration_ms = duration_ms;
   load.drain_ms = config.drain_ms;
   load.seed = config.seed;
+  load.propagate_trace_ids = propagate_ids;
   NetWorkload workload(400, 0.5, 16, config.seed);
   net::LoadGenReport report = net::RunOpenLoop(
       load,
@@ -348,7 +459,7 @@ const char* ReplyKindName(net::NetReply::Kind kind) {
 // traffic queues behind the request lock. The TelemetrySampler watches the
 // served "net.ops.ok" rate collapse and recover; the TimelineAnalyzer turns
 // that into time-to-detect / time-to-recover.
-obs::JsonValue RunFaultTimeline(const BenchConfig& config,
+obs::JsonValue RunFaultTimeline(const BenchConfig& config, bool tailtrace,
                                 std::string* out_error) {
   obs::JsonValue result = obs::JsonValue::Object();
   result.Set("system", obs::JsonValue("Memcached"));
@@ -407,6 +518,9 @@ obs::JsonValue RunFaultTimeline(const BenchConfig& config,
         std::chrono::milliseconds(config.detect_delay_ms));
     (void)detector.Observe(fault);
     ARTHAS_TIMELINE_MARK("detector_fired");
+    // Splits the trace plane's mitigation window: queueing before this
+    // instant reads as kDetector, after it as kReactor.
+    obs::RequestTracePlane::Global().MarkDetectorFired(NowNanos());
     RunObservation confirm = reexecute();
     reexecutions.fetch_add(1);
     if (detector.Observe(confirm.fault) !=
@@ -484,6 +598,13 @@ obs::JsonValue RunFaultTimeline(const BenchConfig& config,
   load.duration_ms = config.fault_duration_ms;
   load.drain_ms = config.drain_ms;
   load.seed = config.seed;
+  load.propagate_trace_ids = tailtrace;
+  if (tailtrace) {
+    // A clean plane, so the slow set is exactly this scenario's traffic.
+    obs::RequestTracePlane::Global().Clear();
+    obs::MetricsRegistry::Global().GetHistogram("net.req.server_ns").Reset();
+    obs::MetricsRegistry::Global().GetHistogram("net.req.e2e_ns").Reset();
+  }
   NetWorkload workload(400, 0.5, 16, config.seed);
   net::LoadGenReport report = net::RunOpenLoop(
       load,
@@ -532,6 +653,38 @@ obs::JsonValue RunFaultTimeline(const BenchConfig& config,
   result.Set("health_over_wire", obs::JsonValue(health_over_wire));
   result.Set("timeline", timeline.ToJson());
 
+  if (tailtrace) {
+    // Tail attribution during mitigation: the traces whose queueing time
+    // was reassigned into the detector/reactor spans ARE the fault tail.
+    obs::RequestTracePlane& plane = obs::RequestTracePlane::Global();
+    std::vector<obs::RequestTrace> mitigated;
+    uint64_t faulted_traces = 0;
+    for (const obs::RequestTrace& trace : plane.SlowestRequests(0)) {
+      if (trace.faulted) {
+        faulted_traces++;
+      }
+      if (trace.stage_ns[static_cast<size_t>(obs::ReqStage::kDetector)] +
+              trace.stage_ns[static_cast<size_t>(obs::ReqStage::kReactor)] >
+          0) {
+        mitigated.push_back(trace);
+      }
+    }
+    const SlowSetStats stats = SummarizeSlowSet(mitigated);
+    obs::JsonValue tail = SlowSetJson(stats, mitigated, 8);
+    tail.Set("traced", obs::JsonValue(plane.total_traced()));
+    tail.Set("faulted_traces", obs::JsonValue(faulted_traces));
+    result.Set("tailtrace", std::move(tail));
+    std::fprintf(stderr,
+                 "fault tailtrace: %zu traces in mitigation window, "
+                 "detector %.0f us + reactor %.0f us of %.0f us mean tail\n",
+                 mitigated.size(),
+                 stats.stage_mean_us[static_cast<size_t>(
+                     obs::ReqStage::kDetector)],
+                 stats.stage_mean_us[static_cast<size_t>(
+                     obs::ReqStage::kReactor)],
+                 stats.e2e_mean_us);
+  }
+
   std::fprintf(stderr,
                "fault timeline: recovered=%s faults_over_wire=%llu "
                "time-to-detect=%.1f ms time-to-recover=%.1f ms\n",
@@ -545,7 +698,164 @@ obs::JsonValue RunFaultTimeline(const BenchConfig& config,
   return result;
 }
 
+// --- Tail-attribution mode (--tailtrace-json) --------------------------------
+
+int RunTailtrace(const BenchConfig& config) {
+  obs::JsonValue doc = obs::JsonValue::Object();
+  doc.Set("bench", obs::JsonValue("netplane_tailtrace"));
+  doc.Set("schema_version", obs::JsonValue(static_cast<int64_t>(1)));
+  doc.Set("mode", obs::JsonValue(config.quick ? "quick" : "full"));
+  doc.Set("loop_threads",
+          obs::JsonValue(static_cast<int64_t>(config.loop_threads)));
+  doc.Set("gen_threads",
+          obs::JsonValue(static_cast<int64_t>(config.gen_threads)));
+
+  obs::RequestTracePlane& plane = obs::RequestTracePlane::Global();
+  obs::Histogram& e2e_hist =
+      obs::MetricsRegistry::Global().GetHistogram("net.req.e2e_ns");
+  obs::Histogram& server_hist =
+      obs::MetricsRegistry::Global().GetHistogram("net.req.server_ns");
+
+  const std::vector<SystemSpec> systems = MakeSystems();
+  const std::vector<SubstrateKind> kinds = {SubstrateKind::kArthasCheckpoint,
+                                            SubstrateKind::kFase};
+  const struct {
+    const char* label;
+    double factor;
+  } kPoints[] = {{"below", 0.6}, {"at", 1.0}, {"above", 1.5}};
+
+  bool failed = false;
+  std::vector<obs::RequestTrace> chrome_traces;
+  obs::JsonValue cells = obs::JsonValue::Array();
+  for (const SystemSpec& spec : systems) {
+    if (config.skip_sweep) {
+      break;
+    }
+    for (const SubstrateKind kind : kinds) {
+      // Saturation probe: overload the cell once (no propagation — the
+      // probe only sizes the below/at/above grid).
+      std::string error;
+      net::LoadGenReport probe = RunPoint(
+          config, spec, kind, config.offered_qps.back(), config.connections,
+          config.point_duration_ms, true, false, &error);
+      if (!error.empty()) {
+        std::fprintf(stderr, "saturation probe failed (%s/%s): %s\n",
+                     spec.name.c_str(), SubstrateKindName(kind),
+                     error.c_str());
+        failed = true;
+        continue;
+      }
+      const double saturation = std::max(probe.achieved_qps, 1000.0);
+      std::fprintf(stderr, "%s/%s saturation %.0f ops/s\n", spec.name.c_str(),
+                   SubstrateKindName(kind), saturation);
+
+      for (const auto& point : kPoints) {
+        plane.Clear();
+        e2e_hist.Reset();
+        server_hist.Reset();
+        const double qps = saturation * point.factor;
+        net::LoadGenReport report =
+            RunPoint(config, spec, kind, qps, config.connections,
+                     config.point_duration_ms, true, true, &error);
+        if (!error.empty()) {
+          std::fprintf(stderr, "tail point failed (%s/%s %s): %s\n",
+                       spec.name.c_str(), SubstrateKindName(kind),
+                       point.label, error.c_str());
+          failed = true;
+          continue;
+        }
+
+        const double p999_ns = e2e_hist.Percentile(0.999);
+        const std::vector<obs::RequestTrace> slow = CollectSlowSet(p999_ns);
+        const SlowSetStats stats = SummarizeSlowSet(slow);
+
+        // The client histogram's tail buckets name the requests that
+        // crossed them; resolve each retained id against the plane.
+        size_t tail_buckets = 0;
+        size_t resolved = 0;
+        for (const obs::TailExemplar& exemplar : report.tail_exemplars) {
+          tail_buckets++;
+          obs::RequestTrace trace;
+          if (exemplar.exemplar != 0 &&
+              plane.FindTrace(exemplar.exemplar, &trace)) {
+            resolved++;
+          }
+        }
+
+        obs::JsonValue cell = obs::JsonValue::Object();
+        cell.Set("system", obs::JsonValue(spec.name));
+        cell.Set("substrate", obs::JsonValue(SubstrateKindName(kind)));
+        cell.Set("load", obs::JsonValue(point.label));
+        cell.Set("saturation_ops_per_sec", obs::JsonValue(saturation));
+        cell.Set("point", PointJson(qps, config.connections, report));
+        cell.Set("traced", obs::JsonValue(plane.total_traced()));
+        cell.Set("dropped_traces", obs::JsonValue(plane.dropped()));
+        cell.Set("p999_e2e_us", obs::JsonValue(p999_ns / 1000.0));
+        obs::JsonValue exemplars = obs::JsonValue::Object();
+        exemplars.Set("tail_buckets",
+                      obs::JsonValue(static_cast<int64_t>(tail_buckets)));
+        exemplars.Set("resolved",
+                      obs::JsonValue(static_cast<int64_t>(resolved)));
+        cell.Set("exemplars", std::move(exemplars));
+        cell.Set("tail", SlowSetJson(stats, slow, 8));
+        cells.Append(std::move(cell));
+
+        if (std::string(point.label) == "at") {
+          for (size_t i = 0; i < slow.size() && i < 8; i++) {
+            chrome_traces.push_back(slow[i]);
+          }
+        }
+        std::fprintf(stderr,
+                     "%s/%s %s @ %.0f: p999(e2e) %.0f us, %zu slow traces, "
+                     "closure %.3f, exemplars %zu/%zu\n",
+                     spec.name.c_str(), SubstrateKindName(kind), point.label,
+                     qps, p999_ns / 1000.0, slow.size(), stats.closure_mean,
+                     resolved, tail_buckets);
+      }
+    }
+  }
+  doc.Set("cells", std::move(cells));
+
+  if (!config.skip_fault) {
+    std::string error;
+    obs::JsonValue fault = RunFaultTimeline(config, true, &error);
+    for (const obs::RequestTrace& trace : plane.SlowestRequests(8)) {
+      chrome_traces.push_back(trace);
+    }
+    doc.Set("fault", std::move(fault));
+    if (!error.empty()) {
+      std::fprintf(stderr, "fault tailtrace failed: %s\n", error.c_str());
+      failed = true;
+    }
+  }
+
+  std::ofstream out(config.tailtrace_out);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", config.tailtrace_out.c_str());
+    return 1;
+  }
+  out << doc.Dump() << "\n";
+  std::fprintf(stderr, "wrote %s\n", config.tailtrace_out.c_str());
+
+  if (!config.tailtrace_chrome.empty()) {
+    std::ofstream chrome(config.tailtrace_chrome);
+    if (!chrome) {
+      std::fprintf(stderr, "cannot write %s\n",
+                   config.tailtrace_chrome.c_str());
+      return 1;
+    }
+    chrome << obs::RequestTracePlane::ChromeTraceJson(chrome_traces).Dump()
+           << "\n";
+    std::fprintf(stderr, "wrote %s (%zu traces)\n",
+                 config.tailtrace_chrome.c_str(), chrome_traces.size());
+  }
+  return failed ? 1 : 0;
+}
+
 int Run(const BenchConfig& config) {
+  if (!config.tailtrace_out.empty()) {
+    return RunTailtrace(config);
+  }
   obs::JsonValue doc = obs::JsonValue::Object();
   doc.Set("bench", obs::JsonValue("netplane"));
   doc.Set("schema_version", obs::JsonValue(static_cast<int64_t>(1)));
@@ -578,7 +888,7 @@ int Run(const BenchConfig& config) {
           std::string error;
           net::LoadGenReport report =
               RunPoint(config, spec, kind, qps, config.connections,
-                       config.point_duration_ms, true, &error);
+                       config.point_duration_ms, true, false, &error);
           if (!error.empty()) {
             std::fprintf(stderr, "point failed (%s/%s @ %.0f): %s\n",
                          spec.name.c_str(), SubstrateKindName(kind), qps,
@@ -611,7 +921,8 @@ int Run(const BenchConfig& config) {
       std::string error;
       net::LoadGenReport report = RunPoint(
           config, systems[0], kinds[0], config.high_connections_qps,
-          config.high_connections, config.point_duration_ms, true, &error);
+          config.high_connections, config.point_duration_ms, true, false,
+          &error);
       if (error.empty()) {
         obs::JsonValue high = obs::JsonValue::Object();
         high.Set("system", obs::JsonValue(systems[0].name));
@@ -640,10 +951,10 @@ int Run(const BenchConfig& config) {
       std::string error_off;
       net::LoadGenReport batched =
           RunPoint(config, systems[0], kinds[0], qps, config.connections,
-                   config.point_duration_ms, true, &error_on);
+                   config.point_duration_ms, true, false, &error_on);
       net::LoadGenReport unbatched =
           RunPoint(config, systems[0], kinds[0], qps, config.connections,
-                   config.point_duration_ms, false, &error_off);
+                   config.point_duration_ms, false, false, &error_off);
       if (error_on.empty() && error_off.empty()) {
         obs::JsonValue ab = obs::JsonValue::Object();
         ab.Set("system", obs::JsonValue(systems[0].name));
@@ -672,7 +983,7 @@ int Run(const BenchConfig& config) {
 
   if (!config.skip_fault) {
     std::string error;
-    doc.Set("fault_timeline", RunFaultTimeline(config, &error));
+    doc.Set("fault_timeline", RunFaultTimeline(config, false, &error));
     if (!error.empty()) {
       std::fprintf(stderr, "fault timeline failed: %s\n", error.c_str());
       failed = true;
@@ -716,6 +1027,10 @@ int main(int argc, char** argv) {
       config.skip_sweep = true;
     } else if (arg == "--out" && i + 1 < argc) {
       config.out_path = argv[++i];
+    } else if (arg == "--tailtrace-json" && i + 1 < argc) {
+      config.tailtrace_out = argv[++i];
+    } else if (arg == "--tailtrace-chrome" && i + 1 < argc) {
+      config.tailtrace_chrome = argv[++i];
     } else if (arg == "--connections" && i + 1 < argc) {
       config.connections = std::atoi(argv[++i]);
     } else if (arg == "--loop-threads" && i + 1 < argc) {

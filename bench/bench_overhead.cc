@@ -28,7 +28,10 @@
 // instead: the same single-threaded Arthas-mode run with the recorder
 // runtime-enabled vs runtime-disabled (the one-binary proxy for an
 // ARTHAS_OBS_DISABLED build; the disabled path still pays one relaxed
-// load). The resulting on/off slowdown ratio is gated by
+// load). The same mode also measures the telemetry sampler, the phase
+// profiler, and the request trace plane (each op wrapped in the
+// dispatcher's per-request trace lifecycle, plane on vs off). Every
+// resulting on/off slowdown ratio is gated by
 // bench/check_perf_baseline.py --recorder against bench/perf_baseline.json.
 //
 // All modes write a machine-readable throughput artifact to
@@ -52,6 +55,7 @@
 #include "obs/flight_recorder.h"
 #include "obs/json.h"
 #include "obs/profiler.h"
+#include "obs/reqtrace.h"
 #include "obs/timeseries.h"
 #include "systems/cceh.h"
 #include "systems/memcached_mini.h"
@@ -398,6 +402,39 @@ int RunThreadSweep(int max_threads, uint64_t total_ops,
   return 0;
 }
 
+// Like MeasureThroughput in Arthas mode, but every operation is wrapped in
+// the request-trace lifecycle the dispatcher runs per network request:
+// batch begin, command begin/end, batch end (which builds and commits the
+// trace record), reply flush. The deep hooks (flush/drain/section stage
+// scopes) fire inside Handle() either way; with the plane disabled the
+// whole lifecycle collapses to one relaxed load per batch.
+double MeasureThroughputTraced(const SystemFactory& factory, bool ycsb_mix) {
+  auto system = factory();
+  system->tracer().set_enabled(true);
+  auto checkpoint = std::make_unique<CheckpointLog>(system->pool());
+
+  YcsbConfig wl;
+  wl.key_space = 400;
+  wl.read_fraction = ycsb_mix ? 0.5 : 0.0;
+  wl.value_size = 16;
+  YcsbWorkload workload(wl, 7);
+
+  const int64_t start = MonotonicNanos();
+  for (int i = 0; i < kOps; i++) {
+    SimulatedRequestWork();
+    const int64_t received_ns = ARTHAS_REQTRACE_NOW();
+    ARTHAS_REQTRACE_BATCH_BEGIN(received_ns);
+    ARTHAS_REQTRACE_COMMAND_BEGIN(0, 0, 0);
+    system->Handle(workload.Next());
+    ARTHAS_REQTRACE_COMMAND_END(false);
+    const int64_t done_ns = ARTHAS_REQTRACE_NOW();
+    ARTHAS_REQTRACE_BATCH_END(received_ns, received_ns, done_ns, done_ns);
+    ARTHAS_REQTRACE_REPLY_FLUSHED();
+  }
+  const int64_t elapsed = MonotonicNanos() - start;
+  return static_cast<double>(kOps) / (static_cast<double>(elapsed) / 1e9);
+}
+
 // Flight-recorder overhead: per-system single-threaded throughput with the
 // recorder on vs off, interleaved best-of-`repeat` so a machine load spike
 // cannot bias one side. The gated quantity is the off/on throughput ratio
@@ -538,6 +575,49 @@ int RunRecorderOverhead(int repeat) {
               "best of %d)\n%s\n",
               kOps, repeat, profiler_table.Render().c_str());
 
+  // Request-trace-plane overhead, same interleaved shape. Unlike the three
+  // above, the plane's cost lives in the per-request lifecycle the
+  // dispatcher runs (clock reads, a ring write, a reservoir offer, one
+  // histogram record per commit), so the measured loop wraps every op in
+  // that lifecycle rather than relying on hooks already inside Handle().
+  obs::RequestTracePlane& plane = obs::RequestTracePlane::Global();
+  TextTable trace_table({"System", "Trace plane off (op/s)", "Trace plane on",
+                         "on/off slowdown"});
+  obs::JsonValue trace_systems = obs::JsonValue::Array();
+  double trace_worst_ratio = 0;
+  for (const SystemSpec& spec : systems) {
+    std::fprintf(stderr, "measuring %s (request trace plane on/off)...\n",
+                 spec.name.c_str());
+    double off = 0;
+    double on = 0;
+    for (int r = 0; r < repeat; r++) {
+      plane.set_enabled(false);
+      off = std::max(off,
+                     MeasureThroughputTraced(spec.factory, spec.ycsb_mix));
+      plane.set_enabled(true);
+      on = std::max(on, MeasureThroughputTraced(spec.factory, spec.ycsb_mix));
+    }
+    plane.set_enabled(true);
+    const double ratio = on > 0 ? off / on : 0;
+    trace_worst_ratio = std::max(trace_worst_ratio, ratio);
+    char o[32], n[32], ra[32];
+    std::snprintf(o, sizeof(o), "%.0fK", off / 1000);
+    std::snprintf(n, sizeof(n), "%.0fK", on / 1000);
+    std::snprintf(ra, sizeof(ra), "%.3f", ratio);
+    trace_table.AddRow({spec.name, o, n, ra});
+
+    obs::JsonValue row = obs::JsonValue::Object();
+    row.Set("name", obs::JsonValue(spec.name));
+    row.Set("tailtrace_off_ops_per_sec", obs::JsonValue(off));
+    row.Set("tailtrace_on_ops_per_sec", obs::JsonValue(on));
+    row.Set("on_off_ratio", obs::JsonValue(ratio));
+    trace_systems.Append(std::move(row));
+  }
+  plane.Clear();
+  std::printf("Request trace plane overhead (full per-request lifecycle, "
+              "single-threaded Arthas mode, %d ops, best of %d)\n%s\n",
+              kOps, repeat, trace_table.Render().c_str());
+
   obs::JsonValue doc = obs::JsonValue::Object();
   doc.Set("bench", obs::JsonValue("overhead"));
   doc.Set("mode", obs::JsonValue("recorder_overhead"));
@@ -557,6 +637,10 @@ int RunRecorderOverhead(int repeat) {
                     obs::JsonValue(profiler_worst_ratio));
   profiler_json.Set("systems", std::move(profiler_systems));
   doc.Set("profiler", std::move(profiler_json));
+  obs::JsonValue trace_json = obs::JsonValue::Object();
+  trace_json.Set("worst_on_off_ratio", obs::JsonValue(trace_worst_ratio));
+  trace_json.Set("systems", std::move(trace_systems));
+  doc.Set("tailtrace", std::move(trace_json));
   WriteArtifact(doc);
   return 0;
 }

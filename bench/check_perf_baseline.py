@@ -15,9 +15,9 @@ slower, not that the runner was busy.
 With --recorder, the input is instead a BENCH_overhead.json produced by
 `bench_overhead --recorder-overhead`, and the gated quantities are the
 worst per-system on/off throughput slowdowns of the flight recorder
-("recorder" section), the telemetry sampler ("sampler") and the phase
-profiler ("profiler"), each bounded by the absolute ceiling in the
-baseline. The on/off quotients are measured in one process on one machine,
+("recorder" section), the telemetry sampler ("sampler"), the phase
+profiler ("profiler") and the request trace plane ("tailtrace"), each
+bounded by the absolute ceiling in the baseline. The on/off quotients are measured in one process on one machine,
 so no cross-machine normalization is needed.
 
 With --substrate, the input is a BENCH_overhead.json produced by
@@ -82,6 +82,11 @@ def check_recorder(measured_path: str, baseline_path: str) -> int:
         return 1
     status |= check_on_off_section(
         "phase profiler", measured["profiler"], baseline["profiler"])
+    if "tailtrace" not in measured:
+        print(f"FAIL: {measured_path} has no trace-plane overhead section")
+        return 1
+    status |= check_on_off_section(
+        "request trace plane", measured["tailtrace"], baseline["tailtrace"])
     return status
 
 

@@ -1,0 +1,204 @@
+#!/usr/bin/env python3
+"""CI validator for the BENCH_tailtrace.json tail-attribution artifact.
+
+Checks that a file produced by `bench_netplane --tailtrace-json` conforms to
+netplane_tailtrace schema version 1 (see bench/bench_netplane.cc and
+DESIGN.md section 4j):
+
+  * every required key is present with the right JSON type, for cells, the
+    embedded load point, the exemplar block, and the tail decomposition;
+  * stage completeness: every tail block carries all nine request stages
+    (client_wait, batch_wait, lock_wait, section, flush, drain, reply_write,
+    detector, reactor);
+  * stage-sum closure: per cell, the per-stage attribution sums to at least
+    --min-closure (default 0.9) of the measured end-to-end latency of the
+    slow set, both in aggregate (stage_sum_mean_us vs slow_e2e_mean_us) and
+    per retained slow request (sum(stages) vs e2e_ns);
+  * exemplar validity: every cell resolved at least one histogram tail
+    exemplar back to a retained trace (the tail is TRACE-able).
+
+Optional gates:
+
+  --min-closure R    closure floor for the gates above (default 0.9)
+  --min-cells N      at least N cells (the full grid is 2 systems x 2
+                     substrates x 3 load points = 12)
+  --require-fault    the fault cell exists, recovered == true, and its
+                     mitigated slow set attributes nonzero tail time to the
+                     detector and reactor spans
+
+Exits 1 with a path-qualified message on the first violation.
+
+Usage: check_tailtrace_schema.py [BENCH_tailtrace.json] [gates...]
+"""
+
+import json
+import sys
+
+NUMBER = (int, float)
+
+STAGES = ("client_wait", "batch_wait", "lock_wait", "section", "flush",
+          "drain", "reply_write", "detector", "reactor")
+LOADS = ("below", "at", "above")
+
+
+class SchemaError(Exception):
+    pass
+
+
+def expect(cond: bool, path: str, message: str) -> None:
+    if not cond:
+        raise SchemaError(f"{path}: {message}")
+
+
+def check_point(point, path: str) -> None:
+    expect(isinstance(point, dict), path, "point must be an object")
+    for key in ("offered_qps_target", "connections", "offered_qps",
+                "achieved_qps", "sent", "received", "ok", "errors", "faults",
+                "dropped"):
+        expect(key in point, path, f"missing key '{key}'")
+        expect(isinstance(point[key], NUMBER), f"{path}.{key}",
+               "must be a number")
+    expect(point["ok"] > 0, f"{path}.ok", "point answered no requests")
+
+
+def check_tail(tail, path: str, min_closure: float) -> None:
+    expect(isinstance(tail, dict), path, "tail must be an object")
+    for key in ("slow_count", "slow_e2e_mean_us", "stage_sum_mean_us",
+                "closure_min", "closure_mean", "stages_us", "slow_requests"):
+        expect(key in tail, path, f"missing key '{key}'")
+    expect(tail["slow_count"] >= 1, f"{path}.slow_count",
+           "tail decomposition needs at least one slow request")
+    stages = tail["stages_us"]
+    expect(isinstance(stages, dict), f"{path}.stages_us",
+           "must be an object")
+    for stage in STAGES:
+        expect(stage in stages, f"{path}.stages_us",
+               f"missing stage '{stage}'")
+        expect(isinstance(stages[stage], NUMBER) and stages[stage] >= 0,
+               f"{path}.stages_us.{stage}", "must be a number >= 0")
+    # Aggregate closure: the decomposition accounts for the tail it claims
+    # to explain.
+    e2e = tail["slow_e2e_mean_us"]
+    total = tail["stage_sum_mean_us"]
+    expect(e2e > 0, f"{path}.slow_e2e_mean_us", "must be > 0")
+    expect(total >= min_closure * e2e, path,
+           f"stage sum {total:.1f} us covers {total / e2e:.3f} of the "
+           f"{e2e:.1f} us slow-set mean, need >= {min_closure}")
+    expect(tail["closure_min"] >= min_closure, f"{path}.closure_min",
+           f"{tail['closure_min']:.3f} below the {min_closure} floor")
+    requests = tail["slow_requests"]
+    expect(isinstance(requests, list) and requests, f"{path}.slow_requests",
+           "must be a non-empty array")
+    for i, req in enumerate(requests):
+        rpath = f"{path}.slow_requests[{i}]"
+        for key in ("trace_id", "e2e_ns", "total_ns", "op", "faulted",
+                    "stages"):
+            expect(key in req, rpath, f"missing key '{key}'")
+        expect(req["trace_id"] > 0, f"{rpath}.trace_id", "must be nonzero")
+        stage_sum = sum(req["stages"].get(s, 0) for s in STAGES)
+        e2e_ns = req["e2e_ns"]
+        expect(e2e_ns >= 0, f"{rpath}.e2e_ns", "must be >= 0")
+        if e2e_ns > 0:
+            expect(stage_sum >= min_closure * e2e_ns, rpath,
+                   f"stage sum {stage_sum} ns covers "
+                   f"{stage_sum / e2e_ns:.3f} of e2e {e2e_ns} ns, "
+                   f"need >= {min_closure}")
+
+
+def check_cell(cell, path: str, min_closure: float) -> None:
+    expect(isinstance(cell, dict), path, "cell must be an object")
+    for key in ("system", "substrate", "load", "saturation_ops_per_sec",
+                "point", "traced", "p999_e2e_us", "exemplars", "tail"):
+        expect(key in cell, path, f"missing key '{key}'")
+    expect(cell["load"] in LOADS, f"{path}.load",
+           f"must be one of {LOADS}")
+    check_point(cell["point"], f"{path}.point")
+    expect(cell["traced"] > 0, f"{path}.traced",
+           "cell traced no requests")
+    exemplars = cell["exemplars"]
+    expect(isinstance(exemplars, dict), f"{path}.exemplars",
+           "must be an object")
+    for key in ("tail_buckets", "resolved"):
+        expect(isinstance(exemplars.get(key), NUMBER),
+               f"{path}.exemplars.{key}", "must be a number")
+    expect(exemplars["resolved"] >= 1, f"{path}.exemplars.resolved",
+           "no histogram tail exemplar resolved to a retained trace")
+    check_tail(cell["tail"], f"{path}.tail", min_closure)
+
+
+def main(argv) -> int:
+    path = "BENCH_tailtrace.json"
+    min_closure = 0.9
+    min_cells = None
+    require_fault = False
+    i = 1
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--min-closure":
+            i += 1
+            min_closure = float(argv[i])
+        elif arg == "--min-cells":
+            i += 1
+            min_cells = int(argv[i])
+        elif arg == "--require-fault":
+            require_fault = True
+        else:
+            path = arg
+        i += 1
+
+    with open(path) as f:
+        doc = json.load(f)
+
+    try:
+        expect(doc.get("bench") == "netplane_tailtrace", "bench",
+               "must be 'netplane_tailtrace'")
+        expect(doc.get("schema_version") == 1, "schema_version", "must be 1")
+        expect(doc.get("mode") in ("full", "quick"), "mode",
+               "must be 'full' or 'quick'")
+
+        cells = doc.get("cells")
+        expect(isinstance(cells, list), "cells", "must be an array")
+        systems = set()
+        substrates = set()
+        for i, cell in enumerate(cells):
+            cpath = f"cells[{i}]"
+            check_cell(cell, cpath, min_closure)
+            systems.add(cell["system"])
+            substrates.add(cell["substrate"])
+        if min_cells is not None:
+            expect(len(cells) >= min_cells, "cells",
+                   f"{len(cells)} cells, need >= {min_cells}")
+
+        if "fault" in doc or require_fault:
+            expect("fault" in doc, "fault",
+                   "missing (required by --require-fault)")
+            fault = doc["fault"]
+            expect(isinstance(fault, dict), "fault", "must be an object")
+            for key in ("system", "substrate", "fault", "recovered",
+                        "tailtrace"):
+                expect(key in fault, "fault", f"missing key '{key}'")
+            tail = fault["tailtrace"]
+            check_tail(tail, "fault.tailtrace", min_closure)
+            if require_fault:
+                expect(fault["recovered"] is True, "fault.recovered",
+                       "must be true")
+                expect(tail.get("faulted_traces", 0) >= 1,
+                       "fault.tailtrace.faulted_traces",
+                       "no faulted request was traced")
+                stages = tail["stages_us"]
+                mitigation_us = stages["detector"] + stages["reactor"]
+                expect(mitigation_us > 0, "fault.tailtrace.stages_us",
+                       "mitigated tail attributes no time to "
+                       "detector + reactor")
+    except SchemaError as error:
+        print(f"{path}: FAIL {error}", file=sys.stderr)
+        return 1
+
+    print(f"{path}: ok ({len(cells)} cells, systems {sorted(systems)}, "
+          f"substrates {sorted(substrates)}, closure floor {min_closure}"
+          f"{', fault cell verified' if 'fault' in doc else ''})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

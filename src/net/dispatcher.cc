@@ -1,8 +1,10 @@
 #include "net/dispatcher.h"
 
+#include <cstdlib>
 #include <optional>
 
 #include "obs/obs.h"
+#include "obs/reqtrace.h"
 #include "pmem/device.h"
 #include "reactor/reactor_server.h"
 
@@ -11,25 +13,37 @@ namespace net {
 
 NetDispatcher::NetDispatcher(PmSystemTarget& system, ReactorServer* reactor,
                              Options options)
-    : system_(system), reactor_(reactor), options_(std::move(options)) {}
+    : system_(system), reactor_(reactor), options_(std::move(options)) {
+  // The trace plane renders op bytes through the wire protocol's names but
+  // must not link against the net layer; hand it the renderer here.
+  obs::RequestTracePlane::InstallOpNamer(
+      [](uint8_t op) { return NetOpName(static_cast<NetOp>(op)); });
+}
 
 void NetDispatcher::ExecuteBatch(const std::vector<NetCommand>& commands,
-                                 std::string* out) {
+                                 std::string* out, int64_t received_ns) {
   if (commands.empty()) {
     return;
   }
+  ARTHAS_REQTRACE_BATCH_BEGIN(received_ns != 0 ? received_ns
+                                               : ARTHAS_REQTRACE_NOW());
   bool saw_fault = false;
   {
+    const int64_t lock_start_ns = ARTHAS_REQTRACE_NOW();
     std::lock_guard<std::mutex> lock(system_.request_mutex());
+    const int64_t lock_end_ns = ARTHAS_REQTRACE_NOW();
     // Declared before the batch scope: FASE's SectionEnd drains the device
     // ahead of its commit record, so the batch's own drain (~BatchScope)
-    // must already have run by then.
-    SectionScope section(system_);
+    // must already have run by then. Both live in optionals so the trace
+    // plane can observe the close in that exact order.
+    std::optional<SectionScope> section(std::in_place, system_);
     std::optional<PmemDevice::BatchScope> batch;
     if (options_.batch_persists) {
       batch.emplace(system_.pool().device());
     }
     for (const NetCommand& command : commands) {
+      ARTHAS_REQTRACE_COMMAND_BEGIN(command.trace_id, command.origin_ns,
+                                    command.op);
       switch (command.op) {
         case NetOp::kGet:
         case NetOp::kSet:
@@ -50,16 +64,25 @@ void NetDispatcher::ExecuteBatch(const std::vector<NetCommand>& commands,
         case NetOp::kExplain:
           ExecuteReactor(command, out);
           break;
+        case NetOp::kTrace:
+          ExecuteTrace(command, out);
+          break;
         case NetOp::kError:
           // Parse errors are the client's problem, never the system's: no
           // request reaches Handle(), so no fault can latch.
           EncodeError(command.text, out);
           break;
       }
+      ARTHAS_REQTRACE_COMMAND_END(system_.last_fault().has_value());
     }
     saw_fault = system_.last_fault().has_value();
     ARTHAS_HISTOGRAM_RECORD("net.batch.size", commands.size());
     ARTHAS_COUNTER_ADD("net.req.count", commands.size());
+    const int64_t exec_done_ns = ARTHAS_REQTRACE_NOW();
+    batch.reset();    // the batch's one drain
+    section.reset();  // substrate commit (FASE re-drains the log tail)
+    ARTHAS_REQTRACE_BATCH_END(lock_start_ns, lock_end_ns, exec_done_ns,
+                              ARTHAS_REQTRACE_NOW());
   }
   if (saw_fault) {
     MaybeRecover();
@@ -154,6 +177,17 @@ void NetDispatcher::ExecuteReactor(const NetCommand& command,
   EncodeBulk(*reply, out);
 }
 
+void NetDispatcher::ExecuteTrace(const NetCommand& command,
+                                 std::string* out) {
+  const uint64_t id = std::strtoull(command.text.c_str(), nullptr, 10);
+  obs::RequestTrace trace;
+  if (id == 0 || !obs::RequestTracePlane::Global().FindTrace(id, &trace)) {
+    EncodeError("unknown trace id " + command.text, out);
+    return;
+  }
+  EncodeBulk(obs::RequestTracePlane::Autopsy(trace), out);
+}
+
 void NetDispatcher::MaybeRecover() {
   if (!options_.on_fault) {
     return;
@@ -167,7 +201,11 @@ void NetDispatcher::MaybeRecover() {
     return;
   }
   const FaultInfo fault = *system_.last_fault();
+  // The mitigation window marks let the trace plane reattribute queueing
+  // overlap to kDetector/kReactor; the hook marks detector-fired itself.
+  ARTHAS_REQTRACE_MITIGATION_BEGIN();
   options_.on_fault(fault);
+  ARTHAS_REQTRACE_MITIGATION_END();
 }
 
 }  // namespace net

@@ -76,8 +76,12 @@ class NetDispatcher {
   // Executes a pipelined batch in arrival order and appends one reply per
   // command to `out` (same order — the client matches replies by position).
   // Thread-safe: concurrent batches serialize on the system's request lock.
-  void ExecuteBatch(const std::vector<NetCommand>& commands,
-                    std::string* out);
+  // `received_ns` is when the server read() returned the batch's bytes
+  // (0 = now); it anchors each command's request trace, which is assigned
+  // its server-side trace id here at parse-result time unless the wire
+  // carried a `*<id>` context.
+  void ExecuteBatch(const std::vector<NetCommand>& commands, std::string* out,
+                    int64_t received_ns = 0);
 
   PmSystemTarget& system() { return system_; }
 
@@ -86,6 +90,8 @@ class NetDispatcher {
   void ExecuteKv(const NetCommand& command, std::string* out);
   // STATS/HEALTH/EXPLAIN -> ReactorServer::ServeLine under its own lock.
   void ExecuteReactor(const NetCommand& command, std::string* out);
+  // TRACE <id> -> slow-request autopsy from the request trace plane.
+  void ExecuteTrace(const NetCommand& command, std::string* out);
   // Runs options_.on_fault if the system is (still) faulted.
   void MaybeRecover();
 

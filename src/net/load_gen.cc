@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <cmath>
 #include <cerrno>
 #include <cstring>
@@ -20,6 +19,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "common/clock.h"
 #include "common/rng.h"
 #include "net/protocol.h"
 #include "obs/metrics.h"
@@ -29,11 +29,9 @@ namespace net {
 
 namespace {
 
-int64_t NowNs() {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
+// The server's clock (CLOCK_MONOTONIC), not std::chrono::steady_clock:
+// propagated trace origins must be comparable to server-side timestamps.
+int64_t NowNs() { return NowNanos(); }
 
 // Exponential inter-arrival gap for a Poisson process at `rate` req/s.
 int64_t PoissonGapNs(Rng& rng, double rate) {
@@ -68,12 +66,19 @@ int ConnectNonblocking(const std::string& host, uint16_t port) {
   return fd;
 }
 
+// One in-flight request: its scheduled (Poisson) arrival time and, when
+// contexts propagate, the trace id prefixed onto the wire.
+struct PendingRequest {
+  int64_t scheduled_ns = 0;
+  uint64_t trace_id = 0;
+};
+
 struct ClientConn {
   int fd = -1;
   ReplyParser parser;
-  // Scheduled arrival time of each in-flight request, send order. Replies
-  // come back strictly in order per connection, so front() is the match.
-  std::deque<int64_t> scheduled_ns;
+  // In-flight requests in send order. Replies come back strictly in order
+  // per connection, so front() is the match.
+  std::deque<PendingRequest> pending;
   std::string outbuf;
   size_t outbuf_sent = 0;
   bool want_write = false;
@@ -129,9 +134,20 @@ class Worker {
         const size_t c = round_robin_++ % conns_.size();
         ClientConn& conn = conns_[c];
         if (conn.fd >= 0) {
-          generator_(seq_.fetch_add(1, std::memory_order_relaxed),
-                     &conn.outbuf);
-          conn.scheduled_ns.push_back(next_send_ns);
+          const uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
+          // Ids are seq + 1: nonzero on the wire, and far below the
+          // server-assigned id space (see RequestTracePlane::kServerIdBase).
+          const uint64_t trace_id =
+              options_.propagate_trace_ids ? seq + 1 : 0;
+          if (trace_id != 0) {
+            conn.outbuf.push_back('*');
+            conn.outbuf.append(std::to_string(trace_id));
+            conn.outbuf.push_back(':');
+            conn.outbuf.append(std::to_string(next_send_ns));
+            conn.outbuf.push_back(' ');
+          }
+          generator_(seq, &conn.outbuf);
+          conn.pending.push_back(PendingRequest{next_send_ns, trace_id});
           tally_.sent++;
           dirty.push_back(c);
         }
@@ -176,7 +192,7 @@ class Worker {
     }
 
     for (ClientConn& conn : conns_) {
-      tally_.dropped += conn.scheduled_ns.size();
+      tally_.dropped += conn.pending.size();
     }
     Teardown();
     return tally_;
@@ -206,7 +222,7 @@ class Worker {
   uint64_t InFlight() const {
     uint64_t n = 0;
     for (const ClientConn& conn : conns_) {
-      n += conn.scheduled_ns.size();
+      n += conn.pending.size();
     }
     return n;
   }
@@ -275,11 +291,11 @@ class Worker {
   void Account(ClientConn& conn, const std::vector<NetReply>& replies,
                int64_t now) {
     for (const NetReply& reply : replies) {
-      if (conn.scheduled_ns.empty()) {
+      if (conn.pending.empty()) {
         break;  // server babbling? nothing sane to match against
       }
-      const int64_t scheduled = conn.scheduled_ns.front();
-      conn.scheduled_ns.pop_front();
+      const PendingRequest pending = conn.pending.front();
+      conn.pending.pop_front();
       tally_.received++;
       switch (reply.kind) {
         case NetReply::Kind::kError:
@@ -292,8 +308,11 @@ class Worker {
           tally_.ok++;
           break;
       }
-      latency_.Record(
-          static_cast<uint64_t>(std::max<int64_t>(0, now - scheduled)));
+      const uint64_t latency = static_cast<uint64_t>(
+          std::max<int64_t>(0, now - pending.scheduled_ns));
+      // The exemplar links a tail bucket back to the request's trace id,
+      // so "what was the p999?" has a TRACE-able answer.
+      latency_.RecordWithExemplar(latency, pending.trace_id);
     }
   }
 
@@ -394,6 +413,12 @@ LoadGenReport RunOpenLoop(const LoadGenOptions& options,
   report.p99_us = snapshot.p99 / 1000.0;
   report.p999_us = snapshot.p999 / 1000.0;
   report.max_us = static_cast<double>(snapshot.max) / 1000.0;
+  if (options.propagate_trace_ids) {
+    // p999 and up: at full-sweep sample counts (~250k per point) the p99
+    // tail names ~10x more requests than the plane's slowest-request
+    // reservoir retains, so lower buckets would never resolve.
+    report.tail_exemplars = latency.TailExemplars(0.999);
+  }
   return report;
 }
 

@@ -30,9 +30,11 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "net/poller.h"
+#include "obs/metrics.h"
 
 namespace arthas {
 namespace net {
@@ -48,6 +50,11 @@ struct LoadGenOptions {
   int64_t drain_ms = 2000;
   uint64_t seed = 1;
   PollerBackend backend = PollerBackend::kAuto;
+  // Prefix every request with a `*<id>:<scheduled_ns>` trace context so the
+  // server-side request trace plane sees the client's scheduled arrival
+  // (client and server share one process and one monotonic clock here) and
+  // a histogram tail bucket can name the exact request that crossed it.
+  bool propagate_trace_ids = false;
 };
 
 // Appends exactly one encoded request line for request number `seq`
@@ -75,6 +82,10 @@ struct LoadGenReport {
   double p99_us = 0;
   double p999_us = 0;
   double max_us = 0;
+
+  // With propagate_trace_ids: the trace ids retained by the latency
+  // histogram's tail buckets (>= p999), ready for a TRACE autopsy.
+  std::vector<obs::TailExemplar> tail_exemplars;
 };
 
 // Runs one open-loop measurement. Blocks until the send window and drain

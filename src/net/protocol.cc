@@ -59,6 +59,53 @@ NetCommand MakeError(std::string message) {
   return cmd;
 }
 
+bool ParseUint64(std::string_view s, uint64_t* out) {
+  if (!IsUnsignedNumber(s)) {
+    return false;
+  }
+  uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+// Strips a leading `*<id>[:<origin_ns>] ` trace-context prefix off `line`,
+// filling `trace_id`/`origin_ns`. Returns false (leaving the outputs zero)
+// when the line starts with '*' but the prefix is malformed — a zero id,
+// non-numeric fields, or no command after it.
+bool ConsumeTracePrefix(std::string_view* line, uint64_t* trace_id,
+                        int64_t* origin_ns) {
+  const size_t space = line->find(' ');
+  if (space == std::string_view::npos || space == 1) {
+    return false;
+  }
+  std::string_view ctx = line->substr(1, space - 1);
+  std::string_view origin;
+  const size_t colon = ctx.find(':');
+  if (colon != std::string_view::npos) {
+    origin = ctx.substr(colon + 1);
+    ctx = ctx.substr(0, colon);
+  }
+  uint64_t id = 0;
+  if (!ParseUint64(ctx, &id) || id == 0) {
+    return false;
+  }
+  uint64_t origin_value = 0;
+  if (colon != std::string_view::npos &&
+      (!ParseUint64(origin, &origin_value) ||
+       origin_value > static_cast<uint64_t>(INT64_MAX))) {
+    return false;
+  }
+  *trace_id = id;
+  *origin_ns = static_cast<int64_t>(origin_value);
+  line->remove_prefix(space + 1);
+  return !line->empty();
+}
+
 }  // namespace
 
 const char* NetOpName(NetOp op) {
@@ -83,6 +130,8 @@ const char* NetOpName(NetOp op) {
       return "HEALTH";
     case NetOp::kExplain:
       return "EXPLAIN";
+    case NetOp::kTrace:
+      return "TRACE";
     case NetOp::kError:
       return "ERROR";
   }
@@ -93,6 +142,13 @@ NetCommand ParseRequestLine(std::string_view line) {
   if (line.empty()) {
     return MakeError("empty command");
   }
+  uint64_t trace_id = 0;
+  int64_t origin_ns = 0;
+  if (line.front() == '*') {
+    if (!ConsumeTracePrefix(&line, &trace_id, &origin_ns)) {
+      return MakeError("malformed trace prefix");
+    }
+  }
   const size_t name_end = line.find(' ');
   const std::string_view name =
       name_end == std::string_view::npos ? line : line.substr(0, name_end);
@@ -101,6 +157,8 @@ NetCommand ParseRequestLine(std::string_view line) {
                                          : line.substr(name_end + 1);
 
   NetCommand cmd;
+  cmd.trace_id = trace_id;
+  cmd.origin_ns = origin_ns;
   if (EqualsIgnoreCase(name, "GET") || EqualsIgnoreCase(name, "DEL") ||
       EqualsIgnoreCase(name, "HOLD")) {
     const auto tokens = Tokenize(rest, 2);
@@ -172,6 +230,15 @@ NetCommand ParseRequestLine(std::string_view line) {
     }
     cmd.op = NetOp::kExplain;
     cmd.text.assign(rest);
+    return cmd;
+  }
+  if (EqualsIgnoreCase(name, "TRACE")) {
+    const auto tokens = Tokenize(rest, 2);
+    if (rest.empty() || tokens.size() != 1 || !IsUnsignedNumber(tokens[0])) {
+      return MakeError("TRACE expects exactly one numeric trace id");
+    }
+    cmd.op = NetOp::kTrace;
+    cmd.text.assign(tokens[0]);
     return cmd;
   }
   return MakeError("unknown command '" + std::string(name) + "'");

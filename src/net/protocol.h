@@ -20,6 +20,16 @@
 //   HEALTH [series]              -> $<len>\r\n<HealthResponse::Serialize>\r\n
 //   EXPLAIN <kind> <guid> <addr> <exit>
 //                                -> $<len>\r\n<ExplainResponse::Serialize>\r\n
+//   TRACE <id>                   -> $<len>\r\n<slow-request autopsy>\r\n
+//
+// Trace-context prefix: any request line may start with `*<id> ` or
+// `*<id>:<origin_ns> ` (id: nonzero decimal; origin_ns: the client's
+// scheduled-arrival time on the shared monotonic clock). The prefix binds
+// the line's command to that trace id in the request trace plane, so a
+// later `TRACE <id>` can answer where the request's time went; origin_ns
+// additionally charges client-side scheduling wait to the trace. The
+// prefix is framing, not a command — it survives byte-boundary splits like
+// everything else because it travels inside the line.
 //
 // Values travel inline as one token (the YCSB workloads generate printable
 // single-token values), so a request never spans lines and the parser can
@@ -62,6 +72,7 @@ enum class NetOp {
   kStats,    // reactor passthrough: StatsRequest wire text in `text`
   kHealth,   // reactor passthrough: HealthRequest wire text in `text`
   kExplain,  // reactor passthrough: MitigationRequest wire text in `text`
+  kTrace,    // slow-request autopsy: requested trace id (decimal) in `text`
   kError,    // malformed input; `text` holds the message to send back
 };
 
@@ -72,8 +83,13 @@ struct NetCommand {
   std::string key;
   std::string value;
   // kStats/kHealth/kExplain: the normalized argument text handed to the
-  // existing ReactorServer Parse() formats. kError: the error message.
+  // existing ReactorServer Parse() formats. kTrace: the requested id.
+  // kError: the error message.
   std::string text;
+  // Trace context from the `*<id>[:<origin_ns>]` prefix; 0 = none (the
+  // dispatcher assigns a server-side id at parse time).
+  uint64_t trace_id = 0;
+  int64_t origin_ns = 0;
 };
 
 // Parses one complete request line (terminator already stripped).

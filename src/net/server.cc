@@ -12,6 +12,7 @@
 #include <unistd.h>
 
 #include "obs/obs.h"
+#include "obs/reqtrace.h"
 
 namespace arthas {
 namespace net {
@@ -112,6 +113,26 @@ Status NetServer::Start() {
   // Loop 0 owns the listener.
   ARTHAS_RETURN_IF_ERROR(loops_[0]->poller->Add(listen_fd_, false));
 
+  // Backpressure gauges for the sampler's timeline (probe-only: a probe's
+  // series must not collide with a registry gauge of the same name, since
+  // the sampler scrapes registry gauges too).
+  outbuf_probe_ = ARTHAS_TELEMETRY_PROBE(
+      "net.conn.outbuf_bytes", obs::ProbeKind::kGauge, [this]() {
+        int64_t total = 0;
+        for (const auto& loop : loops_) {
+          total += loop->outbuf_bytes.load(std::memory_order_relaxed);
+        }
+        return static_cast<double>(total);
+      });
+  queue_probe_ = ARTHAS_TELEMETRY_PROBE(
+      "net.loop.queue_depth", obs::ProbeKind::kGauge, [this]() {
+        int64_t total = 0;
+        for (const auto& loop : loops_) {
+          total += loop->queue_depth.load(std::memory_order_relaxed);
+        }
+        return static_cast<double>(total);
+      });
+
   running_.store(true, std::memory_order_release);
   for (size_t i = 0; i < loops_.size(); i++) {
     Loop* loop = loops_[i].get();
@@ -124,6 +145,15 @@ Status NetServer::Start() {
 
 void NetServer::Stop() {
   running_.store(false, std::memory_order_release);
+  // The probe lambdas walk loops_; detach them before any teardown.
+  if (outbuf_probe_ != obs::kNoProbe) {
+    ARTHAS_TELEMETRY_UNPROBE(outbuf_probe_);
+    outbuf_probe_ = obs::kNoProbe;
+  }
+  if (queue_probe_ != obs::kNoProbe) {
+    ARTHAS_TELEMETRY_UNPROBE(queue_probe_);
+    queue_probe_ = obs::kNoProbe;
+  }
   for (auto& loop : loops_) {
     if (loop->thread.joinable()) {
       Wake(*loop);
@@ -164,6 +194,8 @@ void NetServer::RunLoop(Loop& loop, bool owns_listener) {
     // The timeout is a liveness backstop only; all real work arrives as a
     // readiness event or a wakeup byte.
     (void)loop.poller->Wait(&events, 200);
+    loop.queue_depth.store(static_cast<int64_t>(events.size()),
+                           std::memory_order_relaxed);
     for (const PollerEvent& event : events) {
       if (event.fd == loop.wakeup_read_fd) {
         char drain[256];
@@ -250,7 +282,19 @@ void NetServer::AdoptMailbox(Loop& loop) {
                        connections_open_.load(std::memory_order_relaxed)));
 }
 
+void NetServer::AccountOutbuf(Loop& loop, Connection& conn) {
+  const size_t pending = conn.outbuf.size() - conn.outbuf_sent;
+  if (pending != conn.outbuf_accounted) {
+    loop.outbuf_bytes.fetch_add(
+        static_cast<int64_t>(pending) -
+            static_cast<int64_t>(conn.outbuf_accounted),
+        std::memory_order_relaxed);
+    conn.outbuf_accounted = pending;
+  }
+}
+
 bool NetServer::HandleReadable(Loop& loop, Connection& conn) {
+  const int64_t received_ns = ARTHAS_REQTRACE_NOW();
   std::vector<NetCommand> commands;
   char buf[kReadChunk];
   bool eof = false;
@@ -291,14 +335,18 @@ bool NetServer::HandleReadable(Loop& loop, Connection& conn) {
         std::min(commands.size(), i + options_.max_batch_commands);
     const std::vector<NetCommand> chunk(commands.begin() + i,
                                         commands.begin() + end);
-    dispatcher_.ExecuteBatch(chunk, &conn.outbuf);
+    dispatcher_.ExecuteBatch(chunk, &conn.outbuf, received_ns);
   }
 
   if (eof) {
+    ARTHAS_REQTRACE_REPLY_FLUSHED();
     CloseConnection(loop, conn.fd);
     return false;
   }
-  return FlushOutbuf(loop, conn);
+  const bool alive = FlushOutbuf(loop, conn);
+  // Replies (attempted) on the wire: finalize this read's request traces.
+  ARTHAS_REQTRACE_REPLY_FLUSHED();
+  return alive;
 }
 
 bool NetServer::FlushOutbuf(Loop& loop, Connection& conn) {
@@ -318,6 +366,7 @@ bool NetServer::FlushOutbuf(Loop& loop, Connection& conn) {
         conn.want_write = true;
         (void)loop.poller->Update(conn.fd, true);
       }
+      AccountOutbuf(loop, conn);
       return true;  // poll will tell us when the socket drains
     }
     if (n < 0 && errno == EINTR) {
@@ -328,6 +377,7 @@ bool NetServer::FlushOutbuf(Loop& loop, Connection& conn) {
   }
   conn.outbuf.clear();
   conn.outbuf_sent = 0;
+  AccountOutbuf(loop, conn);
   if (conn.want_write) {
     conn.want_write = false;
     (void)loop.poller->Update(conn.fd, false);
@@ -344,6 +394,9 @@ void NetServer::CloseConnection(Loop& loop, int fd) {
   if (it == loop.connections.end()) {
     return;
   }
+  loop.outbuf_bytes.fetch_sub(
+      static_cast<int64_t>(it->second->outbuf_accounted),
+      std::memory_order_relaxed);
   loop.poller->Remove(fd);
   ::close(fd);
   loop.connections.erase(it);

@@ -39,6 +39,7 @@
 #include "net/dispatcher.h"
 #include "net/poller.h"
 #include "net/protocol.h"
+#include "obs/timeseries.h"
 
 namespace arthas {
 namespace net {
@@ -87,6 +88,9 @@ class NetServer {
     RequestParser parser;
     std::string outbuf;       // bytes the socket would not take yet
     size_t outbuf_sent = 0;   // prefix of outbuf already written
+    // Pending bytes last folded into the loop's outbuf_bytes gauge (the
+    // delta scheme keeps the gauge exact across partial writes/teardown).
+    size_t outbuf_accounted = 0;
     bool want_write = false;  // poller registered for writability
     bool closing = false;     // QUIT seen: close once outbuf drains
 
@@ -102,6 +106,11 @@ class NetServer {
     std::mutex mailbox_mutex;
     std::vector<int> mailbox;  // accepted fds awaiting adoption
     std::unordered_map<int, std::unique_ptr<Connection>> connections;
+    // Backpressure gauges scraped by the telemetry-sampler probes: bytes
+    // replies are stuck in outbufs, and how many readiness events the last
+    // poll wait returned (a loop's instantaneous queue depth).
+    std::atomic<int64_t> outbuf_bytes{0};
+    std::atomic<int64_t> queue_depth{0};
   };
 
   void RunLoop(Loop& loop, bool owns_listener);
@@ -112,6 +121,8 @@ class NetServer {
   bool FlushOutbuf(Loop& loop, Connection& conn);
   void CloseConnection(Loop& loop, int fd);
   void Wake(Loop& loop);
+  // Folds conn's pending-reply byte count into loop.outbuf_bytes.
+  static void AccountOutbuf(Loop& loop, Connection& conn);
 
   NetDispatcher& dispatcher_;
   NetServerOptions options_;
@@ -122,6 +133,10 @@ class NetServer {
   std::atomic<size_t> next_loop_{0};  // round-robin accept target
   std::atomic<uint64_t> connections_accepted_{0};
   std::atomic<uint64_t> connections_open_{0};
+  // Sampler probes summing the per-loop backpressure gauges (registered in
+  // Start(), unregistered in Stop() before loops_ is torn down).
+  obs::ProbeId outbuf_probe_ = obs::kNoProbe;
+  obs::ProbeId queue_probe_ = obs::kNoProbe;
 };
 
 }  // namespace net

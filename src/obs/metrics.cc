@@ -13,10 +13,12 @@ size_t Histogram::BucketIndex(uint64_t value) {
   if (value < 16) {
     return static_cast<size_t>(value);
   }
-  // value >= 16: octave o = floor(log2(value)) >= 4; 4 linear sub-buckets.
+  // value >= 16: octave o = floor(log2(value)) >= 4; 16 linear sub-buckets
+  // per octave bound the relative quantile error by 1/16.
   const int o = 63 - std::countl_zero(value);
-  const uint64_t sub = (value >> (o - 2)) & 3;
-  return 16 + static_cast<size_t>(o - 4) * 4 + static_cast<size_t>(sub);
+  const uint64_t sub = (value >> (o - 4)) & (kSubBucketsPerOctave - 1);
+  return 16 + static_cast<size_t>(o - 4) * kSubBucketsPerOctave +
+         static_cast<size_t>(sub);
 }
 
 std::pair<uint64_t, uint64_t> Histogram::BucketBounds(size_t index) {
@@ -24,11 +26,65 @@ std::pair<uint64_t, uint64_t> Histogram::BucketBounds(size_t index) {
     return {index, index};
   }
   const size_t rel = index - 16;
-  const int o = static_cast<int>(rel / 4) + 4;
-  const uint64_t sub = rel % 4;
-  const uint64_t width = 1ULL << (o - 2);
+  const int o = static_cast<int>(rel / kSubBucketsPerOctave) + 4;
+  const uint64_t sub = rel % kSubBucketsPerOctave;
+  const uint64_t width = 1ULL << (o - 4);
   const uint64_t lo = (1ULL << o) + sub * width;
   return {lo, lo + width - 1};
+}
+
+Histogram::~Histogram() {
+  delete[] exemplars_.load(std::memory_order_acquire);
+}
+
+std::atomic<uint64_t>* Histogram::EnsureExemplars() {
+  std::atomic<uint64_t>* existing =
+      exemplars_.load(std::memory_order_acquire);
+  if (existing != nullptr) {
+    return existing;
+  }
+  auto* fresh = new std::atomic<uint64_t>[kNumBuckets]();
+  if (exemplars_.compare_exchange_strong(existing, fresh,
+                                         std::memory_order_acq_rel)) {
+    return fresh;
+  }
+  delete[] fresh;  // another thread won the install race
+  return existing;
+}
+
+void Histogram::RecordWithExemplar(uint64_t value, uint64_t exemplar_id) {
+  Record(value);
+  if (exemplar_id != 0) {
+    EnsureExemplars()[BucketIndex(value)].store(exemplar_id,
+                                                std::memory_order_relaxed);
+  }
+}
+
+std::vector<TailExemplar> Histogram::TailExemplars(
+    double min_quantile) const {
+  std::vector<TailExemplar> out;
+  const std::atomic<uint64_t>* exemplars =
+      exemplars_.load(std::memory_order_acquire);
+  if (exemplars == nullptr || count() == 0) {
+    return out;
+  }
+  const double threshold = Percentile(min_quantile);
+  for (size_t i = 0; i < kNumBuckets; i++) {
+    const uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+    if (n == 0) {
+      continue;
+    }
+    const auto [lo, hi] = BucketBounds(i);
+    if (static_cast<double>(hi) < threshold) {
+      continue;
+    }
+    const uint64_t id = exemplars[i].load(std::memory_order_relaxed);
+    if (id == 0) {
+      continue;
+    }
+    out.push_back(TailExemplar{lo, hi, n, id});
+  }
+  return out;
 }
 
 void Histogram::Record(uint64_t value) {
@@ -64,11 +120,29 @@ void Histogram::Merge(const Histogram& other) {
   while (v < seen &&
          !min_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
   }
+  const std::atomic<uint64_t>* theirs =
+      other.exemplars_.load(std::memory_order_acquire);
+  if (theirs != nullptr) {
+    std::atomic<uint64_t>* ours = EnsureExemplars();
+    for (size_t i = 0; i < kNumBuckets; i++) {
+      const uint64_t id = theirs[i].load(std::memory_order_relaxed);
+      if (id != 0) {
+        ours[i].store(id, std::memory_order_relaxed);
+      }
+    }
+  }
 }
 
 void Histogram::Reset() {
   for (auto& bucket : buckets_) {
     bucket.store(0, std::memory_order_relaxed);
+  }
+  std::atomic<uint64_t>* exemplars =
+      exemplars_.load(std::memory_order_acquire);
+  if (exemplars != nullptr) {
+    for (size_t i = 0; i < kNumBuckets; i++) {
+      exemplars[i].store(0, std::memory_order_relaxed);
+    }
   }
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0, std::memory_order_relaxed);
@@ -98,14 +172,16 @@ double Histogram::Percentile(double q) const {
     }
     if (seen + n >= rank) {
       const auto [lo, hi] = BucketBounds(i);
-      // Linear interpolation inside the bucket; clamp to the recorded max
-      // so p100 is exact.
+      // Linear interpolation inside the bucket; clamp to the exact recorded
+      // extremes so p100 is exact and the top occupied bucket never
+      // reports a value the run did not produce.
       const double frac =
           static_cast<double>(rank - seen) / static_cast<double>(n);
       const double v =
           static_cast<double>(lo) +
           frac * static_cast<double>(hi - lo);
-      return std::min(v, static_cast<double>(max()));
+      return std::clamp(v, static_cast<double>(min()),
+                        static_cast<double>(max()));
     }
     seen += n;
   }

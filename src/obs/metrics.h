@@ -12,10 +12,12 @@
 //     static (see ARTHAS_COUNTER_ADD in obs/obs.h),
 //   * metrics are never removed, so handles returned by the registry stay
 //     valid for the process lifetime,
-//   * histograms are log-bucketed (16 exact small buckets + 4 sub-buckets
-//     per power of two), giving p50/p90/p99/p999/max with bounded relative
-//     error (<= 12.5%) at constant memory, and merge by bucket-wise
-//     addition.
+//   * histograms are log-bucketed (16 exact small buckets + 16 sub-buckets
+//     per power of two), giving p50/p90/p99/p999 with bounded relative
+//     error (<= 6.25%, percentiles additionally clamped to the exact
+//     recorded min/max) at constant memory, and merge by bucket-wise
+//     addition; tail buckets optionally retain the last exemplar id that
+//     crossed them, linking a histogram tail to the request trace plane.
 //
 // Naming convention: `subsystem.verb.unit`, e.g. `pmem.flush.count`,
 // `checkpoint.serialize.ns`, `pool.used.bytes`.
@@ -73,15 +75,35 @@ struct HistogramSnapshot {
   double mean = 0;
 };
 
+// One tail bucket's retained exemplar: the id of the last sample that
+// landed in the bucket (0 = none recorded with an id).
+struct TailExemplar {
+  uint64_t bucket_lo = 0;
+  uint64_t bucket_hi = 0;
+  uint64_t count = 0;
+  uint64_t exemplar = 0;
+};
+
 // Thread-safe log-bucketed histogram of non-negative integer samples
 // (latencies in nanoseconds, sizes in bytes).
 class Histogram {
  public:
-  // 16 exact buckets for values 0..15, then 4 linear sub-buckets per power
-  // of two up to 2^63.
-  static constexpr size_t kNumBuckets = 16 + 4 * 60;
+  // 16 exact buckets for values 0..15, then 16 linear sub-buckets per
+  // power of two up to 2^63: relative quantile error is bounded by 1/16
+  // (the sub-bucket width), so p999 on a microsecond tail is trustworthy.
+  static constexpr size_t kSubBucketsPerOctave = 16;
+  static constexpr size_t kNumBuckets = 16 + kSubBucketsPerOctave * 60;
+
+  Histogram() = default;
+  ~Histogram();
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
 
   void Record(uint64_t value);
+  // Record() plus: the bucket the value lands in retains `exemplar_id`
+  // (last writer wins; the tail is what anyone asks about). The exemplar
+  // array is allocated on first use, so plain histograms pay nothing.
+  void RecordWithExemplar(uint64_t value, uint64_t exemplar_id);
   void Merge(const Histogram& other);
   void Reset();
 
@@ -99,12 +121,21 @@ class Histogram {
   // Inclusive [lo, hi] value range a bucket covers.
   static std::pair<uint64_t, uint64_t> BucketBounds(size_t index);
 
+  // Occupied buckets at or above the `min_quantile` value that retain an
+  // exemplar id, lowest bucket first. Empty when no exemplars were ever
+  // recorded.
+  std::vector<TailExemplar> TailExemplars(double min_quantile = 0.99) const;
+
  private:
+  std::atomic<uint64_t>* EnsureExemplars();
+
   std::atomic<uint64_t> buckets_[kNumBuckets] = {};
   std::atomic<uint64_t> count_{0};
   std::atomic<uint64_t> sum_{0};
   std::atomic<uint64_t> max_{0};
   std::atomic<uint64_t> min_{~0ULL};
+  // Lazily-allocated per-bucket exemplar ids (see RecordWithExemplar).
+  std::atomic<std::atomic<uint64_t>*> exemplars_{nullptr};
 };
 
 struct RegistrySnapshot {

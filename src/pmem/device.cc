@@ -9,6 +9,7 @@
 #include "obs/flight_recorder.h"
 #include "obs/obs.h"
 #include "obs/profiler.h"
+#include "obs/reqtrace.h"
 
 namespace arthas {
 
@@ -167,6 +168,7 @@ void PmemDevice::FlushLines(PmOffset offset, size_t size) {
     return;
   }
   ARTHAS_PROFILE(kFlush);
+  ARTHAS_REQTRACE_STAGE(obs::ReqStage::kFlush);
   const uint64_t first_line = offset / kCacheLineSize;
   const uint64_t last_line = (offset + size - 1) / kCacheLineSize;
   // The release order pairs with Drain's acquire exchange: a drainer that
@@ -204,6 +206,7 @@ void PmemDevice::FlushLines(PmOffset offset, size_t size) {
 
 void PmemDevice::Drain() {
   ARTHAS_PROFILE(kDrain);
+  ARTHAS_REQTRACE_STAGE(obs::ReqStage::kDrain);
   stats_.drains++;
   ARTHAS_COUNTER_ADD("pmem.drain.count", 1);
   // Claim each staged word with an atomic exchange (never holding a lock),

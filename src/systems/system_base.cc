@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "obs/flight_recorder.h"
 #include "obs/profiler.h"
+#include "obs/reqtrace.h"
 #include "substrate/substrate.h"
 #include "systems/pm_system.h"
 
@@ -38,6 +39,8 @@ SectionFrame* FrameFor(PmSystemTarget* system) {
 }  // namespace
 
 void PmSystemTarget::EnterSection() {
+  // Request-trace section boundary (the plane collapses re-entrant depth).
+  ARTHAS_REQTRACE_SECTION_ENTER();
   if (SectionFrame* frame = FrameFor(this)) {
     frame->depth++;
     return;
@@ -51,6 +54,7 @@ void PmSystemTarget::EnterSection() {
 }
 
 void PmSystemTarget::ExitSection() {
+  ARTHAS_REQTRACE_SECTION_EXIT();
   for (auto it = section_frames.rbegin(); it != section_frames.rend(); ++it) {
     if (it->system != this) {
       continue;

@@ -233,6 +233,82 @@ TEST(ReplyParserTest, MalformedFramingResyncs) {
   EXPECT_EQ(replies[1].kind, NetReply::Kind::kSimple);
 }
 
+TEST(TraceContextTest, PrefixParsedWithAndWithoutOrigin) {
+  NetCommand with_origin = ParseRequestLine("*12:3400 GET user7");
+  EXPECT_EQ(with_origin.op, NetOp::kGet);
+  EXPECT_EQ(with_origin.key, "user7");
+  EXPECT_EQ(with_origin.trace_id, 12u);
+  EXPECT_EQ(with_origin.origin_ns, 3400);
+
+  NetCommand bare = ParseRequestLine("*12 SET k v");
+  EXPECT_EQ(bare.op, NetOp::kSet);
+  EXPECT_EQ(bare.trace_id, 12u);
+  EXPECT_EQ(bare.origin_ns, 0);
+
+  // No prefix: both context fields stay zero.
+  NetCommand plain = ParseRequestLine("GET user7");
+  EXPECT_EQ(plain.trace_id, 0u);
+  EXPECT_EQ(plain.origin_ns, 0);
+}
+
+TEST(TraceContextTest, MalformedPrefixRejected) {
+  // Zero ids, non-numeric ids/origins, and a prefix with no command behind
+  // it are all one kError — the connection stays usable.
+  EXPECT_EQ(ParseRequestLine("*0:5 GET k").op, NetOp::kError);
+  EXPECT_EQ(ParseRequestLine("*abc GET k").op, NetOp::kError);
+  EXPECT_EQ(ParseRequestLine("*12:xyz GET k").op, NetOp::kError);
+  EXPECT_EQ(ParseRequestLine("* GET k").op, NetOp::kError);
+  EXPECT_EQ(ParseRequestLine("*12:34").op, NetOp::kError);
+  EXPECT_EQ(ParseRequestLine("*12 ").op, NetOp::kError);
+}
+
+TEST(TraceContextTest, PrefixSurvivesEveryByteSplit) {
+  // The context travels inside the line, so however TCP slices the stream
+  // the id/origin must come out identical.
+  const std::string bytes = "*99:1234 SET user1 aaaa\r\n*100 GET user1\n";
+  const std::vector<NetCommand> expected = ParseWhole(bytes);
+  ASSERT_EQ(expected.size(), 2u);
+  ASSERT_EQ(expected[0].trace_id, 99u);
+
+  for (size_t split = 0; split <= bytes.size(); split++) {
+    RequestParser parser;
+    std::vector<NetCommand> commands;
+    parser.Feed(bytes.data(), split, &commands);
+    parser.Feed(bytes.data() + split, bytes.size() - split, &commands);
+    ASSERT_EQ(commands.size(), 2u) << "split at " << split;
+    EXPECT_EQ(commands[0].trace_id, 99u) << "split at " << split;
+    EXPECT_EQ(commands[0].origin_ns, 1234) << "split at " << split;
+    EXPECT_EQ(commands[1].trace_id, 100u) << "split at " << split;
+    EXPECT_EQ(commands[1].origin_ns, 0) << "split at " << split;
+  }
+}
+
+TEST(TraceContextTest, PipelinedBatchKeepsDistinctIds) {
+  std::string bytes;
+  for (int i = 1; i <= 20; i++) {
+    bytes += "*" + std::to_string(i) + ":" + std::to_string(i * 100) +
+             " SET user" + std::to_string(i) + " v\n";
+  }
+  const std::vector<NetCommand> commands = ParseWhole(bytes);
+  ASSERT_EQ(commands.size(), 20u);
+  for (int i = 1; i <= 20; i++) {
+    EXPECT_EQ(commands[static_cast<size_t>(i - 1)].trace_id,
+              static_cast<uint64_t>(i));
+    EXPECT_EQ(commands[static_cast<size_t>(i - 1)].origin_ns, i * 100);
+  }
+}
+
+TEST(TraceContextTest, TraceCommandArity) {
+  NetCommand trace = ParseRequestLine("TRACE 1099511627777");
+  EXPECT_EQ(trace.op, NetOp::kTrace);
+  EXPECT_EQ(trace.text, "1099511627777");
+  EXPECT_EQ(ParseRequestLine("trace 7").op, NetOp::kTrace);
+
+  EXPECT_EQ(ParseRequestLine("TRACE").op, NetOp::kError);
+  EXPECT_EQ(ParseRequestLine("TRACE 1 2").op, NetOp::kError);
+  EXPECT_EQ(ParseRequestLine("TRACE abc").op, NetOp::kError);
+}
+
 }  // namespace
 }  // namespace net
 }  // namespace arthas

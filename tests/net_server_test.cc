@@ -18,6 +18,7 @@
 #include "common/clock.h"
 
 #include "gtest/gtest.h"
+#include "obs/timeseries.h"
 #include "faults/fault_ids.h"
 #include "net/dispatcher.h"
 #include "net/protocol.h"
@@ -528,6 +529,84 @@ TEST(NetServerTest, ConcurrentClientsHammer) {
   EXPECT_GE(server.connections_accepted(), static_cast<uint64_t>(kThreads));
   EXPECT_FALSE(mc.last_fault().has_value());
   server.Stop();
+}
+
+TEST(NetServerTest, TraceAutopsyOverWire) {
+  MemcachedMini mc;
+  NetDispatcher dispatcher(mc, /*reactor=*/nullptr);
+  NetServerOptions options;
+  options.loop_threads = 1;
+  NetServer server(dispatcher, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  // A propagated context (origin 1 ns, safely before receipt) commits a
+  // trace under the client's id; TRACE then autopsies it over the wire.
+  ASSERT_TRUE(client.Send("*424211:1 SET user1 hello\n"));
+  std::vector<NetReply> replies = client.ReadReplies(1);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].text, "OK");
+
+  ASSERT_TRUE(client.Send("TRACE 424211\n"));
+  replies = client.ReadReplies(1);
+  ASSERT_EQ(replies.size(), 1u);
+#ifdef ARTHAS_OBS_DISABLED
+  // With instrumentation compiled out nothing was committed, but the wire
+  // command still parses and answers cleanly instead of wedging the parser.
+  EXPECT_EQ(replies[0].kind, NetReply::Kind::kError);
+  EXPECT_NE(replies[0].text.find("unknown trace id"), std::string::npos);
+#else
+  EXPECT_EQ(replies[0].kind, NetReply::Kind::kBulk);
+  EXPECT_NE(replies[0].text.find("trace 424211"), std::string::npos);
+  EXPECT_NE(replies[0].text.find("op=SET"), std::string::npos);
+  EXPECT_NE(replies[0].text.find("client_wait"), std::string::npos);
+#endif
+
+  // Unknown ids answer -ERR without wedging the connection.
+  ASSERT_TRUE(client.Send("TRACE 988877\nPING\n"));
+  replies = client.ReadReplies(2);
+  ASSERT_EQ(replies.size(), 2u);
+  EXPECT_EQ(replies[0].kind, NetReply::Kind::kError);
+  EXPECT_NE(replies[0].text.find("unknown trace id"), std::string::npos);
+  EXPECT_EQ(replies[1].text, "PONG");
+
+  server.Stop();
+  EXPECT_FALSE(mc.last_fault().has_value());
+}
+
+TEST(NetServerTest, OutbufAndQueueDepthProbesSampled) {
+  MemcachedMini mc;
+  NetDispatcher dispatcher(mc, /*reactor=*/nullptr);
+  NetServerOptions options;
+  options.loop_threads = 2;
+  NetServer server(dispatcher, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send("SET user1 hello\nGET user1\n"));
+  ASSERT_EQ(client.ReadReplies(2).size(), 2u);
+
+  // The server registers both gauges as sampler probes while it runs; a
+  // manual sweep must produce one finite point per series. In a disabled
+  // build the probe macros compile out, so the series must stay absent.
+  obs::TelemetrySampler& sampler = obs::TelemetrySampler::Global();
+  sampler.SampleNow();
+  const auto outbuf = sampler.SeriesPoints("net.conn.outbuf_bytes");
+  const auto depth = sampler.SeriesPoints("net.loop.queue_depth");
+#ifdef ARTHAS_OBS_DISABLED
+  EXPECT_TRUE(outbuf.empty());
+  EXPECT_TRUE(depth.empty());
+#else
+  ASSERT_FALSE(outbuf.empty());
+  EXPECT_GE(outbuf.back().value, 0.0);
+  ASSERT_FALSE(depth.empty());
+  EXPECT_GE(depth.back().value, 0.0);
+#endif
+
+  server.Stop();
+  EXPECT_FALSE(mc.last_fault().has_value());
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "obs/profiler.h"
+#include "obs/reqtrace.h"
 #include "obs/span.h"
 #include "obs/timeseries.h"
 
@@ -101,6 +102,38 @@ TEST(ObsDisabledTest, SamplerStaysUsableDirectly) {
   ASSERT_EQ(sampler.SeriesPoints("direct.probe").size(), 1u);
   EXPECT_EQ(sampler.SeriesPoints("direct.probe")[0].value, 42.0);
   sampler.UnregisterProbe(id);
+}
+
+TEST(ObsDisabledTest, ReqTraceMacrosAreNoOps) {
+  // The full request-trace macro lifecycle compiles out: nothing reaches
+  // the global plane, and the disabled NOW() is a constant zero.
+  const uint64_t before =
+      obs::RequestTracePlane::Global().total_traced();
+  const int64_t now = ARTHAS_REQTRACE_NOW();
+  EXPECT_EQ(now, 0);
+  ARTHAS_REQTRACE_BATCH_BEGIN(now);
+  ARTHAS_REQTRACE_COMMAND_BEGIN(1234567, 1, 1);
+  ARTHAS_REQTRACE_STAGE(obs::ReqStage::kFlush);
+  ARTHAS_REQTRACE_SECTION_ENTER();
+  ARTHAS_REQTRACE_SECTION_EXIT();
+  ARTHAS_REQTRACE_COMMAND_END(false);
+  ARTHAS_REQTRACE_BATCH_END(0, 0, 0, 0);
+  ARTHAS_REQTRACE_REPLY_FLUSHED();
+  ARTHAS_REQTRACE_MITIGATION_BEGIN();
+  ARTHAS_REQTRACE_MITIGATION_END();
+  EXPECT_EQ(obs::RequestTracePlane::Global().total_traced(), before);
+  obs::RequestTrace found;
+  EXPECT_FALSE(obs::RequestTracePlane::Global().FindTrace(1234567, &found));
+
+  // Direct use of the plane still works in a disabled TU — the library was
+  // built with observability; only the macro call sites vanish.
+  obs::RequestTracePlane plane(4);
+  plane.BeginBatch(100);
+  plane.BeginCommand(5, 0, 1, 100);
+  plane.EndCommand(110, false);
+  plane.EndBatch(100, 100, 110, 110);
+  plane.FlushReplies(120);
+  EXPECT_EQ(plane.total_traced(), 1u);
 }
 
 TEST(ObsDisabledTest, LibraryStaysUsableDirectly) {

@@ -65,10 +65,10 @@ TEST(HistogramTest, PercentilesOnKnownDistribution) {
   for (uint64_t v = 1; v <= 1000; v++) {
     h.Record(v);
   }
-  // Log bucketing guarantees <= 12.5% relative error per sample.
-  EXPECT_NEAR(h.Percentile(0.5), 500.0, 500.0 * 0.125);
-  EXPECT_NEAR(h.Percentile(0.9), 900.0, 900.0 * 0.125);
-  EXPECT_NEAR(h.Percentile(0.99), 990.0, 990.0 * 0.125);
+  // 16 linear sub-buckets per octave bound relative error by 1/16.
+  EXPECT_NEAR(h.Percentile(0.5), 500.0, 500.0 * 0.0625);
+  EXPECT_NEAR(h.Percentile(0.9), 900.0, 900.0 * 0.0625);
+  EXPECT_NEAR(h.Percentile(0.99), 990.0, 990.0 * 0.0625);
   // p100 clamps to the exact recorded max.
   EXPECT_EQ(h.Percentile(1.0), 1000.0);
   const obs::HistogramSnapshot snap = h.Snapshot();
@@ -151,6 +151,50 @@ TEST(HistogramTest, TailQuantilesSeparateOnSkewedDistribution) {
   EXPECT_LE(snap.p50, snap.p95);
   EXPECT_LE(snap.p95, snap.p99);
   EXPECT_LE(snap.p99, snap.p999);
+}
+
+TEST(HistogramTest, P999ResolutionWithinSubBucketBound) {
+  // The regression this pins: with whole-octave buckets p999 on a uniform
+  // 1..100000 distribution was off by up to 12.5%; 16 sub-buckets per
+  // octave bound every quantile's relative error by 1/16 = 6.25%.
+  Histogram h;
+  for (uint64_t v = 1; v <= 100000; v++) {
+    h.Record(v);
+  }
+  EXPECT_NEAR(h.Percentile(0.999), 99900.0, 99900.0 * 0.0625);
+  EXPECT_NEAR(h.Percentile(0.9999), 99990.0, 99990.0 * 0.0625);
+  // The top quantile clamps to the exact recorded max even when the
+  // containing bucket spans past it.
+  EXPECT_EQ(h.Percentile(1.0), 100000.0);
+  const obs::HistogramSnapshot snap = h.Snapshot();
+  EXPECT_NEAR(snap.p999, 99900.0, 99900.0 * 0.0625);
+  EXPECT_LE(snap.p999, static_cast<double>(snap.max));
+}
+
+TEST(HistogramTest, TailExemplarsRetainLastWriter) {
+  Histogram h;
+  // Bulk mass without ids: no exemplar array is ever allocated for them.
+  for (int i = 0; i < 1000; i++) {
+    h.Record(100);
+  }
+  EXPECT_TRUE(h.TailExemplars(0.99).empty());
+
+  // Two identified outliers land in the same bucket: last writer wins.
+  h.RecordWithExemplar(100000, 41);
+  h.RecordWithExemplar(100001, 42);
+  h.RecordWithExemplar(900000, 77);
+  const std::vector<obs::TailExemplar> tail = h.TailExemplars(0.99);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].exemplar, 42u);
+  EXPECT_EQ(tail[0].count, 2u);
+  EXPECT_LE(tail[0].bucket_lo, 100000u);
+  EXPECT_GE(tail[0].bucket_hi, 100001u);
+  EXPECT_EQ(tail[1].exemplar, 77u);
+
+  // Exemplars survive Reset only as far as the data does: a reset
+  // histogram reports no tail.
+  h.Reset();
+  EXPECT_TRUE(h.TailExemplars(0.99).empty());
 }
 
 TEST(HistogramTest, BucketIndexMonotonic) {
