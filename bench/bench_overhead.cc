@@ -56,6 +56,7 @@
 #include "obs/json.h"
 #include "obs/profiler.h"
 #include "obs/reqtrace.h"
+#include "obs/resource/resource_accountant.h"
 #include "obs/timeseries.h"
 #include "systems/cceh.h"
 #include "systems/memcached_mini.h"
@@ -618,6 +619,49 @@ int RunRecorderOverhead(int repeat) {
               "single-threaded Arthas mode, %d ops, best of %d)\n%s\n",
               kOps, repeat, trace_table.Render().c_str());
 
+  // Resource-accountant overhead, same interleaved shape. Every persist
+  // touches the arena and index cells (a relaxed load + relaxed RMW per
+  // acquire/release site); the toggle brackets whole MeasureThroughput
+  // calls, so each measured system is created and destroyed under one
+  // setting and the cells stay balanced.
+  obs::ResourceAccountant& accountant = obs::ResourceAccountant::Global();
+  TextTable accountant_table({"System", "Accountant off (op/s)",
+                              "Accountant on", "on/off slowdown"});
+  obs::JsonValue accountant_systems = obs::JsonValue::Array();
+  double accountant_worst_ratio = 0;
+  for (const SystemSpec& spec : systems) {
+    std::fprintf(stderr, "measuring %s (resource accountant on/off)...\n",
+                 spec.name.c_str());
+    double off = 0;
+    double on = 0;
+    for (int r = 0; r < repeat; r++) {
+      accountant.set_enabled(false);
+      off = std::max(
+          off, MeasureThroughput(spec.factory, Mode::kArthas, spec.ycsb_mix));
+      accountant.set_enabled(true);
+      on = std::max(
+          on, MeasureThroughput(spec.factory, Mode::kArthas, spec.ycsb_mix));
+    }
+    accountant.set_enabled(true);
+    const double ratio = on > 0 ? off / on : 0;
+    accountant_worst_ratio = std::max(accountant_worst_ratio, ratio);
+    char o[32], n[32], ra[32];
+    std::snprintf(o, sizeof(o), "%.0fK", off / 1000);
+    std::snprintf(n, sizeof(n), "%.0fK", on / 1000);
+    std::snprintf(ra, sizeof(ra), "%.3f", ratio);
+    accountant_table.AddRow({spec.name, o, n, ra});
+
+    obs::JsonValue row = obs::JsonValue::Object();
+    row.Set("name", obs::JsonValue(spec.name));
+    row.Set("accountant_off_ops_per_sec", obs::JsonValue(off));
+    row.Set("accountant_on_ops_per_sec", obs::JsonValue(on));
+    row.Set("on_off_ratio", obs::JsonValue(ratio));
+    accountant_systems.Append(std::move(row));
+  }
+  std::printf("Resource accountant overhead (single-threaded Arthas mode, "
+              "%d ops, best of %d)\n%s\n",
+              kOps, repeat, accountant_table.Render().c_str());
+
   obs::JsonValue doc = obs::JsonValue::Object();
   doc.Set("bench", obs::JsonValue("overhead"));
   doc.Set("mode", obs::JsonValue("recorder_overhead"));
@@ -641,6 +685,11 @@ int RunRecorderOverhead(int repeat) {
   trace_json.Set("worst_on_off_ratio", obs::JsonValue(trace_worst_ratio));
   trace_json.Set("systems", std::move(trace_systems));
   doc.Set("tailtrace", std::move(trace_json));
+  obs::JsonValue accountant_json = obs::JsonValue::Object();
+  accountant_json.Set("worst_on_off_ratio",
+                      obs::JsonValue(accountant_worst_ratio));
+  accountant_json.Set("systems", std::move(accountant_systems));
+  doc.Set("accountant", std::move(accountant_json));
   WriteArtifact(doc);
   return 0;
 }

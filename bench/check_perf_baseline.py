@@ -16,7 +16,8 @@ With --recorder, the input is instead a BENCH_overhead.json produced by
 `bench_overhead --recorder-overhead`, and the gated quantities are the
 worst per-system on/off throughput slowdowns of the flight recorder
 ("recorder" section), the telemetry sampler ("sampler"), the phase
-profiler ("profiler") and the request trace plane ("tailtrace"), each
+profiler ("profiler"), the request trace plane ("tailtrace") and the
+resource accountant ("accountant"), each
 bounded by the absolute ceiling in the baseline. The on/off quotients are measured in one process on one machine,
 so no cross-machine normalization is needed.
 
@@ -87,6 +88,11 @@ def check_recorder(measured_path: str, baseline_path: str) -> int:
         return 1
     status |= check_on_off_section(
         "request trace plane", measured["tailtrace"], baseline["tailtrace"])
+    if "accountant" not in measured:
+        print(f"FAIL: {measured_path} has no accountant overhead section")
+        return 1
+    status |= check_on_off_section(
+        "resource accountant", measured["accountant"], baseline["accountant"])
     return status
 
 

@@ -9,6 +9,7 @@
 #include "obs/flight_recorder.h"
 #include "obs/obs.h"
 #include "obs/profiler.h"
+#include "obs/resource/resource_accountant.h"
 
 namespace arthas {
 
@@ -37,16 +38,120 @@ uint64_t HashAddress(PmOffset address) {
 }
 }  // namespace
 
+// --- PayloadArena ------------------------------------------------------------
+//
+// Bodies live here (not inline in the header) so the capacity-plane
+// instrumentation follows the same per-TU ARTHAS_OBS_DISABLED discipline
+// as the rest of this file. Cells are delta-maintained: every path that
+// acquires bytes adds, every path that releases them (including Clear and
+// the destructor) subtracts, so a Store/Release round-trip provably
+// returns the accountant to its starting values.
+
+PayloadArena::~PayloadArena() { Clear(); }
+
+PayloadRef PayloadArena::Store(const uint8_t* src, size_t size) {
+  if (size == 0) {
+    return PayloadRef();
+  }
+  uint8_t* span = Alloc(size);
+  std::memcpy(span, src, size);
+  const size_t footprint = SpanBytes(size);
+  live_bytes_ += footprint;
+  ARTHAS_RESOURCE_ADD("checkpoint.arena.live.bytes", "bytes", footprint);
+  return PayloadRef(span, size);
+}
+
+void PayloadArena::Release(PayloadRef ref) {
+  if (ref.size() == 0 || ref.size() > kMaxSmall) {
+    return;  // large spans live until Clear
+  }
+  const size_t footprint = SpanBytes(ref.size());
+  free_[ClassOf(ref.size())].push_back(const_cast<uint8_t*>(ref.data()));
+  live_bytes_ -= footprint;
+  freelist_bytes_ += footprint;
+  ARTHAS_RESOURCE_ADD("checkpoint.arena.live.bytes", "bytes",
+                      -static_cast<int64_t>(footprint));
+  ARTHAS_RESOURCE_ADD("checkpoint.arena.freelist.bytes", "bytes", footprint);
+}
+
+void PayloadArena::Clear() {
+  chunks_.clear();
+  cursor_ = nullptr;
+  remaining_ = 0;
+  for (auto& list : free_) {
+    list.clear();
+  }
+  if (chunk_counter_ != nullptr) {
+    chunk_counter_->fetch_sub(allocated_bytes_, std::memory_order_relaxed);
+  }
+  ARTHAS_RESOURCE_ADD("checkpoint.arena.bytes", "bytes",
+                      -static_cast<int64_t>(allocated_bytes_));
+  ARTHAS_RESOURCE_ADD("checkpoint.arena.live.bytes", "bytes",
+                      -static_cast<int64_t>(live_bytes_));
+  ARTHAS_RESOURCE_ADD("checkpoint.arena.freelist.bytes", "bytes",
+                      -static_cast<int64_t>(freelist_bytes_));
+  allocated_bytes_ = 0;
+  live_bytes_ = 0;
+  freelist_bytes_ = 0;
+}
+
+void PayloadArena::AddChunkBytes(size_t bytes) {
+  allocated_bytes_ += bytes;
+  if (chunk_counter_ != nullptr) {
+    chunk_counter_->fetch_add(bytes, std::memory_order_relaxed);
+  }
+  ARTHAS_RESOURCE_ADD("checkpoint.arena.bytes", "bytes", bytes);
+}
+
+uint8_t* PayloadArena::Alloc(size_t size) {
+  if (size > kMaxSmall) {
+    chunks_.emplace_back(new uint8_t[size]);
+    AddChunkBytes(size);
+    return chunks_.back().get();
+  }
+  const size_t cls = ClassOf(size);
+  if (!free_[cls].empty()) {
+    uint8_t* span = free_[cls].back();
+    free_[cls].pop_back();
+    const size_t cap = kMinClass << cls;
+    freelist_bytes_ -= cap;
+    ARTHAS_RESOURCE_ADD("checkpoint.arena.freelist.bytes", "bytes",
+                        -static_cast<int64_t>(cap));
+    return span;
+  }
+  const size_t cap = kMinClass << cls;
+  if (remaining_ < cap) {
+    chunks_.emplace_back(new uint8_t[kChunkBytes]);
+    AddChunkBytes(kChunkBytes);
+    cursor_ = chunks_.back().get();
+    remaining_ = kChunkBytes;
+  }
+  uint8_t* span = cursor_;
+  cursor_ += cap;
+  remaining_ -= cap;
+  return span;
+}
+
+// --- CheckpointLog -----------------------------------------------------------
+
 CheckpointLog::CheckpointLog(PmemPool& pool, CheckpointConfig config)
     : pool_(&pool),
       device_(&pool.device()),
       config_(config),
       log_id_(next_log_id.fetch_add(1)) {
+  for (Shard& shard : shards_) {
+    shard.arena.BindChunkCounter(&arena_bytes_);
+  }
   device_->AddObserver(this);
   pool_->AddObserver(this);
 }
 
-CheckpointLog::~CheckpointLog() { Detach(); }
+CheckpointLog::~CheckpointLog() {
+  Detach();
+  // The shard arenas unwind their own cells; the index bytes are ours.
+  ARTHAS_RESOURCE_ADD("checkpoint.index.bytes", "bytes",
+                      -static_cast<int64_t>(index_bytes_.load()));
+}
 
 void CheckpointLog::Detach() {
   if (pool_ != nullptr) {
@@ -105,11 +210,19 @@ void CheckpointLog::InsertBucket(Shard& shard, PmOffset address,
   shard.buckets[i] = slot;
 }
 
+void CheckpointLog::AddIndexBytes(size_t bytes) {
+  index_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  ARTHAS_RESOURCE_ADD("checkpoint.index.bytes", "bytes", bytes);
+}
+
 // (Re)builds the bucket array sized so the next insert keeps load <= 3/4.
 void CheckpointLog::RehashLocked(Shard& shard) {
   size_t cap = 64;
   while ((shard.slots.size() + 1) * 4 > cap * 3) {
     cap <<= 1;
+  }
+  if (cap > shard.buckets.size()) {
+    AddIndexBytes((cap - shard.buckets.size()) * sizeof(uint32_t));
   }
   shard.buckets.assign(cap, 0);
   for (size_t i = 0; i < shard.slots.size(); i++) {
@@ -140,6 +253,7 @@ CheckpointEntry& CheckpointLog::GetOrCreateLocked(Shard& shard,
   }
   InsertBucket(shard, address, static_cast<uint32_t>(shard.slots.size()));
   entry_count_++;
+  AddIndexBytes(sizeof(CheckpointEntry) + entry.original.size());
   return entry;
 }
 
@@ -191,6 +305,7 @@ void CheckpointLog::OnPersist(PmOffset offset, size_t size, const void* data) {
       entry.original.insert(entry.original.end(),
                             device_->Durable(offset + old_extent),
                             device_->Durable(offset) + size);
+      AddIndexBytes(size - old_extent);
     }
     CheckpointVersion version;
     // Allocated under the shard lock, so this shard's seq_index appends stay
@@ -212,6 +327,7 @@ void CheckpointLog::OnPersist(PmOffset offset, size_t size, const void* data) {
       // recycle its arena spans.
       const CheckpointVersion evicted = entry.versions.front();
       if (evicted.data.size() > entry.original.size()) {
+        AddIndexBytes(evicted.data.size() - entry.original.size());
         entry.original.resize(evicted.data.size());
       }
       std::copy(evicted.data.begin(), evicted.data.end(),
@@ -226,6 +342,7 @@ void CheckpointLog::OnPersist(PmOffset offset, size_t size, const void* data) {
                            device_->device_id(), offset, 0, evicted.seq_num);
     }
     shard.seq_index.emplace_back(seq, offset);
+    AddIndexBytes(sizeof(std::pair<SeqNum, PmOffset>));
     entry.versions.push_back(version);
     retained_versions_++;
     RaiseMaxExtent(entry.original.size());
@@ -246,6 +363,12 @@ void CheckpointLog::OnPersist(PmOffset offset, size_t size, const void* data) {
   ARTHAS_COUNTER_ADD("checkpoint.copy.bytes", 2 * size);
   ARTHAS_GAUGE_SET("checkpoint.versions.retained", retained_versions_.load());
   ARTHAS_GAUGE_SET("checkpoint.entries.count", entry_count_.load());
+  // Capacity-plane names (the STATS `checkpoint.` prefix filter and the
+  // growth analyzer read these; the two above predate the capacity plane).
+  ARTHAS_GAUGE_SET("checkpoint.retained_versions", retained_versions_.load());
+  ARTHAS_GAUGE_SET("checkpoint.arena_bytes", arena_bytes_.load());
+  ARTHAS_RESOURCE_SET("checkpoint.retained.versions", "count",
+                      retained_versions_.load());
 }
 
 void CheckpointLog::OnAlloc(PmOffset offset, size_t size) {
@@ -551,6 +674,10 @@ Result<bool> CheckpointLog::RevertSeq(SeqNum seq) {
     ARTHAS_COUNTER_ADD("checkpoint.revert.count", discarded + 1);
     ARTHAS_GAUGE_SET("checkpoint.versions.retained",
                      retained_versions_.load());
+    ARTHAS_GAUGE_SET("checkpoint.retained_versions",
+                     retained_versions_.load());
+    ARTHAS_RESOURCE_SET("checkpoint.retained.versions", "count",
+                        retained_versions_.load());
     ARTHAS_FLIGHT_RECORD(obs::FrType::kCheckpointRevert,
                          device_->device_id(), entry.address, discarded + 1,
                          seq, obs::FrReason::kDivergence);
@@ -576,6 +703,9 @@ Result<bool> CheckpointLog::RevertSeq(SeqNum seq) {
   retained_versions_ -= discarded;
   ARTHAS_COUNTER_ADD("checkpoint.revert.count", discarded);
   ARTHAS_GAUGE_SET("checkpoint.versions.retained", retained_versions_.load());
+  ARTHAS_GAUGE_SET("checkpoint.retained_versions", retained_versions_.load());
+  ARTHAS_RESOURCE_SET("checkpoint.retained.versions", "count",
+                      retained_versions_.load());
   ARTHAS_FLIGHT_RECORD(obs::FrType::kCheckpointRevert, device_->device_id(),
                        entry.address, discarded, seq);
   return false;
@@ -617,6 +747,9 @@ Result<uint64_t> CheckpointLog::RollbackToSeq(SeqNum seq) {
   retained_versions_ -= discarded;
   ARTHAS_COUNTER_ADD("checkpoint.revert.count", discarded);
   ARTHAS_GAUGE_SET("checkpoint.versions.retained", retained_versions_.load());
+  ARTHAS_GAUGE_SET("checkpoint.retained_versions", retained_versions_.load());
+  ARTHAS_RESOURCE_SET("checkpoint.retained.versions", "count",
+                      retained_versions_.load());
   ARTHAS_FLIGHT_RECORD(obs::FrType::kCheckpointRollback,
                        device_->device_id(), 0, discarded, seq);
   return discarded;

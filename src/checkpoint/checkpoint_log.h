@@ -114,38 +114,46 @@ class PayloadRef {
 // their class and are reused verbatim; spans larger than the chunk size get
 // a dedicated chunk and are not recycled (reclaimed only by Clear).
 // Externally synchronized (the owning shard's mutex, or caller-serialized).
+// Byte accounting (the capacity plane, obs/resource): every chunk
+// allocation, span hand-out, and span recycle is mirrored — delta-exact —
+// into the process-wide ResourceAccountant cells "checkpoint.arena.bytes"
+// (chunk footprint), "checkpoint.arena.live.bytes" (spans held by
+// versions) and "checkpoint.arena.freelist.bytes" (spans awaiting reuse),
+// and unwound by Clear()/the destructor, so a Store/Release round-trip
+// returns the cells to their starting values (tests/resource_test.cc).
+// Method bodies live in checkpoint_log.cc so the instrumentation follows
+// the per-TU ARTHAS_OBS_DISABLED discipline without ODR hazards.
 class PayloadArena {
  public:
+  PayloadArena() = default;
+  ~PayloadArena();  // unwinds the accountant like Clear()
+
+  PayloadArena(const PayloadArena&) = delete;
+  PayloadArena& operator=(const PayloadArena&) = delete;
+
   // Copies [src, src+size) into the arena and returns a view of the copy.
-  PayloadRef Store(const uint8_t* src, size_t size) {
-    if (size == 0) {
-      return PayloadRef();
-    }
-    uint8_t* span = Alloc(size);
-    std::memcpy(span, src, size);
-    return PayloadRef(span, size);
-  }
+  PayloadRef Store(const uint8_t* src, size_t size);
 
   // Recycles a span previously returned by Store on this arena. The bytes
   // may be overwritten by any later Store.
-  void Release(PayloadRef ref) {
-    if (ref.size() == 0 || ref.size() > kMaxSmall) {
-      return;  // large spans live until Clear
-    }
-    free_[ClassOf(ref.size())].push_back(const_cast<uint8_t*>(ref.data()));
-  }
+  void Release(PayloadRef ref);
 
   // Drops every chunk; all outstanding PayloadRefs become invalid.
-  void Clear() {
-    chunks_.clear();
-    cursor_ = nullptr;
-    remaining_ = 0;
-    for (auto& list : free_) {
-      list.clear();
-    }
-  }
+  void Clear();
 
   size_t allocated_bytes() const { return allocated_bytes_; }
+  // Bytes handed out by Store and not yet Released. Large spans
+  // (> kMaxSmall) stay live until Clear, mirroring their lifetime.
+  size_t live_bytes() const { return live_bytes_; }
+  // Bytes parked on the size-class free lists, ready for reuse.
+  size_t freelist_bytes() const { return freelist_bytes_; }
+
+  // Mirrors chunk-allocation deltas into an owner-provided atomic so the
+  // owning CheckpointLog can publish a whole-log arena-bytes gauge
+  // without walking 16 shard mutexes. Pass nullptr to detach.
+  void BindChunkCounter(std::atomic<uint64_t>* counter) {
+    chunk_counter_ = counter;
+  }
 
  private:
   static constexpr size_t kChunkBytes = 64 * 1024;
@@ -163,36 +171,22 @@ class PayloadArena {
     }
     return cls;
   }
-
-  uint8_t* Alloc(size_t size) {
-    if (size > kMaxSmall) {
-      chunks_.emplace_back(new uint8_t[size]);
-      allocated_bytes_ += size;
-      return chunks_.back().get();
-    }
-    const size_t cls = ClassOf(size);
-    if (!free_[cls].empty()) {
-      uint8_t* span = free_[cls].back();
-      free_[cls].pop_back();
-      return span;
-    }
-    const size_t cap = kMinClass << cls;
-    if (remaining_ < cap) {
-      chunks_.emplace_back(new uint8_t[kChunkBytes]);
-      allocated_bytes_ += kChunkBytes;
-      cursor_ = chunks_.back().get();
-      remaining_ = kChunkBytes;
-    }
-    uint8_t* span = cursor_;
-    cursor_ += cap;
-    remaining_ -= cap;
-    return span;
+  // The span footprint Store(size) actually occupies (its class's bytes;
+  // exact size for large spans).
+  static size_t SpanBytes(size_t size) {
+    return size > kMaxSmall ? size : kMinClass << ClassOf(size);
   }
+
+  uint8_t* Alloc(size_t size);
+  void AddChunkBytes(size_t bytes);
 
   std::vector<std::unique_ptr<uint8_t[]>> chunks_;
   uint8_t* cursor_ = nullptr;  // bump pointer into chunks_.back()
   size_t remaining_ = 0;
   size_t allocated_bytes_ = 0;
+  size_t live_bytes_ = 0;
+  size_t freelist_bytes_ = 0;
+  std::atomic<uint64_t>* chunk_counter_ = nullptr;
   std::array<std::vector<uint8_t*>, kNumClasses> free_;
 };
 
@@ -273,6 +267,16 @@ class CheckpointLog : public DurabilityObserver, public PoolObserver {
 
   // Number of distinct addresses with a log entry.
   size_t entry_count() const { return entry_count_.load(); }
+
+  // Capacity accounting, maintained under the shard mutexes and readable
+  // lock-free (the OnPersist gauges and bench_soak read these):
+  // heap bytes held by the shard payload arenas (chunk footprint), ...
+  uint64_t arena_bytes() const { return arena_bytes_.load(); }
+  // ... heap bytes held by the per-shard indexes (entry slots, pre-history
+  // originals, hash buckets, seq index), ...
+  uint64_t index_bytes() const { return index_bytes_.load(); }
+  // ... and versions currently retained across all entries.
+  uint64_t retained_versions() const { return retained_versions_.load(); }
 
   // Entry at exactly `address`, or nullptr.
   const CheckpointEntry* Find(PmOffset address) const;
@@ -389,7 +393,8 @@ class CheckpointLog : public DurabilityObserver, public PoolObserver {
   static const CheckpointEntry* FindSlot(const Shard& shard,
                                          PmOffset address);
   static void InsertBucket(Shard& shard, PmOffset address, uint32_t slot);
-  static void RehashLocked(Shard& shard);
+  // Non-static: rehashes account their bucket-array growth on this log.
+  void RehashLocked(Shard& shard);
   CheckpointEntry& GetOrCreateLocked(Shard& shard, PmOffset address,
                                      size_t size);
 
@@ -406,6 +411,9 @@ class CheckpointLog : public DurabilityObserver, public PoolObserver {
   // Restore that steps around current allocator metadata in the range.
   void RestoreBytes(PmOffset address, const uint8_t* data, size_t size);
   void RaiseMaxExtent(size_t extent);
+  // Index-footprint growth (entries never shrink outside destruction):
+  // bumps index_bytes_ and the "checkpoint.index.bytes" accountant cell.
+  void AddIndexBytes(size_t bytes);
 
   PmemPool* pool_;  // null after Detach()
   PmemDevice* device_;
@@ -427,6 +435,10 @@ class CheckpointLog : public DurabilityObserver, public PoolObserver {
   // Currently retained versions across all entries (mirrored to the
   // `checkpoint.versions.retained` gauge).
   std::atomic<uint64_t> retained_versions_{0};
+  // Shard arena chunk bytes (every shard arena is bound to this counter)
+  // and index bytes (AddIndexBytes), for the capacity gauges.
+  std::atomic<uint64_t> arena_bytes_{0};
+  std::atomic<uint64_t> index_bytes_{0};
   // Largest extent any entry ever reached (bounds the Overlapping scan).
   std::atomic<size_t> max_extent_{0};
   CheckpointStats stats_;

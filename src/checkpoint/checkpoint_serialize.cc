@@ -18,6 +18,7 @@
 #include "checkpoint/checkpoint_log.h"
 #include "common/clock.h"
 #include "obs/obs.h"
+#include "obs/resource/resource_accountant.h"
 
 namespace arthas {
 
@@ -215,6 +216,11 @@ Status CheckpointLog::Restore(const std::vector<uint8_t>& image) {
 
   uint64_t total_entries = 0;
   uint64_t total_versions = 0;
+  // The rebuild replaces the whole index: restart its byte accounting and
+  // let the per-entry adds and RehashLocked re-accumulate it.
+  ARTHAS_RESOURCE_ADD("checkpoint.index.bytes", "bytes",
+                      -static_cast<int64_t>(index_bytes_.load()));
+  index_bytes_.store(0);
   for (size_t si = 0; si < kNumShards; si++) {
     std::lock_guard<std::mutex> lock(shards_[si].mutex);
     Shard& shard = shards_[si];
@@ -229,6 +235,7 @@ Status CheckpointLog::Restore(const std::vector<uint8_t>& image) {
       dst.original = std::move(src.original);
       dst.old_entry = src.old_entry;
       dst.new_entry = src.new_entry;
+      AddIndexBytes(sizeof(CheckpointEntry) + dst.original.size());
       for (const StagedVersion& sv : src.versions) {
         CheckpointVersion version;
         version.seq_num = sv.seq_num;
@@ -237,6 +244,7 @@ Status CheckpointLog::Restore(const std::vector<uint8_t>& image) {
         version.pre = shard.arena.Store(sv.pre.data(), sv.pre.size());
         dst.versions.push_back(version);
         shard.seq_index.emplace_back(sv.seq_num, dst.address);
+        AddIndexBytes(sizeof(std::pair<SeqNum, PmOffset>));
         total_versions++;
       }
     }

@@ -62,6 +62,7 @@ void NetDispatcher::ExecuteBatch(const std::vector<NetCommand>& commands,
         case NetOp::kStats:
         case NetOp::kHealth:
         case NetOp::kExplain:
+        case NetOp::kCapacity:
           ExecuteReactor(command, out);
           break;
         case NetOp::kTrace:
@@ -162,6 +163,9 @@ void NetDispatcher::ExecuteReactor(const NetCommand& command,
       break;
     case NetOp::kHealth:
       line = "health " + command.text;
+      break;
+    case NetOp::kCapacity:
+      line = "capacity " + command.text;
       break;
     default:
       line = "explain " + command.text;

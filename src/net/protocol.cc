@@ -132,6 +132,8 @@ const char* NetOpName(NetOp op) {
       return "EXPLAIN";
     case NetOp::kTrace:
       return "TRACE";
+    case NetOp::kCapacity:
+      return "CAPACITY";
     case NetOp::kError:
       return "ERROR";
   }
@@ -230,6 +232,20 @@ NetCommand ParseRequestLine(std::string_view line) {
     }
     cmd.op = NetOp::kExplain;
     cmd.text.assign(rest);
+    return cmd;
+  }
+  if (EqualsIgnoreCase(name, "CAPACITY")) {
+    // Normalize to CapacityRequest's "prefix" wire format ("-" stands in
+    // for the default `resource.` series prefix).
+    const auto tokens = Tokenize(rest, 2);
+    if (rest.empty()) {
+      cmd.text = "-";
+    } else if (tokens.size() == 1) {
+      cmd.text.assign(tokens[0]);
+    } else {
+      return MakeError("CAPACITY expects [series_prefix]");
+    }
+    cmd.op = NetOp::kCapacity;
     return cmd;
   }
   if (EqualsIgnoreCase(name, "TRACE")) {

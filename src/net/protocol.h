@@ -21,6 +21,7 @@
 //   EXPLAIN <kind> <guid> <addr> <exit>
 //                                -> $<len>\r\n<ExplainResponse::Serialize>\r\n
 //   TRACE <id>                   -> $<len>\r\n<slow-request autopsy>\r\n
+//   CAPACITY [prefix]            -> $<len>\r\n<CapacityResponse::Serialize>\r\n
 //
 // Trace-context prefix: any request line may start with `*<id> ` or
 // `*<id>:<origin_ns> ` (id: nonzero decimal; origin_ns: the client's
@@ -69,11 +70,12 @@ enum class NetOp {
   kHold,
   kPing,
   kQuit,
-  kStats,    // reactor passthrough: StatsRequest wire text in `text`
-  kHealth,   // reactor passthrough: HealthRequest wire text in `text`
-  kExplain,  // reactor passthrough: MitigationRequest wire text in `text`
-  kTrace,    // slow-request autopsy: requested trace id (decimal) in `text`
-  kError,    // malformed input; `text` holds the message to send back
+  kStats,     // reactor passthrough: StatsRequest wire text in `text`
+  kHealth,    // reactor passthrough: HealthRequest wire text in `text`
+  kExplain,   // reactor passthrough: MitigationRequest wire text in `text`
+  kTrace,     // slow-request autopsy: requested trace id (decimal) in `text`
+  kCapacity,  // reactor passthrough: CapacityRequest wire text in `text`
+  kError,     // malformed input; `text` holds the message to send back
 };
 
 const char* NetOpName(NetOp op);

@@ -13,6 +13,7 @@
 
 #include "obs/obs.h"
 #include "obs/reqtrace.h"
+#include "obs/resource/resource_accountant.h"
 
 namespace arthas {
 namespace net {
@@ -162,6 +163,10 @@ void NetServer::Stop() {
   }
   for (auto& loop : loops_) {
     for (auto& [fd, conn] : loop->connections) {
+      // Connections torn down wholesale bypass CloseConnection: unwind
+      // their accounted outbuf bytes here so the cell returns to baseline.
+      ARTHAS_RESOURCE_ADD("net.outbuf.bytes", "bytes",
+                          -static_cast<int64_t>(conn->outbuf_accounted));
       ::close(fd);
     }
     loop->connections.clear();
@@ -285,10 +290,12 @@ void NetServer::AdoptMailbox(Loop& loop) {
 void NetServer::AccountOutbuf(Loop& loop, Connection& conn) {
   const size_t pending = conn.outbuf.size() - conn.outbuf_sent;
   if (pending != conn.outbuf_accounted) {
-    loop.outbuf_bytes.fetch_add(
-        static_cast<int64_t>(pending) -
-            static_cast<int64_t>(conn.outbuf_accounted),
-        std::memory_order_relaxed);
+    const int64_t delta = static_cast<int64_t>(pending) -
+                          static_cast<int64_t>(conn.outbuf_accounted);
+    loop.outbuf_bytes.fetch_add(delta, std::memory_order_relaxed);
+    // Capacity plane: process-wide pending-reply bytes across all loops
+    // (delta-maintained; CloseConnection and Stop unwind).
+    ARTHAS_RESOURCE_ADD("net.outbuf.bytes", "bytes", delta);
     conn.outbuf_accounted = pending;
   }
 }
@@ -397,6 +404,9 @@ void NetServer::CloseConnection(Loop& loop, int fd) {
   loop.outbuf_bytes.fetch_sub(
       static_cast<int64_t>(it->second->outbuf_accounted),
       std::memory_order_relaxed);
+  ARTHAS_RESOURCE_ADD(
+      "net.outbuf.bytes", "bytes",
+      -static_cast<int64_t>(it->second->outbuf_accounted));
   loop.poller->Remove(fd);
   ::close(fd);
   loop.connections.erase(it);

@@ -188,6 +188,27 @@ double Histogram::Percentile(double q) const {
   return static_cast<double>(max());
 }
 
+uint64_t Histogram::CountAbove(uint64_t threshold) const {
+  if (threshold == 0) {
+    return count();
+  }
+  const size_t first = BucketIndex(threshold);
+  uint64_t above = 0;
+  for (size_t i = first + 1; i < kNumBuckets; i++) {
+    above += buckets_[i].load(std::memory_order_relaxed);
+  }
+  const uint64_t straddle = buckets_[first].load(std::memory_order_relaxed);
+  if (straddle > 0) {
+    const auto [lo, hi] = BucketBounds(first);
+    // Fraction of the straddling bucket's value range at or above the
+    // threshold (bounds are inclusive).
+    const double frac = static_cast<double>(hi - threshold + 1) /
+                        static_cast<double>(hi - lo + 1);
+    above += static_cast<uint64_t>(static_cast<double>(straddle) * frac + 0.5);
+  }
+  return above;
+}
+
 HistogramSnapshot Histogram::Snapshot() const {
   HistogramSnapshot s;
   s.count = count();

@@ -115,6 +115,12 @@ class Histogram {
   // Value at quantile q in [0, 1], interpolated within the winning bucket.
   double Percentile(double q) const;
 
+  // Samples recorded with value >= threshold, at bucket granularity: the
+  // straddling bucket's count is apportioned linearly, so the relative
+  // error matches the percentile contract (<= 1/16 of the bucket). Feeds
+  // SLO bad-event counting (obs/resource/slo_tracker.h).
+  uint64_t CountAbove(uint64_t threshold) const;
+
   HistogramSnapshot Snapshot() const;
 
   static size_t BucketIndex(uint64_t value);

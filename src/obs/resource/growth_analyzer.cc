@@ -1,0 +1,192 @@
+#include "obs/resource/growth_analyzer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace arthas {
+namespace obs {
+
+namespace {
+
+// Median of pairwise slopes (Theil–Sen). Pairs (i, i + gap) with
+// gap = n/2 give n - gap independent long-baseline slopes — the classic
+// "split" estimator, robust to transients at either end. Strided down to
+// `max_pairs` for very long series.
+double TheilSenSlope(const std::vector<TimelinePoint>& pts, int max_pairs) {
+  const size_t n = pts.size();
+  const size_t gap = n / 2;
+  std::vector<double> slopes;
+  slopes.reserve(std::min(n - gap, static_cast<size_t>(max_pairs)));
+  size_t stride = 1;
+  if (max_pairs > 0 && n - gap > static_cast<size_t>(max_pairs)) {
+    stride = (n - gap + max_pairs - 1) / max_pairs;
+  }
+  for (size_t i = 0; i + gap < n; i += stride) {
+    const double dt =
+        static_cast<double>(pts[i + gap].t_ns - pts[i].t_ns) / 1e9;
+    if (dt <= 0) {
+      continue;
+    }
+    slopes.push_back((pts[i + gap].value - pts[i].value) / dt);
+  }
+  if (slopes.empty()) {
+    return 0;
+  }
+  const size_t mid = slopes.size() / 2;
+  std::nth_element(slopes.begin(), slopes.begin() + mid, slopes.end());
+  double median = slopes[mid];
+  if (slopes.size() % 2 == 0) {
+    // Lower-median partner for an even count keeps the estimate unbiased.
+    const auto lower = std::max_element(slopes.begin(), slopes.begin() + mid);
+    median = (median + *lower) / 2;
+  }
+  return median;
+}
+
+double FlatToleranceForWindow(const GrowthConfig& config, double scale) {
+  return std::max(config.flat_abs, config.flat_fraction * scale);
+}
+
+}  // namespace
+
+const char* GrowthClassName(GrowthClass cls) {
+  switch (cls) {
+    case GrowthClass::kInsufficientData:
+      return "insufficient-data";
+    case GrowthClass::kFlat:
+      return "flat";
+    case GrowthClass::kBounded:
+      return "bounded";
+    case GrowthClass::kLinearGrowth:
+      return "linear-growth";
+  }
+  return "insufficient-data";
+}
+
+bool ParseGrowthClass(const std::string& token, GrowthClass* out) {
+  for (const GrowthClass cls :
+       {GrowthClass::kInsufficientData, GrowthClass::kFlat,
+        GrowthClass::kBounded, GrowthClass::kLinearGrowth}) {
+    if (token == GrowthClassName(cls)) {
+      *out = cls;
+      return true;
+    }
+  }
+  return false;
+}
+
+JsonValue GrowthVerdict::ToJson() const {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("series", JsonValue(series));
+  doc.Set("class", JsonValue(std::string(GrowthClassName(cls))));
+  doc.Set("slope_per_sec", JsonValue(slope_per_sec));
+  doc.Set("first_value", JsonValue(first_value));
+  doc.Set("last_value", JsonValue(last_value));
+  doc.Set("budget", JsonValue(budget));
+  doc.Set("time_to_budget_sec", JsonValue(time_to_budget_sec));
+  doc.Set("points", JsonValue(static_cast<int64_t>(points)));
+  doc.Set("window_ns", JsonValue(window_ns));
+  return doc;
+}
+
+GrowthVerdict GrowthAnalyzer::AnalyzeSeries(
+    const std::string& name, const std::vector<TimelinePoint>& points,
+    double budget) const {
+  GrowthVerdict verdict;
+  verdict.series = name;
+  verdict.budget = budget;
+  verdict.points = static_cast<int>(points.size());
+  if (!points.empty()) {
+    verdict.first_value = points.front().value;
+    verdict.last_value = points.back().value;
+    verdict.window_ns = points.back().t_ns - points.front().t_ns;
+  }
+  if (verdict.points < config_.min_points ||
+      verdict.window_ns < config_.min_window_ns) {
+    verdict.cls = GrowthClass::kInsufficientData;
+    return verdict;
+  }
+
+  verdict.slope_per_sec = TheilSenSlope(points, config_.max_pairs);
+  const double window_sec = static_cast<double>(verdict.window_ns) / 1e9;
+  const double scale =
+      std::max(std::abs(verdict.first_value), std::abs(verdict.last_value));
+  const double tolerance = FlatToleranceForWindow(config_, scale);
+  const double fitted_growth = verdict.slope_per_sec * window_sec;
+  // The fit can read a step (ramp-then-plateau) as near-zero slope, so a
+  // series only counts as flat when the observed endpoint delta agrees.
+  const double observed_growth = verdict.last_value - verdict.first_value;
+
+  if (std::abs(fitted_growth) <= tolerance &&
+      std::abs(observed_growth) <= tolerance) {
+    verdict.cls = GrowthClass::kFlat;
+    return verdict;
+  }
+  if (fitted_growth < 0 || observed_growth < 0) {
+    // Net shrinkage cannot exhaust a budget; fold it into bounded.
+    verdict.cls = GrowthClass::kBounded;
+    return verdict;
+  }
+
+  // Grew overall: still climbing, or did it plateau? Refit the second
+  // half of the window against the same tolerance.
+  const int64_t mid_t = points.front().t_ns + verdict.window_ns / 2;
+  std::vector<TimelinePoint> tail;
+  tail.reserve(points.size() / 2 + 1);
+  for (const TimelinePoint& p : points) {
+    if (p.t_ns >= mid_t) {
+      tail.push_back(p);
+    }
+  }
+  if (static_cast<int>(tail.size()) >= config_.min_points) {
+    const double tail_slope = TheilSenSlope(tail, config_.max_pairs);
+    const double tail_window_sec =
+        static_cast<double>(tail.back().t_ns - tail.front().t_ns) / 1e9;
+    const double tail_observed = tail.back().value - tail.front().value;
+    if (std::abs(tail_slope * tail_window_sec) <= tolerance &&
+        std::abs(tail_observed) <= tolerance) {
+      verdict.cls = GrowthClass::kBounded;
+      return verdict;
+    }
+  }
+
+  verdict.cls = GrowthClass::kLinearGrowth;
+  if (verdict.slope_per_sec <= 0) {
+    // Staircase regime: growth arrives in steps rarer than the pair
+    // baseline (e.g. whole arena chunks), so the median pairwise slope
+    // sits on a plateau even though the endpoints clearly climbed. The
+    // endpoint slope is the right long-run estimate for a monotone
+    // level series, and keeps linear-growth ⇒ positive slope.
+    verdict.slope_per_sec = observed_growth / window_sec;
+  }
+  if (budget > verdict.last_value && verdict.slope_per_sec > 0) {
+    verdict.time_to_budget_sec =
+        (budget - verdict.last_value) / verdict.slope_per_sec;
+  }
+  return verdict;
+}
+
+std::vector<GrowthVerdict> GrowthAnalyzer::AnalyzeSampler(
+    const TelemetrySampler& sampler, const std::string& prefix,
+    const std::map<std::string, double>& budgets) const {
+  std::vector<GrowthVerdict> verdicts;
+  for (const SeriesSnapshot& series : sampler.SnapshotSeries()) {
+    if (series.kind == "counter") {
+      continue;  // per-tick deltas are rates, not levels
+    }
+    if (series.name.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    double budget = 0;
+    const auto it = budgets.find(series.name);
+    if (it != budgets.end()) {
+      budget = it->second;
+    }
+    verdicts.push_back(AnalyzeSeries(series.name, series.points, budget));
+  }
+  return verdicts;
+}
+
+}  // namespace obs
+}  // namespace arthas

@@ -1,0 +1,106 @@
+// Growth-trend analysis over TelemetrySampler series: fits a robust
+// (Theil–Sen) linear slope over each retained window, classifies the
+// series as flat / bounded / linear-growth, and — when a byte budget is
+// declared for the matching ResourceAccountant cell — forecasts
+// time-to-budget. This is the measurement half of the capacity plane: the
+// committed BENCH_soak.json must honestly show the checkpoint arena and
+// retained-version series as linear-growth (nothing trims them yet) so
+// the GC PR has a before/after.
+//
+// Classification, in decision order:
+//   * insufficient-data: fewer than `min_points` points or a window
+//     shorter than `min_window_ns`,
+//   * flat: |slope| x window within tolerance (max of an absolute floor
+//     and a fraction of the series' own scale) — the series never moved,
+//   * bounded: the series grew overall but its second half is flat by the
+//     same tolerance (ramp-then-plateau, e.g. outbufs under steady load),
+//     and any net-shrinking series,
+//   * linear-growth: still climbing at the end of the window; the only
+//     class that yields a finite time-to-budget when a budget is declared.
+//
+// Theil–Sen (median of pairwise slopes) rather than least squares because
+// soak series carry startup transients and GC-less sawtooth noise; the
+// median slope ignores both without tuning.
+
+#ifndef ARTHAS_OBS_RESOURCE_GROWTH_ANALYZER_H_
+#define ARTHAS_OBS_RESOURCE_GROWTH_ANALYZER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/timeseries.h"
+
+namespace arthas {
+namespace obs {
+
+enum class GrowthClass {
+  kInsufficientData,
+  kFlat,
+  kBounded,
+  kLinearGrowth,
+};
+
+// Stable wire/JSON tokens: "insufficient-data" | "flat" | "bounded" |
+// "linear-growth".
+const char* GrowthClassName(GrowthClass cls);
+bool ParseGrowthClass(const std::string& token, GrowthClass* out);
+
+struct GrowthConfig {
+  // Below either floor the fit is not meaningful.
+  int min_points = 8;
+  int64_t min_window_ns = 1000LL * 1000 * 1000;  // 1 s
+  // Flat when |slope| * window <= max(flat_abs, flat_fraction * scale),
+  // where scale is the series' own magnitude (max of |first|, |last|).
+  double flat_fraction = 0.05;
+  double flat_abs = 4096;  // 4 KB over the whole window
+  // Theil–Sen pair cap: above this many points, pairs are strided.
+  int max_pairs = 4096;
+};
+
+struct GrowthVerdict {
+  std::string series;
+  GrowthClass cls = GrowthClass::kInsufficientData;
+  double slope_per_sec = 0;   // robust fit, units of the series per second
+  double first_value = 0;
+  double last_value = 0;
+  double budget = 0;          // 0 = none declared
+  // Seconds until the fitted line crosses the budget, measured from the
+  // last point; -1 unless cls == kLinearGrowth and budget > last_value.
+  double time_to_budget_sec = -1;
+  int points = 0;
+  int64_t window_ns = 0;
+
+  JsonValue ToJson() const;
+};
+
+class GrowthAnalyzer {
+ public:
+  explicit GrowthAnalyzer(GrowthConfig config = {}) : config_(config) {}
+
+  // `points` oldest first (SeriesPoints order). `budget` 0 = none.
+  GrowthVerdict AnalyzeSeries(const std::string& name,
+                              const std::vector<TimelinePoint>& points,
+                              double budget = 0) const;
+
+  // Runs AnalyzeSeries over every gauge/probe series in `sampler` whose
+  // name starts with `prefix` (counter-delta series carry rates, not
+  // levels, so they are skipped). Budgets are looked up by series name in
+  // `budgets` — callers map ResourceAccountant budgets to their
+  // "resource.<cell>" series names.
+  std::vector<GrowthVerdict> AnalyzeSampler(
+      const TelemetrySampler& sampler, const std::string& prefix = "",
+      const std::map<std::string, double>& budgets = {}) const;
+
+  const GrowthConfig& config() const { return config_; }
+
+ private:
+  GrowthConfig config_;
+};
+
+}  // namespace obs
+}  // namespace arthas
+
+#endif  // ARTHAS_OBS_RESOURCE_GROWTH_ANALYZER_H_

@@ -1,0 +1,169 @@
+#include "obs/resource/resource_accountant.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <dirent.h>
+
+namespace arthas {
+namespace obs {
+
+JsonValue ResourceCellSnapshot::ToJson() const {
+  JsonValue cell = JsonValue::Object();
+  cell.Set("name", JsonValue(name));
+  cell.Set("unit", JsonValue(unit));
+  cell.Set("value", JsonValue(value));
+  cell.Set("budget", JsonValue(budget));
+  return cell;
+}
+
+ResourceAccountant& ResourceAccountant::Global() {
+  // Leaked so cells outlive static-destruction order (same lifetime
+  // contract as MetricsRegistry::Global()).
+  static ResourceAccountant* instance = new ResourceAccountant();
+  return *instance;
+}
+
+ResourceCell& ResourceAccountant::GetCell(const std::string& name,
+                                          const std::string& unit) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto it = cells_.find(name);
+  if (it == cells_.end()) {
+    it = cells_
+             .emplace(name, std::unique_ptr<ResourceCell>(
+                                new ResourceCell(name, unit, &enabled_)))
+             .first;
+  }
+  return *it->second;
+}
+
+bool ResourceAccountant::Has(const std::string& name) const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return cells_.find(name) != cells_.end();
+}
+
+void ResourceAccountant::SetBudget(const std::string& name, int64_t budget,
+                                   const std::string& unit) {
+  GetCell(name, unit).set_budget(budget);
+}
+
+void ResourceAccountant::ResetAll() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  for (auto& [name, cell] : cells_) {
+    cell->value_.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<ResourceCellSnapshot> ResourceAccountant::Snapshot(
+    bool include_process) const {
+  std::vector<ResourceCellSnapshot> out;
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    out.reserve(cells_.size() + 2);
+    for (const auto& [name, cell] : cells_) {
+      ResourceCellSnapshot snap;
+      snap.name = name;
+      snap.unit = cell->unit();
+      snap.value = cell->value();
+      snap.budget = cell->budget();
+      out.push_back(std::move(snap));
+    }
+  }
+  if (include_process) {
+    ResourceCellSnapshot rss;
+    rss.name = "process.rss.bytes";
+    rss.unit = "bytes";
+    rss.value = ProcessRssBytes();
+    out.push_back(std::move(rss));
+    ResourceCellSnapshot fds;
+    fds.name = "process.open.fds";
+    fds.unit = "fds";
+    fds.value = ProcessOpenFds();
+    out.push_back(std::move(fds));
+  }
+  return out;
+}
+
+JsonValue ResourceAccountant::SnapshotJson() const {
+  JsonValue cells = JsonValue::Array();
+  for (const ResourceCellSnapshot& snap : Snapshot()) {
+    cells.Append(snap.ToJson());
+  }
+  JsonValue doc = JsonValue::Object();
+  doc.Set("enabled", JsonValue(enabled()));
+  doc.Set("cells", std::move(cells));
+  return doc;
+}
+
+std::vector<ProbeId> ResourceAccountant::RegisterSamplerProbes(
+    TelemetrySampler& sampler) {
+  std::vector<const ResourceCell*> cells;
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    cells.reserve(cells_.size());
+    for (const auto& [name, cell] : cells_) {
+      cells.push_back(cell.get());
+    }
+  }
+  std::vector<ProbeId> ids;
+  ids.reserve(cells.size() + 2);
+  for (const ResourceCell* cell : cells) {
+    // Cells are never removed, so the captured pointer stays valid for
+    // the probe's lifetime.
+    ids.push_back(sampler.RegisterProbe(
+        "resource." + cell->name(), ProbeKind::kGauge,
+        [cell] { return static_cast<double>(cell->value()); }));
+  }
+  ids.push_back(sampler.RegisterProbe(
+      "process.rss.bytes", ProbeKind::kGauge,
+      [] { return static_cast<double>(ProcessRssBytes()); }));
+  ids.push_back(sampler.RegisterProbe(
+      "process.open.fds", ProbeKind::kGauge,
+      [] { return static_cast<double>(ProcessOpenFds()); }));
+  return ids;
+}
+
+void ResourceAccountant::UnregisterSamplerProbes(
+    TelemetrySampler& sampler, const std::vector<ProbeId>& ids) {
+  for (const ProbeId id : ids) {
+    if (id != kNoProbe) {
+      sampler.UnregisterProbe(id);
+    }
+  }
+}
+
+int64_t ResourceAccountant::ProcessRssBytes() {
+  // /proc/self/statm field 2 is resident pages.
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) {
+    return -1;
+  }
+  long long vm_pages = 0;
+  long long rss_pages = 0;
+  const int matched = std::fscanf(f, "%lld %lld", &vm_pages, &rss_pages);
+  std::fclose(f);
+  if (matched != 2) {
+    return -1;
+  }
+  return static_cast<int64_t>(rss_pages) *
+         static_cast<int64_t>(::sysconf(_SC_PAGESIZE));
+}
+
+int64_t ResourceAccountant::ProcessOpenFds() {
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) {
+    return -1;
+  }
+  int64_t count = 0;
+  while (dirent* entry = ::readdir(dir)) {
+    if (entry->d_name[0] != '.') {
+      count++;
+    }
+  }
+  ::closedir(dir);
+  // The opendir itself holds one descriptor; don't count it.
+  return count > 0 ? count - 1 : count;
+}
+
+}  // namespace obs
+}  // namespace arthas

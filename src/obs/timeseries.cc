@@ -144,19 +144,65 @@ void TelemetrySampler::Mark(const std::string& name) {
 void TelemetrySampler::SampleNow() { SampleTick(NowNanos()); }
 
 void TelemetrySampler::PushPointLocked(const std::string& name,
-                                       const char* kind, int64_t t,
-                                       double value) {
+                                       const char* kind, bool sum_on_merge,
+                                       int64_t t, double value) {
   Ring& ring = series_[name];
   if (ring.kind.empty()) {
     ring.kind = kind;
+    ring.sum_on_merge = sum_on_merge;
   }
   ring.total++;
-  if (ring.points.size() < options_.ring_capacity) {
-    ring.points.push_back(TimelinePoint{t, value});
-  } else if (!ring.points.empty()) {
-    ring.points[ring.head] = TimelinePoint{t, value};
-    ring.head = (ring.head + 1) % ring.points.size();
+  if (!options_.downsample_on_full) {
+    // Fixed-resolution ring: overwrite the oldest (keeps the newest N).
+    if (ring.points.size() < options_.ring_capacity) {
+      ring.points.push_back(TimelinePoint{t, value});
+    } else if (!ring.points.empty()) {
+      ring.points[ring.head] = TimelinePoint{t, value};
+      ring.head = (ring.head + 1) % ring.points.size();
+    }
+    return;
   }
+  // Whole-run ring: each stored point stands for `stride` raw pushes.
+  ring.pending++;
+  ring.pending_sum += value;
+  if (ring.pending < ring.stride) {
+    return;
+  }
+  const double stored = ring.sum_on_merge ? ring.pending_sum : value;
+  ring.pending = 0;
+  ring.pending_sum = 0;
+  while (ring.points.size() >= options_.ring_capacity &&
+         ring.points.size() > 1) {
+    CompactRingLocked(ring);
+  }
+  ring.points.push_back(TimelinePoint{t, stored});
+}
+
+void TelemetrySampler::CompactRingLocked(Ring& ring) {
+  if (ring.head != 0) {
+    // The ring filled under drop-oldest before downsampling was enabled
+    // for it: unroll to chronological order so pair merging is coherent.
+    std::rotate(ring.points.begin(),
+                ring.points.begin() + static_cast<ptrdiff_t>(ring.head),
+                ring.points.end());
+    ring.head = 0;
+  }
+  const size_t n = ring.points.size();
+  size_t w = 0;
+  for (size_t i = 0; i + 1 < n; i += 2) {
+    // The merged point carries the later timestamp: a counter sum covers
+    // the interval *ending* there, a gauge is the later observation.
+    TimelinePoint merged = ring.points[i + 1];
+    if (ring.sum_on_merge) {
+      merged.value += ring.points[i].value;
+    }
+    ring.points[w++] = merged;
+  }
+  if (n % 2 == 1) {
+    ring.points[w++] = ring.points[n - 1];
+  }
+  ring.points.resize(w);
+  ring.stride *= 2;
 }
 
 void TelemetrySampler::SampleTick(int64_t now) {
@@ -181,7 +227,8 @@ void TelemetrySampler::SampleTick(int64_t now) {
   }
   if (want_gauges) {
     for (const auto& [name, value] : snap.gauges) {
-      PushPointLocked(name, "gauge", now, static_cast<double>(value));
+      PushPointLocked(name, "gauge", /*sum_on_merge=*/false, now,
+                      static_cast<double>(value));
     }
   }
   if (want_counters) {
@@ -196,7 +243,7 @@ void TelemetrySampler::SampleTick(int64_t now) {
       auto it = registry_baseline_.counters.find(name);
       const uint64_t prior =
           it == registry_baseline_.counters.end() ? 0 : it->second;
-      PushPointLocked(name, "counter", now,
+      PushPointLocked(name, "counter", /*sum_on_merge=*/true, now,
                       value >= prior ? static_cast<double>(value - prior)
                                      : 0.0);
     }
@@ -205,12 +252,14 @@ void TelemetrySampler::SampleTick(int64_t now) {
   for (Probe& probe : probes_) {
     const double value = probe.fn ? probe.fn() : 0.0;
     if (probe.kind == ProbeKind::kGauge) {
-      PushPointLocked(probe.name, "probe", now, value);
+      PushPointLocked(probe.name, "probe", /*sum_on_merge=*/false, now,
+                      value);
     } else {
       const double delta = probe.primed ? value - probe.last : 0.0;
       probe.last = value;
       probe.primed = true;
-      PushPointLocked(probe.name, "probe", now, delta >= 0 ? delta : 0.0);
+      PushPointLocked(probe.name, "probe", /*sum_on_merge=*/true, now,
+                      delta >= 0 ? delta : 0.0);
     }
   }
 }

@@ -86,6 +86,17 @@ struct SamplerOptions {
   // Scrape MetricsRegistry::Global() counters (as deltas) / gauges.
   bool sample_counters = true;
   bool sample_gauges = true;
+  // What happens when a ring fills. Default (false): overwrite the oldest
+  // point, keeping the newest `ring_capacity` — right for the recovery
+  // timeline, which only cares about the recent window. True: halve the
+  // ring's resolution in place instead (merge adjacent point pairs and
+  // double the per-point stride), so the ring always spans the whole run —
+  // right for multi-minute soaks whose growth trend lives in the full
+  // window (bench_soak sets this; see GrowthAnalyzer). Merging sums the
+  // pair for counter-delta series (mass is conserved; rates stay exact
+  // over the doubled interval) and keeps the later value for gauge
+  // series.
+  bool downsample_on_full = false;
 };
 
 // Snapshot of one series, oldest point first.
@@ -161,8 +172,16 @@ class TelemetrySampler {
  private:
   struct Ring {
     std::string kind;
+    // Counter-delta semantics: merged points sum (conserving mass);
+    // gauge semantics keep the later value. Fixed at first push.
+    bool sum_on_merge = false;
     uint64_t total = 0;
     size_t head = 0;  // next write slot once the ring is full
+    // Downsampling state: each stored point covers `stride` raw pushes;
+    // `pending`/`pending_sum` accumulate the partial point in flight.
+    uint64_t stride = 1;
+    uint64_t pending = 0;
+    double pending_sum = 0;
     std::vector<TimelinePoint> points;
   };
   struct Probe {
@@ -177,8 +196,11 @@ class TelemetrySampler {
   void RunLoop();
   // One tick at time `now`. Takes the registry snapshot outside lock_.
   void SampleTick(int64_t now);
-  void PushPointLocked(const std::string& name, const char* kind, int64_t t,
-                       double value);
+  void PushPointLocked(const std::string& name, const char* kind,
+                       bool sum_on_merge, int64_t t, double value);
+  // Halves a full ring's resolution in place (wraparound-aware: unrolls
+  // the ring into chronological order first). Doubles `stride`.
+  void CompactRingLocked(Ring& ring);
 
   mutable std::mutex lock_;
   std::condition_variable cv_;

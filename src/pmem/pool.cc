@@ -9,6 +9,7 @@
 #include "obs/flight_recorder.h"
 #include "obs/obs.h"
 #include "obs/profiler.h"
+#include "obs/resource/resource_accountant.h"
 
 namespace arthas {
 
@@ -281,6 +282,7 @@ Status PmemPool::Recover() {
   PoolHeader* h = header();
   stats_.used_bytes = h->used_bytes;
   stats_.live_objects = h->live_objects;
+  ARTHAS_RESOURCE_SET("pmem.pool.used.bytes", "bytes", h->used_bytes);
   if (h->tx_active != 0) {
     // Crash happened inside a transaction: apply the undo log.
     ARTHAS_LOG(Info) << "pool recovery: rolling back in-flight transaction ("
@@ -378,6 +380,8 @@ Result<Oid> PmemPool::AllocInternal(size_t size, bool zero) {
   ARTHAS_COUNTER_ADD("pool.alloc.count", 1);
   ARTHAS_GAUGE_SET("pool.used.bytes", h->used_bytes);
   ARTHAS_GAUGE_SET("pool.live.objects", h->live_objects);
+  // Capacity plane: mirror cell (one live pool per system in every bench).
+  ARTHAS_RESOURCE_SET("pmem.pool.used.bytes", "bytes", h->used_bytes);
 
   const PmOffset payload = NodeOffset(node, static_cast<size_t>(order));
   if (zero) {
@@ -459,6 +463,7 @@ Status PmemPool::FreeLocked(Oid oid) {
   ARTHAS_COUNTER_ADD("pool.free.count", 1);
   ARTHAS_GAUGE_SET("pool.used.bytes", h->used_bytes);
   ARTHAS_GAUGE_SET("pool.live.objects", h->live_objects);
+  ARTHAS_RESOURCE_SET("pmem.pool.used.bytes", "bytes", h->used_bytes);
   ARTHAS_FLIGHT_RECORD(obs::FrType::kFree, device_->device_id(), oid.off,
                        block, 0);
   for (PoolObserver* obs : observers_) {

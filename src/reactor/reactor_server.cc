@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "obs/obs.h"
+#include "obs/resource/slo_tracker.h"
 #include "substrate/substrate.h"
 
 namespace arthas {
@@ -174,7 +175,8 @@ std::string HealthResponse::Serialize() const {
   out << static_cast<int>(verdict) << ' ' << (sampler_running ? 1 : 0) << ' '
       << (has_fault ? 1 : 0) << ' ' << time_to_detect_ns << ' '
       << time_to_recover_ns << ' ' << pre_fault_rate_ops_per_sec << ' '
-      << (substrate.empty() ? "-" : substrate);
+      << (substrate.empty() ? "-" : substrate) << ' ' << slo_breached << ' '
+      << slo_worst_burn;
   return out.str();
 }
 
@@ -191,9 +193,94 @@ Result<HealthResponse> HealthResponse::Parse(const std::string& text) {
   response.verdict = static_cast<HealthVerdict>(verdict);
   response.sampler_running = running != 0;
   response.has_fault = has_fault != 0;
-  // The substrate token was appended later; older peers omit it.
+  // The substrate and SLO tokens were appended later; older peers omit
+  // them (and an older peer's response carries no SLO knowledge: -1).
   if (!(in >> response.substrate)) {
     response.substrate = "-";
+  }
+  if (!(in >> response.slo_breached >> response.slo_worst_burn)) {
+    response.slo_breached = -1;
+    response.slo_worst_burn = 0;
+  }
+  return response;
+}
+
+std::string CapacityRequest::Serialize() const {
+  return prefix.empty() ? "-" : prefix;
+}
+
+Result<CapacityRequest> CapacityRequest::Parse(const std::string& text) {
+  std::istringstream in(text);
+  CapacityRequest request;
+  std::string token;
+  if (!(in >> token)) {
+    // Bare `capacity`: the default prefix.
+    return request;
+  }
+  std::string extra;
+  if (in >> extra) {
+    return Status(StatusCode::kInvalidArgument,
+                  "capacity request takes one optional prefix");
+  }
+  if (token == "-") {
+    // "-" also selects the default (matches the STATS convention where a
+    // literal "-" stands in for "no filter"); here the accountant's own
+    // series are the interesting default, and "" asks for everything.
+    return request;
+  }
+  request.prefix = token == "*" ? std::string() : token;
+  return request;
+}
+
+std::string CapacityResponse::Serialize() const {
+  std::ostringstream out;
+  out.precision(17);
+  out << (accountant_enabled ? 1 : 0) << ' ' << cells.size() << ' '
+      << verdicts.size();
+  for (const obs::ResourceCellSnapshot& cell : cells) {
+    out << ' ' << cell.name << ' ' << cell.unit << ' ' << cell.value << ' '
+        << cell.budget;
+  }
+  for (const obs::GrowthVerdict& v : verdicts) {
+    out << ' ' << v.series << ' ' << obs::GrowthClassName(v.cls) << ' '
+        << v.slope_per_sec << ' ' << v.last_value << ' ' << v.budget << ' '
+        << v.time_to_budget_sec << ' ' << v.points << ' ' << v.window_ns;
+  }
+  return out.str();
+}
+
+Result<CapacityResponse> CapacityResponse::Parse(const std::string& text) {
+  std::istringstream in(text);
+  CapacityResponse response;
+  int enabled = 0;
+  size_t ncells = 0;
+  size_t nverdicts = 0;
+  if (!(in >> enabled >> ncells >> nverdicts)) {
+    return Status(StatusCode::kInvalidArgument,
+                  "malformed capacity response");
+  }
+  response.accountant_enabled = enabled != 0;
+  for (size_t i = 0; i < ncells; i++) {
+    obs::ResourceCellSnapshot cell;
+    if (!(in >> cell.name >> cell.unit >> cell.value >> cell.budget)) {
+      return Status(StatusCode::kInvalidArgument,
+                    "malformed capacity cell");
+    }
+    response.cells.push_back(std::move(cell));
+  }
+  for (size_t i = 0; i < nverdicts; i++) {
+    obs::GrowthVerdict v;
+    std::string cls;
+    if (!(in >> v.series >> cls >> v.slope_per_sec >> v.last_value >>
+          v.budget >> v.time_to_budget_sec >> v.points >> v.window_ns)) {
+      return Status(StatusCode::kInvalidArgument,
+                    "malformed capacity verdict");
+    }
+    if (!obs::ParseGrowthClass(cls, &v.cls)) {
+      return Status(StatusCode::kInvalidArgument,
+                    "unknown growth class '" + cls + "'");
+    }
+    response.verdicts.push_back(std::move(v));
   }
   return response;
 }
@@ -226,6 +313,13 @@ Result<std::string> ReactorServer::ServeLine(const std::string& line) {
       return request.status();
     }
     return Health(*request).Serialize();
+  }
+  if (verb == "capacity") {
+    Result<CapacityRequest> request = CapacityRequest::Parse(rest);
+    if (!request.ok()) {
+      return request.status();
+    }
+    return Capacity(*request).Serialize();
   }
   if (verb == "explain") {
     Result<MitigationRequest> request = MitigationRequest::Parse(rest);
@@ -326,6 +420,40 @@ HealthResponse ReactorServer::Health(const HealthRequest& request) {
   } else {
     response.verdict = HealthVerdict::kDegraded;
   }
+
+  // SLO overlay: a sustained burn-rate breach is a health problem even
+  // when the fault timeline looks clean — the system is up but violating
+  // its latency objective on every configured window.
+  obs::SloTracker& slo = obs::SloTracker::Global();
+  if (slo.configured()) {
+    slo.Sample(NowNanos());
+    response.slo_breached = slo.AnyBreached() ? 1 : 0;
+    response.slo_worst_burn = slo.WorstBurnRate();
+    if (response.slo_breached == 1 &&
+        response.verdict == HealthVerdict::kHealthy) {
+      response.verdict = HealthVerdict::kDegraded;
+    }
+  }
+  return response;
+}
+
+CapacityResponse ReactorServer::Capacity(const CapacityRequest& request) {
+  ARTHAS_COUNTER_ADD("reactor_server.request.count", 1);
+  requests_served_++;
+  const obs::ResourceAccountant& accountant =
+      obs::ResourceAccountant::Global();
+  CapacityResponse response;
+  response.accountant_enabled = accountant.enabled();
+  response.cells = accountant.Snapshot();
+  // Budgets live on the cells; the fitted series carry the probe prefix.
+  std::map<std::string, double> budgets;
+  for (const obs::ResourceCellSnapshot& cell : response.cells) {
+    if (cell.budget > 0) {
+      budgets["resource." + cell.name] = static_cast<double>(cell.budget);
+    }
+  }
+  response.verdicts = obs::GrowthAnalyzer().AnalyzeSampler(
+      obs::TelemetrySampler::Global(), request.prefix, budgets);
   return response;
 }
 

@@ -22,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/resource/growth_analyzer.h"
+#include "obs/resource/resource_accountant.h"
 #include "obs/timeseries.h"
 #include "reactor/reactor.h"
 
@@ -118,11 +120,43 @@ struct HealthResponse {
   double pre_fault_rate_ops_per_sec = 0;
   // Active consistency substrate token; "-" when the server has none set.
   std::string substrate = "-";
+  // SLO burn state from SloTracker::Global(): -1 when no tracker is
+  // configured, else 0/1. A sustained breach (burn > 1 on every window of
+  // some target) degrades an otherwise-healthy verdict to kDegraded.
+  int slo_breached = -1;
+  double slo_worst_burn = 0;
 
-  // Wire format: "verdict running has_fault ttd ttr pre_rate substrate"
-  // (the trailing substrate token is accepted missing, for older peers).
+  // Wire format: "verdict running has_fault ttd ttr pre_rate substrate
+  // slo_breached slo_worst_burn" (the trailing substrate and SLO tokens
+  // are accepted missing, for older peers).
   std::string Serialize() const;
   static Result<HealthResponse> Parse(const std::string& text);
+};
+
+// `capacity` request: the accountant's byte-exact cell snapshot plus the
+// growth verdicts fitted over the matching sampler series — the wire face
+// of the capacity plane (ROADMAP item 6's "will it fit tomorrow" loop).
+struct CapacityRequest {
+  // Sampler-series prefix the growth verdicts are fitted over. The default
+  // selects the accountant's own published series.
+  std::string prefix = "resource.";
+
+  // Wire format: "prefix", with "-" standing in for the default.
+  std::string Serialize() const;
+  static Result<CapacityRequest> Parse(const std::string& text);
+};
+
+struct CapacityResponse {
+  bool accountant_enabled = true;
+  std::vector<obs::ResourceCellSnapshot> cells;
+  std::vector<obs::GrowthVerdict> verdicts;
+
+  // Wire format: "enabled ncells nverdicts" then, per cell,
+  // "name unit value budget", then, per verdict,
+  // "series class slope_per_sec last_value budget time_to_budget_sec
+  //  points window_ns".
+  std::string Serialize() const;
+  static Result<CapacityResponse> Parse(const std::string& text);
 };
 
 class ReactorServer {
@@ -176,8 +210,9 @@ class ReactorServer {
   // Text transport entry point for the network plane (src/net): one request
   // line in, one serialized response body out. Lines are the wire formats
   // above prefixed by a verb — "stats <StatsRequest>", "health
-  // <HealthRequest>", "explain <MitigationRequest>". `explain` answers
-  // against the active substrate and fails cleanly when none is set.
+  // <HealthRequest>", "explain <MitigationRequest>", "capacity
+  // <CapacityRequest>". `explain` answers against the active substrate and
+  // fails cleanly when none is set.
   // Thread-safe: ServeLine, IngestTrace and the Execute overloads serialize
   // on one internal mutex (socket loop threads share this server with the
   // mitigation path); the typed methods below stay lock-free for the
@@ -192,6 +227,10 @@ class ReactorServer {
   // sampler is stopped or the obs layer is compiled out.
   StatsResponse Stats(const StatsRequest& request);
   HealthResponse Health(const HealthRequest& request);
+  // Capacity plane: ResourceAccountant::Global()'s cells plus
+  // GrowthAnalyzer verdicts over TelemetrySampler::Global() series under
+  // the request prefix, with budgets joined from the cells.
+  CapacityResponse Capacity(const CapacityRequest& request);
 
   const ReactorTimings& timings() const { return reactor_->timings(); }
   // Number of mitigation plans served from the same precomputed PDG.

@@ -64,6 +64,14 @@ TEST(ParseRequestLineTest, ReactorPassthroughNormalization) {
   NetCommand explain = ParseRequestLine("EXPLAIN segfault 12 4096 139");
   EXPECT_EQ(explain.op, NetOp::kExplain);
   EXPECT_EQ(explain.text, "segfault 12 4096 139");
+
+  // CAPACITY: bare means the default resource prefix ("-" placeholder).
+  NetCommand capacity = ParseRequestLine("CAPACITY");
+  EXPECT_EQ(capacity.op, NetOp::kCapacity);
+  EXPECT_EQ(capacity.text, "-");
+  EXPECT_EQ(ParseRequestLine("capacity resource.checkpoint").text,
+            "resource.checkpoint");
+  EXPECT_EQ(ParseRequestLine("CAPACITY slo.").op, NetOp::kCapacity);
 }
 
 TEST(ParseRequestLineTest, ArityAndGarbageRejected) {
@@ -76,6 +84,7 @@ TEST(ParseRequestLineTest, ArityAndGarbageRejected) {
   EXPECT_EQ(ParseRequestLine("").op, NetOp::kError);
   EXPECT_EQ(ParseRequestLine("BLARGH x y z").op, NetOp::kError);
   EXPECT_EQ(ParseRequestLine("EXPLAIN too few").op, NetOp::kError);
+  EXPECT_EQ(ParseRequestLine("CAPACITY one two").op, NetOp::kError);
   EXPECT_FALSE(ParseRequestLine("BLARGH").text.empty());
 }
 

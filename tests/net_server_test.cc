@@ -18,6 +18,8 @@
 #include "common/clock.h"
 
 #include "gtest/gtest.h"
+#include "obs/resource/resource_accountant.h"
+#include "obs/resource/slo_tracker.h"
 #include "obs/timeseries.h"
 #include "faults/fault_ids.h"
 #include "net/dispatcher.h"
@@ -376,6 +378,145 @@ TEST(NetServerTest, ReactorStatsHealthExplainOverSocket) {
   server.Stop();
   reactor.set_active_substrate(nullptr);
   substrate->Detach();
+}
+
+TEST(NetServerTest, CapacityOverSocket) {
+  MemcachedMini mc;
+  ReactorServer reactor(mc.ir_model(), mc.guid_registry());
+  NetDispatcher dispatcher(mc, &reactor);
+  NetServer server(dispatcher);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Give the capacity plane something to report: a budgeted cell plus a
+  // long sampler series the analyzer can classify.
+  obs::ResourceAccountant& accountant = obs::ResourceAccountant::Global();
+  accountant.GetCell("test.socket.cell", "bytes").Set(512);
+  accountant.SetBudget("test.socket.cell", 1 << 20);
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send("CAPACITY\n"));
+  std::vector<NetReply> replies = client.ReadReplies(1);
+  ASSERT_EQ(replies.size(), 1u);
+  ASSERT_EQ(replies[0].kind, NetReply::Kind::kBulk);
+  auto capacity = CapacityResponse::Parse(replies[0].text);
+  ASSERT_TRUE(capacity.ok());
+  EXPECT_TRUE(capacity->accountant_enabled);
+
+  bool saw_cell = false;
+  bool saw_rss = false;
+  for (const obs::ResourceCellSnapshot& cell : capacity->cells) {
+    if (cell.name == "test.socket.cell") {
+      saw_cell = true;
+      EXPECT_EQ(cell.value, 512);
+      EXPECT_EQ(cell.budget, 1 << 20);
+    }
+    if (cell.name == "process.rss.bytes") {
+      saw_rss = true;
+      EXPECT_GT(cell.value, 0);
+    }
+  }
+  EXPECT_TRUE(saw_cell);
+  EXPECT_TRUE(saw_rss);
+
+  // A prefix argument narrows the fitted series (none here: the global
+  // sampler has no "no.such." series, so zero verdicts is the answer).
+  ASSERT_TRUE(client.Send("CAPACITY no.such.prefix.\n"));
+  replies = client.ReadReplies(1);
+  ASSERT_EQ(replies.size(), 1u);
+  auto narrowed = CapacityResponse::Parse(replies[0].text);
+  ASSERT_TRUE(narrowed.ok());
+  EXPECT_TRUE(narrowed->verdicts.empty());
+
+  server.Stop();
+  accountant.GetCell("test.socket.cell").Set(0);
+}
+
+TEST(NetServerTest, CapacityWireRoundTrip) {
+  CapacityResponse response;
+  response.accountant_enabled = false;
+  obs::ResourceCellSnapshot cell;
+  cell.name = "checkpoint.arena.bytes";
+  cell.unit = "bytes";
+  cell.value = 1 << 20;
+  cell.budget = 1 << 26;
+  response.cells.push_back(cell);
+  obs::GrowthVerdict verdict;
+  verdict.series = "resource.checkpoint.arena.bytes";
+  verdict.cls = obs::GrowthClass::kLinearGrowth;
+  verdict.slope_per_sec = 1234.5;
+  verdict.last_value = 1 << 20;
+  verdict.budget = 1 << 26;
+  verdict.time_to_budget_sec = 53538.4;
+  verdict.points = 300;
+  verdict.window_ns = 300LL * 1000 * 1000 * 1000;
+  response.verdicts.push_back(verdict);
+
+  const auto parsed = CapacityResponse::Parse(response.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->accountant_enabled);
+  ASSERT_EQ(parsed->cells.size(), 1u);
+  EXPECT_EQ(parsed->cells[0].name, "checkpoint.arena.bytes");
+  EXPECT_EQ(parsed->cells[0].budget, 1 << 26);
+  ASSERT_EQ(parsed->verdicts.size(), 1u);
+  EXPECT_EQ(parsed->verdicts[0].cls, obs::GrowthClass::kLinearGrowth);
+  EXPECT_NEAR(parsed->verdicts[0].time_to_budget_sec, 53538.4, 0.001);
+  EXPECT_EQ(parsed->verdicts[0].window_ns, 300LL * 1000 * 1000 * 1000);
+
+  EXPECT_FALSE(CapacityResponse::Parse("not a capacity response").ok());
+  // Request side: "-" and bare both mean the default prefix.
+  auto request = CapacityRequest::Parse("-");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->prefix, "resource.");
+  request = CapacityRequest::Parse("");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->prefix, "resource.");
+  request = CapacityRequest::Parse("slo.");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->prefix, "slo.");
+  EXPECT_FALSE(CapacityRequest::Parse("two tokens").ok());
+}
+
+TEST(NetServerTest, HealthCarriesSloVerdictOverSocket) {
+  MemcachedMini mc;
+  ReactorServer reactor(mc.ir_model(), mc.guid_registry());
+  NetDispatcher dispatcher(mc, &reactor);
+  NetServer server(dispatcher);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Unconfigured tracker: health reports "no SLO knowledge" (-1).
+  obs::SloTracker::Global().Clear();
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send("HEALTH net.ops.ok\n"));
+  std::vector<NetReply> replies = client.ReadReplies(1);
+  ASSERT_EQ(replies.size(), 1u);
+  auto health = HealthResponse::Parse(replies[0].text);
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->slo_breached, -1);
+
+  // Configured and quiet: breached reads 0, and the verdict stays ruled
+  // by the fault timeline.
+  obs::SloTracker::Global().Configure(obs::DefaultNetSloTargets());
+  ASSERT_TRUE(client.Send("HEALTH net.ops.ok\n"));
+  replies = client.ReadReplies(1);
+  ASSERT_EQ(replies.size(), 1u);
+  health = HealthResponse::Parse(replies[0].text);
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->slo_breached, 0);
+
+  // Older-peer compatibility: a response without the trailing SLO tokens
+  // still parses (and without the substrate token before them, too).
+  auto old_peer = HealthResponse::Parse("0 1 0 -1 -1 0 arthas");
+  ASSERT_TRUE(old_peer.ok());
+  EXPECT_EQ(old_peer->substrate, "arthas");
+  EXPECT_EQ(old_peer->slo_breached, -1);
+  old_peer = HealthResponse::Parse("0 1 0 -1 -1 0");
+  ASSERT_TRUE(old_peer.ok());
+  EXPECT_EQ(old_peer->substrate, "-");
+
+  server.Stop();
+  obs::SloTracker::Global().Clear();
 }
 
 TEST(NetServerTest, ReactorPassthroughWithoutReactorAnswersErr) {

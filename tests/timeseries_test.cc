@@ -280,6 +280,67 @@ TEST(TelemetrySamplerTest, ExportJsonSchema) {
 // Synthetic per-tick throughput: 100 ops/ms for 10 ms, a fault at 10.2 ms,
 // five ticks of total collapse, detection at 12 ms, reversion at 15 ms,
 // then full throughput again from 16 ms on.
+TEST(TelemetrySamplerTest, DownsamplingKeepsWholeRunWindow) {
+  // Soak-length runs opt into downsample_on_full: instead of dropping the
+  // oldest points (losing the run's start — exactly what a growth fit
+  // needs), a full ring halves its resolution and keeps the whole window.
+  SamplerOptions options = ProbeOnlyOptions(/*ring_capacity=*/64);
+  options.downsample_on_full = true;
+  TelemetrySampler sampler(options);
+
+  std::atomic<uint64_t> cumulative{0};
+  sampler.RegisterProbe("ds.ops", ProbeKind::kCounter, [&cumulative] {
+    return static_cast<double>(cumulative.load());
+  });
+  std::atomic<uint64_t> level{0};
+  sampler.RegisterProbe("ds.level", ProbeKind::kGauge, [&level] {
+    return static_cast<double>(level.load());
+  });
+
+  const int kTicks = 1000;
+  int64_t t_after_100 = 0;
+  for (int i = 0; i < kTicks; i++) {
+    cumulative.fetch_add(1);
+    level.store(static_cast<uint64_t>(i));
+    sampler.SampleNow();
+    if (i == 99) {
+      t_after_100 = NowNanos();
+    }
+  }
+
+  const std::vector<TimelinePoint> ops = sampler.SeriesPoints("ds.ops");
+  ASSERT_FALSE(ops.empty());
+  EXPECT_LE(ops.size(), 64u);
+  EXPECT_GE(ops.size(), 16u);  // halving, not wholesale dropping
+
+  // The window still starts near the run's start (drop-oldest would have
+  // kept only the newest 64 of 1000 ticks).
+  EXPECT_LE(ops.front().t_ns, t_after_100);
+  for (size_t i = 1; i < ops.size(); i++) {
+    EXPECT_LT(ops[i - 1].t_ns, ops[i].t_ns);
+  }
+
+  // Counter mass is conserved across merges: each stored point is the sum
+  // of the raw deltas it stands for. The first tick primes the probe
+  // (delta 0) and up to one stride of pushes may still be pending.
+  double mass = 0;
+  for (const TimelinePoint& p : ops) {
+    mass += p.value;
+  }
+  EXPECT_LE(mass, kTicks - 1);
+  EXPECT_GE(mass, kTicks - 1 - 64);
+
+  // Gauges keep the later observation instead of summing: every stored
+  // value is one that was actually set, never an accumulated total.
+  const std::vector<TimelinePoint> gauge = sampler.SeriesPoints("ds.level");
+  ASSERT_FALSE(gauge.empty());
+  EXPECT_LE(gauge.size(), 64u);
+  for (const TimelinePoint& p : gauge) {
+    EXPECT_LE(p.value, kTicks - 1);
+  }
+  EXPECT_GE(gauge.back().value, kTicks - 1 - 64);
+}
+
 TEST(TimelineAnalyzerTest, GoldenRecoveryScenario) {
   std::vector<TimelinePoint> throughput;
   for (int i = 0; i <= 25; i++) {
